@@ -1,0 +1,34 @@
+//! E5 — criterion benchmark: one-way thread migration latency
+//! (ping-pong between 2 nodes, paper §5 ¶1: < 75 µs on BIP/Myrinet).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pm2::NetProfile;
+use pm2_bench::migration_pingpong_us;
+use std::time::Duration;
+
+fn us_to_total(us_per_op: f64, iters: u64) -> Duration {
+    Duration::from_nanos((us_per_op * 1000.0 * iters as f64) as u64)
+}
+
+fn bench_migration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e5_migration");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(8));
+
+    for (name, net) in [("instant", NetProfile::instant()), ("myrinet", NetProfile::myrinet_bip())]
+    {
+        for payload in [0usize, 32 * 1024] {
+            g.bench_function(format!("{name}/payload_{payload}B"), |b| {
+                b.iter_custom(|iters| {
+                    let hops = (iters as usize).max(16);
+                    let us = migration_pingpong_us(net, payload, hops);
+                    us_to_total(us, iters)
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_migration);
+criterion_main!(benches);

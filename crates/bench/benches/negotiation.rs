@@ -1,0 +1,24 @@
+//! E6 — criterion benchmark: global negotiation cost vs node count
+//! (paper §5 ¶2).  One iteration = a full 8-round negotiation workload on a
+//! fresh machine (launch included); `bin/e6_negotiation` reports the
+//! per-negotiation microcosts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pm2::NetProfile;
+use pm2_bench::negotiation_us;
+use std::time::Duration;
+
+fn bench_negotiation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6_negotiation");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(10));
+    for p in [2usize, 4, 8] {
+        g.bench_function(format!("myrinet/p{p}/8_round_workload"), |b| {
+            b.iter(|| std::hint::black_box(negotiation_us(p, NetProfile::myrinet_bip(), 8)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_negotiation);
+criterion_main!(benches);

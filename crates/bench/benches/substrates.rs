@@ -1,0 +1,102 @@
+//! S — criterion benchmarks for the substrates underneath the headline
+//! numbers: context switching, thread creation, bitmap search, packing.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pm2_bench::{ctx_switch_ns, spawn_us};
+use std::time::Duration;
+
+fn bench_threading(c: &mut Criterion) {
+    let mut g = c.benchmark_group("s_threading");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(6));
+    g.bench_function("context_switch_yield", |b| {
+        b.iter_custom(|iters| {
+            // Run exactly `iters` yields (floor of 64 so a fresh machine's
+            // first quanta don't dominate) and report the measured time for
+            // the yields we actually ran, scaled to `iters`.
+            let n = (iters as usize).max(64);
+            let ns = ctx_switch_ns(n);
+            Duration::from_nanos((ns * iters as f64).max(1.0) as u64)
+        });
+    });
+    g.bench_function("thread_create_run_join", |b| {
+        b.iter_custom(|iters| {
+            let n = (iters as usize).max(16);
+            let us = spawn_us(n);
+            Duration::from_nanos((us * 1000.0 * iters as f64).max(1.0) as u64)
+        });
+    });
+    g.finish();
+}
+
+fn bench_bitmap(c: &mut Criterion) {
+    use isoaddr::{Distribution, SlotBitmap, SlotRange};
+    let mut g = c.benchmark_group("s_bitmap");
+    // Paper-scale bitmap: 57344 slots (7 kB).
+    let n = 57_344;
+    let rr = Distribution::RoundRobin.initial_bitmap(0, 2, n);
+    g.bench_function("find_first_fit_1_of_57344_round_robin", |b| {
+        b.iter(|| std::hint::black_box(rr.find_first_fit(1, 0)));
+    });
+    g.bench_function("find_first_fit_2_of_57344_round_robin_fails", |b| {
+        // Worst case: scans the whole bitmap and finds nothing.
+        b.iter(|| std::hint::black_box(rr.find_first_fit(2, 0)));
+    });
+    let full = SlotBitmap::new_set(n);
+    g.bench_function("find_first_fit_128_of_57344_full", |b| {
+        b.iter(|| std::hint::black_box(full.find_first_fit(128, 0)));
+    });
+    g.bench_function("or_with_57344", |b| {
+        b.iter_batched(
+            || full.clone(),
+            |mut a| {
+                a.or_with(&rr);
+                a
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("serialize_57344", |b| {
+        b.iter(|| std::hint::black_box(rr.to_bytes()));
+    });
+    let mut half = SlotBitmap::new_clear(n);
+    half.set_range(SlotRange::new(n / 2, 64));
+    g.bench_function("find_first_fit_64_midway", |b| {
+        b.iter(|| std::hint::black_box(half.find_first_fit(64, 0)));
+    });
+    g.finish();
+}
+
+fn bench_pack_layer(c: &mut Criterion) {
+    use isoaddr::{AreaConfig, Distribution, IsoArea, NodeSlotManager};
+    use isomalloc::heap::{heap_init, heap_slots, isomalloc, IsoHeapState};
+    use isomalloc::pack::pack_heap_slot;
+    use std::sync::Arc;
+
+    let mut g = c.benchmark_group("s_pack");
+    let area = Arc::new(IsoArea::new(AreaConfig::small()).unwrap());
+    let mut mgr = NodeSlotManager::new(0, 1, area, Distribution::RoundRobin, 0);
+    let mut heap: Box<IsoHeapState> = Box::new(unsafe { std::mem::zeroed() });
+    unsafe {
+        heap_init(heap.as_mut(), isomalloc::FitPolicy::FirstFit, false);
+        // Fill one slot with a busy/free checkerboard.
+        let ptrs: Vec<_> =
+            (0..40).map(|_| isomalloc(heap.as_mut(), &mut mgr, 700).unwrap()).collect();
+        for p in ptrs.iter().step_by(2) {
+            isomalloc::heap::isofree(heap.as_mut(), &mut mgr, *p).unwrap();
+        }
+    }
+    let (slot_base, _) = unsafe { heap_slots(heap.as_ref())[0] };
+    let slot_size = 64 * 1024;
+    g.bench_function("pack_heap_slot_checkerboard", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(32 * 1024);
+            unsafe { pack_heap_slot(slot_base, slot_size, &mut buf).unwrap() };
+            std::hint::black_box(buf.len())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_threading, bench_bitmap, bench_pack_layer);
+criterion_main!(benches);

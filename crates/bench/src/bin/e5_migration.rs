@@ -1,0 +1,48 @@
+//! E5 — thread migration latency (paper §5 ¶1).
+//!
+//! "The time needed to migrate a thread with no static data between two
+//! nodes is less than 75 µs … This time should be compared to the 150 µs
+//! reported for the migration of a null thread in Active Threads."
+//!
+//! ```sh
+//! cargo run --release -p pm2-bench --bin e5_migration
+//! ```
+
+use pm2::NetProfile;
+use pm2_bench::{migration_buffer_bytes, migration_pingpong_us, Table};
+
+fn main() {
+    let hops = 400;
+
+    let mut t = Table::new(
+        "E5: one-way thread migration latency (ping-pong, 2 nodes)",
+        &["wire model", "payload", "buffer", "µs/migration", "paper reference"],
+    );
+    for net in [NetProfile::instant(), NetProfile::myrinet_bip(), NetProfile::fast_ethernet()] {
+        for payload in [0usize, 4 * 1024, 32 * 1024, 256 * 1024] {
+            let us = migration_pingpong_us(net, payload, hops);
+            let buf = migration_buffer_bytes(payload);
+            let reference = if payload == 0 && net.name == "myrinet-bip" {
+                "paper: < 75 µs; Active Threads: 150 µs"
+            } else {
+                ""
+            };
+            t.row(vec![
+                net.name.to_string(),
+                pm2_bench::bytes(payload as u64),
+                pm2_bench::bytes(buf),
+                pm2_bench::us(us),
+                reference.into(),
+            ]);
+        }
+    }
+    t.emit("e5_migration");
+
+    // Headline check: null-thread migration on the Myrinet model.
+    let headline = migration_pingpong_us(NetProfile::myrinet_bip(), 0, hops);
+    println!(
+        "headline: null-thread migration = {:.1} µs  (paper < 75 µs → {})",
+        headline,
+        if headline < 75.0 { "REPRODUCED" } else { "NOT reproduced" }
+    );
+}

@@ -1,0 +1,44 @@
+//! E6 — global negotiation cost vs node count (paper §5 ¶2).
+//!
+//! "This negotiation takes 255 µs in a 2-node configuration when using
+//! BIP/Myrinet.  If the underlying architecture provides more than 2 nodes,
+//! another 165 µs should be added per extra node."
+//!
+//! ```sh
+//! cargo run --release -p pm2-bench --bin e6_negotiation
+//! ```
+
+use pm2::NetProfile;
+use pm2_bench::{linear_slope, negotiation_us, Table};
+
+fn main() {
+    let rounds = 40;
+    let mut t = Table::new(
+        "E6: multi-slot negotiation cost vs node count (round-robin)",
+        &["nodes", "instant wire (µs)", "myrinet-bip (µs)", "paper (µs)"],
+    );
+    let mut myri_points = Vec::new();
+    for p in [2usize, 3, 4, 6, 8] {
+        let inst = negotiation_us(p, NetProfile::instant(), rounds);
+        let myri = negotiation_us(p, NetProfile::myrinet_bip(), rounds);
+        myri_points.push((p as f64, myri));
+        let paper = 255.0 + 165.0 * (p as f64 - 2.0);
+        t.row(vec![
+            p.to_string(),
+            pm2_bench::us(inst),
+            pm2_bench::us(myri),
+            format!("{paper:.0}"),
+        ]);
+    }
+    t.emit("e6_negotiation");
+
+    let slope = linear_slope(&myri_points);
+    let base = myri_points[0].1;
+    println!(
+        "fit: cost(p) ≈ {:.0} µs at p=2, +{:.0} µs per extra node \
+         (paper: 255 µs at p=2, +165 µs per node) — affine shape {}",
+        base,
+        slope,
+        if slope > 0.0 { "REPRODUCED" } else { "NOT reproduced" }
+    );
+}

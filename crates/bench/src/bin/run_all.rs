@@ -1,0 +1,39 @@
+//! Run every experiment table in sequence (E5, E6, Fig. 11, A1–A6 plus the
+//! substrate microbenchmarks) and leave the results under
+//! `target/experiments/`.
+//!
+//! ```sh
+//! cargo run --release -p pm2-bench --bin run_all
+//! ```
+
+use pm2_bench::{ctx_switch_ns, smoke, spawn_us, Table};
+
+fn substrates() {
+    let mut t = Table::new(
+        "S: substrate microcosts",
+        &["operation", "cost"],
+    );
+    t.row(vec!["context switch (yield round-robin)".into(), format!("{:.0} ns", ctx_switch_ns(20_000))]);
+    t.row(vec!["thread create + run + join".into(), format!("{:.1} µs", spawn_us(400))]);
+    t.emit("substrates");
+}
+
+fn run(name: &str) {
+    let exe = std::env::current_exe().unwrap();
+    let dir = exe.parent().unwrap();
+    let status = std::process::Command::new(dir.join(name))
+        .status()
+        .unwrap_or_else(|e| panic!("running {name}: {e}"));
+    assert!(status.success(), "{name} failed");
+}
+
+fn main() {
+    println!("smoke-checking the harness against the runtime…");
+    smoke();
+    substrates();
+    for bin in ["e5_migration", "e6_negotiation", "fig11", "ablations"] {
+        println!("\n───────── {bin} ─────────");
+        run(bin);
+    }
+    println!("\nall experiment tables written to target/experiments/");
+}

@@ -1,0 +1,10 @@
+//! Measurement harness regenerating every table and figure of the paper's
+//! evaluation (§5).  The criterion benches and the `bin/` table printers
+//! both call into this module, so the numbers in EXPERIMENTS.md and the
+//! statistically-validated benchmarks come from the same code paths.
+
+pub mod harness;
+pub mod report;
+
+pub use harness::*;
+pub use report::*;

@@ -1,0 +1,136 @@
+//! Plain-text table / CSV rendering for the experiment binaries.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::Path;
+
+/// A rendered experiment table: header row + data rows.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    /// Table title (experiment id + description).
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.columns.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Render as an aligned ASCII table.
+    pub fn ascii(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let mut header = String::new();
+        for (i, c) in self.columns.iter().enumerate() {
+            let _ = write!(header, "{:>w$}  ", c, w = widths[i]);
+        }
+        let _ = writeln!(out, "{}", header.trim_end());
+        let _ = writeln!(out, "{}", "-".repeat(header.trim_end().len()));
+        for row in &self.rows {
+            let mut line = String::new();
+            for (i, cell) in row.iter().enumerate() {
+                let _ = write!(line, "{:>w$}  ", cell, w = widths[i]);
+            }
+            let _ = writeln!(out, "{}", line.trim_end());
+        }
+        out
+    }
+
+    /// Render as CSV (no title line).
+    pub fn csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.columns.join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        out
+    }
+
+    /// Print the ASCII form and persist both forms under
+    /// `target/experiments/<name>.{txt,csv}`.
+    pub fn emit(&self, name: &str) {
+        println!("{}", self.ascii());
+        let dir = Path::new("target/experiments");
+        let _ = std::fs::create_dir_all(dir);
+        if let Ok(mut f) = std::fs::File::create(dir.join(format!("{name}.txt"))) {
+            let _ = f.write_all(self.ascii().as_bytes());
+        }
+        if let Ok(mut f) = std::fs::File::create(dir.join(format!("{name}.csv"))) {
+            let _ = f.write_all(self.csv().as_bytes());
+        }
+    }
+}
+
+/// Format a µs value with sensible precision.
+pub fn us(v: f64) -> String {
+    if v >= 1000.0 {
+        format!("{:.1}", v)
+    } else if v >= 10.0 {
+        format!("{:.1}", v)
+    } else {
+        format!("{:.2}", v)
+    }
+}
+
+/// Format a byte count.
+pub fn bytes(v: u64) -> String {
+    if v >= 1024 * 1024 {
+        format!("{:.1} MiB", v as f64 / (1024.0 * 1024.0))
+    } else if v >= 1024 {
+        format!("{:.1} KiB", v as f64 / 1024.0)
+    } else {
+        format!("{v} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders() {
+        let mut t = Table::new("demo", &["a", "bb"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let a = t.ascii();
+        assert!(a.contains("== demo =="));
+        assert!(a.contains("bb"));
+        assert_eq!(t.csv(), "a,bb\n1,2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        Table::new("x", &["a"]).row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(us(3.14159), "3.14");
+        assert_eq!(us(42.0), "42.0");
+        assert_eq!(bytes(512), "512 B");
+        assert_eq!(bytes(2048), "2.0 KiB");
+        assert_eq!(bytes(3 * 1024 * 1024), "3.0 MiB");
+    }
+}

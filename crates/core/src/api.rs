@@ -1,0 +1,261 @@
+//! The green-side PM2 API — the reproduction of the paper's programming
+//! interface (§3.4), callable from inside Marcel threads:
+//!
+//! | paper                           | here                          |
+//! |---------------------------------|-------------------------------|
+//! | `pm2_isomalloc(size)`           | [`pm2_isomalloc`]             |
+//! | `pm2_isofree(addr)`             | [`pm2_isofree`]               |
+//! | `pm2_migrate(marcel_self(), n)` | [`pm2_migrate`]               |
+//! | `pm2_migrate(tid, n)` (other)   | [`pm2_migrate_thread`]        |
+//! | `pm2_self()`                    | [`pm2_self`]                  |
+//! | `marcel_self()`                 | [`pm2_self_tid`]              |
+//! | `pm2_printf(...)`               | [`pm2_printf!`](crate::pm2_printf) |
+//! | `pm2_register_pointer`          | [`pm2_register_pointer`] (legacy) |
+//! | `malloc` (non-migrating)        | [`node_malloc`] (see `nodeheap`) |
+
+use std::time::{Duration, Instant};
+
+use madeleine::Message;
+
+use crate::error::{Pm2Error, Result};
+use crate::node::with_ctx;
+use crate::proto::tag;
+
+/// How long a green thread waits for a protocol reply before declaring the
+/// machine wedged (generous; only ever hit on runtime bugs).
+const REPLY_DEADLINE: Duration = Duration::from_secs(30);
+
+/// Node currently hosting the calling thread (the paper's `pm2_self()`).
+pub fn pm2_self() -> usize {
+    marcel::current_node()
+}
+
+/// Thread id of the caller (the paper's `marcel_self()`).
+pub fn pm2_self_tid() -> u64 {
+    marcel::current_tid()
+}
+
+/// Number of nodes in the machine.
+pub fn pm2_nodes() -> usize {
+    with_ctx(|c| c.n_nodes)
+}
+
+/// Re-export: cooperative yield.
+pub use marcel::yield_now as pm2_yield;
+
+/// Wait until the local bitmap is not frozen by a negotiation.  Between the
+/// successful check and the next yield the pump cannot run, so the frozen
+/// flag cannot flip under the caller.
+fn wait_unfrozen() {
+    loop {
+        if with_ctx(|c| !c.frozen) {
+            return;
+        }
+        marcel::yield_now();
+    }
+}
+
+/// Allocate `size` bytes in the iso-address area (the paper's
+/// `pm2_isomalloc`).  The data migrates with the calling thread and keeps
+/// its virtual address, so pointers into it — and inside it — stay valid
+/// across migrations with no post-processing.
+pub fn pm2_isomalloc(size: usize) -> Result<*mut u8> {
+    loop {
+        wait_unfrozen();
+        let d = marcel::current_desc();
+        let r = with_ctx(|c| {
+            // SAFETY: the descriptor belongs to the calling thread, hosted
+            // on this node; the pump is not running.
+            unsafe {
+                isomalloc::isomalloc(std::ptr::addr_of_mut!((*d).heap), &mut c.mgr, size)
+            }
+        });
+        match r {
+            Ok(p) => return Ok(p),
+            Err(isomalloc::AllocError::Provider(isoaddr::IsoAddrError::NeedNegotiation {
+                requested,
+            })) => {
+                // §4.4: the local node lacks contiguous slots — negotiate.
+                crate::negotiation::negotiate_acquire(requested)?;
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+}
+
+/// Free a block allocated with [`pm2_isomalloc`].  Freed slots go to the
+/// node the thread is *currently* visiting (Fig. 6).
+pub fn pm2_isofree(ptr: *mut u8) -> Result<()> {
+    wait_unfrozen();
+    let d = marcel::current_desc();
+    with_ctx(|c| {
+        // SAFETY: as in pm2_isomalloc.
+        unsafe { isomalloc::isofree(std::ptr::addr_of_mut!((*d).heap), &mut c.mgr, ptr) }
+    })?;
+    Ok(())
+}
+
+/// Migrate the calling thread to `dest` (the paper's
+/// `pm2_migrate(marcel_self(), dest)`).  On return the thread is executing
+/// on `dest`; all its pointers are intact.
+pub fn pm2_migrate(dest: usize) -> Result<()> {
+    if dest >= with_ctx(|c| c.n_nodes) {
+        return Err(Pm2Error::NoSuchNode(dest));
+    }
+    marcel::migrate_self(dest);
+    Ok(())
+}
+
+/// Preemptively migrate *another* thread residing on this node.  The target
+/// is shipped at its next scheduling point without its cooperation — the
+/// transparency property of §2 (application threads contain no migration
+/// code; an external module can rebalance them).
+pub fn pm2_migrate_thread(tid: u64, dest: usize) -> Result<()> {
+    if dest >= with_ctx(|c| c.n_nodes) {
+        return Err(Pm2Error::NoSuchNode(dest));
+    }
+    with_ctx(|c| match c.threads.get(&tid) {
+        // SAFETY: descriptor resident on this node.
+        Some(&d) => {
+            if unsafe { c.sched.request_migration(d, dest) } {
+                Ok(())
+            } else {
+                Err(Pm2Error::NotMigratable(tid))
+            }
+        }
+        None => Err(Pm2Error::NoSuchThread(tid)),
+    })
+}
+
+/// Spawn a thread on the current node (the paper's `pm2_thread_create`).
+pub fn pm2_thread_create<F>(f: F) -> Result<u64>
+where
+    F: FnOnce() + Send + 'static,
+{
+    wait_unfrozen();
+    with_ctx(|c| c.spawn_local(f)).map_err(|e| Pm2Error::Spawn(e.to_string()))
+}
+
+/// Spawn a registered service on a (possibly remote) node — PM2's LRPC.
+pub fn pm2_rpc_spawn(node: usize, service: u32, args: &[u8]) -> Result<()> {
+    if node >= with_ctx(|c| c.n_nodes) {
+        return Err(Pm2Error::NoSuchNode(node));
+    }
+    send_to(node, tag::RPC_SPAWN, crate::proto::encode_rpc_spawn(service, args))
+}
+
+/// Wait (poll + yield) until thread `tid` has exited anywhere in the
+/// machine.  Returns whether it panicked.
+pub fn pm2_join(tid: u64) -> bool {
+    loop {
+        if let Some(e) = with_ctx(|c| c.registry.poll(tid)) {
+            return e.panicked;
+        }
+        marcel::yield_now();
+    }
+}
+
+/// Mark the calling thread (non-)migratable.  Daemons (e.g. the load
+/// balancer) exclude themselves from preemptive migration this way.
+pub fn pm2_set_migratable(migratable: bool) {
+    let d = marcel::current_desc();
+    // SAFETY: own descriptor.
+    unsafe {
+        if migratable {
+            (*d).flags |= marcel::thread::flags::MIGRATABLE;
+        } else {
+            (*d).flags &= !marcel::thread::flags::MIGRATABLE;
+        }
+    }
+}
+
+/// Legacy early-PM2 API (paper Fig. 3): register the address of a pointer
+/// variable so the runtime can fix it after a relocating migration.  Under
+/// iso-address migration this is a no-op kept for the ablation baseline.
+pub fn pm2_register_pointer(ptr_addr: usize) -> Option<u32> {
+    let d = marcel::current_desc();
+    // SAFETY: own descriptor.
+    unsafe { (*d).register_pointer(ptr_addr) }
+}
+
+/// Legacy: unregister a pointer registered with [`pm2_register_pointer`].
+pub fn pm2_unregister_pointer(key: u32) {
+    let d = marcel::current_desc();
+    // SAFETY: own descriptor.
+    unsafe { (*d).unregister_pointer(key) }
+}
+
+/// Allocate from the node-private heap — the paper's plain `malloc`.  The
+/// data does **not** migrate: after the owning thread leaves this node the
+/// memory is poisoned, reproducing Fig. 9's garbage reads (see `nodeheap`).
+pub fn node_malloc(size: usize) -> *mut u8 {
+    let tid = marcel::current_tid();
+    with_ctx(|c| c.nodeheap.alloc(size, tid))
+}
+
+/// Free a [`node_malloc`] block on its owning node.
+pub fn node_free(ptr: *mut u8) -> bool {
+    with_ctx(|c| c.nodeheap.free(ptr))
+}
+
+/// Would dereferencing this [`node_malloc`] pointer be valid on the current
+/// node?  `false` after the owner migrated away — a real cluster would read
+/// garbage or fault here.
+pub fn node_ptr_valid(ptr: *const u8) -> bool {
+    with_ctx(|c| c.nodeheap.is_valid(ptr))
+}
+
+/// Capture one line of output, prefixed `[nodeN]` like the paper's traces.
+pub fn printf_str(text: String) {
+    with_ctx(|c| c.out.printf(c.node, &text));
+}
+
+/// `pm2_printf!(...)` — the paper's `pm2_printf`, with `format!` syntax.
+#[macro_export]
+macro_rules! pm2_printf {
+    ($($arg:tt)*) => {
+        $crate::api::printf_str(format!($($arg)*))
+    };
+}
+
+/// Diagnostic: one request/reply round trip to `peer` using the same
+/// parked-reply mechanics as the negotiation gather (a `LOAD_REQ`).
+/// Returns the peer's resident thread count.
+pub fn pm2_probe_load(peer: usize) -> Result<usize> {
+    send_to(peer, tag::LOAD_REQ, Vec::new())?;
+    let m = wait_reply(tag::LOAD_RESP, Some(peer))?;
+    let mut r = madeleine::message::PayloadReader::new(&m.payload);
+    Ok(r.u32().unwrap_or(0) as usize)
+}
+
+// ---------------------------------------------------------------------------
+// Protocol plumbing shared with negotiation / load balancing.
+// ---------------------------------------------------------------------------
+
+/// Send a message from the calling thread's node.
+pub(crate) fn send_to(dst: usize, tag: u16, payload: Vec<u8>) -> Result<()> {
+    with_ctx(|c| c.ep.send(dst, tag, payload))?;
+    Ok(())
+}
+
+/// Wait for a parked reply matching `tag` (and `src`, if given), yielding so
+/// the node keeps serving.  Replies are parked by the pump.
+pub(crate) fn wait_reply(tag: u16, src: Option<usize>) -> Result<Message> {
+    let deadline = Instant::now() + REPLY_DEADLINE;
+    loop {
+        let hit = with_ctx(|c| {
+            let idx = c
+                .replies
+                .iter()
+                .position(|m| m.tag == tag && src.map_or(true, |s| m.src == s))?;
+            c.replies.remove(idx)
+        });
+        if let Some(m) = hit {
+            return Ok(m);
+        }
+        if Instant::now() > deadline {
+            return Err(Pm2Error::Net(format!("timed out waiting for reply tag {tag}")));
+        }
+        marcel::yield_now();
+    }
+}

@@ -1,0 +1,180 @@
+//! Machine configuration.
+
+use isoaddr::{AreaConfig, Distribution, MapStrategy};
+use isomalloc::FitPolicy;
+use madeleine::NetProfile;
+
+/// How node schedulers are driven.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MachineMode {
+    /// One OS thread per node (the default; nodes run in parallel like the
+    /// paper's cluster).
+    Threaded,
+    /// A single OS thread drives all nodes round-robin.  Fully deterministic
+    /// interleaving; used by tests.
+    Deterministic,
+}
+
+/// How threads are migrated (ablation A5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationScheme {
+    /// The paper's contribution: iso-address migration, no post-processing.
+    IsoAddress,
+    /// Early-PM2 baseline: measure the additional relocation + registered
+    /// pointer fix-up work on top of every migration (see `legacy`).
+    /// Threads are still *resumed* iso-address (resuming a relocated Rust
+    /// stack requires compiler guarantees Rust does not give — the very
+    /// fragility §2 argues against); the fix-up cost is real and measured.
+    RegisteredPointers,
+}
+
+/// Top-level configuration of a PM2 machine (a simulated cluster).
+#[derive(Debug, Clone)]
+pub struct Pm2Config {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Geometry of the iso-address area.
+    pub area: AreaConfig,
+    /// How slot commit/decommit maps onto the host kernel (see
+    /// [`MapStrategy`]; `Resident` keeps host-kernel page-table costs out
+    /// of measurements, `Syscall` is the faithful mmap path).
+    pub map_strategy: MapStrategy,
+    /// Initial slot distribution (§4.1; the paper uses round-robin).
+    pub distribution: Distribution,
+    /// Capacity of each node's mmapped-slot cache (§6); 0 disables it.
+    pub slot_cache: usize,
+    /// Wire model for the Madeleine fabric.
+    pub net: NetProfile,
+    /// Block-placement policy for thread heaps (§4.3; paper: first-fit).
+    pub fit: FitPolicy,
+    /// Release fully-free heap slots to the hosting node eagerly.
+    pub trim: bool,
+    /// Scheduler driving mode.
+    pub mode: MachineMode,
+    /// Migration scheme (ablation).
+    pub scheme: MigrationScheme,
+    /// Ship whole slots instead of busy blocks only (ablation A6).
+    pub pack_full_slots: bool,
+    /// Echo `pm2_printf` lines to the process stdout as well as capturing
+    /// them.
+    pub echo_output: bool,
+}
+
+impl Pm2Config {
+    /// A machine with `nodes` nodes and paper-faithful defaults: 64 KiB
+    /// slots, round-robin distribution, first-fit blocks, slot cache on,
+    /// BIP/Myrinet wire model, threaded scheduling.
+    pub fn new(nodes: usize) -> Self {
+        Pm2Config {
+            nodes,
+            area: AreaConfig::default(),
+            map_strategy: MapStrategy::Resident,
+            distribution: Distribution::RoundRobin,
+            slot_cache: 32,
+            net: NetProfile::myrinet_bip(),
+            fit: FitPolicy::FirstFit,
+            trim: true,
+            mode: MachineMode::Threaded,
+            scheme: MigrationScheme::IsoAddress,
+            pack_full_slots: false,
+            echo_output: false,
+        }
+    }
+
+    /// Small, instant-network, deterministic machine for tests.
+    pub fn test(nodes: usize) -> Self {
+        Pm2Config {
+            area: AreaConfig { slot_size: 64 * 1024, n_slots: 256 },
+            net: NetProfile::instant(),
+            mode: MachineMode::Deterministic,
+            slot_cache: 0,
+            ..Pm2Config::new(nodes)
+        }
+    }
+
+    /// Builder: set the area geometry.
+    pub fn with_area(mut self, area: AreaConfig) -> Self {
+        self.area = area;
+        self
+    }
+
+    /// Builder: set the slot map strategy.
+    pub fn with_map_strategy(mut self, s: MapStrategy) -> Self {
+        self.map_strategy = s;
+        self
+    }
+
+    /// Builder: set the slot distribution.
+    pub fn with_distribution(mut self, d: Distribution) -> Self {
+        self.distribution = d;
+        self
+    }
+
+    /// Builder: set the wire model.
+    pub fn with_net(mut self, net: NetProfile) -> Self {
+        self.net = net;
+        self
+    }
+
+    /// Builder: set the fit policy.
+    pub fn with_fit(mut self, fit: FitPolicy) -> Self {
+        self.fit = fit;
+        self
+    }
+
+    /// Builder: set the scheduling mode.
+    pub fn with_mode(mut self, mode: MachineMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Builder: set the slot cache capacity.
+    pub fn with_slot_cache(mut self, cap: usize) -> Self {
+        self.slot_cache = cap;
+        self
+    }
+
+    /// Builder: echo output lines to stdout.
+    pub fn with_echo(mut self, echo: bool) -> Self {
+        self.echo_output = echo;
+        self
+    }
+
+    /// Builder: pack whole slots on migration (ablation A6).
+    pub fn with_pack_full(mut self, full: bool) -> Self {
+        self.pack_full_slots = full;
+        self
+    }
+
+    /// Builder: migration scheme (ablation A5).
+    pub fn with_scheme(mut self, scheme: MigrationScheme) -> Self {
+        self.scheme = scheme;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = Pm2Config::new(4);
+        assert_eq!(c.area.slot_size, 64 * 1024);
+        assert_eq!(c.distribution, Distribution::RoundRobin);
+        assert_eq!(c.fit, FitPolicy::FirstFit);
+        assert_eq!(c.net.name, "myrinet-bip");
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = Pm2Config::test(2)
+            .with_distribution(Distribution::BlockCyclic(8))
+            .with_slot_cache(4)
+            .with_fit(FitPolicy::BestFit);
+        assert_eq!(c.distribution, Distribution::BlockCyclic(8));
+        assert_eq!(c.slot_cache, 4);
+        assert_eq!(c.fit, FitPolicy::BestFit);
+        assert_eq!(c.mode, MachineMode::Deterministic);
+    }
+}

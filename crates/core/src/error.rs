@@ -1,0 +1,65 @@
+//! Runtime errors.
+
+use std::fmt;
+
+/// Errors surfaced by the PM2 runtime API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Pm2Error {
+    /// The block layer failed (bad free, corruption, …).
+    Alloc(isomalloc::AllocError),
+    /// The slot layer failed.
+    Slots(isoaddr::IsoAddrError),
+    /// The global negotiation could not find the requested contiguous run
+    /// anywhere in the system.
+    OutOfSlots { requested: usize },
+    /// A thread operation referenced an unknown or non-resident thread.
+    NoSuchThread(u64),
+    /// The target thread is not migratable (flagged, blocked, or running).
+    NotMigratable(u64),
+    /// Destination node id out of range.
+    NoSuchNode(usize),
+    /// The fabric failed.
+    Net(String),
+    /// Spawning failed.
+    Spawn(String),
+}
+
+impl From<isomalloc::AllocError> for Pm2Error {
+    fn from(e: isomalloc::AllocError) -> Self {
+        Pm2Error::Alloc(e)
+    }
+}
+
+impl From<isoaddr::IsoAddrError> for Pm2Error {
+    fn from(e: isoaddr::IsoAddrError) -> Self {
+        Pm2Error::Slots(e)
+    }
+}
+
+impl From<madeleine::NetError> for Pm2Error {
+    fn from(e: madeleine::NetError) -> Self {
+        Pm2Error::Net(e.to_string())
+    }
+}
+
+impl fmt::Display for Pm2Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pm2Error::Alloc(e) => write!(f, "allocation error: {e}"),
+            Pm2Error::Slots(e) => write!(f, "slot layer error: {e}"),
+            Pm2Error::OutOfSlots { requested } => {
+                write!(f, "no {requested} contiguous slots exist system-wide")
+            }
+            Pm2Error::NoSuchThread(t) => write!(f, "no such thread: {t:#x}"),
+            Pm2Error::NotMigratable(t) => write!(f, "thread {t:#x} cannot be migrated now"),
+            Pm2Error::NoSuchNode(n) => write!(f, "no such node: {n}"),
+            Pm2Error::Net(e) => write!(f, "network error: {e}"),
+            Pm2Error::Spawn(e) => write!(f, "spawn error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Pm2Error {}
+
+/// Result alias for the runtime.
+pub type Result<T> = std::result::Result<T, Pm2Error>;

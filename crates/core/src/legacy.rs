@@ -1,0 +1,241 @@
+//! The early-PM2 migration baseline: stack relocation with pointer fix-up.
+//!
+//! Before isomalloc, PM2 relocated a migrated stack "at a usually different
+//! address on the destination node" and then repaired two classes of
+//! pointers (§2): the *implicit* frame-chain pointers the compiler
+//! generates, and the *explicit* user pointers declared through
+//! `pm2_register_pointer`.  The paper's argument is that this approach
+//! "does not extend to complex applications" — it misses unregistered
+//! pointers (Fig. 2 crashes) and breaks under compiler optimization.
+//!
+//! We implement the complete fix-up math and test it on **synthetic frozen
+//! stacks**; live threads are only ever resumed under the iso-address
+//! scheme, because resuming a relocated Rust stack would rely on
+//! frame-pointer discipline Rust does not promise — precisely the fragility
+//! the paper eliminated.  For the ablation benchmark (A5), arriving threads
+//! under [`crate::config::MigrationScheme::RegisteredPointers`] are charged
+//! the same traversal work with `delta = 0`.
+
+use marcel::DescPtr;
+
+/// A frozen stack image as the early scheme would ship it.
+#[derive(Debug, Clone)]
+pub struct FrozenStack {
+    /// Raw bytes of the stack region `[old_base, old_base + bytes.len())`.
+    pub bytes: Vec<u8>,
+    /// Base address the image occupied on the source node.
+    pub old_base: usize,
+    /// Saved stack pointer (absolute, inside the old range).
+    pub rsp: usize,
+    /// Saved frame pointer (absolute, inside the old range; head of the
+    /// frame chain).
+    pub rbp: usize,
+    /// Offsets (within the image) of registered pointer variables.
+    pub registered: Vec<usize>,
+}
+
+/// What a relocation pass did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FixupReport {
+    /// Frame-chain cells adjusted.
+    pub frames_fixed: usize,
+    /// Registered user pointers adjusted.
+    pub registered_fixed: usize,
+    /// Registered pointers left alone (they pointed outside the stack).
+    pub registered_skipped: usize,
+}
+
+impl FrozenStack {
+    /// End of the old address range.
+    pub fn old_end(&self) -> usize {
+        self.old_base + self.bytes.len()
+    }
+
+    fn in_old_range(&self, addr: usize) -> bool {
+        addr >= self.old_base && addr < self.old_end()
+    }
+
+    /// Read the `usize` at absolute old-range address `addr`.
+    fn read(&self, addr: usize) -> usize {
+        let off = addr - self.old_base;
+        usize::from_le_bytes(self.bytes[off..off + 8].try_into().unwrap())
+    }
+
+    /// Write the `usize` at absolute old-range address `addr`.
+    fn write(&mut self, addr: usize, v: usize) {
+        let off = addr - self.old_base;
+        self.bytes[off..off + 8].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Relocate the image to `new_base`: rebase `rsp`/`rbp`, walk the frame
+    /// chain adjusting every saved frame pointer that points into the old
+    /// range, and adjust every registered pointer that points into the old
+    /// range.  This is the whole post-migration pass the iso-address design
+    /// makes unnecessary.
+    pub fn relocate(&mut self, new_base: usize) -> FixupReport {
+        let delta = new_base.wrapping_sub(self.old_base);
+        let mut report =
+            FixupReport { frames_fixed: 0, registered_fixed: 0, registered_skipped: 0 };
+
+        // 1. Frame chain: each frame's saved rbp cell holds the address of
+        //    the caller's frame; terminate on 0 or an out-of-range value.
+        let mut fp = self.rbp;
+        while self.in_old_range(fp) {
+            let saved = self.read(fp);
+            if self.in_old_range(saved) {
+                self.write(fp, saved.wrapping_add(delta));
+                report.frames_fixed += 1;
+            }
+            if saved <= fp {
+                break; // chains grow towards higher addresses; stop on junk
+            }
+            fp = saved;
+        }
+
+        // 2. Registered user pointers.
+        for i in 0..self.registered.len() {
+            let cell = self.old_base + self.registered[i];
+            let value = self.read(cell);
+            if self.in_old_range(value) {
+                self.write(cell, value.wrapping_add(delta));
+                report.registered_fixed += 1;
+            } else {
+                report.registered_skipped += 1;
+            }
+        }
+
+        // 3. Rebase the machine context.
+        self.rsp = self.rsp.wrapping_add(delta);
+        self.rbp = self.rbp.wrapping_add(delta);
+        self.old_base = new_base;
+        report
+    }
+}
+
+/// Charge an arriving thread the legacy fix-up traversal (delta = 0): walk
+/// the registered-pointer table and the frame chain with volatile accesses,
+/// performing the same memory work the early scheme performed, without
+/// changing anything.  Used by the `RegisteredPointers` ablation scheme.
+///
+/// # Safety(internal): `d` must be a freshly unpacked resident descriptor.
+pub(crate) fn charge_arrival_fixup(d: DescPtr) {
+    // SAFETY: descriptor and stack slot are mapped (just unpacked).
+    unsafe {
+        let desc = &*d;
+        let lo = desc.canary_addr + 8;
+        let hi = desc.stack_top;
+        // Registered pointers.
+        for i in 0..desc.n_registered as usize {
+            let cell = desc.registered[i];
+            if cell >= lo && cell + 8 <= hi {
+                let p = cell as *mut usize;
+                let v = p.read_volatile();
+                p.write_volatile(v.wrapping_add(0));
+            }
+        }
+        // Frame chain from the saved rbp.
+        let mut fp = desc.ctx.rbp as usize;
+        let mut guard = 0;
+        while fp >= lo && fp + 8 <= hi && guard < 10_000 {
+            let p = fp as *mut usize;
+            let saved = p.read_volatile();
+            p.write_volatile(saved.wrapping_add(0));
+            if saved <= fp {
+                break;
+            }
+            fp = saved;
+            guard += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build a synthetic frozen stack with a 3-frame chain and two
+    /// registered pointers (one into the stack, one to "heap").
+    fn synthetic() -> FrozenStack {
+        let old_base = 0x7000_0000usize;
+        let len = 4096;
+        let mut s = FrozenStack {
+            bytes: vec![0; len],
+            old_base,
+            rsp: old_base + 0x100,
+            rbp: old_base + 0x120,
+            registered: vec![0x400, 0x500],
+        };
+        // Frame chain: 0x120 -> 0x200 -> 0x300 -> 0 (outermost).
+        s.write(old_base + 0x120, old_base + 0x200);
+        s.write(old_base + 0x200, old_base + 0x300);
+        s.write(old_base + 0x300, 0);
+        // Registered pointer #1 points at a local at 0x128.
+        s.write(old_base + 0x400, old_base + 0x128);
+        // Registered pointer #2 points outside the stack (heap): untouched.
+        s.write(old_base + 0x500, 0x1234_5678);
+        // A local "x" the pointer refers to.
+        s.write(old_base + 0x128, 42);
+        s
+    }
+
+    #[test]
+    fn relocation_fixes_chain_and_registered() {
+        let mut s = synthetic();
+        let new_base = 0x9000_0000usize;
+        let rep = s.relocate(new_base);
+        assert_eq!(rep.frames_fixed, 2, "two in-range chain cells");
+        assert_eq!(rep.registered_fixed, 1);
+        assert_eq!(rep.registered_skipped, 1);
+        assert_eq!(s.rsp, new_base + 0x100);
+        assert_eq!(s.rbp, new_base + 0x120);
+        // Chain re-targets the new range.
+        assert_eq!(s.read(new_base + 0x120), new_base + 0x200);
+        assert_eq!(s.read(new_base + 0x200), new_base + 0x300);
+        assert_eq!(s.read(new_base + 0x300), 0);
+        // Registered stack pointer re-targets; heap pointer untouched.
+        assert_eq!(s.read(new_base + 0x400), new_base + 0x128);
+        assert_eq!(s.read(new_base + 0x500), 0x1234_5678);
+        // The pointee value is still reachable through the fixed pointer.
+        let ptr = s.read(new_base + 0x400);
+        assert_eq!(s.read(ptr), 42);
+    }
+
+    #[test]
+    fn unregistered_pointer_breaks_exactly_like_fig2() {
+        // The paper's Fig. 2: a pointer NOT registered keeps its old-range
+        // value after relocation — dereferencing it on the destination is
+        // the bug the iso-address scheme eliminates.
+        let mut s = synthetic();
+        let secret_cell = 0x600usize;
+        let old_target = s.old_base + 0x128;
+        s.write(s.old_base + secret_cell, old_target); // never registered
+        let new_base = 0x9000_0000usize;
+        s.relocate(new_base);
+        let dangling = s.read(new_base + secret_cell);
+        assert_eq!(dangling, old_target, "still points at the OLD range");
+        assert!(dangling < new_base, "a dereference would fault on a real node");
+    }
+
+    #[test]
+    fn identity_relocation_is_a_noop() {
+        let mut s = synthetic();
+        let before = s.bytes.clone();
+        let rep = s.relocate(s.old_base);
+        assert_eq!(s.bytes, before, "delta 0 changes nothing");
+        assert_eq!(rep.frames_fixed, 2, "but the walk still happened (the cost)");
+    }
+
+    #[test]
+    fn relocation_cost_scales_with_registered_count() {
+        // The fix-up work is O(frames + registered) — the scaling the A5
+        // ablation measures.
+        let mut s = synthetic();
+        s.registered = (0..64).map(|i| 0x800 + i * 8).collect();
+        for i in 0..64 {
+            let tgt = s.old_base + 0x100 + i;
+            s.write(s.old_base + 0x800 + i * 8, tgt);
+        }
+        let rep = s.relocate(0xA000_0000);
+        assert_eq!(rep.registered_fixed, 64);
+    }
+}

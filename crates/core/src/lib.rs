@@ -1,0 +1,69 @@
+//! # pm2 — transparent iso-address thread migration
+//!
+//! A from-scratch Rust reproduction of the runtime described in
+//! *“An Efficient and Transparent Thread Migration Scheme in the PM2
+//! Runtime System”* (Antoniu, Bougé, Namyst — IPPS/SPDP ’99).
+//!
+//! The system guarantees that a migrated thread — its stack, descriptor and
+//! every block it allocated with [`pm2_isomalloc`](api::pm2_isomalloc) —
+//! reappears at **exactly the same virtual addresses** on the destination
+//! node, so pointers (user pointers, compiler-generated pointers, allocator
+//! metadata) remain valid with *no post-migration processing at all*.
+//!
+//! ```no_run
+//! use pm2::{Machine, Pm2Config};
+//! use pm2::api::{pm2_isomalloc, pm2_migrate, pm2_self};
+//!
+//! let mut machine = Machine::launch(Pm2Config::new(2)).unwrap();
+//! machine.run_on(0, || {
+//!     let p = pm2_isomalloc(1024).unwrap();
+//!     unsafe { (p as *mut u64).write(42) };
+//!     pm2_migrate(1).unwrap();                     // hop to node 1…
+//!     assert_eq!(unsafe { (p as *const u64).read() }, 42); // …pointer intact
+//!     assert_eq!(pm2_self(), 1);
+//! }).unwrap();
+//! machine.shutdown();
+//! ```
+//!
+//! ## Crate layout
+//!
+//! * [`machine`] / [`node`] — the simulated cluster: one scheduler + slot
+//!   bitmap + Madeleine endpoint per node;
+//! * [`api`] — the paper's programming interface (§3.4) for code running
+//!   inside Marcel threads;
+//! * [`negotiation`] — the global slot negotiation of §4.4;
+//! * `migration` — pack/ship/unpack (§2, with the §6 optimizations);
+//! * [`iso`] — typed containers over `pm2_isomalloc` (Fig. 7's list);
+//! * [`loadbal`] — an external load balancer driving preemptive migration;
+//! * [`nodeheap`] — the non-migrating `malloc` baseline (Fig. 4/9);
+//! * [`legacy`] — the early-PM2 registered-pointer relocation baseline;
+//! * [`audit`] — machine-checked exclusive-ownership invariant.
+
+pub mod api;
+pub mod audit;
+pub mod config;
+pub mod error;
+pub mod iso;
+pub mod legacy;
+pub mod loadbal;
+pub mod machine;
+mod migration;
+pub mod negotiation;
+pub mod node;
+pub mod nodeheap;
+pub mod output;
+pub mod proto;
+pub mod registry;
+
+pub use config::{MachineMode, MigrationScheme, Pm2Config};
+pub use error::{Pm2Error, Result};
+pub use machine::{Machine, Pm2Thread};
+pub use registry::ThreadExit;
+
+#[cfg(test)]
+mod tests;
+
+// Re-export the substrate types an embedder is likely to need.
+pub use isoaddr::{AreaConfig, Distribution, MapStrategy};
+pub use isomalloc::FitPolicy;
+pub use madeleine::NetProfile;

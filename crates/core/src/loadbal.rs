@@ -1,0 +1,151 @@
+//! Generic load balancing via transparent preemptive migration.
+//!
+//! The paper's motivation for preemptive migration (§2): "a generic module
+//! implemented outside the running application could balance the load by
+//! migrating the application threads.  The threads are unaware of their
+//! being migrated and keep on running irrespective of their location."
+//!
+//! [`start_balancer`] spawns exactly such a module: a daemon thread (on
+//! node 0, excluded from migration itself) that periodically polls every
+//! node's load over the fabric and ships ready threads from overloaded
+//! nodes to underloaded ones with `MIGRATE_CMD`.  Application threads
+//! contain no migration code whatsoever.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use madeleine::message::PayloadReader;
+
+use crate::api::{self, send_to, wait_reply};
+use crate::error::Result;
+use crate::machine::Machine;
+use crate::proto::{encode_migrate_cmd, tag};
+
+/// Balancer tuning.
+#[derive(Debug, Clone)]
+pub struct BalancerConfig {
+    /// Poll period.
+    pub period: Duration,
+    /// A node is overloaded when its load exceeds the mean by more than
+    /// this many threads.
+    pub threshold: usize,
+    /// Maximum migrations ordered per round.
+    pub max_moves_per_round: usize,
+}
+
+impl Default for BalancerConfig {
+    fn default() -> Self {
+        BalancerConfig {
+            period: Duration::from_millis(2),
+            threshold: 1,
+            max_moves_per_round: 8,
+        }
+    }
+}
+
+/// Handle to stop the balancer daemon.
+pub struct BalancerHandle {
+    stop: Arc<AtomicBool>,
+    moves: Arc<AtomicU64>,
+    thread: crate::machine::Pm2Thread,
+}
+
+impl BalancerHandle {
+    /// Ask the daemon to exit and wait for it.
+    pub fn stop(self, machine: &Machine) {
+        self.stop.store(true, Ordering::SeqCst);
+        machine.join(self.thread);
+    }
+
+    /// Total migrations the balancer has ordered so far.
+    pub fn moves(&self) -> u64 {
+        self.moves.load(Ordering::SeqCst)
+    }
+}
+
+/// Start the balancer daemon on node 0.
+pub fn start_balancer(machine: &Machine, cfg: BalancerConfig) -> Result<BalancerHandle> {
+    let stop = Arc::new(AtomicBool::new(false));
+    let moves = Arc::new(AtomicU64::new(0));
+    let stop2 = Arc::clone(&stop);
+    let moves2 = Arc::clone(&moves);
+    let thread = machine.spawn_on(0, move || daemon(cfg, stop2, moves2))?;
+    Ok(BalancerHandle { stop, moves, thread })
+}
+
+fn daemon(cfg: BalancerConfig, stop: Arc<AtomicBool>, moves: Arc<AtomicU64>) {
+    // The balancer itself must not be bounced around by… itself.
+    api::pm2_set_migratable(false);
+    let p = api::pm2_nodes();
+    while !stop.load(Ordering::SeqCst) {
+        let round_started = Instant::now();
+        if let Err(e) = balance_round(p, &cfg, &moves) {
+            // A shutting-down machine can drop replies; bail out quietly.
+            let _ = e;
+            break;
+        }
+        // Sleep cooperatively until the next round.
+        while round_started.elapsed() < cfg.period {
+            if stop.load(Ordering::SeqCst) {
+                return;
+            }
+            marcel::yield_now();
+        }
+    }
+}
+
+/// One load snapshot of a node.
+struct Load {
+    node: usize,
+    resident: usize,
+    migratable: Vec<u64>,
+}
+
+fn balance_round(p: usize, cfg: &BalancerConfig, moves: &AtomicU64) -> Result<()> {
+    // Gather loads (the daemon itself counts towards node 0's load; the
+    // threshold absorbs it).
+    for peer in 0..p {
+        send_to(peer, tag::LOAD_REQ, Vec::new())?;
+    }
+    let mut loads: Vec<Load> = Vec::with_capacity(p);
+    for _ in 0..p {
+        let m = wait_reply(tag::LOAD_RESP, None)?;
+        let mut r = PayloadReader::new(&m.payload);
+        let resident = r.u32().unwrap_or(0) as usize;
+        let n = r.u32().unwrap_or(0) as usize;
+        let migratable = (0..n).filter_map(|_| r.u64()).collect();
+        loads.push(Load { node: m.src, resident, migratable });
+    }
+    let total: usize = loads.iter().map(|l| l.resident).sum();
+    let mean = total / p;
+
+    // Ship from the most loaded to the least loaded until balanced.
+    let mut budget = cfg.max_moves_per_round;
+    loop {
+        if budget == 0 {
+            break;
+        }
+        loads.sort_by_key(|l| l.resident);
+        let (min_idx, max_idx) = (0, loads.len() - 1);
+        let gap_over = loads[max_idx].resident.saturating_sub(mean);
+        let gap = loads[max_idx].resident.saturating_sub(loads[min_idx].resident);
+        if gap_over <= cfg.threshold || gap < 2 {
+            break;
+        }
+        let dest = loads[min_idx].node;
+        let Some(tid) = loads[max_idx].migratable.pop() else { break };
+        let src_node = loads[max_idx].node;
+        send_to(src_node, tag::MIGRATE_CMD, encode_migrate_cmd(tid, dest))?;
+        let ack = wait_reply(tag::MIGRATE_CMD_ACK, Some(src_node))?;
+        let mut r = PayloadReader::new(&ack.payload);
+        let _tid = r.u64();
+        if r.u32() == Some(1) {
+            moves.fetch_add(1, Ordering::SeqCst);
+            loads[max_idx].resident -= 1;
+            loads[min_idx].resident += 1;
+        }
+        budget -= 1;
+    }
+    Ok(())
+}

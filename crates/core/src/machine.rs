@@ -1,0 +1,309 @@
+//! The machine: a simulated PM2 cluster inside one process.
+//!
+//! [`Machine::launch`] reserves the iso-address area, wires the Madeleine
+//! fabric (one endpoint per node plus a host control endpoint), and starts
+//! the node drivers — one OS thread per node, or a single OS thread driving
+//! every node round-robin in deterministic mode.  The host talks to nodes
+//! exclusively through control messages, like any other fabric participant.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use isoaddr::{IsoArea, SlotStatsSnapshot};
+use madeleine::message::PayloadWriter;
+use madeleine::{Endpoint, Fabric};
+
+use crate::audit::{decode_node_report, AuditReport};
+use crate::config::{MachineMode, Pm2Config};
+use crate::error::{Pm2Error, Result};
+use crate::node::{NodeCtx, NodeStats, NodeStatsSnapshot};
+use crate::output::OutputSink;
+use crate::proto::{self, tag};
+use crate::registry::{Registry, ServiceTable, SpawnTable, ThreadExit};
+
+/// Host-assigned thread ids live in a separate namespace from node-assigned
+/// ones (`node << 40 | counter`).
+const HOST_TID_BASE: u64 = 1 << 63;
+
+/// Handle on a spawned thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Pm2Thread {
+    /// Machine-wide unique thread id.
+    pub tid: u64,
+}
+
+/// A running PM2 machine.
+pub struct Machine {
+    cfg: Pm2Config,
+    area: Arc<IsoArea>,
+    host_ep: Endpoint,
+    out: Arc<OutputSink>,
+    registry: Arc<Registry>,
+    spawn_table: Arc<SpawnTable>,
+    services: Arc<ServiceTable>,
+    slot_stats: Vec<Arc<isoaddr::SlotStats>>,
+    node_stats: Vec<Arc<NodeStats>>,
+    drivers: Vec<std::thread::JoinHandle<()>>,
+    next_tid: AtomicU64,
+    stopped: bool,
+    /// Control messages received while waiting for something else.
+    stash: Vec<madeleine::Message>,
+}
+
+impl Machine {
+    /// Launch a machine.
+    pub fn launch(cfg: Pm2Config) -> Result<Machine> {
+        assert!(cfg.nodes >= 1, "a machine needs at least one node");
+        let area = Arc::new(IsoArea::with_strategy(cfg.area, cfg.map_strategy)?);
+        let mut eps = Fabric::new(cfg.nodes + 1, cfg.net);
+        let host_ep = eps.pop().expect("host endpoint");
+        let out = OutputSink::new(cfg.echo_output);
+        let registry = Registry::new_shared();
+        let spawn_table = SpawnTable::new_shared();
+        let services = ServiceTable::new_shared();
+
+        let mut ctxs: Vec<NodeCtx> = eps
+            .into_iter()
+            .map(|ep| {
+                NodeCtx::new(
+                    &cfg,
+                    ep.node(),
+                    Arc::clone(&area),
+                    ep,
+                    Arc::clone(&out),
+                    Arc::clone(&registry),
+                    Arc::clone(&spawn_table),
+                    Arc::clone(&services),
+                )
+            })
+            .collect();
+        let slot_stats = ctxs.iter().map(|c| c.mgr.stats()).collect();
+        let node_stats = ctxs.iter().map(|c| Arc::clone(&c.stats)).collect();
+
+        let drivers = match cfg.mode {
+            MachineMode::Threaded => ctxs
+                .into_iter()
+                .map(|mut ctx| {
+                    std::thread::Builder::new()
+                        .name(format!("pm2-node{}", ctx.node))
+                        .spawn(move || drive_one(&mut ctx))
+                        .expect("spawning node thread")
+                })
+                .collect(),
+            MachineMode::Deterministic => vec![std::thread::Builder::new()
+                .name("pm2-nodes".into())
+                .spawn(move || drive_all(&mut ctxs))
+                .expect("spawning driver thread")],
+        };
+
+        Ok(Machine {
+            cfg,
+            area,
+            host_ep,
+            out,
+            registry,
+            spawn_table,
+            services,
+            slot_stats,
+            node_stats,
+            drivers,
+            next_tid: AtomicU64::new(1),
+            stopped: false,
+            stash: Vec::new(),
+        })
+    }
+
+    /// The machine's configuration.
+    pub fn config(&self) -> &Pm2Config {
+        &self.cfg
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.cfg.nodes
+    }
+
+    /// The iso-address area (shared by all nodes).
+    pub fn area(&self) -> &Arc<IsoArea> {
+        &self.area
+    }
+
+    /// Register an LRPC service (do this before any `rpc_spawn` names it).
+    pub fn register_service<F>(&self, id: u32, f: F)
+    where
+        F: Fn(Vec<u8>) + Send + Sync + 'static,
+    {
+        self.services.register(id, Arc::new(f));
+    }
+
+    /// Spawn `f` as a Marcel thread on `node`.
+    pub fn spawn_on<F>(&self, node: usize, f: F) -> Result<Pm2Thread>
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        if node >= self.cfg.nodes {
+            return Err(Pm2Error::NoSuchNode(node));
+        }
+        let tid = HOST_TID_BASE | self.next_tid.fetch_add(1, Ordering::Relaxed);
+        let key = self.spawn_table.park(Box::new(f));
+        let mut w = PayloadWriter::with_capacity(16);
+        w.u64(key).u64(tid);
+        self.host_ep.send(node, tag::SPAWN_KEY, w.finish())?;
+        Ok(Pm2Thread { tid })
+    }
+
+    /// Spawn a registered service on `node` from the host.
+    pub fn rpc_spawn(&self, node: usize, service: u32, args: &[u8]) -> Result<()> {
+        if node >= self.cfg.nodes {
+            return Err(Pm2Error::NoSuchNode(node));
+        }
+        self.host_ep.send(node, tag::RPC_SPAWN, proto::encode_rpc_spawn(service, args))?;
+        Ok(())
+    }
+
+    /// Block the host until a thread completes.  Panics after five minutes
+    /// (a wedged machine in a test/bench should fail loudly).
+    pub fn join(&self, t: Pm2Thread) -> ThreadExit {
+        self.registry
+            .wait(t.tid, Duration::from_secs(300))
+            .unwrap_or_else(|| panic!("thread {:#x} never completed", t.tid))
+    }
+
+    /// Run `f` on `node` and return its value to the host.
+    pub fn run_on<R, F>(&self, node: usize, f: F) -> Result<R>
+    where
+        R: Send + 'static,
+        F: FnOnce() -> R + Send + 'static,
+    {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let t = self.spawn_on(node, move || {
+            let _ = tx.send(f());
+        })?;
+        let exit = self.join(t);
+        if exit.panicked {
+            return Err(Pm2Error::Spawn("thread panicked".into()));
+        }
+        rx.recv().map_err(|_| Pm2Error::Spawn("thread produced no value".into()))
+    }
+
+    /// Captured `pm2_printf` lines, in order.
+    pub fn output_lines(&self) -> Vec<String> {
+        self.out.lines()
+    }
+
+    /// Clear captured output.
+    pub fn clear_output(&self) {
+        self.out.clear()
+    }
+
+    /// Completion registry (for custom host-side waiting).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Slot-layer statistics of `node`.
+    pub fn slot_stats(&self, node: usize) -> SlotStatsSnapshot {
+        self.slot_stats[node].snapshot()
+    }
+
+    /// Runtime statistics of `node`.
+    pub fn node_stats(&self, node: usize) -> NodeStatsSnapshot {
+        self.node_stats[node].snapshot()
+    }
+
+    fn recv_control(&mut self, want: u16, deadline: Instant) -> Option<madeleine::Message> {
+        if let Some(i) = self.stash.iter().position(|m| m.tag == want) {
+            return Some(self.stash.remove(i));
+        }
+        while Instant::now() < deadline {
+            match self.host_ep.recv_timeout(Duration::from_millis(50)) {
+                Some(m) if m.tag == want => return Some(m),
+                Some(m) => self.stash.push(m),
+                None => {}
+            }
+        }
+        None
+    }
+
+    /// Run the global ownership audit (call at quiescence only).
+    pub fn audit(&mut self) -> Result<AuditReport> {
+        for node in 0..self.cfg.nodes {
+            self.host_ep.send(node, tag::AUDIT_REQ, Vec::new())?;
+        }
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let mut nodes = Vec::with_capacity(self.cfg.nodes);
+        for _ in 0..self.cfg.nodes {
+            let m = self
+                .recv_control(tag::AUDIT_RESP, deadline)
+                .ok_or_else(|| Pm2Error::Net("audit timed out".into()))?;
+            nodes.push(
+                decode_node_report(&m.payload)
+                    .ok_or_else(|| Pm2Error::Net("malformed audit response".into()))?,
+            );
+        }
+        nodes.sort_by_key(|n| n.node);
+        Ok(AuditReport { nodes, n_slots: self.area.n_slots() })
+    }
+
+    /// Stop the machine: ask every node to drain and stop, await the acks,
+    /// and join the driver threads.  Called automatically on drop.
+    pub fn shutdown(&mut self) {
+        if self.stopped {
+            return;
+        }
+        self.stopped = true;
+        for node in 0..self.cfg.nodes {
+            let _ = self.host_ep.send(node, tag::SHUTDOWN, Vec::new());
+        }
+        let deadline = Instant::now() + Duration::from_secs(60);
+        for _ in 0..self.cfg.nodes {
+            if self.recv_control(tag::SHUTDOWN_ACK, deadline).is_none() {
+                eprintln!("pm2: warning: node shutdown ack missing");
+                break;
+            }
+        }
+        for h in self.drivers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Machine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Threaded-mode driver: one OS thread per node.
+fn drive_one(ctx: &mut NodeCtx) {
+    ctx.activate();
+    loop {
+        if ctx.step() {
+            continue;
+        }
+        ctx.maybe_ack_shutdown();
+        if ctx.finished() {
+            break;
+        }
+        ctx.idle_wait();
+    }
+}
+
+/// Deterministic-mode driver: all nodes round-robin on one OS thread.
+fn drive_all(ctxs: &mut [NodeCtx]) {
+    loop {
+        let mut any = false;
+        for ctx in ctxs.iter_mut() {
+            any |= ctx.step();
+            ctx.maybe_ack_shutdown();
+        }
+        if ctxs.iter().all(|c| c.finished()) {
+            break;
+        }
+        if !any {
+            // Nothing runnable anywhere: wait briefly for host messages.
+            std::thread::sleep(Duration::from_micros(50));
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! The migration engine (paper §2, three steps):
+//!
+//! 1. **Freeze & pack** — the thread is stopped at a scheduling point (its
+//!    context is saved in its descriptor, which lives in its stack slot);
+//!    we serialize its stack slot (metadata + live stack only) and each of
+//!    its heap slots (metadata + busy blocks only, the §6 optimization),
+//!    then unmap everything on the source node.  No bitmap changes: the
+//!    slots still belong to the thread.
+//! 2. **Send** — the buffer crosses the Madeleine fabric.
+//! 3. **Adopt & unpack** — the destination maps the same slot ranges at the
+//!    same virtual addresses, copies the extents back, and enqueues the
+//!    thread.  Because every pointer in the thread's universe is an
+//!    iso-address, *nothing* is fixed up: "an iso-address copy is enough".
+
+use isoaddr::{NodeSlotManager, SlotProvider, SlotRange};
+use isomalloc::layout::SlotKind;
+use isomalloc::pack::{
+    pack_full, pack_heap_slot, pack_raw_extents, peek_header, unpack_into_mapped,
+};
+use marcel::{desc_addr, DescPtr};
+
+use crate::error::{Pm2Error, Result};
+
+/// Pack a frozen thread and unmap its slots on the source node.
+///
+/// # Safety
+/// `d` must be a frozen (not running) thread resident on `mgr`'s node; after
+/// this call, none of the thread's memory may be touched on this node.
+pub(crate) unsafe fn pack_thread(
+    d: DescPtr,
+    mgr: &mut NodeSlotManager,
+    pack_full_slots: bool,
+) -> Result<Vec<u8>> {
+    let desc = &*d;
+    let slot_size = mgr.slot_size();
+    let area_base = mgr.area_base();
+    let mut buf = Vec::with_capacity(4096);
+    // Stack slot first so the receiver can locate the descriptor early.
+    if pack_full_slots {
+        pack_full(
+            desc.stack_base,
+            SlotKind::Stack as u32,
+            desc.stack_slots,
+            slot_size,
+            &mut buf,
+        );
+    } else {
+        pack_raw_extents(
+            desc.stack_base,
+            SlotKind::Stack as u32,
+            desc.stack_slots,
+            &desc.stack_extents(),
+            &mut buf,
+        );
+    }
+    let heap_slots = isomalloc::heap::heap_slots(std::ptr::addr_of!(desc.heap));
+    for &(base, n) in &heap_slots {
+        if pack_full_slots {
+            pack_full(base, SlotKind::Heap as u32, n, slot_size, &mut buf);
+        } else {
+            pack_heap_slot(base, slot_size, &mut buf)?;
+        }
+    }
+    // Unmap everything; ownership stays with the thread (no bitmap change).
+    let stack_first = (desc.stack_base - area_base) / slot_size;
+    mgr.surrender(SlotRange::new(stack_first, desc.stack_slots))?;
+    for &(base, n) in &heap_slots {
+        let first = (base - area_base) / slot_size;
+        mgr.surrender(SlotRange::new(first, n))?;
+    }
+    Ok(buf)
+}
+
+/// Map and unpack an arriving thread; returns its descriptor, which sits at
+/// the same virtual address it had on the source node.
+///
+/// # Safety
+/// `buf` must be a buffer produced by [`pack_thread`]; the slot ranges it
+/// names must be unmapped on this node (guaranteed by the iso-address
+/// discipline).
+pub(crate) unsafe fn unpack_thread(buf: &[u8], mgr: &mut NodeSlotManager) -> Result<DescPtr> {
+    let slot_size = mgr.slot_size();
+    let area_base = mgr.area_base();
+    let mut off = 0;
+    let mut desc: DescPtr = std::ptr::null_mut();
+    while off < buf.len() {
+        let info = peek_header(&buf[off..])?;
+        let first = (info.base - area_base) / slot_size;
+        mgr.adopt(SlotRange::new(first, info.n_slots))?;
+        unpack_into_mapped(&buf[off..], slot_size)?;
+        if info.kind == SlotKind::Stack as u32 {
+            desc = desc_addr(info.base) as DescPtr;
+        }
+        off += info.record_len;
+    }
+    if desc.is_null() {
+        return Err(Pm2Error::Net("migration buffer contained no stack slot".into()));
+    }
+    Ok(desc)
+}

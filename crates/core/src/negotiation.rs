@@ -1,0 +1,170 @@
+//! The global negotiation phase (paper §4.4).
+//!
+//! Runs on the *requesting thread* (a Marcel thread); while it waits for
+//! replies it yields, so its node keeps pumping messages and running other
+//! threads.  The steps are exactly the paper's:
+//!
+//! (a) enter a system-wide critical section — a FIFO lock service on node 0;
+//!     every node freezes its bitmap when it answers the gather (and
+//!     unfreezes on `NEG_DONE`), so "no other node is allowed to modify its
+//!     slot bitmap within this section" while code and block-level
+//!     allocation keep running;
+//! (b) gather the local bitmaps of all nodes;
+//! (c) compute a global OR;
+//! (d) first-fit for `n` contiguous available slots and *buy* the non-local
+//!     ones (mark 1 in the requester's bitmap, 0 in the owners');
+//! (e) the per-seller `NEG_BUY` messages are the updated-bitmap deltas;
+//! (f) exit the critical section.
+//!
+//! The cost is dominated by gathering `p − 1` bitmaps — which is what makes
+//! the measured cost affine in the node count, the paper's "another 165 µs
+//! per extra node".
+
+use std::time::Instant;
+
+use isoaddr::{SlotBitmap, SlotRange};
+
+use crate::api::{send_to, wait_reply};
+use crate::error::{Pm2Error, Result};
+use crate::node::with_ctx;
+use crate::proto::{encode_ranges, tag};
+
+/// Acquire ownership of `requested` contiguous slots into the calling
+/// node's bitmap via a global negotiation.  On success the local bitmap is
+/// guaranteed to contain a run of `requested` set bits.
+pub(crate) fn negotiate_acquire(requested: usize) -> Result<()> {
+    // One negotiation at a time per node: later requesters wait their turn
+    // (the global lock would serialize them anyway).
+    loop {
+        let acquired = with_ctx(|c| {
+            if c.negotiating {
+                false
+            } else {
+                c.negotiating = true;
+                true
+            }
+        });
+        if acquired {
+            break;
+        }
+        marcel::yield_now();
+        // A previous local negotiation may have already bought what we need;
+        // the caller re-checks its bitmap before calling us again.
+    }
+    let t0 = Instant::now();
+    let result = run_protocol(requested);
+    let dt = t0.elapsed().as_nanos() as u64;
+    with_ctx(|c| {
+        c.negotiating = false;
+        c.stats.negotiations.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        c.stats.negotiation_ns.fetch_add(dt, std::sync::atomic::Ordering::Relaxed);
+    });
+    result
+}
+
+fn run_protocol(requested: usize) -> Result<()> {
+    let (me, p) = with_ctx(|c| (c.node, c.n_nodes));
+
+    // (a) system-wide critical section.
+    send_to(0, tag::NEG_LOCK_REQ, Vec::new())?;
+    wait_reply(tag::NEG_LOCK_GRANT, Some(0))?;
+    with_ctx(|c| c.frozen = true);
+
+    // (b) gather all bitmaps.
+    for peer in 0..p {
+        if peer != me {
+            send_to(peer, tag::NEG_BITMAP_REQ, Vec::new())?;
+        }
+    }
+    let mut bitmaps: Vec<Option<SlotBitmap>> = (0..p).map(|_| None).collect();
+    bitmaps[me] = Some(with_ctx(|c| c.mgr.bitmap().clone()));
+    for _ in 0..p.saturating_sub(1) {
+        let m = wait_reply(tag::NEG_BITMAP_RESP, None)?;
+        let bm = SlotBitmap::from_bytes(&m.payload)
+            .ok_or_else(|| Pm2Error::Net("malformed bitmap response".into()))?;
+        bitmaps[m.src] = Some(bm);
+    }
+
+    // (c) global OR.
+    let mut global = bitmaps[me].clone().expect("own bitmap present");
+    for (i, bm) in bitmaps.iter().enumerate() {
+        if i != me {
+            global.or_with(bm.as_ref().expect("gathered bitmap"));
+        }
+    }
+
+    // (d) first-fit in the union.
+    let outcome = match global.find_first_fit(requested, 0) {
+        None => Err(Pm2Error::OutOfSlots { requested }),
+        Some(first) => {
+            let range = SlotRange::new(first, requested);
+            // Group the range into per-owner sub-ranges and buy the
+            // non-local ones.
+            let mut sellers: Vec<(usize, Vec<SlotRange>)> = Vec::new();
+            let mut run_owner: Option<usize> = None;
+            let mut run_start = range.first;
+            let owner_of = |slot: usize| -> usize {
+                (0..p)
+                    .find(|&i| bitmaps[i].as_ref().unwrap().get(slot))
+                    .expect("slot set in the OR must be set in some bitmap")
+            };
+            for slot in range.iter() {
+                let o = owner_of(slot);
+                match run_owner {
+                    Some(prev) if prev == o => {}
+                    Some(prev) => {
+                        push_run(&mut sellers, prev, SlotRange::new(run_start, slot - run_start));
+                        run_owner = Some(o);
+                        run_start = slot;
+                    }
+                    None => {
+                        run_owner = Some(o);
+                        run_start = slot;
+                    }
+                }
+            }
+            if let Some(o) = run_owner {
+                push_run(&mut sellers, o, SlotRange::new(run_start, range.end() - run_start));
+            }
+            let mut pending_acks = 0usize;
+            let mut bought: Vec<SlotRange> = Vec::new();
+            for (owner, ranges) in &sellers {
+                if *owner == me {
+                    continue;
+                }
+                send_to(*owner, tag::NEG_BUY, encode_ranges(ranges))?;
+                pending_acks += 1;
+                bought.extend_from_slice(ranges);
+            }
+            for _ in 0..pending_acks {
+                wait_reply(tag::NEG_BUY_ACK, None)?;
+            }
+            with_ctx(|c| {
+                for r in &bought {
+                    c.mgr.grant(*r);
+                }
+            });
+            Ok(())
+        }
+    };
+
+    // (e)+(f): end the critical section everywhere and release the lock.
+    with_ctx(|c| {
+        for peer in 0..p {
+            if peer != c.node {
+                let _ = c.ep.send(peer, tag::NEG_DONE, Vec::new());
+            }
+        }
+        c.frozen = false;
+    })    ;
+    send_to(0, tag::NEG_LOCK_RELEASE, Vec::new())?;
+    outcome
+}
+
+fn push_run(sellers: &mut Vec<(usize, Vec<SlotRange>)>, owner: usize, run: SlotRange) {
+    if let Some((_, rs)) = sellers.iter_mut().find(|(o, _)| *o == owner) {
+        rs.push(run);
+    } else {
+        sellers.push((owner, vec![run]));
+    }
+}

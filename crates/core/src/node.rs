@@ -1,0 +1,512 @@
+//! The per-node runtime: scheduler + message pump + protocol handlers.
+//!
+//! One `NodeCtx` is the reproduction of the paper's "single (heavy) process
+//! running at each node" (§2): it owns the node's slot bitmap, its thread
+//! scheduler, its private heap and its network endpoint.  One OS thread
+//! drives it (or, in deterministic mode, one OS thread drives all nodes
+//! round-robin); Marcel threads and the message pump therefore interleave
+//! but never run concurrently, which is exactly the concurrency model of a
+//! user-level thread runtime.
+//!
+//! While a Marcel thread runs, it reaches its node through an OS-thread-
+//! local pointer (see [`current`] / [`with_ctx`]); the same aliasing
+//! discipline as in `marcel::sched` applies — short raw-pointer accesses,
+//! nothing cached across yields.
+
+use std::cell::Cell;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use isoaddr::{IsoArea, NodeSlotManager};
+use madeleine::{Endpoint, Message};
+use marcel::{DescPtr, RunOutcome, Scheduler, ThreadState};
+
+use crate::config::{MigrationScheme, Pm2Config};
+use crate::migration;
+use crate::nodeheap::NodeHeap;
+use crate::output::OutputSink;
+use crate::proto::{self, tag};
+use crate::registry::{Registry, ServiceTable, SpawnTable, ThreadExit};
+
+thread_local! {
+    static CURRENT_NODE: Cell<*mut NodeCtx> = const { Cell::new(std::ptr::null_mut()) };
+}
+
+/// Live runtime counters for one node (shared with the host).
+#[derive(Debug, Default)]
+pub struct NodeStats {
+    /// Threads shipped away.
+    pub migrations_out: AtomicU64,
+    /// Threads received.
+    pub migrations_in: AtomicU64,
+    /// Total bytes of outgoing migration buffers.
+    pub migration_bytes_out: AtomicU64,
+    /// Global negotiations initiated by this node.
+    pub negotiations: AtomicU64,
+    /// Total nanoseconds spent in initiated negotiations.
+    pub negotiation_ns: AtomicU64,
+    /// Threads spawned here.
+    pub spawns: AtomicU64,
+}
+
+/// Plain snapshot of [`NodeStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeStatsSnapshot {
+    pub migrations_out: u64,
+    pub migrations_in: u64,
+    pub migration_bytes_out: u64,
+    pub negotiations: u64,
+    pub negotiation_ns: u64,
+    pub spawns: u64,
+}
+
+impl NodeStats {
+    /// Point-in-time copy.
+    pub fn snapshot(&self) -> NodeStatsSnapshot {
+        NodeStatsSnapshot {
+            migrations_out: self.migrations_out.load(Ordering::Relaxed),
+            migrations_in: self.migrations_in.load(Ordering::Relaxed),
+            migration_bytes_out: self.migration_bytes_out.load(Ordering::Relaxed),
+            negotiations: self.negotiations.load(Ordering::Relaxed),
+            negotiation_ns: self.negotiation_ns.load(Ordering::Relaxed),
+            spawns: self.spawns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The per-node runtime state.
+pub(crate) struct NodeCtx {
+    pub node: usize,
+    pub n_nodes: usize,
+    /// Fabric id of the host control endpoint.
+    pub host_id: usize,
+    pub sched: Scheduler,
+    pub mgr: NodeSlotManager,
+    pub ep: Endpoint,
+    pub out: Arc<OutputSink>,
+    pub registry: Arc<Registry>,
+    pub spawn_table: Arc<SpawnTable>,
+    pub services: Arc<ServiceTable>,
+    pub nodeheap: NodeHeap,
+    pub stats: Arc<NodeStats>,
+    /// Threads resident on this node, by tid.
+    pub threads: HashMap<u64, DescPtr>,
+    /// Replies parked for green threads blocked in a protocol exchange.
+    pub replies: VecDeque<Message>,
+    /// Bitmap frozen by an in-flight global negotiation (paper §4.4 (a)).
+    pub frozen: bool,
+    /// A local thread currently runs the negotiation protocol.
+    pub negotiating: bool,
+    /// Lock service state (meaningful on node 0 only).
+    pub lock_holder: Option<usize>,
+    pub lock_queue: VecDeque<usize>,
+    /// Threads that exited while the bitmap was frozen; released later.
+    pub zombies: Vec<DescPtr>,
+    pub shutdown: bool,
+    shutdown_acked: bool,
+    // Config knobs.
+    pub fit: isomalloc::FitPolicy,
+    pub trim: bool,
+    pub pack_full_slots: bool,
+    pub scheme: MigrationScheme,
+}
+
+// SAFETY: a NodeCtx is owned and driven by exactly one OS thread at a time.
+unsafe impl Send for NodeCtx {}
+
+/// Access the node hosting the calling Marcel thread.  Never hold the
+/// reference across a yield: re-enter `with_ctx` after every scheduling
+/// point (the thread may have migrated to another node meanwhile).
+#[inline(never)]
+pub(crate) fn with_ctx<R>(f: impl FnOnce(&mut NodeCtx) -> R) -> R {
+    let p = CURRENT_NODE.with(|c| c.get());
+    assert!(!p.is_null(), "pm2 API called outside a PM2 machine");
+    // SAFETY: single OS thread per node; the pump never runs while a Marcel
+    // thread runs, so this exclusive access cannot overlap another.
+    unsafe { f(&mut *p) }
+}
+
+impl NodeCtx {
+    pub(crate) fn new(
+        cfg: &Pm2Config,
+        node: usize,
+        area: Arc<IsoArea>,
+        ep: Endpoint,
+        out: Arc<OutputSink>,
+        registry: Arc<Registry>,
+        spawn_table: Arc<SpawnTable>,
+        services: Arc<ServiceTable>,
+    ) -> Self {
+        NodeCtx {
+            node,
+            n_nodes: cfg.nodes,
+            host_id: cfg.nodes,
+            sched: Scheduler::new(node),
+            mgr: NodeSlotManager::new(node, cfg.nodes, area, cfg.distribution, cfg.slot_cache),
+            ep,
+            out,
+            registry,
+            spawn_table,
+            services,
+            nodeheap: NodeHeap::default(),
+            stats: Arc::new(NodeStats::default()),
+            threads: HashMap::new(),
+            replies: VecDeque::new(),
+            frozen: false,
+            negotiating: false,
+            lock_holder: None,
+            lock_queue: VecDeque::new(),
+            zombies: Vec::new(),
+            shutdown: false,
+            shutdown_acked: false,
+            fit: cfg.fit,
+            trim: cfg.trim,
+            pack_full_slots: cfg.pack_full_slots,
+            scheme: cfg.scheme,
+        }
+    }
+
+    /// Bind this node to the calling OS thread (marcel + pm2 TLS).
+    pub(crate) fn activate(&mut self) {
+        self.sched.activate();
+        CURRENT_NODE.with(|c| c.set(self as *mut NodeCtx));
+    }
+
+    /// Drain and handle all deliverable messages.  Returns true if any were
+    /// handled.
+    pub(crate) fn pump(&mut self) -> bool {
+        let mut did = false;
+        while let Some(m) = self.ep.try_recv() {
+            self.handle(m);
+            did = true;
+        }
+        did
+    }
+
+    /// One scheduling step: pump, then run one thread quantum.  Returns true
+    /// if any work was done.
+    pub(crate) fn step(&mut self) -> bool {
+        let pumped = self.pump();
+        if !self.frozen && !self.zombies.is_empty() {
+            self.reap_zombies();
+        }
+        self.activate();
+        match self.sched.run_one() {
+            Some(outcome) => {
+                self.handle_outcome(outcome);
+                true
+            }
+            None => pumped,
+        }
+    }
+
+    /// Ready to stop?
+    pub(crate) fn done(&self) -> bool {
+        self.shutdown && self.sched.resident() == 0 && self.zombies.is_empty()
+    }
+
+    /// Drained *and* acknowledged: the driver may exit.
+    pub(crate) fn finished(&self) -> bool {
+        self.done() && self.shutdown_acked
+    }
+
+    /// Send the one-time shutdown acknowledgement once drained.
+    pub(crate) fn maybe_ack_shutdown(&mut self) {
+        if self.done() && !self.shutdown_acked {
+            self.shutdown_acked = true;
+            let _ = self.ep.send(self.host_id, tag::SHUTDOWN_ACK, Vec::new());
+        }
+    }
+
+    /// Wait for work when idle (threaded mode only): spin briefly — message
+    /// round trips in the negotiation and migration protocols arrive within
+    /// tens of µs, and a parked OS thread's futex wake-up costs more than
+    /// the whole exchange — then park on the endpoint.
+    pub(crate) fn idle_wait(&mut self) {
+        for _ in 0..40_000 {
+            if let Some(m) = self.ep.try_recv() {
+                self.handle(m);
+                return;
+            }
+            std::hint::spin_loop();
+        }
+        if let Some(m) = self.ep.recv_timeout(Duration::from_micros(200)) {
+            self.handle(m);
+        }
+    }
+
+    // -- outcome handling ---------------------------------------------------
+
+    fn handle_outcome(&mut self, outcome: RunOutcome) {
+        match outcome {
+            // SAFETY: `d` came from this scheduler's run_one.
+            RunOutcome::Yielded(d) => unsafe { self.sched.requeue(d) },
+            RunOutcome::Exited(d) => self.finish_thread(d),
+            RunOutcome::MigrateSelf(d, dest) | RunOutcome::PreemptMigrate(d, dest) => {
+                self.send_thread(d, dest)
+            }
+            RunOutcome::Blocked(_) => {
+                // Waiting threads re-enter via Scheduler::unblock; the PM2
+                // layer itself only uses poll+yield waits.
+            }
+        }
+    }
+
+    fn finish_thread(&mut self, d: DescPtr) {
+        // SAFETY: the thread has exited; we are the only owner now.
+        unsafe {
+            let tid = (*d).tid;
+            let panicked = (*d).panicked == 1;
+            let home = (*d).home_node as usize;
+            self.sched.note_gone();
+            self.threads.remove(&tid);
+            self.nodeheap.release_thread(tid);
+            if self.frozen {
+                // Slot release would mutate the bitmap inside a system-wide
+                // critical section; defer ("no slot management" rule, §4.4).
+                self.zombies.push(d);
+            } else {
+                marcel::release_thread_resources(d, &mut self.mgr)
+                    .expect("releasing thread resources");
+            }
+            self.registry.complete(ThreadExit { tid, panicked, died_on: self.node });
+            if home != self.node {
+                let _ = self.ep.send(
+                    home,
+                    tag::THREAD_EXIT,
+                    proto::encode_thread_exit(tid, panicked, self.node),
+                );
+            }
+        }
+        self.maybe_ack_shutdown();
+    }
+
+    fn reap_zombies(&mut self) {
+        for d in std::mem::take(&mut self.zombies) {
+            // SAFETY: deferred exited threads; exclusively ours.
+            unsafe {
+                marcel::release_thread_resources(d, &mut self.mgr)
+                    .expect("releasing deferred thread resources");
+            }
+        }
+        self.maybe_ack_shutdown();
+    }
+
+    fn send_thread(&mut self, d: DescPtr, dest: usize) {
+        if dest == self.node || dest >= self.n_nodes {
+            // Self-migration is a no-op; bogus destinations are dropped
+            // back into the run queue rather than losing the thread.
+            unsafe {
+                (*d).migrate_dest = -1;
+                (*d).state = ThreadState::Ready as u32;
+            }
+            // SAFETY: `d` is resident here and was just marked Ready.
+            unsafe { self.sched.requeue(d) };
+            return;
+        }
+        // SAFETY: the thread is frozen (Migrating or tagged-Ready).
+        unsafe {
+            let tid = (*d).tid;
+            (*d).state = ThreadState::Migrating as u32;
+            self.sched.note_gone();
+            self.threads.remove(&tid);
+            // Fig. 4/9: node-local malloc data does NOT follow the thread.
+            self.nodeheap.poison_departed(tid);
+            let buf = migration::pack_thread(d, &mut self.mgr, self.pack_full_slots)
+                .expect("packing migrating thread");
+            self.stats.migrations_out.fetch_add(1, Ordering::Relaxed);
+            self.stats.migration_bytes_out.fetch_add(buf.len() as u64, Ordering::Relaxed);
+            self.ep.send(dest, tag::MIGRATION, buf).expect("sending migration");
+        }
+        self.maybe_ack_shutdown();
+    }
+
+    // -- message handling ---------------------------------------------------
+
+    fn handle(&mut self, m: Message) {
+        match m.tag {
+            tag::SPAWN_KEY => self.on_spawn_key(m),
+            tag::RPC_SPAWN => self.on_rpc_spawn(m),
+            tag::MIGRATION => self.on_migration(m),
+            tag::NEG_LOCK_REQ => self.on_lock_req(m.src),
+            tag::NEG_LOCK_RELEASE => self.on_lock_release(),
+            tag::NEG_BITMAP_REQ => self.on_bitmap_req(m.src),
+            tag::NEG_BUY => self.on_buy(m),
+            tag::NEG_DONE => {
+                self.frozen = false;
+            }
+            tag::NEG_LOCK_GRANT | tag::NEG_BITMAP_RESP | tag::NEG_BUY_ACK
+            | tag::MIGRATE_CMD_ACK | tag::LOAD_RESP => {
+                // Replies for a green thread blocked in a protocol exchange.
+                self.replies.push_back(m);
+            }
+            tag::SHUTDOWN => {
+                self.shutdown = true;
+                self.maybe_ack_shutdown();
+            }
+            tag::AUDIT_REQ => self.on_audit_req(m.src),
+            tag::LOAD_REQ => self.on_load_req(m.src),
+            tag::MIGRATE_CMD => self.on_migrate_cmd(m),
+            tag::THREAD_EXIT => {
+                if let Some((tid, panicked, node)) = proto::decode_thread_exit(&m.payload) {
+                    self.registry.complete(ThreadExit { tid, panicked, died_on: node });
+                }
+            }
+            t => panic!("node {}: unknown message tag {t}", self.node),
+        }
+    }
+
+    fn on_spawn_key(&mut self, m: Message) {
+        if self.frozen {
+            // Spawning needs a stack slot (bitmap mutation): defer by
+            // re-enqueuing to self until the negotiation ends.
+            let _ = self.ep.send(self.node, tag::SPAWN_KEY, m.payload);
+            return;
+        }
+        let mut r = madeleine::message::PayloadReader::new(&m.payload);
+        let key = r.u64().expect("spawn payload");
+        let tid = r.u64().expect("spawn payload tid");
+        let f = self.spawn_table.take(key).expect("spawn key not found");
+        self.spawn_boxed(tid, f);
+    }
+
+    fn on_rpc_spawn(&mut self, m: Message) {
+        if self.frozen {
+            let _ = self.ep.send(self.node, tag::RPC_SPAWN, m.payload);
+            return;
+        }
+        let (service, args) = proto::decode_rpc_spawn(&m.payload).expect("rpc payload");
+        let f = self
+            .services
+            .get(service)
+            .unwrap_or_else(|| panic!("service {service} not registered"));
+        let tid = self.sched.next_tid();
+        self.spawn_boxed(tid, Box::new(move || f(args)));
+    }
+
+    fn spawn_boxed(&mut self, tid: u64, f: Box<dyn FnOnce() + Send + 'static>) {
+        let d = self
+            .sched
+            .spawn_with_tid(&mut self.mgr, tid, f)
+            .expect("spawning thread");
+        self.finish_spawn(tid, d);
+    }
+
+    /// Spawn from a green thread already running on this node.
+    pub(crate) fn spawn_local<F>(&mut self, f: F) -> Result<u64, marcel::SpawnError>
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let tid = self.sched.next_tid();
+        let d = self.sched.spawn_with_tid(&mut self.mgr, tid, f)?;
+        self.finish_spawn(tid, d);
+        Ok(tid)
+    }
+
+    fn finish_spawn(&mut self, tid: u64, d: DescPtr) {
+        // Apply the machine's heap policy (the substrate defaults to
+        // first-fit + trim; the heap is still empty here).
+        // SAFETY: freshly spawned descriptor, not yet run.
+        unsafe {
+            isomalloc::heap::heap_init(std::ptr::addr_of_mut!((*d).heap), self.fit, self.trim);
+        }
+        self.threads.insert(tid, d);
+        self.stats.spawns.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn on_migration(&mut self, m: Message) {
+        // Adopting slots does not touch the bitmap, so arrivals are legal
+        // even inside a negotiation ("the bitmaps do not undergo any change
+        // on thread migration", §4.2).
+        // SAFETY: buffer from a peer's pack_thread.
+        unsafe {
+            let d = migration::unpack_thread(&m.payload, &mut self.mgr)
+                .expect("unpacking migration");
+            if self.scheme == MigrationScheme::RegisteredPointers {
+                // Ablation baseline: charge the early-PM2 post-migration
+                // fix-up walk (registered pointers + frame chain).
+                crate::legacy::charge_arrival_fixup(d);
+            }
+            self.sched.adopt_arrival(d);
+            self.threads.insert((*d).tid, d);
+        }
+        self.stats.migrations_in.fetch_add(1, Ordering::Relaxed);
+    }
+
+    // -- negotiation: server side --------------------------------------------
+
+    fn on_lock_req(&mut self, from: usize) {
+        assert_eq!(self.node, 0, "lock service lives on node 0");
+        if self.lock_holder.is_none() {
+            self.lock_holder = Some(from);
+            let _ = self.ep.send(from, tag::NEG_LOCK_GRANT, Vec::new());
+        } else {
+            self.lock_queue.push_back(from);
+        }
+    }
+
+    fn on_lock_release(&mut self) {
+        assert_eq!(self.node, 0, "lock service lives on node 0");
+        self.lock_holder = None;
+        if let Some(next) = self.lock_queue.pop_front() {
+            self.lock_holder = Some(next);
+            let _ = self.ep.send(next, tag::NEG_LOCK_GRANT, Vec::new());
+        }
+    }
+
+    fn on_bitmap_req(&mut self, from: usize) {
+        // Entering the system-wide critical section as a participant: the
+        // bitmap freezes until NEG_DONE (step (a) of §4.4).
+        self.frozen = true;
+        let _ = self.ep.send(from, tag::NEG_BITMAP_RESP, self.mgr.bitmap_bytes());
+    }
+
+    fn on_buy(&mut self, m: Message) {
+        let ranges = proto::decode_ranges(&m.payload).expect("buy payload");
+        for r in ranges {
+            self.mgr.sell(r).expect("selling slots");
+        }
+        let _ = self.ep.send(m.src, tag::NEG_BUY_ACK, Vec::new());
+    }
+
+    // -- audit / load / remote-migration services ----------------------------
+
+    fn on_audit_req(&mut self, from: usize) {
+        let report = crate::audit::encode_node_report(self);
+        let _ = self.ep.send(from, tag::AUDIT_RESP, report);
+    }
+
+    fn on_load_req(&mut self, from: usize) {
+        let mut w = madeleine::message::PayloadWriter::with_capacity(64);
+        w.u32(self.sched.resident() as u32);
+        // Migratable, currently-ready threads.
+        let migratable: Vec<u64> = self
+            .threads
+            .iter()
+            .filter(|(_, &d)| unsafe {
+                (*d).thread_state() == ThreadState::Ready
+                    && (*d).flags & marcel::thread::flags::MIGRATABLE != 0
+            })
+            .map(|(&tid, _)| tid)
+            .collect();
+        w.u32(migratable.len() as u32);
+        for t in &migratable {
+            w.u64(*t);
+        }
+        let _ = self.ep.send(from, tag::LOAD_RESP, w.finish());
+    }
+
+    fn on_migrate_cmd(&mut self, m: Message) {
+        let (tid, dest) = proto::decode_migrate_cmd(&m.payload).expect("migrate cmd");
+        let ok = match self.threads.get(&tid) {
+            // SAFETY: resident descriptor.
+            Some(&d) => unsafe { self.sched.request_migration(d, dest) },
+            None => false,
+        };
+        let mut w = madeleine::message::PayloadWriter::with_capacity(12);
+        w.u64(tid).u32(ok as u32);
+        let _ = self.ep.send(m.src, tag::MIGRATE_CMD_ACK, w.finish());
+    }
+}

@@ -1,0 +1,72 @@
+//! `pm2_printf`-style output capture.
+//!
+//! The paper's examples print through `pm2_printf`, which prefixes each line
+//! with the node it executed on (`[node0] value = 1`).  The sink both
+//! captures lines (so tests can assert on execution traces exactly like the
+//! paper's Fig. 8) and optionally echoes them to stdout.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Shared line sink.
+#[derive(Debug, Default)]
+pub struct OutputSink {
+    lines: Mutex<Vec<String>>,
+    echo: bool,
+}
+
+impl OutputSink {
+    /// Create a sink; `echo` also prints each line to stdout.
+    pub fn new(echo: bool) -> Arc<Self> {
+        Arc::new(OutputSink { lines: Mutex::new(Vec::new()), echo })
+    }
+
+    /// Record a line already prefixed with its node tag.
+    pub fn push(&self, line: String) {
+        if self.echo {
+            println!("{line}");
+        }
+        self.lines.lock().push(line);
+    }
+
+    /// Record `text` as printed by `node`.
+    pub fn printf(&self, node: usize, text: &str) {
+        self.push(format!("[node{node}] {text}"));
+    }
+
+    /// Snapshot of all captured lines.
+    pub fn lines(&self) -> Vec<String> {
+        self.lines.lock().clone()
+    }
+
+    /// Number of captured lines.
+    pub fn len(&self) -> usize {
+        self.lines.lock().len()
+    }
+
+    /// True when nothing was printed.
+    pub fn is_empty(&self) -> bool {
+        self.lines.lock().is_empty()
+    }
+
+    /// Drop all captured lines.
+    pub fn clear(&self) {
+        self.lines.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn captures_in_order_with_node_prefix() {
+        let sink = OutputSink::new(false);
+        sink.printf(0, "value = 1");
+        sink.printf(1, "value = 1");
+        assert_eq!(sink.lines(), vec!["[node0] value = 1", "[node1] value = 1"]);
+        assert_eq!(sink.len(), 2);
+        sink.clear();
+        assert!(sink.is_empty());
+    }
+}

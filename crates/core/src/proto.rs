@@ -1,0 +1,146 @@
+//! Wire protocol: message tags and payload codecs.
+//!
+//! Tag space of the PM2 runtime over the Madeleine fabric.  Payloads are
+//! little-endian framed with [`madeleine::message::PayloadWriter`].
+
+use isoaddr::SlotRange;
+use madeleine::message::{PayloadReader, PayloadWriter};
+
+/// Message tags.
+pub mod tag {
+    /// Host → node: spawn the closure stored under a spawn-table key.
+    pub const SPAWN_KEY: u16 = 1;
+    /// Any → node: spawn a registered service (LRPC-style remote spawn).
+    pub const RPC_SPAWN: u16 = 2;
+    /// Node → node: a packed migrating thread.
+    pub const MIGRATION: u16 = 3;
+    /// Any → node 0: request the system-wide negotiation lock.
+    pub const NEG_LOCK_REQ: u16 = 10;
+    /// Node 0 → requester: lock granted.
+    pub const NEG_LOCK_GRANT: u16 = 11;
+    /// Holder → node 0: lock released.
+    pub const NEG_LOCK_RELEASE: u16 = 12;
+    /// Initiator → all: send me your bitmap (freezes the replier's bitmap).
+    pub const NEG_BITMAP_REQ: u16 = 13;
+    /// Replier → initiator: my bitmap.
+    pub const NEG_BITMAP_RESP: u16 = 14;
+    /// Initiator → seller: transfer these slot ranges to me.
+    pub const NEG_BUY: u16 = 15;
+    /// Seller → initiator: done.
+    pub const NEG_BUY_ACK: u16 = 16;
+    /// Initiator → all: negotiation over; unfreeze your bitmap.
+    pub const NEG_DONE: u16 = 17;
+    /// Host → node: finish resident threads, then stop.
+    pub const SHUTDOWN: u16 = 20;
+    /// Node → host: stopped.
+    pub const SHUTDOWN_ACK: u16 = 21;
+    /// Host → node: report ownership for the global audit.
+    pub const AUDIT_REQ: u16 = 22;
+    /// Node → host: audit report.
+    pub const AUDIT_RESP: u16 = 23;
+    /// Any → node: report your load (resident thread count).
+    pub const LOAD_REQ: u16 = 24;
+    /// Node → requester: load report.
+    pub const LOAD_RESP: u16 = 25;
+    /// Any → node: preemptively migrate thread `tid` to node `dest`.
+    pub const MIGRATE_CMD: u16 = 26;
+    /// Node → requester: migrate command outcome (1 = accepted).
+    pub const MIGRATE_CMD_ACK: u16 = 27;
+    /// Node → home node: thread exited (for cross-node joins).
+    pub const THREAD_EXIT: u16 = 28;
+}
+
+/// Encode a list of slot ranges (NEG_BUY payload).
+pub fn encode_ranges(ranges: &[SlotRange]) -> Vec<u8> {
+    let mut w = PayloadWriter::with_capacity(4 + ranges.len() * 16);
+    w.u32(ranges.len() as u32);
+    for r in ranges {
+        w.u64(r.first as u64).u64(r.count as u64);
+    }
+    w.finish()
+}
+
+/// Decode a list of slot ranges.
+pub fn decode_ranges(buf: &[u8]) -> Option<Vec<SlotRange>> {
+    let mut r = PayloadReader::new(buf);
+    let n = r.u32()? as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let first = r.u64()? as usize;
+        let count = r.u64()? as usize;
+        out.push(SlotRange::new(first, count));
+    }
+    Some(out)
+}
+
+/// Encode a `MIGRATE_CMD` payload.
+pub fn encode_migrate_cmd(tid: u64, dest: usize) -> Vec<u8> {
+    let mut w = PayloadWriter::with_capacity(16);
+    w.u64(tid).u64(dest as u64);
+    w.finish()
+}
+
+/// Decode a `MIGRATE_CMD` payload.
+pub fn decode_migrate_cmd(buf: &[u8]) -> Option<(u64, usize)> {
+    let mut r = PayloadReader::new(buf);
+    Some((r.u64()?, r.u64()? as usize))
+}
+
+/// Encode an `RPC_SPAWN` payload.
+pub fn encode_rpc_spawn(service: u32, args: &[u8]) -> Vec<u8> {
+    let mut w = PayloadWriter::with_capacity(8 + args.len());
+    w.u32(service).lp_bytes(args);
+    w.finish()
+}
+
+/// Decode an `RPC_SPAWN` payload.
+pub fn decode_rpc_spawn(buf: &[u8]) -> Option<(u32, Vec<u8>)> {
+    let mut r = PayloadReader::new(buf);
+    let service = r.u32()?;
+    let args = r.lp_bytes()?.to_vec();
+    Some((service, args))
+}
+
+/// Encode a `THREAD_EXIT` payload.
+pub fn encode_thread_exit(tid: u64, panicked: bool, node: usize) -> Vec<u8> {
+    let mut w = PayloadWriter::with_capacity(24);
+    w.u64(tid).u32(panicked as u32).u32(node as u32);
+    w.finish()
+}
+
+/// Decode a `THREAD_EXIT` payload.
+pub fn decode_thread_exit(buf: &[u8]) -> Option<(u64, bool, usize)> {
+    let mut r = PayloadReader::new(buf);
+    Some((r.u64()?, r.u32()? != 0, r.u32()? as usize))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_roundtrip() {
+        let rs = vec![SlotRange::new(3, 4), SlotRange::new(100, 1)];
+        assert_eq!(decode_ranges(&encode_ranges(&rs)).unwrap(), rs);
+        assert_eq!(decode_ranges(&encode_ranges(&[])).unwrap(), vec![]);
+        assert!(decode_ranges(&[1, 0, 0]).is_none());
+    }
+
+    #[test]
+    fn migrate_cmd_roundtrip() {
+        let buf = encode_migrate_cmd(0xAB, 3);
+        assert_eq!(decode_migrate_cmd(&buf), Some((0xAB, 3)));
+    }
+
+    #[test]
+    fn rpc_spawn_roundtrip() {
+        let buf = encode_rpc_spawn(7, b"payload");
+        assert_eq!(decode_rpc_spawn(&buf), Some((7, b"payload".to_vec())));
+    }
+
+    #[test]
+    fn thread_exit_roundtrip() {
+        let buf = encode_thread_exit(42, true, 2);
+        assert_eq!(decode_thread_exit(&buf), Some((42, true, 2)));
+    }
+}

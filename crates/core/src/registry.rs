@@ -1,0 +1,184 @@
+//! Machine-wide registries: thread completions, host spawn payloads, and
+//! the LRPC service table.
+//!
+//! The completion registry is the simulation stand-in for PM2's thread-exit
+//! notification: on a real cluster, node-local exits are signalled to
+//! waiters via Madeleine messages (which we also send, for cross-node
+//! joins); the process-global table lets the *host* (the test or bench
+//! driver, which is not a node) block on a condition variable.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+/// Completion record of a finished thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadExit {
+    /// Thread id.
+    pub tid: u64,
+    /// Did the thread body panic?
+    pub panicked: bool,
+    /// Node the thread died on (≠ home node after migrations).
+    pub died_on: usize,
+}
+
+/// Machine-wide completion registry.
+#[derive(Default)]
+pub struct Registry {
+    done: Mutex<HashMap<u64, ThreadExit>>,
+    cv: Condvar,
+}
+
+impl Registry {
+    /// Fresh shared registry.
+    pub fn new_shared() -> Arc<Self> {
+        Arc::new(Registry::default())
+    }
+
+    /// Record a completion and wake waiters.
+    pub fn complete(&self, exit: ThreadExit) {
+        self.done.lock().insert(exit.tid, exit);
+        self.cv.notify_all();
+    }
+
+    /// Non-blocking completion query.
+    pub fn poll(&self, tid: u64) -> Option<ThreadExit> {
+        self.done.lock().get(&tid).copied()
+    }
+
+    /// Block the calling *host* thread until `tid` completes (never call
+    /// from a Marcel thread — those must poll + yield).
+    pub fn wait(&self, tid: u64, timeout: Duration) -> Option<ThreadExit> {
+        let deadline = Instant::now() + timeout;
+        let mut done = self.done.lock();
+        loop {
+            if let Some(e) = done.get(&tid) {
+                return Some(*e);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            self.cv.wait_for(&mut done, deadline - now);
+        }
+    }
+
+    /// Number of recorded completions.
+    pub fn completed_count(&self) -> usize {
+        self.done.lock().len()
+    }
+}
+
+/// Host → node spawn payloads (closures cannot travel through byte
+/// messages; the host parks them here and ships the key).
+///
+/// This is an explicitly documented in-process shortcut: on a real cluster
+/// the equivalent facility is the LRPC [`ServiceTable`] below, whose service
+/// code is replicated on every node by the SPMD model.
+#[derive(Default)]
+pub struct SpawnTable {
+    next: Mutex<u64>,
+    table: Mutex<HashMap<u64, Box<dyn FnOnce() + Send + 'static>>>,
+}
+
+impl SpawnTable {
+    /// Fresh shared table.
+    pub fn new_shared() -> Arc<Self> {
+        Arc::new(SpawnTable::default())
+    }
+
+    /// Park a closure, returning its key.
+    pub fn park(&self, f: Box<dyn FnOnce() + Send + 'static>) -> u64 {
+        let mut next = self.next.lock();
+        *next += 1;
+        let key = *next;
+        self.table.lock().insert(key, f);
+        key
+    }
+
+    /// Take a parked closure.
+    pub fn take(&self, key: u64) -> Option<Box<dyn FnOnce() + Send + 'static>> {
+        self.table.lock().remove(&key)
+    }
+}
+
+/// LRPC service table: named thread bodies, registered before launch and
+/// conceptually replicated on every node (SPMD).  A remote spawn ships only
+/// the service id and an argument byte string — exactly how PM2's LRPC
+/// starts handler threads on remote nodes.
+#[derive(Default)]
+pub struct ServiceTable {
+    table: Mutex<HashMap<u32, Arc<dyn Fn(Vec<u8>) + Send + Sync + 'static>>>,
+}
+
+impl ServiceTable {
+    /// Fresh shared table.
+    pub fn new_shared() -> Arc<Self> {
+        Arc::new(ServiceTable::default())
+    }
+
+    /// Register service `id`.  Panics on duplicate registration.
+    pub fn register(&self, id: u32, f: Arc<dyn Fn(Vec<u8>) + Send + Sync + 'static>) {
+        let prev = self.table.lock().insert(id, f);
+        assert!(prev.is_none(), "service {id} registered twice");
+    }
+
+    /// Look up service `id`.
+    pub fn get(&self, id: u32) -> Option<Arc<dyn Fn(Vec<u8>) + Send + Sync + 'static>> {
+        self.table.lock().get(&id).cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_wait_and_poll() {
+        let r = Registry::new_shared();
+        assert!(r.poll(5).is_none());
+        let r2 = Arc::clone(&r);
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            r2.complete(ThreadExit { tid: 5, panicked: false, died_on: 1 });
+        });
+        let e = r.wait(5, Duration::from_secs(5)).unwrap();
+        assert_eq!(e.died_on, 1);
+        assert!(!e.panicked);
+        h.join().unwrap();
+        assert_eq!(r.completed_count(), 1);
+    }
+
+    #[test]
+    fn registry_wait_times_out() {
+        let r = Registry::default();
+        assert!(r.wait(99, Duration::from_millis(10)).is_none());
+    }
+
+    #[test]
+    fn spawn_table_take_once() {
+        let t = SpawnTable::default();
+        let k = t.park(Box::new(|| {}));
+        assert!(t.take(k).is_some());
+        assert!(t.take(k).is_none());
+    }
+
+    #[test]
+    fn service_table_lookup() {
+        let t = ServiceTable::default();
+        t.register(3, Arc::new(|args| assert_eq!(args, b"x")));
+        let f = t.get(3).unwrap();
+        f(b"x".to_vec());
+        assert!(t.get(4).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn service_double_registration_panics() {
+        let t = ServiceTable::default();
+        t.register(1, Arc::new(|_| {}));
+        t.register(1, Arc::new(|_| {}));
+    }
+}

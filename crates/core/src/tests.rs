@@ -1,0 +1,151 @@
+//! Runtime smoke tests (the full paper-scenario tests live in the
+//! workspace-level `tests/` directory).
+
+use crate::api::*;
+use crate::{Machine, MachineMode, Pm2Config};
+
+fn test_machine(nodes: usize) -> Machine {
+    Machine::launch(Pm2Config::test(nodes)).unwrap()
+}
+
+#[test]
+fn launch_and_shutdown_empty() {
+    for nodes in [1, 2, 5] {
+        let mut m = test_machine(nodes);
+        m.shutdown();
+    }
+}
+
+#[test]
+fn threaded_mode_launch_and_shutdown() {
+    let mut m = Machine::launch(
+        Pm2Config::test(3).with_mode(MachineMode::Threaded),
+    )
+    .unwrap();
+    let v = m.run_on(2, || pm2_self()).unwrap();
+    assert_eq!(v, 2);
+    m.shutdown();
+}
+
+#[test]
+fn run_on_returns_value() {
+    let mut m = test_machine(2);
+    let v = m.run_on(1, || 6 * 7).unwrap();
+    assert_eq!(v, 42);
+    m.shutdown();
+}
+
+#[test]
+fn spawned_thread_knows_its_node() {
+    let mut m = test_machine(3);
+    for node in 0..3 {
+        let n = m.run_on(node, pm2_self).unwrap();
+        assert_eq!(n, node);
+    }
+    m.shutdown();
+}
+
+#[test]
+fn isomalloc_roundtrip_single_node() {
+    let mut m = test_machine(1);
+    m.run_on(0, || {
+        let p = pm2_isomalloc(4096).unwrap();
+        unsafe {
+            std::ptr::write_bytes(p, 0x5C, 4096);
+            assert_eq!(*p.add(4095), 0x5C);
+        }
+        pm2_isofree(p).unwrap();
+    })
+    .unwrap();
+    m.shutdown();
+}
+
+#[test]
+fn basic_migration_preserves_pointer() {
+    let mut m = test_machine(2);
+    m.run_on(0, || {
+        let p = pm2_isomalloc(64).unwrap() as *mut u64;
+        unsafe { p.write(0xABCD) };
+        let addr_before = p as usize;
+        assert_eq!(pm2_self(), 0);
+        pm2_migrate(1).unwrap();
+        assert_eq!(pm2_self(), 1);
+        assert_eq!(p as usize, addr_before);
+        assert_eq!(unsafe { p.read() }, 0xABCD);
+        pm2_isofree(p as *mut u8).unwrap();
+    })
+    .unwrap();
+    m.shutdown();
+}
+
+#[test]
+fn printf_is_captured_with_node_prefix() {
+    let mut m = test_machine(2);
+    m.run_on(0, || {
+        crate::pm2_printf!("value = {}", 1);
+        pm2_migrate(1).unwrap();
+        crate::pm2_printf!("value = {}", 1);
+    })
+    .unwrap();
+    assert_eq!(m.output_lines(), vec!["[node0] value = 1", "[node1] value = 1"]);
+    m.shutdown();
+}
+
+#[test]
+fn negotiation_supplies_multislot_allocation() {
+    // Round-robin, 2 nodes: any multi-slot allocation must negotiate.
+    let mut m = test_machine(2);
+    let slot = m.area().slot_size();
+    m.run_on(0, move || {
+        let p = pm2_isomalloc(3 * slot).unwrap();
+        unsafe {
+            std::ptr::write_bytes(p, 0x77, 3 * slot);
+            assert_eq!(*p.add(3 * slot - 1), 0x77);
+        }
+        pm2_isofree(p).unwrap();
+    })
+    .unwrap();
+    assert_eq!(m.node_stats(0).negotiations, 1);
+    assert!(m.slot_stats(1).slots_sold > 0, "node 1 must have sold slots");
+    let audit = m.audit().unwrap();
+    audit.check_partition().unwrap();
+    m.shutdown();
+}
+
+#[test]
+fn join_across_nodes() {
+    let mut m = test_machine(2);
+    let t = m
+        .spawn_on(0, || {
+            pm2_migrate(1).unwrap(); // dies on node 1, home is node 0
+        })
+        .unwrap();
+    let exit = m.join(t);
+    assert!(!exit.panicked);
+    assert_eq!(exit.died_on, 1);
+    m.shutdown();
+}
+
+#[test]
+fn rpc_spawn_runs_service_remotely() {
+    let mut m = test_machine(2);
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, Vec<u8>)>();
+    m.register_service(9, move |args| {
+        tx.send((pm2_self(), args)).unwrap();
+    });
+    m.rpc_spawn(1, 9, b"hello").unwrap();
+    let (node, args) = rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap();
+    assert_eq!(node, 1);
+    assert_eq!(args, b"hello");
+    m.shutdown();
+}
+
+#[test]
+fn audit_passes_on_idle_machine() {
+    let mut m = test_machine(4);
+    let report = m.audit().unwrap();
+    let summary = report.check_partition().unwrap();
+    assert_eq!(summary.node_owned, m.area().n_slots());
+    assert_eq!(summary.thread_owned, 0);
+    m.shutdown();
+}

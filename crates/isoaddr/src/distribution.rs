@@ -1,0 +1,150 @@
+//! Initial slot distributions (paper §4.1, "Slot distribution").
+//!
+//! "Initially, slots are distributed among the nodes according to some
+//! user-defined distribution pattern … In our current implementation, slots
+//! are assigned to nodes in a round-robin fashion: slot *i* belongs to node
+//! *i mod p* … This choice has been made for simplicity, but it behaves
+//! rather poorly for multi-slot allocations."
+//!
+//! The paper also suggests block-cyclic distribution and a full partition of
+//! the area into `p` sub-areas; all three are implemented here and compared
+//! by the `ablation_distribution` bench (experiment A1 in DESIGN.md).
+
+use crate::bitmap::SlotBitmap;
+
+/// How the slots of the iso-address area are initially assigned to nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Distribution {
+    /// Slot `i` belongs to node `i mod p` (the paper's implementation).
+    /// Simple, but *every* multi-slot allocation needs a negotiation when
+    /// `p ≥ 2` since no node owns two contiguous slots.
+    RoundRobin,
+    /// Blocks of `k` consecutive slots are dealt cyclically: slot `i`
+    /// belongs to node `(i / k) mod p`.  Multi-slot allocations up to `k`
+    /// slots stay local.
+    BlockCyclic(usize),
+    /// The area is split into `p` equal contiguous sub-areas, one per node
+    /// ("an extreme choice … not advisable if the heap of the container
+    /// process needs to grow in unpredictable ways").
+    Partitioned,
+}
+
+impl Distribution {
+    /// Which node initially owns slot `slot` in a `p`-node configuration?
+    pub fn owner(&self, slot: usize, p: usize, n_slots: usize) -> usize {
+        debug_assert!(p > 0 && slot < n_slots);
+        match *self {
+            Distribution::RoundRobin => slot % p,
+            Distribution::BlockCyclic(k) => {
+                let k = k.max(1);
+                (slot / k) % p
+            }
+            Distribution::Partitioned => {
+                // Equal contiguous shares; the remainder goes to the last
+                // node so every slot has exactly one owner.
+                let share = n_slots / p;
+                if share == 0 {
+                    return slot.min(p - 1);
+                }
+                (slot / share).min(p - 1)
+            }
+        }
+    }
+
+    /// Build the initial private bitmap of `node` (bit set ⇔ slot owned by
+    /// `node` and free).
+    pub fn initial_bitmap(&self, node: usize, p: usize, n_slots: usize) -> SlotBitmap {
+        let mut bm = SlotBitmap::new_clear(n_slots);
+        for slot in 0..n_slots {
+            if self.owner(slot, p, n_slots) == node {
+                bm.set(slot);
+            }
+        }
+        bm
+    }
+
+    /// Longest run of contiguous slots a single node owns initially.  This
+    /// is the largest multi-slot allocation guaranteed to avoid negotiation.
+    pub fn max_local_contiguity(&self, p: usize, n_slots: usize) -> usize {
+        if p == 1 {
+            return n_slots;
+        }
+        match *self {
+            Distribution::RoundRobin => 1,
+            Distribution::BlockCyclic(k) => k.max(1).min(n_slots),
+            Distribution::Partitioned => (n_slots / p).max(1),
+        }
+    }
+
+    /// A short human-readable name (used by the bench harnesses).
+    pub fn name(&self) -> String {
+        match self {
+            Distribution::RoundRobin => "round-robin".into(),
+            Distribution::BlockCyclic(k) => format!("block-cyclic({k})"),
+            Distribution::Partitioned => "partitioned".into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every slot has exactly one owner, whatever the distribution — the
+    /// "no slot is shared by several nodes" requirement of §4.1.
+    fn check_partition(d: Distribution, p: usize, n: usize) {
+        let maps: Vec<_> = (0..p).map(|node| d.initial_bitmap(node, p, n)).collect();
+        for slot in 0..n {
+            let owners = maps.iter().filter(|m| m.get(slot)).count();
+            assert_eq!(owners, 1, "{d:?} p={p} n={n} slot={slot}");
+        }
+    }
+
+    #[test]
+    fn distributions_partition_the_area() {
+        for d in [Distribution::RoundRobin, Distribution::BlockCyclic(4), Distribution::Partitioned]
+        {
+            for p in [1usize, 2, 3, 5, 8] {
+                for n in [1usize, 7, 64, 130] {
+                    check_partition(d, p, n);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn round_robin_matches_paper_formula() {
+        let d = Distribution::RoundRobin;
+        for slot in 0..100 {
+            assert_eq!(d.owner(slot, 4, 100), slot % 4);
+        }
+    }
+
+    #[test]
+    fn block_cyclic_blocks_are_contiguous() {
+        let d = Distribution::BlockCyclic(8);
+        let bm = d.initial_bitmap(0, 2, 64);
+        assert!(bm.all_set(crate::SlotRange::new(0, 8)));
+        assert!(bm.all_clear(crate::SlotRange::new(8, 8)));
+        assert!(bm.all_set(crate::SlotRange::new(16, 8)));
+    }
+
+    #[test]
+    fn partitioned_gives_contiguous_shares() {
+        let d = Distribution::Partitioned;
+        let bm0 = d.initial_bitmap(0, 4, 100);
+        let bm3 = d.initial_bitmap(3, 4, 100);
+        assert!(bm0.all_set(crate::SlotRange::new(0, 25)));
+        assert!(bm0.all_clear(crate::SlotRange::new(25, 75)));
+        // Node p-1 absorbs the remainder.
+        assert!(bm3.all_set(crate::SlotRange::new(75, 25)));
+    }
+
+    #[test]
+    fn contiguity_bounds() {
+        assert_eq!(Distribution::RoundRobin.max_local_contiguity(2, 64), 1);
+        assert_eq!(Distribution::RoundRobin.max_local_contiguity(1, 64), 64);
+        assert_eq!(Distribution::BlockCyclic(4).max_local_contiguity(2, 64), 4);
+        assert_eq!(Distribution::Partitioned.max_local_contiguity(4, 64), 16);
+    }
+}

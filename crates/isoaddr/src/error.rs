@@ -1,0 +1,76 @@
+//! Error types for the slot layer.
+
+use std::fmt;
+
+/// Errors produced by the iso-address area and slot managers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IsoAddrError {
+    /// The operating system refused the reservation or mapping.
+    Mmap {
+        /// Address the operation targeted (0 for "any").
+        addr: usize,
+        /// Length in bytes.
+        len: usize,
+        /// `errno` reported by the OS.
+        errno: i32,
+    },
+    /// A configuration parameter is invalid (non-power-of-two slot size,
+    /// slot size not a multiple of the page size, zero slots, ...).
+    BadConfig(String),
+    /// An address passed to the area does not fall inside it.
+    OutOfArea(usize),
+    /// Attempt to commit a slot range that is already mapped somewhere in
+    /// the process — a violation of the iso-address discipline.  This is the
+    /// runtime enforcement of the paper's central invariant.
+    DoubleCommit(super::SlotRange),
+    /// Attempt to decommit a slot range that is not currently mapped.
+    NotCommitted(super::SlotRange),
+    /// The local node does not own enough (contiguous) slots; the caller
+    /// must start a global negotiation (paper §4.4).
+    NeedNegotiation {
+        /// Number of contiguous slots requested.
+        requested: usize,
+    },
+    /// The whole system is out of slots (even a global negotiation could not
+    /// find the requested contiguous range).
+    OutOfSlots {
+        /// Number of contiguous slots requested.
+        requested: usize,
+    },
+}
+
+impl fmt::Display for IsoAddrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsoAddrError::Mmap { addr, len, errno } => {
+                write!(f, "mmap/mprotect failed at {addr:#x} len {len:#x}: errno {errno}")
+            }
+            IsoAddrError::BadConfig(msg) => write!(f, "invalid iso-area configuration: {msg}"),
+            IsoAddrError::OutOfArea(a) => write!(f, "address {a:#x} is outside the iso-address area"),
+            IsoAddrError::DoubleCommit(r) => write!(
+                f,
+                "iso-address invariant violated: slots [{}, {}) are already mapped",
+                r.first,
+                r.first + r.count
+            ),
+            IsoAddrError::NotCommitted(r) => write!(
+                f,
+                "slots [{}, {}) are not mapped but were asked to be decommitted",
+                r.first,
+                r.first + r.count
+            ),
+            IsoAddrError::NeedNegotiation { requested } => write!(
+                f,
+                "local node lacks {requested} contiguous slots; global negotiation required"
+            ),
+            IsoAddrError::OutOfSlots { requested } => {
+                write!(f, "no {requested} contiguous slots available system-wide")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IsoAddrError {}
+
+/// Convenient result alias for this crate.
+pub type Result<T> = std::result::Result<T, IsoAddrError>;

@@ -1,0 +1,80 @@
+//! Slot identifiers and ranges.
+//!
+//! An *address slot* is a fixed-size range of virtual addresses within the
+//! iso-address area (paper §3.2).  Slots are identified by their index from
+//! the base of the area; a [`SlotRange`] denotes `count` *contiguous* slots
+//! (a "large slot" in the paper's terminology once merged, §3.3).
+
+/// A virtual address.  Plain `usize` by design: iso-addresses are the whole
+/// point of the system — they are stable across nodes, so they can be stored,
+/// shipped in migration buffers and dereferenced on the other side verbatim.
+pub type VAddr = usize;
+
+/// A contiguous range of slots `[first, first + count)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SlotRange {
+    /// Index of the first slot.
+    pub first: usize,
+    /// Number of contiguous slots (≥ 1 for a valid range).
+    pub count: usize,
+}
+
+impl SlotRange {
+    /// A range of a single slot.
+    pub const fn single(first: usize) -> Self {
+        SlotRange { first, count: 1 }
+    }
+
+    /// Construct a range; `count` must be ≥ 1.
+    pub const fn new(first: usize, count: usize) -> Self {
+        SlotRange { first, count }
+    }
+
+    /// One-past-the-last slot index.
+    pub const fn end(&self) -> usize {
+        self.first + self.count
+    }
+
+    /// Does this range contain slot `idx`?
+    pub const fn contains(&self, idx: usize) -> bool {
+        idx >= self.first && idx < self.end()
+    }
+
+    /// Do the two ranges overlap?
+    pub const fn overlaps(&self, other: &SlotRange) -> bool {
+        self.first < other.end() && other.first < self.end()
+    }
+
+    /// Iterate over the slot indices in the range.
+    pub fn iter(&self) -> impl Iterator<Item = usize> {
+        self.first..self.end()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_basics() {
+        let r = SlotRange::new(4, 3);
+        assert_eq!(r.end(), 7);
+        assert!(r.contains(4) && r.contains(6) && !r.contains(7) && !r.contains(3));
+        assert_eq!(r.iter().collect::<Vec<_>>(), vec![4, 5, 6]);
+    }
+
+    #[test]
+    fn overlap() {
+        let a = SlotRange::new(0, 4);
+        assert!(a.overlaps(&SlotRange::new(3, 1)));
+        assert!(a.overlaps(&SlotRange::new(0, 1)));
+        assert!(!a.overlaps(&SlotRange::new(4, 2)));
+        assert!(SlotRange::new(2, 10).overlaps(&a));
+    }
+
+    #[test]
+    fn single() {
+        let s = SlotRange::single(9);
+        assert_eq!(s, SlotRange::new(9, 1));
+    }
+}

@@ -1,0 +1,140 @@
+//! Thin wrappers around the `mmap` family.
+//!
+//! The paper's allocator is built directly on `mmap` at fixed virtual
+//! addresses ("Memory allocation is done using the mmap primitive, which
+//! allows for memory allocation at specified virtual addresses", §4.1).
+//! These wrappers keep all `libc` usage in one audited module.
+//!
+//! Mapping states used by the area:
+//!
+//! * **reserved** — `PROT_NONE`, `MAP_NORESERVE`: address range is claimed so
+//!   nothing else in the process can land there, but no memory is committed;
+//! * **committed** — readable/writable anonymous memory;
+//! * decommitting replaces the range with a *fresh* reserved mapping, which
+//!   atomically drops the backing pages (equivalent to the paper's
+//!   `munmap`, without ever giving the range back to the OS allocator).
+
+use crate::error::{IsoAddrError, Result};
+
+/// System page size, cached after the first query.
+pub fn page_size() -> usize {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static PAGE: AtomicUsize = AtomicUsize::new(0);
+    let cached = PAGE.load(Ordering::Relaxed);
+    if cached != 0 {
+        return cached;
+    }
+    // SAFETY: sysconf is always safe to call.
+    let sz = unsafe { libc::sysconf(libc::_SC_PAGESIZE) } as usize;
+    let sz = if sz == 0 { 4096 } else { sz };
+    PAGE.store(sz, Ordering::Relaxed);
+    sz
+}
+
+fn last_errno() -> i32 {
+    std::io::Error::last_os_error().raw_os_error().unwrap_or(0)
+}
+
+/// Reserve `len` bytes of address space anywhere, without committing memory.
+///
+/// Returns the base address of the reservation.
+pub fn reserve_anywhere(len: usize) -> Result<usize> {
+    // SAFETY: anonymous PROT_NONE mapping with addr=NULL cannot clobber
+    // existing mappings.
+    let ptr = unsafe {
+        libc::mmap(
+            std::ptr::null_mut(),
+            len,
+            libc::PROT_NONE,
+            libc::MAP_PRIVATE | libc::MAP_ANONYMOUS | libc::MAP_NORESERVE,
+            -1,
+            0,
+        )
+    };
+    if ptr == libc::MAP_FAILED {
+        return Err(IsoAddrError::Mmap { addr: 0, len, errno: last_errno() });
+    }
+    Ok(ptr as usize)
+}
+
+/// Commit (make read/write) `len` bytes at `addr`, which must lie inside an
+/// existing reservation created by [`reserve_anywhere`].
+///
+/// # Safety
+/// `addr..addr+len` must be inside a reservation owned by the caller and must
+/// not be in use by anyone else (the iso-address discipline guarantees this;
+/// [`crate::IsoArea`] additionally checks it).
+pub unsafe fn commit(addr: usize, len: usize) -> Result<()> {
+    let rc = libc::mprotect(addr as *mut libc::c_void, len, libc::PROT_READ | libc::PROT_WRITE);
+    if rc != 0 {
+        return Err(IsoAddrError::Mmap { addr, len, errno: last_errno() });
+    }
+    Ok(())
+}
+
+/// Decommit `len` bytes at `addr`: drop the backing pages and return the
+/// range to the reserved (inaccessible) state, keeping the address range
+/// claimed by this process.
+///
+/// # Safety
+/// Same contract as [`commit`]; additionally no live references into the
+/// range may exist.
+pub unsafe fn decommit(addr: usize, len: usize) -> Result<()> {
+    // A fresh fixed anonymous PROT_NONE mapping atomically replaces the old
+    // pages (their contents are discarded) while keeping the range reserved.
+    let ptr = libc::mmap(
+        addr as *mut libc::c_void,
+        len,
+        libc::PROT_NONE,
+        libc::MAP_PRIVATE | libc::MAP_ANONYMOUS | libc::MAP_NORESERVE | libc::MAP_FIXED,
+        -1,
+        0,
+    );
+    if ptr == libc::MAP_FAILED {
+        return Err(IsoAddrError::Mmap { addr, len, errno: last_errno() });
+    }
+    Ok(())
+}
+
+/// Release a whole reservation back to the OS.
+///
+/// # Safety
+/// `addr`/`len` must denote exactly one reservation from [`reserve_anywhere`]
+/// with no live references into it.
+pub unsafe fn release(addr: usize, len: usize) -> Result<()> {
+    let rc = libc::munmap(addr as *mut libc::c_void, len);
+    if rc != 0 {
+        return Err(IsoAddrError::Mmap { addr, len, errno: last_errno() });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_size_is_sane() {
+        let p = page_size();
+        assert!(p >= 4096);
+        assert!(p.is_power_of_two());
+    }
+
+    #[test]
+    fn reserve_commit_write_decommit() {
+        let len = 1 << 20;
+        let base = reserve_anywhere(len).unwrap();
+        unsafe {
+            commit(base, len).unwrap();
+            // Write and read back through the committed pages.
+            let p = base as *mut u64;
+            p.write(0xDEAD_BEEF_CAFE_F00D);
+            assert_eq!(p.read(), 0xDEAD_BEEF_CAFE_F00D);
+            decommit(base, len).unwrap();
+            // Re-commit: pages must be zeroed (fresh anonymous memory).
+            commit(base, len).unwrap();
+            assert_eq!(p.read(), 0);
+            release(base, len).unwrap();
+        }
+    }
+}

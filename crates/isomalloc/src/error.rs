@@ -1,0 +1,48 @@
+//! Block-layer errors.
+
+use std::fmt;
+
+/// Errors from the block layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AllocError {
+    /// The slot provider could not supply slots (includes the
+    /// `NeedNegotiation` signal that the runtime intercepts).
+    Provider(isoaddr::IsoAddrError),
+    /// A pointer passed to `isofree` does not look like a live isomalloc
+    /// block (bad magic/canary, double free, or foreign pointer).
+    InvalidFree(usize),
+    /// Structural corruption detected while walking heap metadata.
+    Corruption {
+        /// Address at which the corruption was detected.
+        at: usize,
+        /// Human-readable description.
+        what: String,
+    },
+    /// The request cannot be represented (e.g. size overflow).
+    TooLarge(usize),
+    /// A pack/unpack buffer was malformed.
+    BadPackFormat(String),
+}
+
+impl From<isoaddr::IsoAddrError> for AllocError {
+    fn from(e: isoaddr::IsoAddrError) -> Self {
+        AllocError::Provider(e)
+    }
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocError::Provider(e) => write!(f, "slot provider error: {e}"),
+            AllocError::InvalidFree(a) => write!(f, "invalid isofree of address {a:#x}"),
+            AllocError::Corruption { at, what } => write!(f, "heap corruption at {at:#x}: {what}"),
+            AllocError::TooLarge(s) => write!(f, "allocation of {s} bytes is not representable"),
+            AllocError::BadPackFormat(msg) => write!(f, "malformed pack buffer: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// Result alias for the block layer.
+pub type Result<T> = std::result::Result<T, AllocError>;

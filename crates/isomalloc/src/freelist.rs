@@ -1,0 +1,111 @@
+//! Intra-slot free-list manipulation.
+//!
+//! Each slot header holds `free_head`, the address of the first free block;
+//! free blocks are chained through their `prev_free`/`next_free` fields
+//! (paper §4.3: "Each slot contains a double-linked list of free blocks").
+//! Insertions are LIFO: freshly freed (warm) blocks are found first.
+
+use crate::layout::{BlockHeader, SlotHeader, BF_FREE};
+use isoaddr::VAddr;
+
+/// Push block `blk` onto the free list of `slot`.
+///
+/// # Safety
+/// Both pointers must reference live, mapped headers belonging together;
+/// `blk` must not already be on any free list.
+pub unsafe fn fl_push(slot: *mut SlotHeader, blk: *mut BlockHeader) {
+    let blk_addr = blk as VAddr;
+    let old_head = (*slot).free_head;
+    (*blk).flags |= BF_FREE;
+    (*blk).prev_free = 0;
+    (*blk).next_free = old_head;
+    if old_head != 0 {
+        (*(old_head as *mut BlockHeader)).prev_free = blk_addr;
+    }
+    (*slot).free_head = blk_addr;
+}
+
+/// Unlink block `blk` from the free list of `slot`.
+///
+/// # Safety
+/// `blk` must currently be on `slot`'s free list.
+pub unsafe fn fl_remove(slot: *mut SlotHeader, blk: *mut BlockHeader) {
+    let prev = (*blk).prev_free;
+    let next = (*blk).next_free;
+    if prev != 0 {
+        (*(prev as *mut BlockHeader)).next_free = next;
+    } else {
+        debug_assert_eq!((*slot).free_head, blk as VAddr, "free-list head desync");
+        (*slot).free_head = next;
+    }
+    if next != 0 {
+        (*(next as *mut BlockHeader)).prev_free = prev;
+    }
+    (*blk).flags &= !BF_FREE;
+    (*blk).prev_free = 0;
+    (*blk).next_free = 0;
+}
+
+/// Iterate the free list of `slot`, yielding block header addresses.
+///
+/// # Safety
+/// The slot's free list must be well formed (no cycles, live headers).
+pub unsafe fn fl_iter(slot: *const SlotHeader) -> impl Iterator<Item = VAddr> {
+    let mut cur = (*slot).free_head;
+    std::iter::from_fn(move || {
+        if cur == 0 {
+            return None;
+        }
+        let here = cur;
+        cur = (*(cur as *const BlockHeader)).next_free;
+        Some(here)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::{write_block_header, BLOCK_HDR_SIZE, SLOT_MAGIC};
+
+    /// Build a fake slot + three blocks in a plain Vec-backed arena (no mmap
+    /// needed: the free list only follows the addresses we hand it).
+    fn arena() -> (Vec<u8>, VAddr) {
+        // 4 KiB, 64-byte aligned by over-allocating.
+        let buf = vec![0u8; 8192];
+        let base = (buf.as_ptr() as usize + 63) & !63;
+        (buf, base)
+    }
+
+    #[test]
+    fn push_remove_preserves_links() {
+        let (_buf, base) = arena();
+        unsafe {
+            let slot = base as *mut SlotHeader;
+            (*slot).magic = SLOT_MAGIC;
+            (*slot).free_head = 0;
+            let b1 = base + 1024;
+            let b2 = base + 2048;
+            let b3 = base + 3072;
+            for &b in &[b1, b2, b3] {
+                write_block_header(b, BLOCK_HDR_SIZE + 64, base, 0, false);
+            }
+            fl_push(slot, b1 as *mut BlockHeader);
+            fl_push(slot, b2 as *mut BlockHeader);
+            fl_push(slot, b3 as *mut BlockHeader);
+            // LIFO order.
+            assert_eq!(fl_iter(slot).collect::<Vec<_>>(), vec![b3, b2, b1]);
+            // Remove the middle element.
+            fl_remove(slot, b2 as *mut BlockHeader);
+            assert_eq!(fl_iter(slot).collect::<Vec<_>>(), vec![b3, b1]);
+            assert!(!(*(b2 as *const BlockHeader)).is_free());
+            // Remove the head.
+            fl_remove(slot, b3 as *mut BlockHeader);
+            assert_eq!(fl_iter(slot).collect::<Vec<_>>(), vec![b1]);
+            assert_eq!((*slot).free_head, b1);
+            // Remove the last.
+            fl_remove(slot, b1 as *mut BlockHeader);
+            assert_eq!(fl_iter(slot).count(), 0);
+            assert_eq!((*slot).free_head, 0);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! # isomalloc — the block layer of the PM2 iso-address allocator
+//!
+//! Implements §3.3 and §4.3–4.4 of the paper: `pm2_isomalloc`/`pm2_isofree`
+//! manage *arbitrarily sized blocks* within a list of discontinuous slots.
+//!
+//! * Each slot contains a doubly-linked list of free blocks; blocks have
+//!   headers storing their size and neighbour links.
+//! * A thread's slots are chained in a doubly-linked list **whose links are
+//!   stored in the slot headers themselves** (paper Fig. 10).  Because the
+//!   slot contents are copied to the *same virtual addresses* on migration,
+//!   every link — slot chain, free lists, physical back-pointers — remains
+//!   valid without any post-migration processing.  That property is what
+//!   this whole system exists to provide, and it is tested heavily.
+//! * Large requests are served by merging `n` contiguous raw slots into one
+//!   *large slot* (§4.4); finding those contiguous slots may require the
+//!   global negotiation, which is the caller's (the runtime's) job — this
+//!   crate only reports `NeedNegotiation` through its [`SlotProvider`].
+//!
+//! The allocator operates on raw memory via unsafe code; the public
+//! functions document their contracts and [`verify::verify_heap`] provides a
+//! full structural integrity check used by tests and property tests.
+
+pub mod error;
+pub mod freelist;
+pub mod heap;
+pub mod layout;
+pub mod pack;
+pub mod verify;
+
+pub use error::AllocError;
+pub use heap::{
+    heap_init, heap_release_all, heap_slots, isofree, isomalloc, owning_slot_of, FitPolicy,
+    IsoHeapState,
+};
+pub use isoaddr::{SlotProvider, VAddr};
+pub use layout::{SlotKind, BLOCK_HDR_SIZE, MIN_PAYLOAD, SLOT_HDR_SIZE};
+pub use pack::{
+    pack_full, pack_heap_slot, pack_raw_extents, peek_header, unpack_into_mapped, PackedSlotInfo,
+};
+pub use verify::{verify_heap, HeapReport};

@@ -1,0 +1,285 @@
+//! Structural heap verification.
+//!
+//! `verify_heap` walks the entire metadata graph of a thread heap — the slot
+//! chain, every slot's physical block sequence, and every slot's free list —
+//! and cross-checks them:
+//!
+//! 1. blocks tile each slot's block area exactly (no gap, no overlap);
+//! 2. `prev_phys` back-links match the forward walk;
+//! 3. the set of blocks flagged free equals the set on the free list;
+//! 4. no two physically adjacent blocks are both free (coalescing invariant);
+//! 5. magics and canaries are intact; `used_bytes` accounting matches.
+//!
+//! Tests and property tests call this after every mutation batch; the
+//! migration tests call it on both sides of a migration to prove the
+//! iso-address copy preserved the allocator's integrity bit-for-bit.
+
+use std::collections::BTreeSet;
+
+use crate::error::{AllocError, Result};
+use crate::freelist::fl_iter;
+use crate::heap::{iter_slots, IsoHeapState};
+use crate::layout::{
+    block_area_start, check_block, check_slot, slot_end, SlotHeader, SlotKind,
+};
+use isoaddr::VAddr;
+
+/// Aggregate description of a verified heap.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HeapReport {
+    /// Number of (possibly merged) slots on the chain.
+    pub slots: usize,
+    /// Total raw area slots consumed.
+    pub raw_slots: usize,
+    /// Number of busy blocks.
+    pub busy_blocks: usize,
+    /// Number of free blocks.
+    pub free_blocks: usize,
+    /// Bytes in busy blocks (headers included).
+    pub busy_bytes: usize,
+    /// Bytes in free blocks (headers included).
+    pub free_bytes: usize,
+    /// Largest single free block (header included).
+    pub largest_free: usize,
+}
+
+impl HeapReport {
+    /// External fragmentation in `[0, 1]`: 1 − largest_free / free_bytes.
+    /// Zero when all free space is one block (or there is none).
+    pub fn external_fragmentation(&self) -> f64 {
+        if self.free_bytes == 0 {
+            return 0.0;
+        }
+        1.0 - self.largest_free as f64 / self.free_bytes as f64
+    }
+}
+
+/// Verify one heap slot; extends the report.
+///
+/// # Safety
+/// `slot_addr` must point at a mapped slot header of a heap slot whose
+/// memory (per its `n_slots`) is mapped.
+pub unsafe fn verify_slot(
+    slot_addr: VAddr,
+    slot_size: usize,
+    report: &mut HeapReport,
+) -> Result<()> {
+    let slot = check_slot(slot_addr)?;
+    if slot.kind != SlotKind::Heap as u32 {
+        return Err(AllocError::Corruption {
+            at: slot_addr,
+            what: format!("expected heap slot, found kind {}", slot.kind),
+        });
+    }
+    report.slots += 1;
+    report.raw_slots += slot.n_slots as usize;
+    let start = block_area_start(slot_addr);
+    let end = slot_end(slot_addr, slot_size);
+
+    // Physical walk.
+    let mut phys_free: BTreeSet<VAddr> = BTreeSet::new();
+    let mut cur = start;
+    let mut prev: VAddr = 0;
+    let mut prev_was_free = false;
+    let mut used = 0usize;
+    while cur < end {
+        let blk = check_block(cur)?;
+        let size = blk.size as usize;
+        if size < crate::layout::BLOCK_HDR_SIZE || cur + size > end {
+            return Err(AllocError::Corruption {
+                at: cur,
+                what: format!("block size {size} escapes the slot"),
+            });
+        }
+        if blk.slot != slot_addr {
+            return Err(AllocError::Corruption {
+                at: cur,
+                what: format!("block claims slot {:#x}, walked from {:#x}", blk.slot, slot_addr),
+            });
+        }
+        if blk.prev_phys != prev {
+            return Err(AllocError::Corruption {
+                at: cur,
+                what: format!("prev_phys {:#x} != walked prev {prev:#x}", blk.prev_phys),
+            });
+        }
+        if blk.is_free() {
+            if prev_was_free {
+                return Err(AllocError::Corruption {
+                    at: cur,
+                    what: "two adjacent free blocks (missed coalescing)".into(),
+                });
+            }
+            phys_free.insert(cur);
+            report.free_blocks += 1;
+            report.free_bytes += size;
+            report.largest_free = report.largest_free.max(size);
+            prev_was_free = true;
+        } else {
+            report.busy_blocks += 1;
+            report.busy_bytes += size;
+            used += size;
+            prev_was_free = false;
+        }
+        prev = cur;
+        cur += size;
+    }
+    if cur != end {
+        return Err(AllocError::Corruption {
+            at: cur,
+            what: format!("blocks do not tile the slot (stopped {} bytes early)", end - cur),
+        });
+    }
+    if used as u64 != slot.used_bytes {
+        return Err(AllocError::Corruption {
+            at: slot_addr,
+            what: format!("used_bytes accounting: header says {}, walk says {used}", slot.used_bytes),
+        });
+    }
+
+    // Free-list walk must visit exactly the physically-free blocks.
+    let mut list_free: BTreeSet<VAddr> = BTreeSet::new();
+    let mut prev_link: VAddr = 0;
+    for b in fl_iter(slot_addr as *const SlotHeader) {
+        let blk = check_block(b)?;
+        if !blk.is_free() {
+            return Err(AllocError::Corruption {
+                at: b,
+                what: "busy block on the free list".into(),
+            });
+        }
+        if blk.prev_free != prev_link {
+            return Err(AllocError::Corruption {
+                at: b,
+                what: format!("free-list back-link {:#x} != {prev_link:#x}", blk.prev_free),
+            });
+        }
+        if !list_free.insert(b) {
+            return Err(AllocError::Corruption { at: b, what: "free-list cycle".into() });
+        }
+        prev_link = b;
+    }
+    if list_free != phys_free {
+        return Err(AllocError::Corruption {
+            at: slot_addr,
+            what: format!(
+                "free list has {} entries, physical walk found {} free blocks",
+                list_free.len(),
+                phys_free.len()
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// Verify the whole heap and return an aggregate report.
+///
+/// # Safety
+/// `h` must point at a live heap state whose slots are all mapped.
+pub unsafe fn verify_heap(h: *const IsoHeapState, slot_size: usize) -> Result<HeapReport> {
+    let mut report = HeapReport::default();
+    let mut seen: BTreeSet<VAddr> = BTreeSet::new();
+    let mut prev: VAddr = 0;
+    for s in iter_slots(h) {
+        if !seen.insert(s) {
+            return Err(AllocError::Corruption { at: s, what: "slot-chain cycle".into() });
+        }
+        let hdr = check_slot(s)?;
+        if hdr.prev != prev {
+            return Err(AllocError::Corruption {
+                at: s,
+                what: format!("slot chain back-link {:#x} != {prev:#x}", hdr.prev),
+            });
+        }
+        verify_slot(s, slot_size, &mut report)?;
+        prev = s;
+    }
+    if (*h).tail != prev {
+        return Err(AllocError::Corruption {
+            at: (*h).tail,
+            what: "heap tail does not match the end of the chain".into(),
+        });
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heap::{heap_init, isofree, isomalloc, FitPolicy};
+    use isoaddr::{AreaConfig, Distribution, IsoArea, NodeSlotManager, SlotProvider};
+    use std::sync::Arc;
+
+    fn provider() -> NodeSlotManager {
+        let area = Arc::new(IsoArea::new(AreaConfig::small()).unwrap());
+        NodeSlotManager::new(0, 1, area, Distribution::RoundRobin, 0)
+    }
+
+    #[test]
+    fn empty_heap_verifies() {
+        let mut h: Box<IsoHeapState> = Box::new(unsafe { std::mem::zeroed() });
+        unsafe {
+            heap_init(h.as_mut(), FitPolicy::FirstFit, true);
+            let r = verify_heap(h.as_ref(), 65536).unwrap();
+            assert_eq!(r, HeapReport::default());
+        }
+    }
+
+    #[test]
+    fn verifies_after_mixed_workload() {
+        let mut p = provider();
+        let mut h: Box<IsoHeapState> = Box::new(unsafe { std::mem::zeroed() });
+        unsafe {
+            heap_init(h.as_mut(), FitPolicy::FirstFit, true);
+            let mut live = Vec::new();
+            for i in 0..300usize {
+                let ptr = isomalloc(h.as_mut(), &mut p, 16 + (i * 53) % 2000).unwrap();
+                live.push(ptr);
+                if i % 4 == 1 {
+                    let victim = live.swap_remove(i % live.len());
+                    isofree(h.as_mut(), &mut p, victim).unwrap();
+                }
+                if i % 37 == 0 {
+                    verify_heap(h.as_ref(), p.slot_size()).unwrap();
+                }
+            }
+            let r = verify_heap(h.as_ref(), p.slot_size()).unwrap();
+            assert_eq!(r.busy_blocks, live.len());
+            assert!(r.external_fragmentation() >= 0.0 && r.external_fragmentation() <= 1.0);
+            for q in live {
+                isofree(h.as_mut(), &mut p, q).unwrap();
+            }
+            let r = verify_heap(h.as_ref(), p.slot_size()).unwrap();
+            assert_eq!(r.busy_blocks, 0, "trim should have emptied the heap: {r:?}");
+        }
+    }
+
+    #[test]
+    fn detects_header_smash() {
+        let mut p = provider();
+        let mut h: Box<IsoHeapState> = Box::new(unsafe { std::mem::zeroed() });
+        unsafe {
+            heap_init(h.as_mut(), FitPolicy::FirstFit, true);
+            let a = isomalloc(h.as_mut(), &mut p, 64).unwrap();
+            let _b = isomalloc(h.as_mut(), &mut p, 64).unwrap();
+            verify_heap(h.as_ref(), p.slot_size()).unwrap();
+            // Overflow a: smash b's header canary.
+            std::ptr::write_bytes(a, 0xFF, 64 + crate::layout::BLOCK_HDR_SIZE);
+            let err = verify_heap(h.as_ref(), p.slot_size()).unwrap_err();
+            assert!(matches!(err, AllocError::Corruption { .. }));
+        }
+    }
+
+    #[test]
+    fn detects_used_bytes_desync() {
+        let mut p = provider();
+        let mut h: Box<IsoHeapState> = Box::new(unsafe { std::mem::zeroed() });
+        unsafe {
+            heap_init(h.as_mut(), FitPolicy::FirstFit, true);
+            let _a = isomalloc(h.as_mut(), &mut p, 64).unwrap();
+            let slot = (*h.as_ref()).head as *mut crate::layout::SlotHeader;
+            (*slot).used_bytes += 8;
+            assert!(verify_heap(h.as_ref(), p.slot_size()).is_err());
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Property tests on the block layer: random alloc/free interleavings
+//! against a shadow model, with the structural verifier as the invariant
+//! oracle; plus pack/unpack roundtrips of randomly shaped heaps.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+
+use isoaddr::{AreaConfig, Distribution, IsoArea, NodeSlotManager, SlotProvider, SlotRange};
+use isomalloc::heap::{heap_init, heap_slots, isofree, isomalloc, FitPolicy, IsoHeapState};
+use isomalloc::pack::{pack_heap_slot, peek_header, unpack_into_mapped};
+use isomalloc::verify::verify_heap;
+
+fn provider(n_slots: usize) -> NodeSlotManager {
+    let area =
+        Arc::new(IsoArea::new(AreaConfig { slot_size: 64 * 1024, n_slots }).unwrap());
+    NodeSlotManager::new(0, 1, area, Distribution::RoundRobin, 0)
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Allocate `size` bytes filled with `fill`.
+    Alloc { size: usize, fill: u8 },
+    /// Free the `idx % live`-th live block.
+    Free { idx: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = Vec<Op>> {
+    let op = prop_oneof![
+        3 => (1usize..5000, any::<u8>()).prop_map(|(size, fill)| Op::Alloc { size, fill }),
+        2 => (0usize..1000).prop_map(|idx| Op::Free { idx }),
+    ];
+    proptest::collection::vec(op, 1..150)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Invariants hold and data is intact under arbitrary interleavings,
+    /// for every fit policy.
+    #[test]
+    fn random_ops_keep_heap_sound(ops in op_strategy(), policy in 0u32..3, trim: bool) {
+        let mut p = provider(128);
+        let mut h: Box<IsoHeapState> = Box::new(unsafe { std::mem::zeroed() });
+        unsafe { heap_init(h.as_mut(), FitPolicy::from_u32(policy), trim) };
+        let mut live: Vec<(*mut u8, usize, u8)> = Vec::new();
+        unsafe {
+            for op in &ops {
+                match *op {
+                    Op::Alloc { size, fill } => {
+                        let ptr = isomalloc(h.as_mut(), &mut p, size).unwrap();
+                        prop_assert_eq!(ptr as usize % 16, 0, "payload alignment");
+                        std::ptr::write_bytes(ptr, fill, size);
+                        live.push((ptr, size, fill));
+                    }
+                    Op::Free { idx } => {
+                        if !live.is_empty() {
+                            let (ptr, size, fill) = live.swap_remove(idx % live.len());
+                            prop_assert_eq!(*ptr, fill);
+                            prop_assert_eq!(*ptr.add(size.max(1) - 1), fill);
+                            isofree(h.as_mut(), &mut p, ptr).unwrap();
+                        }
+                    }
+                }
+            }
+            // Structural invariants + block counts match the model.
+            let report = verify_heap(h.as_ref(), p.slot_size()).unwrap();
+            prop_assert_eq!(report.busy_blocks, live.len());
+            // Every surviving block is intact.
+            for &(ptr, size, fill) in &live {
+                prop_assert_eq!(*ptr, fill);
+                prop_assert_eq!(*ptr.add(size.max(1) - 1), fill);
+            }
+            // Drain and confirm the heap empties completely.
+            for (ptr, _, _) in live {
+                isofree(h.as_mut(), &mut p, ptr).unwrap();
+            }
+            let report = verify_heap(h.as_ref(), p.slot_size()).unwrap();
+            prop_assert_eq!(report.busy_blocks, 0);
+            if trim {
+                prop_assert_eq!((*h.as_ref()).head, 0, "trim must empty the heap");
+                prop_assert_eq!(p.area().committed_slots(), 0);
+            }
+        }
+    }
+
+    /// Pack → unmap → remap → unpack is lossless for busy payloads and
+    /// produces a structurally identical heap.
+    #[test]
+    fn pack_roundtrip_preserves_heap(ops in op_strategy()) {
+        let area = Arc::new(IsoArea::new(AreaConfig { slot_size: 64 * 1024, n_slots: 128 }).unwrap());
+        let mut m0 = NodeSlotManager::new(0, 2, Arc::clone(&area), Distribution::RoundRobin, 0);
+        let mut m1 = NodeSlotManager::new(1, 2, Arc::clone(&area), Distribution::RoundRobin, 0);
+        let mut h: Box<IsoHeapState> = Box::new(unsafe { std::mem::zeroed() });
+        // trim=false so empty slots stay in the chain and get packed too.
+        unsafe { heap_init(h.as_mut(), FitPolicy::FirstFit, false) };
+        let mut live: Vec<(*mut u8, usize, u8)> = Vec::new();
+        unsafe {
+            for op in &ops {
+                match *op {
+                    Op::Alloc { size, fill } => {
+                        let size = size.min(3000);
+                        let ptr = isomalloc(h.as_mut(), &mut m0, size).unwrap();
+                        std::ptr::write_bytes(ptr, fill, size);
+                        live.push((ptr, size, fill));
+                    }
+                    Op::Free { idx } => {
+                        if !live.is_empty() {
+                            let (ptr, _, _) = live.swap_remove(idx % live.len());
+                            isofree(h.as_mut(), &mut m0, ptr).unwrap();
+                        }
+                    }
+                }
+            }
+            let before = verify_heap(h.as_ref(), m0.slot_size()).unwrap();
+            // Pack every slot, then ship ownership node0 → node1.
+            let slots = heap_slots(h.as_ref());
+            let mut buf = Vec::new();
+            for &(base, _) in &slots {
+                pack_heap_slot(base, m0.slot_size(), &mut buf).unwrap();
+            }
+            for &(base, n) in &slots {
+                let first = (base - area.base()) / m0.slot_size();
+                m0.surrender(SlotRange::new(first, n)).unwrap();
+            }
+            let mut off = 0;
+            while off < buf.len() {
+                let info = peek_header(&buf[off..]).unwrap();
+                let first = (info.base - area.base()) / m1.slot_size();
+                m1.adopt(SlotRange::new(first, info.n_slots)).unwrap();
+                unpack_into_mapped(&buf[off..], m1.slot_size()).unwrap();
+                off += info.record_len;
+            }
+            // Identical structure, intact payloads, still operational.
+            let after = verify_heap(h.as_ref(), m1.slot_size()).unwrap();
+            prop_assert_eq!(before, after);
+            for &(ptr, size, fill) in &live {
+                prop_assert_eq!(*ptr, fill);
+                prop_assert_eq!(*ptr.add(size.max(1) - 1), fill);
+            }
+            for (ptr, _, _) in live {
+                isofree(h.as_mut(), &mut m1, ptr).unwrap();
+            }
+            verify_heap(h.as_ref(), m1.slot_size()).unwrap();
+        }
+    }
+}

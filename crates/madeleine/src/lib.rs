@@ -1,0 +1,31 @@
+//! # madeleine — the communication substrate
+//!
+//! PM2 runs on Madeleine, "an efficient and portable communication
+//! interface for multithreaded environments" (Bougé, Méhaut, Namyst,
+//! PACT'98), which in the paper's experiments drives a Myrinet network
+//! through the BIP low-level interface.  The reported 75 µs migrations and
+//! 255 µs negotiations are dominated by this layer's per-message latency and
+//! per-byte cost.
+//!
+//! This reproduction keeps the *interface* (typed point-to-point messages
+//! between nodes, blocking and polling receives) and replaces the wire with
+//! an in-process fabric of lock-free channels plus a **calibrated wire
+//! model**: each send busy-waits `latency + bytes × per-byte cost` before
+//! the message becomes visible, using published BIP/Myrinet figures
+//! ([`NetProfile::myrinet_bip`]).  `NetProfile::instant()` turns the model
+//! off to isolate protocol CPU cost, and tests use it for determinism.
+//!
+//! The substitution preserves what the paper's evaluation actually
+//! exercises: the *number* of messages each protocol needs and the size of
+//! each message — which is where the per-node negotiation cost and the
+//! migration latency shape come from.
+
+pub mod message;
+pub mod network;
+pub mod profile;
+pub mod stats;
+
+pub use message::Message;
+pub use network::{Endpoint, Fabric, NetError};
+pub use profile::{spin_for, NetProfile};
+pub use stats::{EndpointStats, EndpointStatsSnapshot};

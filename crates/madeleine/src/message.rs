@@ -1,0 +1,165 @@
+//! Message framing.
+//!
+//! Madeleine messages are tagged, ordered, point-to-point byte buffers.  The
+//! tag space belongs to the layer above (the PM2 runtime defines migration,
+//! negotiation, spawn, … tags); this crate only transports them.
+
+/// A point-to-point message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Sending node.
+    pub src: usize,
+    /// Destination node.
+    pub dst: usize,
+    /// Protocol tag (namespace owned by the layer above).
+    pub tag: u16,
+    /// Fabric-assigned global sequence number (diagnostics only).
+    pub seq: u64,
+    /// Modelled wire time for this message, charged at the receiver
+    /// (nanoseconds).
+    pub wire_ns: u64,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl Message {
+    /// Payload length in bytes.
+    pub fn len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// True when the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.payload.is_empty()
+    }
+}
+
+/// Little helper for writing framed integers into payloads.
+#[derive(Debug, Default)]
+pub struct PayloadWriter {
+    buf: Vec<u8>,
+}
+
+impl PayloadWriter {
+    /// Start a payload, reserving `cap` bytes.
+    pub fn with_capacity(cap: usize) -> Self {
+        PayloadWriter { buf: Vec::with_capacity(cap) }
+    }
+
+    /// Append a `u64` (little-endian).
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append a `u32` (little-endian).
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append raw bytes.
+    pub fn bytes(&mut self, b: &[u8]) -> &mut Self {
+        self.buf.extend_from_slice(b);
+        self
+    }
+
+    /// Append a length-prefixed byte string.
+    pub fn lp_bytes(&mut self, b: &[u8]) -> &mut Self {
+        self.u32(b.len() as u32);
+        self.buf.extend_from_slice(b);
+        self
+    }
+
+    /// Finish and take the payload.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Cursor for reading framed integers back out of payloads.
+#[derive(Debug)]
+pub struct PayloadReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> PayloadReader<'a> {
+    /// Wrap a payload.
+    pub fn new(buf: &'a [u8]) -> Self {
+        PayloadReader { buf, pos: 0 }
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Read a `u64`; `None` on underrun.
+    pub fn u64(&mut self) -> Option<u64> {
+        let s = self.buf.get(self.pos..self.pos + 8)?;
+        self.pos += 8;
+        Some(u64::from_le_bytes(s.try_into().ok()?))
+    }
+
+    /// Read a `u32`; `None` on underrun.
+    pub fn u32(&mut self) -> Option<u32> {
+        let s = self.buf.get(self.pos..self.pos + 4)?;
+        self.pos += 4;
+        Some(u32::from_le_bytes(s.try_into().ok()?))
+    }
+
+    /// Read `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Option<&'a [u8]> {
+        let s = self.buf.get(self.pos..self.pos + n)?;
+        self.pos += n;
+        Some(s)
+    }
+
+    /// Read a length-prefixed byte string.
+    pub fn lp_bytes(&mut self) -> Option<&'a [u8]> {
+        let n = self.u32()? as usize;
+        self.bytes(n)
+    }
+
+    /// Everything not yet consumed.
+    pub fn rest(&mut self) -> &'a [u8] {
+        let s = &self.buf[self.pos..];
+        self.pos = self.buf.len();
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_reader_roundtrip() {
+        let mut w = PayloadWriter::with_capacity(64);
+        w.u64(0xDEAD_BEEF).u32(42).lp_bytes(b"hello").bytes(&[1, 2, 3]);
+        let payload = w.finish();
+        let mut r = PayloadReader::new(&payload);
+        assert_eq!(r.u64(), Some(0xDEAD_BEEF));
+        assert_eq!(r.u32(), Some(42));
+        assert_eq!(r.lp_bytes(), Some(&b"hello"[..]));
+        assert_eq!(r.rest(), &[1, 2, 3]);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn reader_underrun_is_none() {
+        let mut r = PayloadReader::new(&[1, 2, 3]);
+        assert_eq!(r.u64(), None);
+        assert_eq!(r.u32(), None);
+        assert_eq!(r.bytes(4), None);
+        assert_eq!(r.bytes(3), Some(&[1u8, 2, 3][..]));
+    }
+
+    #[test]
+    fn message_len() {
+        let m = Message { src: 0, dst: 1, tag: 7, seq: 0, wire_ns: 0, payload: vec![0; 10] };
+        assert_eq!(m.len(), 10);
+        assert!(!m.is_empty());
+    }
+}

@@ -1,0 +1,268 @@
+//! The in-process fabric.
+//!
+//! [`Fabric::new`] wires `n` endpoints together with unbounded lock-free
+//! channels (one inbox per node).  Message order is preserved per
+//! sender/receiver pair, as on a real Myrinet source-routed network.
+//!
+//! The wire model is **receiver-clocked**: a send is asynchronous (BIP DMAs
+//! the frame out), and the destination pays `latency + bytes × per-byte
+//! cost` for each message as it dequeues it — BIP receives are polled by
+//! the host CPU, so the receiving node is genuinely occupied for the
+//! transfer.  Receiver-clocking is what serializes a gather of `p − 1`
+//! bitmaps at the negotiation initiator, the effect behind the paper's
+//! "another 165 µs per extra node".  Self-sends are free (no NIC).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+
+use crate::message::Message;
+use crate::profile::{spin_for, NetProfile};
+use crate::stats::{EndpointStats, EndpointStatsSnapshot};
+
+/// Errors from the fabric.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// Destination node id is outside the fabric.
+    NoSuchNode(usize),
+    /// The destination endpoint has been dropped.
+    Disconnected(usize),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::NoSuchNode(n) => write!(f, "no such node: {n}"),
+            NetError::Disconnected(n) => write!(f, "node {n} disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+struct Shared {
+    senders: Vec<Sender<Message>>,
+    profile: NetProfile,
+    stats: Vec<Arc<EndpointStats>>,
+    seq: AtomicU64,
+}
+
+/// Factory for a set of connected endpoints.
+pub struct Fabric;
+
+impl Fabric {
+    /// Build an `n`-node fabric; returns one [`Endpoint`] per node, in node
+    /// order.  (`Fabric` itself is a pure factory and holds no state.)
+    #[allow(clippy::new_ret_no_self)]
+    pub fn new(n: usize, profile: NetProfile) -> Vec<Endpoint> {
+        assert!(n >= 1, "a fabric needs at least one node");
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let stats: Vec<_> = (0..n).map(|_| Arc::new(EndpointStats::default())).collect();
+        let shared = Arc::new(Shared { senders, profile, stats, seq: AtomicU64::new(0) });
+        receivers
+            .into_iter()
+            .enumerate()
+            .map(|(node, rx)| Endpoint { node, rx, shared: Arc::clone(&shared) })
+            .collect()
+    }
+}
+
+/// One node's attachment to the fabric.
+pub struct Endpoint {
+    node: usize,
+    rx: Receiver<Message>,
+    shared: Arc<Shared>,
+}
+
+impl Endpoint {
+    /// This endpoint's node id.
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
+    /// Number of nodes on the fabric.
+    pub fn n_nodes(&self) -> usize {
+        self.shared.senders.len()
+    }
+
+    /// The wire model in force.
+    pub fn profile(&self) -> NetProfile {
+        self.shared.profile
+    }
+
+    /// Send `payload` to `dst` under `tag`.  Asynchronous; the modelled
+    /// wire time is recorded on the message and charged at the receiver.
+    pub fn send(&self, dst: usize, tag: u16, payload: Vec<u8>) -> Result<(), NetError> {
+        let sender = self.shared.senders.get(dst).ok_or(NetError::NoSuchNode(dst))?;
+        let len = payload.len();
+        let wire_ns = if dst != self.node {
+            self.shared.profile.delay_for(len).as_nanos() as u64
+        } else {
+            0
+        };
+        let msg = Message {
+            src: self.node,
+            dst,
+            tag,
+            seq: self.shared.seq.fetch_add(1, Ordering::Relaxed),
+            wire_ns,
+            payload,
+        };
+        sender.send(msg).map_err(|_| NetError::Disconnected(dst))?;
+        self.shared.stats[self.node].on_send(len);
+        Ok(())
+    }
+
+    fn charge_and_count(&self, m: Message) -> Message {
+        if m.wire_ns > 0 {
+            spin_for(Duration::from_nanos(m.wire_ns));
+        }
+        self.shared.stats[self.node].on_recv(m.len());
+        m
+    }
+
+    /// Send the same payload to every other node (negotiation scatter).
+    pub fn broadcast(&self, tag: u16, payload: &[u8]) -> Result<(), NetError> {
+        for dst in 0..self.n_nodes() {
+            if dst != self.node {
+                self.send(dst, tag, payload.to_vec())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Non-blocking poll.  If a message is pending, the caller pays its
+    /// modelled wire time (the receive is where a BIP node spends the CPU).
+    pub fn try_recv(&self) -> Option<Message> {
+        match self.rx.try_recv() {
+            Ok(m) => Some(self.charge_and_count(m)),
+            Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => None,
+        }
+    }
+
+    /// Blocking receive with a timeout; `None` on timeout or teardown.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<Message> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(m) => Some(self.charge_and_count(m)),
+            Err(_) => None,
+        }
+    }
+
+    /// Statistics for this endpoint.
+    pub fn stats(&self) -> EndpointStatsSnapshot {
+        self.shared.stats[self.node].snapshot()
+    }
+
+    /// Statistics for an arbitrary node (host-side reporting).
+    pub fn stats_of(&self, node: usize) -> Option<EndpointStatsSnapshot> {
+        self.shared.stats.get(node).map(|s| s.snapshot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    fn point_to_point_delivery() {
+        let eps = Fabric::new(2, NetProfile::instant());
+        eps[0].send(1, 7, vec![1, 2, 3]).unwrap();
+        let m = eps[1].recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!((m.src, m.dst, m.tag), (0, 1, 7));
+        assert_eq!(m.payload, vec![1, 2, 3]);
+        assert!(eps[1].try_recv().is_none());
+    }
+
+    #[test]
+    fn per_pair_ordering() {
+        let eps = Fabric::new(2, NetProfile::instant());
+        for i in 0..100u8 {
+            eps[0].send(1, 0, vec![i]).unwrap();
+        }
+        for i in 0..100u8 {
+            let m = eps[1].try_recv().unwrap();
+            assert_eq!(m.payload[0], i);
+        }
+    }
+
+    #[test]
+    fn cross_thread_delivery() {
+        let mut eps = Fabric::new(2, NetProfile::instant());
+        let e1 = eps.pop().unwrap();
+        let e0 = eps.pop().unwrap();
+        let t = std::thread::spawn(move || {
+            let m = e1.recv_timeout(Duration::from_secs(5)).unwrap();
+            assert_eq!(m.tag, 9);
+            e1.send(0, 10, m.payload).unwrap();
+        });
+        e0.send(1, 9, vec![42]).unwrap();
+        let back = e0.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(back.tag, 10);
+        assert_eq!(back.payload, vec![42]);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn wire_model_is_charged_at_the_receiver() {
+        // 100 µs latency profile: sends are async and cheap…
+        let profile = NetProfile { name: "test", latency_ns: 100_000, ns_per_byte: 0.0 };
+        let eps = Fabric::new(2, profile);
+        let t0 = Instant::now();
+        for _ in 0..10 {
+            eps[0].send(1, 0, Vec::new()).unwrap();
+        }
+        assert!(t0.elapsed() < Duration::from_micros(500), "sends must be async");
+        // …while dequeuing the 10 messages serializes ≥ 1 ms of wire time.
+        let t0 = Instant::now();
+        for _ in 0..10 {
+            eps[1].try_recv().unwrap();
+        }
+        assert!(t0.elapsed() >= Duration::from_micros(1000));
+        // Self-sends are free on both sides.
+        let t0 = Instant::now();
+        for _ in 0..10 {
+            eps[0].send(0, 0, Vec::new()).unwrap();
+            eps[0].try_recv().unwrap();
+        }
+        assert!(t0.elapsed() < Duration::from_micros(500));
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone_but_self() {
+        let eps = Fabric::new(4, NetProfile::instant());
+        eps[2].broadcast(5, &[9]).unwrap();
+        for (i, ep) in eps.iter().enumerate() {
+            if i == 2 {
+                assert!(ep.try_recv().is_none());
+            } else {
+                assert_eq!(ep.try_recv().unwrap().tag, 5);
+            }
+        }
+    }
+
+    #[test]
+    fn bad_destination() {
+        let eps = Fabric::new(2, NetProfile::instant());
+        assert_eq!(eps[0].send(5, 0, Vec::new()), Err(NetError::NoSuchNode(5)));
+    }
+
+    #[test]
+    fn stats_track_traffic() {
+        let eps = Fabric::new(2, NetProfile::instant());
+        eps[0].send(1, 0, vec![0; 50]).unwrap();
+        eps[1].recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(eps[0].stats().msgs_sent, 1);
+        assert_eq!(eps[0].stats().bytes_sent, 50);
+        assert_eq!(eps[1].stats().msgs_recv, 1);
+        assert_eq!(eps[0].stats_of(1).unwrap().bytes_recv, 50);
+    }
+}

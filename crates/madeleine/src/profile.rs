@@ -1,0 +1,115 @@
+//! Wire models.
+//!
+//! A [`NetProfile`] charges every message `latency + len × per-byte cost`,
+//! the standard linear (Hockney) model.  The defaults are calibrated to the
+//! hardware of the paper's evaluation (§5: "a Myrinet network from Myricom
+//! accessed through the BIP low-level communication interface" on 200 MHz
+//! PentiumPro nodes):
+//!
+//! * BIP over Myrinet reported ~8 µs one-way latency for short messages and
+//!   ~126 MB/s asymptotic bandwidth (Prylli & Tourancheau, "BIP: a new
+//!   protocol designed for high performance networking on Myrinet", 1998).
+//!
+//! Delays are realized by busy-waiting: sleeping cannot hit microsecond
+//! targets, and the sender-side spin also models BIP's synchronous sends.
+
+use std::time::{Duration, Instant};
+
+/// Linear wire-cost model applied to every message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetProfile {
+    /// Human-readable name (appears in bench reports).
+    pub name: &'static str,
+    /// One-way per-message latency, nanoseconds.
+    pub latency_ns: u64,
+    /// Transmission cost per payload byte, nanoseconds.
+    pub ns_per_byte: f64,
+}
+
+impl NetProfile {
+    /// BIP over Myrinet, the paper's network: ~8 µs latency, ~126 MB/s.
+    pub fn myrinet_bip() -> Self {
+        NetProfile { name: "myrinet-bip", latency_ns: 8_000, ns_per_byte: 1e9 / 126.0e6 }
+    }
+
+    /// 100 Mb/s Fast Ethernet with a kernel TCP stack of the era
+    /// (~60 µs latency, ~11 MB/s) — the "slow network" contrast case.
+    pub fn fast_ethernet() -> Self {
+        NetProfile { name: "fast-ethernet", latency_ns: 60_000, ns_per_byte: 1e9 / 11.0e6 }
+    }
+
+    /// No wire cost at all: isolates protocol CPU cost; used by tests for
+    /// determinism and speed.
+    pub fn instant() -> Self {
+        NetProfile { name: "instant", latency_ns: 0, ns_per_byte: 0.0 }
+    }
+
+    /// Total modelled wire time for a message of `bytes` payload bytes.
+    pub fn delay_for(&self, bytes: usize) -> Duration {
+        let ns = self.latency_ns as f64 + self.ns_per_byte * bytes as f64;
+        Duration::from_nanos(ns as u64)
+    }
+
+    /// Is this the zero-cost model?
+    pub fn is_instant(&self) -> bool {
+        self.latency_ns == 0 && self.ns_per_byte == 0.0
+    }
+}
+
+impl Default for NetProfile {
+    fn default() -> Self {
+        NetProfile::myrinet_bip()
+    }
+}
+
+/// Busy-wait for `d`.  Microsecond-scale precision; returns immediately for
+/// zero durations.
+#[inline]
+pub fn spin_for(d: Duration) {
+    if d.is_zero() {
+        return;
+    }
+    let deadline = Instant::now() + d;
+    while Instant::now() < deadline {
+        std::hint::spin_loop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bip_figures() {
+        let p = NetProfile::myrinet_bip();
+        // Small message ≈ latency.
+        let d0 = p.delay_for(0);
+        assert_eq!(d0, Duration::from_micros(8));
+        // 64 KiB at 126 MB/s ≈ 520 µs + latency.
+        let d64k = p.delay_for(64 * 1024);
+        assert!(d64k > Duration::from_micros(500) && d64k < Duration::from_micros(560), "{d64k:?}");
+    }
+
+    #[test]
+    fn instant_is_free() {
+        let p = NetProfile::instant();
+        assert!(p.is_instant());
+        assert_eq!(p.delay_for(1 << 20), Duration::ZERO);
+    }
+
+    #[test]
+    fn spin_waits_roughly_right() {
+        let t0 = Instant::now();
+        spin_for(Duration::from_micros(200));
+        let dt = t0.elapsed();
+        assert!(dt >= Duration::from_micros(200));
+        assert!(dt < Duration::from_millis(50), "spin overshot wildly: {dt:?}");
+    }
+
+    #[test]
+    fn ethernet_slower_than_myrinet() {
+        let m = NetProfile::myrinet_bip();
+        let e = NetProfile::fast_ethernet();
+        assert!(e.delay_for(1024) > m.delay_for(1024));
+    }
+}

@@ -1,0 +1,75 @@
+//! Per-endpoint traffic statistics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live atomic counters for one endpoint.
+#[derive(Debug, Default)]
+pub struct EndpointStats {
+    /// Messages sent.
+    pub msgs_sent: AtomicU64,
+    /// Payload bytes sent.
+    pub bytes_sent: AtomicU64,
+    /// Messages received.
+    pub msgs_recv: AtomicU64,
+    /// Payload bytes received.
+    pub bytes_recv: AtomicU64,
+}
+
+impl EndpointStats {
+    pub(crate) fn on_send(&self, bytes: usize) {
+        self.msgs_sent.fetch_add(1, Ordering::Relaxed);
+        self.bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_recv(&self, bytes: usize) {
+        self.msgs_recv.fetch_add(1, Ordering::Relaxed);
+        self.bytes_recv.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy.
+    pub fn snapshot(&self) -> EndpointStatsSnapshot {
+        EndpointStatsSnapshot {
+            msgs_sent: self.msgs_sent.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            msgs_recv: self.msgs_recv.load(Ordering::Relaxed),
+            bytes_recv: self.bytes_recv.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-data snapshot of [`EndpointStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EndpointStatsSnapshot {
+    pub msgs_sent: u64,
+    pub bytes_sent: u64,
+    pub msgs_recv: u64,
+    pub bytes_recv: u64,
+}
+
+impl std::fmt::Display for EndpointStatsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "sent {} msgs / {} B, received {} msgs / {} B",
+            self.msgs_sent, self.bytes_sent, self.msgs_recv, self.bytes_recv
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = EndpointStats::default();
+        s.on_send(100);
+        s.on_send(24);
+        s.on_recv(7);
+        let snap = s.snapshot();
+        assert_eq!(snap.msgs_sent, 2);
+        assert_eq!(snap.bytes_sent, 124);
+        assert_eq!(snap.msgs_recv, 1);
+        assert_eq!(snap.bytes_recv, 7);
+    }
+}

@@ -1,0 +1,246 @@
+//! x86-64 SysV context switching.
+//!
+//! A context is the callee-saved register set plus the FP control words —
+//! exactly what a synchronous function call is allowed to clobber-protect.
+//! Switching is ~20 instructions; this is the mechanism behind PM2's "very
+//! efficient primitives … creation, destruction and context switching" (§2).
+//!
+//! Migration interacts with contexts in one crucial way: the saved `rsp`,
+//! `rbp` and every pointer spilled on the stack are *virtual addresses into
+//! the thread's stack slot*.  Because the iso-address discipline recreates
+//! the slot at the same address on the destination node, a saved context is
+//! resumable after migration **with no fix-up whatsoever** — switching into
+//! it simply returns into the migrated stack.
+
+#![allow(clippy::missing_safety_doc)]
+
+/// Saved execution context (callee-saved registers + FP control state).
+///
+/// Field offsets are hard-coded in the assembly below — keep in sync.
+#[repr(C)]
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Context {
+    /// Stack pointer; points at the return address to resume at.
+    pub rsp: u64, // 0x00
+    /// Frame pointer.
+    pub rbp: u64, // 0x08
+    pub rbx: u64, // 0x10
+    pub r12: u64, // 0x18
+    pub r13: u64, // 0x20
+    pub r14: u64, // 0x28
+    pub r15: u64, // 0x30
+    /// SSE control/status register (rounding mode etc. are callee-saved).
+    pub mxcsr: u32, // 0x38
+    /// x87 FPU control word.
+    pub fcw: u16, // 0x3c
+    pub _pad: u16,
+}
+
+const _: () = assert!(std::mem::size_of::<Context>() == 0x40);
+
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+std::arch::global_asm!(
+    r#"
+    .text
+    .globl marcel_ctx_switch
+    .p2align 4
+    // fn marcel_ctx_switch(save: *mut Context [rdi], restore: *const Context [rsi])
+    marcel_ctx_switch:
+        mov [rdi + 0x00], rsp
+        mov [rdi + 0x08], rbp
+        mov [rdi + 0x10], rbx
+        mov [rdi + 0x18], r12
+        mov [rdi + 0x20], r13
+        mov [rdi + 0x28], r14
+        mov [rdi + 0x30], r15
+        stmxcsr [rdi + 0x38]
+        fnstcw  [rdi + 0x3c]
+        mov rsp, [rsi + 0x00]
+        mov rbp, [rsi + 0x08]
+        mov rbx, [rsi + 0x10]
+        mov r12, [rsi + 0x18]
+        mov r13, [rsi + 0x20]
+        mov r14, [rsi + 0x28]
+        mov r15, [rsi + 0x30]
+        ldmxcsr [rsi + 0x38]
+        fldcw   [rsi + 0x3c]
+        ret
+
+    .globl marcel_thread_tramp
+    .p2align 4
+    // First activation target of a fresh thread.  The spawner parks the
+    // descriptor pointer in r12 (callee-saved, so marcel_ctx_switch restores
+    // it); we move it to rdi and enter Rust.  marcel_thread_entry never
+    // returns.
+    marcel_thread_tramp:
+        mov rdi, r12
+        // Entered with rsp ≡ 8 (mod 16), like any function.  Realign so the
+        // callee is entered with standard alignment (rsp ≡ 8 after its own
+        // return address is pushed); marcel_thread_entry never returns.
+        sub rsp, 8
+        call marcel_thread_entry
+        ud2
+"#
+);
+
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+extern "C" {
+    /// Save the current context into `save` and resume `restore`.
+    ///
+    /// Returns when something later switches back into `save` — possibly on
+    /// a different OS thread and, after a migration, a different node.
+    pub fn marcel_ctx_switch(save: *mut Context, restore: *const Context);
+    /// Assembly trampoline; never called from Rust directly.
+    pub fn marcel_thread_tramp();
+}
+
+#[cfg(not(all(target_arch = "x86_64", target_os = "linux")))]
+compile_error!(
+    "marcel's context switching is implemented for x86-64 Linux only \
+     (the platform of this reproduction, mirroring the paper's PentiumPro/Linux cluster)"
+);
+
+/// Current MXCSR value (so spawned threads inherit FP behaviour).
+#[inline]
+pub fn current_mxcsr() -> u32 {
+    let mut v: u32 = 0;
+    // SAFETY: stmxcsr only writes CPU control state into our local.
+    unsafe { std::arch::asm!("stmxcsr [{}]", in(reg) &mut v, options(nostack)) };
+    v
+}
+
+/// Default x87 control word (64-bit precision, round-to-nearest, masked
+/// exceptions) — what the SysV ABI mandates at function entry.
+pub const DEFAULT_FCW: u16 = 0x037F;
+
+/// Prepare a fresh context that, when first switched into, enters
+/// `marcel_thread_tramp` with `desc` in `r12` on the given stack.
+///
+/// `stack_top` must be 16-byte aligned; the top 16 bytes are consumed.
+pub fn prepare_initial_context(stack_top: usize, desc: usize) -> Context {
+    assert_eq!(stack_top % 16, 0, "stack top must be 16-byte aligned");
+    // After `ret` pops the trampoline address, rsp ≡ 8 (mod 16) — the
+    // standard alignment at function entry (as if reached by `call`).
+    let rsp = stack_top - 16;
+    // SAFETY: the caller guarantees the stack memory is mapped and owned.
+    unsafe {
+        (rsp as *mut u64).write(marcel_thread_tramp as unsafe extern "C" fn() as usize as u64);
+    }
+    Context {
+        rsp: rsp as u64,
+        rbp: 0,
+        rbx: 0,
+        r12: desc as u64,
+        r13: 0,
+        r14: 0,
+        r15: 0,
+        mxcsr: current_mxcsr(),
+        fcw: DEFAULT_FCW,
+        _pad: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // A self-contained ping-pong between a host context and a coroutine on a
+    // plain heap stack, exercising the raw switch mechanics without any
+    // scheduler.
+    static mut HOST: Context = Context {
+        rsp: 0,
+        rbp: 0,
+        rbx: 0,
+        r12: 0,
+        r13: 0,
+        r14: 0,
+        r15: 0,
+        mxcsr: 0,
+        fcw: 0,
+        _pad: 0,
+    };
+    static mut CORO: Context = HostInit::ZERO;
+    static mut TRACE: u64 = 0;
+
+    struct HostInit;
+    impl HostInit {
+        const ZERO: Context = Context {
+            rsp: 0,
+            rbp: 0,
+            rbx: 0,
+            r12: 0,
+            r13: 0,
+            r14: 0,
+            r15: 0,
+            mxcsr: 0,
+            fcw: 0,
+            _pad: 0,
+        };
+    }
+
+    unsafe extern "C" fn coro_body(arg: u64) -> ! {
+        (&raw mut TRACE).write((&raw const TRACE).read() * 10 + arg);
+        marcel_ctx_switch(&raw mut CORO, &raw const HOST);
+        (&raw mut TRACE).write((&raw const TRACE).read() * 10 + 7);
+        marcel_ctx_switch(&raw mut CORO, &raw const HOST);
+        unreachable!("coroutine resumed after final switch-out");
+    }
+
+    // Hand-rolled trampoline for this test: r12 carries the argument, enter
+    // coro_body.
+    std::arch::global_asm!(
+        r#"
+        .text
+        .globl marcel_test_tramp
+        marcel_test_tramp:
+            mov rdi, r12
+            sub rsp, 8
+            call {body}
+            ud2
+    "#,
+        body = sym coro_body
+    );
+    extern "C" {
+        fn marcel_test_tramp();
+    }
+
+    #[test]
+    fn raw_switch_roundtrip() {
+        // 64 KiB heap stack, 16-aligned top.
+        let mut stack = vec![0u8; 64 * 1024];
+        let top = (stack.as_mut_ptr() as usize + stack.len()) & !15;
+        unsafe {
+            let rsp = top - 16;
+            (rsp as *mut u64)
+                .write(marcel_test_tramp as unsafe extern "C" fn() as usize as u64);
+            (&raw mut CORO).write(Context {
+                rsp: rsp as u64,
+                r12: 3,
+                mxcsr: current_mxcsr(),
+                fcw: DEFAULT_FCW,
+                ..HostInit::ZERO
+            });
+            (&raw mut TRACE).write(0);
+            marcel_ctx_switch(&raw mut HOST, &raw const CORO);
+            assert_eq!((&raw const TRACE).read(), 3, "first leg runs up to the switch-back");
+            (&raw mut TRACE).write((&raw const TRACE).read() * 10 + 5);
+            marcel_ctx_switch(&raw mut HOST, &raw const CORO);
+            assert_eq!((&raw const TRACE).read(), 357, "host and coroutine interleave");
+        }
+    }
+
+    #[test]
+    fn initial_context_alignment() {
+        let mut stack = vec![0u8; 4096];
+        let top = (stack.as_mut_ptr() as usize + stack.len()) & !15;
+        let ctx = prepare_initial_context(top, 0x1234);
+        assert_eq!(ctx.rsp % 16, 0);
+        assert_eq!(ctx.r12, 0x1234);
+        unsafe {
+            assert_eq!(
+                (ctx.rsp as *const u64).read(),
+                marcel_thread_tramp as unsafe extern "C" fn() as usize as u64
+            );
+        }
+    }
+}

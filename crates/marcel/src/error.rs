@@ -1,0 +1,25 @@
+//! Thread-substrate errors.
+
+use std::fmt;
+
+/// Errors while creating a Marcel thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpawnError {
+    /// The slot provider could not supply a stack slot.
+    Provider(isoaddr::IsoAddrError),
+    /// The spawn closure is too large to embed in a stack slot.
+    ClosureTooLarge(usize),
+}
+
+impl fmt::Display for SpawnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpawnError::Provider(e) => write!(f, "cannot acquire stack slot: {e}"),
+            SpawnError::ClosureTooLarge(n) => {
+                write!(f, "spawn closure of {n} bytes cannot fit in a stack slot")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpawnError {}

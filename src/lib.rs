@@ -1,0 +1,1 @@
+//! Root helper lib for the pm2-suite integration tests and examples.

@@ -1,0 +1,135 @@
+//! The external load-balancer module: transparent preemptive migration of
+//! application threads that contain no migration code (§2's motivation).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use pm2::api::*;
+use pm2::loadbal::{start_balancer, BalancerConfig};
+use pm2::{Machine, MachineMode, Pm2Config};
+
+#[test]
+fn balancer_spreads_a_hot_node() {
+    let mut m = Machine::launch(Pm2Config::test(4).with_mode(MachineMode::Threaded)).unwrap();
+    let bal = start_balancer(
+        &m,
+        BalancerConfig {
+            period: Duration::from_millis(1),
+            threshold: 1,
+            max_moves_per_round: 8,
+        },
+    )
+    .unwrap();
+
+    // 16 CPU-ish workers, all dumped on node 0.
+    let finished_nodes = Arc::new(std::sync::Mutex::new(Vec::new()));
+    let mut handles = Vec::new();
+    for i in 0..16usize {
+        let fin = Arc::clone(&finished_nodes);
+        handles.push(
+            m.spawn_on(0, move || {
+                // Plain computation + yields; no migration calls.
+                let mut acc = i as u64;
+                for _ in 0..600 {
+                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    pm2_yield();
+                }
+                fin.lock().unwrap().push((pm2_self(), acc));
+            })
+            .unwrap(),
+        );
+    }
+    for h in handles {
+        assert!(!m.join(h).panicked);
+    }
+    let moves = bal.moves();
+    bal.stop(&m);
+
+    let fins = finished_nodes.lock().unwrap();
+    assert_eq!(fins.len(), 16);
+    let off_node0 = fins.iter().filter(|(n, _)| *n != 0).count();
+    assert!(moves > 0, "balancer must have ordered migrations");
+    assert!(
+        off_node0 >= 4,
+        "at least a quarter of the workers should finish off node 0 (got {off_node0}, {moves} moves)"
+    );
+    m.shutdown();
+}
+
+#[test]
+fn balancer_is_quiet_on_balanced_load() {
+    let mut m = Machine::launch(Pm2Config::test(2).with_mode(MachineMode::Threaded)).unwrap();
+    let bal = start_balancer(
+        &m,
+        BalancerConfig {
+            period: Duration::from_millis(1),
+            threshold: 2,
+            max_moves_per_round: 4,
+        },
+    )
+    .unwrap();
+    let counter = Arc::new(AtomicUsize::new(0));
+    let mut handles = Vec::new();
+    for node in 0..2 {
+        for _ in 0..3 {
+            let c = Arc::clone(&counter);
+            handles.push(
+                m.spawn_on(node, move || {
+                    for _ in 0..100 {
+                        pm2_yield();
+                    }
+                    c.fetch_add(1, Ordering::SeqCst);
+                })
+                .unwrap(),
+            );
+        }
+    }
+    for h in handles {
+        m.join(h);
+    }
+    assert_eq!(counter.load(Ordering::SeqCst), 6);
+    assert_eq!(bal.moves(), 0, "no imbalance → no migrations");
+    bal.stop(&m);
+    m.shutdown();
+}
+
+#[test]
+fn non_migratable_threads_stay_put() {
+    let mut m = Machine::launch(Pm2Config::test(2).with_mode(MachineMode::Threaded)).unwrap();
+    let bal = start_balancer(
+        &m,
+        BalancerConfig {
+            period: Duration::from_millis(1),
+            threshold: 0,
+            max_moves_per_round: 8,
+        },
+    )
+    .unwrap();
+    let mut handles = Vec::new();
+    let pinned_final = Arc::new(AtomicUsize::new(99));
+    for i in 0..6usize {
+        let pf = Arc::clone(&pinned_final);
+        handles.push(
+            m.spawn_on(0, move || {
+                if i == 0 {
+                    // This one pins itself.
+                    pm2_set_migratable(false);
+                }
+                for _ in 0..300 {
+                    pm2_yield();
+                }
+                if i == 0 {
+                    pf.store(pm2_self(), Ordering::SeqCst);
+                }
+            })
+            .unwrap(),
+        );
+    }
+    for h in handles {
+        m.join(h);
+    }
+    assert_eq!(pinned_final.load(Ordering::SeqCst), 0, "pinned thread never moved");
+    bal.stop(&m);
+    m.shutdown();
+}

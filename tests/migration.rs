@@ -1,0 +1,264 @@
+//! Migration semantics across the full runtime: repeated hops, deep stacks,
+//! heavy heaps, preemptive third-party migration, and slot-ownership
+//! transfer on remote death.
+
+use pm2::api::*;
+use pm2::{Machine, MachineMode, Pm2Config};
+
+fn machine(nodes: usize) -> Machine {
+    Machine::launch(Pm2Config::test(nodes)).unwrap()
+}
+
+#[test]
+fn ping_pong_many_hops() {
+    let mut m = machine(2);
+    let hops = m
+        .run_on(0, || {
+            let mut hops = 0usize;
+            let marker: u64 = 0x1234_5678_9ABC_DEF0;
+            let pm = &marker as *const u64;
+            for i in 0..50 {
+                pm2_migrate(1 - (i % 2)).unwrap();
+                assert_eq!(unsafe { *pm }, 0x1234_5678_9ABC_DEF0);
+                hops += 1;
+            }
+            hops
+        })
+        .unwrap();
+    assert_eq!(hops, 50);
+    assert_eq!(m.node_stats(0).migrations_out + m.node_stats(1).migrations_out, 50);
+    m.shutdown();
+}
+
+#[test]
+fn round_trip_visits_every_node() {
+    let mut m = machine(5);
+    let visited = m
+        .run_on(0, || {
+            let mut visited = Vec::new();
+            for dest in [1usize, 2, 3, 4, 0] {
+                pm2_migrate(dest).unwrap();
+                visited.push(pm2_self());
+            }
+            visited
+        })
+        .unwrap();
+    assert_eq!(visited, vec![1, 2, 3, 4, 0]);
+    m.shutdown();
+}
+
+/// Migration from inside a deep recursion: the live stack is large and full
+/// of frame pointers — all preserved by the iso-address copy.
+#[test]
+fn migration_inside_deep_recursion() {
+    fn descend(depth: usize, acc: u64) -> u64 {
+        // Local data per frame, read after the migration unwinds back up.
+        let local = [acc; 4];
+        if depth == 0 {
+            pm2_migrate(1).unwrap();
+            assert_eq!(pm2_self(), 1);
+            return local[3];
+        }
+        let below = descend(depth - 1, acc + 1);
+        // These frames were captured on node 0 and resumed on node 1.
+        below + local[0]
+    }
+    let mut m = machine(2);
+    let v = m.run_on(0, || descend(40, 1)).unwrap();
+    // sum over frames: 41 + sum_{i=1..40} i ... = 41 + 820
+    assert_eq!(v, 41 + (1..=40).sum::<u64>());
+    m.shutdown();
+}
+
+#[test]
+fn migration_with_many_heap_blocks() {
+    let mut m = machine(3);
+    m.run_on(0, || {
+        let mut ptrs = Vec::new();
+        for i in 0..500usize {
+            let sz = 16 + (i * 31) % 900;
+            let p = pm2_isomalloc(sz).unwrap();
+            unsafe { std::ptr::write_bytes(p, (i % 255) as u8, sz) };
+            ptrs.push((p, sz, (i % 255) as u8));
+        }
+        // Free a third before migrating (holes must also survive).
+        for i in (0..500).step_by(3) {
+            let (p, _, _) = ptrs[i];
+            pm2_isofree(p).unwrap();
+        }
+        pm2_migrate(1).unwrap();
+        pm2_migrate(2).unwrap();
+        for (i, &(p, sz, fill)) in ptrs.iter().enumerate() {
+            if i % 3 == 0 {
+                continue;
+            }
+            unsafe {
+                assert_eq!(*p, fill, "block {i} head");
+                assert_eq!(*p.add(sz - 1), fill, "block {i} tail");
+            }
+            pm2_isofree(p).unwrap();
+        }
+    })
+    .unwrap();
+    // The thread died on node 2: its slots were released THERE (Fig. 6
+    // step 4), so node 2 now owns slots it did not start with.
+    let audit = m.audit().unwrap();
+    audit.check_partition().unwrap();
+    let gained: usize = audit.nodes[2].bitmap.count_ones();
+    let initial = m.area().n_slots() / 3;
+    assert!(gained > initial, "node 2 owns {gained} ≤ initial {initial}");
+    m.shutdown();
+}
+
+#[test]
+fn preemptive_migration_by_peer_thread() {
+    let mut m = machine(2);
+    let done = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    let done2 = done.clone();
+    // A worker that just counts and yields — no migration code at all.
+    let worker = m
+        .spawn_on(0, move || {
+            let mut final_node = 0;
+            for _ in 0..200 {
+                final_node = pm2_self();
+                pm2_yield();
+            }
+            done2.store(final_node + 1, std::sync::atomic::Ordering::SeqCst);
+        })
+        .unwrap();
+    // A manager thread on the same node preemptively ships the worker away.
+    let wtid = worker.tid;
+    let manager = m
+        .spawn_on(0, move || {
+            for _ in 0..3 {
+                pm2_yield();
+            }
+            pm2_migrate_thread(wtid, 1).unwrap();
+        })
+        .unwrap();
+    m.join(manager);
+    m.join(worker);
+    assert_eq!(
+        done.load(std::sync::atomic::Ordering::SeqCst),
+        2,
+        "worker must have finished on node 1"
+    );
+    assert_eq!(m.node_stats(1).migrations_in, 1);
+    m.shutdown();
+}
+
+#[test]
+fn migrating_an_unknown_thread_fails() {
+    let mut m = machine(2);
+    let r = m.run_on(0, || pm2_migrate_thread(0xDEAD, 1)).unwrap();
+    assert_eq!(r, Err(pm2::Pm2Error::NoSuchThread(0xDEAD)));
+    m.shutdown();
+}
+
+#[test]
+fn migrate_to_bad_node_fails_cleanly() {
+    let mut m = machine(2);
+    let r = m.run_on(0, || pm2_migrate(7)).unwrap();
+    assert_eq!(r, Err(pm2::Pm2Error::NoSuchNode(7)));
+    m.shutdown();
+}
+
+#[test]
+fn self_migration_is_a_noop() {
+    let mut m = machine(2);
+    m.run_on(0, || {
+        pm2_migrate(0).unwrap();
+        assert_eq!(pm2_self(), 0);
+    })
+    .unwrap();
+    assert_eq!(m.node_stats(0).migrations_out, 0);
+    m.shutdown();
+}
+
+#[test]
+fn many_threads_migrate_concurrently() {
+    let mut m = machine(4);
+    let mut handles = Vec::new();
+    for i in 0..24usize {
+        let h = m
+            .spawn_on(i % 4, move || {
+                let mut x = [i as u64; 8];
+                let px = x.as_ptr();
+                for hop in 0..6 {
+                    pm2_migrate((i + hop) % 4).unwrap();
+                    unsafe { assert_eq!(*px, i as u64) };
+                    x[i % 8] = i as u64; // keep the array live
+                }
+            })
+            .unwrap();
+        handles.push(h);
+    }
+    for h in handles {
+        assert!(!m.join(h).panicked);
+    }
+    let audit = m.audit().unwrap();
+    audit.check_partition().unwrap();
+    m.shutdown();
+}
+
+#[test]
+fn threaded_mode_migration_works_in_parallel() {
+    let mut m = Machine::launch(Pm2Config::test(3).with_mode(MachineMode::Threaded)).unwrap();
+    let mut handles = Vec::new();
+    for i in 0..9usize {
+        handles.push(
+            m.spawn_on(i % 3, move || {
+                let p = pm2_isomalloc(256).unwrap() as *mut u64;
+                unsafe { p.write(i as u64) };
+                for hop in 1..4 {
+                    pm2_migrate((i + hop) % 3).unwrap();
+                    unsafe { assert_eq!(p.read(), i as u64) };
+                }
+                pm2_isofree(p as *mut u8).unwrap();
+            })
+            .unwrap(),
+        );
+    }
+    for h in handles {
+        assert!(!m.join(h).panicked);
+    }
+    m.shutdown();
+}
+
+#[test]
+fn migration_stats_and_buffer_sizes() {
+    let mut m = machine(2);
+    m.run_on(0, || {
+        pm2_migrate(1).unwrap();
+    })
+    .unwrap();
+    let s = m.node_stats(0);
+    assert_eq!(s.migrations_out, 1);
+    assert!(s.migration_bytes_out > 0);
+    // A null thread is small: metadata + shallow live stack, well under a
+    // slot (the basis of the paper's 75 µs figure).
+    assert!(
+        s.migration_bytes_out < 16 * 1024,
+        "null-thread migration buffer unexpectedly large: {} B",
+        s.migration_bytes_out
+    );
+    m.shutdown();
+}
+
+#[test]
+fn panics_propagate_across_migration() {
+    let mut m = machine(2);
+    let t = m
+        .spawn_on(0, || {
+            pm2_migrate(1).unwrap();
+            panic!("explode on the destination node");
+        })
+        .unwrap();
+    let exit = m.join(t);
+    assert!(exit.panicked);
+    assert_eq!(exit.died_on, 1);
+    // The machine survives and remains consistent.
+    let audit = m.audit().unwrap();
+    audit.check_partition().unwrap();
+    m.shutdown();
+}
