@@ -2,8 +2,9 @@
 //! iteration is a complete workload on a fresh machine (launch included);
 //! `bin/ablations` reports per-operation microcosts.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use pm2::{Distribution, MigrationScheme, NetProfile};
+use pm2_bench::crit::Criterion;
+use pm2_bench::{criterion_group, criterion_main};
 use pm2_bench::{distribution_outcome, pack_outcome, scheme_migration_us, slot_cache_cycle_us};
 use std::time::Duration;
 
@@ -17,7 +18,9 @@ fn bench_distribution(c: &mut Criterion) {
         ("partitioned", Distribution::Partitioned),
     ] {
         g.bench_function(format!("{name}/p4_32_multislot_allocs"), |b| {
-            b.iter(|| std::hint::black_box(distribution_outcome(dist, 4, NetProfile::myrinet_bip())));
+            b.iter(|| {
+                std::hint::black_box(distribution_outcome(dist, 4, NetProfile::myrinet_bip()))
+            });
         });
     }
     g.finish();
@@ -41,7 +44,11 @@ fn bench_scheme(c: &mut Criterion) {
     g.measurement_time(Duration::from_secs(8));
     for (name, scheme, k) in [
         ("iso_address", MigrationScheme::IsoAddress, 0usize),
-        ("registered_ptrs_16", MigrationScheme::RegisteredPointers, 16),
+        (
+            "registered_ptrs_16",
+            MigrationScheme::RegisteredPointers,
+            16,
+        ),
     ] {
         g.bench_function(format!("{name}/64_hop_pingpong"), |b| {
             b.iter(|| std::hint::black_box(scheme_migration_us(scheme, k, 64)));
@@ -62,5 +69,11 @@ fn bench_pack(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_distribution, bench_slot_cache, bench_scheme, bench_pack);
+criterion_group!(
+    benches,
+    bench_distribution,
+    bench_slot_cache,
+    bench_scheme,
+    bench_pack
+);
 criterion_main!(benches);

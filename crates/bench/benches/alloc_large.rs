@@ -1,9 +1,10 @@
 //! E8 — criterion benchmark: Figure 11 (bottom).  One iteration = a
 //! 4-allocation batch on a fresh 2-node machine.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use pm2::NetProfile;
+use pm2_bench::crit::Criterion;
 use pm2_bench::{alloc_series_us, Allocator};
+use pm2_bench::{criterion_group, criterion_main};
 use std::time::Duration;
 
 fn bench_alloc_large(c: &mut Criterion) {
@@ -11,19 +12,24 @@ fn bench_alloc_large(c: &mut Criterion) {
     g.sample_size(10);
     g.measurement_time(Duration::from_secs(12));
     for size in [1024 * 1024usize, 8 * 1024 * 1024] {
-        for (name, alloc) in [("malloc", Allocator::Malloc), ("isomalloc", Allocator::Isomalloc)]
-        {
-            g.bench_function(format!("{name}/{}MB/4_alloc_batch", size / (1024 * 1024)), |b| {
-                b.iter(|| {
-                    std::hint::black_box(alloc_series_us(
-                        alloc,
-                        &[size],
-                        NetProfile::myrinet_bip(),
-                        4,
-                        true,
-                    ))
-                });
-            });
+        for (name, alloc) in [
+            ("malloc", Allocator::Malloc),
+            ("isomalloc", Allocator::Isomalloc),
+        ] {
+            g.bench_function(
+                format!("{name}/{}MB/4_alloc_batch", size / (1024 * 1024)),
+                |b| {
+                    b.iter(|| {
+                        std::hint::black_box(alloc_series_us(
+                            alloc,
+                            &[size],
+                            NetProfile::myrinet_bip(),
+                            4,
+                            true,
+                        ))
+                    });
+                },
+            );
         }
     }
     g.finish();

@@ -2,9 +2,10 @@
 //! 16-allocation batch on a fresh 2-node machine; `bin/fig11` reports the
 //! per-allocation microcosts.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use pm2::NetProfile;
+use pm2_bench::crit::Criterion;
 use pm2_bench::{alloc_series_us, Allocator};
+use pm2_bench::{criterion_group, criterion_main};
 use std::time::Duration;
 
 fn bench_alloc_small(c: &mut Criterion) {
@@ -12,8 +13,10 @@ fn bench_alloc_small(c: &mut Criterion) {
     g.sample_size(10);
     g.measurement_time(Duration::from_secs(8));
     for size in [4 * 1024usize, 64 * 1024, 256 * 1024] {
-        for (name, alloc) in [("malloc", Allocator::Malloc), ("isomalloc", Allocator::Isomalloc)]
-        {
+        for (name, alloc) in [
+            ("malloc", Allocator::Malloc),
+            ("isomalloc", Allocator::Isomalloc),
+        ] {
             g.bench_function(format!("{name}/{size}B/16_alloc_batch"), |b| {
                 b.iter(|| {
                     std::hint::black_box(alloc_series_us(

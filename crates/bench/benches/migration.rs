@@ -1,9 +1,10 @@
 //! E5 — criterion benchmark: one-way thread migration latency
 //! (ping-pong between 2 nodes, paper §5 ¶1: < 75 µs on BIP/Myrinet).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use pm2::NetProfile;
+use pm2_bench::crit::Criterion;
 use pm2_bench::migration_pingpong_us;
+use pm2_bench::{criterion_group, criterion_main};
 use std::time::Duration;
 
 fn us_to_total(us_per_op: f64, iters: u64) -> Duration {
@@ -15,8 +16,10 @@ fn bench_migration(c: &mut Criterion) {
     g.sample_size(10);
     g.measurement_time(Duration::from_secs(8));
 
-    for (name, net) in [("instant", NetProfile::instant()), ("myrinet", NetProfile::myrinet_bip())]
-    {
+    for (name, net) in [
+        ("instant", NetProfile::instant()),
+        ("myrinet", NetProfile::myrinet_bip()),
+    ] {
         for payload in [0usize, 32 * 1024] {
             g.bench_function(format!("{name}/payload_{payload}B"), |b| {
                 b.iter_custom(|iters| {

@@ -3,9 +3,10 @@
 //! fresh machine (launch included); `bin/e6_negotiation` reports the
 //! per-negotiation microcosts.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use pm2::NetProfile;
+use pm2_bench::crit::Criterion;
 use pm2_bench::negotiation_us;
+use pm2_bench::{criterion_group, criterion_main};
 use std::time::Duration;
 
 fn bench_negotiation(c: &mut Criterion) {

@@ -1,7 +1,8 @@
 //! S — criterion benchmarks for the substrates underneath the headline
 //! numbers: context switching, thread creation, bitmap search, packing.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pm2_bench::crit::{BatchSize, Criterion};
+use pm2_bench::{criterion_group, criterion_main};
 use pm2_bench::{ctx_switch_ns, spawn_us};
 use std::time::Duration;
 
@@ -80,8 +81,9 @@ fn bench_pack_layer(c: &mut Criterion) {
     unsafe {
         heap_init(heap.as_mut(), isomalloc::FitPolicy::FirstFit, false);
         // Fill one slot with a busy/free checkerboard.
-        let ptrs: Vec<_> =
-            (0..40).map(|_| isomalloc(heap.as_mut(), &mut mgr, 700).unwrap()).collect();
+        let ptrs: Vec<_> = (0..40)
+            .map(|_| isomalloc(heap.as_mut(), &mut mgr, 700).unwrap())
+            .collect();
         for p in ptrs.iter().step_by(2) {
             isomalloc::heap::isofree(heap.as_mut(), &mut mgr, *p).unwrap();
         }

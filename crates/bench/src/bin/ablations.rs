@@ -52,7 +52,11 @@ fn a3_slot_size() {
     );
     for ss in [16 * 1024usize, 64 * 1024, 256 * 1024, 1024 * 1024] {
         let (negs, us) = slot_size_outcome(ss, NetProfile::myrinet_bip());
-        t.row(vec![pm2_bench::bytes(ss as u64), negs.to_string(), pm2_bench::us(us)]);
+        t.row(vec![
+            pm2_bench::bytes(ss as u64),
+            negs.to_string(),
+            pm2_bench::us(us),
+        ]);
     }
     t.emit("a3_slot_size");
 }
@@ -68,7 +72,11 @@ fn a4_fit_policy() {
         (FitPolicy::NextFit, "next-fit"),
     ] {
         let o = fit_policy_outcome(fit, 4000);
-        t.row(vec![name.into(), pm2_bench::us(o.mean_alloc_us), o.slots_used.to_string()]);
+        t.row(vec![
+            name.into(),
+            pm2_bench::us(o.mean_alloc_us),
+            o.slots_used.to_string(),
+        ]);
     }
     t.emit("a4_fit_policy");
 }
@@ -79,10 +87,18 @@ fn a5_scheme() {
         &["scheme", "registered ptrs", "µs/migration"],
     );
     let iso = scheme_migration_us(MigrationScheme::IsoAddress, 0, 300);
-    t.row(vec!["iso-address (paper)".into(), "n/a".into(), pm2_bench::us(iso)]);
+    t.row(vec![
+        "iso-address (paper)".into(),
+        "n/a".into(),
+        pm2_bench::us(iso),
+    ]);
     for k in [0usize, 4, 16] {
         let us = scheme_migration_us(MigrationScheme::RegisteredPointers, k, 300);
-        t.row(vec!["registered-pointers".into(), k.to_string(), pm2_bench::us(us)]);
+        t.row(vec![
+            "registered-pointers".into(),
+            k.to_string(),
+            pm2_bench::us(us),
+        ]);
     }
     t.emit("a5_scheme");
 }
@@ -94,7 +110,11 @@ fn a6_pack() {
     );
     for (full, name) in [(false, "extents (paper §6)"), (true, "whole slots")] {
         let (bytes, us) = pack_outcome(full, 64 * 1024, 120);
-        t.row(vec![name.into(), pm2_bench::bytes(bytes), pm2_bench::us(us)]);
+        t.row(vec![
+            name.into(),
+            pm2_bench::bytes(bytes),
+            pm2_bench::us(us),
+        ]);
     }
     t.emit("a6_pack");
 }

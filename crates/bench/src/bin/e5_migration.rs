@@ -16,9 +16,19 @@ fn main() {
 
     let mut t = Table::new(
         "E5: one-way thread migration latency (ping-pong, 2 nodes)",
-        &["wire model", "payload", "buffer", "µs/migration", "paper reference"],
+        &[
+            "wire model",
+            "payload",
+            "buffer",
+            "µs/migration",
+            "paper reference",
+        ],
     );
-    for net in [NetProfile::instant(), NetProfile::myrinet_bip(), NetProfile::fast_ethernet()] {
+    for net in [
+        NetProfile::instant(),
+        NetProfile::myrinet_bip(),
+        NetProfile::fast_ethernet(),
+    ] {
         for payload in [0usize, 4 * 1024, 32 * 1024, 256 * 1024] {
             let us = migration_pingpong_us(net, payload, hops);
             let buf = migration_buffer_bytes(payload);
@@ -43,6 +53,10 @@ fn main() {
     println!(
         "headline: null-thread migration = {:.1} µs  (paper < 75 µs → {})",
         headline,
-        if headline < 75.0 { "REPRODUCED" } else { "NOT reproduced" }
+        if headline < 75.0 {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
     );
 }

@@ -15,7 +15,12 @@ fn main() {
     let rounds = 40;
     let mut t = Table::new(
         "E6: multi-slot negotiation cost vs node count (round-robin)",
-        &["nodes", "instant wire (µs)", "myrinet-bip (µs)", "paper (µs)"],
+        &[
+            "nodes",
+            "instant wire (µs)",
+            "myrinet-bip (µs)",
+            "paper (µs)",
+        ],
     );
     let mut myri_points = Vec::new();
     for p in [2usize, 3, 4, 6, 8] {
@@ -39,6 +44,10 @@ fn main() {
          (paper: 255 µs at p=2, +165 µs per node) — affine shape {}",
         base,
         slope,
-        if slope > 0.0 { "REPRODUCED" } else { "NOT reproduced" }
+        if slope > 0.0 {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
     );
 }

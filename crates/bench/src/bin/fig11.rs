@@ -13,18 +13,29 @@
 //! ```
 
 use pm2::NetProfile;
-use pm2_bench::{
-    alloc_series_us, fig11_large_sizes, fig11_small_sizes, Allocator, Table,
-};
+use pm2_bench::{alloc_series_us, fig11_large_sizes, fig11_small_sizes, Allocator, Table};
 
 fn panel(title: &str, name: &str, sizes: &[usize], batch: usize) {
     let net = NetProfile::myrinet_bip();
     let iso = alloc_series_us(Allocator::Isomalloc, sizes, net, batch, true);
     let mal = alloc_series_us(Allocator::Malloc, sizes, net, batch, true);
-    let mut t = Table::new(title, &["block size (B)", "malloc (µs)", "pm2_isomalloc (µs)", "overhead (µs)", "overhead (%)"]);
+    let mut t = Table::new(
+        title,
+        &[
+            "block size (B)",
+            "malloc (µs)",
+            "pm2_isomalloc (µs)",
+            "overhead (µs)",
+            "overhead (%)",
+        ],
+    );
     for ((size, iso_us), (_, mal_us)) in iso.iter().zip(mal.iter()) {
         let over = iso_us - mal_us;
-        let pct = if *mal_us > 0.0 { 100.0 * over / mal_us } else { 0.0 };
+        let pct = if *mal_us > 0.0 {
+            100.0 * over / mal_us
+        } else {
+            0.0
+        };
         t.row(vec![
             size.to_string(),
             pm2_bench::us(*mal_us),

@@ -9,12 +9,15 @@
 use pm2_bench::{ctx_switch_ns, smoke, spawn_us, Table};
 
 fn substrates() {
-    let mut t = Table::new(
-        "S: substrate microcosts",
-        &["operation", "cost"],
-    );
-    t.row(vec!["context switch (yield round-robin)".into(), format!("{:.0} ns", ctx_switch_ns(20_000))]);
-    t.row(vec!["thread create + run + join".into(), format!("{:.1} µs", spawn_us(400))]);
+    let mut t = Table::new("S: substrate microcosts", &["operation", "cost"]);
+    t.row(vec![
+        "context switch (yield round-robin)".into(),
+        format!("{:.0} ns", ctx_switch_ns(20_000)),
+    ]);
+    t.row(vec![
+        "thread create + run + join".into(),
+        format!("{:.1} µs", spawn_us(400)),
+    ]);
     t.emit("substrates");
 }
 

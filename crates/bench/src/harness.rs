@@ -15,7 +15,10 @@ use pm2::{
 /// Paper-scale area: 3.5 GB of iso-address space in 64 KiB slots, giving
 /// the paper's 7 kB per-node bitmaps (§4.2).
 pub fn paper_area() -> AreaConfig {
-    AreaConfig { slot_size: 64 * 1024, n_slots: 57_344 }
+    AreaConfig {
+        slot_size: 64 * 1024,
+        n_slots: 57_344,
+    }
 }
 
 /// The machine configuration used by the paper's experiments: round-robin
@@ -119,7 +122,10 @@ pub fn negotiation_us(p: usize, net: NetProfile, rounds: usize) -> f64 {
     .expect("negotiation workload");
     let stats = m.node_stats(0);
     m.shutdown();
-    assert!(stats.negotiations >= rounds as u64, "every allocation must negotiate");
+    assert!(
+        stats.negotiations >= rounds as u64,
+        "every allocation must negotiate"
+    );
     (stats.negotiation_ns as f64 / stats.negotiations as f64) / 1000.0
 }
 
@@ -171,32 +177,26 @@ pub fn alloc_series_us(
         .collect()
 }
 
-fn alloc_point_us(alloc: Allocator, size: usize, net: NetProfile, batch: usize, touch: bool) -> f64 {
+fn alloc_point_us(
+    alloc: Allocator,
+    size: usize,
+    net: NetProfile,
+    batch: usize,
+    touch: bool,
+) -> f64 {
     let mut m = Machine::launch(paper_config(2, net)).expect("launch");
     let sizes_owned: Vec<usize> = vec![size];
     let out = m
         .run_on(0, move || {
             // Private single-owner heap for the Malloc baseline: same block
             // layer, same Resident-mode area, no iso-address discipline.
-            let private_area = std::sync::Arc::new(
-                isoaddr::IsoArea::new(paper_area()).expect("private area"),
-            );
-            let mut private_mgr = isoaddr::NodeSlotManager::new(
-                0,
-                1,
-                private_area,
-                pm2::Distribution::RoundRobin,
-                0,
-            );
+            let private_area =
+                std::sync::Arc::new(isoaddr::IsoArea::new(paper_area()).expect("private area"));
+            let mut private_mgr =
+                isoaddr::NodeSlotManager::new(0, 1, private_area, pm2::Distribution::RoundRobin, 0);
             let mut private_heap: Box<isomalloc::IsoHeapState> =
                 Box::new(unsafe { std::mem::zeroed() });
-            unsafe {
-                isomalloc::heap_init(
-                    private_heap.as_mut(),
-                    pm2::FitPolicy::FirstFit,
-                    true,
-                )
-            };
+            unsafe { isomalloc::heap_init(private_heap.as_mut(), pm2::FitPolicy::FirstFit, true) };
 
             // Untimed warm-up: fault in runtime paths and the first pages
             // of both heaps.
@@ -204,8 +204,7 @@ fn alloc_point_us(alloc: Allocator, size: usize, net: NetProfile, batch: usize, 
                 let w = match alloc {
                     Allocator::Isomalloc => pm2_isomalloc(1024).unwrap(),
                     Allocator::Malloc => unsafe {
-                        isomalloc::isomalloc(private_heap.as_mut(), &mut private_mgr, 1024)
-                            .unwrap()
+                        isomalloc::isomalloc(private_heap.as_mut(), &mut private_mgr, 1024).unwrap()
                     },
                     Allocator::HostMalloc => unsafe {
                         std::alloc::alloc(std::alloc::Layout::from_size_align(1024, 16).unwrap())
@@ -252,8 +251,7 @@ fn alloc_point_us(alloc: Allocator, size: usize, net: NetProfile, batch: usize, 
                     match alloc {
                         Allocator::Isomalloc => pm2_isofree(p).unwrap(),
                         Allocator::Malloc => unsafe {
-                            isomalloc::isofree(private_heap.as_mut(), &mut private_mgr, p)
-                                .unwrap()
+                            isomalloc::isofree(private_heap.as_mut(), &mut private_mgr, p).unwrap()
                         },
                         Allocator::HostMalloc => unsafe {
                             let layout =
@@ -308,15 +306,8 @@ pub struct DistributionOutcome {
 
 /// Fixed multi-slot workload (32 live allocations of 2–5 slots) under a
 /// given initial distribution.
-pub fn distribution_outcome(
-    dist: Distribution,
-    p: usize,
-    net: NetProfile,
-) -> DistributionOutcome {
-    let mut m = Machine::launch(
-        paper_config(p, net).with_distribution(dist),
-    )
-    .expect("launch");
+pub fn distribution_outcome(dist: Distribution, p: usize, net: NetProfile) -> DistributionOutcome {
+    let mut m = Machine::launch(paper_config(p, net).with_distribution(dist)).expect("launch");
     let slot = m.area().slot_size();
     let mean_alloc_us = m
         .run_on(0, move || {
@@ -335,7 +326,10 @@ pub fn distribution_outcome(
         .expect("workload");
     let negotiations = m.node_stats(0).negotiations;
     m.shutdown();
-    DistributionOutcome { mean_alloc_us, negotiations }
+    DistributionOutcome {
+        mean_alloc_us,
+        negotiations,
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -348,7 +342,10 @@ pub fn distribution_outcome(
 pub fn slot_cache_cycle_us(cache_capacity: usize, cycles: usize) -> f64 {
     let mut m = Machine::launch(
         Pm2Config::new(1)
-            .with_area(AreaConfig { slot_size: 64 * 1024, n_slots: 1024 })
+            .with_area(AreaConfig {
+                slot_size: 64 * 1024,
+                n_slots: 1024,
+            })
             .with_net(NetProfile::instant())
             .with_mode(MachineMode::Threaded)
             .with_slot_cache(cache_capacity)
@@ -390,7 +387,10 @@ pub struct FitOutcome {
 pub fn fit_policy_outcome(fit: FitPolicy, ops: usize) -> FitOutcome {
     let mut m = Machine::launch(
         Pm2Config::new(1)
-            .with_area(AreaConfig { slot_size: 64 * 1024, n_slots: 4096 })
+            .with_area(AreaConfig {
+                slot_size: 64 * 1024,
+                n_slots: 4096,
+            })
             .with_net(NetProfile::instant())
             .with_mode(MachineMode::Threaded)
             .with_fit(fit),
@@ -398,8 +398,7 @@ pub fn fit_policy_outcome(fit: FitPolicy, ops: usize) -> FitOutcome {
     .expect("launch");
     let (us, _) = m
         .run_on(0, move || {
-            use rand::{Rng, SeedableRng};
-            let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+            let mut rng = testkit::StdRng::seed_from_u64(42);
             let mut live: Vec<(*mut u8, usize)> = Vec::new();
             let mut alloc_ns = 0u128;
             for i in 0..ops {
@@ -424,7 +423,10 @@ pub fn fit_policy_outcome(fit: FitPolicy, ops: usize) -> FitOutcome {
         .expect("fit workload");
     let slots_used = m.slot_stats(0).local_acquires + m.slot_stats(0).multi_acquires;
     m.shutdown();
-    FitOutcome { mean_alloc_us: us, slots_used }
+    FitOutcome {
+        mean_alloc_us: us,
+        slots_used,
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -434,10 +436,8 @@ pub fn fit_policy_outcome(fit: FitPolicy, ops: usize) -> FitOutcome {
 /// Per-migration µs under a migration scheme, with `registered` legacy
 /// pointer registrations on the thread.
 pub fn scheme_migration_us(scheme: MigrationScheme, registered: usize, hops: usize) -> f64 {
-    let mut m = Machine::launch(
-        paper_config(2, NetProfile::instant()).with_scheme(scheme),
-    )
-    .expect("launch");
+    let mut m = Machine::launch(paper_config(2, NetProfile::instant()).with_scheme(scheme))
+        .expect("launch");
     let us = m
         .run_on(0, move || {
             // Register pointer variables like an early-PM2 application had to.
@@ -475,10 +475,9 @@ pub fn scheme_migration_us(scheme: MigrationScheme, registered: usize, hops: usi
 /// sparse heap, with and without the "send only allocated blocks"
 /// optimization.
 pub fn pack_outcome(pack_full: bool, heap_bytes: usize, hops: usize) -> (u64, f64) {
-    let mut m = Machine::launch(
-        paper_config(2, NetProfile::myrinet_bip()).with_pack_full(pack_full),
-    )
-    .expect("launch");
+    let mut m =
+        Machine::launch(paper_config(2, NetProfile::myrinet_bip()).with_pack_full(pack_full))
+            .expect("launch");
     let us = m
         .run_on(0, move || {
             // A sparse heap: allocate 2×, free every other block.
@@ -560,10 +559,8 @@ pub fn linear_slope(points: &[(f64, f64)]) -> f64 {
 /// Spin-measured context-switch cost (yield round-robin between two
 /// threads), in nanoseconds — PM2's "very efficient … context switching".
 pub fn ctx_switch_ns(iters: usize) -> f64 {
-    let mut m = Machine::launch(
-        Pm2Config::test(1).with_mode(MachineMode::Threaded),
-    )
-    .expect("launch");
+    let mut m =
+        Machine::launch(Pm2Config::test(1).with_mode(MachineMode::Threaded)).expect("launch");
     let partner = m
         .spawn_on(0, move || {
             // Partner yields forever until its peer finishes; it exits when

@@ -3,6 +3,7 @@
 //! both call into this module, so the numbers in EXPERIMENTS.md and the
 //! statistically-validated benchmarks come from the same code paths.
 
+pub mod crit;
 pub mod harness;
 pub mod report;
 

@@ -85,9 +85,7 @@ impl Table {
 
 /// Format a µs value with sensible precision.
 pub fn us(v: f64) -> String {
-    if v >= 1000.0 {
-        format!("{:.1}", v)
-    } else if v >= 10.0 {
+    if v >= 10.0 {
         format!("{:.1}", v)
     } else {
         format!("{:.2}", v)
@@ -127,7 +125,7 @@ mod tests {
 
     #[test]
     fn formatting_helpers() {
-        assert_eq!(us(3.14159), "3.14");
+        assert_eq!(us(3.456), "3.46");
         assert_eq!(us(42.0), "42.0");
         assert_eq!(bytes(512), "512 B");
         assert_eq!(bytes(2048), "2.0 KiB");

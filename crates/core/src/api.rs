@@ -13,17 +13,14 @@
 //! | `pm2_register_pointer`          | [`pm2_register_pointer`] (legacy) |
 //! | `malloc` (non-migrating)        | [`node_malloc`] (see `nodeheap`) |
 
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
-use madeleine::Message;
+use madeleine::{Message, Wire};
 
 use crate::error::{Pm2Error, Result};
 use crate::node::with_ctx;
-use crate::proto::tag;
-
-/// How long a green thread waits for a protocol reply before declaring the
-/// machine wedged (generous; only ever hit on runtime bugs).
-const REPLY_DEADLINE: Duration = Duration::from_secs(30);
+use crate::proto::{self, rpc_status, tag};
+use crate::service::{service_id, Service};
 
 /// Node currently hosting the calling thread (the paper's `pm2_self()`).
 pub fn pm2_self() -> usize {
@@ -66,9 +63,7 @@ pub fn pm2_isomalloc(size: usize) -> Result<*mut u8> {
         let r = with_ctx(|c| {
             // SAFETY: the descriptor belongs to the calling thread, hosted
             // on this node; the pump is not running.
-            unsafe {
-                isomalloc::isomalloc(std::ptr::addr_of_mut!((*d).heap), &mut c.mgr, size)
-            }
+            unsafe { isomalloc::isomalloc(std::ptr::addr_of_mut!((*d).heap), &mut c.mgr, size) }
         });
         match r {
             Ok(p) => return Ok(p),
@@ -85,6 +80,10 @@ pub fn pm2_isomalloc(size: usize) -> Result<*mut u8> {
 
 /// Free a block allocated with [`pm2_isomalloc`].  Freed slots go to the
 /// node the thread is *currently* visiting (Fig. 6).
+// Deliberately a safe fn despite taking a raw pointer: this is the
+// paper-shaped C API, and the block layer validates the pointer (garbage
+// and double frees return Err, they never dereference blindly).
+#[allow(clippy::not_unsafe_ptr_arg_deref)]
 pub fn pm2_isofree(ptr: *mut u8) -> Result<()> {
     wait_unfrozen();
     let d = marcel::current_desc();
@@ -136,36 +135,154 @@ where
     with_ctx(|c| c.spawn_local(f)).map_err(|e| Pm2Error::Spawn(e.to_string()))
 }
 
+/// Spawn a value-returning thread on the current node.  The returned tid
+/// joins through [`pm2_join_value`], which decodes the value the body
+/// returned — across any number of migrations, because the encoded value
+/// rides the thread-exit protocol back to the registry.
+pub fn pm2_thread_create_ret<R, F>(f: F) -> Result<u64>
+where
+    R: Wire + Send + 'static,
+    F: FnOnce() -> R + Send + 'static,
+{
+    pm2_thread_create(move || {
+        let value = f();
+        set_exit_value(value.encode_vec());
+    })
+}
+
 /// Spawn a registered service on a (possibly remote) node — PM2's LRPC.
 pub fn pm2_rpc_spawn(node: usize, service: u32, args: &[u8]) -> Result<()> {
     if node >= with_ctx(|c| c.n_nodes) {
         return Err(Pm2Error::NoSuchNode(node));
     }
-    send_to(node, tag::RPC_SPAWN, crate::proto::encode_rpc_spawn(service, args))
+    send_to(
+        node,
+        tag::RPC_SPAWN,
+        crate::proto::encode_rpc_spawn(service, args),
+    )
+}
+
+/// Typed request/reply LRPC: call service `S` on `node`, blocking the
+/// calling green thread (poll + yield, so this node keeps serving) until
+/// the response arrives or the configured reply deadline passes.
+///
+/// The handler runs as a freshly spawned Marcel thread on `node`.  Errors
+/// distinguish an unregistered service ([`Pm2Error::NoSuchService`]), an
+/// oversized request — checked locally — or response
+/// ([`Pm2Error::PayloadTooLarge`] / [`Pm2Error::Rpc`]), a handler panic
+/// ([`Pm2Error::Rpc`]), and a timeout ([`Pm2Error::Net`]).
+pub fn pm2_rpc_call<S: Service>(node: usize, req: S::Req) -> Result<S::Resp> {
+    let (n_nodes, max) = with_ctx(|c| (c.n_nodes, c.max_rpc_payload));
+    if node >= n_nodes {
+        return Err(Pm2Error::NoSuchNode(node));
+    }
+    let req_bytes = req.encode_vec();
+    if req_bytes.len() > max {
+        return Err(Pm2Error::PayloadTooLarge {
+            len: req_bytes.len(),
+            max,
+        });
+    }
+    let (call_id, reply_to) = with_ctx(|c| {
+        let id = c.next_call_id();
+        c.pending_calls.insert(id);
+        (id, c.node)
+    });
+    // Pin the caller for the duration of the exchange: the response is
+    // addressed to `reply_to`, so a preemptive migration mid-wait would
+    // strand it in the old node's reply queue.
+    let was_migratable = pm2_set_migratable(false);
+    let result = (|| {
+        send_to(
+            node,
+            tag::RPC_CALL,
+            proto::encode_rpc_call(call_id, reply_to, service_id::<S>(), &req_bytes),
+        )?;
+        // Handlers may migrate before replying, so match on the call id
+        // alone, not the source node.
+        let m = wait_reply_matching(tag::RPC_RESP, None, |m| {
+            proto::peek_rpc_call_id(&m.payload) == Some(call_id)
+        })?;
+        decode_rpc_outcome::<S>(&m.payload)
+    })();
+    // Withdraw the pending entry (still on `reply_to` — we are pinned), so
+    // a reply landing after a timeout is dropped, not parked forever.
+    with_ctx(|c| c.pending_calls.remove(&call_id));
+    if was_migratable {
+        pm2_set_migratable(true);
+    }
+    result
+}
+
+/// Shared RPC_RESP → typed result mapping (green and host callers).
+pub(crate) fn decode_rpc_outcome<S: Service>(payload: &[u8]) -> Result<S::Resp> {
+    let (_, status, bytes) =
+        proto::decode_rpc_resp(payload).ok_or(Pm2Error::Decode("rpc response"))?;
+    match status {
+        rpc_status::OK => S::Resp::decode_vec(&bytes).ok_or(Pm2Error::Decode("rpc response body")),
+        rpc_status::NO_SUCH_SERVICE => Err(Pm2Error::NoSuchService(service_id::<S>())),
+        _ => Err(Pm2Error::Rpc(String::from_utf8_lossy(&bytes).into_owned())),
+    }
 }
 
 /// Wait (poll + yield) until thread `tid` has exited anywhere in the
 /// machine.  Returns whether it panicked.
 pub fn pm2_join(tid: u64) -> bool {
+    wait_exit(tid).panicked
+}
+
+/// Wait (poll + yield) until thread `tid` has exited anywhere in the
+/// machine, then decode the value it returned.
+///
+/// Pairs with [`pm2_thread_create_ret`] (green side) and
+/// [`crate::machine::Machine::spawn_on_ret`] (host side): the value is
+/// shipped through the thread-exit protocol, so it arrives even when the
+/// thread died nodes away from where it was spawned.  Errors:
+/// [`Pm2Error::Panicked`] with the panic message if the body panicked,
+/// [`Pm2Error::Decode`] if the thread returned no value or a value of a
+/// different type.
+pub fn pm2_join_value<R: Wire>(tid: u64) -> Result<R> {
+    wait_exit(tid);
+    // Move the value bytes out of the registry (they are not retained
+    // after the join, so completed threads cost O(1) registry space).
+    with_ctx(|c| c.registry.take_typed_exit(tid))
+        .expect("completion just observed")
+        .typed_value()
+}
+
+/// Poll + yield until `tid` completes; returns the metadata record (no
+/// value bytes — they stay in the registry until a typed join takes them).
+fn wait_exit(tid: u64) -> crate::registry::ThreadExit {
     loop {
-        if let Some(e) = with_ctx(|c| c.registry.poll(tid)) {
-            return e.panicked;
+        if let Some(e) = with_ctx(|c| c.registry.poll_meta(tid)) {
+            return e;
         }
         marcel::yield_now();
     }
 }
 
-/// Mark the calling thread (non-)migratable.  Daemons (e.g. the load
+/// Record the calling thread's encoded return value; consumed by the node
+/// when the thread exits.  Must be the last thing a thread body does (no
+/// yield between this and returning).
+pub(crate) fn set_exit_value(bytes: Vec<u8>) {
+    let tid = marcel::current_tid();
+    with_ctx(|c| c.note_exit_value(tid, bytes));
+}
+
+/// Mark the calling thread (non-)migratable; returns the previous state
+/// (so a temporary pin can restore it).  Daemons (e.g. the load
 /// balancer) exclude themselves from preemptive migration this way.
-pub fn pm2_set_migratable(migratable: bool) {
+pub fn pm2_set_migratable(migratable: bool) -> bool {
     let d = marcel::current_desc();
     // SAFETY: own descriptor.
     unsafe {
+        let was = (*d).flags & marcel::thread::flags::MIGRATABLE != 0;
         if migratable {
             (*d).flags |= marcel::thread::flags::MIGRATABLE;
         } else {
             (*d).flags &= !marcel::thread::flags::MIGRATABLE;
         }
+        was
     }
 }
 
@@ -241,20 +358,33 @@ pub(crate) fn send_to(dst: usize, tag: u16, payload: Vec<u8>) -> Result<()> {
 /// Wait for a parked reply matching `tag` (and `src`, if given), yielding so
 /// the node keeps serving.  Replies are parked by the pump.
 pub(crate) fn wait_reply(tag: u16, src: Option<usize>) -> Result<Message> {
-    let deadline = Instant::now() + REPLY_DEADLINE;
+    wait_reply_matching(tag, src, |_| true)
+}
+
+/// [`wait_reply`] with an additional payload predicate (e.g. matching a
+/// typed LRPC reply by call id).  The deadline is the machine's configured
+/// `reply_deadline`.
+pub(crate) fn wait_reply_matching(
+    tag: u16,
+    src: Option<usize>,
+    pred: impl Fn(&Message) -> bool,
+) -> Result<Message> {
+    let deadline = Instant::now() + with_ctx(|c| c.reply_deadline);
     loop {
         let hit = with_ctx(|c| {
             let idx = c
                 .replies
                 .iter()
-                .position(|m| m.tag == tag && src.map_or(true, |s| m.src == s))?;
+                .position(|m| m.tag == tag && src.is_none_or(|s| m.src == s) && pred(m))?;
             c.replies.remove(idx)
         });
         if let Some(m) = hit {
             return Ok(m);
         }
         if Instant::now() > deadline {
-            return Err(Pm2Error::Net(format!("timed out waiting for reply tag {tag}")));
+            return Err(Pm2Error::Net(format!(
+                "timed out waiting for reply tag {tag}"
+            )));
         }
         marcel::yield_now();
     }

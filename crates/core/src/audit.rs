@@ -59,10 +59,7 @@ impl AuditReport {
             }
             for &c in &na.cached {
                 if !na.bitmap.get(c) {
-                    return Err(format!(
-                        "node{} caches slot {c} it does not own",
-                        na.node
-                    ));
+                    return Err(format!("node{} caches slot {c} it does not own", na.node));
                 }
             }
             for (tid, ranges) in &na.threads {
@@ -160,14 +157,22 @@ pub fn decode_node_report(buf: &[u8]) -> Option<NodeAudit> {
         }
         threads.push((tid, ranges));
     }
-    Some(NodeAudit { node, bitmap, cached, threads })
+    Some(NodeAudit {
+        node,
+        bitmap,
+        cached,
+        threads,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn audit_with(bitmaps: Vec<SlotBitmap>, threads: Vec<Vec<(u64, Vec<SlotRange>)>>) -> AuditReport {
+    fn audit_with(
+        bitmaps: Vec<SlotBitmap>,
+        threads: Vec<Vec<(u64, Vec<SlotRange>)>>,
+    ) -> AuditReport {
         let n_slots = bitmaps[0].len();
         AuditReport {
             nodes: bitmaps

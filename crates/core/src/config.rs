@@ -1,8 +1,18 @@
-//! Machine configuration.
+//! Machine configuration: the raw [`Pm2Config`] record and the fluent
+//! [`MachineBuilder`] over it.
+//!
+//! New code should start at [`crate::Machine::builder`]; `Pm2Config` stays
+//! public as the paper-faithful, field-poking layer and for embedders that
+//! persist configurations.
+
+use std::time::Duration;
 
 use isoaddr::{AreaConfig, Distribution, MapStrategy};
 use isomalloc::FitPolicy;
 use madeleine::NetProfile;
+
+use crate::error::Result;
+use crate::machine::Machine;
 
 /// How node schedulers are driven.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,6 +68,15 @@ pub struct Pm2Config {
     /// Echo `pm2_printf` lines to the process stdout as well as capturing
     /// them.
     pub echo_output: bool,
+    /// How long a green thread waits for a protocol reply (negotiation,
+    /// load probes, typed LRPC) before declaring the machine wedged.
+    /// Tests want it short so a deadlock fails fast; stress runs want it
+    /// long so a loaded machine is not misdiagnosed.
+    pub reply_deadline: Duration,
+    /// Largest request/response payload the typed LRPC layer accepts,
+    /// in bytes.  Oversized requests fail locally at the caller;
+    /// oversized responses fail at the serving node with an RPC error.
+    pub max_rpc_payload: usize,
 }
 
 impl Pm2Config {
@@ -78,16 +97,22 @@ impl Pm2Config {
             scheme: MigrationScheme::IsoAddress,
             pack_full_slots: false,
             echo_output: false,
+            reply_deadline: Duration::from_secs(30),
+            max_rpc_payload: 1 << 20,
         }
     }
 
     /// Small, instant-network, deterministic machine for tests.
     pub fn test(nodes: usize) -> Self {
         Pm2Config {
-            area: AreaConfig { slot_size: 64 * 1024, n_slots: 256 },
+            area: AreaConfig {
+                slot_size: 64 * 1024,
+                n_slots: 256,
+            },
             net: NetProfile::instant(),
             mode: MachineMode::Deterministic,
             slot_cache: 0,
+            reply_deadline: Duration::from_secs(10),
             ..Pm2Config::new(nodes)
         }
     }
@@ -151,6 +176,158 @@ impl Pm2Config {
         self.scheme = scheme;
         self
     }
+
+    /// Builder: protocol reply deadline.
+    pub fn with_reply_deadline(mut self, deadline: Duration) -> Self {
+        self.reply_deadline = deadline;
+        self
+    }
+
+    /// Builder: typed-LRPC payload ceiling.
+    pub fn with_max_rpc_payload(mut self, bytes: usize) -> Self {
+        self.max_rpc_payload = bytes;
+        self
+    }
+}
+
+/// Fluent machine construction — the v1 facade's front door.
+///
+/// ```no_run
+/// use pm2::{Machine, NetProfile};
+///
+/// let machine = Machine::builder(4)
+///     .deterministic()
+///     .net(NetProfile::instant())
+///     .launch()
+///     .unwrap();
+/// ```
+///
+/// Every knob of [`Pm2Config`] is reachable; unset knobs keep the
+/// paper-faithful defaults of [`Pm2Config::new`].  [`MachineBuilder::launch`]
+/// consumes the builder and starts the node drivers.
+#[derive(Debug, Clone)]
+pub struct MachineBuilder {
+    cfg: Pm2Config,
+}
+
+impl MachineBuilder {
+    /// Start from the paper-faithful defaults for `nodes` nodes
+    /// (equivalently: [`crate::Machine::builder`]).
+    pub fn new(nodes: usize) -> Self {
+        MachineBuilder {
+            cfg: Pm2Config::new(nodes),
+        }
+    }
+
+    /// Drive all nodes round-robin on one OS thread (fully deterministic
+    /// interleaving; what tests want).
+    pub fn deterministic(mut self) -> Self {
+        self.cfg.mode = MachineMode::Deterministic;
+        self
+    }
+
+    /// One OS thread per node (the default; nodes run in parallel like the
+    /// paper's cluster).
+    pub fn threaded(mut self) -> Self {
+        self.cfg.mode = MachineMode::Threaded;
+        self
+    }
+
+    /// Wire model for the Madeleine fabric.
+    pub fn net(mut self, net: NetProfile) -> Self {
+        self.cfg.net = net;
+        self
+    }
+
+    /// Migration scheme (iso-address, or the registered-pointer ablation).
+    pub fn scheme(mut self, scheme: MigrationScheme) -> Self {
+        self.cfg.scheme = scheme;
+        self
+    }
+
+    /// Geometry of the iso-address area.
+    pub fn area(mut self, area: AreaConfig) -> Self {
+        self.cfg.area = area;
+        self
+    }
+
+    /// Initial slot distribution across nodes.
+    pub fn distribution(mut self, d: Distribution) -> Self {
+        self.cfg.distribution = d;
+        self
+    }
+
+    /// How slot commit/decommit maps onto the host kernel.
+    pub fn map_strategy(mut self, s: MapStrategy) -> Self {
+        self.cfg.map_strategy = s;
+        self
+    }
+
+    /// Block-placement policy for thread heaps.
+    pub fn fit(mut self, fit: FitPolicy) -> Self {
+        self.cfg.fit = fit;
+        self
+    }
+
+    /// Capacity of each node's mmapped-slot cache (0 disables it).
+    pub fn slot_cache(mut self, cap: usize) -> Self {
+        self.cfg.slot_cache = cap;
+        self
+    }
+
+    /// Ship whole slots instead of busy blocks only (ablation A6).
+    pub fn pack_full_slots(mut self, full: bool) -> Self {
+        self.cfg.pack_full_slots = full;
+        self
+    }
+
+    /// Release fully-free heap slots to the hosting node eagerly.
+    pub fn trim(mut self, trim: bool) -> Self {
+        self.cfg.trim = trim;
+        self
+    }
+
+    /// Echo `pm2_printf` lines to stdout as well as capturing them.
+    pub fn echo(mut self, echo: bool) -> Self {
+        self.cfg.echo_output = echo;
+        self
+    }
+
+    /// Protocol reply deadline (negotiation, probes, typed LRPC).
+    pub fn reply_deadline(mut self, deadline: Duration) -> Self {
+        self.cfg.reply_deadline = deadline;
+        self
+    }
+
+    /// Typed-LRPC payload ceiling in bytes.
+    pub fn max_rpc_payload(mut self, bytes: usize) -> Self {
+        self.cfg.max_rpc_payload = bytes;
+        self
+    }
+
+    /// The small deterministic instant-network profile tests use (the
+    /// knobs of [`Pm2Config::test`]).  Overlays only the profile's own
+    /// knobs (area, net, mode, slot cache, reply deadline); anything else
+    /// set on the builder is kept, in either call order.
+    pub fn test_profile(mut self) -> Self {
+        let t = Pm2Config::test(self.cfg.nodes);
+        self.cfg.area = t.area;
+        self.cfg.net = t.net;
+        self.cfg.mode = t.mode;
+        self.cfg.slot_cache = t.slot_cache;
+        self.cfg.reply_deadline = t.reply_deadline;
+        self
+    }
+
+    /// The configuration this builder would launch, without launching it.
+    pub fn into_config(self) -> Pm2Config {
+        self.cfg
+    }
+
+    /// Launch the machine.
+    pub fn launch(self) -> Result<Machine> {
+        Machine::launch(self.cfg)
+    }
 }
 
 #[cfg(test)]
@@ -176,5 +353,37 @@ mod tests {
         assert_eq!(c.slot_cache, 4);
         assert_eq!(c.fit, FitPolicy::BestFit);
         assert_eq!(c.mode, MachineMode::Deterministic);
+    }
+
+    #[test]
+    fn machine_builder_roundtrips_to_config() {
+        let c = MachineBuilder::new(3)
+            .deterministic()
+            .net(NetProfile::instant())
+            .scheme(MigrationScheme::RegisteredPointers)
+            .slot_cache(2)
+            .reply_deadline(Duration::from_millis(1500))
+            .max_rpc_payload(4096)
+            .echo(true)
+            .into_config();
+        assert_eq!(c.nodes, 3);
+        assert_eq!(c.mode, MachineMode::Deterministic);
+        assert_eq!(c.net.name, "instant");
+        assert_eq!(c.scheme, MigrationScheme::RegisteredPointers);
+        assert_eq!(c.slot_cache, 2);
+        assert_eq!(c.reply_deadline, Duration::from_millis(1500));
+        assert_eq!(c.max_rpc_payload, 4096);
+        assert!(c.echo_output);
+    }
+
+    #[test]
+    fn builder_defaults_match_paper_defaults() {
+        let built = MachineBuilder::new(4).into_config();
+        let base = Pm2Config::new(4);
+        assert_eq!(built.area.slot_size, base.area.slot_size);
+        assert_eq!(built.distribution, base.distribution);
+        assert_eq!(built.fit, base.fit);
+        assert_eq!(built.net.name, base.net.name);
+        assert_eq!(built.reply_deadline, base.reply_deadline);
     }
 }

@@ -22,6 +22,23 @@ pub enum Pm2Error {
     Net(String),
     /// Spawning failed.
     Spawn(String),
+    /// A joined thread panicked; carries the panic message when one was
+    /// captured.
+    Panicked(String),
+    /// A typed LRPC named a service id no node has registered.
+    NoSuchService(u32),
+    /// A typed LRPC payload exceeded the configured ceiling.
+    PayloadTooLarge {
+        /// Encoded payload size.
+        len: usize,
+        /// The `max_rpc_payload` in force.
+        max: usize,
+    },
+    /// The remote side of a typed LRPC failed (handler panic, decode
+    /// failure, oversized response).
+    Rpc(String),
+    /// A wire payload failed to decode as the expected type.
+    Decode(&'static str),
 }
 
 impl From<isomalloc::AllocError> for Pm2Error {
@@ -55,6 +72,16 @@ impl fmt::Display for Pm2Error {
             Pm2Error::NoSuchNode(n) => write!(f, "no such node: {n}"),
             Pm2Error::Net(e) => write!(f, "network error: {e}"),
             Pm2Error::Spawn(e) => write!(f, "spawn error: {e}"),
+            Pm2Error::Panicked(msg) => write!(f, "thread panicked: {msg}"),
+            Pm2Error::NoSuchService(id) => write!(f, "no service registered under id {id:#x}"),
+            Pm2Error::PayloadTooLarge { len, max } => {
+                write!(
+                    f,
+                    "rpc payload of {len} bytes exceeds the {max}-byte ceiling"
+                )
+            }
+            Pm2Error::Rpc(e) => write!(f, "rpc failed remotely: {e}"),
+            Pm2Error::Decode(what) => write!(f, "malformed wire payload: {what}"),
         }
     }
 }

@@ -28,11 +28,17 @@ pub struct IsoBox<T> {
 impl<T> IsoBox<T> {
     /// Move `value` into iso-address memory.
     pub fn new(value: T) -> Result<IsoBox<T>> {
-        assert!(std::mem::align_of::<T>() <= 16, "IsoBox alignment limit is 16");
+        assert!(
+            std::mem::align_of::<T>() <= 16,
+            "IsoBox alignment limit is 16"
+        );
         let ptr = pm2_isomalloc(std::mem::size_of::<T>().max(1))? as *mut T;
         // SAFETY: fresh, exclusive, suitably aligned allocation.
         unsafe { ptr.write(value) };
-        Ok(IsoBox { ptr, _not_send: PhantomData })
+        Ok(IsoBox {
+            ptr,
+            _not_send: PhantomData,
+        })
     }
 
     /// The raw iso-address (stable across migrations).
@@ -85,8 +91,16 @@ pub struct IsoVec<T> {
 impl<T> IsoVec<T> {
     /// New empty vector (no allocation until the first push).
     pub fn new() -> IsoVec<T> {
-        assert!(std::mem::align_of::<T>() <= 16, "IsoVec alignment limit is 16");
-        IsoVec { ptr: std::ptr::null_mut(), len: 0, cap: 0, _not_send: PhantomData }
+        assert!(
+            std::mem::align_of::<T>() <= 16,
+            "IsoVec alignment limit is 16"
+        );
+        IsoVec {
+            ptr: std::ptr::null_mut(),
+            len: 0,
+            cap: 0,
+            _not_send: PhantomData,
+        }
     }
 
     /// New vector with reserved capacity.
@@ -219,8 +233,15 @@ struct ListNode<T> {
 impl<T> IsoList<T> {
     /// New empty list.
     pub fn new() -> IsoList<T> {
-        assert!(std::mem::align_of::<T>() <= 16, "IsoList alignment limit is 16");
-        IsoList { head: std::ptr::null_mut(), len: 0, _not_send: PhantomData }
+        assert!(
+            std::mem::align_of::<T>() <= 16,
+            "IsoList alignment limit is 16"
+        );
+        IsoList {
+            head: std::ptr::null_mut(),
+            len: 0,
+            _not_send: PhantomData,
+        }
     }
 
     /// Element count.
@@ -237,7 +258,12 @@ impl<T> IsoList<T> {
     pub fn push_front(&mut self, value: T) -> Result<()> {
         let node = pm2_isomalloc(std::mem::size_of::<ListNode<T>>())? as *mut ListNode<T>;
         // SAFETY: fresh allocation.
-        unsafe { node.write(ListNode { value, next: self.head }) };
+        unsafe {
+            node.write(ListNode {
+                value,
+                next: self.head,
+            })
+        };
         self.head = node;
         self.len += 1;
         Ok(())
@@ -261,7 +287,10 @@ impl<T> IsoList<T> {
 
     /// Iterate over the elements front to back.
     pub fn iter(&self) -> IsoListIter<'_, T> {
-        IsoListIter { cur: self.head, _marker: PhantomData }
+        IsoListIter {
+            cur: self.head,
+            _marker: PhantomData,
+        }
     }
 }
 

@@ -74,8 +74,11 @@ impl FrozenStack {
     /// makes unnecessary.
     pub fn relocate(&mut self, new_base: usize) -> FixupReport {
         let delta = new_base.wrapping_sub(self.old_base);
-        let mut report =
-            FixupReport { frames_fixed: 0, registered_fixed: 0, registered_skipped: 0 };
+        let mut report = FixupReport {
+            frames_fixed: 0,
+            registered_fixed: 0,
+            registered_skipped: 0,
+        };
 
         // 1. Frame chain: each frame's saved rbp cell holds the address of
         //    the caller's frame; terminate on 0 or an out-of-range value.
@@ -213,7 +216,10 @@ mod tests {
         s.relocate(new_base);
         let dangling = s.read(new_base + secret_cell);
         assert_eq!(dangling, old_target, "still points at the OLD range");
-        assert!(dangling < new_base, "a dereference would fault on a real node");
+        assert!(
+            dangling < new_base,
+            "a dereference would fault on a real node"
+        );
     }
 
     #[test]
@@ -222,7 +228,10 @@ mod tests {
         let before = s.bytes.clone();
         let rep = s.relocate(s.old_base);
         assert_eq!(s.bytes, before, "delta 0 changes nothing");
-        assert_eq!(rep.frames_fixed, 2, "but the walk still happened (the cost)");
+        assert_eq!(
+            rep.frames_fixed, 2,
+            "but the walk still happened (the cost)"
+        );
     }
 
     #[test]

@@ -2,35 +2,74 @@
 //!
 //! A from-scratch Rust reproduction of the runtime described in
 //! *“An Efficient and Transparent Thread Migration Scheme in the PM2
-//! Runtime System”* (Antoniu, Bougé, Namyst — IPPS/SPDP ’99).
+//! Runtime System”* (Antoniu, Bougé, Namyst — IPPS/SPDP ’99), grown into a
+//! typed, safe-by-default Rust system.
 //!
 //! The system guarantees that a migrated thread — its stack, descriptor and
-//! every block it allocated with [`pm2_isomalloc`](api::pm2_isomalloc) —
-//! reappears at **exactly the same virtual addresses** on the destination
-//! node, so pointers (user pointers, compiler-generated pointers, allocator
+//! every block it allocated in the iso-address area — reappears at
+//! **exactly the same virtual addresses** on the destination node, so
+//! pointers (user pointers, compiler-generated pointers, allocator
 //! metadata) remain valid with *no post-migration processing at all*.
 //!
-//! ```no_run
-//! use pm2::{Machine, Pm2Config};
-//! use pm2::api::{pm2_isomalloc, pm2_migrate, pm2_self};
+//! ## The v1 typed facade
 //!
-//! let mut machine = Machine::launch(Pm2Config::new(2)).unwrap();
-//! machine.run_on(0, || {
-//!     let p = pm2_isomalloc(1024).unwrap();
-//!     unsafe { (p as *mut u64).write(42) };
-//!     pm2_migrate(1).unwrap();                     // hop to node 1…
-//!     assert_eq!(unsafe { (p as *const u64).read() }, 42); // …pointer intact
-//!     assert_eq!(pm2_self(), 1);
+//! New code starts at [`Machine::builder`] and never needs `unsafe`:
+//!
+//! ```no_run
+//! use pm2::api::{pm2_migrate, pm2_self};
+//! use pm2::iso::IsoBox;
+//! use pm2::{Machine, Service};
+//!
+//! // A typed request/reply LRPC service, registered by type.
+//! struct Square;
+//! impl Service for Square {
+//!     const NAME: &'static str = "demo.square";
+//!     type Req = u64;
+//!     type Resp = u64;
+//!     fn handle(&self, req: u64) -> u64 { req * req }
+//! }
+//!
+//! let mut machine = Machine::builder(2).deterministic().launch().unwrap();
+//! machine.register::<Square>(Square);
+//!
+//! // Typed value-returning spawn: the result rides the exit protocol home.
+//! let h = machine.spawn_on_ret(0, || {
+//!     let cell = IsoBox::new(42u64).unwrap();   // iso-address allocation
+//!     pm2_migrate(1).unwrap();                  // hop to node 1…
+//!     *cell + pm2_self() as u64                 // …the pointer still works
 //! }).unwrap();
+//! assert_eq!(h.join().unwrap(), 43);
+//!
+//! // Typed LRPC round trip from the host.
+//! assert_eq!(machine.rpc_call::<Square>(1, 12).unwrap(), 144);
 //! machine.shutdown();
 //! ```
+//!
+//! ## Paper C API ↔ v1 typed API
+//!
+//! The 1999 C-shaped calls remain exported — they are the documented
+//! escape hatch and the ablation layer — but each now has a typed,
+//! safe-by-default counterpart:
+//!
+//! | paper C API                          | v1 typed API                                        |
+//! |--------------------------------------|-----------------------------------------------------|
+//! | `Pm2Config` field poking             | [`Machine::builder`] → [`MachineBuilder`]           |
+//! | `pm2_isomalloc` / `pm2_isofree`      | [`iso::IsoBox`], [`iso::IsoVec`], [`iso::IsoList`]  |
+//! | `pm2_thread_create` (fire-and-forget)| [`api::pm2_thread_create_ret`] → [`api::pm2_join_value`] |
+//! | `Machine::spawn_on` + `join` (bool)  | [`Machine::spawn_on_ret`] → [`machine::JoinHandle`] |
+//! | `pm2_rpc_spawn(id, bytes)`           | [`api::pm2_rpc_call`]`::<S>` / [`Machine::rpc_call`]`::<S>` |
+//! | `register_service(id, bytes_fn)`     | [`Machine::register`]`::<S: `[`Service`]`>`         |
+//! | hand-rolled `PayloadWriter` framing  | [`Wire`] encode/decode                              |
+//! | `pm2_join` → "panicked or not"       | [`Pm2Error::Panicked`] carrying the panic message   |
 //!
 //! ## Crate layout
 //!
 //! * [`machine`] / [`node`] — the simulated cluster: one scheduler + slot
 //!   bitmap + Madeleine endpoint per node;
-//! * [`api`] — the paper's programming interface (§3.4) for code running
-//!   inside Marcel threads;
+//! * [`config`] — [`MachineBuilder`] and the raw [`Pm2Config`] record;
+//! * [`api`] — the green-side programming interface (§3.4 plus the typed
+//!   v1 calls) for code running inside Marcel threads;
+//! * [`service`] — the typed request/reply LRPC layer ([`Service`]);
 //! * [`negotiation`] — the global slot negotiation of §4.4;
 //! * `migration` — pack/ship/unpack (§2, with the §6 optimizations);
 //! * [`iso`] — typed containers over `pm2_isomalloc` (Fig. 7's list);
@@ -38,6 +77,10 @@
 //! * [`nodeheap`] — the non-migrating `malloc` baseline (Fig. 4/9);
 //! * [`legacy`] — the early-PM2 registered-pointer relocation baseline;
 //! * [`audit`] — machine-checked exclusive-ownership invariant.
+//!
+//! Deterministic test randomness lives in the workspace-internal
+//! `testkit` crate (the sandbox builds offline, so `rand`/`proptest`
+//! are replaced in-tree).
 
 pub mod api;
 pub mod audit;
@@ -54,11 +97,14 @@ pub mod nodeheap;
 pub mod output;
 pub mod proto;
 pub mod registry;
+pub mod service;
 
-pub use config::{MachineMode, MigrationScheme, Pm2Config};
+pub use config::{MachineBuilder, MachineMode, MigrationScheme, Pm2Config};
 pub use error::{Pm2Error, Result};
-pub use machine::{Machine, Pm2Thread};
+pub use iso::{IsoBox, IsoList, IsoVec};
+pub use machine::{JoinHandle, Machine, Pm2Thread};
 pub use registry::ThreadExit;
+pub use service::{service_id, Service};
 
 #[cfg(test)]
 mod tests;
@@ -66,4 +112,4 @@ mod tests;
 // Re-export the substrate types an embedder is likely to need.
 pub use isoaddr::{AreaConfig, Distribution, MapStrategy};
 pub use isomalloc::FitPolicy;
-pub use madeleine::NetProfile;
+pub use madeleine::{NetProfile, Wire};

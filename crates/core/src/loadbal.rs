@@ -71,7 +71,11 @@ pub fn start_balancer(machine: &Machine, cfg: BalancerConfig) -> Result<Balancer
     let stop2 = Arc::clone(&stop);
     let moves2 = Arc::clone(&moves);
     let thread = machine.spawn_on(0, move || daemon(cfg, stop2, moves2))?;
-    Ok(BalancerHandle { stop, moves, thread })
+    Ok(BalancerHandle {
+        stop,
+        moves,
+        thread,
+    })
 }
 
 fn daemon(cfg: BalancerConfig, stop: Arc<AtomicBool>, moves: Arc<AtomicU64>) {
@@ -115,7 +119,11 @@ fn balance_round(p: usize, cfg: &BalancerConfig, moves: &AtomicU64) -> Result<()
         let resident = r.u32().unwrap_or(0) as usize;
         let n = r.u32().unwrap_or(0) as usize;
         let migratable = (0..n).filter_map(|_| r.u64()).collect();
-        loads.push(Load { node: m.src, resident, migratable });
+        loads.push(Load {
+            node: m.src,
+            resident,
+            migratable,
+        });
     }
     let total: usize = loads.iter().map(|l| l.resident).sum();
     let mean = total / p;
@@ -129,12 +137,16 @@ fn balance_round(p: usize, cfg: &BalancerConfig, moves: &AtomicU64) -> Result<()
         loads.sort_by_key(|l| l.resident);
         let (min_idx, max_idx) = (0, loads.len() - 1);
         let gap_over = loads[max_idx].resident.saturating_sub(mean);
-        let gap = loads[max_idx].resident.saturating_sub(loads[min_idx].resident);
+        let gap = loads[max_idx]
+            .resident
+            .saturating_sub(loads[min_idx].resident);
         if gap_over <= cfg.threshold || gap < 2 {
             break;
         }
         let dest = loads[min_idx].node;
-        let Some(tid) = loads[max_idx].migratable.pop() else { break };
+        let Some(tid) = loads[max_idx].migratable.pop() else {
+            break;
+        };
         let src_node = loads[max_idx].node;
         send_to(src_node, tag::MIGRATE_CMD, encode_migrate_cmd(tid, dest))?;
         let ack = wait_reply(tag::MIGRATE_CMD_ACK, Some(src_node))?;

@@ -6,21 +6,23 @@
 //! every node round-robin in deterministic mode.  The host talks to nodes
 //! exclusively through control messages, like any other fabric participant.
 
+use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use isoaddr::{IsoArea, SlotStatsSnapshot};
 use madeleine::message::PayloadWriter;
-use madeleine::{Endpoint, Fabric};
+use madeleine::{Endpoint, Fabric, Wire};
 
 use crate::audit::{decode_node_report, AuditReport};
-use crate::config::{MachineMode, Pm2Config};
+use crate::config::{MachineBuilder, MachineMode, Pm2Config};
 use crate::error::{Pm2Error, Result};
 use crate::node::{NodeCtx, NodeStats, NodeStatsSnapshot};
 use crate::output::OutputSink;
 use crate::proto::{self, tag};
 use crate::registry::{Registry, ServiceTable, SpawnTable, ThreadExit};
+use crate::service::{service_id, Service, TypedServiceTable};
 
 /// Host-assigned thread ids live in a separate namespace from node-assigned
 /// ones (`node << 40 | counter`).
@@ -33,6 +35,56 @@ pub struct Pm2Thread {
     pub tid: u64,
 }
 
+/// Typed handle on a value-returning thread spawned with
+/// [`Machine::spawn_on_ret`].
+///
+/// The handle is independent of the [`Machine`] borrow (it holds the
+/// shared completion registry), so it can be joined after further machine
+/// calls, stored, or joined out of spawn order.
+pub struct JoinHandle<R> {
+    tid: u64,
+    registry: Arc<Registry>,
+    _result: PhantomData<fn() -> R>,
+}
+
+impl<R: Wire> JoinHandle<R> {
+    /// Machine-wide thread id (usable with the untyped join APIs).
+    pub fn tid(&self) -> u64 {
+        self.tid
+    }
+
+    /// The untyped handle for this thread.
+    pub fn thread(&self) -> Pm2Thread {
+        Pm2Thread { tid: self.tid }
+    }
+
+    /// Block the host until the thread completes and decode its return
+    /// value.  The value travels through the thread-exit protocol, so it
+    /// arrives no matter how many times the thread migrated.  Errors:
+    /// [`Pm2Error::Panicked`] (with the panic message) if the body
+    /// panicked.  Panics after five minutes — a wedged machine in a
+    /// test/bench should fail loudly, like [`Machine::join`].
+    pub fn join(self) -> Result<R> {
+        if !self
+            .registry
+            .wait_completed(self.tid, Duration::from_secs(300))
+        {
+            panic!("thread {:#x} never completed", self.tid);
+        }
+        self.registry
+            .take_typed_exit(self.tid)
+            .expect("completion just observed")
+            .typed_value()
+    }
+
+    /// Non-blocking: the decoded value if the thread already completed.
+    /// Consumes the stored value — a second successful `try_join` of the
+    /// same handle reports "thread returned no value".
+    pub fn try_join(&self) -> Option<Result<R>> {
+        Some(self.registry.take_typed_exit(self.tid)?.typed_value())
+    }
+}
+
 /// A running PM2 machine.
 pub struct Machine {
     cfg: Pm2Config,
@@ -42,6 +94,7 @@ pub struct Machine {
     registry: Arc<Registry>,
     spawn_table: Arc<SpawnTable>,
     services: Arc<ServiceTable>,
+    typed_services: Arc<TypedServiceTable>,
     slot_stats: Vec<Arc<isoaddr::SlotStats>>,
     node_stats: Vec<Arc<NodeStats>>,
     drivers: Vec<std::thread::JoinHandle<()>>,
@@ -52,7 +105,14 @@ pub struct Machine {
 }
 
 impl Machine {
-    /// Launch a machine.
+    /// Start configuring a machine with `nodes` nodes — the v1 facade's
+    /// front door (see [`MachineBuilder`]).
+    pub fn builder(nodes: usize) -> MachineBuilder {
+        MachineBuilder::new(nodes)
+    }
+
+    /// Launch a machine from an explicit configuration (the paper-faithful
+    /// layer; [`Machine::builder`] is the fluent equivalent).
     pub fn launch(cfg: Pm2Config) -> Result<Machine> {
         assert!(cfg.nodes >= 1, "a machine needs at least one node");
         let area = Arc::new(IsoArea::with_strategy(cfg.area, cfg.map_strategy)?);
@@ -62,6 +122,7 @@ impl Machine {
         let registry = Registry::new_shared();
         let spawn_table = SpawnTable::new_shared();
         let services = ServiceTable::new_shared();
+        let typed_services = TypedServiceTable::new_shared();
 
         let mut ctxs: Vec<NodeCtx> = eps
             .into_iter()
@@ -75,6 +136,7 @@ impl Machine {
                     Arc::clone(&registry),
                     Arc::clone(&spawn_table),
                     Arc::clone(&services),
+                    Arc::clone(&typed_services),
                 )
             })
             .collect();
@@ -105,6 +167,7 @@ impl Machine {
             registry,
             spawn_table,
             services,
+            typed_services,
             slot_stats,
             node_stats,
             drivers,
@@ -129,12 +192,20 @@ impl Machine {
         &self.area
     }
 
-    /// Register an LRPC service (do this before any `rpc_spawn` names it).
+    /// Register a raw byte-level LRPC service (the paper-faithful layer;
+    /// do this before any `rpc_spawn` names it).
     pub fn register_service<F>(&self, id: u32, f: F)
     where
         F: Fn(Vec<u8>) + Send + Sync + 'static,
     {
         self.services.register(id, Arc::new(f));
+    }
+
+    /// Register a typed request/reply [`Service`] by type.  Callable from
+    /// any node afterwards via [`crate::api::pm2_rpc_call`], or from the
+    /// host via [`Machine::rpc_call`].
+    pub fn register<S: Service>(&self, svc: S) {
+        self.typed_services.register(svc);
     }
 
     /// Spawn `f` as a Marcel thread on `node`.
@@ -153,13 +224,76 @@ impl Machine {
         Ok(Pm2Thread { tid })
     }
 
-    /// Spawn a registered service on `node` from the host.
+    /// Spawn a value-returning thread on `node`; the typed [`JoinHandle`]
+    /// decodes the body's return value on join.
+    ///
+    /// Unlike the old host-only mpsc plumbing, the value is shipped
+    /// through the completion registry and the thread-exit protocol, so it
+    /// arrives even if the thread migrates and dies on another node — and
+    /// green threads can observe it too, via
+    /// [`crate::api::pm2_join_value`] on [`JoinHandle::tid`].
+    pub fn spawn_on_ret<R, F>(&self, node: usize, f: F) -> Result<JoinHandle<R>>
+    where
+        R: Wire + Send + 'static,
+        F: FnOnce() -> R + Send + 'static,
+    {
+        let t = self.spawn_on(node, move || {
+            let value = f();
+            crate::api::set_exit_value(value.encode_vec());
+        })?;
+        Ok(JoinHandle {
+            tid: t.tid,
+            registry: Arc::clone(&self.registry),
+            _result: PhantomData,
+        })
+    }
+
+    /// Spawn a registered byte-level service on `node` from the host
+    /// (fire and forget — PM2's original LRPC).
     pub fn rpc_spawn(&self, node: usize, service: u32, args: &[u8]) -> Result<()> {
         if node >= self.cfg.nodes {
             return Err(Pm2Error::NoSuchNode(node));
         }
-        self.host_ep.send(node, tag::RPC_SPAWN, proto::encode_rpc_spawn(service, args))?;
+        self.host_ep
+            .send(node, tag::RPC_SPAWN, proto::encode_rpc_spawn(service, args))?;
         Ok(())
+    }
+
+    /// Typed request/reply LRPC from the host: call service `S` on `node`
+    /// and block until its response arrives (deadline: the configured
+    /// `reply_deadline`).  The green-thread equivalent is
+    /// [`crate::api::pm2_rpc_call`].
+    pub fn rpc_call<S: Service>(&mut self, node: usize, req: S::Req) -> Result<S::Resp> {
+        if node >= self.cfg.nodes {
+            return Err(Pm2Error::NoSuchNode(node));
+        }
+        let req_bytes = req.encode_vec();
+        if req_bytes.len() > self.cfg.max_rpc_payload {
+            return Err(Pm2Error::PayloadTooLarge {
+                len: req_bytes.len(),
+                max: self.cfg.max_rpc_payload,
+            });
+        }
+        // Host rpc_calls are serialized (&mut self), so any RPC_RESP still
+        // stashed from an earlier, timed-out call is dead — drop it rather
+        // than accumulate it.
+        self.stash.retain(|m| m.tag != tag::RPC_RESP);
+        // Host call ids use the host's fabric id in the top bits, keeping
+        // them disjoint from every node's (node ids < nodes = host id).
+        let call_id =
+            ((self.cfg.nodes as u64) << 48) | self.next_tid.fetch_add(1, Ordering::Relaxed);
+        self.host_ep.send(
+            node,
+            tag::RPC_CALL,
+            proto::encode_rpc_call(call_id, self.cfg.nodes, service_id::<S>(), &req_bytes),
+        )?;
+        let deadline = Instant::now() + self.cfg.reply_deadline;
+        let m = self
+            .recv_control_matching(tag::RPC_RESP, deadline, |m| {
+                proto::peek_rpc_call_id(&m.payload) == Some(call_id)
+            })
+            .ok_or_else(|| Pm2Error::Net("timed out waiting for rpc response".into()))?;
+        crate::api::decode_rpc_outcome::<S>(&m.payload)
     }
 
     /// Block the host until a thread completes.  Panics after five minutes
@@ -171,20 +305,31 @@ impl Machine {
     }
 
     /// Run `f` on `node` and return its value to the host.
+    ///
+    /// `R` is any `Send` type, so the value rides the registry's host-side
+    /// mailbox (an in-process shortcut, like the spawn table); a
+    /// panicking body surfaces as [`Pm2Error::Panicked`] with the panic
+    /// message.  Use [`Machine::spawn_on_ret`] when the value should
+    /// travel the wire protocol instead.
     pub fn run_on<R, F>(&self, node: usize, f: F) -> Result<R>
     where
         R: Send + 'static,
         F: FnOnce() -> R + Send + 'static,
     {
-        let (tx, rx) = std::sync::mpsc::channel();
+        let registry = Arc::clone(&self.registry);
         let t = self.spawn_on(node, move || {
-            let _ = tx.send(f());
+            let value = f();
+            registry.put_value(marcel::current_tid(), Box::new(value));
         })?;
         let exit = self.join(t);
         if exit.panicked {
-            return Err(Pm2Error::Spawn("thread panicked".into()));
+            return Err(Pm2Error::Panicked(exit.panic_message().to_string()));
         }
-        rx.recv().map_err(|_| Pm2Error::Spawn("thread produced no value".into()))
+        self.registry
+            .take_value(t.tid)
+            .and_then(|b| b.downcast::<R>().ok())
+            .map(|b| *b)
+            .ok_or_else(|| Pm2Error::Spawn("thread produced no value".into()))
     }
 
     /// Captured `pm2_printf` lines, in order.
@@ -213,12 +358,21 @@ impl Machine {
     }
 
     fn recv_control(&mut self, want: u16, deadline: Instant) -> Option<madeleine::Message> {
-        if let Some(i) = self.stash.iter().position(|m| m.tag == want) {
+        self.recv_control_matching(want, deadline, |_| true)
+    }
+
+    fn recv_control_matching(
+        &mut self,
+        want: u16,
+        deadline: Instant,
+        pred: impl Fn(&madeleine::Message) -> bool,
+    ) -> Option<madeleine::Message> {
+        if let Some(i) = self.stash.iter().position(|m| m.tag == want && pred(m)) {
             return Some(self.stash.remove(i));
         }
         while Instant::now() < deadline {
             match self.host_ep.recv_timeout(Duration::from_millis(50)) {
-                Some(m) if m.tag == want => return Some(m),
+                Some(m) if m.tag == want && pred(&m) => return Some(m),
                 Some(m) => self.stash.push(m),
                 None => {}
             }
@@ -243,7 +397,10 @@ impl Machine {
             );
         }
         nodes.sort_by_key(|n| n.node);
-        Ok(AuditReport { nodes, n_slots: self.area.n_slots() })
+        Ok(AuditReport {
+            nodes,
+            n_slots: self.area.n_slots(),
+        })
     }
 
     /// Stop the machine: ask every node to drain and stop, await the acks,

@@ -94,7 +94,9 @@ pub(crate) unsafe fn unpack_thread(buf: &[u8], mgr: &mut NodeSlotManager) -> Res
         off += info.record_len;
     }
     if desc.is_null() {
-        return Err(Pm2Error::Net("migration buffer contained no stack slot".into()));
+        return Err(Pm2Error::Net(
+            "migration buffer contained no stack slot".into(),
+        ));
     }
     Ok(desc)
 }

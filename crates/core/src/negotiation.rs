@@ -56,8 +56,12 @@ pub(crate) fn negotiate_acquire(requested: usize) -> Result<()> {
     let dt = t0.elapsed().as_nanos() as u64;
     with_ctx(|c| {
         c.negotiating = false;
-        c.stats.negotiations.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        c.stats.negotiation_ns.fetch_add(dt, std::sync::atomic::Ordering::Relaxed);
+        c.stats
+            .negotiations
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        c.stats
+            .negotiation_ns
+            .fetch_add(dt, std::sync::atomic::Ordering::Relaxed);
     });
     result
 }
@@ -113,7 +117,11 @@ fn run_protocol(requested: usize) -> Result<()> {
                 match run_owner {
                     Some(prev) if prev == o => {}
                     Some(prev) => {
-                        push_run(&mut sellers, prev, SlotRange::new(run_start, slot - run_start));
+                        push_run(
+                            &mut sellers,
+                            prev,
+                            SlotRange::new(run_start, slot - run_start),
+                        );
                         run_owner = Some(o);
                         run_start = slot;
                     }
@@ -124,7 +132,11 @@ fn run_protocol(requested: usize) -> Result<()> {
                 }
             }
             if let Some(o) = run_owner {
-                push_run(&mut sellers, o, SlotRange::new(run_start, range.end() - run_start));
+                push_run(
+                    &mut sellers,
+                    o,
+                    SlotRange::new(run_start, range.end() - run_start),
+                );
             }
             let mut pending_acks = 0usize;
             let mut bought: Vec<SlotRange> = Vec::new();
@@ -156,7 +168,7 @@ fn run_protocol(requested: usize) -> Result<()> {
             }
         }
         c.frozen = false;
-    })    ;
+    });
     send_to(0, tag::NEG_LOCK_RELEASE, Vec::new())?;
     outcome
 }

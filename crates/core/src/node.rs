@@ -14,7 +14,8 @@
 //! nothing cached across yields.
 
 use std::cell::Cell;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -27,8 +28,9 @@ use crate::config::{MigrationScheme, Pm2Config};
 use crate::migration;
 use crate::nodeheap::NodeHeap;
 use crate::output::OutputSink;
-use crate::proto::{self, tag};
+use crate::proto::{self, rpc_status, tag};
 use crate::registry::{Registry, ServiceTable, SpawnTable, ThreadExit};
+use crate::service::{panic_text, TypedServiceTable};
 
 thread_local! {
     static CURRENT_NODE: Cell<*mut NodeCtx> = const { Cell::new(std::ptr::null_mut()) };
@@ -76,6 +78,14 @@ impl NodeStats {
     }
 }
 
+/// Per-thread data recorded between a body finishing and the scheduler
+/// reaping it: the panic message and/or the encoded return value.
+#[derive(Debug, Default)]
+pub(crate) struct ExitNote {
+    pub value: Option<Vec<u8>>,
+    pub panic_msg: Option<String>,
+}
+
 /// The per-node runtime state.
 pub(crate) struct NodeCtx {
     pub node: usize,
@@ -89,12 +99,20 @@ pub(crate) struct NodeCtx {
     pub registry: Arc<Registry>,
     pub spawn_table: Arc<SpawnTable>,
     pub services: Arc<ServiceTable>,
+    pub typed_services: Arc<TypedServiceTable>,
     pub nodeheap: NodeHeap,
     pub stats: Arc<NodeStats>,
     /// Threads resident on this node, by tid.
     pub threads: HashMap<u64, DescPtr>,
+    /// Panic messages / return values of threads mid-exit (see [`ExitNote`]).
+    pub exit_notes: HashMap<u64, ExitNote>,
     /// Replies parked for green threads blocked in a protocol exchange.
     pub replies: VecDeque<Message>,
+    /// Spawn-bearing messages (SPAWN_KEY / RPC_SPAWN / RPC_CALL) received
+    /// while the bitmap was frozen; replayed after NEG_DONE.  Never
+    /// re-sent to self — a self-send is immediately deliverable, so the
+    /// pump's drain loop would chase its own re-injection forever.
+    pub deferred: VecDeque<Message>,
     /// Bitmap frozen by an in-flight global negotiation (paper §4.4 (a)).
     pub frozen: bool,
     /// A local thread currently runs the negotiation protocol.
@@ -106,15 +124,41 @@ pub(crate) struct NodeCtx {
     pub zombies: Vec<DescPtr>,
     pub shutdown: bool,
     shutdown_acked: bool,
+    /// Monotonic source of node-unique typed-LRPC call ids.
+    call_counter: u64,
+    /// Typed-LRPC calls issued from this node whose green caller is still
+    /// waiting.  A response whose call id is absent (the caller already
+    /// timed out) is dropped instead of parked, so late replies cannot
+    /// accumulate in `replies` forever.
+    pub pending_calls: HashSet<u64>,
     // Config knobs.
     pub fit: isomalloc::FitPolicy,
     pub trim: bool,
     pub pack_full_slots: bool,
     pub scheme: MigrationScheme,
+    pub reply_deadline: Duration,
+    pub max_rpc_payload: usize,
 }
 
 // SAFETY: a NodeCtx is owned and driven by exactly one OS thread at a time.
 unsafe impl Send for NodeCtx {}
+
+/// Wrap a thread body so a panic records its message in the hosting node's
+/// exit notes before re-raising (marcel's entry shim then marks the
+/// descriptor panicked).  The note is written on whatever node the thread
+/// dies on — the same node whose `finish_thread` consumes it.
+fn instrument_body(
+    tid: u64,
+    f: Box<dyn FnOnce() + Send + 'static>,
+) -> impl FnOnce() + Send + 'static {
+    move || {
+        if let Err(p) = catch_unwind(AssertUnwindSafe(f)) {
+            let msg = panic_text(p.as_ref());
+            with_ctx(|c| c.exit_notes.entry(tid).or_default().panic_msg = Some(msg));
+            resume_unwind(p);
+        }
+    }
+}
 
 /// Access the node hosting the calling Marcel thread.  Never hold the
 /// reference across a yield: re-enter `with_ctx` after every scheduling
@@ -129,6 +173,7 @@ pub(crate) fn with_ctx<R>(f: impl FnOnce(&mut NodeCtx) -> R) -> R {
 }
 
 impl NodeCtx {
+    #[allow(clippy::too_many_arguments)] // one shared table per argument; a struct would just rename them
     pub(crate) fn new(
         cfg: &Pm2Config,
         node: usize,
@@ -138,6 +183,7 @@ impl NodeCtx {
         registry: Arc<Registry>,
         spawn_table: Arc<SpawnTable>,
         services: Arc<ServiceTable>,
+        typed_services: Arc<TypedServiceTable>,
     ) -> Self {
         NodeCtx {
             node,
@@ -150,9 +196,12 @@ impl NodeCtx {
             registry,
             spawn_table,
             services,
+            typed_services,
             nodeheap: NodeHeap::default(),
             stats: Arc::new(NodeStats::default()),
             threads: HashMap::new(),
+            exit_notes: HashMap::new(),
+            deferred: VecDeque::new(),
             replies: VecDeque::new(),
             frozen: false,
             negotiating: false,
@@ -161,11 +210,27 @@ impl NodeCtx {
             zombies: Vec::new(),
             shutdown: false,
             shutdown_acked: false,
+            call_counter: 0,
+            pending_calls: HashSet::new(),
             fit: cfg.fit,
             trim: cfg.trim,
             pack_full_slots: cfg.pack_full_slots,
             scheme: cfg.scheme,
+            reply_deadline: cfg.reply_deadline,
+            max_rpc_payload: cfg.max_rpc_payload,
         }
+    }
+
+    /// Next node-unique typed-LRPC call id (node in the top bits, so ids
+    /// never collide across concurrent callers on different nodes).
+    pub(crate) fn next_call_id(&mut self) -> u64 {
+        self.call_counter += 1;
+        ((self.node as u64) << 48) | self.call_counter
+    }
+
+    /// Record `tid`'s encoded return value for pickup in `finish_thread`.
+    pub(crate) fn note_exit_value(&mut self, tid: u64, bytes: Vec<u8>) {
+        self.exit_notes.entry(tid).or_default().value = Some(bytes);
     }
 
     /// Bind this node to the calling OS thread (marcel + pm2 TLS).
@@ -192,6 +257,14 @@ impl NodeCtx {
         if !self.frozen && !self.zombies.is_empty() {
             self.reap_zombies();
         }
+        if !self.frozen && !self.deferred.is_empty() {
+            // Replay spawns parked during the critical section.  Handling
+            // them cannot re-freeze the bitmap, so this drains fully.
+            let deferred = std::mem::take(&mut self.deferred);
+            for m in deferred {
+                self.handle(m);
+            }
+        }
         self.activate();
         match self.sched.run_one() {
             Some(outcome) => {
@@ -204,7 +277,10 @@ impl NodeCtx {
 
     /// Ready to stop?
     pub(crate) fn done(&self) -> bool {
-        self.shutdown && self.sched.resident() == 0 && self.zombies.is_empty()
+        self.shutdown
+            && self.sched.resident() == 0
+            && self.zombies.is_empty()
+            && self.deferred.is_empty()
     }
 
     /// Drained *and* acknowledged: the driver may exit.
@@ -271,14 +347,20 @@ impl NodeCtx {
                 marcel::release_thread_resources(d, &mut self.mgr)
                     .expect("releasing thread resources");
             }
-            self.registry.complete(ThreadExit { tid, panicked, died_on: self.node });
+            let note = self.exit_notes.remove(&tid).unwrap_or_default();
+            let exit = ThreadExit {
+                tid,
+                panicked,
+                died_on: self.node,
+                panic_msg: note.panic_msg,
+                value: note.value,
+            };
             if home != self.node {
-                let _ = self.ep.send(
-                    home,
-                    tag::THREAD_EXIT,
-                    proto::encode_thread_exit(tid, panicked, self.node),
-                );
+                let _ = self
+                    .ep
+                    .send(home, tag::THREAD_EXIT, proto::encode_thread_exit(&exit));
             }
+            self.registry.complete(exit);
         }
         self.maybe_ack_shutdown();
     }
@@ -317,8 +399,12 @@ impl NodeCtx {
             let buf = migration::pack_thread(d, &mut self.mgr, self.pack_full_slots)
                 .expect("packing migrating thread");
             self.stats.migrations_out.fetch_add(1, Ordering::Relaxed);
-            self.stats.migration_bytes_out.fetch_add(buf.len() as u64, Ordering::Relaxed);
-            self.ep.send(dest, tag::MIGRATION, buf).expect("sending migration");
+            self.stats
+                .migration_bytes_out
+                .fetch_add(buf.len() as u64, Ordering::Relaxed);
+            self.ep
+                .send(dest, tag::MIGRATION, buf)
+                .expect("sending migration");
         }
         self.maybe_ack_shutdown();
     }
@@ -337,10 +423,23 @@ impl NodeCtx {
             tag::NEG_DONE => {
                 self.frozen = false;
             }
-            tag::NEG_LOCK_GRANT | tag::NEG_BITMAP_RESP | tag::NEG_BUY_ACK
-            | tag::MIGRATE_CMD_ACK | tag::LOAD_RESP => {
+            tag::NEG_LOCK_GRANT
+            | tag::NEG_BITMAP_RESP
+            | tag::NEG_BUY_ACK
+            | tag::MIGRATE_CMD_ACK
+            | tag::LOAD_RESP => {
                 // Replies for a green thread blocked in a protocol exchange.
                 self.replies.push_back(m);
+            }
+            tag::RPC_RESP => {
+                // Park only if a caller is still waiting; a reply landing
+                // after its caller's deadline would otherwise sit in the
+                // queue forever.
+                let waiting = proto::peek_rpc_call_id(&m.payload)
+                    .is_some_and(|id| self.pending_calls.contains(&id));
+                if waiting {
+                    self.replies.push_back(m);
+                }
             }
             tag::SHUTDOWN => {
                 self.shutdown = true;
@@ -349,9 +448,14 @@ impl NodeCtx {
             tag::AUDIT_REQ => self.on_audit_req(m.src),
             tag::LOAD_REQ => self.on_load_req(m.src),
             tag::MIGRATE_CMD => self.on_migrate_cmd(m),
+            tag::RPC_CALL => self.on_rpc_call(m),
             tag::THREAD_EXIT => {
-                if let Some((tid, panicked, node)) = proto::decode_thread_exit(&m.payload) {
-                    self.registry.complete(ThreadExit { tid, panicked, died_on: node });
+                if let Some(exit) = proto::decode_thread_exit(&m.payload) {
+                    // First write wins: the dying node already completed
+                    // the shared registry directly, and a typed join may
+                    // have consumed the value since — overwriting would
+                    // resurrect it.
+                    self.registry.complete_if_absent(exit);
                 }
             }
             t => panic!("node {}: unknown message tag {t}", self.node),
@@ -360,9 +464,9 @@ impl NodeCtx {
 
     fn on_spawn_key(&mut self, m: Message) {
         if self.frozen {
-            // Spawning needs a stack slot (bitmap mutation): defer by
-            // re-enqueuing to self until the negotiation ends.
-            let _ = self.ep.send(self.node, tag::SPAWN_KEY, m.payload);
+            // Spawning needs a stack slot (bitmap mutation): park until
+            // the negotiation ends.
+            self.deferred.push_back(m);
             return;
         }
         let mut r = madeleine::message::PayloadReader::new(&m.payload);
@@ -374,7 +478,7 @@ impl NodeCtx {
 
     fn on_rpc_spawn(&mut self, m: Message) {
         if self.frozen {
-            let _ = self.ep.send(self.node, tag::RPC_SPAWN, m.payload);
+            self.deferred.push_back(m);
             return;
         }
         let (service, args) = proto::decode_rpc_spawn(&m.payload).expect("rpc payload");
@@ -387,11 +491,19 @@ impl NodeCtx {
     }
 
     fn spawn_boxed(&mut self, tid: u64, f: Box<dyn FnOnce() + Send + 'static>) {
+        self.try_spawn_boxed(tid, f).expect("spawning thread");
+    }
+
+    fn try_spawn_boxed(
+        &mut self,
+        tid: u64,
+        f: Box<dyn FnOnce() + Send + 'static>,
+    ) -> Result<(), marcel::SpawnError> {
         let d = self
             .sched
-            .spawn_with_tid(&mut self.mgr, tid, f)
-            .expect("spawning thread");
+            .spawn_with_tid(&mut self.mgr, tid, instrument_body(tid, f))?;
         self.finish_spawn(tid, d);
+        Ok(())
     }
 
     /// Spawn from a green thread already running on this node.
@@ -400,7 +512,9 @@ impl NodeCtx {
         F: FnOnce() + Send + 'static,
     {
         let tid = self.sched.next_tid();
-        let d = self.sched.spawn_with_tid(&mut self.mgr, tid, f)?;
+        let d = self
+            .sched
+            .spawn_with_tid(&mut self.mgr, tid, instrument_body(tid, Box::new(f)))?;
         self.finish_spawn(tid, d);
         Ok(tid)
     }
@@ -422,8 +536,8 @@ impl NodeCtx {
         // on thread migration", §4.2).
         // SAFETY: buffer from a peer's pack_thread.
         unsafe {
-            let d = migration::unpack_thread(&m.payload, &mut self.mgr)
-                .expect("unpacking migration");
+            let d =
+                migration::unpack_thread(&m.payload, &mut self.mgr).expect("unpacking migration");
             if self.scheme == MigrationScheme::RegisteredPointers {
                 // Ablation baseline: charge the early-PM2 post-migration
                 // fix-up walk (registered pointers + frame chain).
@@ -460,7 +574,9 @@ impl NodeCtx {
         // Entering the system-wide critical section as a participant: the
         // bitmap freezes until NEG_DONE (step (a) of §4.4).
         self.frozen = true;
-        let _ = self.ep.send(from, tag::NEG_BITMAP_RESP, self.mgr.bitmap_bytes());
+        let _ = self
+            .ep
+            .send(from, tag::NEG_BITMAP_RESP, self.mgr.bitmap_bytes());
     }
 
     fn on_buy(&mut self, m: Message) {
@@ -496,6 +612,71 @@ impl NodeCtx {
             w.u64(*t);
         }
         let _ = self.ep.send(from, tag::LOAD_RESP, w.finish());
+    }
+
+    fn on_rpc_call(&mut self, m: Message) {
+        if self.frozen {
+            // The handler thread needs a stack slot (bitmap mutation):
+            // park until the negotiation ends.
+            self.deferred.push_back(m);
+            return;
+        }
+        // The reply destination travels in the payload, NOT in `m.src`,
+        // so it survives the deferred replay above and any handler
+        // migration before the response is sent.
+        let Some((call_id, reply_to, service, req)) = proto::decode_rpc_call(&m.payload) else {
+            return; // Malformed request: nothing to reply to.
+        };
+        if req.len() > self.max_rpc_payload {
+            let msg = format!("request of {} bytes exceeds ceiling", req.len());
+            let _ = self.ep.send(
+                reply_to,
+                tag::RPC_RESP,
+                proto::encode_rpc_resp(call_id, rpc_status::REMOTE_ERROR, msg.as_bytes()),
+            );
+            return;
+        }
+        let Some(handler) = self.typed_services.get(service) else {
+            let _ = self.ep.send(
+                reply_to,
+                tag::RPC_RESP,
+                proto::encode_rpc_resp(call_id, rpc_status::NO_SUCH_SERVICE, &[]),
+            );
+            return;
+        };
+        // LRPC semantics: the handler runs as a fresh Marcel thread, so it
+        // may allocate, spawn, even migrate; the reply is sent from
+        // whatever node it ends up on, matched by call id at the caller.
+        let max = self.max_rpc_payload;
+        let tid = self.sched.next_tid();
+        let spawned = self.try_spawn_boxed(
+            tid,
+            Box::new(move || {
+                let (status, bytes) = match handler(&req) {
+                    Ok(resp) if resp.len() <= max => (rpc_status::OK, resp),
+                    Ok(resp) => (
+                        rpc_status::REMOTE_ERROR,
+                        format!("response of {} bytes exceeds ceiling", resp.len()).into_bytes(),
+                    ),
+                    Err(e) => (rpc_status::REMOTE_ERROR, e.into_bytes()),
+                };
+                let _ = crate::api::send_to(
+                    reply_to,
+                    tag::RPC_RESP,
+                    proto::encode_rpc_resp(call_id, status, &bytes),
+                );
+            }),
+        );
+        if let Err(e) = spawned {
+            // Out of stack slots: the caller gets a typed remote error
+            // instead of a wedged machine and an opaque timeout.
+            let msg = format!("serving node could not spawn handler: {e}");
+            let _ = self.ep.send(
+                reply_to,
+                tag::RPC_RESP,
+                proto::encode_rpc_resp(call_id, rpc_status::REMOTE_ERROR, msg.as_bytes()),
+            );
+        }
     }
 
     fn on_migrate_cmd(&mut self, m: Message) {

@@ -46,8 +46,16 @@ impl NodeHeap {
         // SAFETY: non-zero size, valid alignment.
         let ptr = unsafe { std::alloc::alloc(layout) };
         assert!(!ptr.is_null(), "node heap exhausted");
-        self.blocks
-            .insert(ptr as usize, Block { ptr, len: size, layout, owner_tid: tid, lost: false });
+        self.blocks.insert(
+            ptr as usize,
+            Block {
+                ptr,
+                len: size,
+                layout,
+                owner_tid: tid,
+                lost: false,
+            },
+        );
         self.live_bytes += size;
         ptr
     }
@@ -86,8 +94,12 @@ impl NodeHeap {
 
     /// Free everything a (dead) thread owns here.
     pub fn release_thread(&mut self, tid: u64) -> usize {
-        let victims: Vec<usize> =
-            self.blocks.iter().filter(|(_, b)| b.owner_tid == tid).map(|(&k, _)| k).collect();
+        let victims: Vec<usize> = self
+            .blocks
+            .iter()
+            .filter(|(_, b)| b.owner_tid == tid)
+            .map(|(&k, _)| k)
+            .collect();
         let n = victims.len();
         for k in victims {
             self.free(k as *mut u8);
@@ -98,7 +110,7 @@ impl NodeHeap {
     /// Is `ptr` a live, non-poisoned block on this node?  `false` means a
     /// real cluster would have faulted (or read garbage) at this address.
     pub fn is_valid(&self, ptr: *const u8) -> bool {
-        self.blocks.get(&(ptr as usize)).map_or(false, |b| !b.lost)
+        self.blocks.get(&(ptr as usize)).is_some_and(|b| !b.lost)
     }
 
     /// Live (allocated, possibly lost) byte count.

@@ -5,8 +5,7 @@
 //! captures lines (so tests can assert on execution traces exactly like the
 //! paper's Fig. 8) and optionally echoes them to stdout.
 
-use parking_lot::Mutex;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Shared line sink.
 #[derive(Debug, Default)]
@@ -18,7 +17,10 @@ pub struct OutputSink {
 impl OutputSink {
     /// Create a sink; `echo` also prints each line to stdout.
     pub fn new(echo: bool) -> Arc<Self> {
-        Arc::new(OutputSink { lines: Mutex::new(Vec::new()), echo })
+        Arc::new(OutputSink {
+            lines: Mutex::new(Vec::new()),
+            echo,
+        })
     }
 
     /// Record a line already prefixed with its node tag.
@@ -26,7 +28,7 @@ impl OutputSink {
         if self.echo {
             println!("{line}");
         }
-        self.lines.lock().push(line);
+        self.lines.lock().unwrap().push(line);
     }
 
     /// Record `text` as printed by `node`.
@@ -36,22 +38,22 @@ impl OutputSink {
 
     /// Snapshot of all captured lines.
     pub fn lines(&self) -> Vec<String> {
-        self.lines.lock().clone()
+        self.lines.lock().unwrap().clone()
     }
 
     /// Number of captured lines.
     pub fn len(&self) -> usize {
-        self.lines.lock().len()
+        self.lines.lock().unwrap().len()
     }
 
     /// True when nothing was printed.
     pub fn is_empty(&self) -> bool {
-        self.lines.lock().is_empty()
+        self.lines.lock().unwrap().is_empty()
     }
 
     /// Drop all captured lines.
     pub fn clear(&self) {
-        self.lines.lock().clear();
+        self.lines.lock().unwrap().clear();
     }
 }
 

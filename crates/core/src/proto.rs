@@ -1,10 +1,15 @@
 //! Wire protocol: message tags and payload codecs.
 //!
 //! Tag space of the PM2 runtime over the Madeleine fabric.  Payloads are
-//! little-endian framed with [`madeleine::message::PayloadWriter`].
+//! little-endian framed through the [`Wire`] trait — each protocol message
+//! body is a tuple of typed fields, so the encode and decode sides cannot
+//! drift apart.  (`SlotBitmap` ships its own serialized form and stays
+//! byte-level.)
 
 use isoaddr::SlotRange;
-use madeleine::message::{PayloadReader, PayloadWriter};
+use madeleine::Wire;
+
+use crate::registry::ThreadExit;
 
 /// Message tags.
 pub mod tag {
@@ -46,72 +51,168 @@ pub mod tag {
     pub const MIGRATE_CMD: u16 = 26;
     /// Node → requester: migrate command outcome (1 = accepted).
     pub const MIGRATE_CMD_ACK: u16 = 27;
-    /// Node → home node: thread exited (for cross-node joins).
+    /// Node → home node: thread exited (for cross-node joins; carries the
+    /// panic message and the Wire-encoded return value when present).
     pub const THREAD_EXIT: u16 = 28;
+    /// Any → node: typed LRPC request (call id, service id, request bytes).
+    pub const RPC_CALL: u16 = 30;
+    /// Serving node → caller: typed LRPC response (call id, status, bytes).
+    pub const RPC_RESP: u16 = 31;
+}
+
+/// Status byte of an [`tag::RPC_RESP`] payload.
+pub mod rpc_status {
+    /// Success; the bytes are the `Wire`-encoded response.
+    pub const OK: u8 = 0;
+    /// No service registered under the requested id; bytes empty.
+    pub const NO_SUCH_SERVICE: u8 = 1;
+    /// The serving side failed (decode error, handler panic, oversized
+    /// response); the bytes are a UTF-8 message.
+    pub const REMOTE_ERROR: u8 = 2;
 }
 
 /// Encode a list of slot ranges (NEG_BUY payload).
 pub fn encode_ranges(ranges: &[SlotRange]) -> Vec<u8> {
-    let mut w = PayloadWriter::with_capacity(4 + ranges.len() * 16);
-    w.u32(ranges.len() as u32);
-    for r in ranges {
-        w.u64(r.first as u64).u64(r.count as u64);
-    }
-    w.finish()
+    let pairs: Vec<(u64, u64)> = ranges
+        .iter()
+        .map(|r| (r.first as u64, r.count as u64))
+        .collect();
+    pairs.encode_vec()
 }
 
 /// Decode a list of slot ranges.
 pub fn decode_ranges(buf: &[u8]) -> Option<Vec<SlotRange>> {
-    let mut r = PayloadReader::new(buf);
-    let n = r.u32()? as usize;
-    let mut out = Vec::with_capacity(n);
-    for _ in 0..n {
-        let first = r.u64()? as usize;
-        let count = r.u64()? as usize;
-        out.push(SlotRange::new(first, count));
-    }
-    Some(out)
+    let pairs = Vec::<(u64, u64)>::decode_vec(buf)?;
+    Some(
+        pairs
+            .into_iter()
+            .map(|(f, c)| SlotRange::new(f as usize, c as usize))
+            .collect(),
+    )
 }
 
 /// Encode a `MIGRATE_CMD` payload.
 pub fn encode_migrate_cmd(tid: u64, dest: usize) -> Vec<u8> {
-    let mut w = PayloadWriter::with_capacity(16);
-    w.u64(tid).u64(dest as u64);
-    w.finish()
+    (tid, dest).encode_vec()
 }
 
 /// Decode a `MIGRATE_CMD` payload.
 pub fn decode_migrate_cmd(buf: &[u8]) -> Option<(u64, usize)> {
-    let mut r = PayloadReader::new(buf);
-    Some((r.u64()?, r.u64()? as usize))
+    Wire::decode_vec(buf)
 }
+
+// Codecs whose payloads carry uncapped byte strings (RPC args, encoded
+// return values) frame them with `lp_bytes` directly — one memcpy — rather
+// than through `Vec<u8>`'s element-wise `Wire` impl, which would copy the
+// buffer twice with a bounds-checked push per byte.  The framing is
+// identical to the `Wire` form (u32 length prefix + bytes; Option as one
+// presence byte), so `Wire`-framed peers decode it unchanged.
 
 /// Encode an `RPC_SPAWN` payload.
 pub fn encode_rpc_spawn(service: u32, args: &[u8]) -> Vec<u8> {
-    let mut w = PayloadWriter::with_capacity(8 + args.len());
+    let mut w = madeleine::message::PayloadWriter::with_capacity(8 + args.len());
     w.u32(service).lp_bytes(args);
     w.finish()
 }
 
 /// Decode an `RPC_SPAWN` payload.
 pub fn decode_rpc_spawn(buf: &[u8]) -> Option<(u32, Vec<u8>)> {
-    let mut r = PayloadReader::new(buf);
+    let mut r = madeleine::message::PayloadReader::new(buf);
     let service = r.u32()?;
     let args = r.lp_bytes()?.to_vec();
     Some((service, args))
 }
 
-/// Encode a `THREAD_EXIT` payload.
-pub fn encode_thread_exit(tid: u64, panicked: bool, node: usize) -> Vec<u8> {
-    let mut w = PayloadWriter::with_capacity(24);
-    w.u64(tid).u32(panicked as u32).u32(node as u32);
+/// Encode a `THREAD_EXIT` payload from a completion record.
+pub fn encode_thread_exit(exit: &ThreadExit) -> Vec<u8> {
+    let value_len = exit.value.as_ref().map_or(0, Vec::len);
+    let mut w = madeleine::message::PayloadWriter::with_capacity(64 + value_len);
+    w.u64(exit.tid)
+        .u8(exit.panicked as u8)
+        .u64(exit.died_on as u64);
+    match &exit.panic_msg {
+        None => w.u8(0),
+        Some(msg) => w.u8(1).lp_bytes(msg.as_bytes()),
+    };
+    match &exit.value {
+        None => w.u8(0),
+        Some(value) => w.u8(1).lp_bytes(value),
+    };
     w.finish()
 }
 
 /// Decode a `THREAD_EXIT` payload.
-pub fn decode_thread_exit(buf: &[u8]) -> Option<(u64, bool, usize)> {
-    let mut r = PayloadReader::new(buf);
-    Some((r.u64()?, r.u32()? != 0, r.u32()? as usize))
+pub fn decode_thread_exit(buf: &[u8]) -> Option<ThreadExit> {
+    let mut r = madeleine::message::PayloadReader::new(buf);
+    let tid = r.u64()?;
+    let panicked = match r.u8()? {
+        0 => false,
+        1 => true,
+        _ => return None,
+    };
+    let died_on = r.u64()? as usize;
+    let panic_msg = match r.u8()? {
+        0 => None,
+        1 => Some(String::from_utf8(r.lp_bytes()?.to_vec()).ok()?),
+        _ => return None,
+    };
+    let value = match r.u8()? {
+        0 => None,
+        1 => Some(r.lp_bytes()?.to_vec()),
+        _ => return None,
+    };
+    Some(ThreadExit {
+        tid,
+        panicked,
+        died_on,
+        panic_msg,
+        value,
+    })
+}
+
+/// Encode an `RPC_CALL` payload.  `reply_to` is the fabric id the response
+/// must be sent to, carried explicitly rather than recovered from
+/// `Message::src`: the request may be parked and replayed by a frozen node
+/// and the handler may migrate before replying, so the response must not
+/// depend on any fabric metadata of the original delivery.
+pub fn encode_rpc_call(call_id: u64, reply_to: usize, service: u32, req: &[u8]) -> Vec<u8> {
+    let mut w = madeleine::message::PayloadWriter::with_capacity(20 + req.len());
+    w.u64(call_id)
+        .u32(reply_to as u32)
+        .u32(service)
+        .lp_bytes(req);
+    w.finish()
+}
+
+/// Decode an `RPC_CALL` payload into (call id, reply-to, service, request).
+pub fn decode_rpc_call(buf: &[u8]) -> Option<(u64, usize, u32, Vec<u8>)> {
+    let mut r = madeleine::message::PayloadReader::new(buf);
+    let call_id = r.u64()?;
+    let reply_to = r.u32()? as usize;
+    let service = r.u32()?;
+    let req = r.lp_bytes()?.to_vec();
+    Some((call_id, reply_to, service, req))
+}
+
+/// Encode an `RPC_RESP` payload.
+pub fn encode_rpc_resp(call_id: u64, status: u8, bytes: &[u8]) -> Vec<u8> {
+    let mut w = madeleine::message::PayloadWriter::with_capacity(16 + bytes.len());
+    w.u64(call_id).u8(status).lp_bytes(bytes);
+    w.finish()
+}
+
+/// Decode an `RPC_RESP` payload.
+pub fn decode_rpc_resp(buf: &[u8]) -> Option<(u64, u8, Vec<u8>)> {
+    let mut r = madeleine::message::PayloadReader::new(buf);
+    let call_id = r.u64()?;
+    let status = r.u8()?;
+    let bytes = r.lp_bytes()?.to_vec();
+    Some((call_id, status, bytes))
+}
+
+/// Read just the call id off an `RPC_RESP` payload (reply matching).
+pub fn peek_rpc_call_id(buf: &[u8]) -> Option<u64> {
+    madeleine::message::PayloadReader::new(buf).u64()
 }
 
 #[cfg(test)]
@@ -140,7 +241,31 @@ mod tests {
 
     #[test]
     fn thread_exit_roundtrip() {
-        let buf = encode_thread_exit(42, true, 2);
-        assert_eq!(decode_thread_exit(&buf), Some((42, true, 2)));
+        let exit = ThreadExit {
+            tid: 42,
+            panicked: true,
+            died_on: 2,
+            panic_msg: Some("assertion failed".into()),
+            value: Some(vec![1, 2, 3]),
+        };
+        assert_eq!(decode_thread_exit(&encode_thread_exit(&exit)), Some(exit));
+        let plain = ThreadExit::plain(7, false, 0);
+        assert_eq!(decode_thread_exit(&encode_thread_exit(&plain)), Some(plain));
+    }
+
+    #[test]
+    fn rpc_call_resp_roundtrip() {
+        let call = encode_rpc_call(99, 3, 0xFEED, b"req");
+        assert_eq!(
+            decode_rpc_call(&call),
+            Some((99, 3, 0xFEED, b"req".to_vec()))
+        );
+        let resp = encode_rpc_resp(99, rpc_status::OK, b"resp");
+        assert_eq!(
+            decode_rpc_resp(&resp),
+            Some((99, rpc_status::OK, b"resp".to_vec()))
+        );
+        assert_eq!(peek_rpc_call_id(&resp), Some(99));
+        assert_eq!(decode_rpc_call(&call[..5]), None, "truncation rejected");
     }
 }

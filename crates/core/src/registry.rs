@@ -6,15 +6,22 @@
 //! waiters via Madeleine messages (which we also send, for cross-node
 //! joins); the process-global table lets the *host* (the test or bench
 //! driver, which is not a node) block on a condition variable.
+//!
+//! Since the v1 typed facade, a completion carries more than a panicked
+//! bit: the panic *message* (so a failing test names its assertion, not
+//! just "thread panicked") and, for value-returning threads, the
+//! [`Wire`](madeleine::wire::Wire)-encoded return value.  Both travel in
+//! the `THREAD_EXIT` protocol message for cross-node joins, so a typed
+//! join observes the same bytes whether the thread died at home or three
+//! migrations away.
 
+use std::any::Any;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use parking_lot::{Condvar, Mutex};
-
 /// Completion record of a finished thread.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ThreadExit {
     /// Thread id.
     pub tid: u64,
@@ -22,6 +29,44 @@ pub struct ThreadExit {
     pub panicked: bool,
     /// Node the thread died on (≠ home node after migrations).
     pub died_on: usize,
+    /// Panic payload text, when the body panicked with a string message.
+    pub panic_msg: Option<String>,
+    /// Wire-encoded return value, for threads spawned through a
+    /// value-returning entry point (`spawn_on_ret`, `pm2_thread_create_ret`).
+    pub value: Option<Vec<u8>>,
+}
+
+impl ThreadExit {
+    /// A plain (valueless, message-less) completion.
+    pub fn plain(tid: u64, panicked: bool, died_on: usize) -> Self {
+        ThreadExit {
+            tid,
+            panicked,
+            died_on,
+            panic_msg: None,
+            value: None,
+        }
+    }
+
+    /// The panic message, or a placeholder when none was captured.
+    pub fn panic_message(&self) -> &str {
+        self.panic_msg.as_deref().unwrap_or("thread panicked")
+    }
+
+    /// Interpret this completion as a typed join result: the panic (with
+    /// its message) if the body panicked, otherwise the `Wire`-decoded
+    /// return value.  Shared by every typed join surface
+    /// (`JoinHandle::join`/`try_join`, `pm2_join_value`).
+    pub fn typed_value<R: madeleine::Wire>(self) -> crate::error::Result<R> {
+        use crate::error::Pm2Error;
+        if self.panicked {
+            return Err(Pm2Error::Panicked(self.panic_message().to_string()));
+        }
+        match self.value {
+            Some(bytes) => R::decode_vec(&bytes).ok_or(Pm2Error::Decode("joined value")),
+            None => Err(Pm2Error::Decode("thread returned no value")),
+        }
+    }
 }
 
 /// Machine-wide completion registry.
@@ -29,6 +74,11 @@ pub struct ThreadExit {
 pub struct Registry {
     done: Mutex<HashMap<u64, ThreadExit>>,
     cv: Condvar,
+    /// Host-side value mailbox for [`Machine::run_on`]: arbitrary (non-
+    /// `Wire`) values cannot travel through byte messages, so `run_on`
+    /// threads park them here under their tid — the documented in-process
+    /// shortcut, exactly like [`SpawnTable`] for closures.
+    values: Mutex<HashMap<u64, Box<dyn Any + Send>>>,
 }
 
 impl Registry {
@@ -39,35 +89,100 @@ impl Registry {
 
     /// Record a completion and wake waiters.
     pub fn complete(&self, exit: ThreadExit) {
-        self.done.lock().insert(exit.tid, exit);
+        self.done.lock().unwrap().insert(exit.tid, exit);
+        self.cv.notify_all();
+    }
+
+    /// Record a completion only if none exists — the cross-node
+    /// `THREAD_EXIT` path, which in this in-process simulation always
+    /// trails the dying node's direct [`Registry::complete`].  Overwriting
+    /// would resurrect a return value a typed join already consumed.
+    pub fn complete_if_absent(&self, exit: ThreadExit) {
+        self.done.lock().unwrap().entry(exit.tid).or_insert(exit);
         self.cv.notify_all();
     }
 
     /// Non-blocking completion query.
     pub fn poll(&self, tid: u64) -> Option<ThreadExit> {
-        self.done.lock().get(&tid).copied()
+        self.done.lock().unwrap().get(&tid).cloned()
+    }
+
+    /// Non-blocking completion query without the return-value bytes —
+    /// what wait loops should use, so polling never copies an
+    /// arbitrarily large encoded value just to look at the flags.
+    pub fn poll_meta(&self, tid: u64) -> Option<ThreadExit> {
+        self.done.lock().unwrap().get(&tid).map(|e| ThreadExit {
+            tid: e.tid,
+            panicked: e.panicked,
+            died_on: e.died_on,
+            panic_msg: e.panic_msg.clone(),
+            value: None,
+        })
+    }
+
+    /// Non-blocking completion query that *moves* the stored return-value
+    /// bytes out of the record (they can be arbitrarily large; retaining
+    /// them after the one typed join that wants them would grow the
+    /// registry without bound).  The completion record itself stays, so
+    /// repeated `pm2_join`/`poll` keep working; a second *typed* join of
+    /// the same tid reports "thread returned no value".
+    pub fn take_typed_exit(&self, tid: u64) -> Option<ThreadExit> {
+        let mut done = self.done.lock().unwrap();
+        let entry = done.get_mut(&tid)?;
+        let value = entry.value.take();
+        let mut exit = entry.clone();
+        exit.value = value;
+        Some(exit)
     }
 
     /// Block the calling *host* thread until `tid` completes (never call
     /// from a Marcel thread — those must poll + yield).
     pub fn wait(&self, tid: u64, timeout: Duration) -> Option<ThreadExit> {
         let deadline = Instant::now() + timeout;
-        let mut done = self.done.lock();
+        let mut done = self.done.lock().unwrap();
         loop {
             if let Some(e) = done.get(&tid) {
-                return Some(*e);
+                return Some(e.clone());
             }
             let now = Instant::now();
             if now >= deadline {
                 return None;
             }
-            self.cv.wait_for(&mut done, deadline - now);
+            done = self.cv.wait_timeout(done, deadline - now).unwrap().0;
+        }
+    }
+
+    /// Block the calling *host* thread until `tid` completes, copying
+    /// nothing; `true` on completion, `false` on timeout.  Pair with
+    /// [`Registry::take_typed_exit`] for the record.
+    pub fn wait_completed(&self, tid: u64, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut done = self.done.lock().unwrap();
+        loop {
+            if done.contains_key(&tid) {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            done = self.cv.wait_timeout(done, deadline - now).unwrap().0;
         }
     }
 
     /// Number of recorded completions.
     pub fn completed_count(&self) -> usize {
-        self.done.lock().len()
+        self.done.lock().unwrap().len()
+    }
+
+    /// Park an arbitrary host-bound value under `tid` (see `values`).
+    pub fn put_value(&self, tid: u64, v: Box<dyn Any + Send>) {
+        self.values.lock().unwrap().insert(tid, v);
+    }
+
+    /// Take the host-bound value parked under `tid`, if any.
+    pub fn take_value(&self, tid: u64) -> Option<Box<dyn Any + Send>> {
+        self.values.lock().unwrap().remove(&tid)
     }
 }
 
@@ -91,16 +206,16 @@ impl SpawnTable {
 
     /// Park a closure, returning its key.
     pub fn park(&self, f: Box<dyn FnOnce() + Send + 'static>) -> u64 {
-        let mut next = self.next.lock();
+        let mut next = self.next.lock().unwrap();
         *next += 1;
         let key = *next;
-        self.table.lock().insert(key, f);
+        self.table.lock().unwrap().insert(key, f);
         key
     }
 
     /// Take a parked closure.
     pub fn take(&self, key: u64) -> Option<Box<dyn FnOnce() + Send + 'static>> {
-        self.table.lock().remove(&key)
+        self.table.lock().unwrap().remove(&key)
     }
 }
 
@@ -108,10 +223,16 @@ impl SpawnTable {
 /// conceptually replicated on every node (SPMD).  A remote spawn ships only
 /// the service id and an argument byte string — exactly how PM2's LRPC
 /// starts handler threads on remote nodes.
+///
+/// This is the fire-and-forget, paper-faithful layer.  The typed
+/// request/reply facade lives in [`crate::service`].
 #[derive(Default)]
 pub struct ServiceTable {
-    table: Mutex<HashMap<u32, Arc<dyn Fn(Vec<u8>) + Send + Sync + 'static>>>,
+    table: Mutex<HashMap<u32, RawService>>,
 }
+
+/// A byte-level fire-and-forget service body.
+pub type RawService = Arc<dyn Fn(Vec<u8>) + Send + Sync + 'static>;
 
 impl ServiceTable {
     /// Fresh shared table.
@@ -121,13 +242,13 @@ impl ServiceTable {
 
     /// Register service `id`.  Panics on duplicate registration.
     pub fn register(&self, id: u32, f: Arc<dyn Fn(Vec<u8>) + Send + Sync + 'static>) {
-        let prev = self.table.lock().insert(id, f);
+        let prev = self.table.lock().unwrap().insert(id, f);
         assert!(prev.is_none(), "service {id} registered twice");
     }
 
     /// Look up service `id`.
     pub fn get(&self, id: u32) -> Option<Arc<dyn Fn(Vec<u8>) + Send + Sync + 'static>> {
-        self.table.lock().get(&id).cloned()
+        self.table.lock().unwrap().get(&id).cloned()
     }
 }
 
@@ -142,7 +263,7 @@ mod tests {
         let r2 = Arc::clone(&r);
         let h = std::thread::spawn(move || {
             std::thread::sleep(Duration::from_millis(20));
-            r2.complete(ThreadExit { tid: 5, panicked: false, died_on: 1 });
+            r2.complete(ThreadExit::plain(5, false, 1));
         });
         let e = r.wait(5, Duration::from_secs(5)).unwrap();
         assert_eq!(e.died_on, 1);
@@ -155,6 +276,23 @@ mod tests {
     fn registry_wait_times_out() {
         let r = Registry::default();
         assert!(r.wait(99, Duration::from_millis(10)).is_none());
+    }
+
+    #[test]
+    fn registry_value_mailbox() {
+        let r = Registry::default();
+        r.put_value(7, Box::new(123_i32));
+        let v = r.take_value(7).unwrap().downcast::<i32>().unwrap();
+        assert_eq!(*v, 123);
+        assert!(r.take_value(7).is_none());
+    }
+
+    #[test]
+    fn exit_panic_message_fallback() {
+        let mut e = ThreadExit::plain(1, true, 0);
+        assert_eq!(e.panic_message(), "thread panicked");
+        e.panic_msg = Some("assertion failed: x == y".into());
+        assert_eq!(e.panic_message(), "assertion failed: x == y");
     }
 
     #[test]

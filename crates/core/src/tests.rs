@@ -18,11 +18,8 @@ fn launch_and_shutdown_empty() {
 
 #[test]
 fn threaded_mode_launch_and_shutdown() {
-    let mut m = Machine::launch(
-        Pm2Config::test(3).with_mode(MachineMode::Threaded),
-    )
-    .unwrap();
-    let v = m.run_on(2, || pm2_self()).unwrap();
+    let mut m = Machine::launch(Pm2Config::test(3).with_mode(MachineMode::Threaded)).unwrap();
+    let v = m.run_on(2, pm2_self).unwrap();
     assert_eq!(v, 2);
     m.shutdown();
 }
@@ -87,7 +84,10 @@ fn printf_is_captured_with_node_prefix() {
         crate::pm2_printf!("value = {}", 1);
     })
     .unwrap();
-    assert_eq!(m.output_lines(), vec!["[node0] value = 1", "[node1] value = 1"]);
+    assert_eq!(
+        m.output_lines(),
+        vec!["[node0] value = 1", "[node1] value = 1"]
+    );
     m.shutdown();
 }
 
@@ -106,7 +106,10 @@ fn negotiation_supplies_multislot_allocation() {
     })
     .unwrap();
     assert_eq!(m.node_stats(0).negotiations, 1);
-    assert!(m.slot_stats(1).slots_sold > 0, "node 1 must have sold slots");
+    assert!(
+        m.slot_stats(1).slots_sold > 0,
+        "node 1 must have sold slots"
+    );
     let audit = m.audit().unwrap();
     audit.check_partition().unwrap();
     m.shutdown();

@@ -82,7 +82,13 @@ impl IsoArea {
         }
         let n_words = cfg.n_slots.div_ceil(64);
         let mapped = (0..n_words).map(|_| AtomicU64::new(0)).collect();
-        Ok(IsoArea { base, cfg, strategy, mapped, committed: AtomicUsize::new(0) })
+        Ok(IsoArea {
+            base,
+            cfg,
+            strategy,
+            mapped,
+            committed: AtomicUsize::new(0),
+        })
     }
 
     /// The map strategy in force.
@@ -121,7 +127,10 @@ impl IsoArea {
 
     /// Virtual address range `[start, end)` of a slot range.
     pub fn range_addr(&self, range: SlotRange) -> (VAddr, VAddr) {
-        (self.slot_addr(range.first), self.slot_addr(range.first) + range.count * self.slot_size())
+        (
+            self.slot_addr(range.first),
+            self.slot_addr(range.first) + range.count * self.slot_size(),
+        )
     }
 
     /// Slot index containing virtual address `addr`.

@@ -24,19 +24,30 @@ pub struct SlotBitmap {
 
 impl std::fmt::Debug for SlotBitmap {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "SlotBitmap({} bits, {} set)", self.n_bits, self.count_ones())
+        write!(
+            f,
+            "SlotBitmap({} bits, {} set)",
+            self.n_bits,
+            self.count_ones()
+        )
     }
 }
 
 impl SlotBitmap {
     /// Create a bitmap of `n_bits` bits, all clear.
     pub fn new_clear(n_bits: usize) -> Self {
-        SlotBitmap { words: vec![0; n_bits.div_ceil(WORD_BITS)], n_bits }
+        SlotBitmap {
+            words: vec![0; n_bits.div_ceil(WORD_BITS)],
+            n_bits,
+        }
     }
 
     /// Create a bitmap of `n_bits` bits, all set.
     pub fn new_set(n_bits: usize) -> Self {
-        let mut bm = SlotBitmap { words: vec![!0u64; n_bits.div_ceil(WORD_BITS)], n_bits };
+        let mut bm = SlotBitmap {
+            words: vec![!0u64; n_bits.div_ceil(WORD_BITS)],
+            n_bits,
+        };
         bm.clear_tail();
         bm
     }
@@ -229,7 +240,10 @@ impl SlotBitmap {
     /// True if the two bitmaps share at least one set bit.
     pub fn intersects(&self, other: &SlotBitmap) -> bool {
         assert_eq!(self.n_bits, other.n_bits, "bitmap size mismatch");
-        self.words.iter().zip(other.words.iter()).any(|(a, b)| a & b != 0)
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .any(|(a, b)| a & b != 0)
     }
 
     /// Iterate over the indices of the set bits.

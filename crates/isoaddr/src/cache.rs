@@ -23,7 +23,10 @@ pub struct SlotCache {
 impl SlotCache {
     /// Create a cache holding at most `capacity` slots (0 disables caching).
     pub fn new(capacity: usize) -> Self {
-        SlotCache { capacity, slots: Vec::with_capacity(capacity) }
+        SlotCache {
+            capacity,
+            slots: Vec::with_capacity(capacity),
+        }
     }
 
     /// Is caching disabled?

@@ -102,8 +102,11 @@ mod tests {
 
     #[test]
     fn distributions_partition_the_area() {
-        for d in [Distribution::RoundRobin, Distribution::BlockCyclic(4), Distribution::Partitioned]
-        {
+        for d in [
+            Distribution::RoundRobin,
+            Distribution::BlockCyclic(4),
+            Distribution::Partitioned,
+        ] {
             for p in [1usize, 2, 3, 5, 8] {
                 for n in [1usize, 7, 64, 130] {
                     check_partition(d, p, n);

@@ -43,10 +43,15 @@ impl fmt::Display for IsoAddrError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             IsoAddrError::Mmap { addr, len, errno } => {
-                write!(f, "mmap/mprotect failed at {addr:#x} len {len:#x}: errno {errno}")
+                write!(
+                    f,
+                    "mmap/mprotect failed at {addr:#x} len {len:#x}: errno {errno}"
+                )
             }
             IsoAddrError::BadConfig(msg) => write!(f, "invalid iso-area configuration: {msg}"),
-            IsoAddrError::OutOfArea(a) => write!(f, "address {a:#x} is outside the iso-address area"),
+            IsoAddrError::OutOfArea(a) => {
+                write!(f, "address {a:#x} is outside the iso-address area")
+            }
             IsoAddrError::DoubleCommit(r) => write!(
                 f,
                 "iso-address invariant violated: slots [{}, {}) are already mapped",

@@ -32,14 +32,20 @@ pub struct AreaConfig {
 
 impl Default for AreaConfig {
     fn default() -> Self {
-        AreaConfig { slot_size: DEFAULT_SLOT_SIZE, n_slots: DEFAULT_N_SLOTS }
+        AreaConfig {
+            slot_size: DEFAULT_SLOT_SIZE,
+            n_slots: DEFAULT_N_SLOTS,
+        }
     }
 }
 
 impl AreaConfig {
     /// A small area for unit tests (64 slots of 64 KiB = 4 MiB).
     pub fn small() -> Self {
-        AreaConfig { slot_size: DEFAULT_SLOT_SIZE, n_slots: 64 }
+        AreaConfig {
+            slot_size: DEFAULT_SLOT_SIZE,
+            n_slots: 64,
+        }
     }
 
     /// Geometry with a custom slot size (bench ablation A3).
@@ -105,6 +111,9 @@ mod tests {
         // Paper §4.2: 3.5 GB area / 64 KiB slots ≈ a 7 kB bitmap.
         let n_slots = (35 * (1usize << 30) / 10) / DEFAULT_SLOT_SIZE;
         let bitmap_bytes = n_slots / 8;
-        assert!((6_500..=7_500).contains(&bitmap_bytes), "got {bitmap_bytes}");
+        assert!(
+            (6_500..=7_500).contains(&bitmap_bytes),
+            "got {bitmap_bytes}"
+        );
     }
 }

@@ -143,14 +143,16 @@ impl NodeSlotManager {
             if cached.contains(&idx) {
                 if idx > run_start {
                     SlotStats::bump(&self.stats.commits);
-                    self.area.commit_slots(SlotRange::new(run_start, idx - run_start))?;
+                    self.area
+                        .commit_slots(SlotRange::new(run_start, idx - run_start))?;
                 }
                 run_start = idx + 1;
             }
         }
         if range.end() > run_start {
             SlotStats::bump(&self.stats.commits);
-            self.area.commit_slots(SlotRange::new(run_start, range.end() - run_start))?;
+            self.area
+                .commit_slots(SlotRange::new(run_start, range.end() - run_start))?;
         }
         Ok(self.area.slot_addr(range.first))
     }
@@ -344,7 +346,10 @@ mod tests {
         let mut m = mgr(2, 0, 0);
         assert_eq!(m.owned_free_slots(), 32);
         // Single slots fine…
-        assert!(matches!(m.try_acquire(1).unwrap(), AcquireOutcome::Acquired(..)));
+        assert!(matches!(
+            m.try_acquire(1).unwrap(),
+            AcquireOutcome::Acquired(..)
+        ));
         // …but no two contiguous slots exist under round-robin with p=2.
         assert_eq!(m.try_acquire(2).unwrap(), AcquireOutcome::NeedNegotiation);
         assert_eq!(m.stats_snapshot().negotiation_required, 1);
@@ -368,11 +373,15 @@ mod tests {
     #[test]
     fn cache_hit_skips_mmap_and_keeps_contents() {
         let mut m = mgr(1, 0, 4);
-        let AcquireOutcome::Acquired(r, addr) = m.try_acquire(1).unwrap() else { panic!() };
+        let AcquireOutcome::Acquired(r, addr) = m.try_acquire(1).unwrap() else {
+            panic!()
+        };
         unsafe { (addr as *mut u64).write(0xFEED) };
         m.release(r).unwrap();
         assert_eq!(m.cached_slots(), 1);
-        let AcquireOutcome::Acquired(r2, addr2) = m.try_acquire(1).unwrap() else { panic!() };
+        let AcquireOutcome::Acquired(r2, addr2) = m.try_acquire(1).unwrap() else {
+            panic!()
+        };
         assert_eq!(r2, r, "cache must hand back the same slot");
         assert_eq!(addr2, addr);
         // Cached slot keeps stale contents (documented behaviour).
@@ -386,10 +395,14 @@ mod tests {
     #[test]
     fn cache_disabled_always_mmaps_fresh_zeroes() {
         let mut m = mgr(1, 0, 0);
-        let AcquireOutcome::Acquired(r, addr) = m.try_acquire(1).unwrap() else { panic!() };
+        let AcquireOutcome::Acquired(r, addr) = m.try_acquire(1).unwrap() else {
+            panic!()
+        };
         unsafe { (addr as *mut u64).write(0xFEED) };
         m.release(r).unwrap();
-        let AcquireOutcome::Acquired(_, addr2) = m.try_acquire(1).unwrap() else { panic!() };
+        let AcquireOutcome::Acquired(_, addr2) = m.try_acquire(1).unwrap() else {
+            panic!()
+        };
         assert_eq!(addr2, addr);
         unsafe { assert_eq!((addr2 as *const u64).read(), 0) };
     }
@@ -403,7 +416,9 @@ mod tests {
         m.release(SlotRange::single(1)).unwrap();
         assert!(m.cache.contains(1));
         // Now acquire slots [0,4): must not double-commit slot 1.
-        let AcquireOutcome::Acquired(r, addr) = m.try_acquire(4).unwrap() else { panic!() };
+        let AcquireOutcome::Acquired(r, addr) = m.try_acquire(4).unwrap() else {
+            panic!()
+        };
         assert_eq!(r, SlotRange::new(0, 4));
         unsafe {
             std::ptr::write_bytes(addr as *mut u8, 1, m.slot_size() * 4);
@@ -415,12 +430,12 @@ mod tests {
     #[test]
     fn surrender_and_adopt_roundtrip_between_nodes() {
         let area = Arc::new(IsoArea::new(AreaConfig::small()).unwrap());
-        let mut m0 =
-            NodeSlotManager::new(0, 2, Arc::clone(&area), Distribution::RoundRobin, 0);
-        let mut m1 =
-            NodeSlotManager::new(1, 2, Arc::clone(&area), Distribution::RoundRobin, 0);
+        let mut m0 = NodeSlotManager::new(0, 2, Arc::clone(&area), Distribution::RoundRobin, 0);
+        let mut m1 = NodeSlotManager::new(1, 2, Arc::clone(&area), Distribution::RoundRobin, 0);
         // Thread acquires slot 0 on node 0 and writes data.
-        let AcquireOutcome::Acquired(r, addr) = m0.try_acquire(1).unwrap() else { panic!() };
+        let AcquireOutcome::Acquired(r, addr) = m0.try_acquire(1).unwrap() else {
+            panic!()
+        };
         unsafe { (addr as *mut u64).write(0xC0FFEE) };
         // Migration: read out, surrender on node 0, adopt on node 1 at the
         // SAME address, write back.
@@ -441,10 +456,8 @@ mod tests {
     #[test]
     fn sell_and_grant_move_ownership() {
         let area = Arc::new(IsoArea::new(AreaConfig::small()).unwrap());
-        let mut m0 =
-            NodeSlotManager::new(0, 2, Arc::clone(&area), Distribution::RoundRobin, 4);
-        let mut m1 =
-            NodeSlotManager::new(1, 2, Arc::clone(&area), Distribution::RoundRobin, 4);
+        let mut m0 = NodeSlotManager::new(0, 2, Arc::clone(&area), Distribution::RoundRobin, 4);
+        let mut m1 = NodeSlotManager::new(1, 2, Arc::clone(&area), Distribution::RoundRobin, 4);
         // Node 1 owns odd slots. Sell slot 1 and 3 to node 0.
         m1.sell(SlotRange::single(1)).unwrap();
         m1.sell(SlotRange::single(3)).unwrap();
@@ -461,14 +474,18 @@ mod tests {
     #[test]
     fn sell_evicts_cached_mapping() {
         let area = Arc::new(IsoArea::new(AreaConfig::small()).unwrap());
-        let mut m1 =
-            NodeSlotManager::new(1, 2, Arc::clone(&area), Distribution::RoundRobin, 4);
-        let AcquireOutcome::Acquired(r, _) = m1.try_acquire(1).unwrap() else { panic!() };
+        let mut m1 = NodeSlotManager::new(1, 2, Arc::clone(&area), Distribution::RoundRobin, 4);
+        let AcquireOutcome::Acquired(r, _) = m1.try_acquire(1).unwrap() else {
+            panic!()
+        };
         m1.release(r).unwrap();
         assert_eq!(m1.cached_slots(), 1);
         m1.sell(r).unwrap();
         assert_eq!(m1.cached_slots(), 0);
-        assert!(!area.is_committed(r.first), "sold slot must be unmapped by seller");
+        assert!(
+            !area.is_committed(r.first),
+            "sold slot must be unmapped by seller"
+        );
     }
 
     #[test]
@@ -486,7 +503,9 @@ mod tests {
     #[test]
     fn flush_cache_unmaps() {
         let mut m = mgr(1, 0, 8);
-        let AcquireOutcome::Acquired(r, _) = m.try_acquire(1).unwrap() else { panic!() };
+        let AcquireOutcome::Acquired(r, _) = m.try_acquire(1).unwrap() else {
+            panic!()
+        };
         m.release(r).unwrap();
         assert_eq!(m.cached_slots(), 1);
         m.flush_cache().unwrap();

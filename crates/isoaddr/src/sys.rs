@@ -16,6 +16,40 @@
 
 use crate::error::{IsoAddrError, Result};
 
+/// Minimal raw bindings to the `mmap` family.  Declared in-tree (this
+/// sandbox builds with no external crates); the process links libc anyway,
+/// so the symbols are always present.  Linux-only constants.
+mod raw {
+    use std::ffi::{c_int, c_long, c_void};
+
+    pub const PROT_NONE: c_int = 0;
+    pub const PROT_READ: c_int = 1;
+    pub const PROT_WRITE: c_int = 2;
+    pub const MAP_PRIVATE: c_int = 0x02;
+    pub const MAP_FIXED: c_int = 0x10;
+    pub const MAP_ANONYMOUS: c_int = 0x20;
+    pub const MAP_NORESERVE: c_int = 0x4000;
+    pub const MAP_FAILED: *mut c_void = !0usize as *mut c_void;
+    pub const _SC_PAGESIZE: c_int = 30;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+        pub fn mprotect(addr: *mut c_void, len: usize, prot: c_int) -> c_int;
+        pub fn sysconf(name: c_int) -> c_long;
+    }
+}
+
+use raw as libc_shim;
+use std::ffi::c_void;
+
 /// System page size, cached after the first query.
 pub fn page_size() -> usize {
     use std::sync::atomic::{AtomicUsize, Ordering};
@@ -25,7 +59,7 @@ pub fn page_size() -> usize {
         return cached;
     }
     // SAFETY: sysconf is always safe to call.
-    let sz = unsafe { libc::sysconf(libc::_SC_PAGESIZE) } as usize;
+    let sz = unsafe { libc_shim::sysconf(libc_shim::_SC_PAGESIZE) } as usize;
     let sz = if sz == 0 { 4096 } else { sz };
     PAGE.store(sz, Ordering::Relaxed);
     sz
@@ -42,17 +76,21 @@ pub fn reserve_anywhere(len: usize) -> Result<usize> {
     // SAFETY: anonymous PROT_NONE mapping with addr=NULL cannot clobber
     // existing mappings.
     let ptr = unsafe {
-        libc::mmap(
+        libc_shim::mmap(
             std::ptr::null_mut(),
             len,
-            libc::PROT_NONE,
-            libc::MAP_PRIVATE | libc::MAP_ANONYMOUS | libc::MAP_NORESERVE,
+            libc_shim::PROT_NONE,
+            libc_shim::MAP_PRIVATE | libc_shim::MAP_ANONYMOUS | libc_shim::MAP_NORESERVE,
             -1,
             0,
         )
     };
-    if ptr == libc::MAP_FAILED {
-        return Err(IsoAddrError::Mmap { addr: 0, len, errno: last_errno() });
+    if ptr == libc_shim::MAP_FAILED {
+        return Err(IsoAddrError::Mmap {
+            addr: 0,
+            len,
+            errno: last_errno(),
+        });
     }
     Ok(ptr as usize)
 }
@@ -65,9 +103,17 @@ pub fn reserve_anywhere(len: usize) -> Result<usize> {
 /// not be in use by anyone else (the iso-address discipline guarantees this;
 /// [`crate::IsoArea`] additionally checks it).
 pub unsafe fn commit(addr: usize, len: usize) -> Result<()> {
-    let rc = libc::mprotect(addr as *mut libc::c_void, len, libc::PROT_READ | libc::PROT_WRITE);
+    let rc = libc_shim::mprotect(
+        addr as *mut c_void,
+        len,
+        libc_shim::PROT_READ | libc_shim::PROT_WRITE,
+    );
     if rc != 0 {
-        return Err(IsoAddrError::Mmap { addr, len, errno: last_errno() });
+        return Err(IsoAddrError::Mmap {
+            addr,
+            len,
+            errno: last_errno(),
+        });
     }
     Ok(())
 }
@@ -82,16 +128,23 @@ pub unsafe fn commit(addr: usize, len: usize) -> Result<()> {
 pub unsafe fn decommit(addr: usize, len: usize) -> Result<()> {
     // A fresh fixed anonymous PROT_NONE mapping atomically replaces the old
     // pages (their contents are discarded) while keeping the range reserved.
-    let ptr = libc::mmap(
-        addr as *mut libc::c_void,
+    let ptr = libc_shim::mmap(
+        addr as *mut c_void,
         len,
-        libc::PROT_NONE,
-        libc::MAP_PRIVATE | libc::MAP_ANONYMOUS | libc::MAP_NORESERVE | libc::MAP_FIXED,
+        libc_shim::PROT_NONE,
+        libc_shim::MAP_PRIVATE
+            | libc_shim::MAP_ANONYMOUS
+            | libc_shim::MAP_NORESERVE
+            | libc_shim::MAP_FIXED,
         -1,
         0,
     );
-    if ptr == libc::MAP_FAILED {
-        return Err(IsoAddrError::Mmap { addr, len, errno: last_errno() });
+    if ptr == libc_shim::MAP_FAILED {
+        return Err(IsoAddrError::Mmap {
+            addr,
+            len,
+            errno: last_errno(),
+        });
     }
     Ok(())
 }
@@ -102,9 +155,13 @@ pub unsafe fn decommit(addr: usize, len: usize) -> Result<()> {
 /// `addr`/`len` must denote exactly one reservation from [`reserve_anywhere`]
 /// with no live references into it.
 pub unsafe fn release(addr: usize, len: usize) -> Result<()> {
-    let rc = libc::munmap(addr as *mut libc::c_void, len);
+    let rc = libc_shim::munmap(addr as *mut c_void, len);
     if rc != 0 {
-        return Err(IsoAddrError::Mmap { addr, len, errno: last_errno() });
+        return Err(IsoAddrError::Mmap {
+            addr,
+            len,
+            errno: last_errno(),
+        });
     }
     Ok(())
 }

@@ -1,7 +1,10 @@
 //! Property tests: the word-accelerated bitmap agrees with a naive
 //! bit-vector model on every operation the negotiation protocol uses.
+//!
+//! Randomized via the in-tree `testkit` PRNG (seeded, deterministic)
+//! instead of proptest — the sandbox builds offline.
 
-use proptest::prelude::*;
+use testkit::{cases, StdRng};
 
 use isoaddr::{Distribution, SlotBitmap, SlotRange};
 
@@ -41,87 +44,122 @@ enum Op {
     ClearRange(usize, usize),
 }
 
-fn ops(n_bits: usize) -> impl Strategy<Value = Vec<Op>> {
-    let op = prop_oneof![
-        (0..n_bits).prop_map(Op::Set),
-        (0..n_bits).prop_map(Op::Clear),
-        (0..n_bits, 1..16usize).prop_map(move |(s, l)| Op::SetRange(s, l.min(n_bits - s))),
-        (0..n_bits, 1..16usize).prop_map(move |(s, l)| Op::ClearRange(s, l.min(n_bits - s))),
-    ];
-    proptest::collection::vec(op, 1..120)
+fn random_op(rng: &mut StdRng, n_bits: usize) -> Op {
+    match rng.random_range(0..4u32) {
+        0 => Op::Set(rng.random_range(0..n_bits)),
+        1 => Op::Clear(rng.random_range(0..n_bits)),
+        2 => {
+            let s = rng.random_range(0..n_bits);
+            let l = rng.random_range(1..16usize).min(n_bits - s);
+            Op::SetRange(s, l)
+        }
+        _ => {
+            let s = rng.random_range(0..n_bits);
+            let l = rng.random_range(1..16usize).min(n_bits - s);
+            Op::ClearRange(s, l)
+        }
+    }
 }
 
-proptest! {
-    #[test]
-    fn bitmap_matches_model(n_bits in 65usize..400, ops in ops(400), fits in proptest::collection::vec((1usize..20, 0usize..400), 1..12)) {
+#[test]
+fn bitmap_matches_model() {
+    cases(64, |rng| {
+        let n_bits = rng.random_range(65..400usize);
+        let n_ops = rng.random_range(1..120usize);
         let mut bm = SlotBitmap::new_clear(n_bits);
         let mut model = Model::new(n_bits);
-        for op in &ops {
-            match *op {
-                Op::Set(i) if i < n_bits => { bm.set(i); model.0[i] = true; }
-                Op::Clear(i) if i < n_bits => { bm.clear(i); model.0[i] = false; }
-                Op::SetRange(s, l) if s < n_bits && l > 0 => {
-                    let l = l.min(n_bits - s);
-                    bm.set_range(SlotRange::new(s, l));
-                    for i in s..s + l { model.0[i] = true; }
+        for _ in 0..n_ops {
+            match random_op(rng, n_bits) {
+                Op::Set(i) => {
+                    bm.set(i);
+                    model.0[i] = true;
                 }
-                Op::ClearRange(s, l) if s < n_bits && l > 0 => {
-                    let l = l.min(n_bits - s);
+                Op::Clear(i) => {
+                    bm.clear(i);
+                    model.0[i] = false;
+                }
+                Op::SetRange(s, l) if l > 0 => {
+                    bm.set_range(SlotRange::new(s, l));
+                    for i in s..s + l {
+                        model.0[i] = true;
+                    }
+                }
+                Op::ClearRange(s, l) if l > 0 => {
                     bm.clear_range(SlotRange::new(s, l));
-                    for i in s..s + l { model.0[i] = false; }
+                    for i in s..s + l {
+                        model.0[i] = false;
+                    }
                 }
                 _ => {}
             }
         }
         // Bit-for-bit agreement.
         for i in 0..n_bits {
-            prop_assert_eq!(bm.get(i), model.0[i], "bit {}", i);
+            assert_eq!(bm.get(i), model.0[i], "bit {i}");
         }
-        prop_assert_eq!(bm.count_ones(), model.0.iter().filter(|&&b| b).count());
+        assert_eq!(bm.count_ones(), model.0.iter().filter(|&&b| b).count());
         // First-fit agreement for a batch of queries.
-        for (n, from) in fits {
-            prop_assert_eq!(
+        for _ in 0..12 {
+            let n = rng.random_range(1..20usize);
+            let from = rng.random_range(0..400usize);
+            assert_eq!(
                 bm.find_first_fit(n, from),
                 model.find_first_fit(n, from),
-                "find_first_fit({}, {})", n, from
+                "find_first_fit({n}, {from})"
             );
         }
         // first_set agreement.
         let naive_first = model.0.iter().position(|&b| b);
-        prop_assert_eq!(bm.first_set(0), naive_first);
+        assert_eq!(bm.first_set(0), naive_first);
         // Serialization roundtrip.
         let back = SlotBitmap::from_bytes(&bm.to_bytes()).unwrap();
-        prop_assert_eq!(back, bm);
-    }
+        assert_eq!(back, bm);
+    });
+}
 
-    #[test]
-    fn or_is_union(n in 65usize..300,
-                   a in proptest::collection::vec(0usize..300, 0..40),
-                   b in proptest::collection::vec(0usize..300, 0..40)) {
+#[test]
+fn or_is_union() {
+    cases(64, |rng| {
+        let n = rng.random_range(65..300usize);
         let mut ba = SlotBitmap::new_clear(n);
         let mut bb = SlotBitmap::new_clear(n);
-        for &i in a.iter().filter(|&&i| i < n) { ba.set(i); }
-        for &i in b.iter().filter(|&&i| i < n) { bb.set(i); }
+        for _ in 0..rng.random_range(0..40usize) {
+            ba.set(rng.random_range(0..n));
+        }
+        for _ in 0..rng.random_range(0..40usize) {
+            bb.set(rng.random_range(0..n));
+        }
         let mut un = ba.clone();
         un.or_with(&bb);
         for i in 0..n {
-            prop_assert_eq!(un.get(i), ba.get(i) || bb.get(i));
+            assert_eq!(un.get(i), ba.get(i) || bb.get(i));
         }
-    }
+    });
+}
 
-    /// Every distribution partitions the area: each slot owned exactly once.
-    #[test]
-    fn distributions_partition(p in 1usize..9, n in 1usize..300, k in 1usize..32) {
-        for d in [Distribution::RoundRobin, Distribution::BlockCyclic(k), Distribution::Partitioned] {
+/// Every distribution partitions the area: each slot owned exactly once.
+#[test]
+fn distributions_partition() {
+    cases(48, |rng| {
+        let p = rng.random_range(1..9usize);
+        let n = rng.random_range(1..300usize);
+        let k = rng.random_range(1..32usize);
+        for d in [
+            Distribution::RoundRobin,
+            Distribution::BlockCyclic(k),
+            Distribution::Partitioned,
+        ] {
             let maps: Vec<_> = (0..p).map(|node| d.initial_bitmap(node, p, n)).collect();
             for slot in 0..n {
                 let owners = maps.iter().filter(|m| m.get(slot)).count();
-                prop_assert_eq!(owners, 1, "{:?} p={} n={} slot={}", d, p, n, slot);
+                assert_eq!(owners, 1, "{d:?} p={p} n={n} slot={slot}");
             }
             // The union must be the full area.
             let mut total = 0;
-            for m in &maps { total += m.count_ones(); }
-            prop_assert_eq!(total, n);
+            for m in &maps {
+                total += m.count_ones();
+            }
+            assert_eq!(total, n);
         }
-    }
+    });
 }

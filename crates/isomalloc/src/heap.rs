@@ -190,7 +190,9 @@ pub unsafe fn iter_slots(h: *const IsoHeapState) -> impl Iterator<Item = VAddr> 
 /// # Safety
 /// The chain must be well formed.
 pub unsafe fn heap_slots(h: *const IsoHeapState) -> Vec<(VAddr, usize)> {
-    iter_slots(h).map(|s| (s, (*(s as *const SlotHeader)).n_slots as usize)).collect()
+    iter_slots(h)
+        .map(|s| (s, (*(s as *const SlotHeader)).n_slots as usize))
+        .collect()
 }
 
 unsafe fn find_in_slot(slot: VAddr, req: usize) -> Option<*mut BlockHeader> {
@@ -222,7 +224,11 @@ unsafe fn find_fit(h: *mut IsoHeapState, req: usize) -> Option<(VAddr, *mut Bloc
             best.map(|(s, b, _)| (s, b))
         }
         FitPolicy::NextFit => {
-            let start = if (*h).hint_slot != 0 { (*h).hint_slot } else { (*h).head };
+            let start = if (*h).hint_slot != 0 {
+                (*h).hint_slot
+            } else {
+                (*h).head
+            };
             if start == 0 {
                 return None;
             }
@@ -301,7 +307,8 @@ pub unsafe fn isomalloc(
     init_heap_slot(base, first_slot as u64, n, slot_size);
     attach_slot(h, base);
     (*h).slots_acquired += n as u64;
-    let blk = find_in_slot(base, req).expect("fresh slot must satisfy the request it was sized for");
+    let blk =
+        find_in_slot(base, req).expect("fresh slot must satisfy the request it was sized for");
     (*h).allocs += 1;
     (*h).bytes_requested += size as u64;
     Ok(carve(base, blk, req, slot_size) as *mut u8)
@@ -377,10 +384,22 @@ pub unsafe fn isofree(
         }
     }
     // Rewrite the merged block header and push it onto the free list.
-    let prev_phys_of_merged =
-        if merged_addr == hdr_addr { blk.prev_phys } else { (*(merged_addr as *const BlockHeader)).prev_phys };
-    write_block_header(merged_addr, merged_size, slot_addr, prev_phys_of_merged, false);
-    fl_push(slot_addr as *mut SlotHeader, merged_addr as *mut BlockHeader);
+    let prev_phys_of_merged = if merged_addr == hdr_addr {
+        blk.prev_phys
+    } else {
+        (*(merged_addr as *const BlockHeader)).prev_phys
+    };
+    write_block_header(
+        merged_addr,
+        merged_size,
+        slot_addr,
+        prev_phys_of_merged,
+        false,
+    );
+    fl_push(
+        slot_addr as *mut SlotHeader,
+        merged_addr as *mut BlockHeader,
+    );
     // Fix the back-link of the block following the merged region.
     let after = merged_addr + merged_size;
     if after < end {
@@ -446,11 +465,11 @@ mod tests {
             assert_eq!(ptr as usize % 16, 0);
             std::ptr::write_bytes(ptr, 0x42, 100);
             assert_eq!(*ptr.add(99), 0x42);
-            assert_eq!((*h).allocs, 1);
+            assert_eq!(h.allocs, 1);
             isofree(h.as_mut(), &mut p, ptr).unwrap();
-            assert_eq!((*h).frees, 1);
+            assert_eq!(h.frees, 1);
             // Trim returned the slot: heap empty again.
-            assert_eq!((*h).head, 0);
+            assert_eq!(h.head, 0);
             assert_eq!(p.area().committed_slots(), 0);
         }
     }
@@ -460,9 +479,10 @@ mod tests {
         let mut p = provider();
         let mut h = fresh_heap(FitPolicy::FirstFit);
         unsafe {
-            let ptrs: Vec<_> =
-                (0..100).map(|_| isomalloc(h.as_mut(), &mut p, 64).unwrap()).collect();
-            assert_eq!((*h).slots_acquired, 1, "100×64B must fit one 64 KiB slot");
+            let ptrs: Vec<_> = (0..100)
+                .map(|_| isomalloc(h.as_mut(), &mut p, 64).unwrap())
+                .collect();
+            assert_eq!(h.slots_acquired, 1, "100×64B must fit one 64 KiB slot");
             // All distinct, all inside the same slot.
             let slot0 = owning_slot_of(ptrs[0]).unwrap();
             for w in ptrs.windows(2) {
@@ -474,7 +494,7 @@ mod tests {
             for q in ptrs {
                 isofree(h.as_mut(), &mut p, q).unwrap();
             }
-            assert_eq!((*h).head, 0, "full coalescing must re-form one block and trim");
+            assert_eq!(h.head, 0, "full coalescing must re-form one block and trim");
         }
     }
 
@@ -503,7 +523,7 @@ mod tests {
                 }
                 isofree(h.as_mut(), &mut p, q).unwrap();
             }
-            assert_eq!((*h).head, 0);
+            assert_eq!(h.head, 0);
         }
     }
 
@@ -546,7 +566,7 @@ mod tests {
             // 3 slots worth of payload.
             let sz = 3 * slot_size;
             let ptr = isomalloc(h.as_mut(), &mut p, sz).unwrap();
-            assert_eq!((*h).slots_acquired, 4, "3×64K payload + headers needs 4 slots");
+            assert_eq!(h.slots_acquired, 4, "3×64K payload + headers needs 4 slots");
             std::ptr::write_bytes(ptr, 0x7E, sz);
             assert_eq!(*ptr.add(sz - 1), 0x7E);
             let slot = owning_slot_of(ptr).unwrap();
@@ -566,7 +586,7 @@ mod tests {
             isofree(h.as_mut(), &mut p, a).unwrap();
             let c = isomalloc(h.as_mut(), &mut p, 900).unwrap();
             assert_eq!(c, a, "first-fit should reuse the freed hole");
-            assert_eq!((*h).slots_acquired, 1);
+            assert_eq!(h.slots_acquired, 1);
         }
     }
 
@@ -600,10 +620,10 @@ mod tests {
             let b = isomalloc(h.as_mut(), &mut p, 30_000).unwrap();
             let c = isomalloc(h.as_mut(), &mut p, 30_000).unwrap();
             let e = isomalloc(h.as_mut(), &mut p, 10_000).unwrap();
-            assert_eq!((*h).slots_acquired, 2);
+            assert_eq!(h.slots_acquired, 2);
             assert_ne!(owning_slot_of(a).unwrap(), owning_slot_of(c).unwrap());
             assert_eq!(owning_slot_of(e).unwrap(), owning_slot_of(c).unwrap());
-            assert_eq!((*h).hint_slot, owning_slot_of(c).unwrap());
+            assert_eq!(h.hint_slot, owning_slot_of(c).unwrap());
             // Open a hole in slot 1, then allocate: next-fit must place the
             // block in slot 2 (the hint), not in slot 1's hole.
             isofree(h.as_mut(), &mut p, a).unwrap();
@@ -627,8 +647,11 @@ mod tests {
             isofree(h.as_mut(), &mut p, a).unwrap();
             // Slot 2 is full; the search must wrap to the head and reuse a's hole.
             let d = isomalloc(h.as_mut(), &mut p, 20_000).unwrap();
-            assert_eq!(d, a, "wrap-around must find the hole before acquiring a slot");
-            assert_eq!((*h).slots_acquired, 2);
+            assert_eq!(
+                d, a,
+                "wrap-around must find the hole before acquiring a slot"
+            );
+            assert_eq!(h.slots_acquired, 2);
             let _ = c;
         }
     }
@@ -652,10 +675,10 @@ mod tests {
             for i in 0..50 {
                 let _ = isomalloc(h.as_mut(), &mut p, 1000 + i * 100).unwrap();
             }
-            assert!((*h).slots_acquired >= 1);
+            assert!(h.slots_acquired >= 1);
             heap_release_all(h.as_mut(), &mut p).unwrap();
-            assert_eq!((*h).head, 0);
-            assert_eq!((*h).tail, 0);
+            assert_eq!(h.head, 0);
+            assert_eq!(h.tail, 0);
             assert_eq!(p.area().committed_slots(), 0);
         }
     }

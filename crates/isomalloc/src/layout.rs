@@ -259,7 +259,10 @@ mod tests {
 
     #[test]
     fn canary_depends_on_address() {
-        assert_ne!(BlockHeader::expected_canary(0x1000), BlockHeader::expected_canary(0x1040));
+        assert_ne!(
+            BlockHeader::expected_canary(0x1000),
+            BlockHeader::expected_canary(0x1040)
+        );
     }
 
     #[test]

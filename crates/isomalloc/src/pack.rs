@@ -190,7 +190,14 @@ pub fn peek_header(buf: &[u8]) -> Result<PackedSlotInfo> {
     if n_slots == 0 {
         return Err(AllocError::BadPackFormat("record with zero slots".into()));
     }
-    Ok(PackedSlotInfo { base, n_slots, kind, n_extents, total_len, record_len })
+    Ok(PackedSlotInfo {
+        base,
+        n_slots,
+        kind,
+        n_extents,
+        total_len,
+        record_len,
+    })
 }
 
 /// Copy a packed record's extents into (already mapped) memory at their
@@ -248,7 +255,7 @@ mod tests {
         assert!(peek_header(&[0u8; 10]).is_err());
         let mut rec = Vec::new();
         unsafe {
-            let data = vec![7u8; 64];
+            let data = [7u8; 64];
             pack_raw_extents(data.as_ptr() as usize, 1, 1, &[(0, 64)], &mut rec);
         }
         assert!(peek_header(&rec).is_ok());
@@ -325,7 +332,10 @@ mod tests {
             let mut sparse = Vec::new();
             pack_heap_slot(base, m0.slot_size(), &mut sparse).unwrap();
             assert!(full.len() > m0.slot_size());
-            assert!(sparse.len() < full.len() / 10, "sparse pack should be ≫ smaller");
+            assert!(
+                sparse.len() < full.len() / 10,
+                "sparse pack should be ≫ smaller"
+            );
             let _ = ptr;
         }
     }
@@ -333,7 +343,7 @@ mod tests {
     #[test]
     fn unpack_rejects_escaping_extent() {
         let mut rec = Vec::new();
-        let data = vec![1u8; 128];
+        let data = [1u8; 128];
         unsafe {
             // Claims n_slots=1, but extent reaches past 1 slot of 64 bytes.
             pack_raw_extents(data.as_ptr() as usize, 1, 1, &[(0, 128)], &mut rec);

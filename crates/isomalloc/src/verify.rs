@@ -19,9 +19,7 @@ use std::collections::BTreeSet;
 use crate::error::{AllocError, Result};
 use crate::freelist::fl_iter;
 use crate::heap::{iter_slots, IsoHeapState};
-use crate::layout::{
-    block_area_start, check_block, check_slot, slot_end, SlotHeader, SlotKind,
-};
+use crate::layout::{block_area_start, check_block, check_slot, slot_end, SlotHeader, SlotKind};
 use isoaddr::VAddr;
 
 /// Aggregate description of a verified heap.
@@ -94,7 +92,10 @@ pub unsafe fn verify_slot(
         if blk.slot != slot_addr {
             return Err(AllocError::Corruption {
                 at: cur,
-                what: format!("block claims slot {:#x}, walked from {:#x}", blk.slot, slot_addr),
+                what: format!(
+                    "block claims slot {:#x}, walked from {:#x}",
+                    blk.slot, slot_addr
+                ),
             });
         }
         if blk.prev_phys != prev {
@@ -127,13 +128,19 @@ pub unsafe fn verify_slot(
     if cur != end {
         return Err(AllocError::Corruption {
             at: cur,
-            what: format!("blocks do not tile the slot (stopped {} bytes early)", end - cur),
+            what: format!(
+                "blocks do not tile the slot (stopped {} bytes early)",
+                end - cur
+            ),
         });
     }
     if used as u64 != slot.used_bytes {
         return Err(AllocError::Corruption {
             at: slot_addr,
-            what: format!("used_bytes accounting: header says {}, walk says {used}", slot.used_bytes),
+            what: format!(
+                "used_bytes accounting: header says {}, walk says {used}",
+                slot.used_bytes
+            ),
         });
     }
 
@@ -155,7 +162,10 @@ pub unsafe fn verify_slot(
             });
         }
         if !list_free.insert(b) {
-            return Err(AllocError::Corruption { at: b, what: "free-list cycle".into() });
+            return Err(AllocError::Corruption {
+                at: b,
+                what: "free-list cycle".into(),
+            });
         }
         prev_link = b;
     }
@@ -182,7 +192,10 @@ pub unsafe fn verify_heap(h: *const IsoHeapState, slot_size: usize) -> Result<He
     let mut prev: VAddr = 0;
     for s in iter_slots(h) {
         if !seen.insert(s) {
-            return Err(AllocError::Corruption { at: s, what: "slot-chain cycle".into() });
+            return Err(AllocError::Corruption {
+                at: s,
+                what: "slot-chain cycle".into(),
+            });
         }
         let hdr = check_slot(s)?;
         if hdr.prev != prev {
@@ -277,7 +290,7 @@ mod tests {
         unsafe {
             heap_init(h.as_mut(), FitPolicy::FirstFit, true);
             let _a = isomalloc(h.as_mut(), &mut p, 64).unwrap();
-            let slot = (*h.as_ref()).head as *mut crate::layout::SlotHeader;
+            let slot = h.as_ref().head as *mut crate::layout::SlotHeader;
             (*slot).used_bytes += 8;
             assert!(verify_heap(h.as_ref(), p.slot_size()).is_err());
         }

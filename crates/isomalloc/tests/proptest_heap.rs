@@ -1,9 +1,13 @@
 //! Property tests on the block layer: random alloc/free interleavings
 //! against a shadow model, with the structural verifier as the invariant
 //! oracle; plus pack/unpack roundtrips of randomly shaped heaps.
+//!
+//! Randomized via the in-tree `testkit` PRNG (seeded, deterministic)
+//! instead of proptest — the sandbox builds offline.
 
-use proptest::prelude::*;
 use std::sync::Arc;
+
+use testkit::{cases, StdRng};
 
 use isoaddr::{AreaConfig, Distribution, IsoArea, NodeSlotManager, SlotProvider, SlotRange};
 use isomalloc::heap::{heap_init, heap_slots, isofree, isomalloc, FitPolicy, IsoHeapState};
@@ -11,8 +15,13 @@ use isomalloc::pack::{pack_heap_slot, peek_header, unpack_into_mapped};
 use isomalloc::verify::verify_heap;
 
 fn provider(n_slots: usize) -> NodeSlotManager {
-    let area =
-        Arc::new(IsoArea::new(AreaConfig { slot_size: 64 * 1024, n_slots }).unwrap());
+    let area = Arc::new(
+        IsoArea::new(AreaConfig {
+            slot_size: 64 * 1024,
+            n_slots,
+        })
+        .unwrap(),
+    );
     NodeSlotManager::new(0, 1, area, Distribution::RoundRobin, 0)
 }
 
@@ -24,21 +33,33 @@ enum Op {
     Free { idx: usize },
 }
 
-fn op_strategy() -> impl Strategy<Value = Vec<Op>> {
-    let op = prop_oneof![
-        3 => (1usize..5000, any::<u8>()).prop_map(|(size, fill)| Op::Alloc { size, fill }),
-        2 => (0usize..1000).prop_map(|idx| Op::Free { idx }),
-    ];
-    proptest::collection::vec(op, 1..150)
+fn random_ops(rng: &mut StdRng) -> Vec<Op> {
+    let n = rng.random_range(1..150usize);
+    (0..n)
+        .map(|_| {
+            // 3:2 alloc/free mix, like the original proptest weights.
+            if rng.random_range(0..5u32) < 3 {
+                Op::Alloc {
+                    size: rng.random_range(1..5000usize),
+                    fill: rng.random_range(0..=255u32) as u8,
+                }
+            } else {
+                Op::Free {
+                    idx: rng.random_range(0..1000usize),
+                }
+            }
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Invariants hold and data is intact under arbitrary interleavings,
-    /// for every fit policy.
-    #[test]
-    fn random_ops_keep_heap_sound(ops in op_strategy(), policy in 0u32..3, trim: bool) {
+/// Invariants hold and data is intact under arbitrary interleavings,
+/// for every fit policy.
+#[test]
+fn random_ops_keep_heap_sound() {
+    cases(64, |rng| {
+        let ops = random_ops(rng);
+        let policy = rng.random_range(0..3u32);
+        let trim = rng.random_bool(0.5);
         let mut p = provider(128);
         let mut h: Box<IsoHeapState> = Box::new(unsafe { std::mem::zeroed() });
         unsafe { heap_init(h.as_mut(), FitPolicy::from_u32(policy), trim) };
@@ -48,15 +69,15 @@ proptest! {
                 match *op {
                     Op::Alloc { size, fill } => {
                         let ptr = isomalloc(h.as_mut(), &mut p, size).unwrap();
-                        prop_assert_eq!(ptr as usize % 16, 0, "payload alignment");
+                        assert_eq!(ptr as usize % 16, 0, "payload alignment");
                         std::ptr::write_bytes(ptr, fill, size);
                         live.push((ptr, size, fill));
                     }
                     Op::Free { idx } => {
                         if !live.is_empty() {
                             let (ptr, size, fill) = live.swap_remove(idx % live.len());
-                            prop_assert_eq!(*ptr, fill);
-                            prop_assert_eq!(*ptr.add(size.max(1) - 1), fill);
+                            assert_eq!(*ptr, fill);
+                            assert_eq!(*ptr.add(size.max(1) - 1), fill);
                             isofree(h.as_mut(), &mut p, ptr).unwrap();
                         }
                     }
@@ -64,30 +85,39 @@ proptest! {
             }
             // Structural invariants + block counts match the model.
             let report = verify_heap(h.as_ref(), p.slot_size()).unwrap();
-            prop_assert_eq!(report.busy_blocks, live.len());
+            assert_eq!(report.busy_blocks, live.len());
             // Every surviving block is intact.
             for &(ptr, size, fill) in &live {
-                prop_assert_eq!(*ptr, fill);
-                prop_assert_eq!(*ptr.add(size.max(1) - 1), fill);
+                assert_eq!(*ptr, fill);
+                assert_eq!(*ptr.add(size.max(1) - 1), fill);
             }
             // Drain and confirm the heap empties completely.
             for (ptr, _, _) in live {
                 isofree(h.as_mut(), &mut p, ptr).unwrap();
             }
             let report = verify_heap(h.as_ref(), p.slot_size()).unwrap();
-            prop_assert_eq!(report.busy_blocks, 0);
+            assert_eq!(report.busy_blocks, 0);
             if trim {
-                prop_assert_eq!((*h.as_ref()).head, 0, "trim must empty the heap");
-                prop_assert_eq!(p.area().committed_slots(), 0);
+                assert_eq!(h.as_ref().head, 0, "trim must empty the heap");
+                assert_eq!(p.area().committed_slots(), 0);
             }
         }
-    }
+    });
+}
 
-    /// Pack → unmap → remap → unpack is lossless for busy payloads and
-    /// produces a structurally identical heap.
-    #[test]
-    fn pack_roundtrip_preserves_heap(ops in op_strategy()) {
-        let area = Arc::new(IsoArea::new(AreaConfig { slot_size: 64 * 1024, n_slots: 128 }).unwrap());
+/// Pack → unmap → remap → unpack is lossless for busy payloads and
+/// produces a structurally identical heap.
+#[test]
+fn pack_roundtrip_preserves_heap() {
+    cases(64, |rng| {
+        let ops = random_ops(rng);
+        let area = Arc::new(
+            IsoArea::new(AreaConfig {
+                slot_size: 64 * 1024,
+                n_slots: 128,
+            })
+            .unwrap(),
+        );
         let mut m0 = NodeSlotManager::new(0, 2, Arc::clone(&area), Distribution::RoundRobin, 0);
         let mut m1 = NodeSlotManager::new(1, 2, Arc::clone(&area), Distribution::RoundRobin, 0);
         let mut h: Box<IsoHeapState> = Box::new(unsafe { std::mem::zeroed() });
@@ -132,15 +162,15 @@ proptest! {
             }
             // Identical structure, intact payloads, still operational.
             let after = verify_heap(h.as_ref(), m1.slot_size()).unwrap();
-            prop_assert_eq!(before, after);
+            assert_eq!(before, after);
             for &(ptr, size, fill) in &live {
-                prop_assert_eq!(*ptr, fill);
-                prop_assert_eq!(*ptr.add(size.max(1) - 1), fill);
+                assert_eq!(*ptr, fill);
+                assert_eq!(*ptr.add(size.max(1) - 1), fill);
             }
             for (ptr, _, _) in live {
                 isofree(h.as_mut(), &mut m1, ptr).unwrap();
             }
             verify_heap(h.as_ref(), m1.slot_size()).unwrap();
         }
-    }
+    });
 }

@@ -24,8 +24,10 @@ pub mod message;
 pub mod network;
 pub mod profile;
 pub mod stats;
+pub mod wire;
 
 pub use message::Message;
 pub use network::{Endpoint, Fabric, NetError};
 pub use profile::{spin_for, NetProfile};
 pub use stats::{EndpointStats, EndpointStatsSnapshot};
+pub use wire::Wire;

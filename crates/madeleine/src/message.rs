@@ -43,7 +43,21 @@ pub struct PayloadWriter {
 impl PayloadWriter {
     /// Start a payload, reserving `cap` bytes.
     pub fn with_capacity(cap: usize) -> Self {
-        PayloadWriter { buf: Vec::with_capacity(cap) }
+        PayloadWriter {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Append a `u8`.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Append a `u16` (little-endian).
+    pub fn u16(&mut self, v: u16) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
     }
 
     /// Append a `u64` (little-endian).
@@ -95,6 +109,20 @@ impl<'a> PayloadReader<'a> {
         self.buf.len() - self.pos
     }
 
+    /// Read a `u8`; `None` on underrun.
+    pub fn u8(&mut self) -> Option<u8> {
+        let v = *self.buf.get(self.pos)?;
+        self.pos += 1;
+        Some(v)
+    }
+
+    /// Read a `u16`; `None` on underrun.
+    pub fn u16(&mut self) -> Option<u16> {
+        let s = self.buf.get(self.pos..self.pos + 2)?;
+        self.pos += 2;
+        Some(u16::from_le_bytes(s.try_into().ok()?))
+    }
+
     /// Read a `u64`; `None` on underrun.
     pub fn u64(&mut self) -> Option<u64> {
         let s = self.buf.get(self.pos..self.pos + 8)?;
@@ -137,7 +165,10 @@ mod tests {
     #[test]
     fn writer_reader_roundtrip() {
         let mut w = PayloadWriter::with_capacity(64);
-        w.u64(0xDEAD_BEEF).u32(42).lp_bytes(b"hello").bytes(&[1, 2, 3]);
+        w.u64(0xDEAD_BEEF)
+            .u32(42)
+            .lp_bytes(b"hello")
+            .bytes(&[1, 2, 3]);
         let payload = w.finish();
         let mut r = PayloadReader::new(&payload);
         assert_eq!(r.u64(), Some(0xDEAD_BEEF));
@@ -158,7 +189,14 @@ mod tests {
 
     #[test]
     fn message_len() {
-        let m = Message { src: 0, dst: 1, tag: 7, seq: 0, wire_ns: 0, payload: vec![0; 10] };
+        let m = Message {
+            src: 0,
+            dst: 1,
+            tag: 7,
+            seq: 0,
+            wire_ns: 0,
+            payload: vec![0; 10],
+        };
         assert_eq!(m.len(), 10);
         assert!(!m.is_empty());
     }

@@ -16,7 +16,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 
 use crate::message::Message;
 use crate::profile::{spin_for, NetProfile};
@@ -61,16 +61,25 @@ impl Fabric {
         let mut senders = Vec::with_capacity(n);
         let mut receivers = Vec::with_capacity(n);
         for _ in 0..n {
-            let (tx, rx) = unbounded();
+            let (tx, rx) = channel();
             senders.push(tx);
             receivers.push(rx);
         }
         let stats: Vec<_> = (0..n).map(|_| Arc::new(EndpointStats::default())).collect();
-        let shared = Arc::new(Shared { senders, profile, stats, seq: AtomicU64::new(0) });
+        let shared = Arc::new(Shared {
+            senders,
+            profile,
+            stats,
+            seq: AtomicU64::new(0),
+        });
         receivers
             .into_iter()
             .enumerate()
-            .map(|(node, rx)| Endpoint { node, rx, shared: Arc::clone(&shared) })
+            .map(|(node, rx)| Endpoint {
+                node,
+                rx,
+                shared: Arc::clone(&shared),
+            })
             .collect()
     }
 }
@@ -101,7 +110,11 @@ impl Endpoint {
     /// Send `payload` to `dst` under `tag`.  Asynchronous; the modelled
     /// wire time is recorded on the message and charged at the receiver.
     pub fn send(&self, dst: usize, tag: u16, payload: Vec<u8>) -> Result<(), NetError> {
-        let sender = self.shared.senders.get(dst).ok_or(NetError::NoSuchNode(dst))?;
+        let sender = self
+            .shared
+            .senders
+            .get(dst)
+            .ok_or(NetError::NoSuchNode(dst))?;
         let len = payload.len();
         let wire_ns = if dst != self.node {
             self.shared.profile.delay_for(len).as_nanos() as u64
@@ -214,13 +227,20 @@ mod tests {
     #[test]
     fn wire_model_is_charged_at_the_receiver() {
         // 100 µs latency profile: sends are async and cheap…
-        let profile = NetProfile { name: "test", latency_ns: 100_000, ns_per_byte: 0.0 };
+        let profile = NetProfile {
+            name: "test",
+            latency_ns: 100_000,
+            ns_per_byte: 0.0,
+        };
         let eps = Fabric::new(2, profile);
         let t0 = Instant::now();
         for _ in 0..10 {
             eps[0].send(1, 0, Vec::new()).unwrap();
         }
-        assert!(t0.elapsed() < Duration::from_micros(500), "sends must be async");
+        assert!(
+            t0.elapsed() < Duration::from_micros(500),
+            "sends must be async"
+        );
         // …while dequeuing the 10 messages serializes ≥ 1 ms of wire time.
         let t0 = Instant::now();
         for _ in 0..10 {

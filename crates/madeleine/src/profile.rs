@@ -29,19 +29,31 @@ pub struct NetProfile {
 impl NetProfile {
     /// BIP over Myrinet, the paper's network: ~8 µs latency, ~126 MB/s.
     pub fn myrinet_bip() -> Self {
-        NetProfile { name: "myrinet-bip", latency_ns: 8_000, ns_per_byte: 1e9 / 126.0e6 }
+        NetProfile {
+            name: "myrinet-bip",
+            latency_ns: 8_000,
+            ns_per_byte: 1e9 / 126.0e6,
+        }
     }
 
     /// 100 Mb/s Fast Ethernet with a kernel TCP stack of the era
     /// (~60 µs latency, ~11 MB/s) — the "slow network" contrast case.
     pub fn fast_ethernet() -> Self {
-        NetProfile { name: "fast-ethernet", latency_ns: 60_000, ns_per_byte: 1e9 / 11.0e6 }
+        NetProfile {
+            name: "fast-ethernet",
+            latency_ns: 60_000,
+            ns_per_byte: 1e9 / 11.0e6,
+        }
     }
 
     /// No wire cost at all: isolates protocol CPU cost; used by tests for
     /// determinism and speed.
     pub fn instant() -> Self {
-        NetProfile { name: "instant", latency_ns: 0, ns_per_byte: 0.0 }
+        NetProfile {
+            name: "instant",
+            latency_ns: 0,
+            ns_per_byte: 0.0,
+        }
     }
 
     /// Total modelled wire time for a message of `bytes` payload bytes.
@@ -87,7 +99,10 @@ mod tests {
         assert_eq!(d0, Duration::from_micros(8));
         // 64 KiB at 126 MB/s ≈ 520 µs + latency.
         let d64k = p.delay_for(64 * 1024);
-        assert!(d64k > Duration::from_micros(500) && d64k < Duration::from_micros(560), "{d64k:?}");
+        assert!(
+            d64k > Duration::from_micros(500) && d64k < Duration::from_micros(560),
+            "{d64k:?}"
+        );
     }
 
     #[test]
@@ -103,7 +118,10 @@ mod tests {
         spin_for(Duration::from_micros(200));
         let dt = t0.elapsed();
         assert!(dt >= Duration::from_micros(200));
-        assert!(dt < Duration::from_millis(50), "spin overshot wildly: {dt:?}");
+        assert!(
+            dt < Duration::from_millis(50),
+            "spin overshot wildly: {dt:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,231 @@
+//! The [`Wire`] trait: typed encode/decode over Madeleine payloads.
+//!
+//! PM2's protocols were historically framed by hand with
+//! [`PayloadWriter`]/[`PayloadReader`] calls at every site.  `Wire` gives
+//! the same little-endian framing one canonical, composable definition per
+//! type, so a protocol message is a tuple of typed fields rather than a
+//! sequence of `w.u64(...)` calls — and the typed LRPC / value-join layers
+//! of the `pm2` crate can ship any `Wire` value without bespoke codecs.
+//!
+//! Framing rules (all little-endian):
+//!
+//! * fixed-width integers and floats: their byte representation;
+//! * `usize`/`isize`: always 8 bytes (u64/i64) — node-independent;
+//! * `bool`: one byte, 0 or 1 (any other value fails to decode);
+//! * `String`, `Vec<T>`: u32 element count, then the elements;
+//! * `Option<T>`: one presence byte, then the value if present;
+//! * tuples: fields in order, no header.
+//!
+//! Decoding is total: every method returns `None` on underrun or invalid
+//! encoding instead of panicking, because payloads cross node boundaries.
+
+use crate::message::{PayloadReader, PayloadWriter};
+
+/// A value that can be encoded onto / decoded from a Madeleine payload.
+pub trait Wire: Sized {
+    /// Append this value's encoding to `w`.
+    fn encode(&self, w: &mut PayloadWriter);
+
+    /// Decode one value, advancing `r`; `None` on underrun or bad bytes.
+    fn decode(r: &mut PayloadReader<'_>) -> Option<Self>;
+
+    /// Encode into a fresh byte vector.
+    fn encode_vec(&self) -> Vec<u8> {
+        let mut w = PayloadWriter::with_capacity(16);
+        self.encode(&mut w);
+        w.finish()
+    }
+
+    /// Decode from a complete buffer; `None` unless exactly consumed.
+    fn decode_vec(buf: &[u8]) -> Option<Self> {
+        let mut r = PayloadReader::new(buf);
+        let v = Self::decode(&mut r)?;
+        if r.remaining() == 0 {
+            Some(v)
+        } else {
+            None
+        }
+    }
+}
+
+macro_rules! impl_wire_int {
+    ($($t:ty => $wide:ty, $write:ident, $read:ident);* $(;)?) => {$(
+        impl Wire for $t {
+            fn encode(&self, w: &mut PayloadWriter) {
+                w.$write(*self as $wide);
+            }
+            fn decode(r: &mut PayloadReader<'_>) -> Option<Self> {
+                r.$read().map(|v| v as $t)
+            }
+        }
+    )*};
+}
+
+impl_wire_int! {
+    u8 => u8, u8, u8;
+    i8 => u8, u8, u8;
+    u16 => u16, u16, u16;
+    i16 => u16, u16, u16;
+    u32 => u32, u32, u32;
+    i32 => u32, u32, u32;
+    u64 => u64, u64, u64;
+    i64 => u64, u64, u64;
+    usize => u64, u64, u64;
+    isize => u64, u64, u64;
+}
+
+impl Wire for bool {
+    fn encode(&self, w: &mut PayloadWriter) {
+        w.u8(*self as u8);
+    }
+    fn decode(r: &mut PayloadReader<'_>) -> Option<Self> {
+        match r.u8()? {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        }
+    }
+}
+
+impl Wire for f32 {
+    fn encode(&self, w: &mut PayloadWriter) {
+        w.u32(self.to_bits());
+    }
+    fn decode(r: &mut PayloadReader<'_>) -> Option<Self> {
+        r.u32().map(f32::from_bits)
+    }
+}
+
+impl Wire for f64 {
+    fn encode(&self, w: &mut PayloadWriter) {
+        w.u64(self.to_bits());
+    }
+    fn decode(r: &mut PayloadReader<'_>) -> Option<Self> {
+        r.u64().map(f64::from_bits)
+    }
+}
+
+impl Wire for () {
+    fn encode(&self, _w: &mut PayloadWriter) {}
+    fn decode(_r: &mut PayloadReader<'_>) -> Option<Self> {
+        Some(())
+    }
+}
+
+impl Wire for String {
+    fn encode(&self, w: &mut PayloadWriter) {
+        w.lp_bytes(self.as_bytes());
+    }
+    fn decode(r: &mut PayloadReader<'_>) -> Option<Self> {
+        String::from_utf8(r.lp_bytes()?.to_vec()).ok()
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn encode(&self, w: &mut PayloadWriter) {
+        w.u32(self.len() as u32);
+        for v in self {
+            v.encode(w);
+        }
+    }
+    fn decode(r: &mut PayloadReader<'_>) -> Option<Self> {
+        let n = r.u32()? as usize;
+        // Guard capacity by what the buffer could possibly hold, so a
+        // corrupt length cannot trigger a huge pre-allocation.
+        let mut out = Vec::with_capacity(n.min(r.remaining().max(1)));
+        for _ in 0..n {
+            out.push(T::decode(r)?);
+        }
+        Some(out)
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn encode(&self, w: &mut PayloadWriter) {
+        match self {
+            None => {
+                w.u8(0);
+            }
+            Some(v) => {
+                w.u8(1);
+                v.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut PayloadReader<'_>) -> Option<Self> {
+        match r.u8()? {
+            0 => Some(None),
+            1 => Some(Some(T::decode(r)?)),
+            _ => None,
+        }
+    }
+}
+
+macro_rules! impl_wire_tuple {
+    ($($name:ident),+) => {
+        #[allow(non_snake_case)]
+        impl<$($name: Wire),+> Wire for ($($name,)+) {
+            fn encode(&self, w: &mut PayloadWriter) {
+                let ($($name,)+) = self;
+                $($name.encode(w);)+
+            }
+            fn decode(r: &mut PayloadReader<'_>) -> Option<Self> {
+                Some(($($name::decode(r)?,)+))
+            }
+        }
+    };
+}
+
+impl_wire_tuple!(A);
+impl_wire_tuple!(A, B);
+impl_wire_tuple!(A, B, C);
+impl_wire_tuple!(A, B, C, D);
+impl_wire_tuple!(A, B, C, D, E);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = v.encode_vec();
+        assert_eq!(T::decode_vec(&bytes), Some(v));
+    }
+
+    #[test]
+    fn scalars_roundtrip() {
+        roundtrip(0u8);
+        roundtrip(u8::MAX);
+        roundtrip(-7i32);
+        roundtrip(u64::MAX);
+        roundtrip(usize::MAX);
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(3.25f64);
+        roundtrip(());
+    }
+
+    #[test]
+    fn compounds_roundtrip() {
+        roundtrip(String::from("héllo"));
+        roundtrip(String::new());
+        roundtrip(vec![1u32, 2, 3]);
+        roundtrip(Vec::<u8>::new());
+        roundtrip(Some(42u64));
+        roundtrip(Option::<String>::None);
+        roundtrip((1u32, String::from("x"), vec![9u8], false));
+    }
+
+    #[test]
+    fn invalid_bool_and_trailing_bytes_rejected() {
+        assert_eq!(bool::decode_vec(&[2]), None);
+        assert_eq!(u8::decode_vec(&[1, 2]), None, "trailing bytes");
+        assert_eq!(String::decode_vec(&[255, 0, 0, 0]), None, "length underrun");
+    }
+
+    #[test]
+    fn corrupt_vec_length_is_safe() {
+        let mut w = PayloadWriter::with_capacity(8);
+        w.u32(u32::MAX);
+        assert_eq!(Vec::<u64>::decode_vec(&w.finish()), None);
+    }
+}

@@ -211,8 +211,7 @@ mod tests {
         let top = (stack.as_mut_ptr() as usize + stack.len()) & !15;
         unsafe {
             let rsp = top - 16;
-            (rsp as *mut u64)
-                .write(marcel_test_tramp as unsafe extern "C" fn() as usize as u64);
+            (rsp as *mut u64).write(marcel_test_tramp as unsafe extern "C" fn() as usize as u64);
             (&raw mut CORO).write(Context {
                 rsp: rsp as u64,
                 r12: 3,
@@ -222,10 +221,18 @@ mod tests {
             });
             (&raw mut TRACE).write(0);
             marcel_ctx_switch(&raw mut HOST, &raw const CORO);
-            assert_eq!((&raw const TRACE).read(), 3, "first leg runs up to the switch-back");
+            assert_eq!(
+                (&raw const TRACE).read(),
+                3,
+                "first leg runs up to the switch-back"
+            );
             (&raw mut TRACE).write((&raw const TRACE).read() * 10 + 5);
             marcel_ctx_switch(&raw mut HOST, &raw const CORO);
-            assert_eq!((&raw const TRACE).read(), 357, "host and coroutine interleave");
+            assert_eq!(
+                (&raw const TRACE).read(),
+                357,
+                "host and coroutine interleave"
+            );
         }
     }
 

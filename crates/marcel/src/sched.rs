@@ -167,11 +167,7 @@ impl Scheduler {
         unsafe {
             let inner = &mut *self.ptr();
             let d = init_stack_slot(&layout, first_slot as u64, n, tid, inner.node as u32);
-            isomalloc::heap::heap_init(
-                &mut (*d).heap,
-                isomalloc::FitPolicy::FirstFit,
-                true,
-            );
+            isomalloc::heap::heap_init(&mut (*d).heap, isomalloc::FitPolicy::FirstFit, true);
             // Move the closure into the slot and record its invoker.
             std::ptr::write(layout.closure as *mut F, f);
             (*d).entry_data = layout.closure;
@@ -322,7 +318,10 @@ pub unsafe fn release_thread_resources(
 #[inline(never)]
 fn cur_inner() -> *mut SchedInner {
     let p = CURRENT_SCHED.with(|c| c.get());
-    assert!(!p.is_null(), "marcel API called outside a scheduler-driven thread");
+    assert!(
+        !p.is_null(),
+        "marcel API called outside a scheduler-driven thread"
+    );
     p
 }
 
@@ -331,7 +330,10 @@ fn cur_inner() -> *mut SchedInner {
 pub fn current_desc() -> DescPtr {
     unsafe {
         let d = (*cur_inner()).current;
-        assert!(!d.is_null(), "no Marcel thread is running on this OS thread");
+        assert!(
+            !d.is_null(),
+            "no Marcel thread is running on this OS thread"
+        );
         d
     }
 }

@@ -56,7 +56,11 @@ fn stack_slot_is_released_on_exit() {
     let (area, mut mgrs) = rig(1);
     let s = Scheduler::new(0);
     s.spawn(&mut mgrs[0], || {}).unwrap();
-    assert_eq!(area.committed_slots(), 1, "stack slot mapped while thread lives");
+    assert_eq!(
+        area.committed_slots(),
+        1,
+        "stack slot mapped while thread lives"
+    );
     drive(&s, &mut mgrs[0]);
     assert_eq!(area.committed_slots(), 0, "stack slot unmapped after exit");
     assert_eq!(mgrs[0].owned_free_slots(), 64);
@@ -180,7 +184,11 @@ fn panic_in_thread_is_contained() {
         }
     }
     assert!(saw_panicked, "panicked flag must be set");
-    assert_eq!(after.load(Ordering::SeqCst), 1, "other threads keep running");
+    assert_eq!(
+        after.load(Ordering::SeqCst),
+        1,
+        "other threads keep running"
+    );
 }
 
 #[test]
@@ -196,11 +204,15 @@ fn block_and_unblock() {
     })
     .unwrap();
     s.activate();
-    let RunOutcome::Blocked(d) = s.run_one().unwrap() else { panic!("expected block") };
+    let RunOutcome::Blocked(d) = s.run_one().unwrap() else {
+        panic!("expected block")
+    };
     assert_eq!(stage.load(Ordering::SeqCst), 1);
     assert!(s.run_one().is_none(), "blocked thread must not be runnable");
     unsafe { s.unblock(d) };
-    let RunOutcome::Exited(d) = s.run_one().unwrap() else { panic!("expected exit") };
+    let RunOutcome::Exited(d) = s.run_one().unwrap() else {
+        panic!("expected exit")
+    };
     unsafe {
         s.note_gone();
         crate::release_thread_resources(d, &mut mgrs[0]).unwrap();
@@ -232,7 +244,8 @@ unsafe fn pack_and_surrender(d: DescPtr, m: &mut NodeSlotManager) -> Vec<u8> {
     }
     let stack_first = (desc.stack_base - area_base) / slot_size;
     let stack_slots = desc.stack_slots;
-    m.surrender(SlotRange::new(stack_first, stack_slots)).unwrap();
+    m.surrender(SlotRange::new(stack_first, stack_slots))
+        .unwrap();
     for &(base, n) in &heap {
         let first = (base - area_base) / slot_size;
         m.surrender(SlotRange::new(first, n)).unwrap();
@@ -292,7 +305,11 @@ fn migration_preserves_stack_and_pointers() {
     s0.note_gone();
     let buf = unsafe { pack_and_surrender(d, &mut m0) };
     // A null thread's buffer is small — metadata + a shallow live stack.
-    assert!(buf.len() < 8 * 1024, "packed null thread is {} bytes", buf.len());
+    assert!(
+        buf.len() < 8 * 1024,
+        "packed null thread is {} bytes",
+        buf.len()
+    );
 
     // "Network": the buffer is the only thing crossing nodes.
     let d1 = unsafe { adopt_and_unpack(&buf, &mut m1) };
@@ -305,7 +322,10 @@ fn migration_preserves_stack_and_pointers() {
     assert_eq!(before, 0);
     assert_eq!(after, 1);
     assert_eq!(x, 0xFEED_FACE);
-    assert_eq!(through_pointer, 0xFEED_FACE, "pointer to stack data valid after migration");
+    assert_eq!(
+        through_pointer, 0xFEED_FACE,
+        "pointer to stack data valid after migration"
+    );
 }
 
 #[test]
@@ -322,44 +342,49 @@ fn migration_carries_isomalloc_heap() {
     let p0 = &mut m0 as *mut NodeSlotManager as usize;
     let p1 = &mut m1 as *mut NodeSlotManager as usize;
 
-    s0.spawn(unsafe { &mut *(p0 as *mut NodeSlotManager) }, move || unsafe {
-        let d = crate::current_desc();
-        let heap = std::ptr::addr_of_mut!((*d).heap);
-        let m0 = p0 as *mut NodeSlotManager;
-        let m1 = p1 as *mut NodeSlotManager;
-        // Build a little linked list in iso memory (paper Fig. 7).
-        #[repr(C)]
-        struct Item {
-            value: u64,
-            next: *mut Item,
-        }
-        let mut head: *mut Item = std::ptr::null_mut();
-        for j in 0..100u64 {
-            let it = isomalloc::heap::isomalloc(heap, &mut *m0, std::mem::size_of::<Item>())
-                .unwrap() as *mut Item;
-            (*it).value = j * 2 + 1;
-            (*it).next = head;
-            head = it;
-        }
-        migrate_self(1);
-        // Traverse on node 1: every pointer must still be valid.
-        let mut sum = 0u64;
-        let mut count = 0u64;
-        let mut cur = head;
-        while !cur.is_null() {
-            sum += (*cur).value;
-            count += 1;
-            let next = (*cur).next;
-            // Free as we go — releases slots to NODE 1 (Fig. 6 step 4).
-            isomalloc::heap::isofree(heap, &mut *m1, cur as *mut u8).unwrap();
-            cur = next;
-        }
-        tx.send((count, sum, current_node())).unwrap();
-    })
+    s0.spawn(
+        unsafe { &mut *(p0 as *mut NodeSlotManager) },
+        move || unsafe {
+            let d = crate::current_desc();
+            let heap = std::ptr::addr_of_mut!((*d).heap);
+            let m0 = p0 as *mut NodeSlotManager;
+            let m1 = p1 as *mut NodeSlotManager;
+            // Build a little linked list in iso memory (paper Fig. 7).
+            #[repr(C)]
+            struct Item {
+                value: u64,
+                next: *mut Item,
+            }
+            let mut head: *mut Item = std::ptr::null_mut();
+            for j in 0..100u64 {
+                let it = isomalloc::heap::isomalloc(heap, &mut *m0, std::mem::size_of::<Item>())
+                    .unwrap() as *mut Item;
+                (*it).value = j * 2 + 1;
+                (*it).next = head;
+                head = it;
+            }
+            migrate_self(1);
+            // Traverse on node 1: every pointer must still be valid.
+            let mut sum = 0u64;
+            let mut count = 0u64;
+            let mut cur = head;
+            while !cur.is_null() {
+                sum += (*cur).value;
+                count += 1;
+                let next = (*cur).next;
+                // Free as we go — releases slots to NODE 1 (Fig. 6 step 4).
+                isomalloc::heap::isofree(heap, &mut *m1, cur as *mut u8).unwrap();
+                cur = next;
+            }
+            tx.send((count, sum, current_node())).unwrap();
+        },
+    )
     .unwrap();
 
     s0.activate();
-    let RunOutcome::MigrateSelf(d, _) = s0.run_one().unwrap() else { panic!() };
+    let RunOutcome::MigrateSelf(d, _) = s0.run_one().unwrap() else {
+        panic!()
+    };
     s0.note_gone();
     let buf = unsafe { pack_and_surrender(d, &mut m0) };
     let d1 = unsafe { adopt_and_unpack(&buf, &mut m1) };
@@ -372,7 +397,10 @@ fn migration_carries_isomalloc_heap() {
     assert_eq!(node, 1);
     // The heap slot was freed on node 1, so node 1 gained ownership of a
     // slot it did not initially possess.
-    assert!(m1.owned_free_slots() > 32, "node 1 must end up with extra slots");
+    assert!(
+        m1.owned_free_slots() > 32,
+        "node 1 must end up with extra slots"
+    );
 }
 
 #[test]
@@ -397,7 +425,9 @@ fn preemptive_migration_of_a_ready_thread() {
 
     s0.activate();
     // Run one quantum on node 0.
-    let RunOutcome::Yielded(d) = s0.run_one().unwrap() else { panic!() };
+    let RunOutcome::Yielded(d) = s0.run_one().unwrap() else {
+        panic!()
+    };
     unsafe { s0.requeue(d) };
     // A third party (here: the test, playing the load balancer) tags it.
     assert!(unsafe { s0.request_migration(d, 1) });
@@ -412,5 +442,9 @@ fn preemptive_migration_of_a_ready_thread() {
     drive(&s1, &mut m1);
 
     let nodes_seen = rx.recv().unwrap();
-    assert_eq!(nodes_seen, vec![0, 1, 1, 1], "thread observed its own relocation");
+    assert_eq!(
+        nodes_seen,
+        vec![0, 1, 1, 1],
+        "thread observed its own relocation"
+    );
 }

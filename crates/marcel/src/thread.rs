@@ -26,9 +26,9 @@
 //! ```
 
 use crate::ctx::Context;
+use isoaddr::VAddr;
 use isomalloc::heap::IsoHeapState;
 use isomalloc::layout::{SlotHeader, SlotKind, SLOT_HDR_SIZE, SLOT_MAGIC};
-use isoaddr::VAddr;
 
 /// Descriptor magic.
 pub const DESC_MAGIC: u64 = 0x4D41_5243_454C_0001; // "MARCEL", v1
@@ -158,7 +158,10 @@ impl ThreadDescriptor {
     /// `addr` must point at a live descriptor inside a mapped stack slot.
     pub unsafe fn from_addr<'a>(addr: VAddr) -> &'a mut ThreadDescriptor {
         let d = &mut *(addr as *mut ThreadDescriptor);
-        debug_assert_eq!(d.magic, DESC_MAGIC, "descriptor magic mismatch at {addr:#x}");
+        debug_assert_eq!(
+            d.magic, DESC_MAGIC,
+            "descriptor magic mismatch at {addr:#x}"
+        );
         d
     }
 
@@ -179,7 +182,9 @@ impl ThreadDescriptor {
     /// margin; switches are synchronous so nothing below rsp is live, but
     /// the margin is cheap insurance) up to the stack top.
     pub fn live_stack_range(&self) -> (VAddr, VAddr) {
-        let lo = (self.ctx.rsp as usize).saturating_sub(128).max(self.canary_addr);
+        let lo = (self.ctx.rsp as usize)
+            .saturating_sub(128)
+            .max(self.canary_addr);
         (lo, self.stack_top)
     }
 
@@ -191,7 +196,10 @@ impl ThreadDescriptor {
         let (live_lo, live_hi) = self.live_stack_range();
         let mut b = isomalloc::pack::ExtentBuilder::new();
         b.push(0, meta_end as u32);
-        b.push((live_lo - self.stack_base) as u32, (live_hi - live_lo) as u32);
+        b.push(
+            (live_lo - self.stack_base) as u32,
+            (live_hi - live_lo) as u32,
+        );
         b.finish()
     }
 
@@ -254,7 +262,14 @@ pub fn stack_layout(
     if stack_top.checked_sub(stack_floor)? < 8 * 1024 {
         return None;
     }
-    Some(StackLayout { base, desc, closure, canary, stack_floor, stack_top })
+    Some(StackLayout {
+        base,
+        desc,
+        closure,
+        canary,
+        stack_floor,
+        stack_top,
+    })
 }
 
 #[inline]

@@ -28,8 +28,7 @@ const BLOCK: usize = 4096; // array elements per virtual processor
 const ITERATIONS: usize = 30;
 
 fn main() {
-    let mut machine =
-        Machine::launch(Pm2Config::new(4).with_mode(MachineMode::Threaded)).unwrap();
+    let mut machine = Machine::launch(Pm2Config::new(4).with_mode(MachineMode::Threaded)).unwrap();
     let balancer = start_balancer(
         &machine,
         BalancerConfig {

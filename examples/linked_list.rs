@@ -91,7 +91,9 @@ fn main() {
                 !node_ptr_valid(head as *const u8),
                 "runtime confirms: dereference would be invalid on a real cluster"
             );
-            pm2_printf!("(a real cluster would now segfault; the runtime flags the access instead)");
+            pm2_printf!(
+                "(a real cluster would now segfault; the runtime flags the access instead)"
+            );
         })
         .unwrap();
 

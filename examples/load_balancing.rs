@@ -24,10 +24,7 @@ use pm2::{Machine, MachineMode, Pm2Config};
 const WORKERS: usize = 24;
 
 fn main() {
-    let mut machine = Machine::launch(
-        Pm2Config::new(4).with_mode(MachineMode::Threaded),
-    )
-    .unwrap();
+    let mut machine = Machine::launch(Pm2Config::new(4).with_mode(MachineMode::Threaded)).unwrap();
 
     let balancer = start_balancer(
         &machine,
@@ -56,14 +53,19 @@ fn main() {
                     let mut partials: IsoVec<u64> = IsoVec::new();
                     let mut acc: u64 = i as u64;
                     for r in 0..rounds {
-                        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                        acc = acc
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
                         if r % 16 == 0 {
                             partials.push(acc).unwrap();
                         }
                         pm2_yield(); // scheduling point = migration point
                     }
                     let total: u64 = partials.iter().fold(0u64, |a, &b| a.wrapping_add(b));
-                    checksum.fetch_add(total.wrapping_mul(7).rotate_left(i as u32), Ordering::Relaxed);
+                    checksum.fetch_add(
+                        total.wrapping_mul(7).rotate_left(i as u32),
+                        Ordering::Relaxed,
+                    );
                     visited.lock().unwrap()[pm2_self()] += 1;
                 })
                 .unwrap(),

@@ -1,68 +1,88 @@
-//! Quickstart: the paper's Figures 1, 2 and 7 in one program.
+//! Quickstart: the paper's Figures 1, 2 and 7 on the v1 typed facade —
+//! no `unsafe` anywhere in this file.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 //!
-//! A thread on node 0 writes a stack variable, takes a pointer to it,
-//! builds a small `pm2_isomalloc` linked list, migrates to node 1 and keeps
-//! using every pointer — no registration, no fix-up.
+//! A thread on node 0 writes a stack variable, keeps a reference to it,
+//! builds a linked list in iso-address memory ([`IsoList`], Fig. 7),
+//! migrates to node 1 and keeps using both — no registration, no fix-up.
+//! Then the typed v1 calls: a value-returning join handle whose result
+//! crosses a migration, and a typed request/reply LRPC.
 
-use pm2::api::*;
-use pm2::{pm2_printf, Machine, Pm2Config};
+use pm2::api::{pm2_migrate, pm2_self};
+use pm2::{pm2_printf, IsoBox, IsoList, Machine, Service};
 
-#[repr(C)]
-struct Item {
-    value: i32,
-    next: *mut Item,
+/// A typed LRPC service: registered by type, called by type.
+struct Stats;
+impl Service for Stats {
+    const NAME: &'static str = "quickstart.stats";
+    type Req = Vec<u64>;
+    type Resp = (u64, u64); // (sum, max)
+    fn handle(&self, xs: Vec<u64>) -> (u64, u64) {
+        pm2_printf!("serving stats({} values) on node {}", xs.len(), pm2_self());
+        (xs.iter().sum(), xs.iter().copied().max().unwrap_or(0))
+    }
 }
 
 fn main() {
     // Two nodes, the paper's defaults (64 KiB slots, round-robin
     // distribution, BIP/Myrinet wire model), echoing pm2_printf to stdout.
-    let mut machine = Machine::launch(Pm2Config::new(2).with_echo(true)).unwrap();
+    let mut machine = Machine::builder(2).echo(true).launch().unwrap();
+    machine.register::<Stats>(Stats);
 
-    machine
-        .run_on(0, || {
+    // A value-returning thread: the typed handle's result rides the
+    // thread-exit protocol home, even across the migration inside.
+    let handle = machine
+        .spawn_on_ret(0, || {
             // --- Fig. 1: stack data migrates with the thread. ---
             let x: i32 = 1;
             pm2_printf!("value = {x}");
 
-            // --- Fig. 2: pointers to stack data stay valid. ---
-            let ptr = &x as *const i32;
+            // --- Fig. 2: pointers to stack data stay valid.  A plain
+            // reference is a pointer; it survives the hop untouched. ---
+            let ptr = &x;
 
             // --- Fig. 7: a linked list in iso-address memory. ---
-            let mut head: *mut Item = std::ptr::null_mut();
+            let mut list = IsoList::new();
             for j in 0..1000 {
-                let it = pm2_isomalloc(std::mem::size_of::<Item>()).unwrap() as *mut Item;
-                unsafe {
-                    (*it).value = j * 2 + 1;
-                    (*it).next = head;
-                }
-                head = it;
+                list.push_front(j * 2 + 1).unwrap();
             }
-            pm2_printf!("list of 1000 elements built on node {}", pm2_self());
+            // Heap boxes too: same slot discipline, same guarantee.
+            let boxed = IsoBox::new(40_i64).unwrap();
+            pm2_printf!(
+                "list of {} elements built on node {}",
+                list.len(),
+                pm2_self()
+            );
 
             // --- The migration. ---
             pm2_migrate(1).unwrap();
 
             // Everything still works on node 1, at the same addresses.
-            pm2_printf!("value = {}", unsafe { *ptr });
-            let mut count = 0;
-            let mut sum: i64 = 0;
-            let mut cur = head;
-            while !cur.is_null() {
-                unsafe {
-                    sum += (*cur).value as i64;
-                    cur = (*cur).next;
-                }
-                count += 1;
-            }
-            pm2_printf!("traversed {count} elements on node {}, sum = {sum}", pm2_self());
+            pm2_printf!("value = {}", *ptr);
+            let count = list.iter().count();
+            let sum: i64 = list.iter().sum();
+            pm2_printf!(
+                "traversed {count} elements on node {}, sum = {sum}",
+                pm2_self()
+            );
             assert_eq!(count, 1000);
             assert_eq!(sum, (0..1000i64).map(|j| j * 2 + 1).sum::<i64>());
+            *boxed + 2
         })
         .unwrap();
+    let answer = handle.join().unwrap();
+    println!("typed join across a migration returned: {answer}");
+    assert_eq!(answer, 42);
+
+    // Typed request/reply LRPC from the host to node 1.
+    let (sum, max) = machine
+        .rpc_call::<Stats>(1, vec![3, 14, 15, 92, 6])
+        .unwrap();
+    println!("rpc_call::<Stats> on node 1 returned sum={sum}, max={max}");
+    assert_eq!((sum, max), (130, 92));
 
     println!("\n--- captured trace ---");
     for line in machine.output_lines() {

@@ -16,8 +16,7 @@ const LAPS: usize = 50;
 fn main() {
     for profile in [NetProfile::myrinet_bip(), NetProfile::instant()] {
         let nodes = 4;
-        let mut machine =
-            Machine::launch(Pm2Config::new(nodes).with_net(profile)).unwrap();
+        let mut machine = Machine::launch(Pm2Config::new(nodes).with_net(profile)).unwrap();
 
         let (hops, total_us) = machine
             .run_on(0, move || {

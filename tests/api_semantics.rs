@@ -64,7 +64,10 @@ fn rpc_spawn_from_green_thread() {
         assert!(pm2_rpc_spawn(9, 1, b"").is_err(), "bad node rejected");
     })
     .unwrap();
-    assert_eq!(rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap(), 2);
+    assert_eq!(
+        rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap(),
+        2
+    );
     m.shutdown();
 }
 
@@ -97,7 +100,10 @@ fn probe_load_counts_residents() {
             pm2_probe_load(1).unwrap()
         })
         .unwrap();
-    assert!(seen >= 1, "expected at least the resident worker, saw {seen}");
+    assert!(
+        seen >= 1,
+        "expected at least the resident worker, saw {seen}"
+    );
     m.join(t);
     m.shutdown();
 }
@@ -106,10 +112,9 @@ fn probe_load_counts_residents() {
 fn legacy_scheme_machine_still_migrates_correctly() {
     // Under the RegisteredPointers ablation scheme migrations still use
     // iso-addresses for safety; the fix-up walk is charged on arrival.
-    let mut m = Machine::launch(
-        Pm2Config::test(2).with_scheme(MigrationScheme::RegisteredPointers),
-    )
-    .unwrap();
+    let mut m =
+        Machine::launch(Pm2Config::test(2).with_scheme(MigrationScheme::RegisteredPointers))
+            .unwrap();
     m.run_on(0, || {
         let x = 99u64;
         let px = &x as *const u64;
@@ -158,7 +163,12 @@ fn output_lines_capture_across_nodes_in_order() {
     let lines = m.output_lines();
     assert_eq!(
         lines,
-        vec!["[node0] hop to 1", "[node1] hop to 2", "[node2] hop to 0", "[node0] done"]
+        vec![
+            "[node0] hop to 1",
+            "[node1] hop to 2",
+            "[node2] hop to 0",
+            "[node0] done"
+        ]
     );
     m.shutdown();
 }
@@ -176,19 +186,22 @@ fn node_stats_and_slot_stats_are_exposed() {
     assert_eq!(n0.migrations_out, 1);
     assert_eq!(n0.spawns, 1);
     let s0 = m.slot_stats(0);
-    assert!(s0.local_acquires >= 1, "stack slot + heap slot acquired locally");
+    assert!(
+        s0.local_acquires >= 1,
+        "stack slot + heap slot acquired locally"
+    );
     let s1 = m.slot_stats(1);
-    assert!(s1.releases >= 1, "slots released on node 1 after death there");
+    assert!(
+        s1.releases >= 1,
+        "slots released on node 1 after death there"
+    );
     m.shutdown();
 }
 
 #[test]
 fn myrinet_profile_machine_works_end_to_end() {
     // Same semantics under the calibrated wire model (timing differs only).
-    let mut m = Machine::launch(
-        Pm2Config::test(2).with_net(NetProfile::myrinet_bip()),
-    )
-    .unwrap();
+    let mut m = Machine::launch(Pm2Config::test(2).with_net(NetProfile::myrinet_bip())).unwrap();
     m.run_on(0, || {
         let p = pm2_isomalloc(1000).unwrap() as *mut u64;
         unsafe { p.write(7) };
@@ -203,10 +216,8 @@ fn myrinet_profile_machine_works_end_to_end() {
 #[test]
 fn syscall_map_strategy_machine_works_end_to_end() {
     use pm2::MapStrategy;
-    let mut m = Machine::launch(
-        Pm2Config::test(2).with_map_strategy(MapStrategy::Syscall),
-    )
-    .unwrap();
+    let mut m =
+        Machine::launch(Pm2Config::test(2).with_map_strategy(MapStrategy::Syscall)).unwrap();
     m.run_on(0, || {
         let p = pm2_isomalloc(5000).unwrap();
         unsafe { std::ptr::write_bytes(p, 0x3A, 5000) };

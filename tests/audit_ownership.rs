@@ -32,7 +32,10 @@ fn audit_sees_thread_owned_slots_while_threads_live() {
     // 4 threads × (1 stack slot + 1 heap slot).
     assert_eq!(summary.thread_owned, 8, "{summary:?}");
     assert_eq!(summary.threads, 4);
-    assert_eq!(summary.node_owned + summary.thread_owned, m.area().n_slots());
+    assert_eq!(
+        summary.node_owned + summary.thread_owned,
+        m.area().n_slots()
+    );
 
     stop.store(true, Ordering::SeqCst);
     for h in handles {
@@ -49,8 +52,9 @@ fn audit_sees_thread_owned_slots_while_threads_live() {
 #[test]
 fn ownership_transfers_nodes_through_migrate_and_die() {
     let mut m = Machine::launch(Pm2Config::test(3)).unwrap();
-    let initial_per_node: Vec<usize> =
-        (0..3).map(|n| m.audit().unwrap().nodes[n].bitmap.count_ones()).collect();
+    let initial_per_node: Vec<usize> = (0..3)
+        .map(|n| m.audit().unwrap().nodes[n].bitmap.count_ones())
+        .collect();
     // Threads spawn on node 0, allocate, migrate to node 2 and die there.
     for _ in 0..6 {
         let t = m
@@ -64,8 +68,9 @@ fn ownership_transfers_nodes_through_migrate_and_die() {
     }
     let report = m.audit().unwrap();
     report.check_partition().unwrap();
-    let final_per_node: Vec<usize> =
-        (0..3).map(|n| report.nodes[n].bitmap.count_ones()).collect();
+    let final_per_node: Vec<usize> = (0..3)
+        .map(|n| report.nodes[n].bitmap.count_ones())
+        .collect();
     assert!(
         final_per_node[2] > initial_per_node[2],
         "node 2 must own more slots than initially: {initial_per_node:?} -> {final_per_node:?}"
@@ -88,6 +93,9 @@ fn audit_reports_cached_slots_consistently() {
     .unwrap();
     let report = m.audit().unwrap();
     report.check_partition().unwrap(); // includes "cached ⊆ owned" check
-    assert!(!report.nodes[0].cached.is_empty(), "released slots should be cached");
+    assert!(
+        !report.nodes[0].cached.is_empty(),
+        "released slots should be cached"
+    );
     m.shutdown();
 }

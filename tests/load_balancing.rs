@@ -22,13 +22,21 @@ fn balancer_spreads_a_hot_node() {
     )
     .unwrap();
 
-    // 16 CPU-ish workers, all dumped on node 0.
+    // 16 CPU-ish workers, all dumped on node 0.  They hold at the start
+    // line until the balancer has ordered its first migration, so the
+    // imbalance cannot evaporate before the balancer's first round (the
+    // workers' ~1 ms of work races its 1 ms poll period otherwise).
+    let go = Arc::new(std::sync::atomic::AtomicBool::new(false));
     let finished_nodes = Arc::new(std::sync::Mutex::new(Vec::new()));
     let mut handles = Vec::new();
     for i in 0..16usize {
         let fin = Arc::clone(&finished_nodes);
+        let go = Arc::clone(&go);
         handles.push(
             m.spawn_on(0, move || {
+                while !go.load(Ordering::SeqCst) {
+                    pm2_yield();
+                }
                 // Plain computation + yields; no migration calls.
                 let mut acc = i as u64;
                 for _ in 0..600 {
@@ -40,6 +48,11 @@ fn balancer_spreads_a_hot_node() {
             .unwrap(),
         );
     }
+    let t0 = std::time::Instant::now();
+    while bal.moves() == 0 && t0.elapsed() < Duration::from_secs(10) {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    go.store(true, Ordering::SeqCst);
     for h in handles {
         assert!(!m.join(h).panicked);
     }
@@ -129,7 +142,11 @@ fn non_migratable_threads_stay_put() {
     for h in handles {
         m.join(h);
     }
-    assert_eq!(pinned_final.load(Ordering::SeqCst), 0, "pinned thread never moved");
+    assert_eq!(
+        pinned_final.load(Ordering::SeqCst),
+        0,
+        "pinned thread never moved"
+    );
     bal.stop(&m);
     m.shutdown();
 }

@@ -26,7 +26,10 @@ fn ping_pong_many_hops() {
         })
         .unwrap();
     assert_eq!(hops, 50);
-    assert_eq!(m.node_stats(0).migrations_out + m.node_stats(1).migrations_out, 50);
+    assert_eq!(
+        m.node_stats(0).migrations_out + m.node_stats(1).migrations_out,
+        50
+    );
     m.shutdown();
 }
 

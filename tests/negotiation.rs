@@ -34,7 +34,11 @@ fn block_cyclic_keeps_small_multislot_local() {
         pm2_isofree(p).unwrap();
     })
     .unwrap();
-    assert_eq!(m.node_stats(0).negotiations, 0, "block-cyclic must avoid negotiation");
+    assert_eq!(
+        m.node_stats(0).negotiations,
+        0,
+        "block-cyclic must avoid negotiation"
+    );
     m.shutdown();
 }
 
@@ -107,12 +111,15 @@ fn negotiated_block_migrates_like_any_other() {
 #[test]
 fn out_of_slots_is_reported_not_wedged() {
     // Ask for more contiguous slots than the whole area has.
-    let mut m = Machine::launch(
-        Pm2Config::test(2).with_area(AreaConfig { slot_size: 65536, n_slots: 16 }),
-    )
+    let mut m = Machine::launch(Pm2Config::test(2).with_area(AreaConfig {
+        slot_size: 65536,
+        n_slots: 16,
+    }))
     .unwrap();
     let slot = m.area().slot_size();
-    let r = m.run_on(0, move || pm2_isomalloc(32 * slot).map(|_| ())).unwrap();
+    let r = m
+        .run_on(0, move || pm2_isomalloc(32 * slot).map(|_| ()))
+        .unwrap();
     assert!(matches!(r, Err(pm2::Pm2Error::OutOfSlots { .. })), "{r:?}");
     // The machine still works afterwards.
     m.run_on(0, || {

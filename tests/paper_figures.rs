@@ -52,7 +52,10 @@ fn fig2_pointer_to_stack_survives() {
         pm2_printf!("value = {}", unsafe { *ptr });
     })
     .unwrap();
-    assert_eq!(m.output_lines(), vec!["[node0] value = 1", "[node1] value = 1"]);
+    assert_eq!(
+        m.output_lines(),
+        vec!["[node0] value = 1", "[node1] value = 1"]
+    );
     m.shutdown();
 }
 
@@ -72,7 +75,10 @@ fn fig3_registered_pointer_program() {
         pm2_unregister_pointer(key);
     })
     .unwrap();
-    assert_eq!(m.output_lines(), vec!["[node0] value = 1", "[node1] value = 1"]);
+    assert_eq!(
+        m.output_lines(),
+        vec!["[node0] value = 1", "[node1] value = 1"]
+    );
     m.shutdown();
 }
 
@@ -165,13 +171,16 @@ fn fig7_fig8_isomalloc_list_traversal() {
     assert!(lines.iter().any(|l| l.starts_with("[node0] Element 99 = ")));
     let mig = lines
         .iter()
-        .position(|l| l == &format!("[node0] Initializing migration from node 0"))
+        .position(|l| l == "[node0] Initializing migration from node 0")
         .expect("migration banner");
     assert_eq!(lines[mig + 1], "[node1] Arrived at node 1");
     assert!(lines[mig + 2].starts_with("[node1] Element 100 = "));
     // Values printed after migration are correct (not Fig. 9's garbage).
     let expected_100 = ((NB_ELEMENTS - 1 - 100) * 2 + 1) as i32;
-    assert_eq!(lines[mig + 2], format!("[node1] Element 100 = {expected_100}"));
+    assert_eq!(
+        lines[mig + 2],
+        format!("[node1] Element 100 = {expected_100}")
+    );
     m.shutdown();
 }
 

@@ -2,8 +2,7 @@
 //! alloc/write/verify/free/migrate sequences, with the global exclusive-
 //! ownership audit as the final oracle.  Seeded, so failures reproduce.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use testkit::StdRng;
 
 use pm2::api::*;
 use pm2::{Distribution, Machine, MachineMode, Pm2Config};
@@ -71,13 +70,19 @@ fn stress(nodes: usize, threads: usize, steps: usize, seed: u64, mode: MachineMo
         Pm2Config::test(nodes)
             .with_mode(mode)
             .with_slot_cache(8)
-            .with_area(pm2::AreaConfig { slot_size: 64 * 1024, n_slots: 512 }),
+            .with_area(pm2::AreaConfig {
+                slot_size: 64 * 1024,
+                n_slots: 512,
+            }),
     )
     .unwrap();
     let mut handles = Vec::new();
     for t in 0..threads {
         let s = seed ^ (t as u64).wrapping_mul(0x9E3779B97F4A7C15);
-        handles.push(m.spawn_on(t % nodes, move || random_walk(s, nodes, steps)).unwrap());
+        handles.push(
+            m.spawn_on(t % nodes, move || random_walk(s, nodes, steps))
+                .unwrap(),
+        );
     }
     for h in handles {
         let exit = m.join(h);
@@ -86,7 +91,10 @@ fn stress(nodes: usize, threads: usize, steps: usize, seed: u64, mode: MachineMo
     // Final oracle: exclusive slot ownership, nothing leaked.
     let audit = m.audit().unwrap();
     let summary = audit.check_partition().unwrap();
-    assert_eq!(summary.thread_owned, 0, "all threads exited; no slot may remain thread-owned");
+    assert_eq!(
+        summary.thread_owned, 0,
+        "all threads exited; no slot may remain thread-owned"
+    );
     assert_eq!(summary.node_owned, m.area().n_slots());
     m.shutdown();
 }
@@ -112,7 +120,10 @@ fn stress_threaded_large_allocations() {
     let mut m = Machine::launch(
         Pm2Config::test(3)
             .with_mode(MachineMode::Threaded)
-            .with_area(pm2::AreaConfig { slot_size: 64 * 1024, n_slots: 512 }),
+            .with_area(pm2::AreaConfig {
+                slot_size: 64 * 1024,
+                n_slots: 512,
+            }),
     )
     .unwrap();
     let slot = m.area().slot_size();
@@ -155,12 +166,18 @@ fn stress_block_cyclic_distribution() {
     let mut m = Machine::launch(
         Pm2Config::test(4)
             .with_distribution(Distribution::BlockCyclic(8))
-            .with_area(pm2::AreaConfig { slot_size: 64 * 1024, n_slots: 512 }),
+            .with_area(pm2::AreaConfig {
+                slot_size: 64 * 1024,
+                n_slots: 512,
+            }),
     )
     .unwrap();
     let mut handles = Vec::new();
     for t in 0..8usize {
-        handles.push(m.spawn_on(t % 4, move || random_walk(t as u64, 4, 200)).unwrap());
+        handles.push(
+            m.spawn_on(t % 4, move || random_walk(t as u64, 4, 200))
+                .unwrap(),
+        );
     }
     for h in handles {
         assert!(!m.join(h).panicked);
