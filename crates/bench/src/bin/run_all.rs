@@ -6,7 +6,62 @@
 //! cargo run --release -p pm2-bench --bin run_all
 //! ```
 
-use pm2_bench::{ctx_switch_ns, smoke, spawn_us, Table};
+use pm2::NetProfile;
+use pm2_bench::{ctx_switch_ns, migration_breakdown, smoke, spawn_us, Table};
+
+/// Emit `BENCH_migration.json` at the repo root: the per-stage migration
+/// breakdown (pack / wire / unpack) plus throughput, starting the
+/// machine-readable perf trajectory (one such file per tracked benchmark).
+fn migration_json() {
+    let mut rows = Vec::new();
+    for (name, net) in [
+        ("instant", NetProfile::instant()),
+        ("myrinet_bip", NetProfile::myrinet_bip()),
+    ] {
+        for payload in [0usize, 32 * 1024] {
+            let b = migration_breakdown(net, payload, 400);
+            println!(
+                "migration [{name}, {payload} B]: {:.1} µs one-way \
+                 (pack {:.2} + wire {:.2} + unpack {:.2}), {:.0}/s, {} B, \
+                 pool allocs {} / reuses {}",
+                b.one_way_us,
+                b.pack_us,
+                b.wire_us,
+                b.unpack_us,
+                b.migrations_per_sec,
+                b.bytes_per_migration,
+                b.pool_allocs,
+                b.pool_reuses
+            );
+            rows.push(format!(
+                "    {{\"net\": \"{name}\", \"payload_bytes\": {}, \"hops\": {}, \
+                 \"one_way_us\": {:.3}, \"pack_us\": {:.3}, \"wire_us\": {:.3}, \
+                 \"unpack_us\": {:.3}, \"bytes_per_migration\": {}, \
+                 \"migrations_per_sec\": {:.1}, \"pool_allocs\": {}, \
+                 \"pool_reuses\": {}}}",
+                b.payload,
+                b.hops,
+                b.one_way_us,
+                b.pack_us,
+                b.wire_us,
+                b.unpack_us,
+                b.bytes_per_migration,
+                b.migrations_per_sec,
+                b.pool_allocs,
+                b.pool_reuses
+            ));
+        }
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"migration\",\n  \"unit_note\": \"per-stage means over all \
+         migrations in a 2-node ping-pong; wire time is the calibrated model charged at \
+         the receiver\",\n  \"generated_by\": \"cargo run --release -p pm2-bench --bin run_all\",\n  \
+         \"configs\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write("BENCH_migration.json", &json).expect("writing BENCH_migration.json");
+    println!("wrote BENCH_migration.json");
+}
 
 fn substrates() {
     let mut t = Table::new("S: substrate microcosts", &["operation", "cost"]);
@@ -34,6 +89,7 @@ fn main() {
     println!("smoke-checking the harness against the runtime…");
     smoke();
     substrates();
+    migration_json();
     for bin in ["e5_migration", "e6_negotiation", "fig11", "ablations"] {
         println!("\n───────── {bin} ─────────");
         run(bin);

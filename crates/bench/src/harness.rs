@@ -75,6 +75,86 @@ pub fn migration_pingpong_us(net: NetProfile, payload: usize, hops: usize) -> f6
     total_us / hops as f64
 }
 
+/// Per-stage cost breakdown of a migration ping-pong run (ISSUE 2: the
+/// numbers behind `BENCH_migration.json`).  All per-migration figures are
+/// means over every migration the run performed, measured by the runtime's
+/// own stage counters (pack at the source, wire + unpack at the
+/// destination).
+#[derive(Debug, Clone, Copy)]
+pub struct MigrationBreakdown {
+    /// Timed one-way hops.
+    pub hops: usize,
+    /// isomalloc'd payload carried by the thread (bytes).
+    pub payload: usize,
+    /// Mean one-way migration latency, µs (wall clock over the timed hops).
+    pub one_way_us: f64,
+    /// Mean freeze-and-gather (pack) time per migration, µs.
+    pub pack_us: f64,
+    /// Mean modelled wire time per migration, µs.
+    pub wire_us: f64,
+    /// Mean adopt-and-copy (unpack) time per migration, µs.
+    pub unpack_us: f64,
+    /// Mean migration buffer size, bytes.
+    pub bytes_per_migration: u64,
+    /// Throughput implied by the one-way latency.
+    pub migrations_per_sec: f64,
+    /// Payload-pool allocations across both nodes (flat after warm-up).
+    pub pool_allocs: u64,
+    /// Payload-pool buffer reuses across both nodes.
+    pub pool_reuses: u64,
+}
+
+/// Run a 2-node migration ping-pong carrying `payload` isomalloc'd bytes
+/// and collect the per-stage breakdown from the runtime's counters.
+pub fn migration_breakdown(net: NetProfile, payload: usize, hops: usize) -> MigrationBreakdown {
+    let mut m = Machine::launch(paper_config(2, net)).expect("launch");
+    let total_us = m
+        .run_on(0, move || {
+            let block = if payload > 0 {
+                let p = pm2_isomalloc(payload).unwrap();
+                unsafe { std::ptr::write_bytes(p, 0xAB, payload) };
+                Some(p)
+            } else {
+                None
+            };
+            for _ in 0..8 {
+                pm2_migrate(1).unwrap();
+                pm2_migrate(0).unwrap();
+            }
+            let t0 = Instant::now();
+            for i in 0..hops {
+                pm2_migrate(1 - (i % 2)).unwrap();
+            }
+            let us = t0.elapsed().as_micros() as f64;
+            if pm2_self() != 0 {
+                pm2_migrate(0).unwrap();
+            }
+            if let Some(p) = block {
+                pm2_isofree(p).unwrap();
+            }
+            us
+        })
+        .expect("pingpong");
+    let (s0, s1) = (m.node_stats(0), m.node_stats(1));
+    let migrations = (s0.migrations_out + s1.migrations_out).max(1);
+    let per_us = |ns: u64| (ns as f64 / migrations as f64) / 1000.0;
+    let one_way_us = total_us / hops as f64;
+    let (p0, p1) = (m.pool_stats(0), m.pool_stats(1));
+    m.shutdown();
+    MigrationBreakdown {
+        hops,
+        payload,
+        one_way_us,
+        pack_us: per_us(s0.migration_pack_ns + s1.migration_pack_ns),
+        wire_us: per_us(s0.migration_wire_ns + s1.migration_wire_ns),
+        unpack_us: per_us(s0.migration_unpack_ns + s1.migration_unpack_ns),
+        bytes_per_migration: (s0.migration_bytes_out + s1.migration_bytes_out) / migrations,
+        migrations_per_sec: 1.0e6 / one_way_us,
+        pool_allocs: p0.allocs + p1.allocs,
+        pool_reuses: p0.reuses + p1.reuses,
+    }
+}
+
 /// One-way migration buffer size for a given payload (bytes on the wire).
 pub fn migration_buffer_bytes(payload: usize) -> u64 {
     let mut m = Machine::launch(paper_config(2, NetProfile::instant())).expect("launch");

@@ -15,7 +15,7 @@
 
 use std::time::Instant;
 
-use madeleine::{Message, Wire};
+use madeleine::{BufPool, Message, Payload, Wire};
 
 use crate::error::{Pm2Error, Result};
 use crate::node::with_ctx;
@@ -155,10 +155,11 @@ pub fn pm2_rpc_spawn(node: usize, service: u32, args: &[u8]) -> Result<()> {
     if node >= with_ctx(|c| c.n_nodes) {
         return Err(Pm2Error::NoSuchNode(node));
     }
+    let pool = local_pool();
     send_to(
         node,
         tag::RPC_SPAWN,
-        crate::proto::encode_rpc_spawn(service, args),
+        crate::proto::encode_rpc_spawn(&pool, service, args),
     )
 }
 
@@ -193,10 +194,11 @@ pub fn pm2_rpc_call<S: Service>(node: usize, req: S::Req) -> Result<S::Resp> {
     // strand it in the old node's reply queue.
     let was_migratable = pm2_set_migratable(false);
     let result = (|| {
+        let pool = local_pool();
         send_to(
             node,
             tag::RPC_CALL,
-            proto::encode_rpc_call(call_id, reply_to, service_id::<S>(), &req_bytes),
+            proto::encode_rpc_call(&pool, call_id, reply_to, service_id::<S>(), &req_bytes),
         )?;
         // Handlers may migrate before replying, so match on the call id
         // alone, not the source node.
@@ -350,9 +352,16 @@ pub fn pm2_probe_load(peer: usize) -> Result<usize> {
 // ---------------------------------------------------------------------------
 
 /// Send a message from the calling thread's node.
-pub(crate) fn send_to(dst: usize, tag: u16, payload: Vec<u8>) -> Result<()> {
+pub(crate) fn send_to(dst: usize, tag: u16, payload: impl Into<Payload>) -> Result<()> {
+    let payload = payload.into();
     with_ctx(|c| c.ep.send(dst, tag, payload))?;
     Ok(())
+}
+
+/// The calling thread's node-local payload pool (cheap `Arc` clone).
+/// Encoders running on green threads check their buffers out of it.
+pub(crate) fn local_pool() -> BufPool {
+    with_ctx(|c| c.pool.clone())
 }
 
 /// Wait for a parked reply matching `tag` (and `src`, if given), yielding so

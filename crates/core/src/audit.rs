@@ -99,9 +99,9 @@ impl AuditReport {
     }
 }
 
-/// Build the wire form of a node's audit report.
-pub(crate) fn encode_node_report(ctx: &NodeCtx) -> Vec<u8> {
-    let mut w = PayloadWriter::with_capacity(1024);
+/// Build the wire form of a node's audit report (pooled buffer).
+pub(crate) fn encode_node_report(ctx: &NodeCtx) -> madeleine::Payload {
+    let mut w = PayloadWriter::pooled(&ctx.pool, 1024);
     w.u32(ctx.node as u32);
     w.lp_bytes(&ctx.mgr.bitmap_bytes());
     let cached: Vec<usize> = ctx.mgr.iter_cached().collect();

@@ -71,7 +71,12 @@
 //!   v1 calls) for code running inside Marcel threads;
 //! * [`service`] — the typed request/reply LRPC layer ([`Service`]);
 //! * [`negotiation`] — the global slot negotiation of §4.4;
-//! * `migration` — pack/ship/unpack (§2, with the §6 optimizations);
+//! * `migration` — pack/ship/unpack (§2, with the §6 optimizations) on a
+//!   zero-copy data plane: buffers are checked out of per-endpoint pools
+//!   (`madeleine::BufPool`), sized from an occupancy hint, and recycled by
+//!   the receiver's drop — steady-state migrations allocate nothing
+//!   ([`Machine::pool_stats`] exposes the counters, and
+//!   [`node::NodeStatsSnapshot`] the pack/wire/unpack stage timings);
 //! * [`iso`] — typed containers over `pm2_isomalloc` (Fig. 7's list);
 //! * [`loadbal`] — an external load balancer driving preemptive migration;
 //! * [`nodeheap`] — the non-migrating `malloc` baseline (Fig. 4/9);
@@ -112,4 +117,4 @@ mod tests;
 // Re-export the substrate types an embedder is likely to need.
 pub use isoaddr::{AreaConfig, Distribution, MapStrategy};
 pub use isomalloc::FitPolicy;
-pub use madeleine::{NetProfile, Wire};
+pub use madeleine::{BufPool, BufPoolStats, NetProfile, Payload, Wire};

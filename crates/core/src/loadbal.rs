@@ -107,6 +107,7 @@ struct Load {
 }
 
 fn balance_round(p: usize, cfg: &BalancerConfig, moves: &AtomicU64) -> Result<()> {
+    let pool = api::local_pool();
     // Gather loads (the daemon itself counts towards node 0's load; the
     // threshold absorbs it).
     for peer in 0..p {
@@ -148,7 +149,11 @@ fn balance_round(p: usize, cfg: &BalancerConfig, moves: &AtomicU64) -> Result<()
             break;
         };
         let src_node = loads[max_idx].node;
-        send_to(src_node, tag::MIGRATE_CMD, encode_migrate_cmd(tid, dest))?;
+        send_to(
+            src_node,
+            tag::MIGRATE_CMD,
+            encode_migrate_cmd(&pool, tid, dest),
+        )?;
         let ack = wait_reply(tag::MIGRATE_CMD_ACK, Some(src_node))?;
         let mut r = PayloadReader::new(&ack.payload);
         let _tid = r.u64();

@@ -97,6 +97,8 @@ pub struct Machine {
     typed_services: Arc<TypedServiceTable>,
     slot_stats: Vec<Arc<isoaddr::SlotStats>>,
     node_stats: Vec<Arc<NodeStats>>,
+    /// Cheap-clone handles on each node's payload pool (observability).
+    pools: Vec<madeleine::BufPool>,
     drivers: Vec<std::thread::JoinHandle<()>>,
     next_tid: AtomicU64,
     stopped: bool,
@@ -142,6 +144,7 @@ impl Machine {
             .collect();
         let slot_stats = ctxs.iter().map(|c| c.mgr.stats()).collect();
         let node_stats = ctxs.iter().map(|c| Arc::clone(&c.stats)).collect();
+        let pools = ctxs.iter().map(|c| c.pool.clone()).collect();
 
         let drivers = match cfg.mode {
             MachineMode::Threaded => ctxs
@@ -170,6 +173,7 @@ impl Machine {
             typed_services,
             slot_stats,
             node_stats,
+            pools,
             drivers,
             next_tid: AtomicU64::new(1),
             stopped: false,
@@ -218,7 +222,7 @@ impl Machine {
         }
         let tid = HOST_TID_BASE | self.next_tid.fetch_add(1, Ordering::Relaxed);
         let key = self.spawn_table.park(Box::new(f));
-        let mut w = PayloadWriter::with_capacity(16);
+        let mut w = PayloadWriter::pooled(self.host_ep.pool(), 16);
         w.u64(key).u64(tid);
         self.host_ep.send(node, tag::SPAWN_KEY, w.finish())?;
         Ok(Pm2Thread { tid })
@@ -254,8 +258,24 @@ impl Machine {
         if node >= self.cfg.nodes {
             return Err(Pm2Error::NoSuchNode(node));
         }
-        self.host_ep
-            .send(node, tag::RPC_SPAWN, proto::encode_rpc_spawn(service, args))?;
+        self.host_ep.send(
+            node,
+            tag::RPC_SPAWN,
+            proto::encode_rpc_spawn(self.host_ep.pool(), service, args),
+        )?;
+        Ok(())
+    }
+
+    /// Fault-injection hook: deliver a raw fabric message to `node` as if a
+    /// peer had sent it.  Exists so tests can exercise the corrupt-input
+    /// paths (e.g. a truncated migration record); not part of the public
+    /// API contract.
+    #[doc(hidden)]
+    pub fn inject_raw(&self, node: usize, tag: u16, payload: Vec<u8>) -> Result<()> {
+        if node >= self.cfg.nodes {
+            return Err(Pm2Error::NoSuchNode(node));
+        }
+        self.host_ep.send(node, tag, payload)?;
         Ok(())
     }
 
@@ -285,7 +305,13 @@ impl Machine {
         self.host_ep.send(
             node,
             tag::RPC_CALL,
-            proto::encode_rpc_call(call_id, self.cfg.nodes, service_id::<S>(), &req_bytes),
+            proto::encode_rpc_call(
+                self.host_ep.pool(),
+                call_id,
+                self.cfg.nodes,
+                service_id::<S>(),
+                &req_bytes,
+            ),
         )?;
         let deadline = Instant::now() + self.cfg.reply_deadline;
         let m = self
@@ -355,6 +381,13 @@ impl Machine {
     /// Runtime statistics of `node`.
     pub fn node_stats(&self, node: usize) -> NodeStatsSnapshot {
         self.node_stats[node].snapshot()
+    }
+
+    /// Payload-pool statistics of `node`'s endpoint.  In steady state the
+    /// `allocs` counter stops moving: every message rides a recycled
+    /// buffer.
+    pub fn pool_stats(&self, node: usize) -> madeleine::BufPoolStats {
+        self.pools[node].stats()
     }
 
     fn recv_control(&mut self, want: u16, deadline: Instant) -> Option<madeleine::Message> {

@@ -11,17 +11,32 @@
 //!    same virtual addresses, copies the extents back, and enqueues the
 //!    thread.  Because every pointer in the thread's universe is an
 //!    iso-address, *nothing* is fixed up: "an iso-address copy is enough".
+//!
+//! The gather is **single-pass and allocation-free in steady state**: the
+//! buffer is checked out of the sending endpoint's [`BufPool`] and sized
+//! up front from the thread's occupancy (live stack extents plus each heap
+//! slot's `used_bytes`/free-list hint), so the pack never regrows the
+//! buffer, and the receiver's drop recycles it for the next migration.
+//!
+//! Wire shape: an 8-byte little-endian **tid prefix** (readable even when
+//! the rest of the buffer is corrupt, so a rejection NAK can name the lost
+//! thread) followed by the self-describing slot records.
+//! [`pack_thread`] writes the prefix; the caller strips it before
+//! [`unpack_thread`].
 
 use isoaddr::{NodeSlotManager, SlotProvider, SlotRange};
 use isomalloc::layout::SlotKind;
 use isomalloc::pack::{
-    pack_full, pack_heap_slot, pack_raw_extents, peek_header, unpack_into_mapped,
+    full_record_size, heap_pack_hint, pack_full, pack_heap_slot, pack_raw_extents, peek_header,
+    record_size, unpack_into_mapped,
 };
+use madeleine::{BufPool, Payload};
 use marcel::{desc_addr, DescPtr};
 
 use crate::error::{Pm2Error, Result};
 
-/// Pack a frozen thread and unmap its slots on the source node.
+/// Pack a frozen thread and unmap its slots on the source node.  The
+/// returned payload is a pool checkout sized from the occupancy hint.
 ///
 /// # Safety
 /// `d` must be a frozen (not running) thread resident on `mgr`'s node; after
@@ -30,11 +45,25 @@ pub(crate) unsafe fn pack_thread(
     d: DescPtr,
     mgr: &mut NodeSlotManager,
     pack_full_slots: bool,
-) -> Result<Vec<u8>> {
+    pool: &BufPool,
+) -> Result<Payload> {
     let desc = &*d;
     let slot_size = mgr.slot_size();
     let area_base = mgr.area_base();
-    let mut buf = Vec::with_capacity(4096);
+    let stack_extents = desc.stack_extents();
+    let heap_slots = isomalloc::heap::heap_slots(std::ptr::addr_of!(desc.heap));
+    // Size the gather buffer in one reservation (no mid-pack regrowth).
+    let hint = if pack_full_slots {
+        full_record_size(desc.stack_slots, slot_size)
+            + heap_slots
+                .iter()
+                .map(|&(_, n)| full_record_size(n, slot_size))
+                .sum::<usize>()
+    } else {
+        record_size(&stack_extents) + heap_pack_hint(std::ptr::addr_of!(desc.heap))?
+    };
+    let mut buf = pool.checkout(8 + hint);
+    buf.extend_from_slice(&desc.tid.to_le_bytes());
     // Stack slot first so the receiver can locate the descriptor early.
     if pack_full_slots {
         pack_full(
@@ -49,11 +78,10 @@ pub(crate) unsafe fn pack_thread(
             desc.stack_base,
             SlotKind::Stack as u32,
             desc.stack_slots,
-            &desc.stack_extents(),
+            &stack_extents,
             &mut buf,
         );
     }
-    let heap_slots = isomalloc::heap::heap_slots(std::ptr::addr_of!(desc.heap));
     for &(base, n) in &heap_slots {
         if pack_full_slots {
             pack_full(base, SlotKind::Heap as u32, n, slot_size, &mut buf);
@@ -61,6 +89,11 @@ pub(crate) unsafe fn pack_thread(
             pack_heap_slot(base, slot_size, &mut buf)?;
         }
     }
+    debug_assert!(
+        buf.len() <= 8 + hint || pack_full_slots,
+        "occupancy hint {hint} under-sized the pack ({} bytes)",
+        buf.len()
+    );
     // Unmap everything; ownership stays with the thread (no bitmap change).
     let stack_first = (desc.stack_base - area_base) / slot_size;
     mgr.surrender(SlotRange::new(stack_first, desc.stack_slots))?;
@@ -68,25 +101,68 @@ pub(crate) unsafe fn pack_thread(
         let first = (base - area_base) / slot_size;
         mgr.surrender(SlotRange::new(first, n))?;
     }
-    Ok(buf)
+    Ok(buf.freeze())
 }
 
 /// Map and unpack an arriving thread; returns its descriptor, which sits at
 /// the same virtual address it had on the source node.
+///
+/// A malformed or truncated buffer returns `Err` without wedging the node:
+/// any slot ranges already adopted for the partial unpack are surrendered
+/// again (best effort) so the node's mapping state stays consistent and
+/// the caller can NAK the migration.
 ///
 /// # Safety
 /// `buf` must be a buffer produced by [`pack_thread`]; the slot ranges it
 /// names must be unmapped on this node (guaranteed by the iso-address
 /// discipline).
 pub(crate) unsafe fn unpack_thread(buf: &[u8], mgr: &mut NodeSlotManager) -> Result<DescPtr> {
+    let mut adopted: Vec<SlotRange> = Vec::new();
+    match unpack_records(buf, mgr, &mut adopted) {
+        Ok(desc) => Ok(desc),
+        Err(e) => {
+            // Roll the partial arrival back: unmap whatever was adopted.
+            for r in adopted {
+                let _ = mgr.surrender(r);
+            }
+            Err(e)
+        }
+    }
+}
+
+unsafe fn unpack_records(
+    buf: &[u8],
+    mgr: &mut NodeSlotManager,
+    adopted: &mut Vec<SlotRange>,
+) -> Result<DescPtr> {
     let slot_size = mgr.slot_size();
     let area_base = mgr.area_base();
     let mut off = 0;
     let mut desc: DescPtr = std::ptr::null_mut();
     while off < buf.len() {
         let info = peek_header(&buf[off..])?;
+        // A corrupt record can name any address; reject before the slot
+        // arithmetic can underflow.
+        if info.base < area_base || !(info.base - area_base).is_multiple_of(slot_size) {
+            return Err(Pm2Error::Net(format!(
+                "migration record names base {:#x} outside the slot grid",
+                info.base
+            )));
+        }
         let first = (info.base - area_base) / slot_size;
-        mgr.adopt(SlotRange::new(first, info.n_slots))?;
+        let range = SlotRange::new(first, info.n_slots);
+        if range.end() > mgr.area().n_slots() {
+            return Err(Pm2Error::Net(format!(
+                "migration record claims slots {range:?} beyond the area"
+            )));
+        }
+        if !mgr.bitmap().all_clear(range) {
+            return Err(Pm2Error::Net(format!(
+                "migration record claims slots {range:?} this node owns"
+            )));
+        }
+        mgr.adopt(range)?;
+        adopted.push(range);
         unpack_into_mapped(&buf[off..], slot_size)?;
         if info.kind == SlotKind::Stack as u32 {
             desc = desc_addr(info.base) as DescPtr;

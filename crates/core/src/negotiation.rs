@@ -140,11 +140,12 @@ fn run_protocol(requested: usize) -> Result<()> {
             }
             let mut pending_acks = 0usize;
             let mut bought: Vec<SlotRange> = Vec::new();
+            let pool = crate::api::local_pool();
             for (owner, ranges) in &sellers {
                 if *owner == me {
                     continue;
                 }
-                send_to(*owner, tag::NEG_BUY, encode_ranges(ranges))?;
+                send_to(*owner, tag::NEG_BUY, encode_ranges(&pool, ranges))?;
                 pending_acks += 1;
                 bought.extend_from_slice(ranges);
             }

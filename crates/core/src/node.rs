@@ -18,10 +18,10 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use isoaddr::{IsoArea, NodeSlotManager};
-use madeleine::{Endpoint, Message};
+use madeleine::{BufPool, Endpoint, Message};
 use marcel::{DescPtr, RunOutcome, Scheduler, ThreadState};
 
 use crate::config::{MigrationScheme, Pm2Config};
@@ -43,8 +43,16 @@ pub struct NodeStats {
     pub migrations_out: AtomicU64,
     /// Threads received.
     pub migrations_in: AtomicU64,
+    /// Arriving migration buffers rejected as corrupt (NAKed).
+    pub migrations_failed: AtomicU64,
     /// Total bytes of outgoing migration buffers.
     pub migration_bytes_out: AtomicU64,
+    /// Nanoseconds spent packing outgoing migrations (freeze & gather).
+    pub migration_pack_ns: AtomicU64,
+    /// Modelled wire nanoseconds charged for arriving migrations.
+    pub migration_wire_ns: AtomicU64,
+    /// Nanoseconds spent unpacking arriving migrations (adopt & copy).
+    pub migration_unpack_ns: AtomicU64,
     /// Global negotiations initiated by this node.
     pub negotiations: AtomicU64,
     /// Total nanoseconds spent in initiated negotiations.
@@ -58,7 +66,14 @@ pub struct NodeStats {
 pub struct NodeStatsSnapshot {
     pub migrations_out: u64,
     pub migrations_in: u64,
+    pub migrations_failed: u64,
     pub migration_bytes_out: u64,
+    /// Per-stage migration cost, summed over this node's participations:
+    /// packing is paid by the source…
+    pub migration_pack_ns: u64,
+    /// …wire time and unpacking by the destination.
+    pub migration_wire_ns: u64,
+    pub migration_unpack_ns: u64,
     pub negotiations: u64,
     pub negotiation_ns: u64,
     pub spawns: u64,
@@ -70,7 +85,11 @@ impl NodeStats {
         NodeStatsSnapshot {
             migrations_out: self.migrations_out.load(Ordering::Relaxed),
             migrations_in: self.migrations_in.load(Ordering::Relaxed),
+            migrations_failed: self.migrations_failed.load(Ordering::Relaxed),
             migration_bytes_out: self.migration_bytes_out.load(Ordering::Relaxed),
+            migration_pack_ns: self.migration_pack_ns.load(Ordering::Relaxed),
+            migration_wire_ns: self.migration_wire_ns.load(Ordering::Relaxed),
+            migration_unpack_ns: self.migration_unpack_ns.load(Ordering::Relaxed),
             negotiations: self.negotiations.load(Ordering::Relaxed),
             negotiation_ns: self.negotiation_ns.load(Ordering::Relaxed),
             spawns: self.spawns.load(Ordering::Relaxed),
@@ -95,6 +114,9 @@ pub(crate) struct NodeCtx {
     pub sched: Scheduler,
     pub mgr: NodeSlotManager,
     pub ep: Endpoint,
+    /// This endpoint's payload-buffer pool (cheap-clone handle; protocol
+    /// encoders check their buffers out of it).
+    pub pool: BufPool,
     pub out: Arc<OutputSink>,
     pub registry: Arc<Registry>,
     pub spawn_table: Arc<SpawnTable>,
@@ -185,6 +207,7 @@ impl NodeCtx {
         services: Arc<ServiceTable>,
         typed_services: Arc<TypedServiceTable>,
     ) -> Self {
+        let pool = ep.pool().clone();
         NodeCtx {
             node,
             n_nodes: cfg.nodes,
@@ -192,6 +215,7 @@ impl NodeCtx {
             sched: Scheduler::new(node),
             mgr: NodeSlotManager::new(node, cfg.nodes, area, cfg.distribution, cfg.slot_cache),
             ep,
+            pool,
             out,
             registry,
             spawn_table,
@@ -356,9 +380,11 @@ impl NodeCtx {
                 value: note.value,
             };
             if home != self.node {
-                let _ = self
-                    .ep
-                    .send(home, tag::THREAD_EXIT, proto::encode_thread_exit(&exit));
+                let _ = self.ep.send(
+                    home,
+                    tag::THREAD_EXIT,
+                    proto::encode_thread_exit(&self.pool, &exit),
+                );
             }
             self.registry.complete(exit);
         }
@@ -396,8 +422,12 @@ impl NodeCtx {
             self.threads.remove(&tid);
             // Fig. 4/9: node-local malloc data does NOT follow the thread.
             self.nodeheap.poison_departed(tid);
-            let buf = migration::pack_thread(d, &mut self.mgr, self.pack_full_slots)
+            let t0 = Instant::now();
+            let buf = migration::pack_thread(d, &mut self.mgr, self.pack_full_slots, &self.pool)
                 .expect("packing migrating thread");
+            self.stats
+                .migration_pack_ns
+                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
             self.stats.migrations_out.fetch_add(1, Ordering::Relaxed);
             self.stats
                 .migration_bytes_out
@@ -416,6 +446,7 @@ impl NodeCtx {
             tag::SPAWN_KEY => self.on_spawn_key(m),
             tag::RPC_SPAWN => self.on_rpc_spawn(m),
             tag::MIGRATION => self.on_migration(m),
+            tag::MIGRATION_NAK => self.on_migration_nak(m),
             tag::NEG_LOCK_REQ => self.on_lock_req(m.src),
             tag::NEG_LOCK_RELEASE => self.on_lock_release(),
             tag::NEG_BITMAP_REQ => self.on_bitmap_req(m.src),
@@ -534,10 +565,48 @@ impl NodeCtx {
         // Adopting slots does not touch the bitmap, so arrivals are legal
         // even inside a negotiation ("the bitmaps do not undergo any change
         // on thread migration", §4.2).
-        // SAFETY: buffer from a peer's pack_thread.
+        self.stats
+            .migration_wire_ns
+            .fetch_add(m.wire_ns, Ordering::Relaxed);
+        // The 8-byte tid prefix is readable even when the records behind
+        // it are garbage — it is what lets the NAK name the lost thread.
+        let tid = m
+            .payload
+            .get(..8)
+            .map(|b| u64::from_le_bytes(b.try_into().expect("8-byte slice")));
+        let t0 = Instant::now();
+        // SAFETY: buffer from a peer's pack_thread (or, under fault
+        // injection, arbitrary bytes — unpack_thread validates and rolls
+        // back rather than trusting them).
+        let unpacked = match tid {
+            Some(_) => unsafe { migration::unpack_thread(&m.payload[8..], &mut self.mgr) },
+            None => Err(crate::error::Pm2Error::Net(
+                "migration message shorter than its tid prefix".into(),
+            )),
+        };
+        self.stats
+            .migration_unpack_ns
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        let d = match unpacked {
+            Ok(d) => d,
+            Err(e) => {
+                // A corrupt buffer costs one thread, never the node: log,
+                // count, and NAK the sender instead of crashing the driver.
+                self.stats.migrations_failed.fetch_add(1, Ordering::Relaxed);
+                let text = format!("rejected corrupt migration from node {}: {e}", m.src);
+                self.out.printf(self.node, &text);
+                let mut w = madeleine::message::PayloadWriter::pooled(&self.pool, 16 + text.len());
+                match tid {
+                    Some(t) => w.u8(1).u64(t),
+                    None => w.u8(0).u64(0),
+                };
+                w.bytes(text.as_bytes());
+                let _ = self.ep.send(m.src, tag::MIGRATION_NAK, w.finish());
+                return;
+            }
+        };
+        // SAFETY: unpack succeeded; `d` is a live resident descriptor.
         unsafe {
-            let d =
-                migration::unpack_thread(&m.payload, &mut self.mgr).expect("unpacking migration");
             if self.scheme == MigrationScheme::RegisteredPointers {
                 // Ablation baseline: charge the early-PM2 post-migration
                 // fix-up walk (registered pointers + frame chain).
@@ -547,6 +616,32 @@ impl NodeCtx {
             self.threads.insert((*d).tid, d);
         }
         self.stats.migrations_in.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The peer could not unpack a thread we shipped.  Its slots were
+    /// unmapped at pack time and the tid left our tables, so the thread is
+    /// unrecoverable — but joiners must not hang: complete it in the
+    /// registry as a panic carrying the rejection text.
+    fn on_migration_nak(&mut self, m: Message) {
+        let mut r = madeleine::message::PayloadReader::new(&m.payload);
+        let has_tid = r.u8().unwrap_or(0) == 1;
+        let tid = r.u64().unwrap_or(0);
+        let text = String::from_utf8_lossy(r.rest()).into_owned();
+        self.out.printf(
+            self.node,
+            &format!("peer node {} NAKed a migration: {text}", m.src),
+        );
+        if has_tid && tid != 0 {
+            // First-write-wins, like THREAD_EXIT: never resurrect a
+            // completion a joiner already consumed.
+            self.registry.complete_if_absent(ThreadExit {
+                tid,
+                panicked: true,
+                died_on: self.node,
+                panic_msg: Some(format!("thread lost in migration: {text}")),
+                value: None,
+            });
+        }
     }
 
     // -- negotiation: server side --------------------------------------------
@@ -574,9 +669,11 @@ impl NodeCtx {
         // Entering the system-wide critical section as a participant: the
         // bitmap freezes until NEG_DONE (step (a) of §4.4).
         self.frozen = true;
-        let _ = self
-            .ep
-            .send(from, tag::NEG_BITMAP_RESP, self.mgr.bitmap_bytes());
+        // The gather reply rides a pooled buffer: the initiator collects
+        // p − 1 of these per negotiation, so recycling matters.
+        let mut buf = self.pool.checkout(self.mgr.bitmap_wire_len());
+        self.mgr.bitmap_bytes_into(&mut buf);
+        let _ = self.ep.send(from, tag::NEG_BITMAP_RESP, buf);
     }
 
     fn on_buy(&mut self, m: Message) {
@@ -595,7 +692,7 @@ impl NodeCtx {
     }
 
     fn on_load_req(&mut self, from: usize) {
-        let mut w = madeleine::message::PayloadWriter::with_capacity(64);
+        let mut w = madeleine::message::PayloadWriter::pooled(&self.pool, 64);
         w.u32(self.sched.resident() as u32);
         // Migratable, currently-ready threads.
         let migratable: Vec<u64> = self
@@ -632,7 +729,12 @@ impl NodeCtx {
             let _ = self.ep.send(
                 reply_to,
                 tag::RPC_RESP,
-                proto::encode_rpc_resp(call_id, rpc_status::REMOTE_ERROR, msg.as_bytes()),
+                proto::encode_rpc_resp(
+                    &self.pool,
+                    call_id,
+                    rpc_status::REMOTE_ERROR,
+                    msg.as_bytes(),
+                ),
             );
             return;
         }
@@ -640,7 +742,7 @@ impl NodeCtx {
             let _ = self.ep.send(
                 reply_to,
                 tag::RPC_RESP,
-                proto::encode_rpc_resp(call_id, rpc_status::NO_SUCH_SERVICE, &[]),
+                proto::encode_rpc_resp(&self.pool, call_id, rpc_status::NO_SUCH_SERVICE, &[]),
             );
             return;
         };
@@ -660,10 +762,11 @@ impl NodeCtx {
                     ),
                     Err(e) => (rpc_status::REMOTE_ERROR, e.into_bytes()),
                 };
+                let pool = crate::api::local_pool();
                 let _ = crate::api::send_to(
                     reply_to,
                     tag::RPC_RESP,
-                    proto::encode_rpc_resp(call_id, status, &bytes),
+                    proto::encode_rpc_resp(&pool, call_id, status, &bytes),
                 );
             }),
         );
@@ -674,7 +777,12 @@ impl NodeCtx {
             let _ = self.ep.send(
                 reply_to,
                 tag::RPC_RESP,
-                proto::encode_rpc_resp(call_id, rpc_status::REMOTE_ERROR, msg.as_bytes()),
+                proto::encode_rpc_resp(
+                    &self.pool,
+                    call_id,
+                    rpc_status::REMOTE_ERROR,
+                    msg.as_bytes(),
+                ),
             );
         }
     }
@@ -686,7 +794,7 @@ impl NodeCtx {
             Some(&d) => unsafe { self.sched.request_migration(d, dest) },
             None => false,
         };
-        let mut w = madeleine::message::PayloadWriter::with_capacity(12);
+        let mut w = madeleine::message::PayloadWriter::pooled(&self.pool, 12);
         w.u64(tid).u32(ok as u32);
         let _ = self.ep.send(m.src, tag::MIGRATE_CMD_ACK, w.finish());
     }

@@ -5,9 +5,15 @@
 //! body is a tuple of typed fields, so the encode and decode sides cannot
 //! drift apart.  (`SlotBitmap` ships its own serialized form and stays
 //! byte-level.)
+//!
+//! Every encoder writes into a buffer checked out of the caller's
+//! [`BufPool`] (each endpoint owns one) and returns a sealed [`Payload`],
+//! so protocol traffic allocates nothing in steady state: the receiver's
+//! drop recycles the buffer into the sender's free list.
 
 use isoaddr::SlotRange;
-use madeleine::Wire;
+use madeleine::message::PayloadWriter;
+use madeleine::{BufPool, Payload, Wire};
 
 use crate::registry::ThreadExit;
 
@@ -19,6 +25,10 @@ pub mod tag {
     pub const RPC_SPAWN: u16 = 2;
     /// Node → node: a packed migrating thread.
     pub const MIGRATION: u16 = 3;
+    /// Receiver → sender: a migration buffer failed to unpack (corrupt or
+    /// truncated); carries a UTF-8 description.  The thread is lost but
+    /// both nodes stay up.
+    pub const MIGRATION_NAK: u16 = 4;
     /// Any → node 0: request the system-wide negotiation lock.
     pub const NEG_LOCK_REQ: u16 = 10;
     /// Node 0 → requester: lock granted.
@@ -72,12 +82,13 @@ pub mod rpc_status {
 }
 
 /// Encode a list of slot ranges (NEG_BUY payload).
-pub fn encode_ranges(ranges: &[SlotRange]) -> Vec<u8> {
-    let pairs: Vec<(u64, u64)> = ranges
-        .iter()
-        .map(|r| (r.first as u64, r.count as u64))
-        .collect();
-    pairs.encode_vec()
+pub fn encode_ranges(pool: &BufPool, ranges: &[SlotRange]) -> Payload {
+    let mut w = PayloadWriter::pooled(pool, 8 + ranges.len() * 16);
+    w.u32(ranges.len() as u32);
+    for r in ranges {
+        w.u64(r.first as u64).u64(r.count as u64);
+    }
+    w.finish()
 }
 
 /// Decode a list of slot ranges.
@@ -92,8 +103,10 @@ pub fn decode_ranges(buf: &[u8]) -> Option<Vec<SlotRange>> {
 }
 
 /// Encode a `MIGRATE_CMD` payload.
-pub fn encode_migrate_cmd(tid: u64, dest: usize) -> Vec<u8> {
-    (tid, dest).encode_vec()
+pub fn encode_migrate_cmd(pool: &BufPool, tid: u64, dest: usize) -> Payload {
+    let mut w = PayloadWriter::pooled(pool, 16);
+    (tid, dest).encode(&mut w);
+    w.finish()
 }
 
 /// Decode a `MIGRATE_CMD` payload.
@@ -109,8 +122,8 @@ pub fn decode_migrate_cmd(buf: &[u8]) -> Option<(u64, usize)> {
 // presence byte), so `Wire`-framed peers decode it unchanged.
 
 /// Encode an `RPC_SPAWN` payload.
-pub fn encode_rpc_spawn(service: u32, args: &[u8]) -> Vec<u8> {
-    let mut w = madeleine::message::PayloadWriter::with_capacity(8 + args.len());
+pub fn encode_rpc_spawn(pool: &BufPool, service: u32, args: &[u8]) -> Payload {
+    let mut w = PayloadWriter::pooled(pool, 8 + args.len());
     w.u32(service).lp_bytes(args);
     w.finish()
 }
@@ -124,9 +137,9 @@ pub fn decode_rpc_spawn(buf: &[u8]) -> Option<(u32, Vec<u8>)> {
 }
 
 /// Encode a `THREAD_EXIT` payload from a completion record.
-pub fn encode_thread_exit(exit: &ThreadExit) -> Vec<u8> {
+pub fn encode_thread_exit(pool: &BufPool, exit: &ThreadExit) -> Payload {
     let value_len = exit.value.as_ref().map_or(0, Vec::len);
-    let mut w = madeleine::message::PayloadWriter::with_capacity(64 + value_len);
+    let mut w = PayloadWriter::pooled(pool, 64 + value_len);
     w.u64(exit.tid)
         .u8(exit.panicked as u8)
         .u64(exit.died_on as u64);
@@ -175,8 +188,14 @@ pub fn decode_thread_exit(buf: &[u8]) -> Option<ThreadExit> {
 /// `Message::src`: the request may be parked and replayed by a frozen node
 /// and the handler may migrate before replying, so the response must not
 /// depend on any fabric metadata of the original delivery.
-pub fn encode_rpc_call(call_id: u64, reply_to: usize, service: u32, req: &[u8]) -> Vec<u8> {
-    let mut w = madeleine::message::PayloadWriter::with_capacity(20 + req.len());
+pub fn encode_rpc_call(
+    pool: &BufPool,
+    call_id: u64,
+    reply_to: usize,
+    service: u32,
+    req: &[u8],
+) -> Payload {
+    let mut w = PayloadWriter::pooled(pool, 20 + req.len());
     w.u64(call_id)
         .u32(reply_to as u32)
         .u32(service)
@@ -195,8 +214,8 @@ pub fn decode_rpc_call(buf: &[u8]) -> Option<(u64, usize, u32, Vec<u8>)> {
 }
 
 /// Encode an `RPC_RESP` payload.
-pub fn encode_rpc_resp(call_id: u64, status: u8, bytes: &[u8]) -> Vec<u8> {
-    let mut w = madeleine::message::PayloadWriter::with_capacity(16 + bytes.len());
+pub fn encode_rpc_resp(pool: &BufPool, call_id: u64, status: u8, bytes: &[u8]) -> Payload {
+    let mut w = PayloadWriter::pooled(pool, 16 + bytes.len());
     w.u64(call_id).u8(status).lp_bytes(bytes);
     w.finish()
 }
@@ -221,26 +240,30 @@ mod tests {
 
     #[test]
     fn ranges_roundtrip() {
+        let pool = BufPool::new();
         let rs = vec![SlotRange::new(3, 4), SlotRange::new(100, 1)];
-        assert_eq!(decode_ranges(&encode_ranges(&rs)).unwrap(), rs);
-        assert_eq!(decode_ranges(&encode_ranges(&[])).unwrap(), vec![]);
+        assert_eq!(decode_ranges(&encode_ranges(&pool, &rs)).unwrap(), rs);
+        assert_eq!(decode_ranges(&encode_ranges(&pool, &[])).unwrap(), vec![]);
         assert!(decode_ranges(&[1, 0, 0]).is_none());
     }
 
     #[test]
     fn migrate_cmd_roundtrip() {
-        let buf = encode_migrate_cmd(0xAB, 3);
+        let pool = BufPool::new();
+        let buf = encode_migrate_cmd(&pool, 0xAB, 3);
         assert_eq!(decode_migrate_cmd(&buf), Some((0xAB, 3)));
     }
 
     #[test]
     fn rpc_spawn_roundtrip() {
-        let buf = encode_rpc_spawn(7, b"payload");
+        let pool = BufPool::new();
+        let buf = encode_rpc_spawn(&pool, 7, b"payload");
         assert_eq!(decode_rpc_spawn(&buf), Some((7, b"payload".to_vec())));
     }
 
     #[test]
     fn thread_exit_roundtrip() {
+        let pool = BufPool::new();
         let exit = ThreadExit {
             tid: 42,
             panicked: true,
@@ -248,24 +271,46 @@ mod tests {
             panic_msg: Some("assertion failed".into()),
             value: Some(vec![1, 2, 3]),
         };
-        assert_eq!(decode_thread_exit(&encode_thread_exit(&exit)), Some(exit));
+        assert_eq!(
+            decode_thread_exit(&encode_thread_exit(&pool, &exit)),
+            Some(exit)
+        );
         let plain = ThreadExit::plain(7, false, 0);
-        assert_eq!(decode_thread_exit(&encode_thread_exit(&plain)), Some(plain));
+        assert_eq!(
+            decode_thread_exit(&encode_thread_exit(&pool, &plain)),
+            Some(plain)
+        );
     }
 
     #[test]
     fn rpc_call_resp_roundtrip() {
-        let call = encode_rpc_call(99, 3, 0xFEED, b"req");
+        let pool = BufPool::new();
+        let call = encode_rpc_call(&pool, 99, 3, 0xFEED, b"req");
         assert_eq!(
             decode_rpc_call(&call),
             Some((99, 3, 0xFEED, b"req".to_vec()))
         );
-        let resp = encode_rpc_resp(99, rpc_status::OK, b"resp");
+        let resp = encode_rpc_resp(&pool, 99, rpc_status::OK, b"resp");
         assert_eq!(
             decode_rpc_resp(&resp),
             Some((99, rpc_status::OK, b"resp".to_vec()))
         );
         assert_eq!(peek_rpc_call_id(&resp), Some(99));
         assert_eq!(decode_rpc_call(&call[..5]), None, "truncation rejected");
+    }
+
+    /// Protocol encoders stop allocating once the pool is warm.
+    #[test]
+    fn encoders_recycle_pool_buffers() {
+        let pool = BufPool::new();
+        let mut ptr = None;
+        for i in 0..10u64 {
+            let p = encode_rpc_resp(&pool, i, rpc_status::OK, &[0u8; 100]);
+            match ptr {
+                None => ptr = Some(p.as_ptr()),
+                Some(q) => assert_eq!(p.as_ptr(), q),
+            }
+        }
+        assert_eq!(pool.stats().allocs, 1);
     }
 }

@@ -268,12 +268,25 @@ impl SlotBitmap {
 
     /// Serialize for shipping in a negotiation message (little-endian words).
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(8 + self.words.len() * 8);
+        let mut out = Vec::with_capacity(self.wire_len());
+        self.write_bytes(&mut out);
+        out
+    }
+
+    /// Serialized size in bytes (what [`Self::write_bytes`] appends).
+    pub fn wire_len(&self) -> usize {
+        8 + self.words.len() * 8
+    }
+
+    /// Append the serialized form to `out` (same framing as
+    /// [`Self::to_bytes`], but into a caller-supplied — e.g. pooled —
+    /// buffer).
+    pub fn write_bytes(&self, out: &mut Vec<u8>) {
+        out.reserve(self.wire_len());
         out.extend_from_slice(&(self.n_bits as u64).to_le_bytes());
         for w in &self.words {
             out.extend_from_slice(&w.to_le_bytes());
         }
-        out
     }
 
     /// Deserialize a bitmap previously produced by [`Self::to_bytes`].

@@ -257,6 +257,16 @@ impl NodeSlotManager {
         self.bitmap.to_bytes()
     }
 
+    /// Serialized bitmap size ([`Self::bitmap_bytes_into`]'s contribution).
+    pub fn bitmap_wire_len(&self) -> usize {
+        self.bitmap.wire_len()
+    }
+
+    /// Append the serialized bitmap to a caller-supplied (pooled) buffer.
+    pub fn bitmap_bytes_into(&self, out: &mut Vec<u8>) {
+        self.bitmap.write_bytes(out);
+    }
+
     /// Sell `range` to another node during a negotiation: clear the bits and
     /// drop any cached mappings inside the range (the buyer will map them).
     pub fn sell(&mut self, range: SlotRange) -> Result<()> {

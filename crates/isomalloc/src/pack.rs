@@ -46,6 +46,55 @@ pub struct PackedSlotInfo {
 
 const PREFIX_LEN: usize = 8 + 4 + 4 + 4 + 4;
 
+/// Exact buffer size of a record serialized from `extents`
+/// (prefix + extent table + payload bytes).
+pub fn record_size(extents: &[(u32, u32)]) -> usize {
+    let total: usize = extents.iter().map(|&(_, l)| l as usize).sum();
+    PREFIX_LEN + extents.len() * 8 + total
+}
+
+/// Exact buffer size of a [`pack_full`] record.
+pub fn full_record_size(n_slots: usize, slot_size: usize) -> usize {
+    PREFIX_LEN + 8 + n_slots * slot_size
+}
+
+/// Upper bound on the [`pack_heap_slot`] record size for the slot at
+/// `slot_addr`, computed **without touching any payload bytes**: the walk
+/// follows only the slot's free list (`O(free blocks)`), using the header's
+/// `used_bytes` accounting for the busy side.  This is the per-slot
+/// occupancy hint the migration engine uses to size its gather buffer in
+/// one reservation, so packing never regrows mid-pack.
+///
+/// # Safety
+/// `slot_addr` must point at a live heap slot with a well-formed free list.
+pub unsafe fn heap_slot_pack_hint(slot_addr: VAddr) -> Result<usize> {
+    let slot = check_slot(slot_addr)?;
+    let n_free = crate::freelist::fl_iter(slot_addr as *const _).count();
+    // Payload bytes are exact: the slot header, every busy block
+    // (used_bytes includes their headers), and one header per free block.
+    // The extent table is bounded by one extent per free block plus one per
+    // busy run (≤ free blocks + 1), plus the leading header extent.
+    Ok(PREFIX_LEN
+        + (2 * n_free + 2) * 8
+        + SLOT_HDR_SIZE
+        + slot.used_bytes as usize
+        + n_free * BLOCK_HDR_SIZE)
+}
+
+/// Upper bound on the total packed size of every slot in the heap chain at
+/// `h` (the thread's heap-side occupancy hint; stack extents are the
+/// caller's side of the sum).
+///
+/// # Safety
+/// The chain and each slot's free list must be well formed.
+pub unsafe fn heap_pack_hint(h: *const crate::heap::IsoHeapState) -> Result<usize> {
+    let mut total = 0;
+    for s in crate::heap::iter_slots(h) {
+        total += heap_slot_pack_hint(s)?;
+    }
+    Ok(total)
+}
+
 /// Incrementally builds a merged extent list.
 #[derive(Debug, Default)]
 pub struct ExtentBuilder {
@@ -315,6 +364,36 @@ mod tests {
             let q = isomalloc(h.as_mut(), &mut m1, 150).unwrap();
             std::ptr::write_bytes(q, 0x3C, 150);
             verify_heap(h.as_ref(), m1.slot_size()).unwrap();
+        }
+    }
+
+    /// The occupancy hint must upper-bound the real record size (no
+    /// regrowth mid-pack) without grossly over-reserving.
+    #[test]
+    fn pack_hint_bounds_record_size() {
+        let area = Arc::new(IsoArea::new(AreaConfig::small()).unwrap());
+        let mut m0 = NodeSlotManager::new(0, 1, Arc::clone(&area), Distribution::RoundRobin, 0);
+        let mut h: Box<IsoHeapState> = Box::new(unsafe { std::mem::zeroed() });
+        unsafe {
+            heap_init(h.as_mut(), FitPolicy::FirstFit, false);
+            let mut ptrs = Vec::new();
+            for i in 0..40 {
+                ptrs.push(isomalloc(h.as_mut(), &mut m0, 200 + i).unwrap());
+            }
+            for i in (0..40).step_by(2) {
+                isofree(h.as_mut(), &mut m0, ptrs[i]).unwrap();
+            }
+            let (base, _) = heap_slots(h.as_ref())[0];
+            let hint = heap_slot_pack_hint(base).unwrap();
+            assert_eq!(hint, heap_pack_hint(h.as_ref()).unwrap());
+            let mut buf = Vec::new();
+            pack_heap_slot(base, m0.slot_size(), &mut buf).unwrap();
+            assert!(hint >= buf.len(), "hint {hint} < packed {}", buf.len());
+            assert!(
+                hint <= buf.len() + buf.len() / 2 + 512,
+                "hint {hint} grossly over-reserves for packed {}",
+                buf.len()
+            );
         }
     }
 

@@ -10,8 +10,9 @@
 //! This reproduction keeps the *interface* (typed point-to-point messages
 //! between nodes, blocking and polling receives) and replaces the wire with
 //! an in-process fabric of lock-free channels plus a **calibrated wire
-//! model**: each send busy-waits `latency + bytes × per-byte cost` before
-//! the message becomes visible, using published BIP/Myrinet figures
+//! model**: each message records `latency + bytes × per-byte cost` and the
+//! receiver busy-waits it as it dequeues (receiver-clocked, like polled BIP
+//! receives), using published BIP/Myrinet figures
 //! ([`NetProfile::myrinet_bip`]).  `NetProfile::instant()` turns the model
 //! off to isolate protocol CPU cost, and tests use it for determinism.
 //!
@@ -19,13 +20,38 @@
 //! exercises: the *number* of messages each protocol needs and the size of
 //! each message — which is where the per-node negotiation cost and the
 //! migration latency shape come from.
+//!
+//! ## The zero-copy payload model
+//!
+//! Payloads are [`Payload`] values (see [`buf`]): sealed, refcounted byte
+//! buffers, usually checked out of a per-endpoint [`BufPool`].  The send
+//! path never copies a sealed buffer — a clone is a refcount bump — and a
+//! pooled buffer returns to its origin endpoint's free list when the last
+//! receiver drops it, so steady-state traffic performs **zero payload heap
+//! allocations**: checkout → send → receive → drop → checkout cycles one
+//! backing buffer.
+//!
+//! When does [`Endpoint::send`] copy?
+//!
+//! | payload argument                  | copy? | allocation?                      |
+//! |-----------------------------------|-------|----------------------------------|
+//! | [`PayloadBuf`] (pool checkout)    | no    | none after warm-up (pool reuse)  |
+//! | [`Payload`] (sealed, e.g. clone)  | no    | none (refcount bump)             |
+//! | `Vec<u8>`                         | no    | one `Arc` adopting the vector    |
+//! | empty `Vec<u8>` / `&[]`           | no    | none (shared empty payload)      |
+//! | `&[u8]`                           | yes   | one vector (the bytes are copied)|
+//!
+//! [`Endpoint::broadcast`] seals its payload once and fans it out by
+//! refcount: one buffer serves all `p − 1` destinations regardless of size.
 
+pub mod buf;
 pub mod message;
 pub mod network;
 pub mod profile;
 pub mod stats;
 pub mod wire;
 
+pub use buf::{BufPool, BufPoolStats, Payload, PayloadBuf};
 pub use message::Message;
 pub use network::{Endpoint, Fabric, NetError};
 pub use profile::{spin_for, NetProfile};

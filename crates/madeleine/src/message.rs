@@ -3,6 +3,12 @@
 //! Madeleine messages are tagged, ordered, point-to-point byte buffers.  The
 //! tag space belongs to the layer above (the PM2 runtime defines migration,
 //! negotiation, spawn, … tags); this crate only transports them.
+//!
+//! Payloads are [`Payload`] values: sealed, refcounted, usually pooled (see
+//! [`crate::buf`]).  Receivers read them through `Deref<Target = [u8]>`;
+//! dropping the message recycles a pooled buffer into its origin pool.
+
+use crate::buf::{BufPool, Payload, PayloadBuf};
 
 /// A point-to-point message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -13,13 +19,14 @@ pub struct Message {
     pub dst: usize,
     /// Protocol tag (namespace owned by the layer above).
     pub tag: u16,
-    /// Fabric-assigned global sequence number (diagnostics only).
+    /// Per-sender sequence number (diagnostics only; monotonic per source
+    /// endpoint, hence per sender/receiver pair).
     pub seq: u64,
     /// Modelled wire time for this message, charged at the receiver
     /// (nanoseconds).
     pub wire_ns: u64,
-    /// Payload bytes.
-    pub payload: Vec<u8>,
+    /// Payload bytes (refcounted; cloning the message does not copy them).
+    pub payload: Payload,
 }
 
 impl Message {
@@ -34,60 +41,134 @@ impl Message {
     }
 }
 
+enum WriterBuf {
+    /// A plain vector (tests, cold paths, [`crate::Wire::encode_vec`]).
+    Plain(Vec<u8>),
+    /// A pool checkout — the hot protocol-encoder path.
+    Pooled(PayloadBuf),
+}
+
 /// Little helper for writing framed integers into payloads.
-#[derive(Debug, Default)]
+///
+/// Construct with [`PayloadWriter::with_capacity`] (plain vector) or
+/// [`PayloadWriter::pooled`] (pool checkout — no allocation in steady
+/// state); [`PayloadWriter::finish`] seals either into a [`Payload`].
 pub struct PayloadWriter {
-    buf: Vec<u8>,
+    buf: WriterBuf,
+}
+
+impl Default for PayloadWriter {
+    fn default() -> Self {
+        PayloadWriter {
+            buf: WriterBuf::Plain(Vec::new()),
+        }
+    }
+}
+
+impl std::fmt::Debug for PayloadWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PayloadWriter")
+            .field("len", &self.vec().len())
+            .field("pooled", &matches!(self.buf, WriterBuf::Pooled(_)))
+            .finish()
+    }
 }
 
 impl PayloadWriter {
-    /// Start a payload, reserving `cap` bytes.
+    /// Start a payload on a fresh vector, reserving `cap` bytes.
     pub fn with_capacity(cap: usize) -> Self {
         PayloadWriter {
-            buf: Vec::with_capacity(cap),
+            buf: WriterBuf::Plain(Vec::with_capacity(cap)),
+        }
+    }
+
+    /// Start a payload on a buffer checked out of `pool`, reserving `cap`
+    /// bytes.  [`PayloadWriter::finish`] then seals it with no copy, and
+    /// the eventual receiver's drop recycles it.
+    pub fn pooled(pool: &BufPool, cap: usize) -> Self {
+        PayloadWriter {
+            buf: WriterBuf::Pooled(pool.checkout(cap)),
+        }
+    }
+
+    fn vec(&self) -> &Vec<u8> {
+        match &self.buf {
+            WriterBuf::Plain(v) => v,
+            WriterBuf::Pooled(b) => b,
+        }
+    }
+
+    fn vec_mut(&mut self) -> &mut Vec<u8> {
+        match &mut self.buf {
+            WriterBuf::Plain(v) => v,
+            WriterBuf::Pooled(b) => b,
         }
     }
 
     /// Append a `u8`.
     pub fn u8(&mut self, v: u8) -> &mut Self {
-        self.buf.push(v);
+        self.vec_mut().push(v);
         self
     }
 
     /// Append a `u16` (little-endian).
     pub fn u16(&mut self, v: u16) -> &mut Self {
-        self.buf.extend_from_slice(&v.to_le_bytes());
+        self.vec_mut().extend_from_slice(&v.to_le_bytes());
         self
     }
 
     /// Append a `u64` (little-endian).
     pub fn u64(&mut self, v: u64) -> &mut Self {
-        self.buf.extend_from_slice(&v.to_le_bytes());
+        self.vec_mut().extend_from_slice(&v.to_le_bytes());
         self
     }
 
     /// Append a `u32` (little-endian).
     pub fn u32(&mut self, v: u32) -> &mut Self {
-        self.buf.extend_from_slice(&v.to_le_bytes());
+        self.vec_mut().extend_from_slice(&v.to_le_bytes());
         self
     }
 
     /// Append raw bytes.
     pub fn bytes(&mut self, b: &[u8]) -> &mut Self {
-        self.buf.extend_from_slice(b);
+        self.vec_mut().extend_from_slice(b);
         self
     }
 
     /// Append a length-prefixed byte string.
     pub fn lp_bytes(&mut self, b: &[u8]) -> &mut Self {
         self.u32(b.len() as u32);
-        self.buf.extend_from_slice(b);
+        self.vec_mut().extend_from_slice(b);
         self
     }
 
-    /// Finish and take the payload.
-    pub fn finish(self) -> Vec<u8> {
-        self.buf
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.vec().len()
+    }
+
+    /// True when nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.vec().is_empty()
+    }
+
+    /// Finish and seal the payload.  Zero-copy for both variants: a pooled
+    /// buffer freezes in place, a plain vector is adopted by refcount.
+    pub fn finish(self) -> Payload {
+        match self.buf {
+            WriterBuf::Plain(v) => v.into(),
+            WriterBuf::Pooled(b) => b.freeze(),
+        }
+    }
+
+    /// Finish into a plain byte vector (the [`crate::Wire::encode_vec`]
+    /// path, which hands callers an owned `Vec`).  Copies if the writer was
+    /// pooled — prefer [`PayloadWriter::finish`] on the message path.
+    pub fn finish_vec(self) -> Vec<u8> {
+        match self.buf {
+            WriterBuf::Plain(v) => v,
+            WriterBuf::Pooled(b) => b.to_vec(),
+        }
     }
 }
 
@@ -179,6 +260,21 @@ mod tests {
     }
 
     #[test]
+    fn pooled_writer_recycles_through_payload_drop() {
+        let pool = BufPool::new();
+        let mut w = PayloadWriter::pooled(&pool, 32);
+        w.u64(7).lp_bytes(b"abc");
+        let p = w.finish();
+        let ptr = p.as_ptr();
+        assert_eq!(PayloadReader::new(&p).u64(), Some(7));
+        drop(p);
+        assert_eq!(pool.free_len(), 1);
+        let mut w = PayloadWriter::pooled(&pool, 32);
+        w.u8(1);
+        assert_eq!(w.finish().as_ptr(), ptr, "writer reuses the pooled buffer");
+    }
+
+    #[test]
     fn reader_underrun_is_none() {
         let mut r = PayloadReader::new(&[1, 2, 3]);
         assert_eq!(r.u64(), None);
@@ -195,7 +291,7 @@ mod tests {
             tag: 7,
             seq: 0,
             wire_ns: 0,
-            payload: vec![0; 10],
+            payload: vec![0; 10].into(),
         };
         assert_eq!(m.len(), 10);
         assert!(!m.is_empty());

@@ -11,13 +11,20 @@
 //! transfer.  Receiver-clocking is what serializes a gather of `p − 1`
 //! bitmaps at the negotiation initiator, the effect behind the paper's
 //! "another 165 µs per extra node".  Self-sends are free (no NIC).
+//!
+//! The data plane is zero-copy: [`Endpoint::send`] takes anything
+//! convertible [`Into<Payload>`] and ships the sealed buffer by reference
+//! count — no copy on send, one shared buffer for an entire
+//! [`Endpoint::broadcast`], and pooled buffers (see [`crate::buf`]) return
+//! to their origin endpoint's free list when the receiver drops them.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::Cell;
 use std::sync::Arc;
 use std::time::Duration;
 
 use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 
+use crate::buf::{BufPool, Payload};
 use crate::message::Message;
 use crate::profile::{spin_for, NetProfile};
 use crate::stats::{EndpointStats, EndpointStatsSnapshot};
@@ -46,7 +53,6 @@ struct Shared {
     senders: Vec<Sender<Message>>,
     profile: NetProfile,
     stats: Vec<Arc<EndpointStats>>,
-    seq: AtomicU64,
 }
 
 /// Factory for a set of connected endpoints.
@@ -70,7 +76,6 @@ impl Fabric {
             senders,
             profile,
             stats,
-            seq: AtomicU64::new(0),
         });
         receivers
             .into_iter()
@@ -79,6 +84,8 @@ impl Fabric {
                 node,
                 rx,
                 shared: Arc::clone(&shared),
+                pool: BufPool::new(),
+                seq: Cell::new(0),
             })
             .collect()
     }
@@ -89,6 +96,13 @@ pub struct Endpoint {
     node: usize,
     rx: Receiver<Message>,
     shared: Arc<Shared>,
+    /// This endpoint's payload-buffer free list: outgoing traffic checks
+    /// out of it, and receivers' drops recycle into it.
+    pool: BufPool,
+    /// Per-endpoint sequence counter (uncontended, unlike the old
+    /// fabric-global atomic; seq numbers are diagnostics only and stay
+    /// monotonic per sender/receiver pair).
+    seq: Cell<u64>,
 }
 
 impl Endpoint {
@@ -107,9 +121,24 @@ impl Endpoint {
         self.shared.profile
     }
 
+    /// This endpoint's payload-buffer pool.  Check hot-path payloads out of
+    /// it (directly or via [`crate::message::PayloadWriter::pooled`]) so
+    /// steady-state traffic allocates nothing.
+    pub fn pool(&self) -> &BufPool {
+        &self.pool
+    }
+
     /// Send `payload` to `dst` under `tag`.  Asynchronous; the modelled
     /// wire time is recorded on the message and charged at the receiver.
-    pub fn send(&self, dst: usize, tag: u16, payload: Vec<u8>) -> Result<(), NetError> {
+    ///
+    /// Accepts anything [`Into<Payload>`]: a pool checkout or a sealed
+    /// [`Payload`] ships with no copy, a `Vec<u8>` is adopted by refcount,
+    /// a `&[u8]` is copied.
+    pub fn send(&self, dst: usize, tag: u16, payload: impl Into<Payload>) -> Result<(), NetError> {
+        self.send_payload(dst, tag, payload.into())
+    }
+
+    fn send_payload(&self, dst: usize, tag: u16, payload: Payload) -> Result<(), NetError> {
         let sender = self
             .shared
             .senders
@@ -121,11 +150,13 @@ impl Endpoint {
         } else {
             0
         };
+        let seq = self.seq.get();
+        self.seq.set(seq + 1);
         let msg = Message {
             src: self.node,
             dst,
             tag,
-            seq: self.shared.seq.fetch_add(1, Ordering::Relaxed),
+            seq,
             wire_ns,
             payload,
         };
@@ -138,15 +169,20 @@ impl Endpoint {
         if m.wire_ns > 0 {
             spin_for(Duration::from_nanos(m.wire_ns));
         }
-        self.shared.stats[self.node].on_recv(m.len());
+        self.shared.stats[self.node].on_recv(m.len(), m.wire_ns);
         m
     }
 
     /// Send the same payload to every other node (negotiation scatter).
-    pub fn broadcast(&self, tag: u16, payload: &[u8]) -> Result<(), NetError> {
+    ///
+    /// The payload is sealed **once**; each destination receives a
+    /// refcount bump of the same buffer, so fan-out cost is independent of
+    /// the payload size and no per-destination copies are made.
+    pub fn broadcast(&self, tag: u16, payload: impl Into<Payload>) -> Result<(), NetError> {
+        let payload = payload.into();
         for dst in 0..self.n_nodes() {
             if dst != self.node {
-                self.send(dst, tag, payload.to_vec())?;
+                self.send_payload(dst, tag, payload.clone())?;
             }
         }
         Ok(())
@@ -208,6 +244,23 @@ mod tests {
     }
 
     #[test]
+    fn per_endpoint_seq_is_monotonic_per_pair() {
+        let eps = Fabric::new(3, NetProfile::instant());
+        for _ in 0..10 {
+            eps[0].send(2, 0, Vec::new()).unwrap();
+            eps[1].send(2, 0, Vec::new()).unwrap();
+        }
+        let mut last: [Option<u64>; 2] = [None, None];
+        for _ in 0..20 {
+            let m = eps[2].try_recv().unwrap();
+            if let Some(prev) = last[m.src] {
+                assert!(m.seq > prev, "seq must increase per sender");
+            }
+            last[m.src] = Some(m.seq);
+        }
+    }
+
+    #[test]
     fn cross_thread_delivery() {
         let mut eps = Fabric::new(2, NetProfile::instant());
         let e1 = eps.pop().unwrap();
@@ -247,6 +300,7 @@ mod tests {
             eps[1].try_recv().unwrap();
         }
         assert!(t0.elapsed() >= Duration::from_micros(1000));
+        assert!(eps[1].stats().wire_ns >= 1_000_000);
         // Self-sends are free on both sides.
         let t0 = Instant::now();
         for _ in 0..10 {
@@ -267,6 +321,52 @@ mod tests {
                 assert_eq!(ep.try_recv().unwrap().tag, 5);
             }
         }
+    }
+
+    #[test]
+    fn broadcast_aliases_one_buffer() {
+        let eps = Fabric::new(17, NetProfile::instant());
+        let mut b = eps[0].pool().checkout(1024);
+        b.extend_from_slice(&[0xC3; 1024]);
+        eps[0].broadcast(5, b).unwrap();
+        let msgs: Vec<Message> = eps[1..]
+            .iter()
+            .map(|ep| ep.try_recv().expect("delivered"))
+            .collect();
+        let first = msgs[0].payload.as_ptr();
+        for m in &msgs {
+            assert_eq!(
+                m.payload.as_ptr(),
+                first,
+                "all receivers must share one buffer"
+            );
+            assert_eq!(m.payload.len(), 1024);
+        }
+        // One checkout allocation for the whole 16-way fan-out…
+        assert_eq!(eps[0].pool().stats().allocs, 1);
+        // …recycled once the last receiver lets go.
+        drop(msgs);
+        assert_eq!(eps[0].pool().free_len(), 1);
+    }
+
+    #[test]
+    fn pooled_sends_reuse_one_buffer() {
+        let eps = Fabric::new(2, NetProfile::instant());
+        let mut ptr = None;
+        for round in 0..32u8 {
+            let mut b = eps[0].pool().checkout(256);
+            b.extend_from_slice(&[round; 200]);
+            eps[0].send(1, 3, b).unwrap();
+            let m = eps[1].recv_timeout(Duration::from_secs(1)).unwrap();
+            assert_eq!(m.payload, vec![round; 200]);
+            match ptr {
+                None => ptr = Some(m.payload.as_ptr()),
+                Some(p) => assert_eq!(m.payload.as_ptr(), p, "round {round} re-allocated"),
+            }
+        }
+        let s = eps[0].pool().stats();
+        assert_eq!(s.allocs, 1, "steady state must not allocate: {s:?}");
+        assert_eq!(s.reuses, 31);
     }
 
     #[test]

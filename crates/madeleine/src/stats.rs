@@ -13,6 +13,8 @@ pub struct EndpointStats {
     pub msgs_recv: AtomicU64,
     /// Payload bytes received.
     pub bytes_recv: AtomicU64,
+    /// Modelled wire nanoseconds charged at this receiver.
+    pub wire_ns: AtomicU64,
 }
 
 impl EndpointStats {
@@ -21,9 +23,10 @@ impl EndpointStats {
         self.bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
-    pub(crate) fn on_recv(&self, bytes: usize) {
+    pub(crate) fn on_recv(&self, bytes: usize, wire_ns: u64) {
         self.msgs_recv.fetch_add(1, Ordering::Relaxed);
         self.bytes_recv.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.wire_ns.fetch_add(wire_ns, Ordering::Relaxed);
     }
 
     /// Point-in-time copy.
@@ -33,6 +36,7 @@ impl EndpointStats {
             bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
             msgs_recv: self.msgs_recv.load(Ordering::Relaxed),
             bytes_recv: self.bytes_recv.load(Ordering::Relaxed),
+            wire_ns: self.wire_ns.load(Ordering::Relaxed),
         }
     }
 }
@@ -44,6 +48,8 @@ pub struct EndpointStatsSnapshot {
     pub bytes_sent: u64,
     pub msgs_recv: u64,
     pub bytes_recv: u64,
+    /// Modelled wire nanoseconds paid dequeuing (receiver-clocked model).
+    pub wire_ns: u64,
 }
 
 impl std::fmt::Display for EndpointStatsSnapshot {
@@ -65,11 +71,12 @@ mod tests {
         let s = EndpointStats::default();
         s.on_send(100);
         s.on_send(24);
-        s.on_recv(7);
+        s.on_recv(7, 1500);
         let snap = s.snapshot();
         assert_eq!(snap.msgs_sent, 2);
         assert_eq!(snap.bytes_sent, 124);
         assert_eq!(snap.msgs_recv, 1);
         assert_eq!(snap.bytes_recv, 7);
+        assert_eq!(snap.wire_ns, 1500);
     }
 }

@@ -33,7 +33,7 @@ pub trait Wire: Sized {
     fn encode_vec(&self) -> Vec<u8> {
         let mut w = PayloadWriter::with_capacity(16);
         self.encode(&mut w);
-        w.finish()
+        w.finish_vec()
     }
 
     /// Decode from a complete buffer; `None` unless exactly consumed.

@@ -265,3 +265,124 @@ fn panics_propagate_across_migration() {
     audit.check_partition().unwrap();
     m.shutdown();
 }
+
+/// Satellite regression (ISSUE 2): a corrupt or truncated migration buffer
+/// must be NAKed and logged, not kill the node driver.
+#[test]
+fn corrupt_migration_is_naked_not_fatal() {
+    use pm2::proto::tag;
+    let mut m = machine(2);
+    // Several corruption shapes: too short for a header, a header whose
+    // record length exceeds the buffer, and a header naming an address
+    // outside the slot grid.
+    m.inject_raw(0, tag::MIGRATION, vec![0u8; 10]).unwrap();
+    let mut claims_too_much = Vec::new();
+    claims_too_much.extend_from_slice(&0x10_0000u64.to_le_bytes()); // base
+    claims_too_much.extend_from_slice(&1u32.to_le_bytes()); // n_slots
+    claims_too_much.extend_from_slice(&2u32.to_le_bytes()); // kind = stack
+    claims_too_much.extend_from_slice(&1u32.to_le_bytes()); // n_extents
+    claims_too_much.extend_from_slice(&4096u32.to_le_bytes()); // total_len
+    m.inject_raw(0, tag::MIGRATION, claims_too_much).unwrap();
+    // The node keeps scheduling, spawning and migrating threads.
+    let hops = m
+        .run_on(0, || {
+            pm2_migrate(1).unwrap();
+            pm2_migrate(0).unwrap();
+            2usize
+        })
+        .unwrap();
+    assert_eq!(hops, 2);
+    let s = m.node_stats(0);
+    assert_eq!(s.migrations_failed, 2, "both bad buffers rejected");
+    assert_eq!(s.migrations_in, 1, "real migrations still arrive");
+    assert!(
+        m.output_lines()
+            .iter()
+            .any(|l| l.contains("rejected corrupt migration")),
+        "rejection must be logged: {:?}",
+        m.output_lines()
+    );
+    // Slot accounting is untouched by the rejected buffers.
+    m.audit().unwrap().check_partition().unwrap();
+    m.shutdown();
+}
+
+/// Tentpole acceptance: a migration ping-pong carrying live heap data runs
+/// on pooled buffers — after warm-up, **zero payload heap allocations per
+/// round** (the pool's alloc counter stays flat) — and the heap verifies
+/// structurally on every hop.
+#[test]
+fn pooled_migration_roundtrip_with_heap_verify() {
+    let mut m = machine(2);
+    let slot_size = m.area().slot_size();
+    m.run_on(0, move || {
+        // A sparse heap: pattern-filled blocks with holes between them.
+        let mut blocks = Vec::new();
+        for i in 0..32usize {
+            let p = pm2_isomalloc(512 + i * 16).unwrap();
+            unsafe { std::ptr::write_bytes(p, (i as u8) ^ 0x5A, 512 + i * 16) };
+            blocks.push(p);
+        }
+        for i in (0..32).step_by(2) {
+            pm2_isofree(blocks[i]).unwrap();
+        }
+        let verify = |hop: usize| {
+            let d = marcel::current_desc();
+            unsafe {
+                isomalloc::verify::verify_heap(&(*d).heap, slot_size)
+                    .unwrap_or_else(|e| panic!("heap corrupt after hop {hop}: {e}"));
+            }
+            for i in (1..32).step_by(2) {
+                let p = blocks[i];
+                for off in [0usize, 511 + i * 16] {
+                    assert_eq!(
+                        unsafe { *p.add(off) },
+                        (i as u8) ^ 0x5A,
+                        "payload {i} clobbered after hop {hop}"
+                    );
+                }
+            }
+        };
+        for hop in 0..24 {
+            pm2_migrate(1 - (hop % 2)).unwrap();
+            verify(hop);
+        }
+        for i in (1..32).step_by(2) {
+            pm2_isofree(blocks[i]).unwrap();
+        }
+    })
+    .unwrap();
+    // Warmed-up pools stopped allocating: every one of the 24 hops after
+    // the first few rode a recycled buffer.
+    let total_migrations = m.node_stats(0).migrations_out + m.node_stats(1).migrations_out;
+    assert_eq!(total_migrations, 24);
+    let allocs: u64 = (0..2).map(|n| m.pool_stats(n).allocs).sum();
+    let reuses: u64 = (0..2).map(|n| m.pool_stats(n).reuses).sum();
+    assert!(
+        allocs <= 6,
+        "steady-state migration must reuse pooled buffers (allocs {allocs}, reuses {reuses})"
+    );
+    assert!(reuses >= 18, "expected pool reuse, got {reuses}");
+    m.audit().unwrap().check_partition().unwrap();
+    m.shutdown();
+}
+
+/// A migration NAK must complete the lost thread in the registry so
+/// joiners surface an error instead of hanging.
+#[test]
+fn migration_nak_completes_the_lost_thread() {
+    use pm2::proto::tag;
+    let mut m = machine(1);
+    let mut nak = vec![1u8]; // has_tid
+    nak.extend_from_slice(&42u64.to_le_bytes());
+    nak.extend_from_slice(b"simulated unpack failure");
+    m.inject_raw(0, tag::MIGRATION_NAK, nak).unwrap();
+    let exit = m.join(pm2::Pm2Thread { tid: 42 });
+    assert!(exit.panicked, "lost thread must read as a failed exit");
+    assert!(
+        exit.panic_message().contains("simulated unpack failure"),
+        "rejection text must travel: {:?}",
+        exit.panic_message()
+    );
+    m.shutdown();
+}
