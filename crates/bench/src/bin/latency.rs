@@ -1,0 +1,10 @@
+//! Emit `BENCH_latency.json` (one-way hop latency + driver wake-up
+//! counts per net profile) — the quick CI-friendly slice of `run_all`.
+//!
+//! ```sh
+//! cargo run --release -p pm2-bench --bin latency
+//! ```
+
+fn main() {
+    pm2_bench::write_latency_json(400);
+}

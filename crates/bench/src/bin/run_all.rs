@@ -1,13 +1,14 @@
 //! Run every experiment table in sequence (E5, E6, Fig. 11, A1–A6 plus the
 //! substrate microbenchmarks) and leave the results under
-//! `target/experiments/`.
+//! `target/experiments/`.  Also refreshes the repo-root perf-trajectory
+//! files `BENCH_migration.json` and `BENCH_latency.json`.
 //!
 //! ```sh
 //! cargo run --release -p pm2-bench --bin run_all
 //! ```
 
 use pm2::NetProfile;
-use pm2_bench::{ctx_switch_ns, migration_breakdown, smoke, spawn_us, Table};
+use pm2_bench::{ctx_switch_ns, migration_breakdown, smoke, spawn_us, write_latency_json, Table};
 
 /// Emit `BENCH_migration.json` at the repo root: the per-stage migration
 /// breakdown (pack / wire / unpack) plus throughput, starting the
@@ -90,6 +91,7 @@ fn main() {
     smoke();
     substrates();
     migration_json();
+    write_latency_json(400);
     for bin in ["e5_migration", "e6_negotiation", "fig11", "ablations"] {
         println!("\n───────── {bin} ─────────");
         run(bin);

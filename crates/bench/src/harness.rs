@@ -102,6 +102,14 @@ pub struct MigrationBreakdown {
     pub pool_allocs: u64,
     /// Payload-pool buffer reuses across both nodes.
     pub pool_reuses: u64,
+    /// Driver doorbell parks across both nodes (event-driven core: each
+    /// hop parks the sender once; a polling driver would show zero parks
+    /// and a huge step count instead).
+    pub driver_parks: u64,
+    /// Driver wake-ups across both nodes (ring or park-timeout).
+    pub driver_wakeups: u64,
+    /// Scheduler steps across both nodes.
+    pub steps: u64,
 }
 
 /// Run a 2-node migration ping-pong carrying `payload` isomalloc'd bytes
@@ -152,6 +160,9 @@ pub fn migration_breakdown(net: NetProfile, payload: usize, hops: usize) -> Migr
         migrations_per_sec: 1.0e6 / one_way_us,
         pool_allocs: p0.allocs + p1.allocs,
         pool_reuses: p0.reuses + p1.reuses,
+        driver_parks: s0.driver_parks + s1.driver_parks,
+        driver_wakeups: s0.driver_wakeups + s1.driver_wakeups,
+        steps: s0.steps + s1.steps,
     }
 }
 

@@ -5,7 +5,9 @@
 
 pub mod crit;
 pub mod harness;
+pub mod latency;
 pub mod report;
 
 pub use harness::*;
+pub use latency::*;
 pub use report::*;

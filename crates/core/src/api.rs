@@ -288,6 +288,28 @@ pub fn pm2_set_migratable(migratable: bool) -> bool {
     }
 }
 
+/// Put the calling thread into (or out of) the scheduler's **control
+/// lane**; returns the previous state.  Control-lane threads are
+/// dispatched before ordinary compute quanta on every node they visit
+/// (the flag rides the descriptor through migrations), so protocol
+/// daemons — the load balancer, monitoring probes, anything doing
+/// request/reply over the fabric — stay responsive on nodes crowded with
+/// application threads.  Use sparingly: the lane drains strictly first,
+/// so long-running compute in it would starve the machine.
+pub fn pm2_set_control_priority(control: bool) -> bool {
+    let d = marcel::current_desc();
+    // SAFETY: own descriptor.
+    unsafe {
+        let was = (*d).flags & marcel::thread::flags::CONTROL != 0;
+        if control {
+            (*d).flags |= marcel::thread::flags::CONTROL;
+        } else {
+            (*d).flags &= !marcel::thread::flags::CONTROL;
+        }
+        was
+    }
+}
+
 /// Legacy early-PM2 API (paper Fig. 3): register the address of a pointer
 /// variable so the runtime can fix it after a relocating migration.  Under
 /// iso-address migration this is a no-op kept for the ablation baseline.
@@ -379,6 +401,18 @@ pub(crate) fn wait_reply_matching(
     pred: impl Fn(&Message) -> bool,
 ) -> Result<Message> {
     let deadline = Instant::now() + with_ctx(|c| c.reply_deadline);
+    wait_reply_until(tag, src, deadline, pred)
+}
+
+/// [`wait_reply_matching`] with an explicit deadline, for callers running
+/// their own time budget (e.g. a load-balancer round that must degrade —
+/// not wedge — when one node stops answering).
+pub(crate) fn wait_reply_until(
+    tag: u16,
+    src: Option<usize>,
+    deadline: Instant,
+    pred: impl Fn(&Message) -> bool,
+) -> Result<Message> {
     loop {
         let hit = with_ctx(|c| {
             let idx = c

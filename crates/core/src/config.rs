@@ -77,6 +77,18 @@ pub struct Pm2Config {
     /// in bytes.  Oversized requests fail locally at the caller;
     /// oversized responses fail at the serving node with an RPC error.
     pub max_rpc_payload: usize,
+    /// Most messages one driver pump handles before running a thread
+    /// quantum.  The pump drains priority classes in order (control >
+    /// migration > data), so the budget bounds how long a flooded lane
+    /// can hold the scheduler off without ever letting data traffic
+    /// delay control traffic.  Values < 1 are treated as 1.
+    pub pump_budget: usize,
+    /// Longest time an idle driver parks on its endpoint doorbell before
+    /// re-checking the world.  This is a liveness backstop, **not** a poll
+    /// period: every send rings the destination's doorbell, so real
+    /// traffic wakes a parked driver immediately and a quiescent machine
+    /// wakes only once per `idle_park`.
+    pub idle_park: Duration,
 }
 
 impl Pm2Config {
@@ -99,6 +111,8 @@ impl Pm2Config {
             echo_output: false,
             reply_deadline: Duration::from_secs(30),
             max_rpc_payload: 1 << 20,
+            pump_budget: 64,
+            idle_park: Duration::from_millis(500),
         }
     }
 
@@ -186,6 +200,18 @@ impl Pm2Config {
     /// Builder: typed-LRPC payload ceiling.
     pub fn with_max_rpc_payload(mut self, bytes: usize) -> Self {
         self.max_rpc_payload = bytes;
+        self
+    }
+
+    /// Builder: per-pump message budget.
+    pub fn with_pump_budget(mut self, budget: usize) -> Self {
+        self.pump_budget = budget;
+        self
+    }
+
+    /// Builder: idle-park backstop duration.
+    pub fn with_idle_park(mut self, park: Duration) -> Self {
+        self.idle_park = park;
         self
     }
 }
@@ -305,6 +331,21 @@ impl MachineBuilder {
         self
     }
 
+    /// Most messages one driver pump handles before running a thread
+    /// quantum (drained control > migration > data; see
+    /// [`Pm2Config::pump_budget`]).
+    pub fn pump_budget(mut self, budget: usize) -> Self {
+        self.cfg.pump_budget = budget;
+        self
+    }
+
+    /// Longest doorbell park of an idle driver — a liveness backstop, not
+    /// a poll period (see [`Pm2Config::idle_park`]).
+    pub fn idle_park(mut self, park: Duration) -> Self {
+        self.cfg.idle_park = park;
+        self
+    }
+
     /// The small deterministic instant-network profile tests use (the
     /// knobs of [`Pm2Config::test`]).  Overlays only the profile's own
     /// knobs (area, net, mode, slot cache, reply deadline); anything else
@@ -364,9 +405,13 @@ mod tests {
             .slot_cache(2)
             .reply_deadline(Duration::from_millis(1500))
             .max_rpc_payload(4096)
+            .pump_budget(7)
+            .idle_park(Duration::from_millis(40))
             .echo(true)
             .into_config();
         assert_eq!(c.nodes, 3);
+        assert_eq!(c.pump_budget, 7);
+        assert_eq!(c.idle_park, Duration::from_millis(40));
         assert_eq!(c.mode, MachineMode::Deterministic);
         assert_eq!(c.net.name, "instant");
         assert_eq!(c.scheme, MigrationScheme::RegisteredPointers);

@@ -1,0 +1,67 @@
+//! Control-plane handlers: shutdown, audit, load reporting, cross-node
+//! completions, and the parking of protocol replies for green threads
+//! blocked in a request/reply exchange.
+
+use madeleine::message::PayloadWriter;
+use madeleine::Message;
+use marcel::ThreadState;
+
+use crate::node::NodeCtx;
+use crate::proto::{self, tag};
+
+pub(crate) fn on_shutdown(ctx: &mut NodeCtx) {
+    ctx.shutdown = true;
+    ctx.maybe_ack_shutdown();
+}
+
+pub(crate) fn on_audit_req(ctx: &mut NodeCtx, from: usize) {
+    let report = crate::audit::encode_node_report(ctx);
+    let _ = ctx.ep.send(from, tag::AUDIT_RESP, report);
+}
+
+pub(crate) fn on_load_req(ctx: &mut NodeCtx, from: usize) {
+    let mut w = PayloadWriter::pooled(&ctx.pool, 64);
+    w.u32(ctx.sched.resident() as u32);
+    // Migratable, currently-ready threads.
+    let migratable: Vec<u64> = ctx
+        .threads
+        .iter()
+        .filter(|(_, &d)| unsafe {
+            (*d).thread_state() == ThreadState::Ready
+                && (*d).flags & marcel::thread::flags::MIGRATABLE != 0
+        })
+        .map(|(&tid, _)| tid)
+        .collect();
+    w.u32(migratable.len() as u32);
+    for t in &migratable {
+        w.u64(*t);
+    }
+    let _ = ctx.ep.send(from, tag::LOAD_RESP, w.finish());
+}
+
+pub(crate) fn on_thread_exit(ctx: &mut NodeCtx, m: Message) {
+    if let Some(exit) = proto::decode_thread_exit(&m.payload) {
+        // First write wins: the dying node already completed
+        // the shared registry directly, and a typed join may
+        // have consumed the value since — overwriting would
+        // resurrect it.
+        ctx.registry.complete_if_absent(exit);
+    }
+}
+
+/// Park a reply for a green thread blocked in a protocol exchange
+/// (negotiation, load probe, migrate command).
+pub(crate) fn park_reply(ctx: &mut NodeCtx, m: Message) {
+    ctx.replies.push_back(m);
+}
+
+/// Park a typed-LRPC response only if its caller is still waiting; a
+/// reply landing after its caller's deadline would otherwise sit in the
+/// queue forever.
+pub(crate) fn park_rpc_resp(ctx: &mut NodeCtx, m: Message) {
+    let waiting =
+        proto::peek_rpc_call_id(&m.payload).is_some_and(|id| ctx.pending_calls.contains(&id));
+    if waiting {
+        ctx.replies.push_back(m);
+    }
+}

@@ -1,0 +1,111 @@
+//! Migration-class handlers: thread arrival (`MIGRATION`), rejection
+//! (`MIGRATION_NAK`) and third-party migration commands (`MIGRATE_CMD`).
+//!
+//! The *departure* side (pack & ship) stays in the dispatch core
+//! (`NodeCtx::send_thread`): it is a scheduler outcome, not a message.
+
+use std::sync::atomic::Ordering;
+use std::time::Instant;
+
+use madeleine::message::{PayloadReader, PayloadWriter};
+use madeleine::Message;
+
+use crate::config::MigrationScheme;
+use crate::node::NodeCtx;
+use crate::proto::{self, tag};
+use crate::registry::ThreadExit;
+
+pub(crate) fn on_migration(ctx: &mut NodeCtx, m: Message) {
+    // Adopting slots does not touch the bitmap, so arrivals are legal
+    // even inside a negotiation ("the bitmaps do not undergo any change
+    // on thread migration", §4.2).
+    ctx.stats
+        .migration_wire_ns
+        .fetch_add(m.wire_ns, Ordering::Relaxed);
+    // The 8-byte tid prefix is readable even when the records behind
+    // it are garbage — it is what lets the NAK name the lost thread.
+    let tid = m
+        .payload
+        .get(..8)
+        .map(|b| u64::from_le_bytes(b.try_into().expect("8-byte slice")));
+    let t0 = Instant::now();
+    // SAFETY: buffer from a peer's pack_thread (or, under fault
+    // injection, arbitrary bytes — unpack_thread validates and rolls
+    // back rather than trusting them).
+    let unpacked = match tid {
+        Some(_) => unsafe { crate::migration::unpack_thread(&m.payload[8..], &mut ctx.mgr) },
+        None => Err(crate::error::Pm2Error::Net(
+            "migration message shorter than its tid prefix".into(),
+        )),
+    };
+    ctx.stats
+        .migration_unpack_ns
+        .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    let d = match unpacked {
+        Ok(d) => d,
+        Err(e) => {
+            // A corrupt buffer costs one thread, never the node: log,
+            // count, and NAK the sender instead of crashing the driver.
+            ctx.stats.migrations_failed.fetch_add(1, Ordering::Relaxed);
+            let text = format!("rejected corrupt migration from node {}: {e}", m.src);
+            ctx.out.printf(ctx.node, &text);
+            let mut w = PayloadWriter::pooled(&ctx.pool, 16 + text.len());
+            match tid {
+                Some(t) => w.u8(1).u64(t),
+                None => w.u8(0).u64(0),
+            };
+            w.bytes(text.as_bytes());
+            let _ = ctx.ep.send(m.src, tag::MIGRATION_NAK, w.finish());
+            return;
+        }
+    };
+    // SAFETY: unpack succeeded; `d` is a live resident descriptor.
+    unsafe {
+        if ctx.scheme == MigrationScheme::RegisteredPointers {
+            // Ablation baseline: charge the early-PM2 post-migration
+            // fix-up walk (registered pointers + frame chain).
+            crate::legacy::charge_arrival_fixup(d);
+        }
+        ctx.sched.adopt_arrival(d);
+        ctx.threads.insert((*d).tid, d);
+    }
+    ctx.stats.migrations_in.fetch_add(1, Ordering::Relaxed);
+}
+
+/// The peer could not unpack a thread we shipped.  Its slots were
+/// unmapped at pack time and the tid left our tables, so the thread is
+/// unrecoverable — but joiners must not hang: complete it in the
+/// registry as a panic carrying the rejection text.
+pub(crate) fn on_migration_nak(ctx: &mut NodeCtx, m: Message) {
+    let mut r = PayloadReader::new(&m.payload);
+    let has_tid = r.u8().unwrap_or(0) == 1;
+    let tid = r.u64().unwrap_or(0);
+    let text = String::from_utf8_lossy(r.rest()).into_owned();
+    ctx.out.printf(
+        ctx.node,
+        &format!("peer node {} NAKed a migration: {text}", m.src),
+    );
+    if has_tid && tid != 0 {
+        // First-write-wins, like THREAD_EXIT: never resurrect a
+        // completion a joiner already consumed.
+        ctx.registry.complete_if_absent(ThreadExit {
+            tid,
+            panicked: true,
+            died_on: ctx.node,
+            panic_msg: Some(format!("thread lost in migration: {text}")),
+            value: None,
+        });
+    }
+}
+
+pub(crate) fn on_migrate_cmd(ctx: &mut NodeCtx, m: Message) {
+    let (tid, dest) = proto::decode_migrate_cmd(&m.payload).expect("migrate cmd");
+    let ok = match ctx.threads.get(&tid) {
+        // SAFETY: resident descriptor.
+        Some(&d) => unsafe { ctx.sched.request_migration(d, dest) },
+        None => false,
+    };
+    let mut w = PayloadWriter::pooled(&ctx.pool, 12);
+    w.u64(tid).u32(ok as u32);
+    let _ = ctx.ep.send(m.src, tag::MIGRATE_CMD_ACK, w.finish());
+}

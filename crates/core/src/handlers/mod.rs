@@ -1,0 +1,138 @@
+//! Protocol handlers behind the node's event dispatch table.
+//!
+//! `node.rs` is the dispatch *core* (scheduler interleaving, thread
+//! lifecycle, priority lanes); the per-tag protocol logic lives here, one
+//! module per protocol family:
+//!
+//! * [`spawn`] — thread creation and LRPC: `SPAWN_KEY`, `RPC_SPAWN`,
+//!   `RPC_CALL`;
+//! * [`migration`] — thread arrival/rejection and remote migration
+//!   commands: `MIGRATION`, `MIGRATION_NAK`, `MIGRATE_CMD`;
+//! * [`negotiation`] — the §4.4 critical-section server side:
+//!   `NEG_LOCK_*`, `NEG_BITMAP_REQ`, `NEG_BUY`, `NEG_DONE`;
+//! * [`control`] — machine control and observability: `SHUTDOWN`,
+//!   `AUDIT_REQ`, `LOAD_REQ`, `THREAD_EXIT`, and the parking of protocol
+//!   replies for blocked green threads.
+//!
+//! New subsystems plug in by adding a module + tag arm here; the pump,
+//! budget, and priority machinery in `node.rs` need no change.
+//!
+//! ## Priority classes
+//!
+//! Every tag maps to a [`Class`]; the pump drains **control before
+//! migration before data**, so a flood of application traffic (spawns,
+//! RPC) can never delay shutdown or negotiation progress, and migrations
+//! overtake bulk data but never the control plane.  Within one class,
+//! per-sender FIFO order is preserved — cross-class reordering is safe
+//! because no PM2 exchange relies on ordering *across* families (e.g.
+//! migrations are explicitly legal inside a frozen negotiation window,
+//! §4.2).
+
+pub(crate) mod control;
+pub(crate) mod migration;
+pub(crate) mod negotiation;
+pub(crate) mod spawn;
+
+use madeleine::Message;
+
+use crate::node::NodeCtx;
+use crate::proto::tag;
+
+/// Message priority class — the pump's drain order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(usize)]
+pub(crate) enum Class {
+    /// Machine control, negotiation, completions, protocol replies.
+    Control = 0,
+    /// Thread transfer traffic.
+    Migration = 1,
+    /// Application payload traffic (spawns, LRPC).
+    Data = 2,
+}
+
+/// Number of priority lanes.
+pub(crate) const N_CLASSES: usize = 3;
+
+/// Map a tag to its priority class.  Unknown tags classify as data; the
+/// dispatch table still panics on them, exactly like the old monolithic
+/// `match`.
+pub(crate) fn classify(t: u16) -> Class {
+    match t {
+        tag::SHUTDOWN
+        | tag::SHUTDOWN_ACK
+        | tag::AUDIT_REQ
+        | tag::AUDIT_RESP
+        | tag::LOAD_RESP
+        | tag::THREAD_EXIT
+        | tag::NEG_LOCK_REQ
+        | tag::NEG_LOCK_GRANT
+        | tag::NEG_LOCK_RELEASE
+        | tag::NEG_BITMAP_REQ
+        | tag::NEG_BITMAP_RESP
+        | tag::NEG_BUY
+        | tag::NEG_BUY_ACK
+        | tag::NEG_DONE
+        | tag::MIGRATE_CMD_ACK => Class::Control,
+        tag::MIGRATION | tag::MIGRATION_NAK | tag::MIGRATE_CMD => Class::Migration,
+        // LOAD_REQ is deliberately *data*-class despite being served by the
+        // control module: a load probe asks about the application plane, so
+        // it must observe — i.e. queue behind — the spawns already in
+        // flight to the probed node, and a balancer probing a flooded node
+        // should see (and wait like) the flood.  Its LOAD_RESP reply is
+        // control-class: it unblocks a waiting protocol thread.
+        _ => Class::Data,
+    }
+}
+
+/// The dispatch table: route one message to its handler.
+pub(crate) fn dispatch(ctx: &mut NodeCtx, m: Message) {
+    match m.tag {
+        tag::SPAWN_KEY => spawn::on_spawn_key(ctx, m),
+        tag::RPC_SPAWN => spawn::on_rpc_spawn(ctx, m),
+        tag::RPC_CALL => spawn::on_rpc_call(ctx, m),
+        tag::MIGRATION => migration::on_migration(ctx, m),
+        tag::MIGRATION_NAK => migration::on_migration_nak(ctx, m),
+        tag::MIGRATE_CMD => migration::on_migrate_cmd(ctx, m),
+        tag::NEG_LOCK_REQ => negotiation::on_lock_req(ctx, m.src),
+        tag::NEG_LOCK_RELEASE => negotiation::on_lock_release(ctx),
+        tag::NEG_BITMAP_REQ => negotiation::on_bitmap_req(ctx, m.src),
+        tag::NEG_BUY => negotiation::on_buy(ctx, m),
+        tag::NEG_DONE => negotiation::on_neg_done(ctx),
+        tag::SHUTDOWN => control::on_shutdown(ctx),
+        tag::AUDIT_REQ => control::on_audit_req(ctx, m.src),
+        tag::LOAD_REQ => control::on_load_req(ctx, m.src),
+        tag::THREAD_EXIT => control::on_thread_exit(ctx, m),
+        tag::NEG_LOCK_GRANT
+        | tag::NEG_BITMAP_RESP
+        | tag::NEG_BUY_ACK
+        | tag::MIGRATE_CMD_ACK
+        | tag::LOAD_RESP => control::park_reply(ctx, m),
+        tag::RPC_RESP => control::park_rpc_resp(ctx, m),
+        t => panic!("node {}: unknown message tag {t}", ctx.node),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_cover_the_tag_space() {
+        assert_eq!(classify(tag::SHUTDOWN), Class::Control);
+        assert_eq!(classify(tag::NEG_BITMAP_REQ), Class::Control);
+        assert_eq!(classify(tag::THREAD_EXIT), Class::Control);
+        assert_eq!(classify(tag::LOAD_RESP), Class::Control);
+        assert_eq!(classify(tag::MIGRATION), Class::Migration);
+        assert_eq!(classify(tag::MIGRATE_CMD), Class::Migration);
+        assert_eq!(
+            classify(tag::LOAD_REQ),
+            Class::Data,
+            "probes must observe in-flight spawns"
+        );
+        assert_eq!(classify(tag::SPAWN_KEY), Class::Data);
+        assert_eq!(classify(tag::RPC_CALL), Class::Data);
+        assert_eq!(classify(tag::RPC_RESP), Class::Data);
+        assert!(Class::Control < Class::Migration);
+        assert!(Class::Migration < Class::Data);
+    }
+}

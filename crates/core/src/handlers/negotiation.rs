@@ -1,0 +1,53 @@
+//! Server-side negotiation handlers (paper §4.4): the FIFO lock service
+//! on node 0, the bitmap gather, slot sales, and the critical-section
+//! exit.  The *initiator* side runs on the requesting green thread in
+//! [`crate::negotiation`].
+
+use madeleine::Message;
+
+use crate::node::NodeCtx;
+use crate::proto::{self, tag};
+
+pub(crate) fn on_lock_req(ctx: &mut NodeCtx, from: usize) {
+    assert_eq!(ctx.node, 0, "lock service lives on node 0");
+    if ctx.lock_holder.is_none() {
+        ctx.lock_holder = Some(from);
+        let _ = ctx.ep.send(from, tag::NEG_LOCK_GRANT, Vec::new());
+    } else {
+        ctx.lock_queue.push_back(from);
+    }
+}
+
+pub(crate) fn on_lock_release(ctx: &mut NodeCtx) {
+    assert_eq!(ctx.node, 0, "lock service lives on node 0");
+    ctx.lock_holder = None;
+    if let Some(next) = ctx.lock_queue.pop_front() {
+        ctx.lock_holder = Some(next);
+        let _ = ctx.ep.send(next, tag::NEG_LOCK_GRANT, Vec::new());
+    }
+}
+
+pub(crate) fn on_bitmap_req(ctx: &mut NodeCtx, from: usize) {
+    // Entering the system-wide critical section as a participant: the
+    // bitmap freezes until NEG_DONE (step (a) of §4.4).
+    ctx.frozen = true;
+    // The gather reply rides a pooled buffer: the initiator collects
+    // p − 1 of these per negotiation, so recycling matters.
+    let mut buf = ctx.pool.checkout(ctx.mgr.bitmap_wire_len());
+    ctx.mgr.bitmap_bytes_into(&mut buf);
+    let _ = ctx.ep.send(from, tag::NEG_BITMAP_RESP, buf);
+}
+
+pub(crate) fn on_buy(ctx: &mut NodeCtx, m: Message) {
+    let ranges = proto::decode_ranges(&m.payload).expect("buy payload");
+    for r in ranges {
+        ctx.mgr.sell(r).expect("selling slots");
+    }
+    let _ = ctx.ep.send(m.src, tag::NEG_BUY_ACK, Vec::new());
+}
+
+pub(crate) fn on_neg_done(ctx: &mut NodeCtx) {
+    // Unfreeze; the dispatch core replays deferred spawn-class messages
+    // and reaps frozen-era zombies on its next step.
+    ctx.frozen = false;
+}

@@ -1,0 +1,112 @@
+//! Thread-creation and LRPC handlers: `SPAWN_KEY`, `RPC_SPAWN`,
+//! `RPC_CALL`.
+//!
+//! All three need a fresh stack slot (a bitmap mutation), so all three
+//! defer while the bitmap is frozen by a negotiation and are replayed by
+//! the dispatch core after `NEG_DONE`.  Typed-LRPC handlers spawn into the
+//! scheduler's **control lane** ([`marcel::thread::flags::CONTROL`]): a
+//! serving node crowded with compute threads still turns replies around
+//! promptly.
+
+use madeleine::message::PayloadReader;
+use madeleine::Message;
+
+use crate::node::NodeCtx;
+use crate::proto::{self, rpc_status, tag};
+
+pub(crate) fn on_spawn_key(ctx: &mut NodeCtx, m: Message) {
+    if ctx.frozen {
+        // Spawning needs a stack slot (bitmap mutation): park until
+        // the negotiation ends.
+        ctx.deferred.push_back(m);
+        return;
+    }
+    let mut r = PayloadReader::new(&m.payload);
+    let key = r.u64().expect("spawn payload");
+    let tid = r.u64().expect("spawn payload tid");
+    let f = ctx.spawn_table.take(key).expect("spawn key not found");
+    ctx.spawn_boxed(tid, f);
+}
+
+pub(crate) fn on_rpc_spawn(ctx: &mut NodeCtx, m: Message) {
+    if ctx.frozen {
+        ctx.deferred.push_back(m);
+        return;
+    }
+    let (service, args) = proto::decode_rpc_spawn(&m.payload).expect("rpc payload");
+    let f = ctx
+        .services
+        .get(service)
+        .unwrap_or_else(|| panic!("service {service} not registered"));
+    let tid = ctx.sched.next_tid();
+    ctx.spawn_boxed(tid, Box::new(move || f(args)));
+}
+
+pub(crate) fn on_rpc_call(ctx: &mut NodeCtx, m: Message) {
+    if ctx.frozen {
+        // The handler thread needs a stack slot (bitmap mutation):
+        // park until the negotiation ends.
+        ctx.deferred.push_back(m);
+        return;
+    }
+    // The reply destination travels in the payload, NOT in `m.src`,
+    // so it survives the deferred replay above and any handler
+    // migration before the response is sent.
+    let Some((call_id, reply_to, service, req)) = proto::decode_rpc_call(&m.payload) else {
+        return; // Malformed request: nothing to reply to.
+    };
+    if req.len() > ctx.max_rpc_payload {
+        let msg = format!("request of {} bytes exceeds ceiling", req.len());
+        let _ = ctx.ep.send(
+            reply_to,
+            tag::RPC_RESP,
+            proto::encode_rpc_resp(&ctx.pool, call_id, rpc_status::REMOTE_ERROR, msg.as_bytes()),
+        );
+        return;
+    }
+    let Some(handler) = ctx.typed_services.get(service) else {
+        let _ = ctx.ep.send(
+            reply_to,
+            tag::RPC_RESP,
+            proto::encode_rpc_resp(&ctx.pool, call_id, rpc_status::NO_SUCH_SERVICE, &[]),
+        );
+        return;
+    };
+    // LRPC semantics: the handler runs as a fresh Marcel thread, so it
+    // may allocate, spawn, even migrate; the reply is sent from
+    // whatever node it ends up on, matched by call id at the caller.
+    // It spawns control-priority so a backlog of compute quanta cannot
+    // sit between the request and its reply.
+    let max = ctx.max_rpc_payload;
+    let tid = ctx.sched.next_tid();
+    let spawned = ctx.try_spawn_boxed(
+        tid,
+        marcel::thread::flags::CONTROL,
+        Box::new(move || {
+            let (status, bytes) = match handler(&req) {
+                Ok(resp) if resp.len() <= max => (rpc_status::OK, resp),
+                Ok(resp) => (
+                    rpc_status::REMOTE_ERROR,
+                    format!("response of {} bytes exceeds ceiling", resp.len()).into_bytes(),
+                ),
+                Err(e) => (rpc_status::REMOTE_ERROR, e.into_bytes()),
+            };
+            let pool = crate::api::local_pool();
+            let _ = crate::api::send_to(
+                reply_to,
+                tag::RPC_RESP,
+                proto::encode_rpc_resp(&pool, call_id, status, &bytes),
+            );
+        }),
+    );
+    if let Err(e) = spawned {
+        // Out of stack slots: the caller gets a typed remote error
+        // instead of a wedged machine and an opaque timeout.
+        let msg = format!("serving node could not spawn handler: {e}");
+        let _ = ctx.ep.send(
+            reply_to,
+            tag::RPC_RESP,
+            proto::encode_rpc_resp(&ctx.pool, call_id, rpc_status::REMOTE_ERROR, msg.as_bytes()),
+        );
+    }
+}

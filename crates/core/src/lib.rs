@@ -62,10 +62,36 @@
 //! | hand-rolled `PayloadWriter` framing  | [`Wire`] encode/decode                              |
 //! | `pm2_join` → "panicked or not"       | [`Pm2Error::Panicked`] carrying the panic message   |
 //!
+//! ## The event-driven driver core
+//!
+//! Since ISSUE 3 the runtime is event-driven end to end — idle machines
+//! burn ~zero CPU and hop latency is hardware-bound, not poll-bound:
+//!
+//! * every `madeleine` send rings the destination endpoint's **doorbell**
+//!   ([`madeleine::Doorbell`]); idle node drivers *park* on it (threaded
+//!   mode: one bell per node; deterministic mode: one shared bell for the
+//!   single round-robin driver) and wake at futex latency — the polled
+//!   baseline paid ~1 ms of driver latency per migration hop where the
+//!   event-driven core pays a few µs (see `BENCH_latency.json`);
+//! * each node's pump ingests messages into three **priority lanes**
+//!   (control > migration > data) and drains them in class order under a
+//!   budget, so a flood of application traffic can never delay SHUTDOWN
+//!   or negotiation — `pump_budget` and `idle_park` are builder knobs;
+//! * the marcel scheduler runs a **control lane** (bounded bursts, never
+//!   starving compute): LRPC handlers and daemons flagged via
+//!   [`api::pm2_set_control_priority`] overtake compute quanta;
+//! * per-tag protocol logic lives in the `handlers/` module tree
+//!   (spawn/rpc, migration, negotiation, control) behind one dispatch
+//!   table — new subsystems plug in without touching the dispatch core;
+//! * host-side waits (registry joins, control replies) block on condvars
+//!   and channel parks; nothing in the runtime sleep-polls.
+//!
 //! ## Crate layout
 //!
 //! * [`machine`] / [`node`] — the simulated cluster: one scheduler + slot
-//!   bitmap + Madeleine endpoint per node;
+//!   bitmap + Madeleine endpoint per node, driven by the event-driven
+//!   core above (`node.rs` is the dispatch core; per-tag handlers live in
+//!   the `handlers/` tree);
 //! * [`config`] — [`MachineBuilder`] and the raw [`Pm2Config`] record;
 //! * [`api`] — the green-side programming interface (§3.4 plus the typed
 //!   v1 calls) for code running inside Marcel threads;
@@ -91,6 +117,7 @@ pub mod api;
 pub mod audit;
 pub mod config;
 pub mod error;
+pub(crate) mod handlers;
 pub mod iso;
 pub mod legacy;
 pub mod loadbal;

@@ -17,7 +17,7 @@ use std::time::{Duration, Instant};
 
 use madeleine::message::PayloadReader;
 
-use crate::api::{self, send_to, wait_reply};
+use crate::api::{self, send_to, wait_reply_until};
 use crate::error::Result;
 use crate::machine::Machine;
 use crate::proto::{encode_migrate_cmd, tag};
@@ -32,6 +32,12 @@ pub struct BalancerConfig {
     pub threshold: usize,
     /// Maximum migrations ordered per round.
     pub max_moves_per_round: usize,
+    /// Hard time budget for one round (load gather + migrate commands).
+    /// A node that stops answering — frozen in a long negotiation,
+    /// mid-shutdown, wedged — *degrades* the round to the nodes that did
+    /// answer instead of wedging the daemon until the machine-wide reply
+    /// deadline.
+    pub round_deadline: Duration,
 }
 
 impl Default for BalancerConfig {
@@ -40,6 +46,7 @@ impl Default for BalancerConfig {
             period: Duration::from_millis(2),
             threshold: 1,
             max_moves_per_round: 8,
+            round_deadline: Duration::from_millis(250),
         }
     }
 }
@@ -81,6 +88,9 @@ pub fn start_balancer(machine: &Machine, cfg: BalancerConfig) -> Result<Balancer
 fn daemon(cfg: BalancerConfig, stop: Arc<AtomicBool>, moves: Arc<AtomicU64>) {
     // The balancer itself must not be bounced around by… itself.
     api::pm2_set_migratable(false);
+    // …and its probe/command exchanges must not queue behind the very
+    // compute backlog it exists to spread out: run in the control lane.
+    api::pm2_set_control_priority(true);
     let p = api::pm2_nodes();
     while !stop.load(Ordering::SeqCst) {
         let round_started = Instant::now();
@@ -108,26 +118,41 @@ struct Load {
 
 fn balance_round(p: usize, cfg: &BalancerConfig, moves: &AtomicU64) -> Result<()> {
     let pool = api::local_pool();
+    let deadline = Instant::now() + cfg.round_deadline;
     // Gather loads (the daemon itself counts towards node 0's load; the
     // threshold absorbs it).
     for peer in 0..p {
         send_to(peer, tag::LOAD_REQ, Vec::new())?;
     }
+    // Collect until every node answered or the round deadline passes; a
+    // node that answers late (or never) simply sits this round out.
+    // Responses are keyed by node so a straggler reply from a *previous*
+    // degraded round only refreshes that node's entry.
     let mut loads: Vec<Load> = Vec::with_capacity(p);
-    for _ in 0..p {
-        let m = wait_reply(tag::LOAD_RESP, None)?;
+    while loads.len() < p {
+        let Ok(m) = wait_reply_until(tag::LOAD_RESP, None, deadline, |_| true) else {
+            break; // Deadline: balance whoever answered.
+        };
         let mut r = PayloadReader::new(&m.payload);
         let resident = r.u32().unwrap_or(0) as usize;
         let n = r.u32().unwrap_or(0) as usize;
-        let migratable = (0..n).filter_map(|_| r.u64()).collect();
-        loads.push(Load {
-            node: m.src,
-            resident,
-            migratable,
-        });
+        let migratable: Vec<u64> = (0..n).filter_map(|_| r.u64()).collect();
+        if let Some(l) = loads.iter_mut().find(|l| l.node == m.src) {
+            l.resident = resident;
+            l.migratable = migratable;
+        } else {
+            loads.push(Load {
+                node: m.src,
+                resident,
+                migratable,
+            });
+        }
+    }
+    if loads.len() < 2 {
+        return Ok(()); // Nobody to trade with this round.
     }
     let total: usize = loads.iter().map(|l| l.resident).sum();
-    let mean = total / p;
+    let mean = total / loads.len();
 
     // Ship from the most loaded to the least loaded until balanced.
     let mut budget = cfg.max_moves_per_round;
@@ -154,7 +179,14 @@ fn balance_round(p: usize, cfg: &BalancerConfig, moves: &AtomicU64) -> Result<()
             tag::MIGRATE_CMD,
             encode_migrate_cmd(&pool, tid, dest),
         )?;
-        let ack = wait_reply(tag::MIGRATE_CMD_ACK, Some(src_node))?;
+        // Match the ack by tid, not just tag+src: a deadline-abandoned
+        // round can leave its ack parked, and without the tid check the
+        // stale ack would be credited to the *next* round's command.
+        let Ok(ack) = wait_reply_until(tag::MIGRATE_CMD_ACK, Some(src_node), deadline, |m| {
+            PayloadReader::new(&m.payload).u64() == Some(tid)
+        }) else {
+            break; // Round budget exhausted: abandon remaining moves.
+        };
         let mut r = PayloadReader::new(&ack.payload);
         let _tid = r.u64();
         if r.u32() == Some(1) {

@@ -118,7 +118,14 @@ impl Machine {
     pub fn launch(cfg: Pm2Config) -> Result<Machine> {
         assert!(cfg.nodes >= 1, "a machine needs at least one node");
         let area = Arc::new(IsoArea::with_strategy(cfg.area, cfg.map_strategy)?);
-        let mut eps = Fabric::new(cfg.nodes + 1, cfg.net);
+        // Threaded mode: one doorbell per endpoint, each driver parks on
+        // its own.  Deterministic mode: one shared doorbell, so the single
+        // round-robin driver parks once for the whole fabric and any send
+        // (including the host's) wakes it.
+        let mut eps = match cfg.mode {
+            MachineMode::Threaded => Fabric::new(cfg.nodes + 1, cfg.net),
+            MachineMode::Deterministic => Fabric::new_shared_doorbell(cfg.nodes + 1, cfg.net),
+        };
         let host_ep = eps.pop().expect("host endpoint");
         let out = OutputSink::new(cfg.echo_output);
         let registry = Registry::new_shared();
@@ -394,6 +401,11 @@ impl Machine {
         self.recv_control_matching(want, deadline, |_| true)
     }
 
+    /// Wait for a matching control message.  The wait is event-driven: the
+    /// host parks inside [`madeleine::Endpoint::recv_until`] (a condvar
+    /// wait under the hood) and is woken per arriving message — there is
+    /// no poll slicing, so an arriving reply costs a wake-up, not a poll
+    /// interval.
     fn recv_control_matching(
         &mut self,
         want: u16,
@@ -403,14 +415,13 @@ impl Machine {
         if let Some(i) = self.stash.iter().position(|m| m.tag == want && pred(m)) {
             return Some(self.stash.remove(i));
         }
-        while Instant::now() < deadline {
-            match self.host_ep.recv_timeout(Duration::from_millis(50)) {
+        loop {
+            match self.host_ep.recv_until(deadline) {
                 Some(m) if m.tag == want && pred(&m) => return Some(m),
                 Some(m) => self.stash.push(m),
-                None => {}
+                None => return None,
             }
         }
-        None
     }
 
     /// Run the global ownership audit (call at quiescence only).
@@ -465,7 +476,13 @@ impl Drop for Machine {
     }
 }
 
-/// Threaded-mode driver: one OS thread per node.
+/// Threaded-mode driver: one OS thread per node.  Event-driven — when a
+/// step finds neither a message nor a runnable thread, the driver parks on
+/// the endpoint's doorbell and is woken by the next send addressed to it
+/// (or by the `idle_park` liveness backstop).  An idle node costs ~zero
+/// CPU and, crucially on a busy host, never burns an OS timeslice
+/// spinning: the sender's ring makes the destination runnable immediately,
+/// which is what turns a ~1 ms polled migration hop into a µs-scale one.
 fn drive_one(ctx: &mut NodeCtx) {
     ctx.activate();
     loop {
@@ -476,13 +493,22 @@ fn drive_one(ctx: &mut NodeCtx) {
         if ctx.finished() {
             break;
         }
-        ctx.idle_wait();
+        ctx.idle_park();
     }
 }
 
-/// Deterministic-mode driver: all nodes round-robin on one OS thread.
+/// Deterministic-mode driver: all nodes round-robin on one OS thread,
+/// parking on the machine's **shared** doorbell when no node has work.
+/// The ring-counter snapshot is taken *before* the sweep, so any send that
+/// lands mid-sweep (from the host or a node) makes the park return
+/// immediately — and the final SHUTDOWN_ACK needs no park at all: the
+/// sweep that handles SHUTDOWN also observes `finished()` and exits
+/// without another wait.
 fn drive_all(ctxs: &mut [NodeCtx]) {
+    let bell = ctxs[0].ep.doorbell().clone();
+    let idle_park = ctxs[0].idle_park;
     loop {
+        let seen = bell.rings();
         let mut any = false;
         for ctx in ctxs.iter_mut() {
             any |= ctx.step();
@@ -492,8 +518,17 @@ fn drive_all(ctxs: &mut [NodeCtx]) {
             break;
         }
         if !any {
-            // Nothing runnable anywhere: wait briefly for host messages.
-            std::thread::sleep(Duration::from_micros(50));
+            for ctx in ctxs.iter_mut() {
+                ctx.stats
+                    .driver_parks
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+            bell.wait_past(seen, idle_park);
+            for ctx in ctxs.iter_mut() {
+                ctx.stats
+                    .driver_wakeups
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
         }
     }
 }

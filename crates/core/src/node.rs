@@ -1,4 +1,4 @@
-//! The per-node runtime: scheduler + message pump + protocol handlers.
+//! The per-node runtime: an event-driven dispatch core.
 //!
 //! One `NodeCtx` is the reproduction of the paper's "single (heavy) process
 //! running at each node" (§2): it owns the node's slot bitmap, its thread
@@ -8,10 +8,33 @@
 //! but never run concurrently, which is exactly the concurrency model of a
 //! user-level thread runtime.
 //!
+//! ## The event-driven core
+//!
+//! The node is **event-driven, not polled**.  Three pieces cooperate:
+//!
+//! * **Doorbell** — every [`madeleine::Endpoint::send`] rings the
+//!   destination's [`madeleine::Doorbell`]; an idle driver *parks* on it
+//!   (see `Machine`'s `drive_one`/`drive_all`) instead of spin- or
+//!   sleep-polling, so a quiescent machine burns ~zero CPU and a message
+//!   wakes its handler at futex-wake-up latency.  The
+//!   [`NodeStats::driver_parks`]/[`NodeStats::driver_wakeups`] counters
+//!   make the parking observable.
+//! * **Class-prioritized pump** — [`NodeCtx::pump`] ingests deliverable
+//!   messages into three priority lanes (see [`crate::handlers::Class`]:
+//!   control > migration > data) and drains them in class order under a
+//!   per-pump budget (`pump_budget` knob), so a flood of data messages can
+//!   never delay SHUTDOWN or negotiation traffic.  Within a class, per-pair
+//!   FIFO order is preserved.
+//! * **Handler dispatch table** — the per-tag protocol logic lives in the
+//!   [`crate::handlers`] module tree (`spawn`/`rpc`, `migration`,
+//!   `negotiation`, `control`), entered through
+//!   [`crate::handlers::dispatch`]; `node.rs` itself is only the dispatch
+//!   core: scheduler interleaving, thread lifecycle, and the lanes.
+//!
 //! While a Marcel thread runs, it reaches its node through an OS-thread-
-//! local pointer (see [`current`] / [`with_ctx`]); the same aliasing
-//! discipline as in `marcel::sched` applies — short raw-pointer accesses,
-//! nothing cached across yields.
+//! local pointer (see [`with_ctx`]); the same aliasing discipline as in
+//! `marcel::sched` applies — short raw-pointer accesses, nothing cached
+//! across yields.
 
 use std::cell::Cell;
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -25,10 +48,11 @@ use madeleine::{BufPool, Endpoint, Message};
 use marcel::{DescPtr, RunOutcome, Scheduler, ThreadState};
 
 use crate::config::{MigrationScheme, Pm2Config};
+use crate::handlers::{self, N_CLASSES};
 use crate::migration;
 use crate::nodeheap::NodeHeap;
 use crate::output::OutputSink;
-use crate::proto::{self, rpc_status, tag};
+use crate::proto::{self, tag};
 use crate::registry::{Registry, ServiceTable, SpawnTable, ThreadExit};
 use crate::service::{panic_text, TypedServiceTable};
 
@@ -59,6 +83,15 @@ pub struct NodeStats {
     pub negotiation_ns: AtomicU64,
     /// Threads spawned here.
     pub spawns: AtomicU64,
+    /// Scheduling steps the driver executed for this node.
+    pub steps: AtomicU64,
+    /// Times the driver parked on the doorbell with nothing to do.
+    pub driver_parks: AtomicU64,
+    /// Times the driver came back from a park (ring or park-timeout).
+    /// `driver_parks − driver_wakeups ∈ {0, 1}` at any instant; a
+    /// quiescent machine accumulates (almost) none of either beyond the
+    /// initial park.
+    pub driver_wakeups: AtomicU64,
 }
 
 /// Plain snapshot of [`NodeStats`].
@@ -77,6 +110,9 @@ pub struct NodeStatsSnapshot {
     pub negotiations: u64,
     pub negotiation_ns: u64,
     pub spawns: u64,
+    pub steps: u64,
+    pub driver_parks: u64,
+    pub driver_wakeups: u64,
 }
 
 impl NodeStats {
@@ -93,6 +129,9 @@ impl NodeStats {
             negotiations: self.negotiations.load(Ordering::Relaxed),
             negotiation_ns: self.negotiation_ns.load(Ordering::Relaxed),
             spawns: self.spawns.load(Ordering::Relaxed),
+            steps: self.steps.load(Ordering::Relaxed),
+            driver_parks: self.driver_parks.load(Ordering::Relaxed),
+            driver_wakeups: self.driver_wakeups.load(Ordering::Relaxed),
         }
     }
 }
@@ -128,6 +167,10 @@ pub(crate) struct NodeCtx {
     pub threads: HashMap<u64, DescPtr>,
     /// Panic messages / return values of threads mid-exit (see [`ExitNote`]).
     pub exit_notes: HashMap<u64, ExitNote>,
+    /// Ingested-but-unhandled messages, one FIFO lane per priority class
+    /// ([`handlers::Class`]); the pump drains control before migration
+    /// before data.
+    pub inbox: [VecDeque<Message>; N_CLASSES],
     /// Replies parked for green threads blocked in a protocol exchange.
     pub replies: VecDeque<Message>,
     /// Spawn-bearing messages (SPAWN_KEY / RPC_SPAWN / RPC_CALL) received
@@ -160,6 +203,12 @@ pub(crate) struct NodeCtx {
     pub scheme: MigrationScheme,
     pub reply_deadline: Duration,
     pub max_rpc_payload: usize,
+    /// Most messages one `pump()` call handles before yielding back to the
+    /// scheduler (the `pump_budget` knob).
+    pub pump_budget: usize,
+    /// Longest doorbell park before an idle driver re-checks the world
+    /// (the `idle_park` knob — a liveness backstop, not a poll period).
+    pub idle_park: Duration,
 }
 
 // SAFETY: a NodeCtx is owned and driven by exactly one OS thread at a time.
@@ -169,7 +218,7 @@ unsafe impl Send for NodeCtx {}
 /// exit notes before re-raising (marcel's entry shim then marks the
 /// descriptor panicked).  The note is written on whatever node the thread
 /// dies on — the same node whose `finish_thread` consumes it.
-fn instrument_body(
+pub(crate) fn instrument_body(
     tid: u64,
     f: Box<dyn FnOnce() + Send + 'static>,
 ) -> impl FnOnce() + Send + 'static {
@@ -225,6 +274,7 @@ impl NodeCtx {
             stats: Arc::new(NodeStats::default()),
             threads: HashMap::new(),
             exit_notes: HashMap::new(),
+            inbox: Default::default(),
             deferred: VecDeque::new(),
             replies: VecDeque::new(),
             frozen: false,
@@ -242,6 +292,8 @@ impl NodeCtx {
             scheme: cfg.scheme,
             reply_deadline: cfg.reply_deadline,
             max_rpc_payload: cfg.max_rpc_payload,
+            pump_budget: cfg.pump_budget.max(1),
+            idle_park: cfg.idle_park,
         }
     }
 
@@ -263,20 +315,54 @@ impl NodeCtx {
         CURRENT_NODE.with(|c| c.set(self as *mut NodeCtx));
     }
 
-    /// Drain and handle all deliverable messages.  Returns true if any were
-    /// handled.
-    pub(crate) fn pump(&mut self) -> bool {
-        let mut did = false;
+    /// Pull every deliverable message off the endpoint into its priority
+    /// lane.  Wire time is charged here (receiver-clocked), exactly as the
+    /// old drain did.
+    fn ingest(&mut self) {
         while let Some(m) = self.ep.try_recv() {
-            self.handle(m);
-            did = true;
+            self.inbox[handlers::classify(m.tag) as usize].push_back(m);
         }
-        did
+    }
+
+    /// Highest-priority pending message, if any (control > migration >
+    /// data; FIFO within a class).
+    fn next_message(&mut self) -> Option<Message> {
+        self.inbox.iter_mut().find_map(|lane| lane.pop_front())
+    }
+
+    /// Any ingested message not yet handled?
+    pub(crate) fn inbox_pending(&self) -> bool {
+        self.inbox.iter().any(|lane| !lane.is_empty())
+    }
+
+    /// Ingest and handle pending messages — control class first, then
+    /// migration, then data, at most `pump_budget` of them — and return
+    /// whether any were handled.  Budget leftovers stay queued for the
+    /// next pump, so one flooded lane cannot monopolize the driver either.
+    pub(crate) fn pump(&mut self) -> bool {
+        self.ingest();
+        let mut handled = 0usize;
+        while handled < self.pump_budget {
+            let Some(m) = self.next_message() else { break };
+            self.handle(m);
+            handled += 1;
+            // Handling may have produced immediately-deliverable traffic
+            // (self-sends are free): pick it up so priority holds across
+            // everything currently deliverable.
+            self.ingest();
+        }
+        handled > 0
+    }
+
+    /// Dispatch one message through the handler table.
+    pub(crate) fn handle(&mut self, m: Message) {
+        handlers::dispatch(self, m);
     }
 
     /// One scheduling step: pump, then run one thread quantum.  Returns true
     /// if any work was done.
     pub(crate) fn step(&mut self) -> bool {
+        self.stats.steps.fetch_add(1, Ordering::Relaxed);
         let pumped = self.pump();
         if !self.frozen && !self.zombies.is_empty() {
             self.reap_zombies();
@@ -299,12 +385,14 @@ impl NodeCtx {
         }
     }
 
-    /// Ready to stop?
+    /// Ready to stop?  (Also false while any ingested message awaits its
+    /// budget slice — an unhandled SPAWN_KEY is still pending work.)
     pub(crate) fn done(&self) -> bool {
         self.shutdown
             && self.sched.resident() == 0
             && self.zombies.is_empty()
             && self.deferred.is_empty()
+            && !self.inbox_pending()
     }
 
     /// Drained *and* acknowledged: the driver may exit.
@@ -320,21 +408,23 @@ impl NodeCtx {
         }
     }
 
-    /// Wait for work when idle (threaded mode only): spin briefly — message
-    /// round trips in the negotiation and migration protocols arrive within
-    /// tens of µs, and a parked OS thread's futex wake-up costs more than
-    /// the whole exchange — then park on the endpoint.
-    pub(crate) fn idle_wait(&mut self) {
-        for _ in 0..40_000 {
-            if let Some(m) = self.ep.try_recv() {
-                self.handle(m);
-                return;
-            }
-            std::hint::spin_loop();
+    /// Park the driving OS thread until the endpoint's doorbell rings or
+    /// `idle_park` elapses (threaded mode; the deterministic driver parks
+    /// on the machine-wide shared bell instead).  Call only when a `step`
+    /// found nothing to do.  The two-phase snapshot/re-check/park protocol
+    /// (see [`madeleine::doorbell`]) makes the park race-free: a message
+    /// that lands between the re-check and the park rings past the
+    /// snapshot and the wait returns immediately.
+    pub(crate) fn idle_park(&mut self) {
+        debug_assert!(!self.sched.has_ready(), "parking with runnable threads");
+        let seen = self.ep.doorbell().rings();
+        if let Some(m) = self.ep.try_recv() {
+            self.inbox[handlers::classify(m.tag) as usize].push_back(m);
+            return;
         }
-        if let Some(m) = self.ep.recv_timeout(Duration::from_micros(200)) {
-            self.handle(m);
-        }
+        self.stats.driver_parks.fetch_add(1, Ordering::Relaxed);
+        self.ep.doorbell().wait_past(seen, self.idle_park);
+        self.stats.driver_wakeups.fetch_add(1, Ordering::Relaxed);
     }
 
     // -- outcome handling ---------------------------------------------------
@@ -439,100 +529,26 @@ impl NodeCtx {
         self.maybe_ack_shutdown();
     }
 
-    // -- message handling ---------------------------------------------------
+    // -- spawn plumbing (shared by the spawn/rpc handlers and spawn_local) --
 
-    fn handle(&mut self, m: Message) {
-        match m.tag {
-            tag::SPAWN_KEY => self.on_spawn_key(m),
-            tag::RPC_SPAWN => self.on_rpc_spawn(m),
-            tag::MIGRATION => self.on_migration(m),
-            tag::MIGRATION_NAK => self.on_migration_nak(m),
-            tag::NEG_LOCK_REQ => self.on_lock_req(m.src),
-            tag::NEG_LOCK_RELEASE => self.on_lock_release(),
-            tag::NEG_BITMAP_REQ => self.on_bitmap_req(m.src),
-            tag::NEG_BUY => self.on_buy(m),
-            tag::NEG_DONE => {
-                self.frozen = false;
-            }
-            tag::NEG_LOCK_GRANT
-            | tag::NEG_BITMAP_RESP
-            | tag::NEG_BUY_ACK
-            | tag::MIGRATE_CMD_ACK
-            | tag::LOAD_RESP => {
-                // Replies for a green thread blocked in a protocol exchange.
-                self.replies.push_back(m);
-            }
-            tag::RPC_RESP => {
-                // Park only if a caller is still waiting; a reply landing
-                // after its caller's deadline would otherwise sit in the
-                // queue forever.
-                let waiting = proto::peek_rpc_call_id(&m.payload)
-                    .is_some_and(|id| self.pending_calls.contains(&id));
-                if waiting {
-                    self.replies.push_back(m);
-                }
-            }
-            tag::SHUTDOWN => {
-                self.shutdown = true;
-                self.maybe_ack_shutdown();
-            }
-            tag::AUDIT_REQ => self.on_audit_req(m.src),
-            tag::LOAD_REQ => self.on_load_req(m.src),
-            tag::MIGRATE_CMD => self.on_migrate_cmd(m),
-            tag::RPC_CALL => self.on_rpc_call(m),
-            tag::THREAD_EXIT => {
-                if let Some(exit) = proto::decode_thread_exit(&m.payload) {
-                    // First write wins: the dying node already completed
-                    // the shared registry directly, and a typed join may
-                    // have consumed the value since — overwriting would
-                    // resurrect it.
-                    self.registry.complete_if_absent(exit);
-                }
-            }
-            t => panic!("node {}: unknown message tag {t}", self.node),
-        }
+    pub(crate) fn spawn_boxed(&mut self, tid: u64, f: Box<dyn FnOnce() + Send + 'static>) {
+        self.try_spawn_boxed(tid, 0, f).expect("spawning thread");
     }
 
-    fn on_spawn_key(&mut self, m: Message) {
-        if self.frozen {
-            // Spawning needs a stack slot (bitmap mutation): park until
-            // the negotiation ends.
-            self.deferred.push_back(m);
-            return;
-        }
-        let mut r = madeleine::message::PayloadReader::new(&m.payload);
-        let key = r.u64().expect("spawn payload");
-        let tid = r.u64().expect("spawn payload tid");
-        let f = self.spawn_table.take(key).expect("spawn key not found");
-        self.spawn_boxed(tid, f);
-    }
-
-    fn on_rpc_spawn(&mut self, m: Message) {
-        if self.frozen {
-            self.deferred.push_back(m);
-            return;
-        }
-        let (service, args) = proto::decode_rpc_spawn(&m.payload).expect("rpc payload");
-        let f = self
-            .services
-            .get(service)
-            .unwrap_or_else(|| panic!("service {service} not registered"));
-        let tid = self.sched.next_tid();
-        self.spawn_boxed(tid, Box::new(move || f(args)));
-    }
-
-    fn spawn_boxed(&mut self, tid: u64, f: Box<dyn FnOnce() + Send + 'static>) {
-        self.try_spawn_boxed(tid, f).expect("spawning thread");
-    }
-
-    fn try_spawn_boxed(
+    /// Spawn with extra marcel descriptor flags (`flags::CONTROL` puts a
+    /// protocol handler into the scheduler's control lane from birth).
+    pub(crate) fn try_spawn_boxed(
         &mut self,
         tid: u64,
+        extra_flags: u32,
         f: Box<dyn FnOnce() + Send + 'static>,
     ) -> Result<(), marcel::SpawnError> {
-        let d = self
-            .sched
-            .spawn_with_tid(&mut self.mgr, tid, instrument_body(tid, f))?;
+        let d = self.sched.spawn_with_tid_flags(
+            &mut self.mgr,
+            tid,
+            extra_flags,
+            instrument_body(tid, f),
+        )?;
         self.finish_spawn(tid, d);
         Ok(())
     }
@@ -559,243 +575,5 @@ impl NodeCtx {
         }
         self.threads.insert(tid, d);
         self.stats.spawns.fetch_add(1, Ordering::Relaxed);
-    }
-
-    fn on_migration(&mut self, m: Message) {
-        // Adopting slots does not touch the bitmap, so arrivals are legal
-        // even inside a negotiation ("the bitmaps do not undergo any change
-        // on thread migration", §4.2).
-        self.stats
-            .migration_wire_ns
-            .fetch_add(m.wire_ns, Ordering::Relaxed);
-        // The 8-byte tid prefix is readable even when the records behind
-        // it are garbage — it is what lets the NAK name the lost thread.
-        let tid = m
-            .payload
-            .get(..8)
-            .map(|b| u64::from_le_bytes(b.try_into().expect("8-byte slice")));
-        let t0 = Instant::now();
-        // SAFETY: buffer from a peer's pack_thread (or, under fault
-        // injection, arbitrary bytes — unpack_thread validates and rolls
-        // back rather than trusting them).
-        let unpacked = match tid {
-            Some(_) => unsafe { migration::unpack_thread(&m.payload[8..], &mut self.mgr) },
-            None => Err(crate::error::Pm2Error::Net(
-                "migration message shorter than its tid prefix".into(),
-            )),
-        };
-        self.stats
-            .migration_unpack_ns
-            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-        let d = match unpacked {
-            Ok(d) => d,
-            Err(e) => {
-                // A corrupt buffer costs one thread, never the node: log,
-                // count, and NAK the sender instead of crashing the driver.
-                self.stats.migrations_failed.fetch_add(1, Ordering::Relaxed);
-                let text = format!("rejected corrupt migration from node {}: {e}", m.src);
-                self.out.printf(self.node, &text);
-                let mut w = madeleine::message::PayloadWriter::pooled(&self.pool, 16 + text.len());
-                match tid {
-                    Some(t) => w.u8(1).u64(t),
-                    None => w.u8(0).u64(0),
-                };
-                w.bytes(text.as_bytes());
-                let _ = self.ep.send(m.src, tag::MIGRATION_NAK, w.finish());
-                return;
-            }
-        };
-        // SAFETY: unpack succeeded; `d` is a live resident descriptor.
-        unsafe {
-            if self.scheme == MigrationScheme::RegisteredPointers {
-                // Ablation baseline: charge the early-PM2 post-migration
-                // fix-up walk (registered pointers + frame chain).
-                crate::legacy::charge_arrival_fixup(d);
-            }
-            self.sched.adopt_arrival(d);
-            self.threads.insert((*d).tid, d);
-        }
-        self.stats.migrations_in.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// The peer could not unpack a thread we shipped.  Its slots were
-    /// unmapped at pack time and the tid left our tables, so the thread is
-    /// unrecoverable — but joiners must not hang: complete it in the
-    /// registry as a panic carrying the rejection text.
-    fn on_migration_nak(&mut self, m: Message) {
-        let mut r = madeleine::message::PayloadReader::new(&m.payload);
-        let has_tid = r.u8().unwrap_or(0) == 1;
-        let tid = r.u64().unwrap_or(0);
-        let text = String::from_utf8_lossy(r.rest()).into_owned();
-        self.out.printf(
-            self.node,
-            &format!("peer node {} NAKed a migration: {text}", m.src),
-        );
-        if has_tid && tid != 0 {
-            // First-write-wins, like THREAD_EXIT: never resurrect a
-            // completion a joiner already consumed.
-            self.registry.complete_if_absent(ThreadExit {
-                tid,
-                panicked: true,
-                died_on: self.node,
-                panic_msg: Some(format!("thread lost in migration: {text}")),
-                value: None,
-            });
-        }
-    }
-
-    // -- negotiation: server side --------------------------------------------
-
-    fn on_lock_req(&mut self, from: usize) {
-        assert_eq!(self.node, 0, "lock service lives on node 0");
-        if self.lock_holder.is_none() {
-            self.lock_holder = Some(from);
-            let _ = self.ep.send(from, tag::NEG_LOCK_GRANT, Vec::new());
-        } else {
-            self.lock_queue.push_back(from);
-        }
-    }
-
-    fn on_lock_release(&mut self) {
-        assert_eq!(self.node, 0, "lock service lives on node 0");
-        self.lock_holder = None;
-        if let Some(next) = self.lock_queue.pop_front() {
-            self.lock_holder = Some(next);
-            let _ = self.ep.send(next, tag::NEG_LOCK_GRANT, Vec::new());
-        }
-    }
-
-    fn on_bitmap_req(&mut self, from: usize) {
-        // Entering the system-wide critical section as a participant: the
-        // bitmap freezes until NEG_DONE (step (a) of §4.4).
-        self.frozen = true;
-        // The gather reply rides a pooled buffer: the initiator collects
-        // p − 1 of these per negotiation, so recycling matters.
-        let mut buf = self.pool.checkout(self.mgr.bitmap_wire_len());
-        self.mgr.bitmap_bytes_into(&mut buf);
-        let _ = self.ep.send(from, tag::NEG_BITMAP_RESP, buf);
-    }
-
-    fn on_buy(&mut self, m: Message) {
-        let ranges = proto::decode_ranges(&m.payload).expect("buy payload");
-        for r in ranges {
-            self.mgr.sell(r).expect("selling slots");
-        }
-        let _ = self.ep.send(m.src, tag::NEG_BUY_ACK, Vec::new());
-    }
-
-    // -- audit / load / remote-migration services ----------------------------
-
-    fn on_audit_req(&mut self, from: usize) {
-        let report = crate::audit::encode_node_report(self);
-        let _ = self.ep.send(from, tag::AUDIT_RESP, report);
-    }
-
-    fn on_load_req(&mut self, from: usize) {
-        let mut w = madeleine::message::PayloadWriter::pooled(&self.pool, 64);
-        w.u32(self.sched.resident() as u32);
-        // Migratable, currently-ready threads.
-        let migratable: Vec<u64> = self
-            .threads
-            .iter()
-            .filter(|(_, &d)| unsafe {
-                (*d).thread_state() == ThreadState::Ready
-                    && (*d).flags & marcel::thread::flags::MIGRATABLE != 0
-            })
-            .map(|(&tid, _)| tid)
-            .collect();
-        w.u32(migratable.len() as u32);
-        for t in &migratable {
-            w.u64(*t);
-        }
-        let _ = self.ep.send(from, tag::LOAD_RESP, w.finish());
-    }
-
-    fn on_rpc_call(&mut self, m: Message) {
-        if self.frozen {
-            // The handler thread needs a stack slot (bitmap mutation):
-            // park until the negotiation ends.
-            self.deferred.push_back(m);
-            return;
-        }
-        // The reply destination travels in the payload, NOT in `m.src`,
-        // so it survives the deferred replay above and any handler
-        // migration before the response is sent.
-        let Some((call_id, reply_to, service, req)) = proto::decode_rpc_call(&m.payload) else {
-            return; // Malformed request: nothing to reply to.
-        };
-        if req.len() > self.max_rpc_payload {
-            let msg = format!("request of {} bytes exceeds ceiling", req.len());
-            let _ = self.ep.send(
-                reply_to,
-                tag::RPC_RESP,
-                proto::encode_rpc_resp(
-                    &self.pool,
-                    call_id,
-                    rpc_status::REMOTE_ERROR,
-                    msg.as_bytes(),
-                ),
-            );
-            return;
-        }
-        let Some(handler) = self.typed_services.get(service) else {
-            let _ = self.ep.send(
-                reply_to,
-                tag::RPC_RESP,
-                proto::encode_rpc_resp(&self.pool, call_id, rpc_status::NO_SUCH_SERVICE, &[]),
-            );
-            return;
-        };
-        // LRPC semantics: the handler runs as a fresh Marcel thread, so it
-        // may allocate, spawn, even migrate; the reply is sent from
-        // whatever node it ends up on, matched by call id at the caller.
-        let max = self.max_rpc_payload;
-        let tid = self.sched.next_tid();
-        let spawned = self.try_spawn_boxed(
-            tid,
-            Box::new(move || {
-                let (status, bytes) = match handler(&req) {
-                    Ok(resp) if resp.len() <= max => (rpc_status::OK, resp),
-                    Ok(resp) => (
-                        rpc_status::REMOTE_ERROR,
-                        format!("response of {} bytes exceeds ceiling", resp.len()).into_bytes(),
-                    ),
-                    Err(e) => (rpc_status::REMOTE_ERROR, e.into_bytes()),
-                };
-                let pool = crate::api::local_pool();
-                let _ = crate::api::send_to(
-                    reply_to,
-                    tag::RPC_RESP,
-                    proto::encode_rpc_resp(&pool, call_id, status, &bytes),
-                );
-            }),
-        );
-        if let Err(e) = spawned {
-            // Out of stack slots: the caller gets a typed remote error
-            // instead of a wedged machine and an opaque timeout.
-            let msg = format!("serving node could not spawn handler: {e}");
-            let _ = self.ep.send(
-                reply_to,
-                tag::RPC_RESP,
-                proto::encode_rpc_resp(
-                    &self.pool,
-                    call_id,
-                    rpc_status::REMOTE_ERROR,
-                    msg.as_bytes(),
-                ),
-            );
-        }
-    }
-
-    fn on_migrate_cmd(&mut self, m: Message) {
-        let (tid, dest) = proto::decode_migrate_cmd(&m.payload).expect("migrate cmd");
-        let ok = match self.threads.get(&tid) {
-            // SAFETY: resident descriptor.
-            Some(&d) => unsafe { self.sched.request_migration(d, dest) },
-            None => false,
-        };
-        let mut w = madeleine::message::PayloadWriter::pooled(&self.pool, 12);
-        w.u64(tid).u32(ok as u32);
-        let _ = self.ep.send(m.src, tag::MIGRATE_CMD_ACK, w.finish());
     }
 }

@@ -152,3 +152,92 @@ fn audit_passes_on_idle_machine() {
     assert_eq!(summary.thread_owned, 0);
     m.shutdown();
 }
+
+/// Build a bare NodeCtx (node 0 of 2) plus a "host" endpoint feeding it —
+/// the harness for white-box pump tests below.
+fn bare_node(pump_budget: usize) -> (crate::node::NodeCtx, madeleine::Endpoint) {
+    use std::sync::Arc;
+    let cfg = Pm2Config::test(2).with_pump_budget(pump_budget);
+    let area = Arc::new(isoaddr::IsoArea::with_strategy(cfg.area, cfg.map_strategy).unwrap());
+    let mut eps = madeleine::Fabric::new(3, madeleine::NetProfile::instant());
+    let host = eps.pop().unwrap();
+    let _ep1 = eps.pop().unwrap();
+    let ep0 = eps.pop().unwrap();
+    let ctx = crate::node::NodeCtx::new(
+        &cfg,
+        0,
+        area,
+        ep0,
+        crate::output::OutputSink::new(false),
+        crate::registry::Registry::new_shared(),
+        crate::registry::SpawnTable::new_shared(),
+        crate::registry::ServiceTable::new_shared(),
+        crate::service::TypedServiceTable::new_shared(),
+    );
+    (ctx, host)
+}
+
+#[test]
+fn pump_handles_control_before_a_data_flood() {
+    use crate::proto::tag;
+    let (mut ctx, host) = bare_node(1);
+    // A data-class flood (junk RPC_RESP: no pending caller, dropped on
+    // handling)… then one control-class SHUTDOWN, enqueued LAST.
+    for _ in 0..16 {
+        host.send(0, tag::RPC_RESP, vec![0u8; 4]).unwrap();
+    }
+    host.send(0, tag::SHUTDOWN, Vec::new()).unwrap();
+    // Budget 1: the single message this pump handles must be the SHUTDOWN.
+    assert!(ctx.pump());
+    assert!(ctx.shutdown, "control class must overtake the queued flood");
+    assert!(
+        ctx.inbox_pending(),
+        "the data flood is still queued behind the control message"
+    );
+    // Draining continues across pumps until the lanes are empty.
+    let mut pumps = 0;
+    while ctx.pump() {
+        pumps += 1;
+        assert!(pumps <= 16, "budget-1 pumps must drain one message each");
+    }
+    assert!(!ctx.inbox_pending());
+}
+
+#[test]
+fn pump_budget_bounds_one_drain() {
+    use crate::proto::tag;
+    let (mut ctx, host) = bare_node(4);
+    for _ in 0..10 {
+        host.send(0, tag::RPC_RESP, vec![0u8; 4]).unwrap();
+    }
+    assert!(ctx.pump());
+    // 10 ingested, 4 handled: the rest wait their turn.
+    let queued: usize = ctx.inbox.iter().map(|lane| lane.len()).sum();
+    assert_eq!(queued, 6, "budget must stop the drain mid-flood");
+    assert!(ctx.pump());
+    assert!(ctx.pump());
+    assert!(!ctx.pump(), "nothing left after three budgeted pumps");
+}
+
+#[test]
+fn migration_class_sits_between_control_and_data() {
+    use crate::proto::tag;
+    let (mut ctx, host) = bare_node(1);
+    // Enqueue in worst-case order: data, then migration, then control.
+    host.send(0, tag::RPC_RESP, vec![0u8; 4]).unwrap();
+    let cmd = crate::proto::encode_migrate_cmd(host.pool(), 0xDEAD, 1);
+    host.send(0, tag::MIGRATE_CMD, cmd).unwrap();
+    host.send(0, tag::SHUTDOWN, Vec::new()).unwrap();
+    assert!(ctx.pump());
+    assert!(ctx.shutdown, "pump 1 takes the control message");
+    assert!(ctx.pump());
+    // Pump 2 took the MIGRATE_CMD: its NAK-style ack (unknown tid) is on
+    // the wire to the host already, while the junk data is still queued.
+    let ack = host
+        .recv_timeout(std::time::Duration::from_secs(5))
+        .expect("migrate-cmd ack");
+    assert_eq!(ack.tag, tag::MIGRATE_CMD_ACK);
+    assert!(ctx.inbox_pending(), "data class drains last");
+    assert!(ctx.pump());
+    assert!(!ctx.inbox_pending());
+}

@@ -43,8 +43,20 @@
 //!
 //! [`Endpoint::broadcast`] seals its payload once and fans it out by
 //! refcount: one buffer serves all `p − 1` destinations regardless of size.
+//!
+//! ## Doorbells: event-driven receivers
+//!
+//! Every send rings the destination endpoint's [`Doorbell`] *after*
+//! enqueuing the message, so an idle driver parks (futex wait) instead of
+//! spin- or sleep-polling — on a loaded host the difference between a
+//! ~1 ms OS-timeslice of added latency per message and a few-µs wake-up.
+//! The two-phase snapshot/re-check/park protocol (see [`doorbell`]) makes
+//! the park race-free, [`Endpoint::recv_until`] gives a deadline-bounded
+//! blocking receive, and [`Fabric::new_shared_doorbell`] aliases one bell
+//! across every endpoint for single-driver (deterministic) embedders.
 
 pub mod buf;
+pub mod doorbell;
 pub mod message;
 pub mod network;
 pub mod profile;
@@ -52,6 +64,7 @@ pub mod stats;
 pub mod wire;
 
 pub use buf::{BufPool, BufPoolStats, Payload, PayloadBuf};
+pub use doorbell::Doorbell;
 pub use message::Message;
 pub use network::{Endpoint, Fabric, NetError};
 pub use profile::{spin_for, NetProfile};

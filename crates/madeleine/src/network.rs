@@ -23,8 +23,10 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
+use std::time::Instant;
 
 use crate::buf::{BufPool, Payload};
+use crate::doorbell::Doorbell;
 use crate::message::Message;
 use crate::profile::{spin_for, NetProfile};
 use crate::stats::{EndpointStats, EndpointStatsSnapshot};
@@ -53,6 +55,9 @@ struct Shared {
     senders: Vec<Sender<Message>>,
     profile: NetProfile,
     stats: Vec<Arc<EndpointStats>>,
+    /// Doorbell rung when a message is enqueued for node *i*.  Entries may
+    /// alias one shared bell (deterministic-mode single driver).
+    doorbells: Vec<Doorbell>,
 }
 
 /// Factory for a set of connected endpoints.
@@ -60,9 +65,23 @@ pub struct Fabric;
 
 impl Fabric {
     /// Build an `n`-node fabric; returns one [`Endpoint`] per node, in node
-    /// order.  (`Fabric` itself is a pure factory and holds no state.)
+    /// order, each with its own doorbell.  (`Fabric` itself is a pure
+    /// factory and holds no state.)
     #[allow(clippy::new_ret_no_self)]
     pub fn new(n: usize, profile: NetProfile) -> Vec<Endpoint> {
+        Fabric::build(n, profile, (0..n).map(|_| Doorbell::new()).collect())
+    }
+
+    /// [`Fabric::new`], but every endpoint rings — and can park on — one
+    /// **shared** doorbell.  This is what a single OS thread driving all
+    /// nodes round-robin wants: it parks once for the whole fabric and any
+    /// send to any node wakes it.
+    pub fn new_shared_doorbell(n: usize, profile: NetProfile) -> Vec<Endpoint> {
+        let bell = Doorbell::new();
+        Fabric::build(n, profile, vec![bell; n])
+    }
+
+    fn build(n: usize, profile: NetProfile, doorbells: Vec<Doorbell>) -> Vec<Endpoint> {
         assert!(n >= 1, "a fabric needs at least one node");
         let mut senders = Vec::with_capacity(n);
         let mut receivers = Vec::with_capacity(n);
@@ -76,6 +95,7 @@ impl Fabric {
             senders,
             profile,
             stats,
+            doorbells,
         });
         receivers
             .into_iter()
@@ -161,6 +181,10 @@ impl Endpoint {
             payload,
         };
         sender.send(msg).map_err(|_| NetError::Disconnected(dst))?;
+        // Ring strictly *after* the enqueue: a driver that snapshots the
+        // ring counter, finds its inbox empty and parks is then guaranteed
+        // to observe either the message or the ring (see `doorbell`).
+        self.shared.doorbells[dst].ring();
         self.shared.stats[self.node].on_send(len);
         Ok(())
     }
@@ -198,11 +222,32 @@ impl Endpoint {
     }
 
     /// Blocking receive with a timeout; `None` on timeout or teardown.
+    /// The wait is a genuine park (no polling): the channel wakes the
+    /// caller the moment a message is enqueued.
     pub fn recv_timeout(&self, timeout: Duration) -> Option<Message> {
         match self.rx.recv_timeout(timeout) {
             Ok(m) => Some(self.charge_and_count(m)),
             Err(_) => None,
         }
+    }
+
+    /// Blocking receive until `deadline`; `None` once the deadline passes
+    /// (or on teardown).  Like [`Endpoint::recv_timeout`], this parks — it
+    /// never slices the wait into polls.
+    pub fn recv_until(&self, deadline: Instant) -> Option<Message> {
+        let now = Instant::now();
+        if now >= deadline {
+            return self.try_recv();
+        }
+        self.recv_timeout(deadline - now)
+    }
+
+    /// The doorbell rung whenever a message is enqueued for this endpoint.
+    /// Drivers park on it when both the inbox and the local scheduler are
+    /// idle; under [`Fabric::new_shared_doorbell`] all endpoints return
+    /// handles to the same bell.
+    pub fn doorbell(&self) -> &Doorbell {
+        &self.shared.doorbells[self.node]
     }
 
     /// Statistics for this endpoint.
@@ -367,6 +412,56 @@ mod tests {
         let s = eps[0].pool().stats();
         assert_eq!(s.allocs, 1, "steady state must not allocate: {s:?}");
         assert_eq!(s.reuses, 31);
+    }
+
+    #[test]
+    fn send_rings_destination_doorbell() {
+        let eps = Fabric::new(3, NetProfile::instant());
+        let before = eps[1].doorbell().rings();
+        eps[0].send(1, 0, Vec::new()).unwrap();
+        assert_eq!(eps[1].doorbell().rings(), before + 1);
+        // Node 2's bell is untouched: per-endpoint bells are independent.
+        assert_eq!(eps[2].doorbell().rings(), 0);
+        assert!(!eps[1].doorbell().same_bell(eps[2].doorbell()));
+    }
+
+    #[test]
+    fn shared_doorbell_covers_every_endpoint() {
+        let eps = Fabric::new_shared_doorbell(3, NetProfile::instant());
+        assert!(eps[0].doorbell().same_bell(eps[2].doorbell()));
+        let seen = eps[0].doorbell().rings();
+        eps[1].send(2, 0, Vec::new()).unwrap();
+        // A send to *any* node moves the one shared counter.
+        assert_eq!(eps[0].doorbell().rings(), seen + 1);
+    }
+
+    #[test]
+    fn parked_receiver_wakes_on_send() {
+        let mut eps = Fabric::new(2, NetProfile::instant());
+        let e1 = eps.pop().unwrap();
+        let e0 = eps.pop().unwrap();
+        let t = std::thread::spawn(move || {
+            // Park on the doorbell with the two-phase protocol, then drain.
+            let seen = e1.doorbell().rings();
+            if e1.try_recv().is_none() {
+                e1.doorbell().wait_past(seen, Duration::from_secs(5));
+            }
+            e1.recv_until(Instant::now() + Duration::from_secs(5))
+                .expect("woken with a message pending")
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        e0.send(1, 9, vec![1]).unwrap();
+        let m = t.join().unwrap();
+        assert_eq!(m.tag, 9);
+    }
+
+    #[test]
+    fn recv_until_respects_past_deadlines() {
+        let eps = Fabric::new(2, NetProfile::instant());
+        // Expired deadline: degenerates to a non-blocking poll.
+        assert!(eps[1].recv_until(Instant::now()).is_none());
+        eps[0].send(1, 4, Vec::new()).unwrap();
+        assert_eq!(eps[1].recv_until(Instant::now()).unwrap().tag, 4);
     }
 
     #[test]

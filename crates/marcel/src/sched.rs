@@ -53,13 +53,41 @@ pub enum RunOutcome {
     Blocked(DescPtr),
 }
 
+/// Consecutive control-lane dispatches before one run-queue quantum is
+/// interleaved.  Control work overtakes compute floods, but a control
+/// thread stuck in a poll+yield wait (a balancer daemon waiting for
+/// replies that *compute threads* must help generate) cannot livelock the
+/// node: the normal lane always progresses at ≥ 1/(CTL_BURST+1) speed.
+const CTL_BURST: u32 = 4;
+
 struct SchedInner {
     node: usize,
+    /// Control lane: threads flagged [`thread::flags::CONTROL`] (protocol
+    /// handlers).  Dispatched before the run queue, in bursts of
+    /// [`CTL_BURST`], so a flood of compute quanta cannot starve
+    /// migration/negotiation exchanges — and vice versa.
+    ctl_queue: VecDeque<DescPtr>,
     run_queue: VecDeque<DescPtr>,
+    /// Control dispatches since the last run-queue dispatch.
+    ctl_streak: u32,
     current: DescPtr,
     sched_ctx: Context,
     tid_counter: u64,
     resident: usize,
+}
+
+impl SchedInner {
+    /// Enqueue into the lane the descriptor's flags select.
+    ///
+    /// # Safety
+    /// `d` must be a live descriptor owned by this scheduler's node.
+    unsafe fn enqueue(&mut self, d: DescPtr) {
+        if (*d).flags & thread::flags::CONTROL != 0 {
+            self.ctl_queue.push_back(d);
+        } else {
+            self.run_queue.push_back(d);
+        }
+    }
 }
 
 /// A per-node scheduler.  Owns no threads' memory — descriptors live in
@@ -79,7 +107,9 @@ impl Scheduler {
         Scheduler {
             inner: Box::new(UnsafeCell::new(SchedInner {
                 node,
+                ctl_queue: VecDeque::new(),
                 run_queue: VecDeque::new(),
+                ctl_streak: 0,
                 current: std::ptr::null_mut(),
                 sched_ctx: Context::default(),
                 tid_counter: 0,
@@ -104,9 +134,22 @@ impl Scheduler {
         unsafe { (*self.ptr()).node }
     }
 
-    /// Number of runnable threads queued.
+    /// Number of runnable threads queued (both lanes).
     pub fn queue_len(&self) -> usize {
-        unsafe { (*self.ptr()).run_queue.len() }
+        unsafe {
+            let inner = &*self.ptr();
+            inner.ctl_queue.len() + inner.run_queue.len()
+        }
+    }
+
+    /// Is any thread ready to run?  The embedder's driver consults this
+    /// before parking: parking is only safe when the scheduler is idle
+    /// (`!has_ready()`) *and* the message inbox is drained.
+    pub fn has_ready(&self) -> bool {
+        unsafe {
+            let inner = &*self.ptr();
+            !inner.ctl_queue.is_empty() || !inner.run_queue.is_empty()
+        }
     }
 
     /// Number of threads resident on this node (queued + running + blocked).
@@ -149,6 +192,23 @@ impl Scheduler {
     where
         F: FnOnce() + Send + 'static,
     {
+        self.spawn_with_tid_flags(provider, tid, 0, f)
+    }
+
+    /// [`Scheduler::spawn_with_tid`] with extra descriptor flags OR-ed in
+    /// at birth — pass [`thread::flags::CONTROL`] to start the thread in
+    /// the control lane from its very first quantum (protocol handlers
+    /// must not wait behind a backlog of compute threads even once).
+    pub fn spawn_with_tid_flags<F>(
+        &self,
+        provider: &mut dyn SlotProvider,
+        tid: u64,
+        extra_flags: u32,
+        f: F,
+    ) -> Result<DescPtr, SpawnError>
+    where
+        F: FnOnce() + Send + 'static,
+    {
         let slot_size = provider.slot_size();
         let closure_size = std::mem::size_of::<F>();
         debug_assert!(std::mem::align_of::<F>() <= 16, "closure over-aligned");
@@ -173,7 +233,8 @@ impl Scheduler {
             (*d).entry_data = layout.closure;
             (*d).entry_invoke = invoke_closure::<F> as unsafe fn(*mut u8) as usize;
             (*d).ctx = prepare_initial_context(layout.stack_top, d as usize);
-            inner.run_queue.push_back(d);
+            (*d).flags |= extra_flags;
+            inner.enqueue(d);
             inner.resident += 1;
             Ok(d)
         }
@@ -186,7 +247,7 @@ impl Scheduler {
     /// node (returned by a previous [`RunOutcome::Yielded`]).
     pub unsafe fn requeue(&self, d: DescPtr) {
         debug_assert_eq!((*d).thread_state(), ThreadState::Ready);
-        (*self.ptr()).run_queue.push_back(d);
+        (*self.ptr()).enqueue(d);
     }
 
     /// Wake a blocked thread.
@@ -197,7 +258,7 @@ impl Scheduler {
     pub unsafe fn unblock(&self, d: DescPtr) {
         debug_assert_eq!((*d).thread_state(), ThreadState::Blocked);
         (*d).state = ThreadState::Ready as u32;
-        (*self.ptr()).run_queue.push_back(d);
+        (*self.ptr()).enqueue(d);
     }
 
     /// Adopt a thread that just arrived by migration: its slots are mapped
@@ -211,7 +272,9 @@ impl Scheduler {
         (*d).state = ThreadState::Ready as u32;
         (*d).cur_node = inner.node as u32;
         (*d).migrate_dest = -1;
-        inner.run_queue.push_back(d);
+        // The CONTROL flag migrated with the descriptor: an arriving
+        // protocol handler keeps its lane.
+        inner.enqueue(d);
         inner.resident += 1;
     }
 
@@ -229,7 +292,18 @@ impl Scheduler {
     pub fn run_one(&self) -> Option<RunOutcome> {
         let inner = self.ptr();
         unsafe {
-            let d = (*inner).run_queue.pop_front()?;
+            // Control lane first, in bounded bursts: protocol handlers
+            // overtake compute quanta, but a poll-yielding control thread
+            // can never monopolize the node (see CTL_BURST).
+            let take_ctl = !(*inner).ctl_queue.is_empty()
+                && ((*inner).run_queue.is_empty() || (*inner).ctl_streak < CTL_BURST);
+            let d = if take_ctl {
+                (*inner).ctl_streak += 1;
+                (*inner).ctl_queue.pop_front()?
+            } else {
+                (*inner).ctl_streak = 0;
+                (*inner).run_queue.pop_front()?
+            };
             // Preemptive migration: a third party tagged the thread while it
             // was ready.  Ship it without running it — the thread itself
             // contains no migration code whatsoever (transparency, §2).

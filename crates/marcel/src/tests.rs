@@ -220,6 +220,139 @@ fn block_and_unblock() {
     assert_eq!(stage.load(Ordering::SeqCst), 2);
 }
 
+#[test]
+fn has_ready_tracks_both_lanes() {
+    let (_area, mut mgrs) = rig(1);
+    let s = Scheduler::new(0);
+    assert!(!s.has_ready(), "fresh scheduler is idle");
+    s.spawn(&mut mgrs[0], || {}).unwrap();
+    assert!(s.has_ready());
+    assert_eq!(s.queue_len(), 1);
+    drive(&s, &mut mgrs[0]);
+    assert!(!s.has_ready(), "drained scheduler is idle again");
+    // A control-lane spawn flips it too.
+    let tid = s.next_tid();
+    s.spawn_with_tid_flags(&mut mgrs[0], tid, crate::thread::flags::CONTROL, || {})
+        .unwrap();
+    assert!(s.has_ready());
+    assert_eq!(s.queue_len(), 1);
+    drive(&s, &mut mgrs[0]);
+}
+
+#[test]
+fn control_lane_overtakes_compute_quanta() {
+    let (_area, mut mgrs) = rig(1);
+    let s = Scheduler::new(0);
+    let log = Arc::new(Mutex::new(Vec::new()));
+    // Three compute threads first…
+    for id in 0..3u32 {
+        let log = Arc::clone(&log);
+        s.spawn(&mut mgrs[0], move || {
+            log.lock().unwrap().push(format!("compute{id}"));
+        })
+        .unwrap();
+    }
+    // …then a control-priority handler, spawned last.
+    let log2 = Arc::clone(&log);
+    let tid = s.next_tid();
+    s.spawn_with_tid_flags(
+        &mut mgrs[0],
+        tid,
+        crate::thread::flags::CONTROL,
+        move || {
+            log2.lock().unwrap().push("control".into());
+        },
+    )
+    .unwrap();
+    drive(&s, &mut mgrs[0]);
+    assert_eq!(
+        log.lock().unwrap()[0],
+        "control",
+        "control lane dispatches before older compute threads"
+    );
+}
+
+#[test]
+fn control_flag_keeps_lane_across_requeues() {
+    let (_area, mut mgrs) = rig(1);
+    let s = Scheduler::new(0);
+    let log = Arc::new(Mutex::new(Vec::new()));
+    let log_c = Arc::clone(&log);
+    let tid = s.next_tid();
+    s.spawn_with_tid_flags(
+        &mut mgrs[0],
+        tid,
+        crate::thread::flags::CONTROL,
+        move || {
+            for round in 0..3u32 {
+                log_c.lock().unwrap().push(format!("control{round}"));
+                yield_now();
+            }
+        },
+    )
+    .unwrap();
+    let log_n = Arc::clone(&log);
+    s.spawn(&mut mgrs[0], move || {
+        for round in 0..3u32 {
+            log_n.lock().unwrap().push(format!("compute{round}"));
+            yield_now();
+        }
+    })
+    .unwrap();
+    drive(&s, &mut mgrs[0]);
+    let log = log.lock().unwrap();
+    // Every control quantum lands before every compute quantum: the flag
+    // re-selects the control lane on each requeue.
+    assert_eq!(
+        *log,
+        vec!["control0", "control1", "control2", "compute0", "compute1", "compute2"]
+    );
+}
+
+#[test]
+fn polling_control_thread_cannot_starve_compute() {
+    // A control daemon that yield-polls for a condition only a *compute*
+    // thread can satisfy: bounded control bursts must let the compute
+    // thread finish (an unbounded control lane would livelock here).
+    let (_area, mut mgrs) = rig(1);
+    let s = Scheduler::new(0);
+    let done = Arc::new(AtomicUsize::new(0));
+    let done_d = Arc::clone(&done);
+    let tid = s.next_tid();
+    s.spawn_with_tid_flags(
+        &mut mgrs[0],
+        tid,
+        crate::thread::flags::CONTROL,
+        move || {
+            while done_d.load(Ordering::SeqCst) == 0 {
+                yield_now();
+            }
+        },
+    )
+    .unwrap();
+    let done_c = Arc::clone(&done);
+    s.spawn(&mut mgrs[0], move || {
+        done_c.store(1, Ordering::SeqCst);
+    })
+    .unwrap();
+    // 64 steps are plenty under CTL_BURST fairness; without it this drive
+    // would never terminate.
+    s.activate();
+    for _ in 0..64 {
+        match s.run_one() {
+            Some(RunOutcome::Yielded(d)) => unsafe { s.requeue(d) },
+            Some(RunOutcome::Exited(d)) => unsafe {
+                s.note_gone();
+                crate::release_thread_resources(d, &mut mgrs[0]).unwrap();
+            },
+            Some(other) => panic!("unexpected: {other:?}"),
+            None => break,
+        }
+    }
+    assert_eq!(done.load(Ordering::SeqCst), 1, "compute thread starved");
+    assert_eq!(s.resident(), 0, "daemon observed the flag and exited");
+}
+
 // ---------------------------------------------------------------------------
 // Hand-driven migration: the substrate-level proof of the paper's mechanism.
 // ---------------------------------------------------------------------------

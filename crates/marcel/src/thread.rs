@@ -85,6 +85,13 @@ pub mod switch_reason {
 pub mod flags {
     /// The thread may be migrated by third parties (preemptive migration).
     pub const MIGRATABLE: u32 = 1;
+    /// The thread runs protocol work (migration, negotiation, LRPC
+    /// service bodies, balancer daemons): it enqueues into the scheduler's
+    /// control lane and is dispatched ahead of ordinary compute quanta, so
+    /// a flood of application threads cannot starve the runtime's own
+    /// request/reply exchanges.  The flag travels with the descriptor, so
+    /// priority survives migration.
+    pub const CONTROL: u32 = 2;
 }
 
 /// The thread descriptor.  Lives inside the stack slot; every pointer field

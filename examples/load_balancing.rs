@@ -32,6 +32,7 @@ fn main() {
             period: Duration::from_millis(1),
             threshold: 1,
             max_moves_per_round: 8,
+            ..BalancerConfig::default()
         },
     )
     .unwrap();

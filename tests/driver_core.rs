@@ -1,0 +1,189 @@
+//! The event-driven driver core, observed from outside: quiescent
+//! machines park their drivers (near-zero wake-ups, no spinning), parked
+//! drivers wake promptly on traffic, and a flood of data-class messages
+//! cannot starve shutdown or negotiation (ISSUE 3).
+
+use std::time::{Duration, Instant};
+
+use pm2::api::*;
+use pm2::proto::tag;
+use pm2::{Machine, MachineMode, Pm2Config};
+
+/// Junk RPC_RESP bytes: data-class on the wire, dropped on handling (no
+/// pending caller), so floods exercise the queueing layer only.
+fn flood(m: &Machine, node: usize, count: usize) {
+    for _ in 0..count {
+        m.inject_raw(node, tag::RPC_RESP, vec![0u8; 8]).unwrap();
+    }
+}
+
+#[test]
+fn quiescent_threaded_machine_parks_its_drivers() {
+    let mut m = Machine::launch(
+        Pm2Config::test(2)
+            .with_mode(MachineMode::Threaded)
+            // Park longer than the observation window: a parked driver
+            // then shows ~zero wake-ups while we watch.
+            .with_idle_park(Duration::from_secs(5)),
+    )
+    .unwrap();
+    // Let the drivers reach their parks, then watch a quiet window.
+    std::thread::sleep(Duration::from_millis(100));
+    let before: Vec<_> = (0..2).map(|n| m.node_stats(n)).collect();
+    std::thread::sleep(Duration::from_millis(300));
+    for (node, s0) in before.iter().enumerate() {
+        let s1 = m.node_stats(node);
+        assert!(
+            s1.driver_parks >= 1,
+            "node {node} driver never parked: {s1:?}"
+        );
+        assert!(
+            s1.driver_wakeups - s0.driver_wakeups <= 2,
+            "node {node} woke {} times in a quiet 300 ms window",
+            s1.driver_wakeups - s0.driver_wakeups
+        );
+        assert!(
+            s1.steps - s0.steps <= 8,
+            "node {node} kept stepping ({} steps) while idle — spinning?",
+            s1.steps - s0.steps
+        );
+    }
+    // A parked driver still wakes promptly for real work.
+    let t0 = Instant::now();
+    let v = m.run_on(1, || 6 * 7).unwrap();
+    assert_eq!(v, 42);
+    assert!(
+        t0.elapsed() < Duration::from_secs(2),
+        "wake-from-park took {:?}",
+        t0.elapsed()
+    );
+    m.shutdown();
+}
+
+#[test]
+fn quiescent_deterministic_machine_parks_its_driver() {
+    let mut m = Machine::launch(Pm2Config::test(2).with_idle_park(Duration::from_secs(5))).unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+    let before = m.node_stats(0);
+    std::thread::sleep(Duration::from_millis(300));
+    let after = m.node_stats(0);
+    assert!(after.driver_parks >= 1, "shared-bell driver never parked");
+    assert!(
+        after.driver_wakeups - before.driver_wakeups <= 2,
+        "driver woke {} times in a quiet 300 ms window",
+        after.driver_wakeups - before.driver_wakeups
+    );
+    // Shutdown needs no park-timeout to complete: the SHUTDOWN sends ring
+    // the shared doorbell and the final sweep observes `finished()`.
+    let t0 = Instant::now();
+    m.shutdown();
+    assert!(
+        t0.elapsed() < Duration::from_secs(4),
+        "shutdown of a parked machine waited on a timeout: {:?}",
+        t0.elapsed()
+    );
+}
+
+#[test]
+fn data_flood_does_not_starve_shutdown_deterministic() {
+    let mut m = Machine::launch(Pm2Config::test(2).with_pump_budget(8)).unwrap();
+    flood(&m, 0, 4000);
+    flood(&m, 1, 4000);
+    let t0 = Instant::now();
+    m.shutdown();
+    assert!(
+        t0.elapsed() < Duration::from_secs(30),
+        "shutdown starved behind the flood: {:?}",
+        t0.elapsed()
+    );
+}
+
+#[test]
+fn data_flood_does_not_starve_shutdown_threaded() {
+    let mut m = Machine::launch(
+        Pm2Config::test(2)
+            .with_mode(MachineMode::Threaded)
+            .with_pump_budget(8),
+    )
+    .unwrap();
+    flood(&m, 0, 4000);
+    flood(&m, 1, 4000);
+    let t0 = Instant::now();
+    m.shutdown();
+    assert!(
+        t0.elapsed() < Duration::from_secs(30),
+        "shutdown starved behind the flood: {:?}",
+        t0.elapsed()
+    );
+}
+
+#[test]
+fn data_flood_does_not_starve_negotiation() {
+    // Node 0's allocation needs slots node 1 owns (round-robin ⇒ every
+    // multi-slot negotiates); node 1 is simultaneously buried under
+    // data-class junk.  The control-class NEG exchange must overtake the
+    // flood and complete within the (test-profile, 10 s) reply deadline.
+    for mode in [MachineMode::Deterministic, MachineMode::Threaded] {
+        let mut m =
+            Machine::launch(Pm2Config::test(2).with_mode(mode).with_pump_budget(8)).unwrap();
+        let slot = m.area().slot_size();
+        flood(&m, 1, 5000);
+        m.run_on(0, move || {
+            let p = pm2_isomalloc(slot + 1).unwrap();
+            pm2_isofree(p).unwrap();
+        })
+        .unwrap();
+        assert_eq!(m.node_stats(0).negotiations, 1);
+        m.shutdown();
+    }
+}
+
+#[test]
+fn tiny_pump_budget_still_runs_everything() {
+    // Budget 1 (one message per pump) must be merely slow, never wrong:
+    // spawns, migration and typed joins all keep working.
+    for mode in [MachineMode::Deterministic, MachineMode::Threaded] {
+        let mut m =
+            Machine::launch(Pm2Config::test(2).with_mode(mode).with_pump_budget(1)).unwrap();
+        let h = m
+            .spawn_on_ret(0, || {
+                pm2_migrate(1).unwrap();
+                pm2_self() as u64
+            })
+            .unwrap();
+        assert_eq!(h.join().unwrap(), 1);
+        m.shutdown();
+    }
+}
+
+#[test]
+fn migration_hops_are_not_poll_bound() {
+    // The acceptance gate of ISSUE 3 in miniature: a threaded-mode hop on
+    // the instant profile must cost µs, not the ~1 ms a sleep-polling
+    // driver pays per hop on a busy host.  200 round trips finishing in
+    // < 2 s bounds the mean one-way hop at < 5 ms even under heavy CI
+    // noise; the polled baseline needed ~2.2 s of driver latency alone
+    // for the same work at its measured 1,079 µs/hop — and the wakeup
+    // counters prove the event-driven path was the one taken.
+    let mut m = Machine::launch(Pm2Config::test(2).with_mode(MachineMode::Threaded)).unwrap();
+    let t0 = Instant::now();
+    m.run_on(0, || {
+        for _ in 0..200 {
+            pm2_migrate(1).unwrap();
+            pm2_migrate(0).unwrap();
+        }
+    })
+    .unwrap();
+    let elapsed = t0.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(2),
+        "400 hops took {elapsed:?} — driver is poll-bound again"
+    );
+    let (s0, s1) = (m.node_stats(0), m.node_stats(1));
+    assert!(
+        s0.driver_parks + s1.driver_parks > 100,
+        "hops should be park/wake cycles, saw {} parks",
+        s0.driver_parks + s1.driver_parks
+    );
+    m.shutdown();
+}

@@ -18,6 +18,7 @@ fn balancer_spreads_a_hot_node() {
             period: Duration::from_millis(1),
             threshold: 1,
             max_moves_per_round: 8,
+            ..BalancerConfig::default()
         },
     )
     .unwrap();
@@ -79,6 +80,7 @@ fn balancer_is_quiet_on_balanced_load() {
             period: Duration::from_millis(1),
             threshold: 2,
             max_moves_per_round: 4,
+            ..BalancerConfig::default()
         },
     )
     .unwrap();
@@ -116,6 +118,7 @@ fn non_migratable_threads_stay_put() {
             period: Duration::from_millis(1),
             threshold: 0,
             max_moves_per_round: 8,
+            ..BalancerConfig::default()
         },
     )
     .unwrap();
