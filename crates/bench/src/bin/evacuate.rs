@@ -1,0 +1,10 @@
+//! Emit `BENCH_evacuation.json` (bulk evacuation wall-clock, batched
+//! migration trains vs the per-thread-message baseline).
+//!
+//! ```sh
+//! cargo run --release -p pm2-bench --bin evacuate
+//! ```
+
+fn main() {
+    pm2_bench::write_evacuation_json();
+}

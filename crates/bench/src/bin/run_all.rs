@@ -1,14 +1,18 @@
 //! Run every experiment table in sequence (E5, E6, Fig. 11, A1–A6 plus the
 //! substrate microbenchmarks) and leave the results under
 //! `target/experiments/`.  Also refreshes the repo-root perf-trajectory
-//! files `BENCH_migration.json` and `BENCH_latency.json`.
+//! files `BENCH_migration.json`, `BENCH_latency.json` and
+//! `BENCH_evacuation.json`.
 //!
 //! ```sh
 //! cargo run --release -p pm2-bench --bin run_all
 //! ```
 
 use pm2::NetProfile;
-use pm2_bench::{ctx_switch_ns, migration_breakdown, smoke, spawn_us, write_latency_json, Table};
+use pm2_bench::{
+    ctx_switch_ns, migration_breakdown, smoke, spawn_us, write_evacuation_json, write_latency_json,
+    Table,
+};
 
 /// Emit `BENCH_migration.json` at the repo root: the per-stage migration
 /// breakdown (pack / wire / unpack) plus throughput, starting the
@@ -92,6 +96,7 @@ fn main() {
     substrates();
     migration_json();
     write_latency_json(400);
+    write_evacuation_json();
     for bin in ["e5_migration", "e6_negotiation", "fig11", "ablations"] {
         println!("\n───────── {bin} ─────────");
         run(bin);

@@ -4,10 +4,12 @@
 //! statistically-validated benchmarks come from the same code paths.
 
 pub mod crit;
+pub mod evacuation;
 pub mod harness;
 pub mod latency;
 pub mod report;
 
+pub use evacuation::*;
 pub use harness::*;
 pub use latency::*;
 pub use report::*;

@@ -126,6 +126,67 @@ pub fn pm2_migrate_thread(tid: u64, dest: usize) -> Result<()> {
     })
 }
 
+/// Group migration: order every thread in `tids` (resident on node `src`)
+/// to migrate to `dest`, returning how many were accepted (resident,
+/// migratable, and at a shippable scheduling point).
+///
+/// This is the batched form of [`pm2_migrate_thread`] — PM2's group
+/// migration API.  One `MIGRATE_CMD` carries the whole tid list, and the
+/// departure side coalesces the accepted threads into migration *trains*
+/// (one wire message per destination, not per thread), so evacuating k
+/// threads costs one message latency per destination.  When `src` is the
+/// calling thread's own node the threads are flagged locally with no wire
+/// traffic at all; otherwise the call blocks (poll + yield) until the
+/// batched ack arrives or the reply deadline passes.
+pub fn pm2_group_migrate(src: usize, dest: usize, tids: &[u64]) -> Result<usize> {
+    let n_nodes = with_ctx(|c| c.n_nodes);
+    if dest >= n_nodes {
+        return Err(Pm2Error::NoSuchNode(dest));
+    }
+    if src >= n_nodes {
+        return Err(Pm2Error::NoSuchNode(src));
+    }
+    if tids.is_empty() {
+        return Ok(0);
+    }
+    if src == pm2_self() {
+        // Dedup so a repeated tid cannot be counted as two acceptances
+        // (request_migration succeeds again on an already-flagged thread).
+        let mut tids = tids.to_vec();
+        tids.sort_unstable();
+        tids.dedup();
+        return Ok(with_ctx(|c| {
+            tids.iter()
+                .filter(|tid| match c.threads.get(tid) {
+                    // SAFETY: descriptor resident on this node.
+                    Some(&d) => unsafe { c.sched.request_migration(d, dest) },
+                    None => false,
+                })
+                .count()
+        }));
+    }
+    let (cmd_id, pool) = with_ctx(|c| (c.next_call_id(), c.pool.clone()));
+    // Pin the caller for the exchange: the ack is addressed to this node.
+    let was_migratable = pm2_set_migratable(false);
+    let result = (|| {
+        send_to(
+            src,
+            tag::MIGRATE_CMD,
+            proto::encode_migrate_cmd(&pool, cmd_id, dest, tids),
+        )?;
+        let m = wait_reply_matching(tag::MIGRATE_CMD_ACK, Some(src), |m| {
+            proto::peek_cmd_id(&m.payload) == Some(cmd_id)
+        })?;
+        let (_, accepted, _) =
+            proto::decode_migrate_ack(&m.payload).ok_or(Pm2Error::Decode("migrate ack"))?;
+        Ok(accepted as usize)
+    })();
+    if was_migratable {
+        pm2_set_migratable(true);
+    }
+    result
+}
+
 /// Spawn a thread on the current node (the paper's `pm2_thread_create`).
 pub fn pm2_thread_create<F>(f: F) -> Result<u64>
 where

@@ -89,6 +89,19 @@ pub struct Pm2Config {
     /// traffic wakes a parked driver immediately and a quiescent machine
     /// wakes only once per `idle_park`.
     pub idle_park: Duration,
+    /// Upper bound on threads coalesced into one migration *train* (one
+    /// `MIGRATION` wire message).  When a departure is packed, every other
+    /// ready thread already flagged for migration is swept along and
+    /// same-destination threads ride the same message, so a k-thread
+    /// evacuation pays one message latency per destination instead of k.
+    /// `1` disables coalescing (the per-thread-message baseline measured
+    /// by the evacuation benchmark); values < 1 are treated as 1.
+    pub max_train: usize,
+    /// Fault-injection hook for tests: tids whose packed record group is
+    /// deliberately truncated on departure, exercising the per-record
+    /// train fault isolation end to end.  Leave empty in production.
+    #[doc(hidden)]
+    pub fault_corrupt_pack: Vec<u64>,
 }
 
 impl Pm2Config {
@@ -113,6 +126,8 @@ impl Pm2Config {
             max_rpc_payload: 1 << 20,
             pump_budget: 64,
             idle_park: Duration::from_millis(500),
+            max_train: 64,
+            fault_corrupt_pack: Vec::new(),
         }
     }
 
@@ -212,6 +227,19 @@ impl Pm2Config {
     /// Builder: idle-park backstop duration.
     pub fn with_idle_park(mut self, park: Duration) -> Self {
         self.idle_park = park;
+        self
+    }
+
+    /// Builder: migration-train size cap (1 disables coalescing).
+    pub fn with_max_train(mut self, max: usize) -> Self {
+        self.max_train = max;
+        self
+    }
+
+    /// Builder: pack-corruption fault hook (tests only).
+    #[doc(hidden)]
+    pub fn with_fault_corrupt_pack(mut self, tids: Vec<u64>) -> Self {
+        self.fault_corrupt_pack = tids;
         self
     }
 }
@@ -346,6 +374,14 @@ impl MachineBuilder {
         self
     }
 
+    /// Migration-train size cap — most threads coalesced into one
+    /// `MIGRATION` message; 1 disables coalescing (see
+    /// [`Pm2Config::max_train`]).
+    pub fn max_train(mut self, max: usize) -> Self {
+        self.cfg.max_train = max;
+        self
+    }
+
     /// The small deterministic instant-network profile tests use (the
     /// knobs of [`Pm2Config::test`]).  Overlays only the profile's own
     /// knobs (area, net, mode, slot cache, reply deadline); anything else
@@ -407,10 +443,12 @@ mod tests {
             .max_rpc_payload(4096)
             .pump_budget(7)
             .idle_park(Duration::from_millis(40))
+            .max_train(5)
             .echo(true)
             .into_config();
         assert_eq!(c.nodes, 3);
         assert_eq!(c.pump_budget, 7);
+        assert_eq!(c.max_train, 5);
         assert_eq!(c.idle_park, Duration::from_millis(40));
         assert_eq!(c.mode, MachineMode::Deterministic);
         assert_eq!(c.net.name, "instant");

@@ -1,13 +1,19 @@
-//! Migration-class handlers: thread arrival (`MIGRATION`), rejection
+//! Migration-class handlers: train arrival (`MIGRATION`), rejection
 //! (`MIGRATION_NAK`) and third-party migration commands (`MIGRATE_CMD`).
 //!
-//! The *departure* side (pack & ship) stays in the dispatch core
-//! (`NodeCtx::send_thread`): it is a scheduler outcome, not a message.
+//! The *departure* side (sweep & pack & ship) stays in the dispatch core
+//! (`NodeCtx::depart`): it is a scheduler outcome, not a message.
+//!
+//! Every `MIGRATION` payload is a *train* of k ≥ 1 threads (see
+//! `crate::migration` for the wire shape).  Arrival is all-the-healthy-
+//! threads-land: each record group unpacks independently, the adopted
+//! threads enter the scheduler in **one** batch (`adopt_arrivals`), and
+//! only the corrupt groups are NAKed back — by tid, which the fixed-size
+//! train table preserves even when the records behind it are garbage.
 
 use std::sync::atomic::Ordering;
 use std::time::Instant;
 
-use madeleine::message::{PayloadReader, PayloadWriter};
 use madeleine::Message;
 
 use crate::config::MigrationScheme;
@@ -22,70 +28,92 @@ pub(crate) fn on_migration(ctx: &mut NodeCtx, m: Message) {
     ctx.stats
         .migration_wire_ns
         .fetch_add(m.wire_ns, Ordering::Relaxed);
-    // The 8-byte tid prefix is readable even when the records behind
-    // it are garbage — it is what lets the NAK name the lost thread.
-    let tid = m
-        .payload
-        .get(..8)
-        .map(|b| u64::from_le_bytes(b.try_into().expect("8-byte slice")));
     let t0 = Instant::now();
-    // SAFETY: buffer from a peer's pack_thread (or, under fault
-    // injection, arbitrary bytes — unpack_thread validates and rolls
-    // back rather than trusting them).
-    let unpacked = match tid {
-        Some(_) => unsafe { crate::migration::unpack_thread(&m.payload[8..], &mut ctx.mgr) },
-        None => Err(crate::error::Pm2Error::Net(
-            "migration message shorter than its tid prefix".into(),
-        )),
-    };
+    // SAFETY: buffer from a peer's pack_threads (or, under fault
+    // injection, arbitrary bytes — unpack_threads validates and rolls
+    // back per record group rather than trusting them).
+    let unpacked = unsafe { crate::migration::unpack_threads(&m.payload, &mut ctx.mgr) };
     ctx.stats
         .migration_unpack_ns
         .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-    let d = match unpacked {
-        Ok(d) => d,
+    let outcome = match unpacked {
+        Ok(o) => o,
         Err(e) => {
-            // A corrupt buffer costs one thread, never the node: log,
-            // count, and NAK the sender instead of crashing the driver.
+            // The train table itself was unreadable: there are no tids to
+            // name, so NAK the whole message anonymously.  Costs the
+            // train, never the node.
             ctx.stats.migrations_failed.fetch_add(1, Ordering::Relaxed);
             let text = format!("rejected corrupt migration from node {}: {e}", m.src);
             ctx.out.printf(ctx.node, &text);
-            let mut w = PayloadWriter::pooled(&ctx.pool, 16 + text.len());
-            match tid {
-                Some(t) => w.u8(1).u64(t),
-                None => w.u8(0).u64(0),
-            };
-            w.bytes(text.as_bytes());
-            let _ = ctx.ep.send(m.src, tag::MIGRATION_NAK, w.finish());
+            let nak = proto::encode_migration_nak(&ctx.pool, &[], &text);
+            let _ = ctx.ep.send(m.src, tag::MIGRATION_NAK, nak);
             return;
         }
     };
-    // SAFETY: unpack succeeded; `d` is a live resident descriptor.
-    unsafe {
-        if ctx.scheme == MigrationScheme::RegisteredPointers {
-            // Ablation baseline: charge the early-PM2 post-migration
-            // fix-up walk (registered pointers + frame chain).
-            crate::legacy::charge_arrival_fixup(d);
+    if !outcome.adopted.is_empty() {
+        // SAFETY: unpack succeeded for these; live resident descriptors.
+        unsafe {
+            if ctx.scheme == MigrationScheme::RegisteredPointers {
+                // Ablation baseline: charge the early-PM2 post-migration
+                // fix-up walk (registered pointers + frame chain).
+                for &d in &outcome.adopted {
+                    crate::legacy::charge_arrival_fixup(d);
+                }
+            }
+            // The whole train enters the scheduler in one batch.
+            ctx.sched.adopt_arrivals(&outcome.adopted);
+            for &d in &outcome.adopted {
+                ctx.threads.insert((*d).tid, d);
+            }
         }
-        ctx.sched.adopt_arrival(d);
-        ctx.threads.insert((*d).tid, d);
+        ctx.stats
+            .migrations_in
+            .fetch_add(outcome.adopted.len() as u64, Ordering::Relaxed);
+        ctx.stats.trains_in.fetch_add(1, Ordering::Relaxed);
     }
-    ctx.stats.migrations_in.fetch_add(1, Ordering::Relaxed);
+    if !outcome.rejected.is_empty() {
+        // Corrupt groups cost their own threads, never the train: log,
+        // count, and NAK the sender with the lost tids.
+        ctx.stats
+            .migrations_failed
+            .fetch_add(outcome.rejected.len() as u64, Ordering::Relaxed);
+        let tids: Vec<u64> = outcome.rejected.iter().map(|(t, _)| *t).collect();
+        let reasons: Vec<String> = outcome
+            .rejected
+            .iter()
+            .map(|(t, e)| format!("tid {t:#x}: {e}"))
+            .collect();
+        let text = format!(
+            "rejected corrupt migration from node {}: {}",
+            m.src,
+            reasons.join("; ")
+        );
+        ctx.out.printf(ctx.node, &text);
+        let nak = proto::encode_migration_nak(&ctx.pool, &tids, &text);
+        let _ = ctx.ep.send(m.src, tag::MIGRATION_NAK, nak);
+    }
 }
 
-/// The peer could not unpack a thread we shipped.  Its slots were
-/// unmapped at pack time and the tid left our tables, so the thread is
-/// unrecoverable — but joiners must not hang: complete it in the
-/// registry as a panic carrying the rejection text.
+/// The peer could not unpack one or more threads we shipped.  Their slots
+/// were unmapped at pack time and the tids left our tables, so those
+/// threads are unrecoverable — but joiners must not hang: complete each in
+/// the registry as a panic carrying the rejection text.
 pub(crate) fn on_migration_nak(ctx: &mut NodeCtx, m: Message) {
-    let mut r = PayloadReader::new(&m.payload);
-    let has_tid = r.u8().unwrap_or(0) == 1;
-    let tid = r.u64().unwrap_or(0);
-    let text = String::from_utf8_lossy(r.rest()).into_owned();
+    let Some((tids, text)) = proto::decode_migration_nak(&m.payload) else {
+        ctx.out.printf(
+            ctx.node,
+            &format!("peer node {} sent an unreadable migration NAK", m.src),
+        );
+        return;
+    };
     ctx.out.printf(
         ctx.node,
         &format!("peer node {} NAKed a migration: {text}", m.src),
     );
-    if has_tid && tid != 0 {
+    for tid in tids {
+        if tid == 0 {
+            continue;
+        }
         // First-write-wins, like THREAD_EXIT: never resurrect a
         // completion a joiner already consumed.
         ctx.registry.complete_if_absent(ThreadExit {
@@ -98,14 +126,37 @@ pub(crate) fn on_migration_nak(ctx: &mut NodeCtx, m: Message) {
     }
 }
 
+/// One command moves a whole tid list to one destination (the balancer's
+/// per-(src, dest) plan entry).  Each resident, migratable, ready thread
+/// is flagged; they all leave at the next scheduling point — and because
+/// the departure side sweeps every flagged thread into one train, the k
+/// accepted threads cost one wire message, not k.
 pub(crate) fn on_migrate_cmd(ctx: &mut NodeCtx, m: Message) {
-    let (tid, dest) = proto::decode_migrate_cmd(&m.payload).expect("migrate cmd");
-    let ok = match ctx.threads.get(&tid) {
-        // SAFETY: resident descriptor.
-        Some(&d) => unsafe { ctx.sched.request_migration(d, dest) },
-        None => false,
+    let Some((cmd_id, dest, mut tids)) = proto::decode_migrate_cmd(&m.payload) else {
+        // A corrupt command costs the command, never the node; the
+        // sender's round deadline covers the missing ack.
+        ctx.out.printf(
+            ctx.node,
+            &format!("dropped unreadable migrate command from node {}", m.src),
+        );
+        return;
     };
-    let mut w = PayloadWriter::pooled(&ctx.pool, 12);
-    w.u64(tid).u32(ok as u32);
-    let _ = ctx.ep.send(m.src, tag::MIGRATE_CMD_ACK, w.finish());
+    let total = tids.len() as u32;
+    // Dedup so a tid repeated in one command cannot be double-counted
+    // (request_migration succeeds again on an already-flagged thread).
+    tids.sort_unstable();
+    tids.dedup();
+    let mut accepted = 0u32;
+    if dest < ctx.n_nodes {
+        for tid in &tids {
+            let ok = match ctx.threads.get(tid) {
+                // SAFETY: resident descriptor.
+                Some(&d) => unsafe { ctx.sched.request_migration(d, dest) },
+                None => false,
+            };
+            accepted += ok as u32;
+        }
+    }
+    let ack = proto::encode_migrate_ack(&ctx.pool, cmd_id, accepted, total);
+    let _ = ctx.ep.send(m.src, tag::MIGRATE_CMD_ACK, ack);
 }

@@ -86,6 +86,33 @@
 //! * host-side waits (registry joins, control replies) block on condvars
 //!   and channel parks; nothing in the runtime sleep-polls.
 //!
+//! ## Group migration trains
+//!
+//! Since ISSUE 4 bulk migration is **latency-proportional to the number
+//! of destinations, not the number of threads**.  Iso-address packing
+//! makes a serialized thread fully position-independent, so k threads
+//! bound for the same node ride one `MIGRATION` message — a *train*
+//! (count + tid/offset table + record groups; see `migration`):
+//!
+//! * the departure side sweeps every ready thread already flagged for
+//!   preemptive migration into the message being packed
+//!   (`max_train` builder knob caps the train length; 1 restores the
+//!   per-thread-message baseline, which the evacuation benchmark
+//!   measures);
+//! * arrival adopts the whole train into the scheduler in one batch, and
+//!   fault isolation is per record group: a corrupt record rolls back and
+//!   NAKs *only its own thread* (by tid, readable from the table even
+//!   when the records are garbage) while the rest of the train lands;
+//! * [`api::pm2_group_migrate`] orders a whole tid list moved with one
+//!   `MIGRATE_CMD`, and [`loadbal`] rounds compute a per-(src, dest) move
+//!   *plan*, command all overloaded sources concurrently and collect
+//!   batched acks under the round deadline — no serialized per-thread
+//!   RTTs anywhere (evacuating 64 threads over BIP: ≥ 3× faster than the
+//!   per-thread baseline, see `BENCH_evacuation.json`);
+//! * observability: [`node::NodeStatsSnapshot`] gains
+//!   `trains_out`/`trains_in` and `threads_per_message()`;
+//!   `madeleine`'s endpoint stats count batched sends.
+//!
 //! ## Crate layout
 //!
 //! * [`machine`] / [`node`] — the simulated cluster: one scheduler + slot
@@ -97,14 +124,16 @@
 //!   v1 calls) for code running inside Marcel threads;
 //! * [`service`] — the typed request/reply LRPC layer ([`Service`]);
 //! * [`negotiation`] — the global slot negotiation of §4.4;
-//! * `migration` — pack/ship/unpack (§2, with the §6 optimizations) on a
+//! * `migration` — pack/ship/unpack in trains (§2, with the §6
+//!   optimizations) on a
 //!   zero-copy data plane: buffers are checked out of per-endpoint pools
 //!   (`madeleine::BufPool`), sized from an occupancy hint, and recycled by
 //!   the receiver's drop — steady-state migrations allocate nothing
 //!   ([`Machine::pool_stats`] exposes the counters, and
 //!   [`node::NodeStatsSnapshot`] the pack/wire/unpack stage timings);
 //! * [`iso`] — typed containers over `pm2_isomalloc` (Fig. 7's list);
-//! * [`loadbal`] — an external load balancer driving preemptive migration;
+//! * [`loadbal`] — an external load balancer driving preemptive migration
+//!   with batched plan/ack rounds;
 //! * [`nodeheap`] — the non-migrating `malloc` baseline (Fig. 4/9);
 //! * [`legacy`] — the early-PM2 registered-pointer relocation baseline;
 //! * [`audit`] — machine-checked exclusive-ownership invariant.

@@ -8,9 +8,36 @@
 //! [`start_balancer`] spawns exactly such a module: a daemon thread (on
 //! node 0, excluded from migration itself) that periodically polls every
 //! node's load over the fabric and ships ready threads from overloaded
-//! nodes to underloaded ones with `MIGRATE_CMD`.  Application threads
-//! contain no migration code whatsoever.
+//! nodes to underloaded ones.  Application threads contain no migration
+//! code whatsoever.
+//!
+//! ## The plan/ack round protocol
+//!
+//! A round is **pipelined, not serialized** — its latency is proportional
+//! to the number of (source → destination) *pairs* that trade, never to
+//! the number of threads moved:
+//!
+//! 1. **Gather** — `LOAD_REQ` to every node; replies collected until all
+//!    answer or the round deadline passes (a frozen node sits the round
+//!    out; < 2 responders skips the round).
+//! 2. **Plan** — the same greedy most-loaded → least-loaded walk as ever,
+//!    but executed against the *snapshot*: it produces a move plan keyed
+//!    by (src, dest) pair, each entry carrying the full tid list.
+//! 3. **Command** — exactly one `MIGRATE_CMD` per planned pair, all
+//!    issued back-to-back with a fresh cmd id each, no ack waits between
+//!    them.  The source flags every named thread and the departure side
+//!    coalesces them into one migration *train* per destination.
+//! 4. **Collect** — batched `MIGRATE_CMD_ACK`s (cmd id, accepted, total)
+//!    are matched by cmd id until every pending command answers or the
+//!    deadline passes.  A straggler ack from an abandoned round has a
+//!    stale cmd id and is ignored, never credited to a later round.
+//!
+//! The old protocol shipped one tid per `MIGRATE_CMD` and blocked on each
+//! ack before sending the next, so evacuating 64 threads cost 64
+//! serialized RTTs; now it costs one RTT per destination pair plus one
+//! train per destination.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -20,7 +47,7 @@ use madeleine::message::PayloadReader;
 use crate::api::{self, send_to, wait_reply_until};
 use crate::error::Result;
 use crate::machine::Machine;
-use crate::proto::{encode_migrate_cmd, tag};
+use crate::proto::{self, encode_migrate_cmd, tag};
 
 /// Balancer tuning.
 #[derive(Debug, Clone)]
@@ -54,8 +81,16 @@ impl Default for BalancerConfig {
 /// Handle to stop the balancer daemon.
 pub struct BalancerHandle {
     stop: Arc<AtomicBool>,
-    moves: Arc<AtomicU64>,
+    counters: Arc<Counters>,
     thread: crate::machine::Pm2Thread,
+}
+
+/// Daemon observability: proof that rounds batch instead of serializing.
+#[derive(Debug, Default)]
+struct Counters {
+    moves: AtomicU64,
+    rounds: AtomicU64,
+    cmds: AtomicU64,
 }
 
 impl BalancerHandle {
@@ -65,27 +100,38 @@ impl BalancerHandle {
         machine.join(self.thread);
     }
 
-    /// Total migrations the balancer has ordered so far.
+    /// Total migrations the balancer has ordered (and had accepted) so far.
     pub fn moves(&self) -> u64 {
-        self.moves.load(Ordering::SeqCst)
+        self.counters.moves.load(Ordering::SeqCst)
+    }
+
+    /// Completed balance rounds.
+    pub fn rounds(&self) -> u64 {
+        self.counters.rounds.load(Ordering::SeqCst)
+    }
+
+    /// `MIGRATE_CMD` messages sent — at most one per (src, dest) pair per
+    /// round, so under imbalance `cmds() < moves()` proves batching.
+    pub fn cmds(&self) -> u64 {
+        self.counters.cmds.load(Ordering::SeqCst)
     }
 }
 
 /// Start the balancer daemon on node 0.
 pub fn start_balancer(machine: &Machine, cfg: BalancerConfig) -> Result<BalancerHandle> {
     let stop = Arc::new(AtomicBool::new(false));
-    let moves = Arc::new(AtomicU64::new(0));
+    let counters = Arc::new(Counters::default());
     let stop2 = Arc::clone(&stop);
-    let moves2 = Arc::clone(&moves);
-    let thread = machine.spawn_on(0, move || daemon(cfg, stop2, moves2))?;
+    let counters2 = Arc::clone(&counters);
+    let thread = machine.spawn_on(0, move || daemon(cfg, stop2, counters2))?;
     Ok(BalancerHandle {
         stop,
-        moves,
+        counters,
         thread,
     })
 }
 
-fn daemon(cfg: BalancerConfig, stop: Arc<AtomicBool>, moves: Arc<AtomicU64>) {
+fn daemon(cfg: BalancerConfig, stop: Arc<AtomicBool>, counters: Arc<Counters>) {
     // The balancer itself must not be bounced around by… itself.
     api::pm2_set_migratable(false);
     // …and its probe/command exchanges must not queue behind the very
@@ -94,11 +140,12 @@ fn daemon(cfg: BalancerConfig, stop: Arc<AtomicBool>, moves: Arc<AtomicU64>) {
     let p = api::pm2_nodes();
     while !stop.load(Ordering::SeqCst) {
         let round_started = Instant::now();
-        if let Err(e) = balance_round(p, &cfg, &moves) {
+        if let Err(e) = balance_round(p, &cfg, &counters) {
             // A shutting-down machine can drop replies; bail out quietly.
             let _ = e;
             break;
         }
+        counters.rounds.fetch_add(1, Ordering::SeqCst);
         // Sleep cooperatively until the next round.
         while round_started.elapsed() < cfg.period {
             if stop.load(Ordering::SeqCst) {
@@ -116,7 +163,7 @@ struct Load {
     migratable: Vec<u64>,
 }
 
-fn balance_round(p: usize, cfg: &BalancerConfig, moves: &AtomicU64) -> Result<()> {
+fn balance_round(p: usize, cfg: &BalancerConfig, counters: &Counters) -> Result<()> {
     let pool = api::local_pool();
     let deadline = Instant::now() + cfg.round_deadline;
     // Gather loads (the daemon itself counts towards node 0's load; the
@@ -154,8 +201,11 @@ fn balance_round(p: usize, cfg: &BalancerConfig, moves: &AtomicU64) -> Result<()
     let total: usize = loads.iter().map(|l| l.resident).sum();
     let mean = total / loads.len();
 
-    // Ship from the most loaded to the least loaded until balanced.
+    // Plan: the greedy most-loaded → least-loaded walk, against the
+    // snapshot only — no wire traffic yet.  The plan is keyed by
+    // (src, dest) pair; moving k threads between a pair costs one entry.
     let mut budget = cfg.max_moves_per_round;
+    let mut plan: HashMap<(usize, usize), Vec<u64>> = HashMap::new();
     loop {
         if budget == 0 {
             break;
@@ -174,27 +224,43 @@ fn balance_round(p: usize, cfg: &BalancerConfig, moves: &AtomicU64) -> Result<()
             break;
         };
         let src_node = loads[max_idx].node;
-        send_to(
-            src_node,
-            tag::MIGRATE_CMD,
-            encode_migrate_cmd(&pool, tid, dest),
-        )?;
-        // Match the ack by tid, not just tag+src: a deadline-abandoned
-        // round can leave its ack parked, and without the tid check the
-        // stale ack would be credited to the *next* round's command.
-        let Ok(ack) = wait_reply_until(tag::MIGRATE_CMD_ACK, Some(src_node), deadline, |m| {
-            PayloadReader::new(&m.payload).u64() == Some(tid)
-        }) else {
-            break; // Round budget exhausted: abandon remaining moves.
-        };
-        let mut r = PayloadReader::new(&ack.payload);
-        let _tid = r.u64();
-        if r.u32() == Some(1) {
-            moves.fetch_add(1, Ordering::SeqCst);
-            loads[max_idx].resident -= 1;
-            loads[min_idx].resident += 1;
-        }
+        plan.entry((src_node, dest)).or_default().push(tid);
+        loads[max_idx].resident -= 1;
+        loads[min_idx].resident += 1;
         budget -= 1;
+    }
+    if plan.is_empty() {
+        return Ok(());
+    }
+
+    // Command: every source concurrently, one MIGRATE_CMD per pair with
+    // the full tid list — no per-thread (or even per-pair) RTT gaps.
+    let mut pending: HashMap<u64, usize> = HashMap::new(); // cmd id → tids sent
+    for ((src, dest), tids) in &plan {
+        let cmd_id = crate::node::with_ctx(|c| c.next_call_id());
+        send_to(
+            *src,
+            tag::MIGRATE_CMD,
+            encode_migrate_cmd(&pool, cmd_id, *dest, tids),
+        )?;
+        counters.cmds.fetch_add(1, Ordering::SeqCst);
+        pending.insert(cmd_id, tids.len());
+    }
+
+    // Collect: batched acks matched by cmd id until the deadline.  Ids
+    // are node-unique and never reused, so an ack parked by an abandoned
+    // round can never be credited to this one.
+    while !pending.is_empty() {
+        let Ok(ack) = wait_reply_until(tag::MIGRATE_CMD_ACK, None, deadline, |m| {
+            proto::peek_cmd_id(&m.payload).is_some_and(|id| pending.contains_key(&id))
+        }) else {
+            break; // Deadline: the unanswered sources degrade the round.
+        };
+        let Some((cmd_id, accepted, _total)) = proto::decode_migrate_ack(&ack.payload) else {
+            continue;
+        };
+        pending.remove(&cmd_id);
+        counters.moves.fetch_add(accepted as u64, Ordering::SeqCst);
     }
     Ok(())
 }

@@ -31,6 +31,12 @@
 //!   [`crate::handlers::dispatch`]; `node.rs` itself is only the dispatch
 //!   core: scheduler interleaving, thread lifecycle, and the lanes.
 //!
+//! The migration *departure* side also lives here (`NodeCtx::depart`): a
+//! migration outcome sweeps every other ready thread already flagged for
+//! preemptive migration out of the scheduler (`Scheduler::take_migrating`)
+//! and ships same-destination threads as one train per destination — one
+//! wire message for k threads (capped by the `max_train` knob).
+//!
 //! While a Marcel thread runs, it reaches its node through an OS-thread-
 //! local pointer (see [`with_ctx`]); the same aliasing discipline as in
 //! `marcel::sched` applies — short raw-pointer accesses, nothing cached
@@ -67,8 +73,13 @@ pub struct NodeStats {
     pub migrations_out: AtomicU64,
     /// Threads received.
     pub migrations_in: AtomicU64,
-    /// Arriving migration buffers rejected as corrupt (NAKed).
+    /// Arriving migration record groups rejected as corrupt (NAKed).
     pub migrations_failed: AtomicU64,
+    /// Migration trains (wire messages) sent; `migrations_out /
+    /// trains_out` is the mean threads-per-message of outgoing traffic.
+    pub trains_out: AtomicU64,
+    /// Migration trains received (counted when ≥ 1 thread adopted).
+    pub trains_in: AtomicU64,
     /// Total bytes of outgoing migration buffers.
     pub migration_bytes_out: AtomicU64,
     /// Nanoseconds spent packing outgoing migrations (freeze & gather).
@@ -100,6 +111,8 @@ pub struct NodeStatsSnapshot {
     pub migrations_out: u64,
     pub migrations_in: u64,
     pub migrations_failed: u64,
+    pub trains_out: u64,
+    pub trains_in: u64,
     pub migration_bytes_out: u64,
     /// Per-stage migration cost, summed over this node's participations:
     /// packing is paid by the source…
@@ -115,6 +128,17 @@ pub struct NodeStatsSnapshot {
     pub driver_wakeups: u64,
 }
 
+impl NodeStatsSnapshot {
+    /// Mean threads carried per outgoing migration message (1.0 before any
+    /// migration): > 1 proves trains actually formed.
+    pub fn threads_per_message(&self) -> f64 {
+        if self.trains_out == 0 {
+            return 1.0;
+        }
+        self.migrations_out as f64 / self.trains_out as f64
+    }
+}
+
 impl NodeStats {
     /// Point-in-time copy.
     pub fn snapshot(&self) -> NodeStatsSnapshot {
@@ -122,6 +146,8 @@ impl NodeStats {
             migrations_out: self.migrations_out.load(Ordering::Relaxed),
             migrations_in: self.migrations_in.load(Ordering::Relaxed),
             migrations_failed: self.migrations_failed.load(Ordering::Relaxed),
+            trains_out: self.trains_out.load(Ordering::Relaxed),
+            trains_in: self.trains_in.load(Ordering::Relaxed),
             migration_bytes_out: self.migration_bytes_out.load(Ordering::Relaxed),
             migration_pack_ns: self.migration_pack_ns.load(Ordering::Relaxed),
             migration_wire_ns: self.migration_wire_ns.load(Ordering::Relaxed),
@@ -209,6 +235,12 @@ pub(crate) struct NodeCtx {
     /// Longest doorbell park before an idle driver re-checks the world
     /// (the `idle_park` knob — a liveness backstop, not a poll period).
     pub idle_park: Duration,
+    /// Upper bound on threads per migration train (the `max_train` knob;
+    /// 1 disables departure coalescing entirely).
+    pub max_train: usize,
+    /// Fault-injection hook: tids whose packed record group is truncated
+    /// on departure (tests only; see `Pm2Config::fault_corrupt_pack`).
+    pub fault_corrupt_pack: HashSet<u64>,
 }
 
 // SAFETY: a NodeCtx is owned and driven by exactly one OS thread at a time.
@@ -294,6 +326,8 @@ impl NodeCtx {
             max_rpc_payload: cfg.max_rpc_payload,
             pump_budget: cfg.pump_budget.max(1),
             idle_park: cfg.idle_park,
+            max_train: cfg.max_train.max(1),
+            fault_corrupt_pack: cfg.fault_corrupt_pack.iter().copied().collect(),
         }
     }
 
@@ -435,7 +469,7 @@ impl NodeCtx {
             RunOutcome::Yielded(d) => unsafe { self.sched.requeue(d) },
             RunOutcome::Exited(d) => self.finish_thread(d),
             RunOutcome::MigrateSelf(d, dest) | RunOutcome::PreemptMigrate(d, dest) => {
-                self.send_thread(d, dest)
+                self.depart(d, dest)
             }
             RunOutcome::Blocked(_) => {
                 // Waiting threads re-enter via Scheduler::unblock; the PM2
@@ -492,7 +526,32 @@ impl NodeCtx {
         self.maybe_ack_shutdown();
     }
 
-    fn send_thread(&mut self, d: DescPtr, dest: usize) {
+    /// Handle a departure outcome: stage the departing thread and — the
+    /// group-migration train path — sweep every *other* ready thread
+    /// already flagged for preemptive migration out of the scheduler, so
+    /// same-destination departures produced by one pump drain (a batched
+    /// `MIGRATE_CMD`, say) leave in one wire message each instead of k.
+    fn depart(&mut self, d: DescPtr, dest: usize) {
+        let mut trains: Vec<(usize, Vec<DescPtr>)> = Vec::new();
+        self.stage_departure(d, dest, &mut trains);
+        if self.max_train > 1 {
+            for (d2, dest2) in self.sched.take_migrating(self.max_train - 1) {
+                self.stage_departure(d2, dest2, &mut trains);
+            }
+        }
+        for (dest, ds) in trains {
+            self.send_train(dest, &ds);
+        }
+        self.maybe_ack_shutdown();
+    }
+
+    /// Validate one departure and append it to its destination's train.
+    fn stage_departure(
+        &mut self,
+        d: DescPtr,
+        dest: usize,
+        trains: &mut Vec<(usize, Vec<DescPtr>)>,
+    ) {
         if dest == self.node || dest >= self.n_nodes {
             // Self-migration is a no-op; bogus destinations are dropped
             // back into the run queue rather than losing the thread.
@@ -504,29 +563,48 @@ impl NodeCtx {
             unsafe { self.sched.requeue(d) };
             return;
         }
-        // SAFETY: the thread is frozen (Migrating or tagged-Ready).
+        match trains.iter_mut().find(|(t, _)| *t == dest) {
+            Some((_, ds)) => ds.push(d),
+            None => trains.push((dest, vec![d])),
+        }
+    }
+
+    /// Freeze, pack, and ship one train of threads to `dest`.
+    fn send_train(&mut self, dest: usize, ds: &[DescPtr]) {
+        // SAFETY: every thread is frozen (Migrating or tagged-Ready) and
+        // was removed from the scheduler's queues.
         unsafe {
-            let tid = (*d).tid;
-            (*d).state = ThreadState::Migrating as u32;
-            self.sched.note_gone();
-            self.threads.remove(&tid);
-            // Fig. 4/9: node-local malloc data does NOT follow the thread.
-            self.nodeheap.poison_departed(tid);
+            for &d in ds {
+                let tid = (*d).tid;
+                (*d).state = ThreadState::Migrating as u32;
+                self.sched.note_gone();
+                self.threads.remove(&tid);
+                // Fig. 4/9: node-local malloc data does NOT follow the thread.
+                self.nodeheap.poison_departed(tid);
+            }
             let t0 = Instant::now();
-            let buf = migration::pack_thread(d, &mut self.mgr, self.pack_full_slots, &self.pool)
-                .expect("packing migrating thread");
+            let buf = migration::pack_threads(
+                ds,
+                &mut self.mgr,
+                self.pack_full_slots,
+                &self.pool,
+                &self.fault_corrupt_pack,
+            )
+            .expect("packing migration train");
             self.stats
                 .migration_pack_ns
                 .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-            self.stats.migrations_out.fetch_add(1, Ordering::Relaxed);
+            self.stats
+                .migrations_out
+                .fetch_add(ds.len() as u64, Ordering::Relaxed);
+            self.stats.trains_out.fetch_add(1, Ordering::Relaxed);
             self.stats
                 .migration_bytes_out
                 .fetch_add(buf.len() as u64, Ordering::Relaxed);
             self.ep
-                .send(dest, tag::MIGRATION, buf)
-                .expect("sending migration");
+                .send_batched(dest, tag::MIGRATION, buf, ds.len())
+                .expect("sending migration train");
         }
-        self.maybe_ack_shutdown();
     }
 
     // -- spawn plumbing (shared by the spawn/rpc handlers and spawn_local) --

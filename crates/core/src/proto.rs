@@ -23,11 +23,14 @@ pub mod tag {
     pub const SPAWN_KEY: u16 = 1;
     /// Any → node: spawn a registered service (LRPC-style remote spawn).
     pub const RPC_SPAWN: u16 = 2;
-    /// Node → node: a packed migrating thread.
+    /// Node → node: a packed migration *train* — one message carrying k ≥ 1
+    /// threads bound for this node (count + tid/offset table + records; see
+    /// `crate::migration` for the wire shape).
     pub const MIGRATION: u16 = 3;
-    /// Receiver → sender: a migration buffer failed to unpack (corrupt or
-    /// truncated); carries a UTF-8 description.  The thread is lost but
-    /// both nodes stay up.
+    /// Receiver → sender: one or more record groups of a migration train
+    /// failed to unpack (corrupt or truncated); carries the lost tids and
+    /// a UTF-8 description.  Those threads are lost but both nodes stay
+    /// up, and the rest of the train landed normally.
     pub const MIGRATION_NAK: u16 = 4;
     /// Any → node 0: request the system-wide negotiation lock.
     pub const NEG_LOCK_REQ: u16 = 10;
@@ -57,9 +60,13 @@ pub mod tag {
     pub const LOAD_REQ: u16 = 24;
     /// Node → requester: load report.
     pub const LOAD_RESP: u16 = 25;
-    /// Any → node: preemptively migrate thread `tid` to node `dest`.
+    /// Any → node: preemptively migrate a *list* of threads to node `dest`
+    /// (cmd id, dest, tids) — one command per (source, destination) pair,
+    /// however many threads move.
     pub const MIGRATE_CMD: u16 = 26;
-    /// Node → requester: migrate command outcome (1 = accepted).
+    /// Node → requester: migrate command outcome (cmd id, accepted count,
+    /// total count).  The echoed cmd id is what lets a deadline-bounded
+    /// balancer round match acks without serializing on them.
     pub const MIGRATE_CMD_ACK: u16 = 27;
     /// Node → home node: thread exited (for cross-node joins; carries the
     /// panic message and the Wire-encoded return value when present).
@@ -102,16 +109,71 @@ pub fn decode_ranges(buf: &[u8]) -> Option<Vec<SlotRange>> {
     )
 }
 
-/// Encode a `MIGRATE_CMD` payload.
-pub fn encode_migrate_cmd(pool: &BufPool, tid: u64, dest: usize) -> Payload {
-    let mut w = PayloadWriter::pooled(pool, 16);
-    (tid, dest).encode(&mut w);
+/// Encode a `MIGRATE_CMD` payload: one command ordering every thread in
+/// `tids` (resident on the receiving node) to move to `dest`.
+pub fn encode_migrate_cmd(pool: &BufPool, cmd_id: u64, dest: usize, tids: &[u64]) -> Payload {
+    let mut w = PayloadWriter::pooled(pool, 24 + tids.len() * 8);
+    w.u64(cmd_id).u32(dest as u32).u32(tids.len() as u32);
+    for t in tids {
+        w.u64(*t);
+    }
     w.finish()
 }
 
-/// Decode a `MIGRATE_CMD` payload.
-pub fn decode_migrate_cmd(buf: &[u8]) -> Option<(u64, usize)> {
-    Wire::decode_vec(buf)
+/// Decode a `MIGRATE_CMD` payload into (cmd id, dest, tids).
+pub fn decode_migrate_cmd(buf: &[u8]) -> Option<(u64, usize, Vec<u64>)> {
+    let mut r = madeleine::message::PayloadReader::new(buf);
+    let cmd_id = r.u64()?;
+    let dest = r.u32()? as usize;
+    let n = r.u32()? as usize;
+    let mut tids = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        tids.push(r.u64()?);
+    }
+    Some((cmd_id, dest, tids))
+}
+
+/// Encode a `MIGRATE_CMD_ACK` payload: the echoed cmd id plus how many of
+/// the commanded threads were accepted for migration.
+pub fn encode_migrate_ack(pool: &BufPool, cmd_id: u64, accepted: u32, total: u32) -> Payload {
+    let mut w = PayloadWriter::pooled(pool, 16);
+    w.u64(cmd_id).u32(accepted).u32(total);
+    w.finish()
+}
+
+/// Decode a `MIGRATE_CMD_ACK` payload into (cmd id, accepted, total).
+pub fn decode_migrate_ack(buf: &[u8]) -> Option<(u64, u32, u32)> {
+    let mut r = madeleine::message::PayloadReader::new(buf);
+    Some((r.u64()?, r.u32()?, r.u32()?))
+}
+
+/// Read just the leading cmd id off a `MIGRATE_CMD_ACK` (reply matching).
+pub fn peek_cmd_id(buf: &[u8]) -> Option<u64> {
+    madeleine::message::PayloadReader::new(buf).u64()
+}
+
+/// Encode a `MIGRATION_NAK` payload: the tids lost from a train plus a
+/// UTF-8 description.  An empty tid list means the train's table itself
+/// was unreadable (nothing to name).
+pub fn encode_migration_nak(pool: &BufPool, tids: &[u64], text: &str) -> Payload {
+    let mut w = PayloadWriter::pooled(pool, 8 + tids.len() * 8 + text.len());
+    w.u32(tids.len() as u32);
+    for t in tids {
+        w.u64(*t);
+    }
+    w.bytes(text.as_bytes());
+    w.finish()
+}
+
+/// Decode a `MIGRATION_NAK` payload into (lost tids, description).
+pub fn decode_migration_nak(buf: &[u8]) -> Option<(Vec<u64>, String)> {
+    let mut r = madeleine::message::PayloadReader::new(buf);
+    let n = r.u32()? as usize;
+    let mut tids = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        tids.push(r.u64()?);
+    }
+    Some((tids, String::from_utf8_lossy(r.rest()).into_owned()))
 }
 
 // Codecs whose payloads carry uncapped byte strings (RPC args, encoded
@@ -250,8 +312,34 @@ mod tests {
     #[test]
     fn migrate_cmd_roundtrip() {
         let pool = BufPool::new();
-        let buf = encode_migrate_cmd(&pool, 0xAB, 3);
-        assert_eq!(decode_migrate_cmd(&buf), Some((0xAB, 3)));
+        let buf = encode_migrate_cmd(&pool, 9, 3, &[0xAB, 0xCD]);
+        assert_eq!(decode_migrate_cmd(&buf), Some((9, 3, vec![0xAB, 0xCD])));
+        let empty = encode_migrate_cmd(&pool, 1, 0, &[]);
+        assert_eq!(decode_migrate_cmd(&empty), Some((1, 0, vec![])));
+        assert_eq!(decode_migrate_cmd(&buf[..7]), None, "truncation rejected");
+    }
+
+    #[test]
+    fn migrate_ack_roundtrip() {
+        let pool = BufPool::new();
+        let buf = encode_migrate_ack(&pool, 42, 3, 5);
+        assert_eq!(decode_migrate_ack(&buf), Some((42, 3, 5)));
+        assert_eq!(peek_cmd_id(&buf), Some(42));
+    }
+
+    #[test]
+    fn migration_nak_roundtrip() {
+        let pool = BufPool::new();
+        let buf = encode_migration_nak(&pool, &[7, 8], "bad record");
+        assert_eq!(
+            decode_migration_nak(&buf),
+            Some((vec![7, 8], "bad record".into()))
+        );
+        let anon = encode_migration_nak(&pool, &[], "unreadable table");
+        assert_eq!(
+            decode_migration_nak(&anon),
+            Some((vec![], "unreadable table".into()))
+        );
     }
 
     #[test]

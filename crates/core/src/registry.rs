@@ -17,6 +17,7 @@
 
 use std::any::Any;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -194,7 +195,9 @@ impl Registry {
 /// code is replicated on every node by the SPMD model.
 #[derive(Default)]
 pub struct SpawnTable {
-    next: Mutex<u64>,
+    /// Key counter — a plain atomic, not a mutex: `park` is called from
+    /// arbitrarily many host threads at once and only needs uniqueness.
+    next: AtomicU64,
     table: Mutex<HashMap<u64, Box<dyn FnOnce() + Send + 'static>>>,
 }
 
@@ -206,9 +209,7 @@ impl SpawnTable {
 
     /// Park a closure, returning its key.
     pub fn park(&self, f: Box<dyn FnOnce() + Send + 'static>) -> u64 {
-        let mut next = self.next.lock().unwrap();
-        *next += 1;
-        let key = *next;
+        let key = self.next.fetch_add(1, Ordering::Relaxed) + 1;
         self.table.lock().unwrap().insert(key, f);
         key
     }

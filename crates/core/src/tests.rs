@@ -225,18 +225,23 @@ fn migration_class_sits_between_control_and_data() {
     let (mut ctx, host) = bare_node(1);
     // Enqueue in worst-case order: data, then migration, then control.
     host.send(0, tag::RPC_RESP, vec![0u8; 4]).unwrap();
-    let cmd = crate::proto::encode_migrate_cmd(host.pool(), 0xDEAD, 1);
+    let cmd = crate::proto::encode_migrate_cmd(host.pool(), 7, 1, &[0xDEAD]);
     host.send(0, tag::MIGRATE_CMD, cmd).unwrap();
     host.send(0, tag::SHUTDOWN, Vec::new()).unwrap();
     assert!(ctx.pump());
     assert!(ctx.shutdown, "pump 1 takes the control message");
     assert!(ctx.pump());
-    // Pump 2 took the MIGRATE_CMD: its NAK-style ack (unknown tid) is on
-    // the wire to the host already, while the junk data is still queued.
+    // Pump 2 took the MIGRATE_CMD: its zero-accepted ack (unknown tid) is
+    // on the wire to the host already, while the junk data is still queued.
     let ack = host
         .recv_timeout(std::time::Duration::from_secs(5))
         .expect("migrate-cmd ack");
     assert_eq!(ack.tag, tag::MIGRATE_CMD_ACK);
+    assert_eq!(
+        crate::proto::decode_migrate_ack(&ack.payload),
+        Some((7, 0, 1)),
+        "unknown tid must be acked as not-accepted"
+    );
     assert!(ctx.inbox_pending(), "data class drains last");
     assert!(ctx.pump());
     assert!(!ctx.inbox_pending());

@@ -4,6 +4,12 @@
 //! free blocks are chained through their `prev_free`/`next_free` fields
 //! (paper §4.3: "Each slot contains a double-linked list of free blocks").
 //! Insertions are LIFO: freshly freed (warm) blocks are found first.
+//!
+//! The header's `free_blocks` count is maintained here, by the only two
+//! functions that link and unlink blocks, so it can never drift from the
+//! list itself (`verify_slot` cross-checks it anyway).  The migration
+//! engine's per-slot pack hint reads the count instead of walking the
+//! list, making the hint O(1) per slot.
 
 use crate::layout::{BlockHeader, SlotHeader, BF_FREE};
 use isoaddr::VAddr;
@@ -23,6 +29,7 @@ pub unsafe fn fl_push(slot: *mut SlotHeader, blk: *mut BlockHeader) {
         (*(old_head as *mut BlockHeader)).prev_free = blk_addr;
     }
     (*slot).free_head = blk_addr;
+    (*slot).free_blocks += 1;
 }
 
 /// Unlink block `blk` from the free list of `slot`.
@@ -44,6 +51,8 @@ pub unsafe fn fl_remove(slot: *mut SlotHeader, blk: *mut BlockHeader) {
     (*blk).flags &= !BF_FREE;
     (*blk).prev_free = 0;
     (*blk).next_free = 0;
+    debug_assert!((*slot).free_blocks > 0, "free-block count desync");
+    (*slot).free_blocks -= 1;
 }
 
 /// Iterate the free list of `slot`, yielding block header addresses.
@@ -83,6 +92,7 @@ mod tests {
             let slot = base as *mut SlotHeader;
             (*slot).magic = SLOT_MAGIC;
             (*slot).free_head = 0;
+            (*slot).free_blocks = 0;
             let b1 = base + 1024;
             let b2 = base + 2048;
             let b3 = base + 3072;
@@ -92,12 +102,14 @@ mod tests {
             fl_push(slot, b1 as *mut BlockHeader);
             fl_push(slot, b2 as *mut BlockHeader);
             fl_push(slot, b3 as *mut BlockHeader);
-            // LIFO order.
+            // LIFO order, and the O(1) count tracks the list.
             assert_eq!(fl_iter(slot).collect::<Vec<_>>(), vec![b3, b2, b1]);
+            assert_eq!((*slot).free_blocks, 3);
             // Remove the middle element.
             fl_remove(slot, b2 as *mut BlockHeader);
             assert_eq!(fl_iter(slot).collect::<Vec<_>>(), vec![b3, b1]);
             assert!(!(*(b2 as *const BlockHeader)).is_free());
+            assert_eq!((*slot).free_blocks, 2);
             // Remove the head.
             fl_remove(slot, b3 as *mut BlockHeader);
             assert_eq!(fl_iter(slot).collect::<Vec<_>>(), vec![b1]);
@@ -106,6 +118,7 @@ mod tests {
             fl_remove(slot, b1 as *mut BlockHeader);
             assert_eq!(fl_iter(slot).count(), 0);
             assert_eq!((*slot).free_head, 0);
+            assert_eq!((*slot).free_blocks, 0);
         }
     }
 }

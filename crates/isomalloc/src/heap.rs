@@ -117,7 +117,7 @@ pub unsafe fn init_heap_slot(
         next: 0,
         free_head: 0,
         used_bytes: 0,
-        _pad: 0,
+        free_blocks: 0,
     });
     let start = block_area_start(base);
     let total = base + n_slots * slot_size - start;

@@ -87,8 +87,13 @@ pub struct SlotHeader {
     pub free_head: VAddr,
     /// Bytes consumed by busy blocks, including their headers.
     pub used_bytes: u64,
-    /// Padding to a full cache line.
-    pub _pad: u64,
+    /// Number of blocks on this slot's free list, maintained O(1) by
+    /// `fl_push`/`fl_remove`.  Always 0 for stack slots.  Kept in the
+    /// header (not derived) so the migration pack hint can size a gather
+    /// buffer without walking the free list — and, like every other
+    /// header field, it travels verbatim in the packed header extent, so
+    /// the count is already correct on the destination node.
+    pub free_blocks: u64,
 }
 
 const _: () = assert!(std::mem::size_of::<SlotHeader>() == SLOT_HDR_SIZE);

@@ -59,17 +59,18 @@ pub fn full_record_size(n_slots: usize, slot_size: usize) -> usize {
 }
 
 /// Upper bound on the [`pack_heap_slot`] record size for the slot at
-/// `slot_addr`, computed **without touching any payload bytes**: the walk
-/// follows only the slot's free list (`O(free blocks)`), using the header's
-/// `used_bytes` accounting for the busy side.  This is the per-slot
-/// occupancy hint the migration engine uses to size its gather buffer in
-/// one reservation, so packing never regrows mid-pack.
+/// `slot_addr`, computed **O(1) from the slot header alone**: the header's
+/// `free_blocks` count (maintained by every free-list push/pop) replaces
+/// the old free-list walk, and `used_bytes` accounts for the busy side.
+/// This is the per-slot occupancy hint the migration engine uses to size
+/// its gather buffer in one reservation, so packing never regrows
+/// mid-pack — it runs once per slot per migration on the hot path.
 ///
 /// # Safety
 /// `slot_addr` must point at a live heap slot with a well-formed free list.
 pub unsafe fn heap_slot_pack_hint(slot_addr: VAddr) -> Result<usize> {
     let slot = check_slot(slot_addr)?;
-    let n_free = crate::freelist::fl_iter(slot_addr as *const _).count();
+    let n_free = slot.free_blocks as usize;
     // Payload bytes are exact: the slot header, every busy block
     // (used_bytes includes their headers), and one header per free block.
     // The extent table is bounded by one extent per free block plus one per

@@ -8,7 +8,8 @@
 //! 2. `prev_phys` back-links match the forward walk;
 //! 3. the set of blocks flagged free equals the set on the free list;
 //! 4. no two physically adjacent blocks are both free (coalescing invariant);
-//! 5. magics and canaries are intact; `used_bytes` accounting matches.
+//! 5. magics and canaries are intact; `used_bytes` and `free_blocks`
+//!    accounting matches.
 //!
 //! Tests and property tests call this after every mutation batch; the
 //! migration tests call it on both sides of a migration to prove the
@@ -179,6 +180,16 @@ pub unsafe fn verify_slot(
             ),
         });
     }
+    if slot.free_blocks as usize != list_free.len() {
+        return Err(AllocError::Corruption {
+            at: slot_addr,
+            what: format!(
+                "free_blocks accounting: header says {}, list has {}",
+                slot.free_blocks,
+                list_free.len()
+            ),
+        });
+    }
     Ok(())
 }
 
@@ -280,6 +291,20 @@ mod tests {
             std::ptr::write_bytes(a, 0xFF, 64 + crate::layout::BLOCK_HDR_SIZE);
             let err = verify_heap(h.as_ref(), p.slot_size()).unwrap_err();
             assert!(matches!(err, AllocError::Corruption { .. }));
+        }
+    }
+
+    #[test]
+    fn detects_free_block_count_desync() {
+        let mut p = provider();
+        let mut h: Box<IsoHeapState> = Box::new(unsafe { std::mem::zeroed() });
+        unsafe {
+            heap_init(h.as_mut(), FitPolicy::FirstFit, true);
+            let _a = isomalloc(h.as_mut(), &mut p, 64).unwrap();
+            verify_heap(h.as_ref(), p.slot_size()).unwrap();
+            let slot = h.as_ref().head as *mut crate::layout::SlotHeader;
+            (*slot).free_blocks += 1;
+            assert!(verify_heap(h.as_ref(), p.slot_size()).is_err());
         }
     }
 

@@ -158,6 +158,23 @@ impl Endpoint {
         self.send_payload(dst, tag, payload.into())
     }
 
+    /// [`Endpoint::send`], recording that this one wire message carries a
+    /// *batch* of `items` logical items (a migration train of `items`
+    /// threads, say).  The fabric itself treats the payload like any other
+    /// message; the batch counters exist so embedders can prove their
+    /// coalescing works (`items_per_batch` on the stats snapshot).
+    pub fn send_batched(
+        &self,
+        dst: usize,
+        tag: u16,
+        payload: impl Into<Payload>,
+        items: usize,
+    ) -> Result<(), NetError> {
+        self.send_payload(dst, tag, payload.into())?;
+        self.shared.stats[self.node].on_batch(items);
+        Ok(())
+    }
+
     fn send_payload(&self, dst: usize, tag: u16, payload: Payload) -> Result<(), NetError> {
         let sender = self
             .shared

@@ -15,12 +15,26 @@ pub struct EndpointStats {
     pub bytes_recv: AtomicU64,
     /// Modelled wire nanoseconds charged at this receiver.
     pub wire_ns: AtomicU64,
+    /// Messages sent through [`crate::Endpoint::send_batched`] — wire
+    /// messages that carry a *train* of logical items (e.g. k migrating
+    /// threads) instead of one item per message.
+    pub batch_msgs_sent: AtomicU64,
+    /// Total logical items carried by those batched messages.  The ratio
+    /// `batch_items_sent / batch_msgs_sent` is the mean train length
+    /// (threads per message, for the migration path).
+    pub batch_items_sent: AtomicU64,
 }
 
 impl EndpointStats {
     pub(crate) fn on_send(&self, bytes: usize) {
         self.msgs_sent.fetch_add(1, Ordering::Relaxed);
         self.bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_batch(&self, items: usize) {
+        self.batch_msgs_sent.fetch_add(1, Ordering::Relaxed);
+        self.batch_items_sent
+            .fetch_add(items as u64, Ordering::Relaxed);
     }
 
     pub(crate) fn on_recv(&self, bytes: usize, wire_ns: u64) {
@@ -37,6 +51,8 @@ impl EndpointStats {
             msgs_recv: self.msgs_recv.load(Ordering::Relaxed),
             bytes_recv: self.bytes_recv.load(Ordering::Relaxed),
             wire_ns: self.wire_ns.load(Ordering::Relaxed),
+            batch_msgs_sent: self.batch_msgs_sent.load(Ordering::Relaxed),
+            batch_items_sent: self.batch_items_sent.load(Ordering::Relaxed),
         }
     }
 }
@@ -50,6 +66,22 @@ pub struct EndpointStatsSnapshot {
     pub bytes_recv: u64,
     /// Modelled wire nanoseconds paid dequeuing (receiver-clocked model).
     pub wire_ns: u64,
+    /// Batched (multi-item) messages sent — see [`EndpointStats`].
+    pub batch_msgs_sent: u64,
+    /// Logical items carried by batched messages.
+    pub batch_items_sent: u64,
+}
+
+impl EndpointStatsSnapshot {
+    /// Mean logical items per batched message (1.0 when none were sent):
+    /// for the migration path, the observed threads-per-message train
+    /// length.
+    pub fn items_per_batch(&self) -> f64 {
+        if self.batch_msgs_sent == 0 {
+            return 1.0;
+        }
+        self.batch_items_sent as f64 / self.batch_msgs_sent as f64
+    }
 }
 
 impl std::fmt::Display for EndpointStatsSnapshot {
@@ -78,5 +110,17 @@ mod tests {
         assert_eq!(snap.msgs_recv, 1);
         assert_eq!(snap.bytes_recv, 7);
         assert_eq!(snap.wire_ns, 1500);
+        assert_eq!(snap.items_per_batch(), 1.0, "no batches yet");
+    }
+
+    #[test]
+    fn batch_counters_yield_mean_train_length() {
+        let s = EndpointStats::default();
+        s.on_batch(7);
+        s.on_batch(1);
+        let snap = s.snapshot();
+        assert_eq!(snap.batch_msgs_sent, 2);
+        assert_eq!(snap.batch_items_sent, 8);
+        assert_eq!(snap.items_per_batch(), 4.0);
     }
 }

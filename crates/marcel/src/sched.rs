@@ -268,14 +268,54 @@ impl Scheduler {
     /// `d` must point at a fully unpacked descriptor whose slots are mapped
     /// on this node.
     pub unsafe fn adopt_arrival(&self, d: DescPtr) {
+        self.adopt_arrivals(&[d]);
+    }
+
+    /// Adopt a whole migration *train* in one scheduler-state acquisition:
+    /// every descriptor is marked resident and enqueued under a single
+    /// exclusive borrow, so a k-thread arrival costs one state entry, not k.
+    ///
+    /// # Safety
+    /// Every pointer must reference a fully unpacked descriptor whose slots
+    /// are mapped on this node.
+    pub unsafe fn adopt_arrivals(&self, ds: &[DescPtr]) {
         let inner = &mut *self.ptr();
-        (*d).state = ThreadState::Ready as u32;
-        (*d).cur_node = inner.node as u32;
-        (*d).migrate_dest = -1;
-        // The CONTROL flag migrated with the descriptor: an arriving
-        // protocol handler keeps its lane.
-        inner.enqueue(d);
-        inner.resident += 1;
+        for &d in ds {
+            (*d).state = ThreadState::Ready as u32;
+            (*d).cur_node = inner.node as u32;
+            (*d).migrate_dest = -1;
+            // The CONTROL flag migrated with the descriptor: an arriving
+            // protocol handler keeps its lane.
+            inner.enqueue(d);
+            inner.resident += 1;
+        }
+    }
+
+    /// Pull every *ready* thread currently flagged for preemptive migration
+    /// out of both lanes (up to `max` of them), returning `(descriptor,
+    /// destination)` pairs in queue order.  None of them has been run since
+    /// being flagged — exactly the [`RunOutcome::PreemptMigrate`] contract.
+    ///
+    /// This is the group-migration sweep: when one departure is already
+    /// being packed, the embedder collects every other thread bound for the
+    /// wire in the same drain and ships same-destination ones as a single
+    /// message (a *train*) instead of paying per-thread message latency.
+    pub fn take_migrating(&self, max: usize) -> Vec<(DescPtr, usize)> {
+        let mut out = Vec::new();
+        unsafe {
+            let inner = &mut *self.ptr();
+            for q in [&mut inner.ctl_queue, &mut inner.run_queue] {
+                q.retain(|&d| {
+                    if out.len() < max && (*d).migrate_dest >= 0 {
+                        out.push((d, (*d).migrate_dest as usize));
+                        false
+                    } else {
+                        true
+                    }
+                });
+            }
+        }
+        out
     }
 
     /// Account a thread leaving this node (migration departure or exit).

@@ -537,6 +537,51 @@ fn migration_carries_isomalloc_heap() {
 }
 
 #[test]
+fn take_migrating_sweeps_flagged_ready_threads() {
+    let (_area, mut mgrs) = rig(2);
+    let s = Scheduler::new(0);
+    let counter = Arc::new(AtomicUsize::new(0));
+    let mut descs = Vec::new();
+    for _ in 0..4 {
+        let c = Arc::clone(&counter);
+        descs.push(
+            s.spawn(&mut mgrs[0], move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            })
+            .unwrap(),
+        );
+    }
+    // Flag threads 1 and 3 for different destinations; 0 and 2 stay.
+    unsafe {
+        assert!(s.request_migration(descs[1], 1));
+        assert!(s.request_migration(descs[3], 1));
+    }
+    // A capped sweep takes only the first flagged thread…
+    let first = s.take_migrating(1);
+    assert_eq!(first.len(), 1);
+    assert_eq!(first[0], (descs[1], 1));
+    // …a follow-up sweep takes the rest; unflagged threads are untouched.
+    let rest = s.take_migrating(usize::MAX);
+    assert_eq!(rest, vec![(descs[3], 1)]);
+    assert!(s.take_migrating(usize::MAX).is_empty());
+    assert_eq!(s.queue_len(), 2, "unflagged threads stay queued");
+    // The embedder un-counts swept threads when it packs them…
+    s.note_gone();
+    s.note_gone();
+    assert_eq!(s.resident(), 2);
+    // …and the destination re-adopts the whole train in one batch, which
+    // makes them runnable again and clears the migration flag.
+    unsafe { s.adopt_arrivals(&[first[0].0, rest[0].0]) };
+    assert_eq!(
+        s.resident(),
+        4,
+        "adopt_arrivals counts arrivals as resident"
+    );
+    drive(&s, &mut mgrs[0]);
+    assert_eq!(counter.load(Ordering::SeqCst), 4, "every thread ran once");
+}
+
+#[test]
 fn preemptive_migration_of_a_ready_thread() {
     let (_area, mut mgrs) = rig(2);
     let mut m1 = mgrs.pop().unwrap();

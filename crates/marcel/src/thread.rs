@@ -306,7 +306,7 @@ pub unsafe fn init_stack_slot(
         next: 0,
         free_head: 0,
         used_bytes: 0,
-        _pad: 0,
+        free_blocks: 0,
     });
     (layout.canary as *mut u64).write(STACK_CANARY);
     let d = layout.desc as *mut ThreadDescriptor;

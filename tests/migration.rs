@@ -272,17 +272,27 @@ fn panics_propagate_across_migration() {
 fn corrupt_migration_is_naked_not_fatal() {
     use pm2::proto::tag;
     let mut m = machine(2);
-    // Several corruption shapes: too short for a header, a header whose
-    // record length exceeds the buffer, and a header naming an address
-    // outside the slot grid.
-    m.inject_raw(0, tag::MIGRATION, vec![0u8; 10]).unwrap();
-    let mut claims_too_much = Vec::new();
-    claims_too_much.extend_from_slice(&0x10_0000u64.to_le_bytes()); // base
-    claims_too_much.extend_from_slice(&1u32.to_le_bytes()); // n_slots
-    claims_too_much.extend_from_slice(&2u32.to_le_bytes()); // kind = stack
-    claims_too_much.extend_from_slice(&1u32.to_le_bytes()); // n_extents
-    claims_too_much.extend_from_slice(&4096u32.to_le_bytes()); // total_len
-    m.inject_raw(0, tag::MIGRATION, claims_too_much).unwrap();
+    // Several corruption shapes: a buffer too short for the train header,
+    // a train whose table escapes the buffer, and a well-formed table
+    // whose single record group claims an address outside the slot grid.
+    m.inject_raw(0, tag::MIGRATION, vec![0u8; 2]).unwrap();
+    let mut table_escapes = Vec::new();
+    table_escapes.extend_from_slice(&1_000_000u32.to_le_bytes()); // count
+    table_escapes.extend_from_slice(&[0u8; 32]);
+    m.inject_raw(0, tag::MIGRATION, table_escapes).unwrap();
+    let mut bad_record = Vec::new();
+    bad_record.extend_from_slice(&1u32.to_le_bytes()); // count = 1
+    bad_record.extend_from_slice(&77u64.to_le_bytes()); // tid
+    bad_record.extend_from_slice(&20u32.to_le_bytes()); // off (after table)
+    bad_record.extend_from_slice(&24u32.to_le_bytes()); // len
+    bad_record.extend_from_slice(&0x10u64.to_le_bytes()); // record base: garbage
+    bad_record.extend_from_slice(&1u32.to_le_bytes()); // n_slots
+    bad_record.extend_from_slice(&2u32.to_le_bytes()); // kind = stack
+    bad_record.extend_from_slice(&0u32.to_le_bytes()); // n_extents
+    bad_record.extend_from_slice(&0u32.to_le_bytes()); // total_len
+    m.inject_raw(0, tag::MIGRATION, bad_record).unwrap();
+    // A malformed migrate *command* is dropped, not fatal, either.
+    m.inject_raw(0, tag::MIGRATE_CMD, vec![0u8; 4]).unwrap();
     // The node keeps scheduling, spawning and migrating threads.
     let hops = m
         .run_on(0, || {
@@ -293,7 +303,7 @@ fn corrupt_migration_is_naked_not_fatal() {
         .unwrap();
     assert_eq!(hops, 2);
     let s = m.node_stats(0);
-    assert_eq!(s.migrations_failed, 2, "both bad buffers rejected");
+    assert_eq!(s.migrations_failed, 3, "all three bad buffers rejected");
     assert_eq!(s.migrations_in, 1, "real migrations still arrive");
     assert!(
         m.output_lines()
@@ -302,8 +312,98 @@ fn corrupt_migration_is_naked_not_fatal() {
         "rejection must be logged: {:?}",
         m.output_lines()
     );
-    // Slot accounting is untouched by the rejected buffers.
+    // The per-record rejection NAKed tid 77 back to the "sender" (the
+    // host injected it, so node 0's own registry records the loss via the
+    // NAK path exercised below) — here just check the machine stayed
+    // consistent: slot accounting is untouched by the rejected buffers.
     m.audit().unwrap().check_partition().unwrap();
+    m.shutdown();
+}
+
+/// Tentpole acceptance (ISSUE 4): train fault isolation.  One record group
+/// in the middle of a 4-thread train is truncated (via the pack fault
+/// hook); the other three threads must adopt and run on the destination,
+/// and only the corrupt tid is NAKed and completed as a panicked exit at
+/// the source.
+#[test]
+fn corrupt_record_mid_train_costs_only_its_thread() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    // Host-assigned tids are deterministic: 1<<63 | spawn-order.  The
+    // second worker's packed records will be truncated on departure.
+    let corrupt_tid: u64 = (1 << 63) | 2;
+    let mut m =
+        Machine::launch(Pm2Config::test(2).with_fault_corrupt_pack(vec![corrupt_tid])).unwrap();
+
+    let finished = Arc::new(AtomicUsize::new(0));
+    let mut workers = Vec::new();
+    for _ in 0..4 {
+        let fin = Arc::clone(&finished);
+        workers.push(
+            m.spawn_on(0, move || {
+                // No migration code: wait to be shipped, then finish.
+                while pm2_self() == 0 {
+                    pm2_yield();
+                }
+                fin.fetch_add(1, Ordering::SeqCst);
+            })
+            .unwrap(),
+        );
+    }
+    assert_eq!(workers[1].tid, corrupt_tid, "tid scheme changed?");
+    let tids: Vec<u64> = workers.iter().map(|w| w.tid).collect();
+
+    // Wait until every worker is resident before ordering the group move,
+    // so all four are flagged in one command and leave in one train.
+    let t0 = std::time::Instant::now();
+    while m.node_stats(0).spawns < 4 {
+        assert!(t0.elapsed().as_secs() < 10, "workers never spawned");
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+
+    // A manager on node 0 flags all four while they are Ready; the first
+    // departure sweeps the rest into one 4-thread train.
+    let accepted = m
+        .run_on(0, move || pm2_group_migrate(0, 1, &tids).unwrap())
+        .unwrap();
+    assert_eq!(accepted, 4, "all four flagged in one group command");
+
+    // The three healthy threads land and run to completion…
+    for (i, w) in workers.into_iter().enumerate() {
+        let exit = m.join(w);
+        if i == 1 {
+            // …while the corrupt one is lost: the NAK completed it as a
+            // panicked exit at the source, so this join does not hang.
+            assert!(exit.panicked, "corrupt thread must read as failed");
+            assert!(
+                exit.panic_message().contains("lost in migration"),
+                "NAK text must travel: {:?}",
+                exit.panic_message()
+            );
+        } else {
+            assert!(!exit.panicked, "healthy train member {i} must survive");
+        }
+    }
+    assert_eq!(finished.load(Ordering::SeqCst), 3);
+
+    let (s0, s1) = (m.node_stats(0), m.node_stats(1));
+    assert_eq!(s0.migrations_out, 4, "all four were packed and shipped");
+    assert_eq!(s0.trains_out, 1, "one wire message carried the train");
+    assert_eq!(s0.threads_per_message(), 4.0);
+    assert_eq!(s1.trains_in, 1);
+    assert_eq!(s1.migrations_in, 3, "three healthy threads adopted");
+    assert_eq!(s1.migrations_failed, 1, "one record group rejected");
+    assert!(
+        m.output_lines()
+            .iter()
+            .any(|l| l.contains("rejected corrupt migration")),
+        "rejection must be logged: {:?}",
+        m.output_lines()
+    );
+    // No audit here: the corrupt thread's slots are genuinely lost (they
+    // were unmapped at pack time and never adopted), exactly like a real
+    // mid-flight corruption.
     m.shutdown();
 }
 
@@ -367,22 +467,26 @@ fn pooled_migration_roundtrip_with_heap_verify() {
     m.shutdown();
 }
 
-/// A migration NAK must complete the lost thread in the registry so
+/// A migration NAK must complete every lost thread in the registry so
 /// joiners surface an error instead of hanging.
 #[test]
-fn migration_nak_completes_the_lost_thread() {
+fn migration_nak_completes_the_lost_threads() {
     use pm2::proto::tag;
     let mut m = machine(1);
-    let mut nak = vec![1u8]; // has_tid
+    let mut nak = Vec::new();
+    nak.extend_from_slice(&2u32.to_le_bytes()); // two lost tids
     nak.extend_from_slice(&42u64.to_le_bytes());
+    nak.extend_from_slice(&43u64.to_le_bytes());
     nak.extend_from_slice(b"simulated unpack failure");
     m.inject_raw(0, tag::MIGRATION_NAK, nak).unwrap();
-    let exit = m.join(pm2::Pm2Thread { tid: 42 });
-    assert!(exit.panicked, "lost thread must read as a failed exit");
-    assert!(
-        exit.panic_message().contains("simulated unpack failure"),
-        "rejection text must travel: {:?}",
-        exit.panic_message()
-    );
+    for tid in [42u64, 43] {
+        let exit = m.join(pm2::Pm2Thread { tid });
+        assert!(exit.panicked, "lost thread must read as a failed exit");
+        assert!(
+            exit.panic_message().contains("simulated unpack failure"),
+            "rejection text must travel: {:?}",
+            exit.panic_message()
+        );
+    }
     m.shutdown();
 }
