@@ -1,0 +1,10 @@
+//! Emit `BENCH_negotiation.json` (slot-acquisition latency: decentralized
+//! trades vs the forced-global §4.4 protocol, plus prefetch hit rate).
+//!
+//! ```sh
+//! cargo run --release -p pm2-bench --bin negotiate
+//! ```
+
+fn main() {
+    pm2_bench::write_negotiation_json();
+}

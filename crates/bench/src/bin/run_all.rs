@@ -1,8 +1,8 @@
 //! Run every experiment table in sequence (E5, E6, Fig. 11, A1–A6 plus the
 //! substrate microbenchmarks) and leave the results under
 //! `target/experiments/`.  Also refreshes the repo-root perf-trajectory
-//! files `BENCH_migration.json`, `BENCH_latency.json` and
-//! `BENCH_evacuation.json`.
+//! files `BENCH_migration.json`, `BENCH_latency.json`,
+//! `BENCH_evacuation.json` and `BENCH_negotiation.json`.
 //!
 //! ```sh
 //! cargo run --release -p pm2-bench --bin run_all
@@ -11,7 +11,7 @@
 use pm2::NetProfile;
 use pm2_bench::{
     ctx_switch_ns, migration_breakdown, smoke, spawn_us, write_evacuation_json, write_latency_json,
-    Table,
+    write_negotiation_json, Table,
 };
 
 /// Emit `BENCH_migration.json` at the repo root: the per-stage migration
@@ -97,6 +97,7 @@ fn main() {
     migration_json();
     write_latency_json(400);
     write_evacuation_json();
+    write_negotiation_json();
     for bin in ["e5_migration", "e6_negotiation", "fig11", "ablations"] {
         println!("\n───────── {bin} ─────────");
         run(bin);

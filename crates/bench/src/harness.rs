@@ -197,7 +197,9 @@ pub fn migration_buffer_bytes(payload: usize) -> u64 {
 /// every multi-slot allocation negotiates).  Measured by the runtime's own
 /// per-negotiation timer, over `rounds` live 2-slot allocations.
 pub fn negotiation_us(p: usize, net: NetProfile, rounds: usize) -> f64 {
-    let mut m = Machine::launch(paper_config(p, net)).expect("launch");
+    // Trading is pinned off: E6 measures the paper's §4.4 global protocol
+    // itself (the trade-vs-global comparison lives in `negotiate.rs`).
+    let mut m = Machine::launch(paper_config(p, net).with_slot_trade(false)).expect("launch");
     let slot = m.area().slot_size();
     m.run_on(0, move || {
         // Keep every block live so each allocation needs fresh contiguous
@@ -275,7 +277,9 @@ fn alloc_point_us(
     batch: usize,
     touch: bool,
 ) -> f64 {
-    let mut m = Machine::launch(paper_config(2, net)).expect("launch");
+    // Trading pinned off: Fig. 11 reproduces the paper's isomalloc cost
+    // curve, whose multi-slot knee *is* the negotiation.
+    let mut m = Machine::launch(paper_config(2, net).with_slot_trade(false)).expect("launch");
     let sizes_owned: Vec<usize> = vec![size];
     let out = m
         .run_on(0, move || {
@@ -398,7 +402,15 @@ pub struct DistributionOutcome {
 /// Fixed multi-slot workload (32 live allocations of 2–5 slots) under a
 /// given initial distribution.
 pub fn distribution_outcome(dist: Distribution, p: usize, net: NetProfile) -> DistributionOutcome {
-    let mut m = Machine::launch(paper_config(p, net).with_distribution(dist)).expect("launch");
+    // Trading pinned off: A1 measures how each *distribution* interacts
+    // with the paper's negotiation protocol (with trades on, round-robin's
+    // multi-slot weakness is absorbed by one batch trade instead).
+    let mut m = Machine::launch(
+        paper_config(p, net)
+            .with_distribution(dist)
+            .with_slot_trade(false),
+    )
+    .expect("launch");
     let slot = m.area().slot_size();
     let mean_alloc_us = m
         .run_on(0, move || {
@@ -606,14 +618,17 @@ pub fn pack_outcome(pack_full: bool, heap_bytes: usize, hops: usize) -> (u64, f6
 // A3 — slot size ablation (§4.1)
 // ---------------------------------------------------------------------------
 
-/// Negotiation count for a mixed workload under a given slot size.
+/// Negotiation count for a mixed workload under a given slot size
+/// (trading pinned off — A3 counts the paper-protocol runs each slot
+/// size induces).
 pub fn slot_size_outcome(slot_size: usize, net: NetProfile) -> (u64, f64) {
     let n_slots = (256 * 1024 * 1024) / slot_size; // constant 256 MB area
     let mut m = Machine::launch(
         Pm2Config::new(2)
             .with_area(AreaConfig { slot_size, n_slots })
             .with_net(net)
-            .with_mode(MachineMode::Threaded),
+            .with_mode(MachineMode::Threaded)
+            .with_slot_trade(false),
     )
     .expect("launch");
     let mean_us = m

@@ -7,9 +7,11 @@ pub mod crit;
 pub mod evacuation;
 pub mod harness;
 pub mod latency;
+pub mod negotiate;
 pub mod report;
 
 pub use evacuation::*;
 pub use harness::*;
 pub use latency::*;
+pub use negotiate::*;
 pub use report::*;

@@ -70,8 +70,9 @@ pub fn pm2_isomalloc(size: usize) -> Result<*mut u8> {
             Err(isomalloc::AllocError::Provider(isoaddr::IsoAddrError::NeedNegotiation {
                 requested,
             })) => {
-                // §4.4: the local node lacks contiguous slots — negotiate.
-                crate::negotiation::negotiate_acquire(requested)?;
+                // The local node lacks contiguous slots: trade with the
+                // richest peer, falling back to the §4.4 negotiation.
+                crate::negotiation::acquire_remote(requested)?;
             }
             Err(e) => return Err(e.into()),
         }
@@ -177,7 +178,7 @@ pub fn pm2_group_migrate(src: usize, dest: usize, tids: &[u64]) -> Result<usize>
         let m = wait_reply_matching(tag::MIGRATE_CMD_ACK, Some(src), |m| {
             proto::peek_cmd_id(&m.payload) == Some(cmd_id)
         })?;
-        let (_, accepted, _) =
+        let (_, accepted, _, _) =
             proto::decode_migrate_ack(&m.payload).ok_or(Pm2Error::Decode("migrate ack"))?;
         Ok(accepted as usize)
     })();
@@ -422,12 +423,38 @@ macro_rules! pm2_printf {
 
 /// Diagnostic: one request/reply round trip to `peer` using the same
 /// parked-reply mechanics as the negotiation gather (a `LOAD_REQ`).
-/// Returns the peer's resident thread count.
+/// Returns the peer's resident thread count.  (The reply also piggybacks
+/// the peer's free-slot wealth, which the dispatch layer absorbs into the
+/// trader's hint table before the reply is parked.)
 pub fn pm2_probe_load(peer: usize) -> Result<usize> {
     send_to(peer, tag::LOAD_REQ, Vec::new())?;
     let m = wait_reply(tag::LOAD_RESP, Some(peer))?;
-    let mut r = madeleine::message::PayloadReader::new(&m.payload);
-    Ok(r.u32().unwrap_or(0) as usize)
+    let (resident, _, _) =
+        proto::decode_load_resp(&m.payload).ok_or(Pm2Error::Decode("load response"))?;
+    Ok(resident as usize)
+}
+
+/// Slot-layer statistics of the calling thread's current node: reserve
+/// traffic (lent/adopted/sold/bought), cache hits, commit counts — the
+/// green-side counterpart of `Machine::slot_stats`.
+pub fn pm2_slot_stats() -> isoaddr::SlotStatsSnapshot {
+    with_ctx(|c| c.mgr.stats_snapshot())
+}
+
+/// The calling node's last-known free-slot count per node (its own entry
+/// is live; peer entries are as fresh as the last piggybacked hint from
+/// that peer).  This is the wealth table the slot trader picks lenders
+/// from.
+pub fn pm2_peer_wealth() -> Vec<u64> {
+    with_ctx(|c| {
+        let mut w: Vec<u64> = c
+            .peer_wealth
+            .iter()
+            .map(|x| x.load(std::sync::atomic::Ordering::Relaxed))
+            .collect();
+        w[c.node] = c.mgr.free_slots() as u64;
+        w
+    })
 }
 
 // ---------------------------------------------------------------------------

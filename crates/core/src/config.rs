@@ -97,6 +97,27 @@ pub struct Pm2Config {
     /// `1` disables coalescing (the per-thread-message baseline measured
     /// by the evacuation benchmark); values < 1 are treated as 1.
     pub max_train: usize,
+    /// Trade-first remote slot acquisition (the decentralized slot
+    /// economy).  When a node lacks contiguous slots it asks the richest
+    /// known peer for a batch with one point-to-point `SLOT_TRADE`
+    /// exchange — no lock, no freeze, no bitmap gather — and only falls
+    /// back to the paper's §4.4 global negotiation when the trade cannot
+    /// help.  `false` forces every shortfall through the global protocol
+    /// (the measured baseline, and what the paper-faithful tests use).
+    pub slot_trade: bool,
+    /// Free-slot reserve low watermark: when a node's reserve drops below
+    /// it, the driver sends one asynchronous prefetch trade to top the
+    /// reserve back up, and a *lender* never grants slots that would take
+    /// itself below it (the global protocol ignores watermarks — it is
+    /// the authority of last resort).  0 disables prefetching.
+    pub slot_low_watermark: usize,
+    /// Prefetch target level: an async prefetch asks for
+    /// `high − reserve` slots.  Clamped up to at least the low watermark.
+    pub slot_high_watermark: usize,
+    /// Extra slots a *demand* trade requests beyond the shortfall itself —
+    /// the batch that amortizes one trade round trip over many later
+    /// acquisitions.  Values < 1 are treated as 1.
+    pub trade_batch: usize,
     /// Fault-injection hook for tests: tids whose packed record group is
     /// deliberately truncated on departure, exercising the per-record
     /// train fault isolation end to end.  Leave empty in production.
@@ -127,6 +148,10 @@ impl Pm2Config {
             pump_budget: 64,
             idle_park: Duration::from_millis(500),
             max_train: 64,
+            slot_trade: true,
+            slot_low_watermark: 4,
+            slot_high_watermark: 16,
+            trade_batch: 16,
             fault_corrupt_pack: Vec::new(),
         }
     }
@@ -233,6 +258,26 @@ impl Pm2Config {
     /// Builder: migration-train size cap (1 disables coalescing).
     pub fn with_max_train(mut self, max: usize) -> Self {
         self.max_train = max;
+        self
+    }
+
+    /// Builder: trade-first remote slot acquisition on/off (`false`
+    /// forces the §4.4 global negotiation on every shortfall).
+    pub fn with_slot_trade(mut self, on: bool) -> Self {
+        self.slot_trade = on;
+        self
+    }
+
+    /// Builder: reserve low/high watermarks (prefetch trigger and target).
+    pub fn with_slot_watermarks(mut self, low: usize, high: usize) -> Self {
+        self.slot_low_watermark = low;
+        self.slot_high_watermark = high;
+        self
+    }
+
+    /// Builder: demand-trade batch size.
+    pub fn with_trade_batch(mut self, batch: usize) -> Self {
+        self.trade_batch = batch;
         self
     }
 
@@ -382,6 +427,28 @@ impl MachineBuilder {
         self
     }
 
+    /// Trade-first remote slot acquisition on/off (`false` forces the
+    /// paper's §4.4 global negotiation on every shortfall; see
+    /// [`Pm2Config::slot_trade`]).
+    pub fn slot_trade(mut self, on: bool) -> Self {
+        self.cfg.slot_trade = on;
+        self
+    }
+
+    /// Free-slot reserve watermarks: prefetch trigger (`low`) and target
+    /// (`high`); see [`Pm2Config::slot_low_watermark`].
+    pub fn slot_watermarks(mut self, low: usize, high: usize) -> Self {
+        self.cfg.slot_low_watermark = low;
+        self.cfg.slot_high_watermark = high;
+        self
+    }
+
+    /// Demand-trade batch size (see [`Pm2Config::trade_batch`]).
+    pub fn trade_batch(mut self, batch: usize) -> Self {
+        self.cfg.trade_batch = batch;
+        self
+    }
+
     /// The small deterministic instant-network profile tests use (the
     /// knobs of [`Pm2Config::test`]).  Overlays only the profile's own
     /// knobs (area, net, mode, slot cache, reply deadline); anything else
@@ -457,6 +524,27 @@ mod tests {
         assert_eq!(c.reply_deadline, Duration::from_millis(1500));
         assert_eq!(c.max_rpc_payload, 4096);
         assert!(c.echo_output);
+    }
+
+    #[test]
+    fn slot_economy_knobs_roundtrip() {
+        let c = MachineBuilder::new(2)
+            .slot_trade(false)
+            .slot_watermarks(8, 64)
+            .trade_batch(32)
+            .into_config();
+        assert!(!c.slot_trade);
+        assert_eq!(c.slot_low_watermark, 8);
+        assert_eq!(c.slot_high_watermark, 64);
+        assert_eq!(c.trade_batch, 32);
+        let d = Pm2Config::new(2);
+        assert!(d.slot_trade, "trade-first is the default");
+        assert!(d.slot_low_watermark <= d.slot_high_watermark);
+        let e = Pm2Config::test(2)
+            .with_slot_trade(false)
+            .with_trade_batch(7);
+        assert!(!e.slot_trade);
+        assert_eq!(e.trade_batch, 7);
     }
 
     #[test]

@@ -2,7 +2,6 @@
 //! completions, and the parking of protocol replies for green threads
 //! blocked in a request/reply exchange.
 
-use madeleine::message::PayloadWriter;
 use madeleine::Message;
 use marcel::ThreadState;
 
@@ -20,8 +19,6 @@ pub(crate) fn on_audit_req(ctx: &mut NodeCtx, from: usize) {
 }
 
 pub(crate) fn on_load_req(ctx: &mut NodeCtx, from: usize) {
-    let mut w = PayloadWriter::pooled(&ctx.pool, 64);
-    w.u32(ctx.sched.resident() as u32);
     // Migratable, currently-ready threads.
     let migratable: Vec<u64> = ctx
         .threads
@@ -32,11 +29,12 @@ pub(crate) fn on_load_req(ctx: &mut NodeCtx, from: usize) {
         })
         .map(|(&tid, _)| tid)
         .collect();
-    w.u32(migratable.len() as u32);
-    for t in &migratable {
-        w.u64(*t);
-    }
-    let _ = ctx.ep.send(from, tag::LOAD_RESP, w.finish());
+    // The reply piggybacks this node's free-slot wealth: every balancer
+    // probe doubles as a freshness source for the slot trader.
+    let wealth = ctx.mgr.free_slots() as u32;
+    ctx.set_peer_wealth(ctx.node, wealth as u64);
+    let resp = proto::encode_load_resp(&ctx.pool, ctx.sched.resident() as u32, wealth, &migratable);
+    let _ = ctx.ep.send(from, tag::LOAD_RESP, resp);
 }
 
 pub(crate) fn on_thread_exit(ctx: &mut NodeCtx, m: Message) {

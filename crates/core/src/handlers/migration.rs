@@ -157,6 +157,9 @@ pub(crate) fn on_migrate_cmd(ctx: &mut NodeCtx, m: Message) {
             accepted += ok as u32;
         }
     }
-    let ack = proto::encode_migrate_ack(&ctx.pool, cmd_id, accepted, total);
+    // The ack piggybacks this node's free-slot wealth for the trader.
+    let wealth = ctx.mgr.free_slots() as u32;
+    ctx.set_peer_wealth(ctx.node, wealth as u64);
+    let ack = proto::encode_migrate_ack(&ctx.pool, cmd_id, accepted, total, wealth);
     let _ = ctx.ep.send(m.src, tag::MIGRATE_CMD_ACK, ack);
 }

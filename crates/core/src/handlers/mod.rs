@@ -8,8 +8,10 @@
 //!   `RPC_CALL`;
 //! * [`migration`] — thread arrival/rejection and remote migration
 //!   commands: `MIGRATION`, `MIGRATION_NAK`, `MIGRATE_CMD`;
-//! * [`negotiation`] — the §4.4 critical-section server side:
-//!   `NEG_LOCK_*`, `NEG_BITMAP_REQ`, `NEG_BUY`, `NEG_DONE`;
+//! * [`negotiation`] — the slot-economy server side: point-to-point slot
+//!   trades (`SLOT_TRADE_REQ`/`SLOT_TRADE_RESP`) plus the §4.4
+//!   critical-section fallback: `NEG_LOCK_*`, `NEG_BITMAP_REQ`,
+//!   `NEG_BUY`, `NEG_DONE`;
 //! * [`control`] — machine control and observability: `SHUTDOWN`,
 //!   `AUDIT_REQ`, `LOAD_REQ`, `THREAD_EXIT`, and the parking of protocol
 //!   replies for blocked green threads.
@@ -72,6 +74,8 @@ pub(crate) fn classify(t: u16) -> Class {
         | tag::NEG_BUY
         | tag::NEG_BUY_ACK
         | tag::NEG_DONE
+        | tag::SLOT_TRADE_REQ
+        | tag::SLOT_TRADE_RESP
         | tag::MIGRATE_CMD_ACK => Class::Control,
         tag::MIGRATION | tag::MIGRATION_NAK | tag::MIGRATE_CMD => Class::Migration,
         // LOAD_REQ is deliberately *data*-class despite being served by the
@@ -98,15 +102,26 @@ pub(crate) fn dispatch(ctx: &mut NodeCtx, m: Message) {
         tag::NEG_BITMAP_REQ => negotiation::on_bitmap_req(ctx, m.src),
         tag::NEG_BUY => negotiation::on_buy(ctx, m),
         tag::NEG_DONE => negotiation::on_neg_done(ctx),
+        tag::SLOT_TRADE_REQ => negotiation::on_slot_trade_req(ctx, m),
+        tag::SLOT_TRADE_RESP => negotiation::on_slot_trade_resp(ctx, m),
         tag::SHUTDOWN => control::on_shutdown(ctx),
         tag::AUDIT_REQ => control::on_audit_req(ctx, m.src),
         tag::LOAD_REQ => control::on_load_req(ctx, m.src),
         tag::THREAD_EXIT => control::on_thread_exit(ctx, m),
-        tag::NEG_LOCK_GRANT
-        | tag::NEG_BITMAP_RESP
-        | tag::NEG_BUY_ACK
-        | tag::MIGRATE_CMD_ACK
-        | tag::LOAD_RESP => control::park_reply(ctx, m),
+        // Replies that piggyback free-slot wealth refresh the trader's
+        // hint table on the way to the reply queue — one freshness source
+        // for the balancer and the trader.
+        tag::LOAD_RESP => {
+            negotiation::note_load_wealth(ctx, &m);
+            control::park_reply(ctx, m)
+        }
+        tag::MIGRATE_CMD_ACK => {
+            negotiation::note_ack_wealth(ctx, &m);
+            control::park_reply(ctx, m)
+        }
+        tag::NEG_LOCK_GRANT | tag::NEG_BITMAP_RESP | tag::NEG_BUY_ACK => {
+            control::park_reply(ctx, m)
+        }
         tag::RPC_RESP => control::park_rpc_resp(ctx, m),
         t => panic!("node {}: unknown message tag {t}", ctx.node),
     }
@@ -122,6 +137,8 @@ mod tests {
         assert_eq!(classify(tag::NEG_BITMAP_REQ), Class::Control);
         assert_eq!(classify(tag::THREAD_EXIT), Class::Control);
         assert_eq!(classify(tag::LOAD_RESP), Class::Control);
+        assert_eq!(classify(tag::SLOT_TRADE_REQ), Class::Control);
+        assert_eq!(classify(tag::SLOT_TRADE_RESP), Class::Control);
         assert_eq!(classify(tag::MIGRATION), Class::Migration);
         assert_eq!(classify(tag::MIGRATE_CMD), Class::Migration);
         assert_eq!(

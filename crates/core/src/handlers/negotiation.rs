@@ -1,7 +1,40 @@
-//! Server-side negotiation handlers (paper §4.4): the FIFO lock service
-//! on node 0, the bitmap gather, slot sales, and the critical-section
-//! exit.  The *initiator* side runs on the requesting green thread in
-//! [`crate::negotiation`].
+//! Server-side slot-economy handlers: the point-to-point slot trade
+//! (`SLOT_TRADE_REQ`/`SLOT_TRADE_RESP`) plus the surviving §4.4 global
+//! fallback — the FIFO lock service on node 0, the bitmap gather, slot
+//! sales, and the critical-section exit.  The *initiator* side of both
+//! paths runs on the requesting green thread in [`crate::negotiation`].
+//!
+//! ## The trade grant (lender side)
+//!
+//! A trade request names how many slots the requester wants, the minimum
+//! contiguous run that would satisfy it outright, and the requester's own
+//! free-slot wealth (which refreshes our hint table for free).  The grant
+//! decision is purely local:
+//!
+//! * **frozen** (we are inside somebody's §4.4 critical section) → refuse.
+//!   Our gathered bitmap is being used for a global first-fit; clearing
+//!   bits now could double-grant a slot the initiator is about to buy.
+//! * otherwise lend `min(want, free − low_watermark)` slots — the lender
+//!   never trades itself below its own low watermark, so trade storms
+//!   cannot ping-pong the same slots around the cluster.  (The *global*
+//!   protocol ignores watermarks: it is the authority of last resort, so a
+//!   cluster of all-poor nodes still converges through it.)
+//!
+//! Bits are cleared by [`isoaddr::NodeSlotManager::lend_batch`] before the
+//! reply is sent — sender-clears-before-receiver-sets — so at every
+//! instant a slot is set in at most one bitmap; in-flight slots are owned
+//! by the trade message itself, exactly like thread-owned slots in flight
+//! during a migration.
+//!
+//! ## Wealth piggybacking
+//!
+//! Free-slot counts ride every `SLOT_TRADE_*`, `LOAD_RESP` and
+//! `MIGRATE_CMD_ACK` message, so choosing the richest peer needs no extra
+//! round trips: the balancer's probes and the trader share one freshness
+//! source (see [`note_load_wealth`] / [`note_ack_wealth`], called from the
+//! dispatch table before replies are parked).
+
+use std::sync::atomic::Ordering;
 
 use madeleine::Message;
 
@@ -47,7 +80,104 @@ pub(crate) fn on_buy(ctx: &mut NodeCtx, m: Message) {
 }
 
 pub(crate) fn on_neg_done(ctx: &mut NodeCtx) {
-    // Unfreeze; the dispatch core replays deferred spawn-class messages
-    // and reaps frozen-era zombies on its next step.
+    // Unfreeze; the dispatch core replays deferred spawn-class messages,
+    // applies deferred trade adoptions, and reaps frozen-era zombies on
+    // its next step.
     ctx.frozen = false;
+}
+
+/// A peer below its low watermark asks this node for slots.  Decide and
+/// answer immediately — the grant never blocks, never locks, never touches
+/// any other node.
+pub(crate) fn on_slot_trade_req(ctx: &mut NodeCtx, m: Message) {
+    let Some((trade_id, want, min_contig, wealth)) = proto::decode_slot_trade_req(&m.payload)
+    else {
+        // A corrupt request costs the request; the requester's reply
+        // deadline (or its global fallback) covers the missing answer.
+        return;
+    };
+    ctx.set_peer_wealth(m.src, wealth as u64);
+    let free = ctx.mgr.free_slots();
+    let spare = if ctx.frozen {
+        0 // mid-critical-section: our bitmap must not change (§4.4 (a))
+    } else {
+        free.saturating_sub(ctx.low_watermark)
+    };
+    let give = spare.min(want as usize);
+    let ranges = if give == 0 {
+        ctx.stats.trade_refusals.fetch_add(1, Ordering::Relaxed);
+        Vec::new()
+    } else {
+        ctx.stats.trade_grants.fetch_add(1, Ordering::Relaxed);
+        ctx.mgr
+            .lend_batch(give, min_contig as usize)
+            .expect("lending slots")
+    };
+    let my_wealth = ctx.mgr.free_slots() as u32;
+    ctx.set_peer_wealth(ctx.node, my_wealth as u64);
+    let resp = proto::encode_slot_trade_resp(&ctx.pool, trade_id, my_wealth, &ranges);
+    let _ = ctx.ep.send(m.src, tag::SLOT_TRADE_RESP, resp);
+}
+
+/// A trade reply arrives.  Replies whose id sits in `prefetch_pending`
+/// (the in-flight watermark prefetch, or a timed-out demand trade whose
+/// late grant must still land) are consumed here: adopt the granted
+/// ranges — deferred if the bitmap is frozen.  Everything else is parked
+/// for the green thread blocked in `negotiation::try_trade`.
+pub(crate) fn on_slot_trade_resp(ctx: &mut NodeCtx, m: Message) {
+    let Some(id) = proto::peek_trade_id(&m.payload) else {
+        return;
+    };
+    if !ctx.prefetch_pending.remove(&id) {
+        super::control::park_reply(ctx, m);
+        return;
+    }
+    // Only the actual prefetch's own reply re-arms the prefetcher; a late
+    // demand reply routed through this path must not.
+    let was_prefetch = ctx.prefetch_inflight == Some(id);
+    if was_prefetch {
+        ctx.prefetch_inflight = None;
+    }
+    let Some((_, wealth, ranges)) = proto::decode_slot_trade_resp(&m.payload) else {
+        return;
+    };
+    ctx.set_peer_wealth(m.src, wealth as u64);
+    if ranges.is_empty() {
+        return; // refused; the wealth update steers the next attempt away
+    }
+    if ctx.frozen {
+        // Adoption would mutate the bitmap inside a §4.4 critical
+        // section; park the ranges until NEG_DONE (like zombie reaping).
+        // They are re-validated at adoption time.
+        ctx.pending_adopts.extend(ranges.iter().copied());
+    } else if !ctx.mgr.adopt_batch(&ranges) {
+        // A corrupt grant (out-of-area or overlapping ranges) costs the
+        // grant, never the node — like a corrupt migration record.
+        ctx.out.printf(
+            ctx.node,
+            &format!("dropped invalid slot grant from node {}", m.src),
+        );
+        return;
+    }
+    if was_prefetch {
+        ctx.stats.prefetch_fills.fetch_add(1, Ordering::Relaxed);
+    }
+    let total: u64 = ranges.iter().map(|r| r.count as u64).sum();
+    ctx.stats.trade_slots_in.fetch_add(total, Ordering::Relaxed);
+}
+
+/// Refresh the wealth hint table from a `LOAD_RESP` on its way to the
+/// reply queue.
+pub(crate) fn note_load_wealth(ctx: &mut NodeCtx, m: &Message) {
+    if let Some(w) = proto::peek_load_wealth(&m.payload) {
+        ctx.set_peer_wealth(m.src, w as u64);
+    }
+}
+
+/// Refresh the wealth hint table from a `MIGRATE_CMD_ACK` on its way to
+/// the reply queue.
+pub(crate) fn note_ack_wealth(ctx: &mut NodeCtx, m: &Message) {
+    if let Some((_, _, _, w)) = proto::decode_migrate_ack(&m.payload) {
+        ctx.set_peer_wealth(m.src, w as u64);
+    }
 }

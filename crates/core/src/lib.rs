@@ -113,6 +113,44 @@
 //!   `trains_out`/`trains_in` and `threads_per_message()`;
 //!   `madeleine`'s endpoint stats count batched sends.
 //!
+//! ## The decentralized slot economy
+//!
+//! Since ISSUE 5 a slot shortfall no longer stops the world.  The paper's
+//! §4.4 remedy was a system-wide critical section — a FIFO lock on node
+//! 0, a gather of all p − 1 bitmaps, and a freeze of every node's
+//! allocator, with a measured cost affine in the node count ("another
+//! 165 µs per extra node").  That protocol survives verbatim but is
+//! demoted to a *fallback*; the hot path is a lease-style trade economy:
+//!
+//! * every node keeps a free-slot **reserve** with low/high watermarks
+//!   (`slot_watermarks` builder knob) and an O(1) reserve counter;
+//! * **wealth hints** — each node's free-slot count — piggyback on
+//!   existing traffic (`SLOT_TRADE_*`, `LOAD_RESP`, `MIGRATE_CMD_ACK`),
+//!   so picking the richest lender needs no extra round trips, and the
+//!   load balancer's probes double as the trader's freshness source
+//!   ([`Machine::peer_wealth`] / [`api::pm2_peer_wealth`] expose the
+//!   table);
+//! * a shortfall sends **one** point-to-point `SLOT_TRADE_REQ` to the
+//!   richest known peer; the lender clears a *batch* of contiguous
+//!   ranges before its reply leaves (sender-clears-before-receiver-sets,
+//!   so a slot has exactly one bitmap owner at every instant — in-flight
+//!   ranges are owned by the trade message, like thread-owned slots
+//!   mid-migration) — no lock, no freeze, no gather, O(1) messages per
+//!   acquire, and the batch (`trade_batch` knob) amortizes the round
+//!   trip over many later allocations;
+//! * dropping below the low watermark triggers an **asynchronous
+//!   prefetch** trade from the driver, so steady-state allocators rarely
+//!   block at all;
+//! * the §4.4 protocol runs only when the trade cannot help — lender
+//!   refused (frozen, or at its own watermark), cluster genuinely
+//!   fragmented (no contiguous run even after the grant), or trading
+//!   disabled (`slot_trade(false)`, the measured baseline).  Its
+//!   `NEG_BUY`s ignore watermarks: it is the authority of last resort.
+//!
+//! `BENCH_negotiation.json` tracks the win: steady-state 2-slot
+//! acquisition via trades vs the forced-global path at p = 2/4/8, plus
+//! trade/fallback counts and the prefetch hit rate.
+//!
 //! ## Crate layout
 //!
 //! * [`machine`] / [`node`] — the simulated cluster: one scheduler + slot
@@ -123,7 +161,8 @@
 //! * [`api`] — the green-side programming interface (§3.4 plus the typed
 //!   v1 calls) for code running inside Marcel threads;
 //! * [`service`] — the typed request/reply LRPC layer ([`Service`]);
-//! * [`negotiation`] — the global slot negotiation of §4.4;
+//! * [`negotiation`] — remote slot acquisition: trade-first economy with
+//!   the §4.4 global negotiation as fallback;
 //! * `migration` — pack/ship/unpack in trains (§2, with the §6
 //!   optimizations) on a
 //!   zero-copy data plane: buffers are checked out of per-endpoint pools

@@ -42,8 +42,6 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use madeleine::message::PayloadReader;
-
 use crate::api::{self, send_to, wait_reply_until};
 use crate::error::Result;
 use crate::machine::Machine;
@@ -180,10 +178,14 @@ fn balance_round(p: usize, cfg: &BalancerConfig, counters: &Counters) -> Result<
         let Ok(m) = wait_reply_until(tag::LOAD_RESP, None, deadline, |_| true) else {
             break; // Deadline: balance whoever answered.
         };
-        let mut r = PayloadReader::new(&m.payload);
-        let resident = r.u32().unwrap_or(0) as usize;
-        let n = r.u32().unwrap_or(0) as usize;
-        let migratable: Vec<u64> = (0..n).filter_map(|_| r.u64()).collect();
+        // (The reply also piggybacked the node's free-slot wealth, which
+        // the dispatch layer absorbed into the trader's hint table before
+        // parking it — the balancer's probes double as the slot economy's
+        // freshness source.)
+        let Some((resident, _, migratable)) = proto::decode_load_resp(&m.payload) else {
+            continue;
+        };
+        let resident = resident as usize;
         if let Some(l) = loads.iter_mut().find(|l| l.node == m.src) {
             l.resident = resident;
             l.migratable = migratable;
@@ -256,7 +258,8 @@ fn balance_round(p: usize, cfg: &BalancerConfig, counters: &Counters) -> Result<
         }) else {
             break; // Deadline: the unanswered sources degrade the round.
         };
-        let Some((cmd_id, accepted, _total)) = proto::decode_migrate_ack(&ack.payload) else {
+        let Some((cmd_id, accepted, _total, _wealth)) = proto::decode_migrate_ack(&ack.payload)
+        else {
             continue;
         };
         pending.remove(&cmd_id);

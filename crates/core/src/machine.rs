@@ -97,6 +97,8 @@ pub struct Machine {
     typed_services: Arc<TypedServiceTable>,
     slot_stats: Vec<Arc<isoaddr::SlotStats>>,
     node_stats: Vec<Arc<NodeStats>>,
+    /// Per-node wealth hint tables (last-known free-slot count per peer).
+    wealth: Vec<Arc<Vec<AtomicU64>>>,
     /// Cheap-clone handles on each node's payload pool (observability).
     pools: Vec<madeleine::BufPool>,
     drivers: Vec<std::thread::JoinHandle<()>>,
@@ -151,6 +153,7 @@ impl Machine {
             .collect();
         let slot_stats = ctxs.iter().map(|c| c.mgr.stats()).collect();
         let node_stats = ctxs.iter().map(|c| Arc::clone(&c.stats)).collect();
+        let wealth = ctxs.iter().map(|c| Arc::clone(&c.peer_wealth)).collect();
         let pools = ctxs.iter().map(|c| c.pool.clone()).collect();
 
         let drivers = match cfg.mode {
@@ -180,6 +183,7 @@ impl Machine {
             typed_services,
             slot_stats,
             node_stats,
+            wealth,
             pools,
             drivers,
             next_tid: AtomicU64::new(1),
@@ -388,6 +392,17 @@ impl Machine {
     /// Runtime statistics of `node`.
     pub fn node_stats(&self, node: usize) -> NodeStatsSnapshot {
         self.node_stats[node].snapshot()
+    }
+
+    /// `node`'s wealth hint table: its last-known free-slot count for
+    /// every node, refreshed by each piggybacked hint on trade, load and
+    /// migrate-ack traffic.  This is what the node's slot trader picks
+    /// lenders from.
+    pub fn peer_wealth(&self, node: usize) -> Vec<u64> {
+        self.wealth[node]
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed))
+            .collect()
     }
 
     /// Payload-pool statistics of `node`'s endpoint.  In steady state the

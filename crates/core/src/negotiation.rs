@@ -1,43 +1,98 @@
-//! The global negotiation phase (paper §4.4).
+//! Remote slot acquisition: **trade first, negotiate as a fallback**.
 //!
-//! Runs on the *requesting thread* (a Marcel thread); while it waits for
-//! replies it yields, so its node keeps pumping messages and running other
-//! threads.  The steps are exactly the paper's:
+//! The paper's §4.4 answer to a slot shortfall is a system-wide critical
+//! section: a FIFO lock on node 0, a gather of all `p − 1` bitmaps, a
+//! global OR, a first-fit, per-seller buys, and a freeze of every node's
+//! allocator for the duration — the measured "another 165 µs per extra
+//! node" affine cost.  That protocol survives below ([`run_global`]), but
+//! it is now the *fallback*, not the hot path.
 //!
-//! (a) enter a system-wide critical section — a FIFO lock service on node 0;
-//!     every node freezes its bitmap when it answers the gather (and
-//!     unfreezes on `NEG_DONE`), so "no other node is allowed to modify its
-//!     slot bitmap within this section" while code and block-level
-//!     allocation keep running;
-//! (b) gather the local bitmaps of all nodes;
-//! (c) compute a global OR;
-//! (d) first-fit for `n` contiguous available slots and *buy* the non-local
-//!     ones (mark 1 in the requester's bitmap, 0 in the owners');
-//! (e) the per-seller `NEG_BUY` messages are the updated-bitmap deltas;
-//! (f) exit the critical section.
+//! ## The trade-first hot path
 //!
-//! The cost is dominated by gathering `p − 1` bitmaps — which is what makes
-//! the measured cost affine in the node count, the paper's "another 165 µs
-//! per extra node".
+//! Each node runs a decentralized slot economy: it keeps a free-slot
+//! *reserve* with low/high watermarks, learns every peer's reserve from
+//! free-slot counts piggybacked on existing traffic (trade replies,
+//! `LOAD_RESP` probes, `MIGRATE_CMD_ACK`s — no extra round trips), and on
+//! a shortfall sends one point-to-point `SLOT_TRADE_REQ` to the richest
+//! known peer.  The lender clears the bits of a *batch* of contiguous
+//! ranges before its reply leaves and the requester sets them on receipt
+//! — sender-clears-before-receiver-sets, so a slot has exactly one bitmap
+//! owner at every instant, in flight included (in-flight slots are owned
+//! by the trade message, exactly like thread-owned slots mid-migration).
+//! No lock, no freeze, no bitmap gather: O(1) messages per shortfall, and
+//! the batch amortizes that one round trip over many later acquisitions.
+//! Dropping below the low watermark additionally triggers an
+//! *asynchronous* prefetch trade from the driver (see
+//! `NodeCtx::maybe_prefetch`), so steady-state allocators rarely block at
+//! all.
+//!
+//! ## When the paper's protocol still runs
+//!
+//! [`run_global`] is entered only when the trade could not help:
+//!
+//! * the chosen lender **refused** (it was frozen inside someone's
+//!   critical section, or granting would take it below its own low
+//!   watermark);
+//! * the grant landed but **no contiguous run** of the requested length
+//!   exists in the merged bitmap (cluster genuinely fragmented — only a
+//!   global first-fit over the OR of all bitmaps can prove or disprove a
+//!   fit);
+//! * no peer is believed to own any spare slots at all;
+//! * trading is disabled (`slot_trade` knob off — the measured baseline).
+//!
+//! The global path is the authority of last resort: unlike trades, its
+//! `NEG_BUY`s ignore watermarks, so a uniformly poor cluster still
+//! converges through it.  Its `owner_of` resolution is a precomputed
+//! owner table built once from the gathered bitmaps (O(p + set bits)),
+//! not the old O(p · slots) per-slot scan.
+//!
+//! ## Safety argument (iso-address invariant)
+//!
+//! Every transfer path keeps "each slot owned by exactly one agent":
+//! trades clear-before-set with the in-flight interval owned by the
+//! message; a frozen node refuses to lend (its gathered bitmap is being
+//! used for a global first-fit, so clearing bits could double-grant);
+//! a frozen requester defers adoption until `NEG_DONE` (the pump parks
+//! the ranges in `pending_adopts`).  The global protocol's own argument
+//! is unchanged from the paper.
+//!
+//! ## Local serialization
+//!
+//! One remote acquisition at a time per node: later requesters park on a
+//! waiter queue (`marcel::block_current`, woken FIFO by the finishing
+//! holder) instead of burning scheduler quanta in a spin — and when woken
+//! they re-check the bitmap first, because the previous holder's batch
+//! usually covers them.
 
+use std::sync::atomic::Ordering;
 use std::time::Instant;
 
 use isoaddr::{SlotBitmap, SlotRange};
 
-use crate::api::{send_to, wait_reply};
+use crate::api::{send_to, wait_reply, wait_reply_matching};
 use crate::error::{Pm2Error, Result};
 use crate::node::with_ctx;
-use crate::proto::{encode_ranges, tag};
+use crate::proto::{self, encode_ranges, tag};
 
 /// Acquire ownership of `requested` contiguous slots into the calling
-/// node's bitmap via a global negotiation.  On success the local bitmap is
-/// guaranteed to contain a run of `requested` set bits.
-pub(crate) fn negotiate_acquire(requested: usize) -> Result<()> {
-    // One negotiation at a time per node: later requesters wait their turn
-    // (the global lock would serialize them anyway).
+/// node's bitmap.  On success the local bitmap is guaranteed to contain a
+/// run of `requested` set bits.  Runs on the requesting green thread;
+/// while it waits for replies it yields, so its node keeps pumping
+/// messages and running other threads.
+pub(crate) fn acquire_remote(requested: usize) -> Result<()> {
+    claim();
+    let result = run_acquire(requested);
+    release();
+    result
+}
+
+/// One remote acquisition at a time per node.  Contending requesters park
+/// (no spinning); each is woken FIFO and re-claims.
+fn claim() {
     loop {
         let acquired = with_ctx(|c| {
             if c.negotiating {
+                c.neg_waiters.push_back(marcel::current_desc());
                 false
             } else {
                 c.negotiating = true;
@@ -45,28 +100,144 @@ pub(crate) fn negotiate_acquire(requested: usize) -> Result<()> {
             }
         });
         if acquired {
-            break;
+            return;
         }
-        marcel::yield_now();
-        // A previous local negotiation may have already bought what we need;
-        // the caller re-checks its bitmap before calling us again.
+        // Cooperative single-driver model: nothing can pop us off the
+        // waiter queue between the push above and this park, because the
+        // holder only runs after we switch out.
+        marcel::block_current();
     }
-    let t0 = Instant::now();
-    let result = run_protocol(requested);
-    let dt = t0.elapsed().as_nanos() as u64;
+}
+
+fn release() {
     with_ctx(|c| {
         c.negotiating = false;
-        c.stats
-            .negotiations
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        if let Some(d) = c.neg_waiters.pop_front() {
+            // SAFETY: `d` parked itself via block_current on this node
+            // and cannot run (or migrate) until unblocked.
+            unsafe { c.sched.unblock(d) };
+        }
+    });
+}
+
+fn run_acquire(requested: usize) -> Result<()> {
+    // A previous holder's trade batch may already cover us.
+    if with_ctx(|c| !c.frozen && c.mgr.bitmap().find_first_fit(requested, 0).is_some()) {
+        return Ok(());
+    }
+    let trading = with_ctx(|c| c.slot_trade && c.n_nodes > 1);
+    if trading {
+        if try_trade(requested) {
+            return Ok(());
+        }
+        with_ctx(|c| c.stats.trade_fallbacks.fetch_add(1, Ordering::Relaxed));
+    }
+    run_global(requested)
+}
+
+/// One point-to-point trade with the richest known peer.  Returns whether
+/// the local bitmap now satisfies the request.  Any failure (no plausible
+/// peer, refusal, timeout, insufficient contiguity) reports `false` and
+/// the caller falls back to the global protocol.
+fn try_trade(requested: usize) -> bool {
+    let t0 = Instant::now();
+    let setup = with_ctx(|c| {
+        let peer = c.richest_peer(0)?;
+        let id = c.next_call_id();
+        // Ask for the shortfall *batch*: the request itself plus enough
+        // spare to amortize the round trip over later acquisitions.
+        let want = requested + c.trade_batch;
+        let wealth = c.mgr.free_slots() as u32;
+        Some((peer, id, want, wealth, c.pool.clone()))
+    });
+    let Some((peer, id, want, wealth, pool)) = setup else {
+        return false;
+    };
+    with_ctx(|c| c.stats.trades.fetch_add(1, Ordering::Relaxed));
+    let req = proto::encode_slot_trade_req(&pool, id, want as u32, requested as u32, wealth);
+    if send_to(peer, tag::SLOT_TRADE_REQ, req).is_err() {
+        return false;
+    }
+    let Ok(m) = wait_reply_matching(tag::SLOT_TRADE_RESP, Some(peer), |m| {
+        proto::peek_trade_id(&m.payload) == Some(id)
+    }) else {
+        // Timed out: a grant may still be in flight, and its slots were
+        // already cleared at the lender.  Hand the trade id to the
+        // prefetch machinery so a late reply is adopted by the pump
+        // instead of stranding the slots (or the parked-reply queue).
+        with_ctx(|c| c.prefetch_pending.insert(id));
+        return false;
+    };
+    let Some((_, peer_wealth, ranges)) = proto::decode_slot_trade_resp(&m.payload) else {
+        return false;
+    };
+    let total: u64 = ranges.iter().map(|r| r.count as u64).sum();
+    // Adopt once the bitmap is not frozen (a global negotiation may have
+    // frozen us while we waited; adoption inside the critical section
+    // would mutate a bitmap the initiator already gathered).
+    loop {
+        let done = with_ctx(|c| {
+            if c.frozen {
+                return None;
+            }
+            c.set_peer_wealth(peer, peer_wealth as u64);
+            if !ranges.is_empty() {
+                // A corrupt grant (out-of-area or overlapping ranges) is
+                // refused whole by adopt_batch; the trade then simply
+                // reports failure and the global fallback takes over.
+                if c.mgr.adopt_batch(&ranges) {
+                    c.stats.trade_slots_in.fetch_add(total, Ordering::Relaxed);
+                } else {
+                    c.out.printf(
+                        c.node,
+                        &format!("dropped invalid slot grant from node {peer}"),
+                    );
+                }
+            }
+            c.stats
+                .trade_ns
+                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            Some(c.mgr.bitmap().find_first_fit(requested, 0).is_some())
+        });
+        match done {
+            Some(satisfied) => return satisfied,
+            None => marcel::yield_now(),
+        }
+    }
+}
+
+/// The paper's global negotiation (§4.4), verbatim in protocol shape:
+///
+/// (a) enter a system-wide critical section — a FIFO lock service on node
+///     0; every node freezes its bitmap when it answers the gather (and
+///     unfreezes on `NEG_DONE`), so "no other node is allowed to modify
+///     its slot bitmap within this section" while code and block-level
+///     allocation keep running;
+/// (b) gather the local bitmaps of all nodes;
+/// (c) compute a global OR;
+/// (d) first-fit for `n` contiguous available slots and *buy* the
+///     non-local ones (mark 1 in the requester's bitmap, 0 in the
+///     owners');
+/// (e) the per-seller `NEG_BUY` messages are the updated-bitmap deltas;
+/// (f) exit the critical section.
+///
+/// The cost is dominated by gathering `p − 1` bitmaps — what makes the
+/// measured cost affine in the node count, the paper's "another 165 µs
+/// per extra node" — which is exactly why this runs only when a trade
+/// could not help.
+fn run_global(requested: usize) -> Result<()> {
+    let t0 = Instant::now();
+    let result = run_global_protocol(requested);
+    with_ctx(|c| {
+        c.stats.negotiations.fetch_add(1, Ordering::Relaxed);
         c.stats
             .negotiation_ns
-            .fetch_add(dt, std::sync::atomic::Ordering::Relaxed);
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
     });
     result
 }
 
-fn run_protocol(requested: usize) -> Result<()> {
+fn run_global_protocol(requested: usize) -> Result<()> {
     let (me, p) = with_ctx(|c| (c.node, c.n_nodes));
 
     // (a) system-wide critical section.
@@ -89,11 +260,18 @@ fn run_protocol(requested: usize) -> Result<()> {
         bitmaps[m.src] = Some(bm);
     }
 
-    // (c) global OR.
+    // (c) global OR, plus the owner table: one pass over the gathered
+    // bitmaps' set bits gives O(1) owner lookups in step (d) — the old
+    // per-slot owner scan was O(p · slots) in the worst case.
     let mut global = bitmaps[me].clone().expect("own bitmap present");
+    let mut owner: Vec<u16> = vec![u16::MAX; global.len()];
     for (i, bm) in bitmaps.iter().enumerate() {
+        let bm = bm.as_ref().expect("gathered bitmap");
         if i != me {
-            global.or_with(bm.as_ref().expect("gathered bitmap"));
+            global.or_with(bm);
+        }
+        for slot in bm.iter_ones() {
+            owner[slot] = i as u16;
         }
     }
 
@@ -107,13 +285,9 @@ fn run_protocol(requested: usize) -> Result<()> {
             let mut sellers: Vec<(usize, Vec<SlotRange>)> = Vec::new();
             let mut run_owner: Option<usize> = None;
             let mut run_start = range.first;
-            let owner_of = |slot: usize| -> usize {
-                (0..p)
-                    .find(|&i| bitmaps[i].as_ref().unwrap().get(slot))
-                    .expect("slot set in the OR must be set in some bitmap")
-            };
             for slot in range.iter() {
-                let o = owner_of(slot);
+                let o = owner[slot] as usize;
+                debug_assert_ne!(o, u16::MAX as usize, "slot set in OR but unowned");
                 match run_owner {
                     Some(prev) if prev == o => {}
                     Some(prev) => {

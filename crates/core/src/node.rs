@@ -49,7 +49,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use isoaddr::{IsoArea, NodeSlotManager};
+use isoaddr::{IsoArea, NodeSlotManager, SlotRange};
 use madeleine::{BufPool, Endpoint, Message};
 use marcel::{DescPtr, RunOutcome, Scheduler, ThreadState};
 
@@ -88,10 +88,32 @@ pub struct NodeStats {
     pub migration_wire_ns: AtomicU64,
     /// Nanoseconds spent unpacking arriving migrations (adopt & copy).
     pub migration_unpack_ns: AtomicU64,
-    /// Global negotiations initiated by this node.
+    /// Global negotiations initiated by this node (the §4.4 fallback; on
+    /// the trade-first hot path this stays 0).
     pub negotiations: AtomicU64,
-    /// Total nanoseconds spent in initiated negotiations.
+    /// Total nanoseconds spent in initiated global negotiations.
     pub negotiation_ns: AtomicU64,
+    /// Demand slot trades initiated by this node (a green thread needed
+    /// slots *now* and asked the richest known peer).
+    pub trades: AtomicU64,
+    /// Total nanoseconds green threads spent in demand trades.
+    pub trade_ns: AtomicU64,
+    /// Slots adopted from peers via trades (demand + prefetch).
+    pub trade_slots_in: AtomicU64,
+    /// Demand trades that could not satisfy the request (refused,
+    /// insufficient, or non-contiguous) and fell back to the global §4.4
+    /// protocol.
+    pub trade_fallbacks: AtomicU64,
+    /// Trade requests this node granted as the lender.
+    pub trade_grants: AtomicU64,
+    /// Trade requests this node refused (frozen, or at its watermark).
+    pub trade_refusals: AtomicU64,
+    /// Asynchronous watermark prefetches sent (reserve below low water).
+    pub prefetches: AtomicU64,
+    /// Prefetches that came back with at least one slot.
+    pub prefetch_fills: AtomicU64,
+    /// Piggybacked wealth hints absorbed (trade/load/ack traffic).
+    pub wealth_updates: AtomicU64,
     /// Threads spawned here.
     pub spawns: AtomicU64,
     /// Scheduling steps the driver executed for this node.
@@ -122,6 +144,15 @@ pub struct NodeStatsSnapshot {
     pub migration_unpack_ns: u64,
     pub negotiations: u64,
     pub negotiation_ns: u64,
+    pub trades: u64,
+    pub trade_ns: u64,
+    pub trade_slots_in: u64,
+    pub trade_fallbacks: u64,
+    pub trade_grants: u64,
+    pub trade_refusals: u64,
+    pub prefetches: u64,
+    pub prefetch_fills: u64,
+    pub wealth_updates: u64,
     pub spawns: u64,
     pub steps: u64,
     pub driver_parks: u64,
@@ -154,6 +185,15 @@ impl NodeStats {
             migration_unpack_ns: self.migration_unpack_ns.load(Ordering::Relaxed),
             negotiations: self.negotiations.load(Ordering::Relaxed),
             negotiation_ns: self.negotiation_ns.load(Ordering::Relaxed),
+            trades: self.trades.load(Ordering::Relaxed),
+            trade_ns: self.trade_ns.load(Ordering::Relaxed),
+            trade_slots_in: self.trade_slots_in.load(Ordering::Relaxed),
+            trade_fallbacks: self.trade_fallbacks.load(Ordering::Relaxed),
+            trade_grants: self.trade_grants.load(Ordering::Relaxed),
+            trade_refusals: self.trade_refusals.load(Ordering::Relaxed),
+            prefetches: self.prefetches.load(Ordering::Relaxed),
+            prefetch_fills: self.prefetch_fills.load(Ordering::Relaxed),
+            wealth_updates: self.wealth_updates.load(Ordering::Relaxed),
             spawns: self.spawns.load(Ordering::Relaxed),
             steps: self.steps.load(Ordering::Relaxed),
             driver_parks: self.driver_parks.load(Ordering::Relaxed),
@@ -206,8 +246,28 @@ pub(crate) struct NodeCtx {
     pub deferred: VecDeque<Message>,
     /// Bitmap frozen by an in-flight global negotiation (paper §4.4 (a)).
     pub frozen: bool,
-    /// A local thread currently runs the negotiation protocol.
+    /// A local thread currently runs the remote-acquire protocol (trade
+    /// or global negotiation).
     pub negotiating: bool,
+    /// Green threads waiting their turn at the remote-acquire protocol,
+    /// parked via `marcel::block_current` (no spinning); the finishing
+    /// holder unblocks the head.
+    pub neg_waiters: VecDeque<DescPtr>,
+    /// Last-known free-slot counts per node, refreshed by every
+    /// piggybacked wealth hint (shared with the host for observability).
+    pub peer_wealth: Arc<Vec<AtomicU64>>,
+    /// Trade ids whose responses the pump consumes directly instead of
+    /// parking for a green thread: the in-flight watermark prefetch plus
+    /// any timed-out demand trades (their late grants must still be
+    /// adopted or the lender's cleared slots would be stranded).
+    pub prefetch_pending: HashSet<u64>,
+    /// Trade id of the one in-flight watermark prefetch, if any; only its
+    /// own reply re-arms the prefetcher (a late demand-trade reply must
+    /// not).
+    pub prefetch_inflight: Option<u64>,
+    /// Trade grants that arrived while the bitmap was frozen; adopted
+    /// after NEG_DONE.
+    pub pending_adopts: Vec<SlotRange>,
     /// Lock service state (meaningful on node 0 only).
     pub lock_holder: Option<usize>,
     pub lock_queue: VecDeque<usize>,
@@ -238,6 +298,17 @@ pub(crate) struct NodeCtx {
     /// Upper bound on threads per migration train (the `max_train` knob;
     /// 1 disables departure coalescing entirely).
     pub max_train: usize,
+    /// Trade-first remote slot acquisition enabled (the `slot_trade`
+    /// knob; false forces every shortfall through the §4.4 protocol).
+    pub slot_trade: bool,
+    /// Reserve low watermark: dropping below it triggers an asynchronous
+    /// prefetch trade, and a lender never grants below it.
+    pub low_watermark: usize,
+    /// Reserve high watermark: the prefetch target level.
+    pub high_watermark: usize,
+    /// Most slots asked for in one demand trade beyond the request itself
+    /// (the batch that amortizes one round trip over many acquisitions).
+    pub trade_batch: usize,
     /// Fault-injection hook: tids whose packed record group is truncated
     /// on departure (tests only; see `Pm2Config::fault_corrupt_pack`).
     pub fault_corrupt_pack: HashSet<u64>,
@@ -289,6 +360,11 @@ impl NodeCtx {
         typed_services: Arc<TypedServiceTable>,
     ) -> Self {
         let pool = ep.pool().clone();
+        // Wealth prior: an even split — refined by the first piggybacked
+        // hint from each peer.
+        let prior = (area.n_slots() / cfg.nodes.max(1)) as u64;
+        let peer_wealth: Arc<Vec<AtomicU64>> =
+            Arc::new((0..cfg.nodes).map(|_| AtomicU64::new(prior)).collect());
         NodeCtx {
             node,
             n_nodes: cfg.nodes,
@@ -311,6 +387,11 @@ impl NodeCtx {
             replies: VecDeque::new(),
             frozen: false,
             negotiating: false,
+            neg_waiters: VecDeque::new(),
+            peer_wealth,
+            prefetch_pending: HashSet::new(),
+            prefetch_inflight: None,
+            pending_adopts: Vec::new(),
             lock_holder: None,
             lock_queue: VecDeque::new(),
             zombies: Vec::new(),
@@ -327,8 +408,67 @@ impl NodeCtx {
             pump_budget: cfg.pump_budget.max(1),
             idle_park: cfg.idle_park,
             max_train: cfg.max_train.max(1),
+            slot_trade: cfg.slot_trade,
+            low_watermark: cfg.slot_low_watermark,
+            high_watermark: cfg.slot_high_watermark.max(cfg.slot_low_watermark),
+            trade_batch: cfg.trade_batch.max(1),
             fault_corrupt_pack: cfg.fault_corrupt_pack.iter().copied().collect(),
         }
+    }
+
+    /// Record a piggybacked free-slot count for `node`.
+    pub(crate) fn set_peer_wealth(&mut self, node: usize, wealth: u64) {
+        if let Some(w) = self.peer_wealth.get(node) {
+            w.store(wealth, Ordering::Relaxed);
+            self.stats.wealth_updates.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The peer with the largest known free-slot reserve strictly above
+    /// `floor`, if any.  Hints are refreshed by every trade, load reply
+    /// and migrate ack, so a drained peer stops being asked after one
+    /// refusal.
+    pub(crate) fn richest_peer(&self, floor: u64) -> Option<usize> {
+        (0..self.n_nodes)
+            .filter(|&p| p != self.node)
+            .map(|p| (self.peer_wealth[p].load(Ordering::Relaxed), p))
+            .filter(|&(w, _)| w > floor)
+            .max()
+            .map(|(_, p)| p)
+    }
+
+    /// Watermark prefetch: when the reserve drops below the low
+    /// watermark, top it back up to the high watermark with one
+    /// asynchronous trade to the richest known peer.  Runs on the driver
+    /// (never a green thread), costs O(1) per step, and never blocks —
+    /// the response is consumed by the pump whenever it arrives.
+    fn maybe_prefetch(&mut self) {
+        if !self.slot_trade
+            || self.n_nodes < 2
+            || self.low_watermark == 0
+            || self.shutdown
+            || self.frozen
+            || self.prefetch_inflight.is_some()
+        {
+            return;
+        }
+        let free = self.mgr.free_slots();
+        if free >= self.low_watermark {
+            return;
+        }
+        // Only ask peers that can plausibly grant (they keep their own
+        // low watermark back), so a uniformly poor cluster goes quiet
+        // instead of ping-ponging refusals.
+        let Some(peer) = self.richest_peer(self.low_watermark as u64) else {
+            return;
+        };
+        let want = (self.high_watermark - free).max(1);
+        let id = self.next_call_id();
+        self.prefetch_pending.insert(id);
+        self.prefetch_inflight = Some(id);
+        self.stats.prefetches.fetch_add(1, Ordering::Relaxed);
+        let req = proto::encode_slot_trade_req(&self.pool, id, want as u32, 1, free as u32);
+        let _ = self.ep.send(peer, tag::SLOT_TRADE_REQ, req);
     }
 
     /// Next node-unique typed-LRPC call id (node in the top bits, so ids
@@ -401,6 +541,18 @@ impl NodeCtx {
         if !self.frozen && !self.zombies.is_empty() {
             self.reap_zombies();
         }
+        if !self.frozen && !self.pending_adopts.is_empty() {
+            // Trade grants that landed during a critical section: the
+            // lender already cleared its bits, so adoption completes the
+            // transfer the moment the freeze lifts.
+            let ranges = std::mem::take(&mut self.pending_adopts);
+            if !self.mgr.adopt_batch(&ranges) {
+                // A grant that no longer validates costs the grant, never
+                // the node (mirrors the corrupt-migration discipline).
+                self.out
+                    .printf(self.node, "dropped invalid deferred slot grant");
+            }
+        }
         if !self.frozen && !self.deferred.is_empty() {
             // Replay spawns parked during the critical section.  Handling
             // them cannot re-freeze the bitmap, so this drains fully.
@@ -409,6 +561,7 @@ impl NodeCtx {
                 self.handle(m);
             }
         }
+        self.maybe_prefetch();
         self.activate();
         match self.sched.run_one() {
             Some(outcome) => {

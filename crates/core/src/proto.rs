@@ -75,6 +75,17 @@ pub mod tag {
     pub const RPC_CALL: u16 = 30;
     /// Serving node → caller: typed LRPC response (call id, status, bytes).
     pub const RPC_RESP: u16 = 31;
+    /// Node → node: point-to-point slot trade request (trade id, slots
+    /// wanted, minimum contiguous run, requester's free-slot wealth).  The
+    /// hot-path replacement for the §4.4 global negotiation: no lock, no
+    /// freeze, no bitmap gather — one request to the richest known peer.
+    pub const SLOT_TRADE_REQ: u16 = 32;
+    /// Node → requester: trade reply (trade id, responder's post-trade
+    /// wealth, granted slot ranges — empty = refused).  The responder
+    /// cleared its bits before this message left, so adopting the ranges
+    /// completes the ownership transfer with exactly one bitmap owner per
+    /// slot at every instant.
+    pub const SLOT_TRADE_RESP: u16 = 33;
 }
 
 /// Status byte of an [`tag::RPC_RESP`] payload.
@@ -109,6 +120,100 @@ pub fn decode_ranges(buf: &[u8]) -> Option<Vec<SlotRange>> {
     )
 }
 
+/// Encode a `SLOT_TRADE_REQ` payload: (trade id, slots wanted, minimum
+/// contiguous run that would satisfy the requester outright, requester's
+/// own free-slot count — the piggybacked wealth hint).
+pub fn encode_slot_trade_req(
+    pool: &BufPool,
+    trade_id: u64,
+    want: u32,
+    min_contig: u32,
+    wealth: u32,
+) -> Payload {
+    let mut w = PayloadWriter::pooled(pool, 24);
+    w.u64(trade_id).u32(want).u32(min_contig).u32(wealth);
+    w.finish()
+}
+
+/// Decode a `SLOT_TRADE_REQ` payload into (trade id, want, min contiguous,
+/// wealth).
+pub fn decode_slot_trade_req(buf: &[u8]) -> Option<(u64, u32, u32, u32)> {
+    let mut r = madeleine::message::PayloadReader::new(buf);
+    Some((r.u64()?, r.u32()?, r.u32()?, r.u32()?))
+}
+
+/// Encode a `SLOT_TRADE_RESP` payload: (echoed trade id, responder's
+/// post-trade wealth, granted ranges).  An empty range list is a refusal.
+pub fn encode_slot_trade_resp(
+    pool: &BufPool,
+    trade_id: u64,
+    wealth: u32,
+    ranges: &[SlotRange],
+) -> Payload {
+    let mut w = PayloadWriter::pooled(pool, 16 + ranges.len() * 16);
+    w.u64(trade_id).u32(wealth).u32(ranges.len() as u32);
+    for r in ranges {
+        w.u64(r.first as u64).u64(r.count as u64);
+    }
+    w.finish()
+}
+
+/// Decode a `SLOT_TRADE_RESP` payload into (trade id, wealth, ranges).
+pub fn decode_slot_trade_resp(buf: &[u8]) -> Option<(u64, u32, Vec<SlotRange>)> {
+    let mut r = madeleine::message::PayloadReader::new(buf);
+    let trade_id = r.u64()?;
+    let wealth = r.u32()?;
+    let n = r.u32()? as usize;
+    let mut ranges = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let first = r.u64()? as usize;
+        let count = r.u64()? as usize;
+        if count == 0 {
+            return None;
+        }
+        ranges.push(SlotRange::new(first, count));
+    }
+    Some((trade_id, wealth, ranges))
+}
+
+/// Read just the leading trade id off a `SLOT_TRADE_RESP` (reply matching).
+pub fn peek_trade_id(buf: &[u8]) -> Option<u64> {
+    madeleine::message::PayloadReader::new(buf).u64()
+}
+
+/// Encode a `LOAD_RESP` payload: (resident thread count, free-slot wealth,
+/// migratable tids).  The wealth field is the piggyback that lets the load
+/// balancer's probes and the slot trader share one freshness source.
+pub fn encode_load_resp(pool: &BufPool, resident: u32, wealth: u32, tids: &[u64]) -> Payload {
+    let mut w = PayloadWriter::pooled(pool, 16 + tids.len() * 8);
+    w.u32(resident).u32(wealth).u32(tids.len() as u32);
+    for t in tids {
+        w.u64(*t);
+    }
+    w.finish()
+}
+
+/// Decode a `LOAD_RESP` payload into (resident, wealth, migratable tids).
+pub fn decode_load_resp(buf: &[u8]) -> Option<(u32, u32, Vec<u64>)> {
+    let mut r = madeleine::message::PayloadReader::new(buf);
+    let resident = r.u32()?;
+    let wealth = r.u32()?;
+    let n = r.u32()? as usize;
+    let mut tids = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        tids.push(r.u64()?);
+    }
+    Some((resident, wealth, tids))
+}
+
+/// Read just the wealth hint off a `LOAD_RESP` payload (dispatch-time
+/// sniffing; the full decode happens at the waiting green thread).
+pub fn peek_load_wealth(buf: &[u8]) -> Option<u32> {
+    let mut r = madeleine::message::PayloadReader::new(buf);
+    r.u32()?;
+    r.u32()
+}
+
 /// Encode a `MIGRATE_CMD` payload: one command ordering every thread in
 /// `tids` (resident on the receiving node) to move to `dest`.
 pub fn encode_migrate_cmd(pool: &BufPool, cmd_id: u64, dest: usize, tids: &[u64]) -> Payload {
@@ -133,18 +238,26 @@ pub fn decode_migrate_cmd(buf: &[u8]) -> Option<(u64, usize, Vec<u64>)> {
     Some((cmd_id, dest, tids))
 }
 
-/// Encode a `MIGRATE_CMD_ACK` payload: the echoed cmd id plus how many of
-/// the commanded threads were accepted for migration.
-pub fn encode_migrate_ack(pool: &BufPool, cmd_id: u64, accepted: u32, total: u32) -> Payload {
-    let mut w = PayloadWriter::pooled(pool, 16);
-    w.u64(cmd_id).u32(accepted).u32(total);
+/// Encode a `MIGRATE_CMD_ACK` payload: the echoed cmd id, how many of the
+/// commanded threads were accepted for migration, and the acking node's
+/// free-slot wealth (piggybacked for the slot trader).
+pub fn encode_migrate_ack(
+    pool: &BufPool,
+    cmd_id: u64,
+    accepted: u32,
+    total: u32,
+    wealth: u32,
+) -> Payload {
+    let mut w = PayloadWriter::pooled(pool, 24);
+    w.u64(cmd_id).u32(accepted).u32(total).u32(wealth);
     w.finish()
 }
 
-/// Decode a `MIGRATE_CMD_ACK` payload into (cmd id, accepted, total).
-pub fn decode_migrate_ack(buf: &[u8]) -> Option<(u64, u32, u32)> {
+/// Decode a `MIGRATE_CMD_ACK` payload into (cmd id, accepted, total,
+/// wealth).
+pub fn decode_migrate_ack(buf: &[u8]) -> Option<(u64, u32, u32, u32)> {
     let mut r = madeleine::message::PayloadReader::new(buf);
-    Some((r.u64()?, r.u32()?, r.u32()?))
+    Some((r.u64()?, r.u32()?, r.u32()?, r.u32()?))
 }
 
 /// Read just the leading cmd id off a `MIGRATE_CMD_ACK` (reply matching).
@@ -322,9 +435,35 @@ mod tests {
     #[test]
     fn migrate_ack_roundtrip() {
         let pool = BufPool::new();
-        let buf = encode_migrate_ack(&pool, 42, 3, 5);
-        assert_eq!(decode_migrate_ack(&buf), Some((42, 3, 5)));
+        let buf = encode_migrate_ack(&pool, 42, 3, 5, 17);
+        assert_eq!(decode_migrate_ack(&buf), Some((42, 3, 5, 17)));
         assert_eq!(peek_cmd_id(&buf), Some(42));
+    }
+
+    #[test]
+    fn slot_trade_roundtrip() {
+        let pool = BufPool::new();
+        let req = encode_slot_trade_req(&pool, 0xBEEF, 16, 2, 120);
+        assert_eq!(decode_slot_trade_req(&req), Some((0xBEEF, 16, 2, 120)));
+        assert_eq!(decode_slot_trade_req(&req[..11]), None, "truncation");
+
+        let ranges = vec![SlotRange::new(8, 2), SlotRange::new(60, 4)];
+        let resp = encode_slot_trade_resp(&pool, 0xBEEF, 90, &ranges);
+        assert_eq!(decode_slot_trade_resp(&resp), Some((0xBEEF, 90, ranges)));
+        assert_eq!(peek_trade_id(&resp), Some(0xBEEF));
+        let refusal = encode_slot_trade_resp(&pool, 7, 3, &[]);
+        assert_eq!(decode_slot_trade_resp(&refusal), Some((7, 3, vec![])));
+        assert_eq!(decode_slot_trade_resp(&resp[..17]), None, "truncation");
+    }
+
+    #[test]
+    fn load_resp_roundtrip() {
+        let pool = BufPool::new();
+        let buf = encode_load_resp(&pool, 5, 33, &[9, 10]);
+        assert_eq!(decode_load_resp(&buf), Some((5, 33, vec![9, 10])));
+        assert_eq!(peek_load_wealth(&buf), Some(33));
+        let empty = encode_load_resp(&pool, 0, 0, &[]);
+        assert_eq!(decode_load_resp(&empty), Some((0, 0, vec![])));
     }
 
     #[test]

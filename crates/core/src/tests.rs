@@ -93,8 +93,9 @@ fn printf_is_captured_with_node_prefix() {
 
 #[test]
 fn negotiation_supplies_multislot_allocation() {
-    // Round-robin, 2 nodes: any multi-slot allocation must negotiate.
-    let mut m = test_machine(2);
+    // Round-robin, 2 nodes, trading disabled: any multi-slot allocation
+    // must run the paper's §4.4 global negotiation.
+    let mut m = Machine::launch(Pm2Config::test(2).with_slot_trade(false)).unwrap();
     let slot = m.area().slot_size();
     m.run_on(0, move || {
         let p = pm2_isomalloc(3 * slot).unwrap();
@@ -110,6 +111,37 @@ fn negotiation_supplies_multislot_allocation() {
         m.slot_stats(1).slots_sold > 0,
         "node 1 must have sold slots"
     );
+    let audit = m.audit().unwrap();
+    audit.check_partition().unwrap();
+    m.shutdown();
+}
+
+#[test]
+fn trade_supplies_multislot_allocation_without_global_protocol() {
+    // Same workload with the (default) trade-first economy: the shortfall
+    // is covered by one point-to-point trade — no lock, no freeze, no
+    // bitmap gather — and the §4.4 protocol never runs.
+    let mut m = test_machine(2);
+    let slot = m.area().slot_size();
+    m.run_on(0, move || {
+        let p = pm2_isomalloc(3 * slot).unwrap();
+        unsafe {
+            std::ptr::write_bytes(p, 0x77, 3 * slot);
+            assert_eq!(*p.add(3 * slot - 1), 0x77);
+        }
+        pm2_isofree(p).unwrap();
+    })
+    .unwrap();
+    let s = m.node_stats(0);
+    assert_eq!(
+        s.negotiations, 0,
+        "hot path must not run the global protocol"
+    );
+    assert_eq!(s.trades, 1);
+    assert!(s.trade_slots_in > 0);
+    assert_eq!(m.node_stats(1).trade_grants, 1);
+    assert!(m.slot_stats(1).slots_lent > 0);
+    assert!(m.slot_stats(0).slots_adopted > 0);
     let audit = m.audit().unwrap();
     audit.check_partition().unwrap();
     m.shutdown();
@@ -237,9 +269,11 @@ fn migration_class_sits_between_control_and_data() {
         .recv_timeout(std::time::Duration::from_secs(5))
         .expect("migrate-cmd ack");
     assert_eq!(ack.tag, tag::MIGRATE_CMD_ACK);
+    let (cmd_id, accepted, total, _wealth) =
+        crate::proto::decode_migrate_ack(&ack.payload).expect("ack decodes");
     assert_eq!(
-        crate::proto::decode_migrate_ack(&ack.payload),
-        Some((7, 0, 1)),
+        (cmd_id, accepted, total),
+        (7, 0, 1),
         "unknown tid must be acked as not-accepted"
     );
     assert!(ctx.inbox_pending(), "data class drains last");

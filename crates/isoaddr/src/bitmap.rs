@@ -199,6 +199,32 @@ impl SlotBitmap {
         None
     }
 
+    /// Index of the highest set bit, if any.
+    pub fn last_set(&self) -> Option<usize> {
+        for (wi, &w) in self.words.iter().enumerate().rev() {
+            if w != 0 {
+                return Some(wi * WORD_BITS + (63 - w.leading_zeros() as usize));
+            }
+        }
+        None
+    }
+
+    /// The highest-address maximal run of set bits, truncated to at most
+    /// `cap` bits (keeping the run's *top* end).  This is the lender's
+    /// range-transfer primitive: trading away high-address slots first
+    /// leaves the low end — where first-fit scans begin — for local use.
+    pub fn last_run(&self, cap: usize) -> Option<SlotRange> {
+        if cap == 0 {
+            return None;
+        }
+        let end = self.last_set()?;
+        let mut start = end;
+        while start > 0 && self.get(start - 1) && end - start + 1 < cap {
+            start -= 1;
+        }
+        Some(SlotRange::new(start, end - start + 1))
+    }
+
     /// Index of the first set bit at or after `from`.
     pub fn first_set(&self, from: usize) -> Option<usize> {
         if from >= self.n_bits {
@@ -374,6 +400,28 @@ mod tests {
         assert_eq!(bm.find_first_fit(1024, 0), Some(0));
         assert_eq!(bm.find_first_fit(1025, 0), None);
         assert_eq!(bm.find_first_fit(100, 512), Some(512));
+    }
+
+    #[test]
+    fn last_set_and_last_run() {
+        let mut bm = SlotBitmap::new_clear(300);
+        assert_eq!(bm.last_set(), None);
+        assert_eq!(bm.last_run(4), None);
+        bm.set_range(SlotRange::new(10, 5));
+        bm.set_range(SlotRange::new(120, 10)); // crosses a word boundary
+        assert_eq!(bm.last_set(), Some(129));
+        assert_eq!(bm.last_run(100), Some(SlotRange::new(120, 10)));
+        assert_eq!(
+            bm.last_run(4),
+            Some(SlotRange::new(126, 4)),
+            "cap keeps the run's top end"
+        );
+        assert_eq!(bm.last_run(0), None);
+        bm.clear_range(SlotRange::new(120, 10));
+        assert_eq!(bm.last_run(100), Some(SlotRange::new(10, 5)));
+        bm.set(299);
+        assert_eq!(bm.last_set(), Some(299));
+        assert_eq!(bm.last_run(8), Some(SlotRange::single(299)));
     }
 
     #[test]

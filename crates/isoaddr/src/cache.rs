@@ -11,13 +11,20 @@
 //! contents — callers must initialize memory they acquire, which the block
 //! layer and the thread spawner always do.
 
+use std::collections::VecDeque;
+
 use crate::slots::SlotRange;
 
 /// LIFO cache of committed, node-owned, free single slots.
+///
+/// The store is a `VecDeque`: the hot path pushes and pops at the back
+/// (LIFO keeps pages warm), while a full cache evicts its *oldest* entry
+/// from the front in O(1) — the former `Vec::remove(0)` shifted the whole
+/// store on every eviction of a full cache.
 #[derive(Debug)]
 pub struct SlotCache {
     capacity: usize,
-    slots: Vec<usize>,
+    slots: VecDeque<usize>,
 }
 
 impl SlotCache {
@@ -25,7 +32,7 @@ impl SlotCache {
     pub fn new(capacity: usize) -> Self {
         SlotCache {
             capacity,
-            slots: Vec::with_capacity(capacity),
+            slots: VecDeque::with_capacity(capacity),
         }
     }
 
@@ -52,7 +59,7 @@ impl SlotCache {
     /// Pop the most recently released cached slot (LIFO maximizes the chance
     /// its pages are still warm).
     pub fn pop(&mut self) -> Option<usize> {
-        self.slots.pop()
+        self.slots.pop_back()
     }
 
     /// Offer a slot to the cache.  Returns `Some(evicted)` if accepting it
@@ -63,21 +70,20 @@ impl SlotCache {
             return Some(idx);
         }
         debug_assert!(!self.slots.contains(&idx), "slot {idx} cached twice");
-        if self.slots.len() == self.capacity {
-            let evicted = self.slots.remove(0);
-            self.slots.push(idx);
-            Some(evicted)
+        let evicted = if self.slots.len() == self.capacity {
+            self.slots.pop_front()
         } else {
-            self.slots.push(idx);
             None
-        }
+        };
+        self.slots.push_back(idx);
+        evicted
     }
 
     /// Remove a specific slot from the cache (because it is being acquired
     /// or sold).  Returns true if it was cached.
     pub fn remove(&mut self, idx: usize) -> bool {
         if let Some(pos) = self.slots.iter().position(|&s| s == idx) {
-            self.slots.swap_remove(pos);
+            self.slots.swap_remove_back(pos);
             true
         } else {
             false
@@ -105,7 +111,7 @@ impl SlotCache {
 
     /// Drain the whole cache (shutdown path).
     pub fn drain_all(&mut self) -> Vec<usize> {
-        std::mem::take(&mut self.slots)
+        std::mem::take(&mut self.slots).into_iter().collect()
     }
 
     /// Iterate over cached slot indices (audits).

@@ -14,6 +14,17 @@
 //!   migrating thread's slots *without touching any bitmap* (the thread
 //!   still owns them; "the bitmaps do not undergo any change on thread
 //!   migration"); the destination node maps them back at the same addresses.
+//! * **lend / adopt-batch** — the decentralized slot economy: a node lends
+//!   a batch of contiguous ranges to a trading peer ([`lend_batch`]
+//!   clears the bits *before* the reply leaves, so a slot is set in at
+//!   most one bitmap at every instant) and the peer records them with
+//!   [`adopt_batch`].  The node's free-slot *reserve* is tracked in O(1)
+//!   ([`owned_free_slots`]) so watermark checks and wealth piggybacking
+//!   cost nothing on the hot path.
+//!
+//! [`lend_batch`]: NodeSlotManager::lend_batch
+//! [`adopt_batch`]: NodeSlotManager::adopt_batch
+//! [`owned_free_slots`]: NodeSlotManager::owned_free_slots
 //!
 //! Each node's manager is only ever touched by that node's scheduler thread,
 //! so no internal locking is needed; the shared [`IsoArea`] performs the
@@ -67,6 +78,10 @@ pub struct NodeSlotManager {
     bitmap: SlotBitmap,
     cache: SlotCache,
     stats: Arc<SlotStats>,
+    /// Number of set bits in `bitmap`, maintained incrementally so the
+    /// trade layer can read the node's free-slot reserve in O(1) on every
+    /// driver step and piggyback it on outgoing protocol traffic.
+    free: usize,
 }
 
 impl NodeSlotManager {
@@ -80,12 +95,14 @@ impl NodeSlotManager {
         cache_capacity: usize,
     ) -> Self {
         let bitmap = distribution.initial_bitmap(node, p, area.n_slots());
+        let free = bitmap.count_ones();
         NodeSlotManager {
             node,
             area,
             bitmap,
             cache: SlotCache::new(cache_capacity),
             stats: SlotStats::new_shared(),
+            free,
         }
     }
 
@@ -114,9 +131,17 @@ impl NodeSlotManager {
         &self.bitmap
     }
 
-    /// Number of free slots this node currently owns.
+    /// Number of free slots this node currently owns — the node's slot
+    /// *reserve*.  O(1): maintained incrementally across every bitmap
+    /// mutation (and debug-checked against the bitmap).
     pub fn owned_free_slots(&self) -> usize {
-        self.bitmap.count_ones()
+        debug_assert_eq!(self.free, self.bitmap.count_ones(), "reserve drift");
+        self.free
+    }
+
+    /// Alias for [`Self::owned_free_slots`] in trade-layer vocabulary.
+    pub fn free_slots(&self) -> usize {
+        self.owned_free_slots()
     }
 
     /// Number of slots sitting in the mmapped-slot cache.
@@ -165,6 +190,7 @@ impl NodeSlotManager {
             if let Some(idx) = self.cache.pop() {
                 debug_assert!(self.bitmap.get(idx), "cached slot {idx} not owned");
                 self.bitmap.clear(idx);
+                self.free -= 1;
                 SlotStats::bump(&self.stats.local_acquires);
                 SlotStats::bump(&self.stats.cache_hits);
                 return Ok(AcquireOutcome::Acquired(
@@ -177,6 +203,7 @@ impl NodeSlotManager {
             Some(first) => {
                 let range = SlotRange::new(first, n);
                 self.bitmap.clear_range(range);
+                self.free -= n;
                 let addr = self.commit_with_cache(range)?;
                 if n == 1 {
                     SlotStats::bump(&self.stats.local_acquires);
@@ -202,6 +229,7 @@ impl NodeSlotManager {
             self.node
         );
         self.bitmap.clear_range(range);
+        self.free -= range.count;
         let addr = self.commit_with_cache(range)?;
         SlotStats::bump(&self.stats.multi_acquires);
         Ok(addr)
@@ -216,6 +244,7 @@ impl NodeSlotManager {
             self.node
         );
         self.bitmap.set_range(range);
+        self.free += range.count;
         SlotStats::bump(&self.stats.releases);
         if range.count == 1 && !self.cache.disabled() {
             if let Some(evicted) = self.cache.push(range.first) {
@@ -276,6 +305,7 @@ impl NodeSlotManager {
             self.node
         );
         self.bitmap.clear_range(range);
+        self.free -= range.count;
         for idx in self.cache.remove_in_range(range) {
             SlotStats::bump(&self.stats.decommits);
             self.area.decommit_slots(SlotRange::single(idx))?;
@@ -292,7 +322,92 @@ impl NodeSlotManager {
             self.node
         );
         self.bitmap.set_range(range);
+        self.free += range.count;
         SlotStats::add(&self.stats.slots_bought, range.count as u64);
+    }
+
+    /// Lend up to `max_slots` free slots to a trading peer, as a batch of
+    /// contiguous ranges (the `SLOT_TRADE_RESP` payload).  Bits are cleared
+    /// *here, before the reply is sent* — the sender-clears-before-
+    /// receiver-sets discipline that keeps every slot owned by at most one
+    /// bitmap at every instant — and cached mappings inside the lent
+    /// ranges are dropped, exactly like a negotiation sale.
+    ///
+    /// Range selection: if the borrower asked for a minimum contiguous run
+    /// (`min_contig > 1`) and we own one, that run is granted first (it
+    /// satisfies the borrower outright); the remainder is peeled off the
+    /// *top* of the bitmap in maximal runs, leaving the low-address end —
+    /// where first-fit scans start — for local allocations.
+    pub fn lend_batch(&mut self, max_slots: usize, min_contig: usize) -> Result<Vec<SlotRange>> {
+        let mut out = Vec::new();
+        let mut remaining = max_slots;
+        if min_contig > 1 && min_contig <= remaining {
+            if let Some(first) = self.bitmap.find_first_fit(min_contig, 0) {
+                let r = SlotRange::new(first, min_contig);
+                self.extract_lent(r)?;
+                out.push(r);
+                remaining -= min_contig;
+            }
+        }
+        while remaining > 0 {
+            let Some(r) = self.bitmap.last_run(remaining) else {
+                break;
+            };
+            self.extract_lent(r)?;
+            out.push(r);
+            remaining -= r.count;
+        }
+        let total: usize = out.iter().map(|r| r.count).sum();
+        SlotStats::add(&self.stats.slots_lent, total as u64);
+        Ok(out)
+    }
+
+    /// Clear one lent range and drop its cached mappings.
+    fn extract_lent(&mut self, range: SlotRange) -> Result<()> {
+        debug_assert!(
+            self.bitmap.all_set(range),
+            "lend: node {} does not own all of {range:?}",
+            self.node
+        );
+        self.bitmap.clear_range(range);
+        self.free -= range.count;
+        for idx in self.cache.remove_in_range(range) {
+            SlotStats::bump(&self.stats.decommits);
+            self.area.decommit_slots(SlotRange::single(idx))?;
+        }
+        Ok(())
+    }
+
+    /// Adopt a batch of ranges granted by a trading peer: set the bits.
+    /// (Distinct from [`Self::adopt`], which maps a migrated *thread's*
+    /// slots without touching the bitmap.)  The peer cleared its bits
+    /// before replying, so setting ours completes the ownership transfer.
+    ///
+    /// The grant is validated in release builds too — a corrupt reply
+    /// (range out of the area, or overlapping slots we already own) must
+    /// cost the grant, never the node: nothing is adopted and `false` is
+    /// returned, exactly like a corrupt migration record is NAKed.
+    pub fn adopt_batch(&mut self, ranges: &[SlotRange]) -> bool {
+        let n = self.bitmap.len();
+        // Validate and set one range at a time (checking against the
+        // live bitmap also catches overlaps *within* the batch); roll
+        // back on the first bad range so a refusal leaves no trace.
+        for (i, r) in ranges.iter().enumerate() {
+            let ok =
+                r.count >= 1 && r.first < n && r.count <= n - r.first && self.bitmap.all_clear(*r);
+            if !ok {
+                for done in &ranges[..i] {
+                    self.bitmap.clear_range(*done);
+                    self.free -= done.count;
+                }
+                return false;
+            }
+            self.bitmap.set_range(*r);
+            self.free += r.count;
+        }
+        let total: u64 = ranges.iter().map(|r| r.count as u64).sum();
+        SlotStats::add(&self.stats.slots_adopted, total);
+        true
     }
 
     /// Drop all cached mappings (shutdown / reconfiguration).
@@ -479,6 +594,96 @@ mod tests {
         assert_eq!(m0.stats_snapshot().slots_bought, 2);
         assert_eq!(m1.stats_snapshot().slots_sold, 2);
         m0.release(SlotRange::new(0, 4)).unwrap();
+    }
+
+    #[test]
+    fn lend_and_adopt_move_reserve() {
+        let area = Arc::new(IsoArea::new(AreaConfig::small()).unwrap());
+        let mut m0 = NodeSlotManager::new(0, 2, Arc::clone(&area), Distribution::Partitioned, 4);
+        let mut m1 = NodeSlotManager::new(1, 2, Arc::clone(&area), Distribution::Partitioned, 4);
+        // Partitioned, 64 slots: node 0 owns [0,32), node 1 owns [32,64).
+        assert_eq!(m1.free_slots(), 32);
+        let lent = m1.lend_batch(8, 2).unwrap();
+        let total: usize = lent.iter().map(|r| r.count).sum();
+        assert_eq!(total, 8);
+        assert_eq!(m1.free_slots(), 24);
+        assert!(
+            lent.iter().any(|r| r.end() == 64),
+            "remainder peeled off the top: {lent:?}"
+        );
+        assert!(m0.adopt_batch(&lent));
+        assert_eq!(m0.free_slots(), 40);
+        assert_eq!(m0.stats_snapshot().slots_adopted, 8);
+        assert_eq!(m1.stats_snapshot().slots_lent, 8);
+        // The transferred slots are allocatable on the adopter…
+        for r in &lent {
+            let addr = m0.acquire_specific(*r).unwrap();
+            unsafe { std::ptr::write_bytes(addr as *mut u8, 3, r.count * m0.slot_size()) };
+            m0.release(*r).unwrap();
+        }
+        // …and the reserve count survived the round trip.
+        assert_eq!(m0.free_slots(), 40);
+    }
+
+    #[test]
+    fn adopt_batch_refuses_corrupt_grants() {
+        let area = Arc::new(IsoArea::new(AreaConfig::small()).unwrap());
+        let mut m0 = NodeSlotManager::new(0, 2, Arc::clone(&area), Distribution::Partitioned, 0);
+        // Partitioned, 64 slots: node 0 owns [0,32); [32,64) is clear.
+        assert!(
+            !m0.adopt_batch(&[SlotRange::new(1 << 40, 2)]),
+            "out of area"
+        );
+        assert!(
+            !m0.adopt_batch(&[SlotRange::new(60, usize::MAX)]),
+            "overflow"
+        );
+        assert!(!m0.adopt_batch(&[SlotRange::new(0, 1)]), "already owned");
+        // Overlap *within* one batch rolls the earlier range back out.
+        assert!(!m0.adopt_batch(&[SlotRange::new(40, 2), SlotRange::new(41, 2)]));
+        assert_eq!(m0.free_slots(), 32, "refusals leave no trace");
+        assert!(m0.bitmap().all_clear(SlotRange::new(40, 4)));
+        assert_eq!(m0.stats_snapshot().slots_adopted, 0);
+        // A valid grant still lands.
+        assert!(m0.adopt_batch(&[SlotRange::new(40, 2)]));
+        assert_eq!(m0.free_slots(), 34);
+    }
+
+    #[test]
+    fn lend_batch_without_contiguity_peels_top_singles() {
+        let area = Arc::new(IsoArea::new(AreaConfig::small()).unwrap());
+        let mut m1 = NodeSlotManager::new(1, 2, Arc::clone(&area), Distribution::RoundRobin, 0);
+        // Round-robin node 1 owns the odd slots: no 2-run exists, so the
+        // lender still fills the batch with top-end singles.
+        let lent = m1.lend_batch(3, 2).unwrap();
+        assert_eq!(
+            lent,
+            vec![
+                SlotRange::single(63),
+                SlotRange::single(61),
+                SlotRange::single(59)
+            ]
+        );
+        assert_eq!(m1.free_slots(), 29);
+    }
+
+    #[test]
+    fn lend_evicts_cached_mapping() {
+        let area = Arc::new(IsoArea::new(AreaConfig::small()).unwrap());
+        let mut m1 = NodeSlotManager::new(1, 2, Arc::clone(&area), Distribution::RoundRobin, 4);
+        let AcquireOutcome::Acquired(r, _) = m1.try_acquire(1).unwrap() else {
+            panic!()
+        };
+        m1.release(r).unwrap();
+        assert_eq!(m1.cached_slots(), 1);
+        // Lend everything; the cached slot must be unmapped on the way out.
+        let lent = m1.lend_batch(64, 1).unwrap();
+        assert_eq!(lent.iter().map(|r| r.count).sum::<usize>(), 32);
+        assert_eq!(m1.cached_slots(), 0);
+        assert!(
+            !area.is_committed(r.first),
+            "lent slot must be unmapped by the lender"
+        );
     }
 
     #[test]

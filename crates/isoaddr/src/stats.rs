@@ -26,6 +26,10 @@ pub struct SlotStats {
     pub slots_sold: AtomicU64,
     /// Slots this node bought from other nodes during negotiations.
     pub slots_bought: AtomicU64,
+    /// Slots this node lent to peers through point-to-point slot trades.
+    pub slots_lent: AtomicU64,
+    /// Slots this node adopted from peers through slot trades.
+    pub slots_adopted: AtomicU64,
     /// mmap (commit) calls issued.
     pub commits: AtomicU64,
     /// munmap-equivalent (decommit) calls issued.
@@ -59,6 +63,8 @@ impl SlotStats {
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             slots_sold: self.slots_sold.load(Ordering::Relaxed),
             slots_bought: self.slots_bought.load(Ordering::Relaxed),
+            slots_lent: self.slots_lent.load(Ordering::Relaxed),
+            slots_adopted: self.slots_adopted.load(Ordering::Relaxed),
             commits: self.commits.load(Ordering::Relaxed),
             decommits: self.decommits.load(Ordering::Relaxed),
         }
@@ -76,6 +82,8 @@ pub struct SlotStatsSnapshot {
     pub cache_misses: u64,
     pub slots_sold: u64,
     pub slots_bought: u64,
+    pub slots_lent: u64,
+    pub slots_adopted: u64,
     pub commits: u64,
     pub decommits: u64,
 }
@@ -85,7 +93,8 @@ impl std::fmt::Display for SlotStatsSnapshot {
         write!(
             f,
             "acquires: {} local / {} multi / {} needing negotiation; releases: {}; \
-             cache: {} hits / {} misses; traded: {} sold / {} bought; mmap: {} commits / {} decommits",
+             cache: {} hits / {} misses; negotiated: {} sold / {} bought; \
+             traded: {} lent / {} adopted; mmap: {} commits / {} decommits",
             self.local_acquires,
             self.multi_acquires,
             self.negotiation_required,
@@ -94,6 +103,8 @@ impl std::fmt::Display for SlotStatsSnapshot {
             self.cache_misses,
             self.slots_sold,
             self.slots_bought,
+            self.slots_lent,
+            self.slots_adopted,
             self.commits,
             self.decommits,
         )

@@ -120,12 +120,18 @@ fn data_flood_does_not_starve_shutdown_threaded() {
 #[test]
 fn data_flood_does_not_starve_negotiation() {
     // Node 0's allocation needs slots node 1 owns (round-robin ⇒ every
-    // multi-slot negotiates); node 1 is simultaneously buried under
-    // data-class junk.  The control-class NEG exchange must overtake the
-    // flood and complete within the (test-profile, 10 s) reply deadline.
+    // multi-slot negotiates; trading is pinned off so the §4.4 exchange
+    // really runs); node 1 is simultaneously buried under data-class
+    // junk.  The control-class NEG exchange must overtake the flood and
+    // complete within the (test-profile, 10 s) reply deadline.
     for mode in [MachineMode::Deterministic, MachineMode::Threaded] {
-        let mut m =
-            Machine::launch(Pm2Config::test(2).with_mode(mode).with_pump_budget(8)).unwrap();
+        let mut m = Machine::launch(
+            Pm2Config::test(2)
+                .with_mode(mode)
+                .with_pump_budget(8)
+                .with_slot_trade(false),
+        )
+        .unwrap();
         let slot = m.area().slot_size();
         flood(&m, 1, 5000);
         m.run_on(0, move || {

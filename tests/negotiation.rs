@@ -1,5 +1,11 @@
 //! The global negotiation protocol (§4.4) exercised end-to-end, plus the
 //! distribution ablations of §4.1.
+//!
+//! Since the decentralized slot economy landed, the global protocol is a
+//! *fallback*: the tests here that are specifically about §4.4 mechanics
+//! (the lock service, the gather/freeze, multi-seller buys) pin
+//! `slot_trade(false)` so they keep exercising the paper's path; the
+//! trade-first hot path has its own suite in `tests/slot_trade.rs`.
 
 use pm2::api::*;
 use pm2::{AreaConfig, Distribution, Machine, Pm2Config};
@@ -8,11 +14,22 @@ fn machine_with(nodes: usize, dist: Distribution) -> Machine {
     Machine::launch(Pm2Config::test(nodes).with_distribution(dist)).unwrap()
 }
 
+/// A machine whose every slot shortfall runs the §4.4 global protocol.
+fn global_machine_with(nodes: usize, dist: Distribution) -> Machine {
+    Machine::launch(
+        Pm2Config::test(nodes)
+            .with_distribution(dist)
+            .with_slot_trade(false),
+    )
+    .unwrap()
+}
+
 #[test]
 fn round_robin_forces_negotiation_for_any_multislot() {
     // §4.1: under round-robin with p ≥ 2, no node owns two contiguous
-    // slots, so every multi-slot allocation negotiates.
-    let mut m = machine_with(2, Distribution::RoundRobin);
+    // slots, so every multi-slot allocation negotiates (trading disabled
+    // here — with it on, a trade covers the shortfall instead).
+    let mut m = global_machine_with(2, Distribution::RoundRobin);
     let slot = m.area().slot_size();
     m.run_on(0, move || {
         let p = pm2_isomalloc(slot + 1).unwrap(); // 2 slots
@@ -61,7 +78,7 @@ fn partitioned_distribution_never_negotiates_until_huge() {
 fn negotiation_buys_from_multiple_sellers() {
     // 4 nodes round-robin: an 8-slot run spans slots owned by 4 different
     // nodes — one negotiation, three sellers (plus own slots).
-    let mut m = machine_with(4, Distribution::RoundRobin);
+    let mut m = global_machine_with(4, Distribution::RoundRobin);
     let slot = m.area().slot_size();
     m.run_on(0, move || {
         let p = pm2_isomalloc(7 * slot).unwrap(); // 8 slots
@@ -136,7 +153,7 @@ fn out_of_slots_is_reported_not_wedged() {
 fn concurrent_negotiations_from_different_nodes_serialize() {
     // Two nodes negotiate multi-slot allocations at once; the node-0 lock
     // service serializes them and both succeed.
-    let mut m = machine_with(4, Distribution::RoundRobin);
+    let mut m = global_machine_with(4, Distribution::RoundRobin);
     let slot = m.area().slot_size();
     let t0 = m
         .spawn_on(1, move || {
@@ -166,7 +183,7 @@ fn local_single_slot_allocation_continues_during_negotiation() {
     // §4.4(a): while a negotiation freezes the bitmaps, nodes "may still run
     // code and allocate/free blocks, as long as no slot management is
     // necessary".  Block-level allocs inside existing slots must proceed.
-    let mut m = machine_with(2, Distribution::RoundRobin);
+    let mut m = global_machine_with(2, Distribution::RoundRobin);
     let slot = m.area().slot_size();
     // A thread on node 1 doing many small (block-level) allocations while
     // node 0 negotiates repeatedly.

@@ -334,6 +334,9 @@ fn rpc_survives_negotiation_freezes() {
             n_slots: 96,
         })
         .slot_cache(0)
+        // Pin trading off: this test is *about* the §4.4 freeze windows,
+        // which the trade-first hot path exists to avoid.
+        .slot_trade(false)
         .launch()
         .unwrap();
     m.register(Square);
