@@ -2,7 +2,8 @@
 //! substrate microbenchmarks) and leave the results under
 //! `target/experiments/`.  Also refreshes the repo-root perf-trajectory
 //! files `BENCH_migration.json`, `BENCH_latency.json`,
-//! `BENCH_evacuation.json` and `BENCH_negotiation.json`.
+//! `BENCH_evacuation.json`, `BENCH_negotiation.json` and
+//! `BENCH_throughput.json`.
 //!
 //! ```sh
 //! cargo run --release -p pm2-bench --bin run_all
@@ -10,8 +11,8 @@
 
 use pm2::NetProfile;
 use pm2_bench::{
-    ctx_switch_ns, migration_breakdown, smoke, spawn_us, write_evacuation_json, write_latency_json,
-    write_negotiation_json, Table,
+    ctx_switch_ns, emit_json, migration_breakdown, smoke, spawn_us, write_evacuation_json,
+    write_latency_json, write_negotiation_json, write_throughput_json, Table,
 };
 
 /// Emit `BENCH_migration.json` at the repo root: the per-stage migration
@@ -39,7 +40,7 @@ fn migration_json() {
                 b.pool_reuses
             );
             rows.push(format!(
-                "    {{\"net\": \"{name}\", \"payload_bytes\": {}, \"hops\": {}, \
+                "{{\"net\": \"{name}\", \"payload_bytes\": {}, \"hops\": {}, \
                  \"one_way_us\": {:.3}, \"pack_us\": {:.3}, \"wire_us\": {:.3}, \
                  \"unpack_us\": {:.3}, \"bytes_per_migration\": {}, \
                  \"migrations_per_sec\": {:.1}, \"pool_allocs\": {}, \
@@ -57,15 +58,14 @@ fn migration_json() {
             ));
         }
     }
-    let json = format!(
-        "{{\n  \"bench\": \"migration\",\n  \"unit_note\": \"per-stage means over all \
-         migrations in a 2-node ping-pong; wire time is the calibrated model charged at \
-         the receiver\",\n  \"generated_by\": \"cargo run --release -p pm2-bench --bin run_all\",\n  \
-         \"configs\": [\n{}\n  ]\n}}\n",
-        rows.join(",\n")
+    emit_json(
+        "BENCH_migration.json",
+        "migration",
+        "per-stage means over all migrations in a 2-node ping-pong; wire time is the \
+         calibrated model charged at the receiver",
+        "cargo run --release -p pm2-bench --bin run_all",
+        &rows,
     );
-    std::fs::write("BENCH_migration.json", &json).expect("writing BENCH_migration.json");
-    println!("wrote BENCH_migration.json");
 }
 
 fn substrates() {
@@ -98,6 +98,7 @@ fn main() {
     write_latency_json(400);
     write_evacuation_json();
     write_negotiation_json();
+    write_throughput_json();
     for bin in ["e5_migration", "e6_negotiation", "fig11", "ablations"] {
         println!("\n───────── {bin} ─────────");
         run(bin);

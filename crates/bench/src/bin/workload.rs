@@ -1,0 +1,10 @@
+//! Ramp the tracked workload mixes to their max sustainable rate and
+//! write `BENCH_throughput.json` at the repo root.
+//!
+//! ```sh
+//! cargo run --release -p pm2-bench --bin workload
+//! ```
+
+fn main() {
+    pm2_bench::write_throughput_json();
+}

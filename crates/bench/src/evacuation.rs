@@ -194,7 +194,7 @@ pub fn write_evacuation_json() {
             r.speedup
         );
         out.push(format!(
-            "    {{\"net\": \"{}\", \"threads\": {}, \"batched_ms\": {:.3}, \
+            "{{\"net\": \"{}\", \"threads\": {}, \"batched_ms\": {:.3}, \
              \"per_thread_ms\": {:.3}, \"speedup\": {:.2}, \
              \"threads_per_message\": {:.2}, \"trains\": {}, \"commands\": {}}}",
             r.net,
@@ -207,16 +207,15 @@ pub fn write_evacuation_json() {
             r.commands
         ));
     }
-    let json = format!(
-        "{{\n  \"bench\": \"evacuation\",\n  \"unit_note\": \"wall-clock ms to drain 64 \
-         threads off node 0 of a 4-node threaded machine onto nodes 1-3, per net profile; \
-         batched = group MIGRATE_CMD per destination + migration trains, per_thread = the \
-         pre-train baseline (one command and one wire message per thread, serialized acks, \
-         max_train=1); threads_per_message > 1 proves trains formed\",\n  \
-         \"generated_by\": \"cargo run --release -p pm2-bench --bin evacuate\",\n  \
-         \"configs\": [\n{}\n  ]\n}}\n",
-        out.join(",\n")
+    crate::report::emit_json(
+        "BENCH_evacuation.json",
+        "evacuation",
+        "wall-clock ms to drain 64 threads off node 0 of a 4-node threaded machine onto \
+         nodes 1-3, per net profile; batched = group MIGRATE_CMD per destination + \
+         migration trains, per_thread = the pre-train baseline (one command and one wire \
+         message per thread, serialized acks, max_train=1); threads_per_message > 1 proves \
+         trains formed",
+        "cargo run --release -p pm2-bench --bin evacuate",
+        &out,
     );
-    std::fs::write("BENCH_evacuation.json", &json).expect("writing BENCH_evacuation.json");
-    println!("wrote BENCH_evacuation.json");
 }

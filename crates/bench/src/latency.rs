@@ -71,7 +71,7 @@ pub fn write_latency_json(hops: usize) {
             r.steps_per_hop
         );
         out.push(format!(
-            "    {{\"net\": \"{}\", \"hops\": {}, \"one_way_us\": {:.3}, \
+            "{{\"net\": \"{}\", \"hops\": {}, \"one_way_us\": {:.3}, \
              \"pack_us\": {:.3}, \"wire_us\": {:.3}, \"unpack_us\": {:.3}, \
              \"driver_parks\": {}, \"driver_wakeups\": {}, \"steps_per_hop\": {:.1}}}",
             r.net,
@@ -85,15 +85,14 @@ pub fn write_latency_json(hops: usize) {
             r.steps_per_hop
         ));
     }
-    let json = format!(
-        "{{\n  \"bench\": \"latency\",\n  \"unit_note\": \"one-way hop latency of a \
-         zero-payload 2-node ping-pong (threaded mode) per net profile; driver_parks/\
-         driver_wakeups count doorbell parks of the event-driven drivers — a polling \
-         driver would show zero parks and orders of magnitude more steps_per_hop\",\n  \
-         \"generated_by\": \"cargo run --release -p pm2-bench --bin latency\",\n  \
-         \"configs\": [\n{}\n  ]\n}}\n",
-        out.join(",\n")
+    crate::report::emit_json(
+        "BENCH_latency.json",
+        "latency",
+        "one-way hop latency of a zero-payload 2-node ping-pong (threaded mode) per net \
+         profile; driver_parks/driver_wakeups count doorbell parks of the event-driven \
+         drivers — a polling driver would show zero parks and orders of magnitude more \
+         steps_per_hop",
+        "cargo run --release -p pm2-bench --bin latency",
+        &out,
     );
-    std::fs::write("BENCH_latency.json", &json).expect("writing BENCH_latency.json");
-    println!("wrote BENCH_latency.json");
 }

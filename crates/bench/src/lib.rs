@@ -9,9 +9,11 @@ pub mod harness;
 pub mod latency;
 pub mod negotiate;
 pub mod report;
+pub mod throughput;
 
 pub use evacuation::*;
 pub use harness::*;
 pub use latency::*;
 pub use negotiate::*;
 pub use report::*;
+pub use throughput::*;

@@ -162,7 +162,7 @@ pub fn write_negotiation_json() {
             r.prefetches
         );
         out.push(format!(
-            "    {{\"p\": {}, \"net\": \"myrinet_bip\", \"rounds\": {}, \
+            "{{\"p\": {}, \"net\": \"myrinet_bip\", \"rounds\": {}, \
              \"trade_us\": {:.3}, \"global_us\": {:.3}, \"speedup\": {:.2}, \
              \"trades\": {}, \"fallbacks\": {}, \"negotiations\": {}, \
              \"msgs_per_acquire\": {:.3}, \"prefetches\": {}, \
@@ -181,17 +181,16 @@ pub fn write_negotiation_json() {
             r.prefetch_hit_rate
         ));
     }
-    let json = format!(
-        "{{\n  \"bench\": \"negotiation\",\n  \"unit_note\": \"mean µs per live 2-slot \
-         acquisition on node 0 of a round-robin threaded machine (myrinet_bip wire model): \
-         trade = decentralized slot economy (one SLOT_TRADE batch per shortfall, O(1) \
-         messages per acquire), global = slot_trade(false) forcing the paper's §4.4 \
-         lock+gather+freeze protocol on every allocation; prefetch_hit_rate from a separate \
-         partitioned drain workload = prefetch_fills/(prefetch_fills+demand trades)\",\n  \
-         \"generated_by\": \"cargo run --release -p pm2-bench --bin negotiate\",\n  \
-         \"configs\": [\n{}\n  ]\n}}\n",
-        out.join(",\n")
+    crate::report::emit_json(
+        "BENCH_negotiation.json",
+        "negotiation",
+        "mean µs per live 2-slot acquisition on node 0 of a round-robin threaded machine \
+         (myrinet_bip wire model): trade = decentralized slot economy (one SLOT_TRADE \
+         batch per shortfall, O(1) messages per acquire), global = slot_trade(false) \
+         forcing the paper's §4.4 lock+gather+freeze protocol on every allocation; \
+         prefetch_hit_rate from a separate partitioned drain workload = \
+         prefetch_fills/(prefetch_fills+demand trades)",
+        "cargo run --release -p pm2-bench --bin negotiate",
+        &out,
     );
-    std::fs::write("BENCH_negotiation.json", &json).expect("writing BENCH_negotiation.json");
-    println!("wrote BENCH_negotiation.json");
 }

@@ -1,4 +1,6 @@
-//! Plain-text table / CSV rendering for the experiment binaries.
+//! Plain-text table / CSV rendering for the experiment binaries, plus the
+//! one JSON emitter behind every repo-root `BENCH_*.json` perf-trajectory
+//! file.
 
 use std::fmt::Write as _;
 use std::io::Write as _;
@@ -83,6 +85,25 @@ impl Table {
     }
 }
 
+/// Write one repo-root `BENCH_*.json` perf-trajectory file.
+///
+/// Every tracked benchmark shares this envelope — `bench` id, a
+/// `unit_note` explaining what the numbers mean, the `generated_by`
+/// command, and a `configs` array of row objects — so the trajectory
+/// files stay mutually greppable.  `rows` are pre-rendered JSON objects
+/// *without* indentation (this helper owns the layout); `unit_note` and
+/// friends must not contain raw `"` characters.
+pub fn emit_json(file: &str, bench: &str, unit_note: &str, generated_by: &str, rows: &[String]) {
+    let body: Vec<String> = rows.iter().map(|r| format!("    {r}")).collect();
+    let json = format!(
+        "{{\n  \"bench\": \"{bench}\",\n  \"unit_note\": \"{unit_note}\",\n  \
+         \"generated_by\": \"{generated_by}\",\n  \"configs\": [\n{}\n  ]\n}}\n",
+        body.join(",\n")
+    );
+    std::fs::write(file, &json).unwrap_or_else(|e| panic!("writing {file}: {e}"));
+    println!("wrote {file}");
+}
+
 /// Format a µs value with sensible precision.
 pub fn us(v: f64) -> String {
     if v >= 10.0 {
@@ -121,6 +142,27 @@ mod tests {
     #[should_panic(expected = "arity")]
     fn arity_checked() {
         Table::new("x", &["a"]).row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn emit_json_writes_the_shared_envelope() {
+        let dir = std::env::temp_dir().join(format!("pm2_emit_json_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("BENCH_demo.json");
+        let path = file.to_str().unwrap();
+        emit_json(
+            path,
+            "demo",
+            "a unit note",
+            "cargo run --bin demo",
+            &["{\"x\": 1}".to_string(), "{\"x\": 2}".to_string()],
+        );
+        let text = std::fs::read_to_string(path).unwrap();
+        assert!(text.contains("\"bench\": \"demo\""));
+        assert!(text.contains("\"unit_note\": \"a unit note\""));
+        assert!(text.contains("    {\"x\": 1},\n    {\"x\": 2}"));
+        assert!(text.ends_with("  ]\n}\n"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

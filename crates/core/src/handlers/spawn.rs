@@ -25,7 +25,19 @@ pub(crate) fn on_spawn_key(ctx: &mut NodeCtx, m: Message) {
     let key = r.u64().expect("spawn payload");
     let tid = r.u64().expect("spawn payload tid");
     let f = ctx.spawn_table.take(key).expect("spawn key not found");
-    ctx.spawn_boxed(tid, f);
+    // Out of stack slots must not kill the node driver: under open-loop
+    // overload (the workload harness past saturation) spawn failures are
+    // expected, and the host is blocked on this tid — complete it as a
+    // failed exit so joiners observe a typed failure instead of a hang.
+    if let Err(e) = ctx.try_spawn_boxed(tid, 0, f) {
+        ctx.registry.complete(crate::registry::ThreadExit {
+            tid,
+            panicked: true,
+            died_on: ctx.node,
+            panic_msg: Some(format!("spawn failed: {e}")),
+            value: None,
+        });
+    }
 }
 
 pub(crate) fn on_rpc_spawn(ctx: &mut NodeCtx, m: Message) {

@@ -151,6 +151,27 @@
 //! acquisition via trades vs the forced-global path at p = 2/4/8, plus
 //! trade/fallback counts and the prefetch hit rate.
 //!
+//! ## The workload harness
+//!
+//! Everything above is measured by fixed-shape microbenches; the
+//! `pm2-workload` crate (ISSUE 6) asks the capacity question instead:
+//! *what request rate can a p-node machine sustain?*  A
+//! `WorkloadSpec` declares a weighted op mix (spawn, typed RPC,
+//! migrate, group-migrate trains, isomalloc alloc/free, broadcast)
+//! with payload-size distributions, sampled from a seeded PRNG so runs
+//! replay exactly.  An open-loop driver ramps the issue rate round by
+//! round — op latency is measured from each op's *scheduled* time, so
+//! queueing counts and saturation cannot hide behind coordinated
+//! omission — and an IC-suite-style controller gates every round on
+//! failure-rate and p99 SLOs; the last passing round is the machine's
+//! max sustainable RPS.  The host side of that loop is
+//! [`Machine::stats_reset`] + the per-node snapshots
+//! ([`Machine::node_stats`] / [`Machine::pool_stats`]), which let each
+//! round report machine counters as plain deltas — the capacity report
+//! says *why* a round saturated (steps, parks, spawns, trains, trades,
+//! pool churn), not just that it did.  `BENCH_throughput.json` tracks
+//! the resulting trajectory for two mixes at p = 4 and p = 8.
+//!
 //! ## Crate layout
 //!
 //! * [`machine`] / [`node`] — the simulated cluster: one scheduler + slot

@@ -394,6 +394,18 @@ impl Machine {
         self.node_stats[node].snapshot()
     }
 
+    /// Zero every node's runtime counters ([`NodeStats::reset`]) so the
+    /// next [`Machine::node_stats`] snapshots are per-window, not
+    /// cumulative — what a round-based harness wants between ramp rounds.
+    /// Call near quiescence: a concurrent increment simply lands in the
+    /// new window.  Slot-layer and pool stats are untouched (measure those
+    /// as before/after deltas).
+    pub fn stats_reset(&self) {
+        for s in &self.node_stats {
+            s.reset();
+        }
+    }
+
     /// `node`'s wealth hint table: its last-known free-slot count for
     /// every node, refreshed by each piggybacked hint on trade, load and
     /// migrate-ack traffic.  This is what the node's slot trader picks

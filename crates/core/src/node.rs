@@ -171,6 +171,38 @@ impl NodeStatsSnapshot {
 }
 
 impl NodeStats {
+    /// Zero every counter.  Intended for round-based measurement (the
+    /// workload harness resets between ramp rounds so each round reports
+    /// its own counters, not cumulative ones); call it near quiescence —
+    /// a node mid-increment is harmless (the increment lands in the next
+    /// window) but the fields are not reset as one atomic unit.
+    pub fn reset(&self) {
+        self.migrations_out.store(0, Ordering::Relaxed);
+        self.migrations_in.store(0, Ordering::Relaxed);
+        self.migrations_failed.store(0, Ordering::Relaxed);
+        self.trains_out.store(0, Ordering::Relaxed);
+        self.trains_in.store(0, Ordering::Relaxed);
+        self.migration_bytes_out.store(0, Ordering::Relaxed);
+        self.migration_pack_ns.store(0, Ordering::Relaxed);
+        self.migration_wire_ns.store(0, Ordering::Relaxed);
+        self.migration_unpack_ns.store(0, Ordering::Relaxed);
+        self.negotiations.store(0, Ordering::Relaxed);
+        self.negotiation_ns.store(0, Ordering::Relaxed);
+        self.trades.store(0, Ordering::Relaxed);
+        self.trade_ns.store(0, Ordering::Relaxed);
+        self.trade_slots_in.store(0, Ordering::Relaxed);
+        self.trade_fallbacks.store(0, Ordering::Relaxed);
+        self.trade_grants.store(0, Ordering::Relaxed);
+        self.trade_refusals.store(0, Ordering::Relaxed);
+        self.prefetches.store(0, Ordering::Relaxed);
+        self.prefetch_fills.store(0, Ordering::Relaxed);
+        self.wealth_updates.store(0, Ordering::Relaxed);
+        self.spawns.store(0, Ordering::Relaxed);
+        self.steps.store(0, Ordering::Relaxed);
+        self.driver_parks.store(0, Ordering::Relaxed);
+        self.driver_wakeups.store(0, Ordering::Relaxed);
+    }
+
     /// Point-in-time copy.
     pub fn snapshot(&self) -> NodeStatsSnapshot {
         NodeStatsSnapshot {

@@ -48,6 +48,23 @@ impl StdRng {
     pub fn random_bool(&mut self, p: f64) -> bool {
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < p
     }
+
+    /// Weighted choice: the index `i` with probability
+    /// `weights[i] / sum(weights)`.  Zero-weight entries are never picked;
+    /// panics if `weights` is empty or sums to zero (a misconfigured mix
+    /// should fail loudly, not silently bias toward index 0).
+    pub fn pick_weighted(&mut self, weights: &[u64]) -> usize {
+        let total: u64 = weights.iter().sum();
+        assert!(total > 0, "pick_weighted needs a positive total weight");
+        let mut draw = self.random_range(0..total);
+        for (i, &w) in weights.iter().enumerate() {
+            if draw < w {
+                return i;
+            }
+            draw -= w;
+        }
+        unreachable!("draw < total by construction")
+    }
 }
 
 /// Normalized inclusive bounds for [`StdRng::random_range`].
@@ -150,5 +167,52 @@ mod tests {
     fn empty_range_panics() {
         let mut rng = StdRng::seed_from_u64(3);
         let _: usize = rng.random_range(5..5usize);
+    }
+
+    #[test]
+    fn weighted_pick_matches_weights() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let weights = [1u64, 3, 6];
+        let mut hits = [0usize; 3];
+        let n = 100_000;
+        for _ in 0..n {
+            hits[rng.pick_weighted(&weights)] += 1;
+        }
+        // Each observed frequency within 2 points of its expectation
+        // (10% / 30% / 60%); at n = 100k the standard error is < 0.2%.
+        for (i, &w) in weights.iter().enumerate() {
+            let expected = w as f64 / 10.0;
+            let observed = hits[i] as f64 / n as f64;
+            assert!(
+                (observed - expected).abs() < 0.02,
+                "index {i}: observed {observed:.3}, expected {expected:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_pick_skips_zero_weights() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            let i = rng.pick_weighted(&[0, 7, 0, 2, 0]);
+            assert!(i == 1 || i == 3, "zero-weight index {i} picked");
+        }
+    }
+
+    #[test]
+    fn weighted_pick_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(6);
+        let mut b = StdRng::seed_from_u64(6);
+        let w = [5u64, 1, 4, 2];
+        for _ in 0..1000 {
+            assert_eq!(a.pick_weighted(&w), b.pick_weighted(&w));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive total weight")]
+    fn weighted_pick_rejects_zero_total() {
+        let mut rng = StdRng::seed_from_u64(7);
+        rng.pick_weighted(&[0, 0]);
     }
 }

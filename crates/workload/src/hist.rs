@@ -1,0 +1,167 @@
+//! Fixed-bucket log2 latency histogram.
+//!
+//! Per-op latencies are recorded concurrently by the op threads themselves
+//! (green threads scattered across node drivers), so the buckets are plain
+//! relaxed atomics — recording is one `fetch_add`, never a lock.  Buckets
+//! are powers of two over microseconds: bucket `i` holds latencies in
+//! `[2^i, 2^(i+1))` µs, 0 µs lands in bucket 0.  64 buckets cover any
+//! representable latency, and quantiles are interpolated inside the
+//! winning bucket so p50 of a tight distribution does not snap to a power
+//! of two.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log2 buckets (covers every u64 microsecond value).
+pub const N_BUCKETS: usize = 64;
+
+/// Concurrent log2 histogram of microsecond latencies.
+#[derive(Debug)]
+pub struct LogHistogram {
+    buckets: [AtomicU64; N_BUCKETS],
+    /// Sum of recorded values (µs), for the mean.
+    sum_us: AtomicU64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new()
+    }
+}
+
+impl LogHistogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_us: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one latency.
+    pub fn record_us(&self, us: u64) {
+        let b = (64 - us.leading_zeros()).saturating_sub(1) as usize;
+        self.buckets[b].fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Total recorded samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Mean of the recorded latencies, µs (0.0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        self.sum_us.load(Ordering::Relaxed) as f64 / n as f64
+    }
+
+    /// Quantile `q` in `[0, 1]`, µs, linearly interpolated within the
+    /// winning bucket (0.0 when empty).
+    pub fn quantile_us(&self, q: f64) -> f64 {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = q.clamp(0.0, 1.0) * total as f64;
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen as f64 + c as f64 >= rank {
+                // Interpolate inside bucket [2^i, 2^(i+1)); bucket 0 is
+                // [0, 2).
+                let lo = if i == 0 { 0.0 } else { (1u64 << i) as f64 };
+                let hi = if i >= 63 {
+                    u64::MAX as f64
+                } else {
+                    (1u64 << (i + 1)) as f64
+                };
+                let into = ((rank - seen as f64) / c as f64).clamp(0.0, 1.0);
+                return lo + (hi - lo) * into;
+            }
+            seen += c;
+        }
+        // rank == total with rounding dust: the top of the last non-empty
+        // bucket.
+        let last = counts.iter().rposition(|&c| c > 0).unwrap();
+        (1u64 << (last + 1).min(63)) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_zero() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile_us(0.99), 0.0);
+        assert_eq!(h.mean_us(), 0.0);
+    }
+
+    #[test]
+    fn bucket_placement() {
+        let h = LogHistogram::new();
+        h.record_us(0); // bucket 0
+        h.record_us(1); // bucket 0
+        h.record_us(2); // bucket 1
+        h.record_us(3); // bucket 1
+        h.record_us(1024); // bucket 10
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.mean_us(), (0.0 + 1.0 + 2.0 + 3.0 + 1024.0) / 5.0);
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_bracketing() {
+        let h = LogHistogram::new();
+        for us in [10u64, 20, 40, 80, 160, 320, 640, 1280, 2560, 5120] {
+            h.record_us(us);
+        }
+        let p50 = h.quantile_us(0.50);
+        let p90 = h.quantile_us(0.90);
+        let p99 = h.quantile_us(0.99);
+        assert!(p50 <= p90 && p90 <= p99, "{p50} {p90} {p99}");
+        // p50 of this spread lies in the middle decades, p99 near the top
+        // bucket [4096, 8192).
+        assert!((64.0..512.0).contains(&p50), "p50 = {p50}");
+        assert!((4096.0..8192.0).contains(&p99), "p99 = {p99}");
+    }
+
+    #[test]
+    fn tight_distribution_interpolates() {
+        let h = LogHistogram::new();
+        for _ in 0..1000 {
+            h.record_us(100); // all in bucket [64, 128)
+        }
+        let p50 = h.quantile_us(0.5);
+        assert!((64.0..128.0).contains(&p50), "p50 = {p50}");
+    }
+
+    #[test]
+    fn concurrent_recording_counts_everything() {
+        let h = std::sync::Arc::new(LogHistogram::new());
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let h = std::sync::Arc::clone(&h);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..10_000u64 {
+                    h.record_us(t * 1000 + i % 500);
+                }
+            }));
+        }
+        for j in handles {
+            j.join().unwrap();
+        }
+        assert_eq!(h.count(), 40_000);
+    }
+}

@@ -1,0 +1,285 @@
+//! The ramp controller: IC-suite-style SLO gating, as a pure state
+//! machine.
+//!
+//! Modeled on the IC scalability suite's workload experiments: start at
+//! `initial_rps`, add `increment_rps` per round, and stop at the first
+//! round that breaks an SLO — `failure_rate > allowable_failure_rate` or
+//! `p99 > slo_p99_ms`.  Two *hard-stop* thresholds (the suite's
+//! `STOP_FAILURE_RATE` / `STOP_T_MEDIAN`) mark a round as catastrophic
+//! rather than merely failing, so a report can distinguish "the knee" from
+//! "the cliff".  The last passing round is the max sustainable RPS.
+//!
+//! The controller never touches a machine or a clock: feed it per-round
+//! measurements, read verdicts.  That makes the gate logic exhaustively
+//! unit-testable with synthetic series (see the tests below), and the
+//! driver a thin loop around it.
+
+use std::time::Duration;
+
+/// Ramp schedule and SLO thresholds.
+#[derive(Debug, Clone)]
+pub struct RampConfig {
+    /// First round's target rate.
+    pub initial_rps: u64,
+    /// Added per round.
+    pub increment_rps: u64,
+    /// Ramp ceiling: no round is scheduled above this.
+    pub max_rps: u64,
+    /// How long each round issues ops.
+    pub round_duration: Duration,
+    /// SLO: a round fails above this failure fraction (IC
+    /// `ALLOWABLE_FAILURE_RATE` = 0.2).
+    pub allowable_failure_rate: f64,
+    /// SLO: a round fails above this p99 latency (IC `ALLOWABLE_LATENCY`
+    /// = 5000 ms).
+    pub slo_p99_ms: f64,
+    /// Hard stop: the machine is past the cliff, not just the knee (IC
+    /// `STOP_FAILURE_RATE` = 0.9).
+    pub stop_failure_rate: f64,
+    /// Hard stop on the *median* (IC `STOP_T_MEDIAN` = 300 s).
+    pub stop_p50_ms: f64,
+    /// Extra time after a round's last issue for in-flight ops to land
+    /// before they are counted as timeouts.
+    pub drain_grace: Duration,
+    /// Longest wait for the machine to go quiet between rounds.
+    pub quiet_timeout: Duration,
+}
+
+impl Default for RampConfig {
+    /// The IC suite's gate constants with seconds-scale rounds (the suite
+    /// runs 300 s rounds; a CI smoke ramp wants the same shape, not the
+    /// same wall-clock).
+    fn default() -> Self {
+        RampConfig {
+            initial_rps: 100,
+            increment_rps: 100,
+            max_rps: 1000,
+            round_duration: Duration::from_millis(500),
+            allowable_failure_rate: 0.2,
+            slo_p99_ms: 5000.0,
+            stop_failure_rate: 0.9,
+            stop_p50_ms: 300_000.0,
+            drain_grace: Duration::from_millis(500),
+            quiet_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// What the driver measured in one round.
+#[derive(Debug, Clone, Copy)]
+pub struct RoundMeasurement {
+    /// The round's target rate.
+    pub rps: u64,
+    /// Failed + timed-out ops over issued ops (0.0 when nothing issued).
+    pub failure_rate: f64,
+    /// Median op latency, ms.
+    pub p50_ms: f64,
+    /// 99th-percentile op latency, ms.
+    pub p99_ms: f64,
+}
+
+/// The controller's judgement of one round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// Within every SLO.
+    Pass,
+    /// Broke an SLO; the ramp stops here.  The string names the gate.
+    Fail(String),
+    /// Broke a hard-stop threshold — the cliff, not the knee.
+    HardStop(String),
+}
+
+impl Verdict {
+    /// Did the round pass?
+    pub fn passed(&self) -> bool {
+        matches!(self, Verdict::Pass)
+    }
+
+    /// Stable label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Verdict::Pass => "pass",
+            Verdict::Fail(_) => "fail",
+            Verdict::HardStop(_) => "hard_stop",
+        }
+    }
+}
+
+/// Pure ramp state: hand it measurements, ask it for the next rate.
+#[derive(Debug)]
+pub struct RampController {
+    cfg: RampConfig,
+    round: u64,
+    done: bool,
+    max_sustainable: Option<u64>,
+}
+
+impl RampController {
+    /// Fresh ramp at `cfg.initial_rps`.
+    pub fn new(cfg: RampConfig) -> Self {
+        RampController {
+            cfg,
+            round: 0,
+            done: false,
+            max_sustainable: None,
+        }
+    }
+
+    /// The configuration driving this ramp.
+    pub fn config(&self) -> &RampConfig {
+        &self.cfg
+    }
+
+    /// Target rate for the next round, or `None` when the ramp is over
+    /// (an SLO broke, or the next rate would exceed `max_rps`).
+    pub fn next_rps(&self) -> Option<u64> {
+        if self.done {
+            return None;
+        }
+        let rps = self.cfg.initial_rps + self.round * self.cfg.increment_rps;
+        (rps <= self.cfg.max_rps).then_some(rps)
+    }
+
+    /// Judge one finished round.  Hard-stop thresholds are checked first
+    /// (a 95% failure rate has also broken the 20% allowable gate; the
+    /// verdict should name the cliff).
+    pub fn record(&mut self, m: RoundMeasurement) -> Verdict {
+        self.round += 1;
+        let v = if m.failure_rate >= self.cfg.stop_failure_rate {
+            Verdict::HardStop(format!(
+                "failure rate {:.2} >= stop threshold {:.2}",
+                m.failure_rate, self.cfg.stop_failure_rate
+            ))
+        } else if m.p50_ms >= self.cfg.stop_p50_ms {
+            Verdict::HardStop(format!(
+                "p50 {:.0} ms >= stop threshold {:.0} ms",
+                m.p50_ms, self.cfg.stop_p50_ms
+            ))
+        } else if m.failure_rate > self.cfg.allowable_failure_rate {
+            Verdict::Fail(format!(
+                "failure rate {:.2} > allowable {:.2}",
+                m.failure_rate, self.cfg.allowable_failure_rate
+            ))
+        } else if m.p99_ms > self.cfg.slo_p99_ms {
+            Verdict::Fail(format!(
+                "p99 {:.1} ms > SLO {:.1} ms",
+                m.p99_ms, self.cfg.slo_p99_ms
+            ))
+        } else {
+            Verdict::Pass
+        };
+        if v.passed() {
+            self.max_sustainable = Some(m.rps);
+        } else {
+            self.done = true;
+        }
+        v
+    }
+
+    /// Highest rate that passed every SLO, if any round did.
+    pub fn max_sustainable_rps(&self) -> Option<u64> {
+        self.max_sustainable
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> RampConfig {
+        RampConfig {
+            initial_rps: 100,
+            increment_rps: 100,
+            max_rps: 500,
+            ..RampConfig::default()
+        }
+    }
+
+    fn m(rps: u64, failure_rate: f64, p50_ms: f64, p99_ms: f64) -> RoundMeasurement {
+        RoundMeasurement {
+            rps,
+            failure_rate,
+            p50_ms,
+            p99_ms,
+        }
+    }
+
+    #[test]
+    fn all_pass_runs_to_max_rps() {
+        let mut c = RampController::new(cfg());
+        let mut rounds = Vec::new();
+        while let Some(rps) = c.next_rps() {
+            rounds.push(rps);
+            assert_eq!(c.record(m(rps, 0.01, 1.0, 4.0)), Verdict::Pass);
+        }
+        assert_eq!(rounds, vec![100, 200, 300, 400, 500]);
+        assert_eq!(c.max_sustainable_rps(), Some(500));
+    }
+
+    #[test]
+    fn failure_rate_gate_stops_on_the_right_round() {
+        let mut c = RampController::new(cfg());
+        // 100 and 200 pass; 300 breaks the 20% failure SLO.
+        let series = [(100, 0.0), (200, 0.1), (300, 0.35), (400, 0.5)];
+        let mut judged = Vec::new();
+        for (rps, fr) in series {
+            let Some(next) = c.next_rps() else { break };
+            assert_eq!(next, rps, "ramp schedule drifted");
+            judged.push(c.record(m(rps, fr, 1.0, 2.0)));
+        }
+        assert_eq!(judged.len(), 3, "ramp must stop at the first failing round");
+        assert!(judged[0].passed() && judged[1].passed());
+        assert!(matches!(judged[2], Verdict::Fail(_)));
+        assert_eq!(c.max_sustainable_rps(), Some(200));
+        assert_eq!(c.next_rps(), None);
+    }
+
+    #[test]
+    fn p99_gate_fails_a_round() {
+        let mut c = RampController::new(cfg());
+        assert!(c.record(m(100, 0.0, 1.0, 10.0)).passed());
+        let v = c.record(m(200, 0.0, 1.0, 6000.0));
+        match v {
+            Verdict::Fail(reason) => assert!(reason.contains("p99"), "{reason}"),
+            other => panic!("expected p99 Fail, got {other:?}"),
+        }
+        assert_eq!(c.max_sustainable_rps(), Some(100));
+    }
+
+    #[test]
+    fn hard_stop_outranks_the_plain_gate() {
+        let mut c = RampController::new(cfg());
+        // 0.95 also exceeds allowable 0.2; the verdict must name the cliff.
+        let v = c.record(m(100, 0.95, 1.0, 2.0));
+        assert!(matches!(v, Verdict::HardStop(_)), "{v:?}");
+        assert_eq!(c.max_sustainable_rps(), None);
+        assert_eq!(c.next_rps(), None);
+    }
+
+    #[test]
+    fn median_hard_stop_fires() {
+        let mut c = RampController::new(cfg());
+        let v = c.record(m(100, 0.0, 400_000.0, 500_000.0));
+        match v {
+            Verdict::HardStop(reason) => assert!(reason.contains("p50"), "{reason}"),
+            other => panic!("expected p50 HardStop, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn first_round_failure_yields_no_sustainable_rate() {
+        let mut c = RampController::new(cfg());
+        assert!(!c.record(m(100, 0.5, 1.0, 2.0)).passed());
+        assert_eq!(c.max_sustainable_rps(), None);
+    }
+
+    #[test]
+    fn boundary_is_exclusive_for_allowable_inclusive_for_stop() {
+        // failure_rate == allowable passes (gate is strict >);
+        // failure_rate == stop threshold hard-stops (gate is >=).
+        let mut c = RampController::new(cfg());
+        assert!(c.record(m(100, 0.2, 1.0, 2.0)).passed());
+        let v = c.record(m(200, 0.9, 1.0, 2.0));
+        assert!(matches!(v, Verdict::HardStop(_)), "{v:?}");
+    }
+}
