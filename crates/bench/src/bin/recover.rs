@@ -1,0 +1,10 @@
+//! Emit `BENCH_recovery.json` (node-death drill: heartbeat detection,
+//! checkpoint recovery, orphan-slot reclamation at p = 4 and p = 8).
+//!
+//! ```sh
+//! cargo run --release -p pm2-bench --bin recover
+//! ```
+
+fn main() {
+    pm2_bench::write_recovery_json();
+}

@@ -8,6 +8,7 @@ pub mod evacuation;
 pub mod harness;
 pub mod latency;
 pub mod negotiate;
+pub mod recovery;
 pub mod report;
 pub mod throughput;
 
@@ -15,5 +16,6 @@ pub use evacuation::*;
 pub use harness::*;
 pub use latency::*;
 pub use negotiate::*;
+pub use recovery::*;
 pub use report::*;
 pub use throughput::*;

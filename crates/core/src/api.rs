@@ -248,7 +248,9 @@ pub fn pm2_rpc_call<S: Service>(node: usize, req: S::Req) -> Result<S::Resp> {
     }
     let (call_id, reply_to) = with_ctx(|c| {
         let id = c.next_call_id();
-        c.pending_calls.insert(id);
+        // The callee node rides along so a death can synthesize a
+        // NODE_FAILED reply for every call aimed at the corpse.
+        c.pending_calls.insert(id, node);
         (id, c.node)
     });
     // Pin the caller for the duration of the exchange: the response is
@@ -285,6 +287,16 @@ pub(crate) fn decode_rpc_outcome<S: Service>(payload: &[u8]) -> Result<S::Resp> 
     match status {
         rpc_status::OK => S::Resp::decode_vec(&bytes).ok_or(Pm2Error::Decode("rpc response body")),
         rpc_status::NO_SUCH_SERVICE => Err(Pm2Error::NoSuchService(service_id::<S>())),
+        rpc_status::NODE_FAILED => {
+            // Synthesized when the callee died mid-call; the dead node's
+            // id rides in the body.
+            let n = bytes
+                .as_slice()
+                .try_into()
+                .map(u64::from_le_bytes)
+                .unwrap_or(0);
+            Err(Pm2Error::NodeFailed(n as usize))
+        }
         _ => Err(Pm2Error::Rpc(String::from_utf8_lossy(&bytes).into_owned())),
     }
 }
@@ -316,10 +328,43 @@ pub fn pm2_join_value<R: Wire>(tid: u64) -> Result<R> {
 
 /// Poll + yield until `tid` completes; returns the metadata record (no
 /// value bytes — they stay in the registry until a typed join takes them).
+///
+/// Dead-owner resolution: when the node last known to host `tid` is dead,
+/// recovery gets one reply-deadline to re-adopt the thread from a
+/// checkpoint (the location moves to a survivor and the wait continues
+/// normally).  If the owner is still a corpse when the grace expires, the
+/// join completes the thread as failed-on-that-node — recovered value or
+/// typed error, never a hang.
 fn wait_exit(tid: u64) -> crate::registry::ThreadExit {
+    let mut grace: Option<(usize, Instant)> = None;
     loop {
         if let Some(e) = with_ctx(|c| c.registry.poll_meta(tid)) {
             return e;
+        }
+        let (dead_owner, deadline) = with_ctx(|c| {
+            let dead = c
+                .registry
+                .location(tid)
+                .filter(|n| c.dead_nodes.contains(n) || c.ep.is_dead(*n));
+            (dead, c.reply_deadline)
+        });
+        match dead_owner {
+            Some(n) => {
+                let (owner, until) = grace.get_or_insert((n, Instant::now() + deadline));
+                if *owner != n {
+                    // Re-adopted by a survivor that then also died: re-arm.
+                    *owner = n;
+                    *until = Instant::now() + deadline;
+                } else if Instant::now() > *until {
+                    with_ctx(|c| {
+                        c.registry
+                            .complete_if_absent(crate::registry::ThreadExit::node_failed(tid, n))
+                    });
+                    // The next poll_meta observes this (or a racing real
+                    // completion — first write wins either way).
+                }
+            }
+            None => grace = None,
         }
         marcel::yield_now();
     }
@@ -511,6 +556,14 @@ pub(crate) fn wait_reply_until(
         });
         if let Some(m) = hit {
             return Ok(m);
+        }
+        // A reply expected from a named dead peer is never coming: fail
+        // now (typed), not at the deadline (opaque).  Checked *after* the
+        // scan so a reply that raced the death still wins.
+        if let Some(s) = src {
+            if with_ctx(|c| c.dead_nodes.contains(&s) || c.ep.is_dead(s)) {
+                return Err(Pm2Error::NodeFailed(s));
+            }
         }
         if Instant::now() > deadline {
             return Err(Pm2Error::Net(format!(

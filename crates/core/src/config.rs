@@ -118,6 +118,26 @@ pub struct Pm2Config {
     /// the batch that amortizes one trade round trip over many later
     /// acquisitions.  Values < 1 are treated as 1.
     pub trade_batch: usize,
+    /// Directory for per-node spill logs (`node<k>.log`), the persistence
+    /// behind checkpoints and recovery.  `None` (the default) disables
+    /// checkpointing entirely — `checkpoint_every` and `CKPT_REQ` are
+    /// inert without a place to spill to.
+    pub spill_dir: Option<std::path::PathBuf>,
+    /// Periodic checkpoint interval: each node driver spills a snapshot
+    /// train of its migratable threads at most this often.  `None` (the
+    /// default) means checkpoints happen only on demand
+    /// ([`crate::Machine::checkpoint_node`]).  Requires `spill_dir`.
+    pub checkpoint_every: Option<Duration>,
+    /// Silence threshold of the failure detector: a node that has heard
+    /// nothing from a peer for longer than this declares it dead (marks
+    /// the fabric and broadcasts `NODE_DEAD`).  `None` (the default)
+    /// disables detection — deaths are then only declared explicitly via
+    /// [`crate::Machine::kill_node`].
+    pub failure_timeout: Option<Duration>,
+    /// How often a node beacons `HEARTBEAT` to its peers while the
+    /// detector is armed.  Must be well under `failure_timeout`; ignored
+    /// when detection is off.
+    pub heartbeat_every: Duration,
     /// Fault-injection hook for tests: tids whose packed record group is
     /// deliberately truncated on departure, exercising the per-record
     /// train fault isolation end to end.  Leave empty in production.
@@ -152,6 +172,10 @@ impl Pm2Config {
             slot_low_watermark: 4,
             slot_high_watermark: 16,
             trade_batch: 16,
+            spill_dir: None,
+            checkpoint_every: None,
+            failure_timeout: None,
+            heartbeat_every: Duration::from_millis(50),
             fault_corrupt_pack: Vec::new(),
         }
     }
@@ -278,6 +302,30 @@ impl Pm2Config {
     /// Builder: demand-trade batch size.
     pub fn with_trade_batch(mut self, batch: usize) -> Self {
         self.trade_batch = batch;
+        self
+    }
+
+    /// Builder: spill-log directory (enables checkpointing).
+    pub fn with_spill_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.spill_dir = Some(dir.into());
+        self
+    }
+
+    /// Builder: periodic checkpoint interval.
+    pub fn with_checkpoint_every(mut self, every: Duration) -> Self {
+        self.checkpoint_every = Some(every);
+        self
+    }
+
+    /// Builder: arm the failure detector with a silence threshold.
+    pub fn with_failure_timeout(mut self, timeout: Duration) -> Self {
+        self.failure_timeout = Some(timeout);
+        self
+    }
+
+    /// Builder: heartbeat beacon period (detector armed only).
+    pub fn with_heartbeat_every(mut self, every: Duration) -> Self {
+        self.heartbeat_every = every;
         self
     }
 
@@ -449,6 +497,34 @@ impl MachineBuilder {
         self
     }
 
+    /// Spill-log directory — enables checkpointing (see
+    /// [`Pm2Config::spill_dir`]).
+    pub fn spill_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.cfg.spill_dir = Some(dir.into());
+        self
+    }
+
+    /// Periodic checkpoint interval (see [`Pm2Config::checkpoint_every`];
+    /// requires a spill dir).
+    pub fn checkpoint_every(mut self, every: Duration) -> Self {
+        self.cfg.checkpoint_every = Some(every);
+        self
+    }
+
+    /// Arm the failure detector: silence beyond `timeout` declares a peer
+    /// dead (see [`Pm2Config::failure_timeout`]).
+    pub fn failure_timeout(mut self, timeout: Duration) -> Self {
+        self.cfg.failure_timeout = Some(timeout);
+        self
+    }
+
+    /// Heartbeat beacon period while the detector is armed (see
+    /// [`Pm2Config::heartbeat_every`]).
+    pub fn heartbeat_every(mut self, every: Duration) -> Self {
+        self.cfg.heartbeat_every = every;
+        self
+    }
+
     /// The small deterministic instant-network profile tests use (the
     /// knobs of [`Pm2Config::test`]).  Overlays only the profile's own
     /// knobs (area, net, mode, slot cache, reply deadline); anything else
@@ -545,6 +621,27 @@ mod tests {
             .with_trade_batch(7);
         assert!(!e.slot_trade);
         assert_eq!(e.trade_batch, 7);
+    }
+
+    #[test]
+    fn fault_tolerance_knobs_roundtrip() {
+        let c = MachineBuilder::new(4)
+            .spill_dir("/tmp/pm2-spill")
+            .checkpoint_every(Duration::from_millis(10))
+            .failure_timeout(Duration::from_millis(200))
+            .heartbeat_every(Duration::from_millis(25))
+            .into_config();
+        assert_eq!(
+            c.spill_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/pm2-spill"))
+        );
+        assert_eq!(c.checkpoint_every, Some(Duration::from_millis(10)));
+        assert_eq!(c.failure_timeout, Some(Duration::from_millis(200)));
+        assert_eq!(c.heartbeat_every, Duration::from_millis(25));
+        let d = Pm2Config::new(4);
+        assert!(d.spill_dir.is_none(), "checkpointing is opt-in");
+        assert!(d.checkpoint_every.is_none());
+        assert!(d.failure_timeout.is_none(), "detection is opt-in");
     }
 
     #[test]

@@ -39,6 +39,12 @@ pub enum Pm2Error {
     Rpc(String),
     /// A wire payload failed to decode as the expected type.
     Decode(&'static str),
+    /// The node owning the awaited thread (or serving the call) died and no
+    /// checkpoint covered it.  Joiners and RPC callers get this instead of
+    /// a hang; carries the dead node's id.
+    NodeFailed(usize),
+    /// The spill log (checkpoint persistence) failed at the I/O layer.
+    Spill(String),
 }
 
 impl From<isomalloc::AllocError> for Pm2Error {
@@ -55,7 +61,10 @@ impl From<isoaddr::IsoAddrError> for Pm2Error {
 
 impl From<madeleine::NetError> for Pm2Error {
     fn from(e: madeleine::NetError) -> Self {
-        Pm2Error::Net(e.to_string())
+        match e {
+            madeleine::NetError::NodeDead(n) => Pm2Error::NodeFailed(n),
+            other => Pm2Error::Net(other.to_string()),
+        }
     }
 }
 
@@ -82,6 +91,8 @@ impl fmt::Display for Pm2Error {
             }
             Pm2Error::Rpc(e) => write!(f, "rpc failed remotely: {e}"),
             Pm2Error::Decode(what) => write!(f, "malformed wire payload: {what}"),
+            Pm2Error::NodeFailed(n) => write!(f, "node {n} failed"),
+            Pm2Error::Spill(e) => write!(f, "spill log error: {e}"),
         }
     }
 }

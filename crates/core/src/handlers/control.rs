@@ -58,8 +58,68 @@ pub(crate) fn park_reply(ctx: &mut NodeCtx, m: Message) {
 /// queue forever.
 pub(crate) fn park_rpc_resp(ctx: &mut NodeCtx, m: Message) {
     let waiting =
-        proto::peek_rpc_call_id(&m.payload).is_some_and(|id| ctx.pending_calls.contains(&id));
+        proto::peek_rpc_call_id(&m.payload).is_some_and(|id| ctx.pending_calls.contains_key(&id));
     if waiting {
         ctx.replies.push_back(m);
     }
+}
+
+// -- fault tolerance --------------------------------------------------------
+
+/// `KILL`: power-cord semantics for chaos tests.  The node stops dead —
+/// no cleanup, no goodbyes; everything it owned is recovered by the
+/// survivors (or lost, which is the point of the exercise).
+pub(crate) fn on_kill(ctx: &mut NodeCtx) {
+    ctx.killed = true;
+}
+
+/// `NODE_DEAD`: a survivor (or the host) announces a death.  Purge the
+/// corpse from every local routing structure and fail waits aimed at it.
+pub(crate) fn on_node_dead(ctx: &mut NodeCtx, m: &Message) {
+    if let Some(dead) = proto::decode_node_dead(&m.payload) {
+        ctx.note_node_dead(dead);
+    }
+}
+
+/// `CKPT_REQ`: checkpoint now and acknowledge with the image count.
+pub(crate) fn on_ckpt_req(ctx: &mut NodeCtx, m: Message) {
+    let Some(req_id) = proto::decode_ckpt_req(&m.payload) else {
+        return;
+    };
+    let threads = match ctx.checkpoint_now() {
+        Ok(n) => n,
+        Err(e) => {
+            ctx.out.printf(ctx.node, &format!("checkpoint failed: {e}"));
+            0
+        }
+    };
+    let ack = proto::encode_ckpt_ack(&ctx.pool, req_id, threads);
+    let _ = ctx.ep.send(m.src, tag::CKPT_ACK, ack);
+}
+
+/// `NODE_RECLAIM`: adopt a dead node's orphaned slot ranges (the host
+/// computed them from the audit).  Same framing and adoption path as a
+/// trade grant; mid-freeze the adoption is deferred exactly like one.
+pub(crate) fn on_node_reclaim(ctx: &mut NodeCtx, m: Message) {
+    let Some(ranges) = proto::decode_ranges(&m.payload) else {
+        return;
+    };
+    let total: u64 = ranges.iter().map(|r| r.count as u64).sum();
+    if ctx.frozen {
+        ctx.pending_adopts.extend(ranges.iter().copied());
+    } else if !ctx.mgr.adopt_batch(&ranges) {
+        ctx.out
+            .printf(ctx.node, "dropped invalid reclaim grant from the host");
+        let _ = ctx.ep.send(
+            m.src,
+            tag::RECLAIM_ACK,
+            proto::encode_reclaim_ack(&ctx.pool, 0),
+        );
+        return;
+    }
+    let _ = ctx.ep.send(
+        m.src,
+        tag::RECLAIM_ACK,
+        proto::encode_reclaim_ack(&ctx.pool, total as u32),
+    );
 }

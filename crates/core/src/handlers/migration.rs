@@ -64,6 +64,9 @@ pub(crate) fn on_migration(ctx: &mut NodeCtx, m: Message) {
             ctx.sched.adopt_arrivals(&outcome.adopted);
             for &d in &outcome.adopted {
                 ctx.threads.insert((*d).tid, d);
+                // Adoption moves the thread's location — recovery and
+                // dead-owner join checks depend on this being current.
+                ctx.registry.set_location((*d).tid, ctx.node);
             }
         }
         ctx.stats
@@ -122,6 +125,7 @@ pub(crate) fn on_migration_nak(ctx: &mut NodeCtx, m: Message) {
             died_on: ctx.node,
             panic_msg: Some(format!("thread lost in migration: {text}")),
             value: None,
+            failed_node: None,
         });
     }
 }
@@ -147,7 +151,9 @@ pub(crate) fn on_migrate_cmd(ctx: &mut NodeCtx, m: Message) {
     tids.sort_unstable();
     tids.dedup();
     let mut accepted = 0u32;
-    if dest < ctx.n_nodes {
+    // A command naming a dead destination fails fast (accepted = 0): the
+    // balancer's pair fails this round instead of threads dying en route.
+    if dest < ctx.n_nodes && !ctx.dead_nodes.contains(&dest) {
         for tid in &tids {
             let ok = match ctx.threads.get(tid) {
                 // SAFETY: resident descriptor.

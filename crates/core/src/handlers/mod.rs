@@ -76,7 +76,14 @@ pub(crate) fn classify(t: u16) -> Class {
         | tag::NEG_DONE
         | tag::SLOT_TRADE_REQ
         | tag::SLOT_TRADE_RESP
-        | tag::MIGRATE_CMD_ACK => Class::Control,
+        | tag::MIGRATE_CMD_ACK
+        | tag::KILL
+        | tag::NODE_DEAD
+        | tag::CKPT_REQ
+        | tag::CKPT_ACK
+        | tag::NODE_RECLAIM
+        | tag::RECLAIM_ACK
+        | tag::HEARTBEAT => Class::Control,
         tag::MIGRATION | tag::MIGRATION_NAK | tag::MIGRATE_CMD => Class::Migration,
         // LOAD_REQ is deliberately *data*-class despite being served by the
         // control module: a load probe asks about the application plane, so
@@ -90,6 +97,14 @@ pub(crate) fn classify(t: u16) -> Class {
 
 /// The dispatch table: route one message to its handler.
 pub(crate) fn dispatch(ctx: &mut NodeCtx, m: Message) {
+    // Zombie guard: a message from a node known to be dead is late mail
+    // from a corpse — epoch-style fencing.  Its slots may already be
+    // reclaimed and its threads re-adopted, so acting on it could
+    // double-grant a slot or resurrect completed state.  (NODE_DEAD
+    // itself always passes: it is *about* a corpse, from a survivor.)
+    if m.tag != tag::NODE_DEAD && m.src < ctx.n_nodes && ctx.dead_nodes.contains(&m.src) {
+        return;
+    }
     match m.tag {
         tag::SPAWN_KEY => spawn::on_spawn_key(ctx, m),
         tag::RPC_SPAWN => spawn::on_rpc_spawn(ctx, m),
@@ -123,6 +138,13 @@ pub(crate) fn dispatch(ctx: &mut NodeCtx, m: Message) {
             control::park_reply(ctx, m)
         }
         tag::RPC_RESP => control::park_rpc_resp(ctx, m),
+        tag::KILL => control::on_kill(ctx),
+        tag::NODE_DEAD => control::on_node_dead(ctx, &m),
+        tag::CKPT_REQ => control::on_ckpt_req(ctx, m),
+        tag::NODE_RECLAIM => control::on_node_reclaim(ctx, m),
+        // The beacon's only job was refreshing the sender's last-heard
+        // stamp, which ingest already did.
+        tag::HEARTBEAT => {}
         t => panic!("node {}: unknown message tag {t}", ctx.node),
     }
 }

@@ -62,8 +62,11 @@ pub(crate) fn on_lock_release(ctx: &mut NodeCtx) {
 
 pub(crate) fn on_bitmap_req(ctx: &mut NodeCtx, from: usize) {
     // Entering the system-wide critical section as a participant: the
-    // bitmap freezes until NEG_DONE (step (a) of §4.4).
+    // bitmap freezes until NEG_DONE (step (a) of §4.4).  Remember the
+    // initiator — if it dies, its death unfreezes us (it can never send
+    // NEG_DONE).
     ctx.frozen = true;
+    ctx.frozen_by = Some(from);
     // The gather reply rides a pooled buffer: the initiator collects
     // p − 1 of these per negotiation, so recycling matters.
     let mut buf = ctx.pool.checkout(ctx.mgr.bitmap_wire_len());
@@ -84,6 +87,7 @@ pub(crate) fn on_neg_done(ctx: &mut NodeCtx) {
     // applies deferred trade adoptions, and reaps frozen-era zombies on
     // its next step.
     ctx.frozen = false;
+    ctx.frozen_by = None;
 }
 
 /// A peer below its low watermark asks this node for slots.  Decide and
@@ -137,6 +141,7 @@ pub(crate) fn on_slot_trade_resp(ctx: &mut NodeCtx, m: Message) {
     let was_prefetch = ctx.prefetch_inflight == Some(id);
     if was_prefetch {
         ctx.prefetch_inflight = None;
+        ctx.prefetch_target = None;
     }
     let Some((_, wealth, ranges)) = proto::decode_slot_trade_resp(&m.payload) else {
         return;

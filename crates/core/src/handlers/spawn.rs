@@ -36,6 +36,7 @@ pub(crate) fn on_spawn_key(ctx: &mut NodeCtx, m: Message) {
             died_on: ctx.node,
             panic_msg: Some(format!("spawn failed: {e}")),
             value: None,
+            failed_node: None,
         });
     }
 }

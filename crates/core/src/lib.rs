@@ -151,6 +151,42 @@
 //! acquisition via trades vs the forced-global path at p = 2/4/8, plus
 //! trade/fallback counts and the prefetch hit rate.
 //!
+//! ## Fault tolerance: node death without thread death
+//!
+//! Since ISSUE 7 a node can die — power-cord semantics, no cleanup — and
+//! the machine degrades instead of hanging:
+//!
+//! * **checkpoints + spill log** — each node (when launched with a
+//!   `spill_dir`) appends non-destructive snapshots of its migratable
+//!   threads to an append-only, checksummed, epoch-framed log
+//!   ([`spill`]); snapshots are taken periodically (`checkpoint_every`
+//!   builder knob) or on demand ([`Machine::checkpoint_node`] /
+//!   [`Machine::checkpoint_all`]).  Replay tolerates a torn tail (crash
+//!   mid-append) and skips checksum-corrupt frames; newer epochs
+//!   supersede older ones per thread;
+//! * **kill switch + failure detector** — [`Machine::kill_node`] pulls a
+//!   node's cord and announces `NODE_DEAD`;
+//!   [`Machine::kill_node_silent`] leaves discovery to the heartbeat
+//!   detector (`failure_timeout` / `heartbeat_every` knobs): survivors
+//!   declare a silent peer dead, broadcast the death certificate, and
+//!   the fabric thereafter refuses sends to *and from* the corpse while
+//!   dispatch drops in-flight zombie messages;
+//! * **no hang, ever** — joins, RPC calls and `pm2_join_value` on a
+//!   thread whose host died resolve with typed
+//!   [`Pm2Error::NodeFailed`] after one reply-deadline grace window
+//!   (giving recovery a chance to re-adopt first); survivors purge the
+//!   corpse from wealth tables, lock queues, prefetch targets and
+//!   balancer plans;
+//! * **recovery is just migration** — [`Machine::recover_node`] replays
+//!   the corpse's spill log and re-sends each checkpointed thread to a
+//!   survivor as an ordinary `MIGRATION` train (iso-address packing is
+//!   position-independent, so a recovered thread *is* a migration whose
+//!   source no longer exists), completes uncheckpointed threads as
+//!   failed, then audits the survivors and grants every orphaned slot
+//!   range to a survivor's free pool — closing the exclusive-ownership
+//!   partition again ([`machine::RecoveryReport`] reports both phases,
+//!   timed; `BENCH_recovery.json` tracks them at p = 4/8).
+//!
 //! ## The workload harness
 //!
 //! Everything above is measured by fixed-shape microbenches; the
@@ -219,11 +255,12 @@ pub mod output;
 pub mod proto;
 pub mod registry;
 pub mod service;
+pub mod spill;
 
 pub use config::{MachineBuilder, MachineMode, MigrationScheme, Pm2Config};
 pub use error::{Pm2Error, Result};
 pub use iso::{IsoBox, IsoList, IsoVec};
-pub use machine::{JoinHandle, Machine, Pm2Thread};
+pub use machine::{JoinHandle, Machine, Pm2Thread, RecoveryReport};
 pub use registry::ThreadExit;
 pub use service::{service_id, Service};
 

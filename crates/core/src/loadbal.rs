@@ -139,9 +139,13 @@ fn daemon(cfg: BalancerConfig, stop: Arc<AtomicBool>, counters: Arc<Counters>) {
     while !stop.load(Ordering::SeqCst) {
         let round_started = Instant::now();
         if let Err(e) = balance_round(p, &cfg, &counters) {
-            // A shutting-down machine can drop replies; bail out quietly.
-            let _ = e;
-            break;
+            // A node dying mid-round degrades that round, not the daemon:
+            // the next round simply plans around the corpse.  Anything
+            // else (a shutting-down machine dropping replies, say) exits
+            // quietly.
+            if !matches!(e, crate::error::Pm2Error::NodeFailed(_)) {
+                break;
+            }
         }
         counters.rounds.fetch_add(1, Ordering::SeqCst);
         // Sleep cooperatively until the next round.
@@ -165,16 +169,20 @@ fn balance_round(p: usize, cfg: &BalancerConfig, counters: &Counters) -> Result<
     let pool = api::local_pool();
     let deadline = Instant::now() + cfg.round_deadline;
     // Gather loads (the daemon itself counts towards node 0's load; the
-    // threshold absorbs it).
+    // threshold absorbs it).  A probe refused with a death certificate
+    // drops that node from the round — corpses have no load to balance.
+    let mut probed = 0usize;
     for peer in 0..p {
-        send_to(peer, tag::LOAD_REQ, Vec::new())?;
+        if send_to(peer, tag::LOAD_REQ, Vec::new()).is_ok() {
+            probed += 1;
+        }
     }
-    // Collect until every node answered or the round deadline passes; a
-    // node that answers late (or never) simply sits this round out.
-    // Responses are keyed by node so a straggler reply from a *previous*
-    // degraded round only refreshes that node's entry.
-    let mut loads: Vec<Load> = Vec::with_capacity(p);
-    while loads.len() < p {
+    // Collect until every probed node answered or the round deadline
+    // passes; a node that answers late (or never) simply sits this round
+    // out.  Responses are keyed by node so a straggler reply from a
+    // *previous* degraded round only refreshes that node's entry.
+    let mut loads: Vec<Load> = Vec::with_capacity(probed);
+    while loads.len() < probed {
         let Ok(m) = wait_reply_until(tag::LOAD_RESP, None, deadline, |_| true) else {
             break; // Deadline: balance whoever answered.
         };
@@ -240,11 +248,18 @@ fn balance_round(p: usize, cfg: &BalancerConfig, counters: &Counters) -> Result<
     let mut pending: HashMap<u64, usize> = HashMap::new(); // cmd id → tids sent
     for ((src, dest), tids) in &plan {
         let cmd_id = crate::node::with_ctx(|c| c.next_call_id());
-        send_to(
+        // A source that died between gather and command fails its *pair*,
+        // never the round (a dead *destination* is the source's problem:
+        // its departure handler refuses the move and acks zero).
+        if send_to(
             *src,
             tag::MIGRATE_CMD,
             encode_migrate_cmd(&pool, cmd_id, *dest, tids),
-        )?;
+        )
+        .is_err()
+        {
+            continue;
+        }
         counters.cmds.fetch_add(1, Ordering::SeqCst);
         pending.insert(cmd_id, tids.len());
     }

@@ -11,7 +11,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use isoaddr::{IsoArea, SlotStatsSnapshot};
+use isoaddr::{IsoArea, SlotRange, SlotStatsSnapshot};
 use madeleine::message::PayloadWriter;
 use madeleine::{Endpoint, Fabric, Wire};
 
@@ -35,6 +35,28 @@ pub struct Pm2Thread {
     pub tid: u64,
 }
 
+/// What [`Machine::recover_node`] accomplished, with the two phases timed
+/// separately (thread re-adoption vs. slot reclamation).
+#[derive(Debug, Clone)]
+pub struct RecoveryReport {
+    /// The node recovered from.
+    pub dead_node: usize,
+    /// Threads re-adopted onto survivors from the spill log.
+    pub threads_recovered: usize,
+    /// Resident threads with no covering checkpoint (completed as failed).
+    pub threads_lost: usize,
+    /// Orphaned slots granted to a survivor's free pool.
+    pub slots_reclaimed: usize,
+    /// Spill-log frames skipped for checksum mismatch.
+    pub corrupt_records_skipped: usize,
+    /// Whether the spill log ended in a torn (truncated) frame.
+    pub torn_tail_truncated: bool,
+    /// Wall time of replay + re-adoption (detection not included).
+    pub recovery: Duration,
+    /// Wall time of the audit + slot reclamation pass.
+    pub reclaim: Duration,
+}
+
 /// Typed handle on a value-returning thread spawned with
 /// [`Machine::spawn_on_ret`].
 ///
@@ -44,6 +66,11 @@ pub struct Pm2Thread {
 pub struct JoinHandle<R> {
     tid: u64,
     registry: Arc<Registry>,
+    /// View of the fabric's death certificates, so a join can resolve a
+    /// dead owner instead of hanging.
+    watch: madeleine::DeathWatch,
+    /// Grace given to recovery before a dead owner fails the join.
+    grace: Duration,
     _result: PhantomData<fn() -> R>,
 }
 
@@ -62,15 +89,12 @@ impl<R: Wire> JoinHandle<R> {
     /// value.  The value travels through the thread-exit protocol, so it
     /// arrives no matter how many times the thread migrated.  Errors:
     /// [`Pm2Error::Panicked`] (with the panic message) if the body
-    /// panicked.  Panics after five minutes — a wedged machine in a
-    /// test/bench should fail loudly, like [`Machine::join`].
+    /// panicked, [`Pm2Error::NodeFailed`] if the hosting node died with no
+    /// checkpoint covering the thread.  Panics after five minutes — a
+    /// wedged machine in a test/bench should fail loudly, like
+    /// [`Machine::join`].
     pub fn join(self) -> Result<R> {
-        if !self
-            .registry
-            .wait_completed(self.tid, Duration::from_secs(300))
-        {
-            panic!("thread {:#x} never completed", self.tid);
-        }
+        wait_exit_host(&self.registry, &self.watch, self.grace, self.tid);
         self.registry
             .take_typed_exit(self.tid)
             .expect("completion just observed")
@@ -233,9 +257,16 @@ impl Machine {
         }
         let tid = HOST_TID_BASE | self.next_tid.fetch_add(1, Ordering::Relaxed);
         let key = self.spawn_table.park(Box::new(f));
+        // Optimistic location: if `node` dies before the spawn lands, the
+        // dead-owner join logic still has a node to blame — no hang.
+        self.registry.set_location(tid, node);
         let mut w = PayloadWriter::pooled(self.host_ep.pool(), 16);
         w.u64(key).u64(tid);
-        self.host_ep.send(node, tag::SPAWN_KEY, w.finish())?;
+        if let Err(e) = self.host_ep.send(node, tag::SPAWN_KEY, w.finish()) {
+            self.registry.clear_location(tid);
+            self.spawn_table.take(key);
+            return Err(e.into());
+        }
         Ok(Pm2Thread { tid })
     }
 
@@ -259,6 +290,8 @@ impl Machine {
         Ok(JoinHandle {
             tid: t.tid,
             registry: Arc::clone(&self.registry),
+            watch: self.host_ep.death_watch(),
+            grace: self.cfg.reply_deadline,
             _result: PhantomData,
         })
     }
@@ -325,20 +358,35 @@ impl Machine {
             ),
         )?;
         let deadline = Instant::now() + self.cfg.reply_deadline;
-        let m = self
-            .recv_control_matching(tag::RPC_RESP, deadline, |m| {
+        loop {
+            // Short recv slices so a mid-call death of the callee fails
+            // this call promptly (typed), not at the deadline (opaque).
+            let slice = deadline.min(Instant::now() + Duration::from_millis(20));
+            if let Some(m) = self.recv_control_matching(tag::RPC_RESP, slice, |m| {
                 proto::peek_rpc_call_id(&m.payload) == Some(call_id)
-            })
-            .ok_or_else(|| Pm2Error::Net("timed out waiting for rpc response".into()))?;
-        crate::api::decode_rpc_outcome::<S>(&m.payload)
+            }) {
+                return crate::api::decode_rpc_outcome::<S>(&m.payload);
+            }
+            if self.host_ep.is_dead(node) {
+                return Err(Pm2Error::NodeFailed(node));
+            }
+            if Instant::now() >= deadline {
+                return Err(Pm2Error::Net("timed out waiting for rpc response".into()));
+            }
+        }
     }
 
-    /// Block the host until a thread completes.  Panics after five minutes
-    /// (a wedged machine in a test/bench should fail loudly).
+    /// Block the host until a thread completes.  A thread stranded on a
+    /// dead node resolves as a failed exit (`failed_node` set) after
+    /// recovery's grace window instead of hanging.  Panics after five
+    /// minutes (a wedged machine in a test/bench should fail loudly).
     pub fn join(&self, t: Pm2Thread) -> ThreadExit {
-        self.registry
-            .wait(t.tid, Duration::from_secs(300))
-            .unwrap_or_else(|| panic!("thread {:#x} never completed", t.tid))
+        wait_exit_host(
+            &self.registry,
+            &self.host_ep.death_watch(),
+            self.cfg.reply_deadline,
+            t.tid,
+        )
     }
 
     /// Run `f` on `node` and return its value to the host.
@@ -451,14 +499,18 @@ impl Machine {
         }
     }
 
-    /// Run the global ownership audit (call at quiescence only).
+    /// Run the global ownership audit (call at quiescence only).  Dead
+    /// nodes are skipped: after a kill (and before recovery) the corpse's
+    /// slots legitimately have no owner, so `check_partition` on a
+    /// machine with unrecovered deaths reports them as orphans.
     pub fn audit(&mut self) -> Result<AuditReport> {
-        for node in 0..self.cfg.nodes {
+        let survivors = self.alive_nodes();
+        for &node in &survivors {
             self.host_ep.send(node, tag::AUDIT_REQ, Vec::new())?;
         }
         let deadline = Instant::now() + Duration::from_secs(30);
-        let mut nodes = Vec::with_capacity(self.cfg.nodes);
-        for _ in 0..self.cfg.nodes {
+        let mut nodes = Vec::with_capacity(survivors.len());
+        for _ in 0..survivors.len() {
             let m = self
                 .recv_control(tag::AUDIT_RESP, deadline)
                 .ok_or_else(|| Pm2Error::Net("audit timed out".into()))?;
@@ -474,6 +526,281 @@ impl Machine {
         })
     }
 
+    // ------------------------------------------------------------------
+    // fault tolerance: kill switch, checkpoints, recovery
+    // ------------------------------------------------------------------
+
+    /// Node ids whose endpoints are not marked dead, in order.
+    fn alive_nodes(&self) -> Vec<usize> {
+        (0..self.cfg.nodes)
+            .filter(|&n| !self.host_ep.is_dead(n))
+            .collect()
+    }
+
+    /// Whether `node` has been declared dead (by [`Machine::kill_node`] or
+    /// the failure detector).
+    pub fn is_node_dead(&self, node: usize) -> bool {
+        self.host_ep.is_dead(node)
+    }
+
+    /// Chaos switch: pull `node`'s power cord and announce the death.
+    ///
+    /// The victim stops dispatching and stepping immediately (mid-pump if
+    /// it was pumping) and performs **no** cleanup — exactly what a crashed
+    /// machine looks like to the rest of the cluster.  The fabric refuses
+    /// sends to and from the corpse from this call on, and a `NODE_DEAD`
+    /// broadcast tells every survivor at once (use
+    /// [`Machine::kill_node_silent`] to leave discovery to the heartbeat
+    /// detector instead).  Threads resident on the victim are *not*
+    /// completed here — that is [`Machine::recover_node`]'s job, or the
+    /// dead-owner grace logic in the join paths.
+    pub fn kill_node(&mut self, node: usize) -> Result<()> {
+        self.kill_inner(node, true)
+    }
+
+    /// [`Machine::kill_node`] without the `NODE_DEAD` announcement: the
+    /// survivors must notice the silence themselves via the heartbeat
+    /// failure detector (`failure_timeout` must be configured for that).
+    pub fn kill_node_silent(&mut self, node: usize) -> Result<()> {
+        self.kill_inner(node, false)
+    }
+
+    fn kill_inner(&mut self, node: usize, announce: bool) -> Result<()> {
+        if node >= self.cfg.nodes {
+            return Err(Pm2Error::NoSuchNode(node));
+        }
+        // KILL first, while the fabric still accepts sends to the victim —
+        // it makes the corpse's driver exit instead of parking forever.
+        let _ = self.host_ep.send(node, tag::KILL, Vec::new());
+        self.host_ep.mark_dead(node);
+        if announce {
+            let _ = self.host_ep.broadcast(
+                tag::NODE_DEAD,
+                proto::encode_node_dead(self.host_ep.pool(), node),
+            );
+        }
+        Ok(())
+    }
+
+    /// Block until some survivor (or the host) has declared `node` dead —
+    /// the `NODE_DEAD` broadcast reaches the host endpoint like any other
+    /// control message.  Returns `false` on timeout.  This is how tests
+    /// observe the heartbeat detector after [`Machine::kill_node_silent`].
+    pub fn wait_node_dead(&mut self, node: usize, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        self.recv_control_matching(tag::NODE_DEAD, deadline, |m| {
+            proto::decode_node_dead(&m.payload) == Some(node)
+        })
+        .is_some()
+    }
+
+    /// Ask `node` to checkpoint its migratable threads to its spill log
+    /// right now; returns how many threads the checkpoint covered.  Errors
+    /// if the machine was launched without a `spill_dir` (the node acks
+    /// zero threads in that case, which is reported as `Ok(0)` — a
+    /// no-spill machine simply has nothing to recover from).
+    pub fn checkpoint_node(&mut self, node: usize) -> Result<u32> {
+        if node >= self.cfg.nodes {
+            return Err(Pm2Error::NoSuchNode(node));
+        }
+        if self.host_ep.is_dead(node) {
+            return Err(Pm2Error::NodeFailed(node));
+        }
+        let req_id =
+            ((self.cfg.nodes as u64) << 48) | self.next_tid.fetch_add(1, Ordering::Relaxed);
+        self.host_ep.send(
+            node,
+            tag::CKPT_REQ,
+            proto::encode_ckpt_req(self.host_ep.pool(), req_id),
+        )?;
+        let deadline = Instant::now() + self.cfg.reply_deadline;
+        loop {
+            let slice = deadline.min(Instant::now() + Duration::from_millis(20));
+            if let Some(m) = self.recv_control_matching(tag::CKPT_ACK, slice, |m| {
+                proto::peek_ckpt_id(&m.payload) == Some(req_id)
+            }) {
+                let (_, threads) = proto::decode_ckpt_ack(&m.payload)
+                    .ok_or_else(|| Pm2Error::Net("malformed checkpoint ack".into()))?;
+                return Ok(threads);
+            }
+            if self.host_ep.is_dead(node) {
+                return Err(Pm2Error::NodeFailed(node));
+            }
+            if Instant::now() >= deadline {
+                return Err(Pm2Error::Net("timed out waiting for checkpoint ack".into()));
+            }
+        }
+    }
+
+    /// Checkpoint every live node; returns the total threads covered.
+    pub fn checkpoint_all(&mut self) -> Result<u32> {
+        let mut total = 0;
+        for node in self.alive_nodes() {
+            total += self.checkpoint_node(node)?;
+        }
+        Ok(total)
+    }
+
+    /// Recover from `dead`'s death: replay its spill log, re-adopt every
+    /// checkpointed thread onto a survivor (round-robin) as an ordinary
+    /// `MIGRATION` train — a recovered thread is just a migration whose
+    /// source no longer exists — complete every *uncheckpointed* resident
+    /// thread as failed (typed, so joiners get [`Pm2Error::NodeFailed`]
+    /// instead of a hang), and finally reclaim the corpse's orphaned slots
+    /// into a survivor's free pool so the ownership partition closes
+    /// again.  Call at quiescence, after the death has been observed.
+    pub fn recover_node(&mut self, dead: usize) -> Result<RecoveryReport> {
+        if dead >= self.cfg.nodes {
+            return Err(Pm2Error::NoSuchNode(dead));
+        }
+        if !self.host_ep.is_dead(dead) {
+            return Err(Pm2Error::Net(format!(
+                "node {dead} is alive; recovery is for dead nodes"
+            )));
+        }
+        let survivors = self.alive_nodes();
+        if survivors.is_empty() {
+            return Err(Pm2Error::Net(
+                "no surviving node to adopt recovered threads".into(),
+            ));
+        }
+
+        let t0 = Instant::now();
+        // 1. Replay the corpse's spill log (tolerates a missing file — a
+        //    machine without spill_dir just recovers zero threads).
+        let replay = match &self.cfg.spill_dir {
+            Some(dir) => crate::spill::replay(&dir.join(format!("node{dead}.log")))?,
+            None => crate::spill::SpillReplay::default(),
+        };
+        let newest = replay.latest_by_tid();
+
+        // 2. The corpse's address space is gone.  On real hardware that is
+        //    the crash itself; in this one-process simulation its slot
+        //    mappings are still registered in the area's process-wide
+        //    accounting, so recovery drops them explicitly: every committed
+        //    slot no survivor accounts for (cache or resident thread)
+        //    belonged to the corpse.  Checkpointed bytes live in the spill
+        //    log; uncheckpointed state is lost — that is what node death
+        //    means.  Without this, re-adoption (and any later allocation
+        //    from reclaimed slots) would trip the double-commit invariant.
+        let pre = self.audit()?;
+        let mut survivor_committed = vec![false; pre.n_slots];
+        for na in &pre.nodes {
+            for &c in &na.cached {
+                survivor_committed[c] = true;
+            }
+            for (_tid, ranges) in &na.threads {
+                for r in ranges {
+                    for slot in r.iter() {
+                        survivor_committed[slot] = true;
+                    }
+                }
+            }
+        }
+        let corpse_mapped = collect_ranges(pre.n_slots, |s| {
+            self.area.is_committed(s) && !survivor_committed[s]
+        });
+        for range in &corpse_mapped {
+            self.area.decommit_slots(*range)?;
+        }
+
+        // 3. Re-adopt checkpointed victims; fail the rest promptly.
+        let victims = self.registry.located_on(dead);
+        let mut shipped = Vec::new();
+        let mut threads_lost = 0usize;
+        for (i, &tid) in victims.iter().enumerate() {
+            match newest.get(&tid) {
+                Some(&(_epoch, group)) => {
+                    let heir = survivors[i % survivors.len()];
+                    let train = crate::migration::build_train(&[(tid, group)]);
+                    self.host_ep.send(heir, tag::MIGRATION, train)?;
+                    shipped.push(tid);
+                }
+                None => {
+                    self.registry
+                        .complete_if_absent(ThreadExit::node_failed(tid, dead));
+                    threads_lost += 1;
+                }
+            }
+        }
+
+        // 4. Wait for each shipped thread to leave the corpse: adoption
+        //    flips its location to the survivor (completion clears it).
+        let deadline = Instant::now() + self.cfg.reply_deadline;
+        let mut threads_recovered = 0usize;
+        for tid in shipped {
+            let mut moved = false;
+            loop {
+                if self.registry.location(tid) != Some(dead)
+                    || self.registry.poll_meta(tid).is_some()
+                {
+                    moved = true;
+                    break;
+                }
+                if Instant::now() >= deadline {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            if moved {
+                threads_recovered += 1;
+            } else {
+                // The survivor NAKed or never adopted it: fail it so
+                // joiners do not hang on a thread nobody hosts.
+                self.registry
+                    .complete_if_absent(ThreadExit::node_failed(tid, dead));
+                threads_lost += 1;
+            }
+        }
+        let recovery = t0.elapsed();
+
+        // 5. Slot reclamation: audit the survivors, find every slot with
+        //    no owner among them (the corpse's free slots plus whatever
+        //    its lost threads held), and grant the orphan ranges to the
+        //    first survivor via the bitmap-only NODE_RECLAIM adoption.
+        let t1 = Instant::now();
+        let report = self.audit()?;
+        let mut owned = vec![false; report.n_slots];
+        for na in &report.nodes {
+            for slot in na.bitmap.iter_ones() {
+                owned[slot] = true;
+            }
+            for (_tid, ranges) in &na.threads {
+                for r in ranges {
+                    for slot in r.iter() {
+                        owned[slot] = true;
+                    }
+                }
+            }
+        }
+        let orphans = collect_ranges(report.n_slots, |s| !owned[s]);
+        let mut slots_reclaimed = 0usize;
+        if !orphans.is_empty() {
+            self.host_ep.send(
+                survivors[0],
+                tag::NODE_RECLAIM,
+                proto::encode_ranges(self.host_ep.pool(), &orphans),
+            )?;
+            let reclaim_deadline = Instant::now() + self.cfg.reply_deadline;
+            let m = self
+                .recv_control(tag::RECLAIM_ACK, reclaim_deadline)
+                .ok_or_else(|| Pm2Error::Net("timed out waiting for reclaim ack".into()))?;
+            slots_reclaimed = proto::decode_reclaim_ack(&m.payload).unwrap_or(0) as usize;
+        }
+        let reclaim = t1.elapsed();
+
+        Ok(RecoveryReport {
+            dead_node: dead,
+            threads_recovered,
+            threads_lost,
+            slots_reclaimed,
+            corrupt_records_skipped: replay.corrupt_skipped,
+            torn_tail_truncated: replay.torn_tail,
+            recovery,
+            reclaim,
+        })
+    }
+
     /// Stop the machine: ask every node to drain and stop, await the acks,
     /// and join the driver threads.  Called automatically on drop.
     pub fn shutdown(&mut self) {
@@ -481,14 +808,26 @@ impl Machine {
             return;
         }
         self.stopped = true;
-        for node in 0..self.cfg.nodes {
+        for node in self.alive_nodes() {
             let _ = self.host_ep.send(node, tag::SHUTDOWN, Vec::new());
         }
         let deadline = Instant::now() + Duration::from_secs(60);
-        for _ in 0..self.cfg.nodes {
-            if self.recv_control(tag::SHUTDOWN_ACK, deadline).is_none() {
-                eprintln!("pm2: warning: node shutdown ack missing");
+        let mut acked = 0usize;
+        loop {
+            // Only survivors can ack — and a node may die mid-shutdown,
+            // so the expectation is re-evaluated every slice.
+            let expected = self.alive_nodes().len();
+            if acked >= expected {
                 break;
+            }
+            let slice = deadline.min(Instant::now() + Duration::from_millis(50));
+            match self.recv_control(tag::SHUTDOWN_ACK, slice) {
+                Some(_) => acked += 1,
+                None if Instant::now() >= deadline => {
+                    eprintln!("pm2: warning: node shutdown ack missing");
+                    break;
+                }
+                None => {}
             }
         }
         for h in self.drivers.drain(..) {
@@ -500,6 +839,59 @@ impl Machine {
 impl Drop for Machine {
     fn drop(&mut self) {
         self.shutdown();
+    }
+}
+
+/// Compress the slots where `pred` holds into maximal contiguous ranges.
+fn collect_ranges(n_slots: usize, pred: impl Fn(usize) -> bool) -> Vec<SlotRange> {
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i < n_slots {
+        if !pred(i) {
+            i += 1;
+            continue;
+        }
+        let first = i;
+        while i < n_slots && pred(i) {
+            i += 1;
+        }
+        ranges.push(SlotRange::new(first, i - first));
+    }
+    ranges
+}
+
+/// Host-side dead-owner-aware completion wait (the host twin of the green
+/// `wait_exit`): poll the registry in short slices; when the node last
+/// known to host `tid` is dead, give recovery one `grace` window to
+/// re-adopt it (the location moves to a survivor), then complete the
+/// thread as failed-on-that-node.  Recovered value or typed error — never
+/// a hang.  Panics after five minutes like the pre-fault-tolerance waits.
+fn wait_exit_host(
+    registry: &Registry,
+    watch: &madeleine::DeathWatch,
+    grace_window: Duration,
+    tid: u64,
+) -> ThreadExit {
+    let overall = Instant::now() + Duration::from_secs(300);
+    let mut grace: Option<(usize, Instant)> = None;
+    loop {
+        if let Some(e) = registry.wait(tid, Duration::from_millis(10)) {
+            return e;
+        }
+        match registry.location(tid).filter(|&n| watch.is_dead(n)) {
+            Some(n) => {
+                let (owner, until) = grace.get_or_insert((n, Instant::now() + grace_window));
+                if *owner != n {
+                    // Re-adopted by a survivor that then also died: re-arm.
+                    *owner = n;
+                    *until = Instant::now() + grace_window;
+                } else if Instant::now() > *until {
+                    registry.complete_if_absent(ThreadExit::node_failed(tid, n));
+                }
+            }
+            None => grace = None,
+        }
+        assert!(Instant::now() < overall, "thread {tid:#x} never completed");
     }
 }
 

@@ -139,6 +139,134 @@ unsafe fn pack_thread_records(
     Ok(())
 }
 
+/// [`pack_thread_records`] minus the surrenders: serialize the thread's
+/// slots *without* unmapping anything.  This is the checkpoint pack — the
+/// thread keeps running on this node afterwards, and the bytes are an
+/// ordinary train record group (position-independent, replayable through
+/// `unpack_threads` on any survivor).
+///
+/// # Safety
+/// `d` must be a frozen (not currently running) thread resident on `mgr`'s
+/// node for the duration of the call.
+unsafe fn snapshot_thread_records(
+    d: DescPtr,
+    mgr: &NodeSlotManager,
+    pack_full_slots: bool,
+    buf: &mut Vec<u8>,
+) -> Result<()> {
+    let desc = &*d;
+    let slot_size = mgr.slot_size();
+    let stack_extents = desc.stack_extents();
+    let heap_slots = isomalloc::heap::heap_slots(std::ptr::addr_of!(desc.heap));
+    if pack_full_slots {
+        pack_full(
+            desc.stack_base,
+            SlotKind::Stack as u32,
+            desc.stack_slots,
+            slot_size,
+            buf,
+        );
+    } else {
+        pack_raw_extents(
+            desc.stack_base,
+            SlotKind::Stack as u32,
+            desc.stack_slots,
+            &stack_extents,
+            buf,
+        );
+    }
+    for &(base, n) in &heap_slots {
+        if pack_full_slots {
+            pack_full(base, SlotKind::Heap as u32, n, slot_size, buf);
+        } else {
+            pack_heap_slot(base, slot_size, buf)?;
+        }
+    }
+    Ok(())
+}
+
+/// Pack a train of threads **without unmapping their slots** — the
+/// checkpoint gather.  Wire-identical to [`pack_threads`] output, so a
+/// spilled checkpoint replays through the normal `MIGRATION` arrival path;
+/// the threads keep running here, and the bytes merely go stale as they do.
+///
+/// # Safety
+/// Every descriptor must be resident on `mgr`'s node and not running for
+/// the duration of the call (the checkpoint runs on the driver thread, so
+/// no green thread is mid-quantum).
+pub(crate) unsafe fn pack_threads_snapshot(
+    ds: &[DescPtr],
+    mgr: &NodeSlotManager,
+    pack_full_slots: bool,
+    pool: &BufPool,
+) -> Result<Payload> {
+    debug_assert!(!ds.is_empty(), "empty checkpoint train");
+    let slot_size = mgr.slot_size();
+    let header_len = TRAIN_HDR + ds.len() * TRAIN_ENTRY;
+    let mut hint = header_len;
+    for &d in ds {
+        hint += thread_pack_hint(d, slot_size, pack_full_slots)?;
+    }
+    let mut buf = pool.checkout(hint);
+    buf.extend_from_slice(&(ds.len() as u32).to_le_bytes());
+    buf.resize(header_len, 0);
+    for (i, &d) in ds.iter().enumerate() {
+        let tid = (*d).tid;
+        let off = buf.len();
+        snapshot_thread_records(d, mgr, pack_full_slots, &mut buf)?;
+        let len = buf.len() - off;
+        let e = TRAIN_HDR + i * TRAIN_ENTRY;
+        buf[e..e + 8].copy_from_slice(&tid.to_le_bytes());
+        buf[e + 8..e + 12].copy_from_slice(&(off as u32).to_le_bytes());
+        buf[e + 12..e + 16].copy_from_slice(&(len as u32).to_le_bytes());
+    }
+    Ok(buf.freeze())
+}
+
+/// Read a train's table without touching the records: `(tid, off, len)`
+/// per thread, or `None` if the buffer cannot hold its own header.  The
+/// spill-log reader uses this to index checkpointed threads by tid.
+pub(crate) fn train_table(buf: &[u8]) -> Option<Vec<(u64, usize, usize)>> {
+    let count = buf
+        .get(..TRAIN_HDR)
+        .map(|b| u32::from_le_bytes(b.try_into().expect("4-byte slice")) as usize)?;
+    let header_len = TRAIN_HDR + count.checked_mul(TRAIN_ENTRY)?;
+    if count == 0 || buf.len() < header_len {
+        return None;
+    }
+    let mut table = Vec::with_capacity(count);
+    for i in 0..count {
+        let e = TRAIN_HDR + i * TRAIN_ENTRY;
+        let tid = u64::from_le_bytes(buf[e..e + 8].try_into().expect("8-byte slice"));
+        let off = u32::from_le_bytes(buf[e + 8..e + 12].try_into().expect("4-byte slice")) as usize;
+        let len =
+            u32::from_le_bytes(buf[e + 12..e + 16].try_into().expect("4-byte slice")) as usize;
+        table.push((tid, off, len));
+    }
+    Some(table)
+}
+
+/// Assemble a fresh train from already-packed record groups (recovery:
+/// re-ship checkpointed threads to a survivor).  Record groups are
+/// position-independent, so concatenating groups lifted from different
+/// checkpoints yields a valid `MIGRATION` payload.
+pub(crate) fn build_train(groups: &[(u64, &[u8])]) -> Vec<u8> {
+    let header_len = TRAIN_HDR + groups.len() * TRAIN_ENTRY;
+    let total: usize = groups.iter().map(|(_, g)| g.len()).sum();
+    let mut buf = Vec::with_capacity(header_len + total);
+    buf.extend_from_slice(&(groups.len() as u32).to_le_bytes());
+    buf.resize(header_len, 0);
+    for (i, (tid, group)) in groups.iter().enumerate() {
+        let off = buf.len();
+        buf.extend_from_slice(group);
+        let e = TRAIN_HDR + i * TRAIN_ENTRY;
+        buf[e..e + 8].copy_from_slice(&tid.to_le_bytes());
+        buf[e + 8..e + 12].copy_from_slice(&(off as u32).to_le_bytes());
+        buf[e + 12..e + 16].copy_from_slice(&(group.len() as u32).to_le_bytes());
+    }
+    buf
+}
+
 /// Pack a train of frozen threads into one pooled payload and unmap their
 /// slots on the source node.  The buffer is a pool checkout sized from the
 /// occupancy hints; the per-thread table is backpatched once each group's

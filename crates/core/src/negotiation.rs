@@ -240,20 +240,48 @@ fn run_global(requested: usize) -> Result<()> {
 fn run_global_protocol(requested: usize) -> Result<()> {
     let (me, p) = with_ctx(|c| (c.node, c.n_nodes));
 
-    // (a) system-wide critical section.
+    // (a) system-wide critical section.  If node 0 (the lock service) is
+    // dead the send fails typed and the acquisition errors out — the
+    // global fallback needs the lock home alive (a known limitation; the
+    // chaos suites kill non-zero nodes).
     send_to(0, tag::NEG_LOCK_REQ, Vec::new())?;
     wait_reply(tag::NEG_LOCK_GRANT, Some(0))?;
     with_ctx(|c| c.frozen = true);
 
-    // (b) gather all bitmaps.
+    // (b)–(d) under a cleanup guarantee: whatever fails mid-section (a
+    // seller dying after the gather, say), the NEG_DONE fan-out and the
+    // lock release below still run — a failed buy must not leave every
+    // other node frozen forever.
+    let outcome = gather_and_buy(me, p, requested);
+
+    // (e)+(f): end the critical section everywhere and release the lock.
+    with_ctx(|c| {
+        for peer in 0..p {
+            if peer != c.node {
+                let _ = c.ep.send(peer, tag::NEG_DONE, Vec::new());
+            }
+        }
+        c.frozen = false;
+    });
+    let _ = send_to(0, tag::NEG_LOCK_RELEASE, Vec::new());
+    outcome
+}
+
+/// Steps (b)–(d) of the global protocol: gather live peers' bitmaps,
+/// first-fit the union, buy the non-local sub-ranges.
+fn gather_and_buy(me: usize, p: usize, requested: usize) -> Result<()> {
+    // (b) gather the bitmaps of every *live* peer.  A send refused with a
+    // death certificate drops that peer from the gather: a corpse's slots
+    // are reclaimed by recovery (`Machine::recover_node`), never bought.
+    let mut expected = 0usize;
     for peer in 0..p {
-        if peer != me {
-            send_to(peer, tag::NEG_BITMAP_REQ, Vec::new())?;
+        if peer != me && send_to(peer, tag::NEG_BITMAP_REQ, Vec::new()).is_ok() {
+            expected += 1;
         }
     }
     let mut bitmaps: Vec<Option<SlotBitmap>> = (0..p).map(|_| None).collect();
     bitmaps[me] = Some(with_ctx(|c| c.mgr.bitmap().clone()));
-    for _ in 0..p.saturating_sub(1) {
+    for _ in 0..expected {
         let m = wait_reply(tag::NEG_BITMAP_RESP, None)?;
         let bm = SlotBitmap::from_bytes(&m.payload)
             .ok_or_else(|| Pm2Error::Net("malformed bitmap response".into()))?;
@@ -262,11 +290,12 @@ fn run_global_protocol(requested: usize) -> Result<()> {
 
     // (c) global OR, plus the owner table: one pass over the gathered
     // bitmaps' set bits gives O(1) owner lookups in step (d) — the old
-    // per-slot owner scan was O(p · slots) in the worst case.
+    // per-slot owner scan was O(p · slots) in the worst case.  Dead
+    // peers' entries stay `None` and simply do not contribute.
     let mut global = bitmaps[me].clone().expect("own bitmap present");
     let mut owner: Vec<u16> = vec![u16::MAX; global.len()];
     for (i, bm) in bitmaps.iter().enumerate() {
-        let bm = bm.as_ref().expect("gathered bitmap");
+        let Some(bm) = bm.as_ref() else { continue };
         if i != me {
             global.or_with(bm);
         }
@@ -276,7 +305,7 @@ fn run_global_protocol(requested: usize) -> Result<()> {
     }
 
     // (d) first-fit in the union.
-    let outcome = match global.find_first_fit(requested, 0) {
+    match global.find_first_fit(requested, 0) {
         None => Err(Pm2Error::OutOfSlots { requested }),
         Some(first) => {
             let range = SlotRange::new(first, requested);
@@ -333,19 +362,7 @@ fn run_global_protocol(requested: usize) -> Result<()> {
             });
             Ok(())
         }
-    };
-
-    // (e)+(f): end the critical section everywhere and release the lock.
-    with_ctx(|c| {
-        for peer in 0..p {
-            if peer != c.node {
-                let _ = c.ep.send(peer, tag::NEG_DONE, Vec::new());
-            }
-        }
-        c.frozen = false;
-    });
-    send_to(0, tag::NEG_LOCK_RELEASE, Vec::new())?;
-    outcome
+    }
 }
 
 fn push_run(sellers: &mut Vec<(usize, Vec<SlotRange>)>, owner: usize, run: SlotRange) {

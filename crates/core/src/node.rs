@@ -61,6 +61,7 @@ use crate::output::OutputSink;
 use crate::proto::{self, tag};
 use crate::registry::{Registry, ServiceTable, SpawnTable, ThreadExit};
 use crate::service::{panic_text, TypedServiceTable};
+use crate::spill::SpillLog;
 
 thread_local! {
     static CURRENT_NODE: Cell<*mut NodeCtx> = const { Cell::new(std::ptr::null_mut()) };
@@ -116,6 +117,11 @@ pub struct NodeStats {
     pub wealth_updates: AtomicU64,
     /// Threads spawned here.
     pub spawns: AtomicU64,
+    /// Checkpoints written to the spill log.
+    pub checkpoints: AtomicU64,
+    /// Thread images written across all checkpoints (supersessions
+    /// included — the log replayer keeps only the newest epoch per tid).
+    pub checkpoint_threads: AtomicU64,
     /// Scheduling steps the driver executed for this node.
     pub steps: AtomicU64,
     /// Times the driver parked on the doorbell with nothing to do.
@@ -154,6 +160,8 @@ pub struct NodeStatsSnapshot {
     pub prefetch_fills: u64,
     pub wealth_updates: u64,
     pub spawns: u64,
+    pub checkpoints: u64,
+    pub checkpoint_threads: u64,
     pub steps: u64,
     pub driver_parks: u64,
     pub driver_wakeups: u64,
@@ -198,6 +206,8 @@ impl NodeStats {
         self.prefetch_fills.store(0, Ordering::Relaxed);
         self.wealth_updates.store(0, Ordering::Relaxed);
         self.spawns.store(0, Ordering::Relaxed);
+        self.checkpoints.store(0, Ordering::Relaxed);
+        self.checkpoint_threads.store(0, Ordering::Relaxed);
         self.steps.store(0, Ordering::Relaxed);
         self.driver_parks.store(0, Ordering::Relaxed);
         self.driver_wakeups.store(0, Ordering::Relaxed);
@@ -227,6 +237,8 @@ impl NodeStats {
             prefetch_fills: self.prefetch_fills.load(Ordering::Relaxed),
             wealth_updates: self.wealth_updates.load(Ordering::Relaxed),
             spawns: self.spawns.load(Ordering::Relaxed),
+            checkpoints: self.checkpoints.load(Ordering::Relaxed),
+            checkpoint_threads: self.checkpoint_threads.load(Ordering::Relaxed),
             steps: self.steps.load(Ordering::Relaxed),
             driver_parks: self.driver_parks.load(Ordering::Relaxed),
             driver_wakeups: self.driver_wakeups.load(Ordering::Relaxed),
@@ -278,6 +290,10 @@ pub(crate) struct NodeCtx {
     pub deferred: VecDeque<Message>,
     /// Bitmap frozen by an in-flight global negotiation (paper §4.4 (a)).
     pub frozen: bool,
+    /// The peer whose `NEG_BITMAP_REQ` froze us (None when the freeze is
+    /// our own negotiation).  If that initiator dies it can never send
+    /// `NEG_DONE`, so its death unfreezes us.
+    pub frozen_by: Option<usize>,
     /// A local thread currently runs the remote-acquire protocol (trade
     /// or global negotiation).
     pub negotiating: bool,
@@ -297,6 +313,9 @@ pub(crate) struct NodeCtx {
     /// own reply re-arms the prefetcher (a late demand-trade reply must
     /// not).
     pub prefetch_inflight: Option<u64>,
+    /// Peer the in-flight prefetch was sent to; its death re-arms the
+    /// prefetcher immediately instead of waiting out the lost reply.
+    pub prefetch_target: Option<usize>,
     /// Trade grants that arrived while the bitmap was frozen; adopted
     /// after NEG_DONE.
     pub pending_adopts: Vec<SlotRange>,
@@ -307,13 +326,39 @@ pub(crate) struct NodeCtx {
     pub zombies: Vec<DescPtr>,
     pub shutdown: bool,
     shutdown_acked: bool,
+    /// This node was killed (power-cord semantics): the driver stops
+    /// stepping it, the fabric refuses its traffic, and nothing it owned
+    /// is released locally — recovery happens on the survivors.
+    pub killed: bool,
+    /// Peers known to be dead.  Their late (zombie) messages are dropped
+    /// at dispatch, the trader and prefetcher skip them, and waits
+    /// targeting them fail with `NodeFailed` instead of timing out.
+    pub dead_nodes: HashSet<usize>,
     /// Monotonic source of node-unique typed-LRPC call ids.
     call_counter: u64,
     /// Typed-LRPC calls issued from this node whose green caller is still
-    /// waiting.  A response whose call id is absent (the caller already
-    /// timed out) is dropped instead of parked, so late replies cannot
-    /// accumulate in `replies` forever.
-    pub pending_calls: HashSet<u64>,
+    /// waiting, mapped to the callee node.  A response whose call id is
+    /// absent (the caller already timed out) is dropped instead of parked,
+    /// so late replies cannot accumulate in `replies` forever; the callee
+    /// id lets a death synthesize `NODE_FAILED` replies for every call
+    /// aimed at the corpse.
+    pub pending_calls: HashMap<u64, usize>,
+    /// Spill log this node checkpoints into (None disables checkpointing).
+    pub spill: Option<SpillLog>,
+    /// Epoch stamped on the next checkpoint record; replay keeps the
+    /// newest epoch per tid, so a checkpoint is superseded, never mutated.
+    ckpt_epoch: u64,
+    /// Periodic checkpoint cadence (None = only explicit `CKPT_REQ`s).
+    pub checkpoint_every: Option<Duration>,
+    last_checkpoint: Instant,
+    /// Liveness beacon cadence for the failure detector.
+    pub heartbeat_every: Duration,
+    /// Declare a peer dead after this much silence (None disables the
+    /// detector; explicit kills still propagate via `NODE_DEAD`).
+    pub failure_timeout: Option<Duration>,
+    last_beacon: Instant,
+    /// Last time any message arrived from each peer.
+    last_heard: Vec<Instant>,
     // Config knobs.
     pub fit: isomalloc::FitPolicy,
     pub trim: bool,
@@ -397,6 +442,17 @@ impl NodeCtx {
         let prior = (area.n_slots() / cfg.nodes.max(1)) as u64;
         let peer_wealth: Arc<Vec<AtomicU64>> =
             Arc::new((0..cfg.nodes).map(|_| AtomicU64::new(prior)).collect());
+        let spill = cfg.spill_dir.as_ref().and_then(|dir| {
+            let path = dir.join(format!("node{node}.log"));
+            match SpillLog::open(&path) {
+                Ok(log) => Some(log),
+                Err(e) => {
+                    out.printf(node, &format!("spill log disabled: {e}"));
+                    None
+                }
+            }
+        });
+        let now = Instant::now();
         NodeCtx {
             node,
             n_nodes: cfg.nodes,
@@ -418,19 +474,31 @@ impl NodeCtx {
             deferred: VecDeque::new(),
             replies: VecDeque::new(),
             frozen: false,
+            frozen_by: None,
             negotiating: false,
             neg_waiters: VecDeque::new(),
             peer_wealth,
             prefetch_pending: HashSet::new(),
             prefetch_inflight: None,
+            prefetch_target: None,
             pending_adopts: Vec::new(),
             lock_holder: None,
             lock_queue: VecDeque::new(),
             zombies: Vec::new(),
             shutdown: false,
             shutdown_acked: false,
+            killed: false,
+            dead_nodes: HashSet::new(),
             call_counter: 0,
-            pending_calls: HashSet::new(),
+            pending_calls: HashMap::new(),
+            spill,
+            ckpt_epoch: 0,
+            checkpoint_every: cfg.checkpoint_every,
+            last_checkpoint: now,
+            heartbeat_every: cfg.heartbeat_every,
+            failure_timeout: cfg.failure_timeout,
+            last_beacon: now,
+            last_heard: vec![now; cfg.nodes],
             fit: cfg.fit,
             trim: cfg.trim,
             pack_full_slots: cfg.pack_full_slots,
@@ -462,7 +530,7 @@ impl NodeCtx {
     /// refusal.
     pub(crate) fn richest_peer(&self, floor: u64) -> Option<usize> {
         (0..self.n_nodes)
-            .filter(|&p| p != self.node)
+            .filter(|&p| p != self.node && !self.dead_nodes.contains(&p))
             .map(|p| (self.peer_wealth[p].load(Ordering::Relaxed), p))
             .filter(|&(w, _)| w > floor)
             .max()
@@ -498,9 +566,173 @@ impl NodeCtx {
         let id = self.next_call_id();
         self.prefetch_pending.insert(id);
         self.prefetch_inflight = Some(id);
+        self.prefetch_target = Some(peer);
         self.stats.prefetches.fetch_add(1, Ordering::Relaxed);
         let req = proto::encode_slot_trade_req(&self.pool, id, want as u32, 1, free as u32);
         let _ = self.ep.send(peer, tag::SLOT_TRADE_REQ, req);
+    }
+
+    // -- fault tolerance ----------------------------------------------------
+
+    /// Heartbeat beacon + silence detector.  Runs on the driver, O(p) per
+    /// tick, rate-limited by `heartbeat_every`; any arriving message is a
+    /// liveness proof (see `ingest`), the beacon only guarantees that a
+    /// healthy-but-quiet peer is never mistaken for a corpse.
+    fn fault_tick(&mut self) {
+        let Some(timeout) = self.failure_timeout else {
+            return;
+        };
+        if self.n_nodes < 2 || self.shutdown {
+            // Shutdown drains nodes at different speeds; a node that
+            // finished early is quiet, not dead.
+            return;
+        }
+        let now = Instant::now();
+        if now.duration_since(self.last_beacon) >= self.heartbeat_every {
+            self.last_beacon = now;
+            for p in 0..self.n_nodes {
+                if p != self.node && !self.dead_nodes.contains(&p) {
+                    let _ = self.ep.send(p, tag::HEARTBEAT, Vec::new());
+                }
+            }
+        }
+        for p in 0..self.n_nodes {
+            if p != self.node
+                && !self.dead_nodes.contains(&p)
+                && now.duration_since(self.last_heard[p]) > timeout
+            {
+                self.declare_dead(p);
+            }
+        }
+    }
+
+    /// Silence verdict (or first-hand observation): mark `dead` on the
+    /// fabric, announce it to every survivor and the host, and purge it
+    /// locally.  Idempotent — duplicate verdicts from concurrent
+    /// detectors collapse in `note_node_dead`.
+    pub(crate) fn declare_dead(&mut self, dead: usize) {
+        if dead == self.node || dead >= self.n_nodes || self.dead_nodes.contains(&dead) {
+            return;
+        }
+        self.ep.mark_dead(dead);
+        let buf = proto::encode_node_dead(&self.pool, dead);
+        let _ = self.ep.broadcast(tag::NODE_DEAD, buf);
+        self.note_node_dead(dead);
+    }
+
+    /// Absorb the fact that `dead` is gone: refuse its future traffic,
+    /// stop routing anything toward it, and fail every local wait aimed
+    /// at it.  Safe to call any number of times.
+    pub(crate) fn note_node_dead(&mut self, dead: usize) {
+        if dead == self.node || dead >= self.n_nodes || !self.dead_nodes.insert(dead) {
+            return;
+        }
+        self.ep.mark_dead(dead);
+        // A corpse has no wealth: the trader and balancer stop asking.
+        self.set_peer_wealth(dead, 0);
+        // Re-arm the prefetcher if its in-flight trade died with the peer.
+        if self.prefetch_target == Some(dead) {
+            if let Some(id) = self.prefetch_inflight.take() {
+                self.prefetch_pending.remove(&id);
+            }
+            self.prefetch_target = None;
+        }
+        // Synthesize NODE_FAILED replies for typed-LRPC calls aimed at the
+        // corpse, so green callers resolve immediately instead of eating
+        // their full reply deadline.
+        let orphaned: Vec<u64> = self
+            .pending_calls
+            .iter()
+            .filter(|&(_, &callee)| callee == dead)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in orphaned {
+            let payload = proto::encode_rpc_resp(
+                &self.pool,
+                id,
+                proto::rpc_status::NODE_FAILED,
+                &(dead as u64).to_le_bytes(),
+            );
+            self.replies.push_back(Message {
+                src: dead,
+                dst: self.node,
+                tag: tag::RPC_RESP,
+                seq: 0,
+                wire_ns: 0,
+                payload,
+            });
+        }
+        // Node-0 lock service: a corpse can neither hold nor want the
+        // global-negotiation lock.
+        self.lock_queue.retain(|&w| w != dead);
+        if self.lock_holder == Some(dead) {
+            self.lock_holder = None;
+            if let Some(next) = self.lock_queue.pop_front() {
+                self.lock_holder = Some(next);
+                let _ = self.ep.send(next, tag::NEG_LOCK_GRANT, Vec::new());
+            }
+        }
+        // If the dead node froze our bitmap as a negotiation initiator it
+        // can never send NEG_DONE; unfreeze, or this node wedges forever.
+        if self.frozen && self.frozen_by == Some(dead) {
+            self.frozen = false;
+            self.frozen_by = None;
+        }
+    }
+
+    /// Periodic checkpoint tick (the `checkpoint_every` knob).
+    fn maybe_checkpoint(&mut self) {
+        let Some(every) = self.checkpoint_every else {
+            return;
+        };
+        if self.spill.is_none() || self.shutdown || self.last_checkpoint.elapsed() < every {
+            return;
+        }
+        self.last_checkpoint = Instant::now();
+        if let Err(e) = self.checkpoint_now() {
+            self.out
+                .printf(self.node, &format!("checkpoint failed: {e}"));
+        }
+    }
+
+    /// Checkpoint every migratable, currently-ready thread to the spill
+    /// log under a fresh epoch.  The pack is a *snapshot* — no slots are
+    /// surrendered, the threads keep running — so a checkpoint is
+    /// superseded, never mutated: the replayer simply keeps the newest
+    /// epoch per tid.  Returns the number of thread images written.
+    pub(crate) fn checkpoint_now(&mut self) -> crate::error::Result<u32> {
+        if self.spill.is_none() || self.frozen {
+            return Ok(0);
+        }
+        let ds: Vec<DescPtr> = self
+            .threads
+            .values()
+            .copied()
+            .filter(|&d| unsafe {
+                (*d).thread_state() == ThreadState::Ready
+                    && (*d).flags & marcel::thread::flags::MIGRATABLE != 0
+            })
+            .collect();
+        if ds.is_empty() {
+            return Ok(0);
+        }
+        self.ckpt_epoch += 1;
+        // SAFETY: every snapshot thread is Ready and therefore frozen from
+        // the driver's point of view — the pump never runs while a green
+        // thread runs.
+        let buf = unsafe {
+            migration::pack_threads_snapshot(&ds, &self.mgr, self.pack_full_slots, &self.pool)?
+        };
+        let epoch = self.ckpt_epoch;
+        self.spill
+            .as_mut()
+            .expect("spill checked above")
+            .append(epoch, &buf)?;
+        self.stats.checkpoints.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .checkpoint_threads
+            .fetch_add(ds.len() as u64, Ordering::Relaxed);
+        Ok(ds.len() as u32)
     }
 
     /// Next node-unique typed-LRPC call id (node in the top bits, so ids
@@ -526,6 +758,11 @@ impl NodeCtx {
     /// old drain did.
     fn ingest(&mut self) {
         while let Some(m) = self.ep.try_recv() {
+            if self.failure_timeout.is_some() && m.src < self.n_nodes {
+                // Any arrival is a liveness proof; the detector only fires
+                // on total silence.
+                self.last_heard[m.src] = Instant::now();
+            }
             self.inbox[handlers::classify(m.tag) as usize].push_back(m);
         }
     }
@@ -552,6 +789,11 @@ impl NodeCtx {
             let Some(m) = self.next_message() else { break };
             self.handle(m);
             handled += 1;
+            if self.killed {
+                // The cord was pulled mid-pump: everything still queued
+                // dies with the node.
+                break;
+            }
             // Handling may have produced immediately-deliverable traffic
             // (self-sends are free): pick it up so priority holds across
             // everything currently deliverable.
@@ -568,8 +810,16 @@ impl NodeCtx {
     /// One scheduling step: pump, then run one thread quantum.  Returns true
     /// if any work was done.
     pub(crate) fn step(&mut self) -> bool {
+        if self.killed {
+            return false;
+        }
         self.stats.steps.fetch_add(1, Ordering::Relaxed);
         let pumped = self.pump();
+        if self.killed {
+            return false;
+        }
+        self.fault_tick();
+        self.maybe_checkpoint();
         if !self.frozen && !self.zombies.is_empty() {
             self.reap_zombies();
         }
@@ -614,13 +864,17 @@ impl NodeCtx {
             && !self.inbox_pending()
     }
 
-    /// Drained *and* acknowledged: the driver may exit.
+    /// Drained *and* acknowledged: the driver may exit.  A killed node is
+    /// trivially finished — nothing it could say would be heard.
     pub(crate) fn finished(&self) -> bool {
-        self.done() && self.shutdown_acked
+        self.killed || (self.done() && self.shutdown_acked)
     }
 
     /// Send the one-time shutdown acknowledgement once drained.
     pub(crate) fn maybe_ack_shutdown(&mut self) {
+        if self.killed {
+            return;
+        }
         if self.done() && !self.shutdown_acked {
             self.shutdown_acked = true;
             let _ = self.ep.send(self.host_id, tag::SHUTDOWN_ACK, Vec::new());
@@ -687,6 +941,7 @@ impl NodeCtx {
                 died_on: self.node,
                 panic_msg: note.panic_msg,
                 value: note.value,
+                failed_node: None,
             };
             if home != self.node {
                 let _ = self.ep.send(
@@ -737,9 +992,10 @@ impl NodeCtx {
         dest: usize,
         trains: &mut Vec<(usize, Vec<DescPtr>)>,
     ) {
-        if dest == self.node || dest >= self.n_nodes {
-            // Self-migration is a no-op; bogus destinations are dropped
-            // back into the run queue rather than losing the thread.
+        if dest == self.node || dest >= self.n_nodes || self.dead_nodes.contains(&dest) {
+            // Self-migration is a no-op; bogus or dead destinations are
+            // dropped back into the run queue rather than losing the
+            // thread (a balancer plan can race a node death).
             unsafe {
                 (*d).migrate_dest = -1;
                 (*d).state = ThreadState::Ready as u32;
@@ -759,8 +1015,10 @@ impl NodeCtx {
         // SAFETY: every thread is frozen (Migrating or tagged-Ready) and
         // was removed from the scheduler's queues.
         unsafe {
+            let mut tids = Vec::with_capacity(ds.len());
             for &d in ds {
                 let tid = (*d).tid;
+                tids.push(tid);
                 (*d).state = ThreadState::Migrating as u32;
                 self.sched.note_gone();
                 self.threads.remove(&tid);
@@ -786,9 +1044,23 @@ impl NodeCtx {
             self.stats
                 .migration_bytes_out
                 .fetch_add(buf.len() as u64, Ordering::Relaxed);
-            self.ep
-                .send_batched(dest, tag::MIGRATION, buf, ds.len())
-                .expect("sending migration train");
+            if let Err(e) = self.ep.send_batched(dest, tag::MIGRATION, buf, ds.len()) {
+                // An endpoint died between staging and shipping.  The
+                // pack already surrendered the slots with the image, so
+                // the threads are gone with the train; complete them as
+                // failed-on-`dest` (first-write-wins — a join never
+                // hangs) instead of panicking the survivor.
+                self.stats
+                    .migrations_failed
+                    .fetch_add(tids.len() as u64, Ordering::Relaxed);
+                for tid in tids {
+                    self.registry
+                        .complete_if_absent(ThreadExit::node_failed(tid, dest));
+                }
+                if matches!(e, madeleine::NetError::NodeDead(n) if n == dest) {
+                    self.note_node_dead(dest);
+                }
+            }
         }
     }
 
@@ -837,6 +1109,7 @@ impl NodeCtx {
             isomalloc::heap::heap_init(std::ptr::addr_of_mut!((*d).heap), self.fit, self.trim);
         }
         self.threads.insert(tid, d);
+        self.registry.set_location(tid, self.node);
         self.stats.spawns.fetch_add(1, Ordering::Relaxed);
     }
 }

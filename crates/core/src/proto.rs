@@ -86,6 +86,29 @@ pub mod tag {
     /// completes the ownership transfer with exactly one bitmap owner per
     /// slot at every instant.
     pub const SLOT_TRADE_RESP: u16 = 33;
+    /// Host → node: die immediately (chaos kill switch).  The driver stops
+    /// without finishing resident threads, without acking, without
+    /// releasing anything — as close to pulling the power cord as an
+    /// in-process fabric gets.
+    pub const KILL: u16 = 40;
+    /// Any → all: the named node is dead.  Survivors purge it from wealth
+    /// hints, load snapshots and lock queues, drop its late (zombie)
+    /// messages, and fail any wait targeting it with `NodeFailed`.
+    pub const NODE_DEAD: u16 = 41;
+    /// Host → node: checkpoint your migratable threads to the spill log
+    /// now (carries a request id).
+    pub const CKPT_REQ: u16 = 42;
+    /// Node → host: checkpoint done (echoed id + threads written).
+    pub const CKPT_ACK: u16 = 43;
+    /// Host → node: adopt these orphaned slot ranges (a dead node's
+    /// reclaimed estate; same range framing as `NEG_BUY`).
+    pub const NODE_RECLAIM: u16 = 44;
+    /// Node → host: reclamation done (adopted slot count).
+    pub const RECLAIM_ACK: u16 = 45;
+    /// Node → node: liveness beacon for the failure detector.  Empty
+    /// payload; arrival (of *any* message) refreshes the sender's
+    /// last-heard stamp, the beacon just guarantees silence means death.
+    pub const HEARTBEAT: u16 = 46;
 }
 
 /// Status byte of an [`tag::RPC_RESP`] payload.
@@ -97,6 +120,10 @@ pub mod rpc_status {
     /// The serving side failed (decode error, handler panic, oversized
     /// response); the bytes are a UTF-8 message.
     pub const REMOTE_ERROR: u8 = 2;
+    /// The serving node died before replying; callers map this to
+    /// `Pm2Error::NodeFailed`.  Synthesized locally when a `NODE_DEAD`
+    /// lands while calls to the corpse are pending.
+    pub const NODE_FAILED: u8 = 3;
 }
 
 /// Encode a list of slot ranges (NEG_BUY payload).
@@ -314,7 +341,7 @@ pub fn decode_rpc_spawn(buf: &[u8]) -> Option<(u32, Vec<u8>)> {
 /// Encode a `THREAD_EXIT` payload from a completion record.
 pub fn encode_thread_exit(pool: &BufPool, exit: &ThreadExit) -> Payload {
     let value_len = exit.value.as_ref().map_or(0, Vec::len);
-    let mut w = PayloadWriter::pooled(pool, 64 + value_len);
+    let mut w = PayloadWriter::pooled(pool, 80 + value_len);
     w.u64(exit.tid)
         .u8(exit.panicked as u8)
         .u64(exit.died_on as u64);
@@ -325,6 +352,10 @@ pub fn encode_thread_exit(pool: &BufPool, exit: &ThreadExit) -> Payload {
     match &exit.value {
         None => w.u8(0),
         Some(value) => w.u8(1).lp_bytes(value),
+    };
+    match exit.failed_node {
+        None => w.u8(0),
+        Some(n) => w.u8(1).u64(n as u64),
     };
     w.finish()
 }
@@ -349,13 +380,75 @@ pub fn decode_thread_exit(buf: &[u8]) -> Option<ThreadExit> {
         1 => Some(r.lp_bytes()?.to_vec()),
         _ => return None,
     };
+    let failed_node = match r.u8()? {
+        0 => None,
+        1 => Some(r.u64()? as usize),
+        _ => return None,
+    };
     Some(ThreadExit {
         tid,
         panicked,
         died_on,
         panic_msg,
         value,
+        failed_node,
     })
+}
+
+/// Encode a `NODE_DEAD` payload: the dead node's id.
+pub fn encode_node_dead(pool: &BufPool, node: usize) -> Payload {
+    let mut w = PayloadWriter::pooled(pool, 4);
+    w.u32(node as u32);
+    w.finish()
+}
+
+/// Decode a `NODE_DEAD` payload.
+pub fn decode_node_dead(buf: &[u8]) -> Option<usize> {
+    madeleine::message::PayloadReader::new(buf)
+        .u32()
+        .map(|n| n as usize)
+}
+
+/// Encode a `CKPT_REQ` payload: the request id echoed by the ack.
+pub fn encode_ckpt_req(pool: &BufPool, req_id: u64) -> Payload {
+    let mut w = PayloadWriter::pooled(pool, 8);
+    w.u64(req_id);
+    w.finish()
+}
+
+/// Decode a `CKPT_REQ` payload.
+pub fn decode_ckpt_req(buf: &[u8]) -> Option<u64> {
+    madeleine::message::PayloadReader::new(buf).u64()
+}
+
+/// Encode a `CKPT_ACK` payload: (echoed request id, threads written).
+pub fn encode_ckpt_ack(pool: &BufPool, req_id: u64, threads: u32) -> Payload {
+    let mut w = PayloadWriter::pooled(pool, 12);
+    w.u64(req_id).u32(threads);
+    w.finish()
+}
+
+/// Decode a `CKPT_ACK` payload into (request id, threads written).
+pub fn decode_ckpt_ack(buf: &[u8]) -> Option<(u64, u32)> {
+    let mut r = madeleine::message::PayloadReader::new(buf);
+    Some((r.u64()?, r.u32()?))
+}
+
+/// Read just the leading request id off a `CKPT_ACK` (reply matching).
+pub fn peek_ckpt_id(buf: &[u8]) -> Option<u64> {
+    madeleine::message::PayloadReader::new(buf).u64()
+}
+
+/// Encode a `RECLAIM_ACK` payload: slots adopted.
+pub fn encode_reclaim_ack(pool: &BufPool, slots: u32) -> Payload {
+    let mut w = PayloadWriter::pooled(pool, 4);
+    w.u32(slots);
+    w.finish()
+}
+
+/// Decode a `RECLAIM_ACK` payload.
+pub fn decode_reclaim_ack(buf: &[u8]) -> Option<u32> {
+    madeleine::message::PayloadReader::new(buf).u32()
 }
 
 /// Encode an `RPC_CALL` payload.  `reply_to` is the fabric id the response
@@ -497,6 +590,7 @@ mod tests {
             died_on: 2,
             panic_msg: Some("assertion failed".into()),
             value: Some(vec![1, 2, 3]),
+            failed_node: None,
         };
         assert_eq!(
             decode_thread_exit(&encode_thread_exit(&pool, &exit)),
@@ -507,6 +601,28 @@ mod tests {
             decode_thread_exit(&encode_thread_exit(&pool, &plain)),
             Some(plain)
         );
+        let failed = ThreadExit::node_failed(9, 3);
+        assert_eq!(
+            decode_thread_exit(&encode_thread_exit(&pool, &failed)),
+            Some(failed)
+        );
+    }
+
+    #[test]
+    fn fault_tolerance_codecs_roundtrip() {
+        let pool = BufPool::new();
+        let nd = encode_node_dead(&pool, 3);
+        assert_eq!(decode_node_dead(&nd), Some(3));
+        assert_eq!(decode_node_dead(&nd[..2]), None);
+
+        let req = encode_ckpt_req(&pool, 0xC0FFEE);
+        assert_eq!(decode_ckpt_req(&req), Some(0xC0FFEE));
+        let ack = encode_ckpt_ack(&pool, 0xC0FFEE, 12);
+        assert_eq!(decode_ckpt_ack(&ack), Some((0xC0FFEE, 12)));
+        assert_eq!(peek_ckpt_id(&ack), Some(0xC0FFEE));
+
+        let rack = encode_reclaim_ack(&pool, 200);
+        assert_eq!(decode_reclaim_ack(&rack), Some(200));
     }
 
     #[test]

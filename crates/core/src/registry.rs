@@ -35,6 +35,11 @@ pub struct ThreadExit {
     /// Wire-encoded return value, for threads spawned through a
     /// value-returning entry point (`spawn_on_ret`, `pm2_thread_create_ret`).
     pub value: Option<Vec<u8>>,
+    /// Set when the thread did not exit at all: its node died and no
+    /// checkpoint covered it.  Typed joins surface this as
+    /// [`Pm2Error::NodeFailed`](crate::error::Pm2Error::NodeFailed) before
+    /// any other interpretation.
+    pub failed_node: Option<usize>,
 }
 
 impl ThreadExit {
@@ -46,6 +51,21 @@ impl ThreadExit {
             died_on,
             panic_msg: None,
             value: None,
+            failed_node: None,
+        }
+    }
+
+    /// The completion of a thread that never exited: its node died
+    /// uncheckpointed.  `panicked` is set too so untyped joins (`pm2_join`)
+    /// also report failure rather than success.
+    pub fn node_failed(tid: u64, node: usize) -> Self {
+        ThreadExit {
+            tid,
+            panicked: true,
+            died_on: node,
+            panic_msg: Some(format!("node {node} failed before the thread exited")),
+            value: None,
+            failed_node: Some(node),
         }
     }
 
@@ -60,6 +80,9 @@ impl ThreadExit {
     /// (`JoinHandle::join`/`try_join`, `pm2_join_value`).
     pub fn typed_value<R: madeleine::Wire>(self) -> crate::error::Result<R> {
         use crate::error::Pm2Error;
+        if let Some(n) = self.failed_node {
+            return Err(Pm2Error::NodeFailed(n));
+        }
         if self.panicked {
             return Err(Pm2Error::Panicked(self.panic_message().to_string()));
         }
@@ -80,6 +103,13 @@ pub struct Registry {
     /// threads park them here under their tid — the documented in-process
     /// shortcut, exactly like [`SpawnTable`] for closures.
     values: Mutex<HashMap<u64, Box<dyn Any + Send>>>,
+    /// Thread location table: tid → node currently (believed to be)
+    /// hosting it.  Written at spawn-send time (optimistically, so a spawn
+    /// in flight toward a dying node is still accounted for), updated on
+    /// train adoption, cleared on completion.  Recovery reads it to learn
+    /// which tids the dead node owned; on a real cluster this would be the
+    /// home-node forwarding table the paper assumes.
+    locations: Mutex<HashMap<u64, usize>>,
 }
 
 impl Registry {
@@ -90,6 +120,7 @@ impl Registry {
 
     /// Record a completion and wake waiters.
     pub fn complete(&self, exit: ThreadExit) {
+        self.clear_location(exit.tid);
         self.done.lock().unwrap().insert(exit.tid, exit);
         self.cv.notify_all();
     }
@@ -99,6 +130,7 @@ impl Registry {
     /// trails the dying node's direct [`Registry::complete`].  Overwriting
     /// would resurrect a return value a typed join already consumed.
     pub fn complete_if_absent(&self, exit: ThreadExit) {
+        self.clear_location(exit.tid);
         self.done.lock().unwrap().entry(exit.tid).or_insert(exit);
         self.cv.notify_all();
     }
@@ -118,6 +150,7 @@ impl Registry {
             died_on: e.died_on,
             panic_msg: e.panic_msg.clone(),
             value: None,
+            failed_node: e.failed_node,
         })
     }
 
@@ -184,6 +217,33 @@ impl Registry {
     /// Take the host-bound value parked under `tid`, if any.
     pub fn take_value(&self, tid: u64) -> Option<Box<dyn Any + Send>> {
         self.values.lock().unwrap().remove(&tid)
+    }
+
+    /// Record (or move) a live thread's location.
+    pub fn set_location(&self, tid: u64, node: usize) {
+        self.locations.lock().unwrap().insert(tid, node);
+    }
+
+    /// Forget a completed thread's location.
+    pub fn clear_location(&self, tid: u64) {
+        self.locations.lock().unwrap().remove(&tid);
+    }
+
+    /// Where a live thread currently is, if known.
+    pub fn location(&self, tid: u64) -> Option<usize> {
+        self.locations.lock().unwrap().get(&tid).copied()
+    }
+
+    /// Every live tid believed to be on `node` — the dead node's victim
+    /// list at recovery time.
+    pub fn located_on(&self, node: usize) -> Vec<u64> {
+        self.locations
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|&(_, &n)| n == node)
+            .map(|(&t, _)| t)
+            .collect()
     }
 }
 

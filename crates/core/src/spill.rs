@@ -1,0 +1,351 @@
+//! The spill log: migration trains on disk instead of on the wire.
+//!
+//! Iso-address packing makes a train fully position-independent, so the
+//! same bytes that cross the Madeleine fabric can land in an append-only
+//! file and replay later through the normal `MIGRATION` arrival path — a
+//! recovered thread is just a migration whose source no longer exists.
+//! Checkpoints (`NodeCtx::checkpoint_now`) append snapshot trains here;
+//! recovery (`Machine::recover_node`) reads the dead node's log back and
+//! re-ships the newest record group per thread to a survivor.
+//!
+//! ## Record framing
+//!
+//! ```text
+//! u32  magic      "PMSP"
+//! u32  body_len   train bytes that follow the header
+//! u64  epoch      per-node monotonic checkpoint counter
+//! u64  checksum   FNV-1a 64 over the body
+//! bytes body      one train (count + tid/off/len table + record groups)
+//! ```
+//!
+//! A checkpoint is **superseded, never mutated**: every append is a whole
+//! new record, and the reader keeps, per tid, only the newest epoch that
+//! mentions it.  The reader's failure policy mirrors the train unpacker's
+//! per-group isolation:
+//!
+//! * a **torn tail** (incomplete header, unknown magic, or a body the file
+//!   is too short to hold — the node died mid-append) ends the replay;
+//!   [`SpillLog::open`] truncates it away so the next append starts clean;
+//! * a **checksum mismatch** on a complete frame skips that one record and
+//!   keeps replaying — bit rot costs the record, never the log.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::error::{Pm2Error, Result};
+
+/// Frame magic: "PMSP" little-endian.
+const MAGIC: u32 = u32::from_le_bytes(*b"PMSP");
+/// Frame header length: magic + body_len + epoch + checksum.
+const HDR: usize = 4 + 4 + 8 + 8;
+
+/// FNV-1a 64-bit over `bytes` — dependency-free integrity check; this is
+/// corruption *detection*, not authentication.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Append handle for one node's spill log.
+pub struct SpillLog {
+    path: PathBuf,
+    file: File,
+}
+
+impl SpillLog {
+    /// Open (creating if needed) the log at `path` for appending.  Any torn
+    /// tail left by a crash mid-append is truncated away first, so the new
+    /// records always start on a frame boundary.
+    pub fn open(path: &Path) -> Result<SpillLog> {
+        let io = |e: std::io::Error| Pm2Error::Spill(format!("{}: {e}", path.display()));
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).map_err(io)?;
+        }
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)
+            .map_err(io)?;
+        let sound = sound_prefix_len(&mut file).map_err(io)?;
+        file.set_len(sound).map_err(io)?;
+        file.seek(SeekFrom::End(0)).map_err(io)?;
+        Ok(SpillLog {
+            path: path.to_path_buf(),
+            file,
+        })
+    }
+
+    /// Append one train under `epoch`.  The record is flushed before the
+    /// call returns; a crash mid-append leaves a torn tail the reader
+    /// truncates, never a half-record that parses.
+    pub fn append(&mut self, epoch: u64, train: &[u8]) -> Result<()> {
+        let io = |e: std::io::Error| Pm2Error::Spill(format!("{}: {e}", self.path.display()));
+        let mut hdr = [0u8; HDR];
+        hdr[0..4].copy_from_slice(&MAGIC.to_le_bytes());
+        hdr[4..8].copy_from_slice(&(train.len() as u32).to_le_bytes());
+        hdr[8..16].copy_from_slice(&epoch.to_le_bytes());
+        hdr[16..24].copy_from_slice(&fnv1a(train).to_le_bytes());
+        self.file.write_all(&hdr).map_err(io)?;
+        self.file.write_all(train).map_err(io)?;
+        self.file.flush().map_err(io)?;
+        Ok(())
+    }
+
+    /// The file this log appends to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// One intact record replayed from a spill log.
+#[derive(Debug, Clone)]
+pub struct SpillRecord {
+    /// The checkpoint epoch the record was written under.
+    pub epoch: u64,
+    /// The train bytes (replayable through the `MIGRATION` arrival path).
+    pub train: Vec<u8>,
+}
+
+/// Everything a replay recovered, plus what it had to drop.
+#[derive(Debug, Default)]
+pub struct SpillReplay {
+    /// Intact records in append order.
+    pub records: Vec<SpillRecord>,
+    /// Complete frames whose checksum did not match (skipped).
+    pub corrupt_skipped: usize,
+    /// Whether a torn tail (crash mid-append) was cut off.
+    pub torn_tail: bool,
+}
+
+impl SpillReplay {
+    /// The newest checkpointed record group per tid, across every record:
+    /// `tid → (epoch, group bytes)`.  Later epochs supersede earlier ones;
+    /// equal epochs (one thread twice in a log, e.g. after a re-open)
+    /// resolve to the record appended last.
+    pub fn latest_by_tid(&self) -> HashMap<u64, (u64, &[u8])> {
+        let mut newest: HashMap<u64, (u64, &[u8])> = HashMap::new();
+        for rec in &self.records {
+            let Some(table) = crate::migration::train_table(&rec.train) else {
+                continue; // checksum passed but the table is unreadable
+            };
+            for (tid, off, len) in table {
+                let Some(group) = rec.train.get(off..off + len) else {
+                    continue;
+                };
+                match newest.get(&tid) {
+                    Some(&(e, _)) if e > rec.epoch => {}
+                    _ => {
+                        newest.insert(tid, (rec.epoch, group));
+                    }
+                }
+            }
+        }
+        newest
+    }
+}
+
+/// Replay every intact record in the log at `path`.  A missing file is an
+/// empty replay (a node that never checkpointed has nothing to recover).
+pub fn replay(path: &Path) -> Result<SpillReplay> {
+    let io = |e: std::io::Error| Pm2Error::Spill(format!("{}: {e}", path.display()));
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(SpillReplay::default()),
+        Err(e) => return Err(io(e)),
+    };
+    Ok(replay_bytes(&bytes))
+}
+
+fn replay_bytes(bytes: &[u8]) -> SpillReplay {
+    let mut out = SpillReplay::default();
+    let mut off = 0;
+    while off < bytes.len() {
+        let Some((epoch, sum, body)) = parse_frame(&bytes[off..]) else {
+            out.torn_tail = true;
+            return out;
+        };
+        if fnv1a(body) == sum {
+            out.records.push(SpillRecord {
+                epoch,
+                train: body.to_vec(),
+            });
+        } else {
+            out.corrupt_skipped += 1;
+        }
+        off += HDR + body.len();
+    }
+    out
+}
+
+/// Parse one frame at the head of `bytes`; `None` means torn tail (short
+/// header, bad magic, or a body the buffer cannot hold).
+fn parse_frame(bytes: &[u8]) -> Option<(u64, u64, &[u8])> {
+    let hdr = bytes.get(..HDR)?;
+    if u32::from_le_bytes(hdr[0..4].try_into().expect("4-byte slice")) != MAGIC {
+        return None;
+    }
+    let body_len = u32::from_le_bytes(hdr[4..8].try_into().expect("4-byte slice")) as usize;
+    let epoch = u64::from_le_bytes(hdr[8..16].try_into().expect("8-byte slice"));
+    let sum = u64::from_le_bytes(hdr[16..24].try_into().expect("8-byte slice"));
+    let body = bytes.get(HDR..HDR + body_len)?;
+    Some((epoch, sum, body))
+}
+
+/// Byte length of the longest prefix of `file` made of whole frames (the
+/// cut point for torn-tail truncation on re-open).  Frames with bad
+/// checksums still count — their *framing* is sound, and the replayer
+/// skips them by content.
+fn sound_prefix_len(file: &mut File) -> std::io::Result<u64> {
+    let mut bytes = Vec::new();
+    file.seek(SeekFrom::Start(0))?;
+    file.read_to_end(&mut bytes)?;
+    let mut off = 0;
+    while off < bytes.len() {
+        match parse_frame(&bytes[off..]) {
+            Some((_, _, body)) => off += HDR + body.len(),
+            None => break,
+        }
+    }
+    Ok(off as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn scratch(name: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "pm2-spill-{}-{}-{}.log",
+            std::process::id(),
+            name,
+            n
+        ))
+    }
+
+    /// A minimal valid train: one thread, one fake record group.
+    fn fake_train(tid: u64, fill: u8) -> Vec<u8> {
+        crate::migration::build_train(&[(tid, &[fill; 32])])
+    }
+
+    #[test]
+    fn roundtrip_and_append_order() {
+        let p = scratch("roundtrip");
+        let mut log = SpillLog::open(&p).unwrap();
+        log.append(1, &fake_train(7, 0xAA)).unwrap();
+        log.append(2, &fake_train(8, 0xBB)).unwrap();
+        let r = replay(&p).unwrap();
+        assert_eq!(r.records.len(), 2);
+        assert_eq!(r.corrupt_skipped, 0);
+        assert!(!r.torn_tail);
+        assert_eq!(r.records[0].epoch, 1);
+        assert_eq!(r.records[1].epoch, 2);
+        let by_tid = r.latest_by_tid();
+        assert_eq!(by_tid.len(), 2);
+        assert_eq!(by_tid[&7].0, 1);
+        assert_eq!(by_tid[&8].0, 2);
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn missing_and_empty_files_replay_empty() {
+        let p = scratch("missing");
+        let r = replay(&p).unwrap();
+        assert!(r.records.is_empty() && !r.torn_tail);
+        std::fs::write(&p, b"").unwrap();
+        let r = replay(&p).unwrap();
+        assert!(r.records.is_empty() && !r.torn_tail);
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_open() {
+        let p = scratch("torn");
+        let mut log = SpillLog::open(&p).unwrap();
+        log.append(1, &fake_train(7, 0x11)).unwrap();
+        log.append(2, &fake_train(7, 0x22)).unwrap();
+        drop(log);
+        // Crash mid-append: a partial header lands after the good records.
+        let whole = std::fs::read(&p).unwrap();
+        let mut torn = whole.clone();
+        torn.extend_from_slice(&MAGIC.to_le_bytes());
+        torn.extend_from_slice(&[0x55; 7]); // half a length field + junk
+        std::fs::write(&p, &torn).unwrap();
+        let r = replay(&p).unwrap();
+        assert_eq!(r.records.len(), 2, "records before the tear replay");
+        assert!(r.torn_tail);
+        // Re-open truncates the tear; the next append lands on a boundary.
+        let mut log = SpillLog::open(&p).unwrap();
+        assert_eq!(std::fs::metadata(&p).unwrap().len(), whole.len() as u64);
+        log.append(3, &fake_train(9, 0x33)).unwrap();
+        let r = replay(&p).unwrap();
+        assert_eq!(r.records.len(), 3);
+        assert!(!r.torn_tail);
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn checksum_mismatch_skips_one_record_only() {
+        let p = scratch("sum");
+        let mut log = SpillLog::open(&p).unwrap();
+        log.append(1, &fake_train(7, 0x11)).unwrap();
+        let second_at = std::fs::metadata(&p).unwrap().len() as usize;
+        log.append(2, &fake_train(8, 0x22)).unwrap();
+        log.append(3, &fake_train(9, 0x33)).unwrap();
+        drop(log);
+        // Flip a body byte in the middle record: framing stays sound.
+        let mut bytes = std::fs::read(&p).unwrap();
+        bytes[second_at + HDR + 10] ^= 0xFF;
+        std::fs::write(&p, &bytes).unwrap();
+        let r = replay(&p).unwrap();
+        assert_eq!(r.records.len(), 2);
+        assert_eq!(r.corrupt_skipped, 1);
+        assert!(!r.torn_tail);
+        let by_tid = r.latest_by_tid();
+        assert!(by_tid.contains_key(&7) && by_tid.contains_key(&9));
+        assert!(!by_tid.contains_key(&8), "the corrupt record is gone");
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn garbage_file_replays_nothing() {
+        let p = scratch("garbage");
+        std::fs::write(&p, [0xDE; 300]).unwrap();
+        let r = replay(&p).unwrap();
+        assert!(r.records.is_empty());
+        assert!(r.torn_tail, "unknown magic reads as a tear");
+        // Opening for append truncates it to zero and works.
+        let mut log = SpillLog::open(&p).unwrap();
+        log.append(1, &fake_train(7, 0x11)).unwrap();
+        assert_eq!(replay(&p).unwrap().records.len(), 1);
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn epoch_supersession_picks_the_newest_checkpoint() {
+        let p = scratch("epoch");
+        let mut log = SpillLog::open(&p).unwrap();
+        log.append(1, &fake_train(7, 0x01)).unwrap();
+        log.append(2, &fake_train(7, 0x02)).unwrap();
+        // Two threads in one train at epoch 3.
+        let t = crate::migration::build_train(&[(7, &[0x03; 16]), (8, &[0x30; 16])]);
+        log.append(3, &t).unwrap();
+        let r = replay(&p).unwrap();
+        let by_tid = r.latest_by_tid();
+        let (epoch, group) = by_tid[&7];
+        assert_eq!(epoch, 3);
+        assert_eq!(group, &[0x03; 16]);
+        assert_eq!(by_tid[&8].0, 3);
+        std::fs::remove_file(&p).unwrap();
+    }
+}

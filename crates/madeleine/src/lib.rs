@@ -66,7 +66,7 @@ pub mod wire;
 pub use buf::{BufPool, BufPoolStats, Payload, PayloadBuf};
 pub use doorbell::Doorbell;
 pub use message::Message;
-pub use network::{Endpoint, Fabric, NetError};
+pub use network::{DeathWatch, Endpoint, Fabric, NetError};
 pub use profile::{spin_for, NetProfile};
 pub use stats::{EndpointStats, EndpointStatsSnapshot};
 pub use wire::Wire;

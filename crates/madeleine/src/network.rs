@@ -19,6 +19,7 @@
 //! to their origin endpoint's free list when the receiver drops them.
 
 use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -38,6 +39,10 @@ pub enum NetError {
     NoSuchNode(usize),
     /// The destination endpoint has been dropped.
     Disconnected(usize),
+    /// The named node has been declared dead ([`Endpoint::mark_dead`]).
+    /// Sends *to* a corpse fail instead of enqueuing to nowhere, and sends
+    /// *from* a corpse fail so a zombie driver cannot keep talking.
+    NodeDead(usize),
 }
 
 impl std::fmt::Display for NetError {
@@ -45,6 +50,7 @@ impl std::fmt::Display for NetError {
         match self {
             NetError::NoSuchNode(n) => write!(f, "no such node: {n}"),
             NetError::Disconnected(n) => write!(f, "node {n} disconnected"),
+            NetError::NodeDead(n) => write!(f, "node {n} is dead"),
         }
     }
 }
@@ -58,6 +64,11 @@ struct Shared {
     /// Doorbell rung when a message is enqueued for node *i*.  Entries may
     /// alias one shared bell (deterministic-mode single driver).
     doorbells: Vec<Doorbell>,
+    /// Death certificates, one per node.  Set once (never cleared) by
+    /// [`Endpoint::mark_dead`]; the send path refuses traffic to *and from*
+    /// a flagged node, turning "enqueue to nowhere" into a typed error the
+    /// moment a failure is declared.
+    dead: Vec<AtomicBool>,
 }
 
 /// Factory for a set of connected endpoints.
@@ -91,11 +102,13 @@ impl Fabric {
             receivers.push(rx);
         }
         let stats: Vec<_> = (0..n).map(|_| Arc::new(EndpointStats::default())).collect();
+        let dead = (0..n).map(|_| AtomicBool::new(false)).collect();
         let shared = Arc::new(Shared {
             senders,
             profile,
             stats,
             doorbells,
+            dead,
         });
         receivers
             .into_iter()
@@ -108,6 +121,25 @@ impl Fabric {
                 seq: Cell::new(0),
             })
             .collect()
+    }
+}
+
+/// A cheap, cloneable, `Send + Sync` view of the fabric's death
+/// certificates.  Lets host-side handles (a typed join handle, say)
+/// observe node deaths without holding an [`Endpoint`] — an endpoint owns
+/// its receiver and cannot be cloned.
+#[derive(Clone)]
+pub struct DeathWatch {
+    shared: Arc<Shared>,
+}
+
+impl DeathWatch {
+    /// True when `node` has been declared dead ([`Endpoint::mark_dead`]).
+    pub fn is_dead(&self, node: usize) -> bool {
+        self.shared
+            .dead
+            .get(node)
+            .is_some_and(|f| f.load(Ordering::Acquire))
     }
 }
 
@@ -148,6 +180,13 @@ impl Endpoint {
         &self.pool
     }
 
+    /// A cloneable [`DeathWatch`] over this fabric's death certificates.
+    pub fn death_watch(&self) -> DeathWatch {
+        DeathWatch {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
     /// Send `payload` to `dst` under `tag`.  Asynchronous; the modelled
     /// wire time is recorded on the message and charged at the receiver.
     ///
@@ -181,6 +220,14 @@ impl Endpoint {
             .senders
             .get(dst)
             .ok_or(NetError::NoSuchNode(dst))?;
+        // A dead destination is unreachable; a dead *source* is a zombie
+        // whose late traffic must be dropped at the NIC, not delivered.
+        if self.shared.dead[dst].load(Ordering::Acquire) {
+            return Err(NetError::NodeDead(dst));
+        }
+        if self.shared.dead[self.node].load(Ordering::Acquire) {
+            return Err(NetError::NodeDead(self.node));
+        }
         let len = payload.len();
         let wire_ns = if dst != self.node {
             self.shared.profile.delay_for(len).as_nanos() as u64
@@ -222,11 +269,36 @@ impl Endpoint {
     pub fn broadcast(&self, tag: u16, payload: impl Into<Payload>) -> Result<(), NetError> {
         let payload = payload.into();
         for dst in 0..self.n_nodes() {
-            if dst != self.node {
+            // Skip corpses: a broadcast reaches every *survivor* (e.g. the
+            // NODE_DEAD announcement itself) instead of aborting at the
+            // first dead destination.
+            if dst != self.node && !self.is_dead(dst) {
                 self.send_payload(dst, tag, payload.clone())?;
             }
         }
         Ok(())
+    }
+
+    /// Declare `node` dead fabric-wide.  Idempotent and irreversible: every
+    /// subsequent send to — or from — `node` fails with
+    /// [`NetError::NodeDead`].  Messages already enqueued are unaffected
+    /// (they were "on the wire" when the node died); embedders drop those
+    /// at dispatch by checking the source against their own dead set.
+    pub fn mark_dead(&self, node: usize) {
+        if let Some(flag) = self.shared.dead.get(node) {
+            flag.store(true, Ordering::Release);
+            // Wake the corpse's driver (and any shared-bell driver) so it
+            // can observe the death instead of parking forever.
+            self.shared.doorbells[node].ring();
+        }
+    }
+
+    /// Has `node` been declared dead?
+    pub fn is_dead(&self, node: usize) -> bool {
+        self.shared
+            .dead
+            .get(node)
+            .is_some_and(|f| f.load(Ordering::Acquire))
     }
 
     /// Non-blocking poll.  If a message is pending, the caller pays its
@@ -485,6 +557,29 @@ mod tests {
     fn bad_destination() {
         let eps = Fabric::new(2, NetProfile::instant());
         assert_eq!(eps[0].send(5, 0, Vec::new()), Err(NetError::NoSuchNode(5)));
+    }
+
+    #[test]
+    fn dead_node_refuses_traffic_both_ways() {
+        let eps = Fabric::new(3, NetProfile::instant());
+        eps[0].send(1, 0, vec![1]).unwrap();
+        eps[0].mark_dead(1);
+        assert!(
+            eps[1].is_dead(1) && eps[2].is_dead(1),
+            "death is fabric-wide"
+        );
+        // To the corpse: typed error, not enqueue-to-nowhere.
+        assert_eq!(eps[0].send(1, 0, Vec::new()), Err(NetError::NodeDead(1)));
+        // From the corpse (zombie): also refused.
+        assert_eq!(eps[1].send(2, 0, Vec::new()), Err(NetError::NodeDead(1)));
+        // In-flight messages from before the death are still deliverable.
+        assert_eq!(eps[1].try_recv().unwrap().payload, vec![1]);
+        // Broadcast skips the corpse and reaches the survivor.
+        eps[0].broadcast(7, Vec::new()).unwrap();
+        assert_eq!(eps[2].try_recv().unwrap().tag, 7);
+        // mark_dead is idempotent.
+        eps[2].mark_dead(1);
+        assert!(eps[0].is_dead(1));
     }
 
     #[test]

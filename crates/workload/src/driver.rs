@@ -272,6 +272,29 @@ struct OpRequest {
     op: SampledOp,
 }
 
+/// Route an op away from dead nodes, the way a front-end stops routing
+/// to a dead replica: the issue node moves to the next survivor, and the
+/// peer to the next survivor distinct from the issue node.  No-op on a
+/// healthy machine, so plain ramps never pay for it.
+fn reroute_dead(m: &Machine, op: &mut SampledOp) {
+    let nodes = m.nodes();
+    let next_alive = |from: usize, avoid: Option<usize>| {
+        (1..=nodes)
+            .map(|d| (from + d) % nodes)
+            .find(|&n| !m.is_node_dead(n) && Some(n) != avoid)
+    };
+    if m.is_node_dead(op.issue_on) {
+        if let Some(n) = next_alive(op.issue_on, None) {
+            op.issue_on = n;
+        }
+    }
+    if (m.is_node_dead(op.peer) || op.peer == op.issue_on) && nodes > 1 {
+        if let Some(n) = next_alive(op.peer, Some(op.issue_on)) {
+            op.peer = n;
+        }
+    }
+}
+
 /// Raw numbers out of one round, before the controller judges it.
 struct RoundStats {
     issued: u64,
@@ -341,7 +364,8 @@ fn run_round(
         for req in rx.iter() {
             let body_counters = Arc::clone(&counters);
             let hist = Arc::clone(&hist);
-            let OpRequest { due, op } = req;
+            let OpRequest { due, mut op } = req;
+            reroute_dead(m, &mut op);
             let r = m.spawn_on(op.issue_on, move || match perform(op) {
                 Ok(()) => {
                     hist.record_us(due.elapsed().as_micros() as u64);
@@ -389,6 +413,63 @@ fn run_round(
     }
 }
 
+/// Judge one round's raw stats with the controller and fold everything
+/// into a [`RoundReport`].
+fn judge_round(ctl: &mut RampController, rps: u64, s: RoundStats) -> RoundReport {
+    let failure_rate = if s.issued == 0 {
+        0.0
+    } else {
+        (s.failed + s.timed_out) as f64 / s.issued as f64
+    };
+    let p50_ms = s.hist.quantile_us(0.50) / 1e3;
+    let p90_ms = s.hist.quantile_us(0.90) / 1e3;
+    let p99_ms = s.hist.quantile_us(0.99) / 1e3;
+    let verdict = ctl.record(RoundMeasurement {
+        rps,
+        failure_rate,
+        p50_ms,
+        p99_ms,
+    });
+    RoundReport {
+        rps,
+        issued: s.issued,
+        ok: s.ok,
+        failed: s.failed,
+        timed_out: s.timed_out,
+        failure_rate,
+        p50_ms,
+        p90_ms,
+        p99_ms,
+        mean_ms: s.hist.mean_us() / 1e3,
+        quiesced: s.quiesced,
+        machine: s.machine,
+        verdict,
+    }
+}
+
+/// Run one fixed-rate round outside a ramp and judge it against the
+/// config's SLO gates (a one-shot controller pinned to `rps`).  The chaos
+/// scenarios reuse the open-loop driver and the gate without the
+/// escalating schedule.  [`register_services`] must have been called on
+/// `m` first.
+pub fn run_gated_round(
+    m: &Machine,
+    spec: &WorkloadSpec,
+    cfg: &RampConfig,
+    rps: u64,
+    round_idx: u64,
+    injectors: usize,
+) -> RoundReport {
+    let mut ctl = RampController::new(RampConfig {
+        initial_rps: rps,
+        increment_rps: 0,
+        max_rps: rps,
+        ..cfg.clone()
+    });
+    let s = run_round(m, spec, cfg, rps, round_idx, injectors);
+    judge_round(&mut ctl, rps, s)
+}
+
 /// Ramp a workload on a running machine until an SLO breaks (or the
 /// ceiling is reached) and report every round plus the max sustainable
 /// rate.  [`register_services`] must have been called on `m` first.
@@ -403,35 +484,7 @@ pub fn run_ramp(
     let mut round_idx = 0u64;
     while let Some(rps) = ctl.next_rps() {
         let s = run_round(m, spec, ctl.config(), rps, round_idx, injectors);
-        let failure_rate = if s.issued == 0 {
-            0.0
-        } else {
-            (s.failed + s.timed_out) as f64 / s.issued as f64
-        };
-        let p50_ms = s.hist.quantile_us(0.50) / 1e3;
-        let p90_ms = s.hist.quantile_us(0.90) / 1e3;
-        let p99_ms = s.hist.quantile_us(0.99) / 1e3;
-        let verdict = ctl.record(RoundMeasurement {
-            rps,
-            failure_rate,
-            p50_ms,
-            p99_ms,
-        });
-        rounds.push(RoundReport {
-            rps,
-            issued: s.issued,
-            ok: s.ok,
-            failed: s.failed,
-            timed_out: s.timed_out,
-            failure_rate,
-            p50_ms,
-            p90_ms,
-            p99_ms,
-            mean_ms: s.hist.mean_us() / 1e3,
-            quiesced: s.quiesced,
-            machine: s.machine,
-            verdict,
-        });
+        rounds.push(judge_round(&mut ctl, rps, s));
         round_idx += 1;
     }
     CapacityReport {

@@ -44,12 +44,17 @@
 //! m.shutdown();
 //! ```
 
+mod chaos;
 mod driver;
 mod hist;
 mod ramp;
 mod spec;
 
-pub use driver::{register_services, run_ramp, CapacityReport, Echo, MachineCounters, RoundReport};
+pub use chaos::{run_kill_node, ChaosReport, CHAOS_RESIDENTS};
+pub use driver::{
+    register_services, run_gated_round, run_ramp, CapacityReport, Echo, MachineCounters,
+    RoundReport,
+};
 pub use hist::{LogHistogram, N_BUCKETS};
 pub use ramp::{RampConfig, RampController, RoundMeasurement, Verdict};
 pub use spec::{OpKind, SampledOp, SizeDist, Targeting, WorkloadSpec};

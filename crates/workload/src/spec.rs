@@ -149,6 +149,30 @@ impl WorkloadSpec {
         }
     }
 
+    /// The `kill_node` chaos mix: [`WorkloadSpec::mixed`] without the
+    /// broadcast fan-out.  A green-side broadcast has no membership view
+    /// and would dial the corpse by construction; every other op kind is
+    /// rerouted around dead nodes by the driver.
+    pub fn chaos() -> Self {
+        WorkloadSpec {
+            name: "chaos_kill_node".into(),
+            mix: vec![
+                (OpKind::Spawn, 30),
+                (OpKind::Rpc, 40),
+                (OpKind::Migrate, 15),
+                (OpKind::Alloc, 10),
+                (OpKind::GroupMigrate { group: 4 }, 5),
+            ],
+            payload: SizeDist::Bimodal {
+                small: 64,
+                large: 8 * 1024,
+                p_large: 0.05,
+            },
+            targeting: Targeting::Uniform,
+            seed: 0xD0A,
+        }
+    }
+
     /// Builder: replace the seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;

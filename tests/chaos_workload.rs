@@ -1,0 +1,67 @@
+//! The `kill_node` chaos scenario end to end: a node dies under a mixed
+//! workload, and the capacity harness's own SLO gates judge the
+//! survivors.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use pm2::{Machine, Pm2Config};
+use pm2_workload::{register_services, run_kill_node, RampConfig, Verdict, CHAOS_RESIDENTS};
+
+fn scratch_dir(name: &str) -> std::path::PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "pm2-chaos-{name}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn kill_node_under_load_passes_the_slo_gates() {
+    let dir = scratch_dir("kill");
+    let mut m = Machine::launch(
+        Pm2Config::test(4)
+            .with_reply_deadline(Duration::from_secs(5))
+            .with_spill_dir(&dir),
+    )
+    .unwrap();
+    register_services(&m);
+
+    // A modest fixed rate: the gate should judge fault handling, not
+    // saturation.  Generous drain/quiet windows keep CI machines honest.
+    let cfg = RampConfig {
+        round_duration: Duration::from_millis(300),
+        drain_grace: Duration::from_secs(2),
+        quiet_timeout: Duration::from_secs(10),
+        ..RampConfig::default()
+    };
+    let rep = run_kill_node(&mut m, 1, &cfg, 50, 2).unwrap();
+
+    assert!(rep.slo_ok(), "chaos drill broke an SLO: {}", rep.summary());
+    assert_eq!(rep.baseline.verdict, Verdict::Pass, "{}", rep.summary());
+    assert_eq!(rep.aftermath.verdict, Verdict::Pass, "{}", rep.summary());
+    assert_eq!(rep.recovery.dead_node, 1);
+    assert_eq!(
+        rep.residents_recovered,
+        CHAOS_RESIDENTS,
+        "every checkpointed resident must survive the node: {}",
+        rep.summary()
+    );
+    assert!(
+        rep.checkpointed >= CHAOS_RESIDENTS as u32,
+        "the checkpoint must at least cover the residents"
+    );
+    assert!(
+        rep.recovery.slots_reclaimed > 0,
+        "the corpse's slots must be reclaimed: {}",
+        rep.summary()
+    );
+
+    // The ownership partition is whole again after the drill.
+    m.audit().unwrap().check_partition().unwrap();
+    m.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
