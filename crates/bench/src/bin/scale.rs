@@ -1,0 +1,11 @@
+//! Emit `BENCH_scale.json` (machine-size scaling on the multiplexed
+//! executor: idle/hop/evacuation/negotiation/workload drills at p = 16,
+//! 64 and 256 nodes, per-node cost curves).
+//!
+//! ```sh
+//! cargo run --release -p pm2-bench --bin scale
+//! ```
+
+fn main() {
+    pm2_bench::write_scale_json();
+}

@@ -10,6 +10,7 @@ pub mod latency;
 pub mod negotiate;
 pub mod recovery;
 pub mod report;
+pub mod scale;
 pub mod throughput;
 
 pub use evacuation::*;
@@ -18,4 +19,5 @@ pub use latency::*;
 pub use negotiate::*;
 pub use recovery::*;
 pub use report::*;
+pub use scale::*;
 pub use throughput::*;

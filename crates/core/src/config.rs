@@ -89,6 +89,13 @@ pub struct Pm2Config {
     /// traffic wakes a parked driver immediately and a quiescent machine
     /// wakes only once per `idle_park`.
     pub idle_park: Duration,
+    /// Worker threads the threaded-mode executor multiplexes the node
+    /// drivers onto.  `0` (the default) sizes the pool automatically:
+    /// `min(available cores, nodes)`.  Deterministic mode ignores it (one
+    /// driver thread by definition).  A p = 256 machine on a laptop runs
+    /// on a handful of workers; nodes are state machines woken by their
+    /// doorbells, not threads.
+    pub workers: usize,
     /// Upper bound on threads coalesced into one migration *train* (one
     /// `MIGRATION` wire message).  When a departure is packed, every other
     /// ready thread already flagged for migration is swept along and
@@ -167,6 +174,7 @@ impl Pm2Config {
             max_rpc_payload: 1 << 20,
             pump_budget: 64,
             idle_park: Duration::from_millis(500),
+            workers: 0,
             max_train: 64,
             slot_trade: true,
             slot_low_watermark: 4,
@@ -276,6 +284,12 @@ impl Pm2Config {
     /// Builder: idle-park backstop duration.
     pub fn with_idle_park(mut self, park: Duration) -> Self {
         self.idle_park = park;
+        self
+    }
+
+    /// Builder: executor worker-pool size (0 = auto-size to the host).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
         self
     }
 
@@ -467,6 +481,13 @@ impl MachineBuilder {
         self
     }
 
+    /// Executor worker-pool size for threaded mode; 0 auto-sizes to
+    /// `min(cores, nodes)` (see [`Pm2Config::workers`]).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.cfg.workers = workers;
+        self
+    }
+
     /// Migration-train size cap — most threads coalesced into one
     /// `MIGRATION` message; 1 disables coalescing (see
     /// [`Pm2Config::max_train`]).
@@ -600,6 +621,15 @@ mod tests {
         assert_eq!(c.reply_deadline, Duration::from_millis(1500));
         assert_eq!(c.max_rpc_payload, 4096);
         assert!(c.echo_output);
+    }
+
+    #[test]
+    fn workers_knob_roundtrips() {
+        let c = MachineBuilder::new(8).workers(3).into_config();
+        assert_eq!(c.workers, 3);
+        let d = Pm2Config::new(8);
+        assert_eq!(d.workers, 0, "auto-sized pool is the default");
+        assert_eq!(Pm2Config::new(8).with_workers(2).workers, 2);
     }
 
     #[test]

@@ -13,6 +13,28 @@ pub(crate) fn on_shutdown(ctx: &mut NodeCtx) {
     ctx.maybe_ack_shutdown();
 }
 
+/// Liveness probe.  The arrival itself already refreshed the sender's
+/// last-heard stamp in `ingest`; a payload byte of 1 is a suspicion ping
+/// that asks for an answering pong (empty payload), so a suspected but
+/// healthy node clears the suspicion with exactly one message.  Probes
+/// are rate-limited per suspect by the sender, so pongs cannot flood.
+pub(crate) fn on_heartbeat(ctx: &mut NodeCtx, m: &Message) {
+    if m.payload.first() == Some(&1) && m.src != ctx.node && m.src < ctx.n_nodes {
+        let _ = ctx.ep.send(m.src, tag::HEARTBEAT, Vec::new());
+    }
+}
+
+/// Epidemic digest: merge every entry (strictly-newer sequence wins; see
+/// `NodeCtx::absorb_gossip`).  A malformed digest is dropped whole — the
+/// next round supersedes it anyway.
+pub(crate) fn on_gossip(ctx: &mut NodeCtx, m: &Message) {
+    if let Some(entries) = proto::decode_gossip(&m.payload) {
+        for e in entries {
+            ctx.absorb_gossip(e);
+        }
+    }
+}
+
 pub(crate) fn on_audit_req(ctx: &mut NodeCtx, from: usize) {
     let report = crate::audit::encode_node_report(ctx);
     let _ = ctx.ep.send(from, tag::AUDIT_RESP, report);

@@ -83,7 +83,8 @@ pub(crate) fn classify(t: u16) -> Class {
         | tag::CKPT_ACK
         | tag::NODE_RECLAIM
         | tag::RECLAIM_ACK
-        | tag::HEARTBEAT => Class::Control,
+        | tag::HEARTBEAT
+        | tag::GOSSIP => Class::Control,
         tag::MIGRATION | tag::MIGRATION_NAK | tag::MIGRATE_CMD => Class::Migration,
         // LOAD_REQ is deliberately *data*-class despite being served by the
         // control module: a load probe asks about the application plane, so
@@ -142,9 +143,10 @@ pub(crate) fn dispatch(ctx: &mut NodeCtx, m: Message) {
         tag::NODE_DEAD => control::on_node_dead(ctx, &m),
         tag::CKPT_REQ => control::on_ckpt_req(ctx, m),
         tag::NODE_RECLAIM => control::on_node_reclaim(ctx, m),
-        // The beacon's only job was refreshing the sender's last-heard
-        // stamp, which ingest already did.
-        tag::HEARTBEAT => {}
+        // Arrival already refreshed the sender's last-heard stamp in
+        // ingest; a ping byte additionally requests an answering pong.
+        tag::HEARTBEAT => control::on_heartbeat(ctx, &m),
+        tag::GOSSIP => control::on_gossip(ctx, &m),
         t => panic!("node {}: unknown message tag {t}", ctx.node),
     }
 }
@@ -161,6 +163,8 @@ mod tests {
         assert_eq!(classify(tag::LOAD_RESP), Class::Control);
         assert_eq!(classify(tag::SLOT_TRADE_REQ), Class::Control);
         assert_eq!(classify(tag::SLOT_TRADE_RESP), Class::Control);
+        assert_eq!(classify(tag::GOSSIP), Class::Control);
+        assert_eq!(classify(tag::HEARTBEAT), Class::Control);
         assert_eq!(classify(tag::MIGRATION), Class::Migration);
         assert_eq!(classify(tag::MIGRATE_CMD), Class::Migration);
         assert_eq!(

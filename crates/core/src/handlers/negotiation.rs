@@ -171,11 +171,15 @@ pub(crate) fn on_slot_trade_resp(ctx: &mut NodeCtx, m: Message) {
     ctx.stats.trade_slots_in.fetch_add(total, Ordering::Relaxed);
 }
 
-/// Refresh the wealth hint table from a `LOAD_RESP` on its way to the
-/// reply queue.
+/// Refresh the wealth and load hint tables from a `LOAD_RESP` on its way
+/// to the reply queue — a direct probe answer is at least as fresh as any
+/// gossiped entry about the same peer.
 pub(crate) fn note_load_wealth(ctx: &mut NodeCtx, m: &Message) {
-    if let Some(w) = proto::peek_load_wealth(&m.payload) {
+    if let Some((resident, w)) = proto::peek_load_hints(&m.payload) {
         ctx.set_peer_wealth(m.src, w as u64);
+        if let Some(l) = ctx.peer_load.get_mut(m.src) {
+            *l = resident;
+        }
     }
 }
 

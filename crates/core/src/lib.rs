@@ -208,6 +208,55 @@
 //! pool churn), not just that it did.  `BENCH_throughput.json` tracks
 //! the resulting trajectory for two mixes at p = 4 and p = 8.
 //!
+//! ## The multiplexed executor: p = 256 nodes on N cores
+//!
+//! Threaded mode used to pin one OS thread per simulated node, so the
+//! machine size was capped by what the host could context-switch —
+//! p = 256 meant 256 competing driver threads.  Since ISSUE 8 the node
+//! drivers are *tasks* on a shared work-stealing pool (`executor`,
+//! crate-internal): each node carries an atomic run-state
+//! (idle/queued/running/notified), a doorbell enqueues it when traffic
+//! arrives, and `workers` pool threads (builder knob, default
+//! `available_parallelism`) dispatch ready nodes round-robin with a
+//! fairness budget of 32 driver steps per dispatch — one flooded node
+//! cannot starve the other 255 (`tests/scale.rs` pins this).  A
+//! quiescent machine parks the whole pool on a condvar; a periodic tick
+//! requeues nodes only when gossip, detector or checkpoint work is
+//! actually due.  Deterministic mode is untouched: same dispatch core,
+//! single-stepped round-robin, no pool.
+//!
+//! Multiplexing the drivers is only half of scaling p; the protocols
+//! must also shed their O(p)-per-node costs ([`node`]'s module header
+//! has the full accounting):
+//!
+//! * **liveness piggybacks + gossip** — any received message refreshes
+//!   the sender's silence stamp, and once per heartbeat interval each
+//!   node pushes an epidemic digest (own wealth/load claim + a relayed
+//!   sample of its table, budget growing as p/8 up to 32 entries) to 2
+//!   random live peers — O(1) messages per node per round, machine-wide
+//!   convergence in O(log p) rounds.  The old all-pairs HEARTBEAT
+//!   beacon is gone; direct probes go only to *suspects* (silent past
+//!   half the timeout), at most a handful per scan, and an incremental
+//!   cursor spreads the silence scan over driver steps instead of
+//!   walking all p stamps per tick;
+//! * **sampled economics** — above 16 nodes the trader's
+//!   `richest_peer` draws a bounded random sample of the gossiped
+//!   wealth table instead of scanning it, and the load balancer probes
+//!   a power-of-two-choices style sample of peers (`loadbal`'s `sample`
+//!   knob) instead of all p;
+//! * **what stays O(p), deliberately** — death certificates and
+//!   recovery broadcasts (rare, correctness-critical), the §4.4 global
+//!   negotiation fallback (round-robin slot interleaving makes
+//!   multi-slot requests inherently global; the trade path covers the
+//!   common case), and per-node tables indexed by peer id (O(p) memory,
+//!   O(1) access).
+//!
+//! `BENCH_scale.json` (`cargo run --release -p pm2-bench --bin scale`)
+//! tracks the result: idle per-node traffic, hop/evacuation/negotiation
+//! per-op cost and harness max-RPS at p = 16/64/256, with the p = 256
+//! machine running all drills on a pool of a few workers and per-node
+//! curves flat to within 2× of p = 16.
+//!
 //! ## Crate layout
 //!
 //! * [`machine`] / [`node`] — the simulated cluster: one scheduler + slot
@@ -242,6 +291,7 @@ pub mod api;
 pub mod audit;
 pub mod config;
 pub mod error;
+pub(crate) mod executor;
 pub(crate) mod handlers;
 pub mod iso;
 pub mod legacy;
@@ -254,6 +304,7 @@ pub mod nodeheap;
 pub mod output;
 pub mod proto;
 pub mod registry;
+pub(crate) mod rng;
 pub mod service;
 pub mod spill;
 

@@ -36,6 +36,19 @@
 //! ack before sending the next, so evacuating 64 threads cost 64
 //! serialized RTTs; now it costs one RTT per destination pair plus one
 //! train per destination.
+//!
+//! ## Sampled probing at scale
+//!
+//! Probing all p nodes per round is the balancer's own O(p) tax, and at
+//! p = 256 it dominates the round.  Above [`crate::node::FULL_PROBE_MAX`]
+//! nodes the gather switches to a **gossip-informed sample**: draw a
+//! seeded handful of candidate peers, rank them by the epidemic load
+//! hints every node already maintains, and probe only the most- and
+//! least-loaded halves — the power-of-two-choices insight that comparing
+//! a few sampled extremes balances almost as well as comparing everyone.
+//! Rounds are O(k) on the wire regardless of p; successive rounds draw
+//! fresh samples, so every imbalance is eventually visible.  Machines at
+//! or below `FULL_PROBE_MAX` keep the exact full-probe behaviour.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -63,7 +76,15 @@ pub struct BalancerConfig {
     /// answer instead of wedging the daemon until the machine-wide reply
     /// deadline.
     pub round_deadline: Duration,
+    /// Peers probed per round.  `0` = auto: every node on machines up to
+    /// [`crate::node::FULL_PROBE_MAX`] nodes, a gossip-informed sample of
+    /// [`AUTO_SAMPLE`] beyond that.  An explicit value forces that sample
+    /// size (clamped to p); see the module notes on sampled probing.
+    pub sample: usize,
 }
+
+/// Default probe-sample size above [`crate::node::FULL_PROBE_MAX`] nodes.
+pub const AUTO_SAMPLE: usize = 8;
 
 impl Default for BalancerConfig {
     fn default() -> Self {
@@ -72,6 +93,7 @@ impl Default for BalancerConfig {
             threshold: 1,
             max_moves_per_round: 8,
             round_deadline: Duration::from_millis(250),
+            sample: 0,
         }
     }
 }
@@ -165,14 +187,64 @@ struct Load {
     migratable: Vec<u64>,
 }
 
+/// Choose this round's probe targets from a seeded candidate draw ranked
+/// by the gossiped load hints: the `k/2` least-loaded (destination
+/// candidates) plus the `k/2` most-loaded (source candidates), self
+/// always included.  Pure so the bias is unit-testable; the draw budget
+/// is bounded, never a scan, so a machine of corpses costs O(k) too.
+/// With an all-zero hint table (gossip not yet converged) the bias
+/// degenerates to a uniform random sample, which still converges —
+/// successive rounds draw fresh candidates.
+fn pick_sample(
+    p: usize,
+    k: usize,
+    me: usize,
+    hints: &[u32],
+    dead: &std::collections::HashSet<usize>,
+    rng: &crate::rng::SplitMix64,
+) -> Vec<usize> {
+    let mut cand: Vec<usize> = Vec::with_capacity(2 * k);
+    for _ in 0..(4 * k) {
+        if cand.len() >= 2 * k {
+            break;
+        }
+        let n = rng.below(p);
+        if n == me || dead.contains(&n) || cand.contains(&n) {
+            continue;
+        }
+        cand.push(n);
+    }
+    cand.sort_by_key(|&n| hints.get(n).copied().unwrap_or(0));
+    let lo = k / 2;
+    let hi = k - lo;
+    let mut targets: Vec<usize> = cand.iter().take(lo).copied().collect();
+    targets.extend(cand.iter().rev().take(hi));
+    targets.push(me);
+    targets.sort_unstable();
+    targets.dedup();
+    targets
+}
+
 fn balance_round(p: usize, cfg: &BalancerConfig, counters: &Counters) -> Result<()> {
     let pool = api::local_pool();
     let deadline = Instant::now() + cfg.round_deadline;
     // Gather loads (the daemon itself counts towards node 0's load; the
     // threshold absorbs it).  A probe refused with a death certificate
     // drops that node from the round — corpses have no load to balance.
+    // Above FULL_PROBE_MAX nodes (or with an explicit `sample` knob) the
+    // gather probes a gossip-informed sample instead of all p.
+    let k = match cfg.sample {
+        0 if p <= crate::node::FULL_PROBE_MAX => p,
+        0 => AUTO_SAMPLE,
+        k => k,
+    };
+    let targets: Vec<usize> = if k >= p {
+        (0..p).collect()
+    } else {
+        crate::node::with_ctx(|c| pick_sample(p, k, c.node, &c.peer_load, &c.dead_nodes, &c.rng))
+    };
     let mut probed = 0usize;
-    for peer in 0..p {
+    for &peer in &targets {
         if send_to(peer, tag::LOAD_REQ, Vec::new()).is_ok() {
             probed += 1;
         }
@@ -281,4 +353,45 @@ fn balance_round(p: usize, cfg: &BalancerConfig, counters: &Counters) -> Result<
         counters.moves.fetch_add(accepted as u64, Ordering::SeqCst);
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::pick_sample;
+    use std::collections::HashSet;
+
+    #[test]
+    fn sample_is_bounded_deduped_and_skips_self_and_dead() {
+        let rng = crate::rng::SplitMix64::new(7);
+        let hints = vec![0u32; 256];
+        let dead: HashSet<usize> = [3, 4, 5].into_iter().collect();
+        let t = pick_sample(256, 8, 0, &hints, &dead, &rng);
+        assert!(t.len() <= 9, "k targets plus self at most, got {t:?}");
+        assert!(t.contains(&0), "self is always probed");
+        assert!(t.iter().all(|n| !dead.contains(n)), "corpses are skipped");
+        let mut u = t.clone();
+        u.dedup();
+        assert_eq!(u, t, "targets are deduped");
+    }
+
+    #[test]
+    fn sample_prefers_the_hinted_extremes() {
+        let rng = crate::rng::SplitMix64::new(42);
+        // One wildly overloaded peer and one empty peer among a uniform
+        // middle: whenever the draw sees them, both ends must survive the
+        // cut.  Run a few rounds so the draw does see them.
+        let mut hints = vec![50u32; 64];
+        hints[17] = 500;
+        hints[23] = 0;
+        let dead = HashSet::new();
+        let mut hit_hi = false;
+        let mut hit_lo = false;
+        for _ in 0..32 {
+            let t = pick_sample(64, 4, 0, &hints, &dead, &rng);
+            hit_hi |= t.contains(&17);
+            hit_lo |= t.contains(&23);
+        }
+        assert!(hit_hi, "the most-loaded peer is sampled as a source");
+        assert!(hit_lo, "the least-loaded peer is sampled as a destination");
+    }
 }

@@ -2,7 +2,8 @@
 //!
 //! [`Machine::launch`] reserves the iso-address area, wires the Madeleine
 //! fabric (one endpoint per node plus a host control endpoint), and starts
-//! the node drivers — one OS thread per node, or a single OS thread driving
+//! the node drivers — a worker pool multiplexing every node driver in
+//! threaded mode (see [`crate::executor`]), or a single OS thread driving
 //! every node round-robin in deterministic mode.  The host talks to nodes
 //! exclusively through control messages, like any other fabric participant.
 
@@ -126,6 +127,9 @@ pub struct Machine {
     /// Cheap-clone handles on each node's payload pool (observability).
     pools: Vec<madeleine::BufPool>,
     drivers: Vec<std::thread::JoinHandle<()>>,
+    /// OS threads actually driving nodes (executor workers in threaded
+    /// mode, 1 in deterministic mode).
+    n_workers: usize,
     next_tid: AtomicU64,
     stopped: bool,
     /// Control messages received while waiting for something else.
@@ -180,20 +184,19 @@ impl Machine {
         let wealth = ctxs.iter().map(|c| Arc::clone(&c.peer_wealth)).collect();
         let pools = ctxs.iter().map(|c| c.pool.clone()).collect();
 
-        let drivers = match cfg.mode {
-            MachineMode::Threaded => ctxs
-                .into_iter()
-                .map(|mut ctx| {
-                    std::thread::Builder::new()
-                        .name(format!("pm2-node{}", ctx.node))
-                        .spawn(move || drive_one(&mut ctx))
-                        .expect("spawning node thread")
-                })
-                .collect(),
-            MachineMode::Deterministic => vec![std::thread::Builder::new()
-                .name("pm2-nodes".into())
-                .spawn(move || drive_all(&mut ctxs))
-                .expect("spawning driver thread")],
+        let (drivers, n_workers) = match cfg.mode {
+            MachineMode::Threaded => {
+                let workers = effective_workers(&cfg);
+                let tick = executor_tick(&cfg);
+                (crate::executor::spawn_pool(ctxs, workers, tick), workers)
+            }
+            MachineMode::Deterministic => (
+                vec![std::thread::Builder::new()
+                    .name("pm2-nodes".into())
+                    .spawn(move || drive_all(&mut ctxs))
+                    .expect("spawning driver thread")],
+                1,
+            ),
         };
 
         Ok(Machine {
@@ -210,6 +213,7 @@ impl Machine {
             wealth,
             pools,
             drivers,
+            n_workers,
             next_tid: AtomicU64::new(1),
             stopped: false,
             stash: Vec::new(),
@@ -224,6 +228,14 @@ impl Machine {
     /// Number of nodes.
     pub fn nodes(&self) -> usize {
         self.cfg.nodes
+    }
+
+    /// OS threads driving the node state machines: the executor pool size
+    /// in threaded mode (the `workers` knob, auto-sized at 0), or 1 in
+    /// deterministic mode.  On any realistic host this is ≪ nodes — the
+    /// point of the multiplexed executor.
+    pub fn worker_threads(&self) -> usize {
+        self.n_workers
     }
 
     /// The iso-address area (shared by all nodes).
@@ -455,14 +467,29 @@ impl Machine {
     }
 
     /// `node`'s wealth hint table: its last-known free-slot count for
-    /// every node, refreshed by each piggybacked hint on trade, load and
-    /// migrate-ack traffic.  This is what the node's slot trader picks
-    /// lenders from.
+    /// every node, refreshed by each piggybacked hint on trade, load,
+    /// migrate-ack and gossip traffic.  This is what the node's slot
+    /// trader picks lenders from.  Allocates a fresh Vec per call; hot
+    /// callers (the balancer daemon, benches sampling every round) should
+    /// reuse a buffer via [`Machine::peer_wealth_into`].
     pub fn peer_wealth(&self, node: usize) -> Vec<u64> {
-        self.wealth[node]
-            .iter()
-            .map(|w| w.load(Ordering::Relaxed))
-            .collect()
+        let mut buf = Vec::new();
+        self.peer_wealth_into(node, &mut buf);
+        buf
+    }
+
+    /// [`Machine::peer_wealth`] without the per-call allocation: clears
+    /// and refills `buf` (capacity is retained across calls).
+    pub fn peer_wealth_into(&self, node: usize, buf: &mut Vec<u64>) {
+        buf.clear();
+        buf.extend(self.wealth[node].iter().map(|w| w.load(Ordering::Relaxed)));
+    }
+
+    /// Wire statistics of `node`'s endpoint (messages/bytes in and out) —
+    /// what the scale bench divides by completed ops to get the
+    /// messages-per-op cost curve.
+    pub fn net_stats(&self, node: usize) -> Option<madeleine::EndpointStatsSnapshot> {
+        self.host_ep.stats_of(node)
     }
 
     /// Payload-pool statistics of `node`'s endpoint.  In steady state the
@@ -535,6 +562,15 @@ impl Machine {
         (0..self.cfg.nodes)
             .filter(|&n| !self.host_ep.is_dead(n))
             .collect()
+    }
+
+    /// Count of live nodes without materializing the id list (the
+    /// shutdown ack loop re-evaluates this every 50 ms slice — at p = 256
+    /// the Vec-per-slice added up).
+    fn alive_count(&self) -> usize {
+        (0..self.cfg.nodes)
+            .filter(|&n| !self.host_ep.is_dead(n))
+            .count()
     }
 
     /// Whether `node` has been declared dead (by [`Machine::kill_node`] or
@@ -816,7 +852,7 @@ impl Machine {
         loop {
             // Only survivors can ack — and a node may die mid-shutdown,
             // so the expectation is re-evaluated every slice.
-            let expected = self.alive_nodes().len();
+            let expected = self.alive_count();
             if acked >= expected {
                 break;
             }
@@ -895,25 +931,36 @@ fn wait_exit_host(
     }
 }
 
-/// Threaded-mode driver: one OS thread per node.  Event-driven — when a
-/// step finds neither a message nor a runnable thread, the driver parks on
-/// the endpoint's doorbell and is woken by the next send addressed to it
-/// (or by the `idle_park` liveness backstop).  An idle node costs ~zero
-/// CPU and, crucially on a busy host, never burns an OS timeslice
-/// spinning: the sender's ring makes the destination runnable immediately,
-/// which is what turns a ~1 ms polled migration hop into a µs-scale one.
-fn drive_one(ctx: &mut NodeCtx) {
-    ctx.activate();
-    loop {
-        if ctx.step() {
-            continue;
-        }
-        ctx.maybe_ack_shutdown();
-        if ctx.finished() {
-            break;
-        }
-        ctx.idle_park();
+/// Effective executor pool size: the `workers` knob, or — at the default
+/// 0 — the host's available parallelism; never more threads than nodes.
+/// The auto floor is 2 so one handler blocking in native code (a sleep, a
+/// syscall) cannot stall every other node on a single-core host — the
+/// responsiveness thread-per-node gave for free.
+fn effective_workers(cfg: &Pm2Config) -> usize {
+    let auto = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .max(2);
+    let w = if cfg.workers == 0 { auto } else { cfg.workers };
+    w.clamp(1, cfg.nodes.max(1))
+}
+
+/// Executor tick (worker pop timeout / idle-node sweep cadence): the
+/// `idle_park` backstop, tightened to the fastest armed protocol timer so
+/// a quiet node's failure detector, gossip rounds and periodic
+/// checkpoints still fire on schedule — the multiplexed twin of
+/// `drive_one`'s park timeout.
+fn executor_tick(cfg: &Pm2Config) -> Duration {
+    let mut tick = cfg.idle_park;
+    if cfg.failure_timeout.is_some() || cfg.nodes > crate::node::FULL_PROBE_MAX {
+        tick = tick.min(cfg.heartbeat_every);
     }
+    if cfg.spill_dir.is_some() {
+        if let Some(every) = cfg.checkpoint_every {
+            tick = tick.min(every);
+        }
+    }
+    tick.max(Duration::from_millis(1))
 }
 
 /// Deterministic-mode driver: all nodes round-robin on one OS thread,

@@ -2,23 +2,27 @@
 //!
 //! One `NodeCtx` is the reproduction of the paper's "single (heavy) process
 //! running at each node" (§2): it owns the node's slot bitmap, its thread
-//! scheduler, its private heap and its network endpoint.  One OS thread
-//! drives it (or, in deterministic mode, one OS thread drives all nodes
-//! round-robin); Marcel threads and the message pump therefore interleave
-//! but never run concurrently, which is exactly the concurrency model of a
-//! user-level thread runtime.
+//! scheduler, its private heap and its network endpoint.  Exactly one OS
+//! thread drives it *at a time* — in threaded mode the node is a state
+//! machine multiplexed onto the [`crate::executor`] worker pool (a rung
+//! doorbell queues the node; a worker locks it, steps it up to a fairness
+//! budget, and parks it again), and in deterministic mode one OS thread
+//! drives every node round-robin.  Either way Marcel threads and the
+//! message pump interleave but never run concurrently, which is exactly
+//! the concurrency model of a user-level thread runtime.
 //!
 //! ## The event-driven core
 //!
 //! The node is **event-driven, not polled**.  Three pieces cooperate:
 //!
 //! * **Doorbell** — every [`madeleine::Endpoint::send`] rings the
-//!   destination's [`madeleine::Doorbell`]; an idle driver *parks* on it
-//!   (see `Machine`'s `drive_one`/`drive_all`) instead of spin- or
+//!   destination's [`madeleine::Doorbell`]; an idle driver *parks* (the
+//!   executor marks the node `Idle` and the worker moves on; the
+//!   deterministic driver parks the OS thread) instead of spin- or
 //!   sleep-polling, so a quiescent machine burns ~zero CPU and a message
 //!   wakes its handler at futex-wake-up latency.  The
 //!   [`NodeStats::driver_parks`]/[`NodeStats::driver_wakeups`] counters
-//!   make the parking observable.
+//!   make the parking observable in both modes.
 //! * **Class-prioritized pump** — [`NodeCtx::pump`] ingests deliverable
 //!   messages into three priority lanes (see [`crate::handlers::Class`]:
 //!   control > migration > data) and drains them in class order under a
@@ -30,6 +34,38 @@
 //!   `negotiation`, `control`), entered through
 //!   [`crate::handlers::dispatch`]; `node.rs` itself is only the dispatch
 //!   core: scheduler interleaving, thread lifecycle, and the lanes.
+//!
+//! ## Gossip-scale protocols
+//!
+//! Per-node protocol cost must stay (amortized) O(1) in the node count or
+//! p = 256 machines drown in their own bookkeeping, so everything that was
+//! all-pairs is now epidemic or sampled:
+//!
+//! * **Liveness** is piggybacked: any arriving message refreshes the
+//!   sender's `last_heard` stamp, and a strictly-newer gossiped sequence
+//!   number counts as (indirect) evidence too — a peer cannot produce a
+//!   fresh round number after dying.  HEARTBEATs are no longer beaconed to
+//!   all p peers; they are *suspicion probes* sent only to a peer that has
+//!   been silent past half the failure timeout (a ping byte requesting a
+//!   pong), and death is still declared purely by silence timeout.
+//! * **Wealth/load dissemination** is an epidemic digest
+//!   ([`crate::proto::encode_gossip`]): once per `heartbeat_every` each
+//!   node pushes its own free-slot and resident-thread counts, plus a few
+//!   relayed table entries, to `GOSSIP_FANOUT` random live peers — O(1)
+//!   messages per node per round, O(log p) rounds to saturate the machine.
+//! * **The silence scan** walks a cursor over the peer table, a chunk per
+//!   driver step (sized so one lap completes per `heartbeat_every` even on
+//!   a sparsely-ticked idle node) instead of scanning all p every tick.
+//! * **Sampling**: `richest_peer` and the balancer probe a random sample
+//!   above `FULL_PROBE_MAX` nodes (power-of-two-choices style) instead of
+//!   scanning/probing everyone.
+//!
+//! The remaining O(p) structures are deliberate: the `peer_wealth` /
+//! `peer_seq` / `last_heard` tables are one word-ish per peer (a few KB at
+//! p = 256, refreshed — never scanned — on the hot path), broadcast
+//! fan-out is O(p) but only on rare machine-wide events (NODE_DEAD,
+//! SHUTDOWN), and the §4.4 all-peer bitmap gather survives as the
+//! documented *fallback* path when trading cannot satisfy a request.
 //!
 //! The migration *departure* side also lives here (`NodeCtx::depart`): a
 //! migration outcome sweeps every other ready thread already flagged for
@@ -66,6 +102,26 @@ use crate::spill::SpillLog;
 thread_local! {
     static CURRENT_NODE: Cell<*mut NodeCtx> = const { Cell::new(std::ptr::null_mut()) };
 }
+
+/// Largest machine the exact all-peer paths still run on: up to this many
+/// nodes `richest_peer` scans the whole table and the balancer probes
+/// every peer (preserving the small-machine ablation numbers); above it
+/// both sample, and gossip dissemination turns on even without a detector.
+pub(crate) const FULL_PROBE_MAX: usize = 16;
+/// Peers a gossip round pushes the digest to.
+const GOSSIP_FANOUT: usize = 2;
+/// Minimum relayed table entries riding along with the self-entry in a
+/// digest; the actual budget grows with the machine ([`relay_budget`]) so
+/// indirect liveness evidence keeps the whole table fresher than the
+/// suspicion-probe threshold even at p = 256.
+const GOSSIP_RELAY: usize = 6;
+/// Cap on the relay budget: a digest never exceeds `1 + 32` entries
+/// (~500 B), whatever the machine size.
+const GOSSIP_RELAY_MAX: usize = 32;
+/// Minimum silence-scan advance per driver step ("a few peers per step").
+const SCAN_CHUNK: usize = 4;
+/// Candidates drawn by the sampled `richest_peer` on large machines.
+const RICH_SAMPLE: usize = 16;
 
 /// Live runtime counters for one node (shared with the host).
 #[derive(Debug, Default)]
@@ -351,14 +407,35 @@ pub(crate) struct NodeCtx {
     /// Periodic checkpoint cadence (None = only explicit `CKPT_REQ`s).
     pub checkpoint_every: Option<Duration>,
     last_checkpoint: Instant,
-    /// Liveness beacon cadence for the failure detector.
+    /// Epidemic round cadence: gossip digests and (for the detector) the
+    /// suspicion-probe rate limit.  Historically the beacon cadence.
     pub heartbeat_every: Duration,
     /// Declare a peer dead after this much silence (None disables the
     /// detector; explicit kills still propagate via `NODE_DEAD`).
     pub failure_timeout: Option<Duration>,
-    last_beacon: Instant,
-    /// Last time any message arrived from each peer.
+    /// Last time this node pushed a gossip digest.
+    last_gossip: Instant,
+    /// Last time any message arrived from each peer (direct evidence), or
+    /// a strictly-newer gossip entry about it was merged (indirect).
     last_heard: Vec<Instant>,
+    /// This node's own gossip round counter (monotonic; stamped on the
+    /// self-entry of every digest it originates).
+    gossip_seq: u32,
+    /// Newest gossip sequence number seen per origin; the merge rule is
+    /// strictly-newer-wins, so relays of a corpse's stale rounds can never
+    /// refresh its entry.
+    peer_seq: Vec<u32>,
+    /// Last gossiped resident-thread count per peer (load hint for the
+    /// balancer's power-of-two-choices sampling).
+    pub peer_load: Vec<u32>,
+    /// Silence-scan cursor: the next peer the incremental detector looks
+    /// at.  Advanced a chunk per driver step instead of all p per tick.
+    scan_cursor: usize,
+    last_scan: Instant,
+    /// Per-peer suspicion-probe rate limit.
+    last_probe: Vec<Instant>,
+    /// Protocol sampling RNG (node-seeded, deterministic per node).
+    pub(crate) rng: crate::rng::SplitMix64,
     // Config knobs.
     pub fit: isomalloc::FitPolicy,
     pub trim: bool,
@@ -497,8 +574,15 @@ impl NodeCtx {
             last_checkpoint: now,
             heartbeat_every: cfg.heartbeat_every,
             failure_timeout: cfg.failure_timeout,
-            last_beacon: now,
+            last_gossip: now,
             last_heard: vec![now; cfg.nodes],
+            gossip_seq: 0,
+            peer_seq: vec![0; cfg.nodes],
+            peer_load: vec![0; cfg.nodes],
+            scan_cursor: (node + 1) % cfg.nodes.max(1),
+            last_scan: now,
+            last_probe: vec![now; cfg.nodes],
+            rng: crate::rng::SplitMix64::new(0xC0FF_EE00 ^ (node as u64) << 17),
             fit: cfg.fit,
             trim: cfg.trim,
             pack_full_slots: cfg.pack_full_slots,
@@ -525,16 +609,35 @@ impl NodeCtx {
     }
 
     /// The peer with the largest known free-slot reserve strictly above
-    /// `floor`, if any.  Hints are refreshed by every trade, load reply
-    /// and migrate ack, so a drained peer stops being asked after one
-    /// refusal.
+    /// `floor`, if any.  Hints are refreshed by every trade, load reply,
+    /// migrate ack and gossip digest, so a drained peer stops being asked
+    /// after one refusal.
+    ///
+    /// Up to [`FULL_PROBE_MAX`] nodes this is the exact O(p) scan the
+    /// small-machine ablations were measured with; above it the table is
+    /// *sampled* (`RICH_SAMPLE` random candidates, best-of-sample) so the
+    /// per-acquisition cost stops growing with the machine.
     pub(crate) fn richest_peer(&self, floor: u64) -> Option<usize> {
-        (0..self.n_nodes)
-            .filter(|&p| p != self.node && !self.dead_nodes.contains(&p))
-            .map(|p| (self.peer_wealth[p].load(Ordering::Relaxed), p))
-            .filter(|&(w, _)| w > floor)
-            .max()
-            .map(|(_, p)| p)
+        if self.n_nodes <= FULL_PROBE_MAX {
+            return (0..self.n_nodes)
+                .filter(|&p| p != self.node && !self.dead_nodes.contains(&p))
+                .map(|p| (self.peer_wealth[p].load(Ordering::Relaxed), p))
+                .filter(|&(w, _)| w > floor)
+                .max()
+                .map(|(_, p)| p);
+        }
+        let mut best: Option<(u64, usize)> = None;
+        for _ in 0..RICH_SAMPLE {
+            let p = self.rng.below(self.n_nodes);
+            if p == self.node || self.dead_nodes.contains(&p) {
+                continue;
+            }
+            let w = self.peer_wealth[p].load(Ordering::Relaxed);
+            if w > floor && best.is_none_or(|(bw, _)| w > bw) {
+                best = Some((w, p));
+            }
+        }
+        best.map(|(_, p)| p)
     }
 
     /// Watermark prefetch: when the reserve drops below the low
@@ -572,36 +675,166 @@ impl NodeCtx {
         let _ = self.ep.send(peer, tag::SLOT_TRADE_REQ, req);
     }
 
-    // -- fault tolerance ----------------------------------------------------
+    // -- fault tolerance & epidemic dissemination ---------------------------
 
-    /// Heartbeat beacon + silence detector.  Runs on the driver, O(p) per
-    /// tick, rate-limited by `heartbeat_every`; any arriving message is a
-    /// liveness proof (see `ingest`), the beacon only guarantees that a
-    /// healthy-but-quiet peer is never mistaken for a corpse.
+    /// Gossip round + incremental silence detector.  Replaces the old
+    /// beacon tick that sent HEARTBEATs to all p peers and scanned all p
+    /// silence stamps on every tick — O(p) per node per tick, O(p²) per
+    /// machine, the cost that made p = 256 infeasible.  Now the per-step
+    /// cost is O(fanout + chunk):
+    ///
+    /// * once per `heartbeat_every`, push an epidemic digest to a few
+    ///   random peers ([`NodeCtx::gossip_round`]) — also enabled without a
+    ///   detector on machines above [`FULL_PROBE_MAX`] nodes, where the
+    ///   balancer and trader live off the gossiped hints;
+    /// * when the detector is armed, advance the silence-scan cursor a
+    ///   chunk of peers per step ([`NodeCtx::silence_scan`]), probing
+    ///   suspects directly and declaring death purely by silence timeout,
+    ///   exactly as before.
     fn fault_tick(&mut self) {
-        let Some(timeout) = self.failure_timeout else {
-            return;
-        };
         if self.n_nodes < 2 || self.shutdown {
             // Shutdown drains nodes at different speeds; a node that
             // finished early is quiet, not dead.
             return;
         }
+        let detector = self.failure_timeout.is_some();
+        if !detector && self.n_nodes <= FULL_PROBE_MAX {
+            return;
+        }
         let now = Instant::now();
-        if now.duration_since(self.last_beacon) >= self.heartbeat_every {
-            self.last_beacon = now;
-            for p in 0..self.n_nodes {
-                if p != self.node && !self.dead_nodes.contains(&p) {
-                    let _ = self.ep.send(p, tag::HEARTBEAT, Vec::new());
-                }
+        if now.duration_since(self.last_gossip) >= self.heartbeat_every {
+            self.last_gossip = now;
+            self.gossip_round();
+        }
+        if detector {
+            self.silence_scan(now);
+        }
+    }
+
+    /// Relayed entries per digest: [`GOSSIP_RELAY`] on small machines,
+    /// growing as p/8 up to [`GOSSIP_RELAY_MAX`].  Scaling the *payload*
+    /// (cheap bytes) instead of the *fanout* (messages) keeps per-node
+    /// message rate O(1) while the per-entry refresh interval stays well
+    /// under the suspicion-probe threshold — otherwise a p = 256 machine
+    /// ages most of its table past `timeout / 2` between refreshes and
+    /// the detector degenerates into an all-pairs probe storm.
+    fn relay_budget(&self) -> usize {
+        (self.n_nodes / 8).clamp(GOSSIP_RELAY, GOSSIP_RELAY_MAX)
+    }
+
+    /// One epidemic round: bump our sequence number and push a digest —
+    /// our own wealth/load claim plus up to [`relay_budget`](Self::relay_budget)
+    /// relayed table entries — to [`GOSSIP_FANOUT`] random live peers.
+    /// O(1) messages per node per round regardless of p; a digest reaches
+    /// the whole machine in O(log p) rounds with high probability.
+    fn gossip_round(&mut self) {
+        self.gossip_seq += 1;
+        let relay = self.relay_budget();
+        let mut entries = Vec::with_capacity(1 + relay);
+        entries.push(proto::GossipEntry {
+            node: self.node as u32,
+            seq: self.gossip_seq,
+            wealth: self.mgr.free_slots() as u32,
+            load: self.sched.resident() as u32,
+        });
+        for _ in 0..(2 * relay) {
+            if entries.len() > relay {
+                break;
+            }
+            let p = self.rng.below(self.n_nodes);
+            // Relay only what we actually learned (seq 0 = never heard);
+            // duplicates across draws are harmless, the merge is idempotent.
+            if p == self.node || self.dead_nodes.contains(&p) || self.peer_seq[p] == 0 {
+                continue;
+            }
+            entries.push(proto::GossipEntry {
+                node: p as u32,
+                seq: self.peer_seq[p],
+                wealth: self.peer_wealth[p].load(Ordering::Relaxed) as u32,
+                load: self.peer_load[p],
+            });
+        }
+        let buf = proto::encode_gossip(&self.pool, &entries);
+        let mut sent = 0usize;
+        // The payload is refcounted, so the fanout shares one buffer.  A
+        // bounded number of draws, not a scan: on a machine of corpses the
+        // loop gives up instead of hunting for a live peer.
+        for _ in 0..(GOSSIP_FANOUT * 4) {
+            if sent >= GOSSIP_FANOUT {
+                break;
+            }
+            let p = self.rng.below(self.n_nodes);
+            if p == self.node || self.dead_nodes.contains(&p) {
+                continue;
+            }
+            let _ = self.ep.send(p, tag::GOSSIP, buf.clone());
+            sent += 1;
+        }
+    }
+
+    /// Merge one epidemic digest entry.  Strictly-newer sequence numbers
+    /// win; entries about nodes already declared dead are ignored (no
+    /// resurrection by stale relay).  A newer sequence number is indirect
+    /// *liveness evidence* — the origin cannot have produced a fresh round
+    /// after dying, and a corpse's counter stops advancing, so relays of
+    /// its old rounds never refresh it.  Staleness of the indirect path is
+    /// bounded by the O(log p) propagation time, far below any configured
+    /// `failure_timeout` (timeouts are ≥ 6× the round cadence).
+    pub(crate) fn absorb_gossip(&mut self, e: proto::GossipEntry) {
+        let n = e.node as usize;
+        if n == self.node || n >= self.n_nodes || self.dead_nodes.contains(&n) {
+            return;
+        }
+        if e.seq > self.peer_seq[n] {
+            self.peer_seq[n] = e.seq;
+            self.peer_load[n] = e.load;
+            self.set_peer_wealth(n, e.wealth as u64);
+            if self.failure_timeout.is_some() {
+                self.last_heard[n] = Instant::now();
             }
         }
-        for p in 0..self.n_nodes {
-            if p != self.node
-                && !self.dead_nodes.contains(&p)
-                && now.duration_since(self.last_heard[p]) > timeout
-            {
+    }
+
+    /// Incremental silence scan: advance a cursor over the peer table,
+    /// checking a chunk per driver step instead of all p per tick.  The
+    /// chunk is sized proportionally to the time since the last scan so a
+    /// busy node pays only [`SCAN_CHUNK`] peers per step while a sparsely
+    /// ticked idle node still completes a full lap about once per
+    /// `heartbeat_every` — detection latency is unchanged from the
+    /// all-pairs scan.  A peer silent past *half* the timeout gets a
+    /// direct suspicion probe (HEARTBEAT ping byte, answered with a pong);
+    /// death is declared purely on the silence timeout, never on a
+    /// transport error.  At most [`SCAN_CHUNK`] probes go out per scan —
+    /// with normal gossip coverage suspects are rare and the cap is
+    /// invisible, but if the whole table somehow goes stale at once (a
+    /// long host stall, a just-launched giant machine) it bounds the
+    /// probe rate at O(1) per node per tick instead of O(p); the deferred
+    /// suspects are reached on the next laps, well inside the timeout.
+    fn silence_scan(&mut self, now: Instant) {
+        let timeout = self.failure_timeout.expect("detector armed");
+        let dt = now.duration_since(self.last_scan);
+        self.last_scan = now;
+        let per_lap = self.heartbeat_every.as_nanos().max(1);
+        let k = ((self.n_nodes as u128 * dt.as_nanos()) / per_lap)
+            .max(SCAN_CHUNK as u128)
+            .min(self.n_nodes as u128) as usize;
+        let mut probes = 0usize;
+        for _ in 0..k {
+            let p = self.scan_cursor;
+            self.scan_cursor = (self.scan_cursor + 1) % self.n_nodes;
+            if p == self.node || self.dead_nodes.contains(&p) {
+                continue;
+            }
+            let age = now.duration_since(self.last_heard[p]);
+            if age > timeout {
                 self.declare_dead(p);
+            } else if age >= timeout / 2
+                && probes < SCAN_CHUNK
+                && now.duration_since(self.last_probe[p]) >= self.heartbeat_every
+            {
+                self.last_probe[p] = now;
+                probes += 1;
+                let _ = self.ep.send(p, tag::HEARTBEAT, vec![1u8]);
             }
         }
     }
@@ -879,25 +1112,6 @@ impl NodeCtx {
             self.shutdown_acked = true;
             let _ = self.ep.send(self.host_id, tag::SHUTDOWN_ACK, Vec::new());
         }
-    }
-
-    /// Park the driving OS thread until the endpoint's doorbell rings or
-    /// `idle_park` elapses (threaded mode; the deterministic driver parks
-    /// on the machine-wide shared bell instead).  Call only when a `step`
-    /// found nothing to do.  The two-phase snapshot/re-check/park protocol
-    /// (see [`madeleine::doorbell`]) makes the park race-free: a message
-    /// that lands between the re-check and the park rings past the
-    /// snapshot and the wait returns immediately.
-    pub(crate) fn idle_park(&mut self) {
-        debug_assert!(!self.sched.has_ready(), "parking with runnable threads");
-        let seen = self.ep.doorbell().rings();
-        if let Some(m) = self.ep.try_recv() {
-            self.inbox[handlers::classify(m.tag) as usize].push_back(m);
-            return;
-        }
-        self.stats.driver_parks.fetch_add(1, Ordering::Relaxed);
-        self.ep.doorbell().wait_past(seen, self.idle_park);
-        self.stats.driver_wakeups.fetch_add(1, Ordering::Relaxed);
     }
 
     // -- outcome handling ---------------------------------------------------

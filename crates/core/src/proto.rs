@@ -105,10 +105,18 @@ pub mod tag {
     pub const NODE_RECLAIM: u16 = 44;
     /// Node → host: reclamation done (adopted slot count).
     pub const RECLAIM_ACK: u16 = 45;
-    /// Node → node: liveness beacon for the failure detector.  Empty
-    /// payload; arrival (of *any* message) refreshes the sender's
-    /// last-heard stamp, the beacon just guarantees silence means death.
+    /// Node → node: liveness probe for the failure detector.  Arrival (of
+    /// *any* message) refreshes the sender's last-heard stamp; since the
+    /// gossip rework HEARTBEATs flow only toward *suspected* peers — a
+    /// payload byte of 1 is a ping that requests an answering pong (empty
+    /// payload), clearing the suspicion with one message.
     pub const HEARTBEAT: u16 = 46;
+    /// Node → node: epidemic digest (see [`encode_gossip`]).  Carries the
+    /// sender's own wealth/load under a fresh sequence number plus a few
+    /// relayed table entries, so wealth hints, load snapshots and liveness
+    /// evidence spread in O(fanout) messages per node per round instead of
+    /// the balancer probing — or the detector beaconing — all p peers.
+    pub const GOSSIP: u16 = 47;
 }
 
 /// Status byte of an [`tag::RPC_RESP`] payload.
@@ -233,12 +241,12 @@ pub fn decode_load_resp(buf: &[u8]) -> Option<(u32, u32, Vec<u64>)> {
     Some((resident, wealth, tids))
 }
 
-/// Read just the wealth hint off a `LOAD_RESP` payload (dispatch-time
-/// sniffing; the full decode happens at the waiting green thread).
-pub fn peek_load_wealth(buf: &[u8]) -> Option<u32> {
+/// Read just the (resident, wealth) header off a `LOAD_RESP` payload
+/// (dispatch-time sniffing — no tid-vector allocation; the full decode
+/// happens at the waiting green thread).
+pub fn peek_load_hints(buf: &[u8]) -> Option<(u32, u32)> {
     let mut r = madeleine::message::PayloadReader::new(buf);
-    r.u32()?;
-    r.u32()
+    Some((r.u32()?, r.u32()?))
 }
 
 /// Encode a `MIGRATE_CMD` payload: one command ordering every thread in
@@ -502,9 +510,81 @@ pub fn peek_rpc_call_id(buf: &[u8]) -> Option<u64> {
     madeleine::message::PayloadReader::new(buf).u64()
 }
 
+/// One entry of an epidemic digest: what some node claimed about itself
+/// under its `seq`-th gossip round.  Entries are relayed verbatim, so a
+/// receiver orders claims about the same origin by sequence number and a
+/// dead origin's entries go stale instead of being refreshed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GossipEntry {
+    /// The node this entry describes (the gossip *origin*, not the sender).
+    pub node: u32,
+    /// The origin's round counter when it produced this claim.
+    pub seq: u32,
+    /// The origin's free-slot count (wealth hint).
+    pub wealth: u32,
+    /// The origin's resident-thread count (load hint).
+    pub load: u32,
+}
+
+/// Encode a `GOSSIP` digest.
+pub fn encode_gossip(pool: &BufPool, entries: &[GossipEntry]) -> Payload {
+    let mut w = PayloadWriter::pooled(pool, 4 + entries.len() * 16);
+    w.u32(entries.len() as u32);
+    for e in entries {
+        w.u32(e.node).u32(e.seq).u32(e.wealth).u32(e.load);
+    }
+    w.finish()
+}
+
+/// Decode a `GOSSIP` digest.
+pub fn decode_gossip(buf: &[u8]) -> Option<Vec<GossipEntry>> {
+    let mut r = madeleine::message::PayloadReader::new(buf);
+    let n = r.u32()? as usize;
+    // A digest is a handful of entries; refuse absurd counts outright so a
+    // corrupt length cannot trigger a huge allocation.
+    if n > 1024 {
+        return None;
+    }
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        entries.push(GossipEntry {
+            node: r.u32()?,
+            seq: r.u32()?,
+            wealth: r.u32()?,
+            load: r.u32()?,
+        });
+    }
+    Some(entries)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn gossip_roundtrip() {
+        let pool = BufPool::new();
+        let entries = vec![
+            GossipEntry {
+                node: 3,
+                seq: 17,
+                wealth: 250,
+                load: 4,
+            },
+            GossipEntry {
+                node: 250,
+                seq: 1,
+                wealth: 0,
+                load: 0,
+            },
+        ];
+        let buf = encode_gossip(&pool, &entries);
+        assert_eq!(decode_gossip(&buf).unwrap(), entries);
+        assert_eq!(decode_gossip(&encode_gossip(&pool, &[])).unwrap(), vec![]);
+        // Truncated and length-lying payloads are rejected, not panicked on.
+        assert!(decode_gossip(&buf[..buf.len() - 1]).is_none());
+        assert!(decode_gossip(&u32::MAX.to_le_bytes()).is_none());
+    }
 
     #[test]
     fn ranges_roundtrip() {
@@ -554,7 +634,7 @@ mod tests {
         let pool = BufPool::new();
         let buf = encode_load_resp(&pool, 5, 33, &[9, 10]);
         assert_eq!(decode_load_resp(&buf), Some((5, 33, vec![9, 10])));
-        assert_eq!(peek_load_wealth(&buf), Some(33));
+        assert_eq!(peek_load_hints(&buf), Some((5, 33)));
         let empty = encode_load_resp(&pool, 0, 0, &[]);
         assert_eq!(decode_load_resp(&empty), Some((0, 0, vec![])));
     }

@@ -29,13 +29,29 @@
 //! ([`crate::Fabric::new_shared_doorbell`]), so the one driver thread parks
 //! once for the whole fabric.
 
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::Duration;
 
-#[derive(Debug, Default)]
+/// Callback invoked on every ring, after the counter bump is published.
+pub type RingListener = Arc<dyn Fn() + Send + Sync>;
+
+#[derive(Default)]
 struct Inner {
     rings: Mutex<u64>,
     cv: Condvar,
+    /// Optional side-channel: an executor routes this bell's rings into its
+    /// ready queue.  Installed at most once, invoked *outside* the rings
+    /// lock so the listener may take its own locks freely.
+    listener: OnceLock<RingListener>,
+}
+
+impl std::fmt::Debug for Inner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Inner")
+            .field("rings", &self.rings)
+            .field("listener", &self.listener.get().map(|_| "…"))
+            .finish()
+    }
 }
 
 /// A cloneable wake-up channel between senders and a parked driver.
@@ -55,11 +71,27 @@ impl Doorbell {
 
     /// Ring: bump the counter and wake every parked waiter.
     pub fn ring(&self) {
-        let mut rings = self.inner.rings.lock().unwrap();
-        *rings += 1;
-        // Notify while holding the lock: a waiter between its counter check
-        // and its `wait` cannot miss this ring.
-        self.inner.cv.notify_all();
+        {
+            let mut rings = self.inner.rings.lock().unwrap();
+            *rings += 1;
+            // Notify while holding the lock: a waiter between its counter
+            // check and its `wait` cannot miss this ring.
+            self.inner.cv.notify_all();
+        }
+        // Listener runs after the lock is dropped: it may take arbitrary
+        // locks of its own (an executor's ready-queue mutex) without any
+        // ordering constraint against the rings mutex.
+        if let Some(l) = self.inner.listener.get() {
+            l();
+        }
+    }
+
+    /// Install a ring listener.  At most one listener per bell; later calls
+    /// are ignored.  Because every sender enqueues its message *before*
+    /// ringing, a listener that schedules the receiving driver observes the
+    /// same no-lost-wakeup guarantee as a parked waiter.
+    pub fn set_listener(&self, l: RingListener) {
+        let _ = self.inner.listener.set(l);
     }
 
     /// Current ring count.  Snapshot this *before* the final work re-check
@@ -129,6 +161,38 @@ mod tests {
         let now = db.wait_past(seen, Duration::from_secs(5));
         assert!(now > seen);
         t.join().unwrap();
+    }
+
+    #[test]
+    fn listener_fires_on_every_ring_from_any_clone() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let db = Doorbell::new();
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = Arc::clone(&hits);
+        db.set_listener(Arc::new(move || {
+            h.fetch_add(1, Ordering::SeqCst);
+        }));
+        db.ring();
+        db.clone().ring();
+        assert_eq!(hits.load(Ordering::SeqCst), 2);
+        // Second install is a no-op, the first listener keeps firing.
+        db.set_listener(Arc::new(|| panic!("must not replace")));
+        db.ring();
+        assert_eq!(hits.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn listener_may_ring_sibling_bells_without_deadlock() {
+        // The executor pattern: a listener takes its own lock and touches
+        // other state.  Re-ringing the same bell from the listener would
+        // recurse forever, but ringing *another* bell must be safe.
+        let a = Doorbell::new();
+        let b = Doorbell::new();
+        let b2 = b.clone();
+        a.set_listener(Arc::new(move || b2.ring()));
+        let seen = b.rings();
+        a.ring();
+        assert_eq!(b.rings(), seen + 1);
     }
 
     #[test]

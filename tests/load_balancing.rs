@@ -210,6 +210,7 @@ fn frozen_destination_degrades_round_not_daemon() {
             threshold: 1,
             max_moves_per_round: 8,
             round_deadline: Duration::from_millis(50),
+            ..Default::default()
         },
     )
     .unwrap();
