@@ -1,0 +1,8 @@
+//! Regenerate `BENCH_chaos.json`: the fault-injection drill matrix —
+//! lossy-fabric capacity ramps (0% / 0.1% / 1% seeded message loss),
+//! kill-node recovery with coordinator election, and transient-partition
+//! heal, each judged by the workload harness's SLO gates.
+
+fn main() {
+    pm2_bench::write_chaos_json();
+}

@@ -3,6 +3,7 @@
 //! both call into this module, so the numbers in EXPERIMENTS.md and the
 //! statistically-validated benchmarks come from the same code paths.
 
+pub mod chaos;
 pub mod crit;
 pub mod evacuation;
 pub mod harness;
@@ -13,6 +14,7 @@ pub mod report;
 pub mod scale;
 pub mod throughput;
 
+pub use chaos::*;
 pub use evacuation::*;
 pub use harness::*;
 pub use latency::*;

@@ -13,7 +13,7 @@
 //! | `pm2_register_pointer`          | [`pm2_register_pointer`] (legacy) |
 //! | `malloc` (non-migrating)        | [`node_malloc`] (see `nodeheap`) |
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use madeleine::{BufPool, Message, Payload, Wire};
 
@@ -472,11 +472,46 @@ macro_rules! pm2_printf {
 /// the peer's free-slot wealth, which the dispatch layer absorbs into the
 /// trader's hint table before the reply is parked.)
 pub fn pm2_probe_load(peer: usize) -> Result<usize> {
-    send_to(peer, tag::LOAD_REQ, Vec::new())?;
-    let m = wait_reply(tag::LOAD_RESP, Some(peer))?;
-    let (resident, _, _) =
-        proto::decode_load_resp(&m.payload).ok_or(Pm2Error::Decode("load response"))?;
-    Ok(resident as usize)
+    // At-least-once under a fault plan: re-send on a lost request or
+    // reply.  A duplicated probe costs one redundant LOAD_RESP, which a
+    // later probe of the same peer consumes (the answer is a load *hint*,
+    // so a slightly stale one is harmless).
+    let (attempts, total) = with_ctx(|c| (c.control_retries, c.reply_deadline));
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            with_ctx(|c| {
+                c.stats
+                    .ctrl_retries
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+            });
+        }
+        send_to(peer, tag::LOAD_REQ, Vec::new())?;
+        let deadline = Instant::now() + retry_slice(total, attempts, attempt);
+        match wait_reply_until(tag::LOAD_RESP, Some(peer), deadline, |_| true) {
+            Ok(m) => {
+                let (resident, _, _) =
+                    proto::decode_load_resp(&m.payload).ok_or(Pm2Error::Decode("load response"))?;
+                return Ok(resident as usize);
+            }
+            Err(Pm2Error::NodeFailed(n)) => return Err(Pm2Error::NodeFailed(n)),
+            Err(_) => {} // timed out: retry with a longer slice
+        }
+    }
+    Err(Pm2Error::RetriesExhausted {
+        op: "load probe",
+        attempts,
+    })
+}
+
+/// Split one reply deadline into exponentially growing per-attempt slices
+/// (1, 2, 4, … shares of `2^attempts − 1`), so a full retry budget never
+/// waits longer in total than the single-attempt deadline did — retries
+/// redistribute the wait, they do not extend it.
+pub(crate) fn retry_slice(total: Duration, attempts: u32, i: u32) -> Duration {
+    let attempts = attempts.clamp(1, 20);
+    let denom = (1u64 << attempts) - 1;
+    let num = 1u64 << i.min(attempts - 1);
+    total.mul_f64(num as f64 / denom as f64)
 }
 
 /// Slot-layer statistics of the calling thread's current node: reserve

@@ -145,6 +145,30 @@ pub struct Pm2Config {
     /// detector is armed.  Must be well under `failure_timeout`; ignored
     /// when detection is off.
     pub heartbeat_every: Duration,
+    /// Total attempts (first try + retries) for the at-least-once
+    /// request/reply control operations: slot trades, load probes,
+    /// checkpoint requests, and recovery's slot reclaim.  Each attempt
+    /// gets an exponentially growing slice of `reply_deadline` (backoff
+    /// by deadline splitting, so the overall budget never exceeds one
+    /// deadline); exhaustion surfaces a typed
+    /// [`crate::Pm2Error::RetriesExhausted`].  Values < 1 are treated
+    /// as 1 — a single attempt, the pre-chaos behavior.
+    pub control_retries: u32,
+    /// Spill-log compaction threshold: once a node's log has accumulated
+    /// more than this many appended records, the next checkpoint first
+    /// rewrites the log keeping only the newest record per thread.  `0`
+    /// (the default) disables compaction — the log grows without bound,
+    /// as before.
+    pub spill_compact_after: usize,
+    /// Seeded message-level fault plan for the fabric (chaos testing).
+    /// `None` (the default) keeps every link a perfect wire.  When set,
+    /// the machine exempts the exactly-once state-transfer tags
+    /// (migration trains, spawns, thread exits, kill/shutdown, death
+    /// certificates, and the §4.4 negotiation itself) and lets chaos
+    /// loose on the at-least-once control plane — which retries above
+    /// and deduplicates at the receiver.  Same seed ⇒ byte-identical
+    /// fault schedule in deterministic mode.
+    pub fault_plan: Option<madeleine::FaultPlan>,
     /// Fault-injection hook for tests: tids whose packed record group is
     /// deliberately truncated on departure, exercising the per-record
     /// train fault isolation end to end.  Leave empty in production.
@@ -184,6 +208,9 @@ impl Pm2Config {
             checkpoint_every: None,
             failure_timeout: None,
             heartbeat_every: Duration::from_millis(50),
+            control_retries: 3,
+            spill_compact_after: 0,
+            fault_plan: None,
             fault_corrupt_pack: Vec::new(),
         }
     }
@@ -340,6 +367,24 @@ impl Pm2Config {
     /// Builder: heartbeat beacon period (detector armed only).
     pub fn with_heartbeat_every(mut self, every: Duration) -> Self {
         self.heartbeat_every = every;
+        self
+    }
+
+    /// Builder: total attempts for at-least-once control requests.
+    pub fn with_control_retries(mut self, attempts: u32) -> Self {
+        self.control_retries = attempts;
+        self
+    }
+
+    /// Builder: spill-log compaction threshold (0 disables).
+    pub fn with_spill_compact_after(mut self, records: usize) -> Self {
+        self.spill_compact_after = records;
+        self
+    }
+
+    /// Builder: install a seeded fault plan on the fabric (chaos).
+    pub fn with_fault_plan(mut self, plan: madeleine::FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
         self
     }
 
@@ -546,6 +591,27 @@ impl MachineBuilder {
         self
     }
 
+    /// Total attempts for at-least-once control requests (see
+    /// [`Pm2Config::control_retries`]).
+    pub fn control_retries(mut self, attempts: u32) -> Self {
+        self.cfg.control_retries = attempts;
+        self
+    }
+
+    /// Spill-log compaction threshold; 0 disables (see
+    /// [`Pm2Config::spill_compact_after`]).
+    pub fn spill_compact_after(mut self, records: usize) -> Self {
+        self.cfg.spill_compact_after = records;
+        self
+    }
+
+    /// Install a seeded message-level fault plan on the fabric (see
+    /// [`Pm2Config::fault_plan`]).
+    pub fn fault_plan(mut self, plan: madeleine::FaultPlan) -> Self {
+        self.cfg.fault_plan = Some(plan);
+        self
+    }
+
     /// The small deterministic instant-network profile tests use (the
     /// knobs of [`Pm2Config::test`]).  Overlays only the profile's own
     /// knobs (area, net, mode, slot cache, reply deadline); anything else
@@ -672,6 +738,30 @@ mod tests {
         assert!(d.spill_dir.is_none(), "checkpointing is opt-in");
         assert!(d.checkpoint_every.is_none());
         assert!(d.failure_timeout.is_none(), "detection is opt-in");
+    }
+
+    #[test]
+    fn chaos_knobs_roundtrip() {
+        let plan = madeleine::FaultPlan::lossy(7, 0.01);
+        let c = MachineBuilder::new(4)
+            .control_retries(5)
+            .spill_compact_after(128)
+            .fault_plan(plan.clone())
+            .into_config();
+        assert_eq!(c.control_retries, 5);
+        assert_eq!(c.spill_compact_after, 128);
+        assert_eq!(c.fault_plan.as_ref().map(|p| p.seed()), Some(7));
+        let d = Pm2Config::new(4);
+        assert_eq!(d.control_retries, 3, "a few retries by default");
+        assert_eq!(d.spill_compact_after, 0, "compaction is opt-in");
+        assert!(d.fault_plan.is_none(), "perfect wire by default");
+        let e = Pm2Config::test(2)
+            .with_control_retries(1)
+            .with_spill_compact_after(9)
+            .with_fault_plan(plan);
+        assert_eq!(e.control_retries, 1);
+        assert_eq!(e.spill_compact_after, 9);
+        assert!(e.fault_plan.is_some());
     }
 
     #[test]

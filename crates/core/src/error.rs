@@ -45,6 +45,16 @@ pub enum Pm2Error {
     NodeFailed(usize),
     /// The spill log (checkpoint persistence) failed at the I/O layer.
     Spill(String),
+    /// An at-least-once control exchange (trade, probe, checkpoint,
+    /// reclaim) burned through its whole retry budget without ever seeing
+    /// the reply.  Distinct from [`Pm2Error::NodeFailed`]: the peer is not
+    /// known dead — the messages just kept vanishing.
+    RetriesExhausted {
+        /// The operation that gave up.
+        op: &'static str,
+        /// Total attempts made (the `control_retries` knob).
+        attempts: u32,
+    },
 }
 
 impl From<isomalloc::AllocError> for Pm2Error {
@@ -93,6 +103,9 @@ impl fmt::Display for Pm2Error {
             Pm2Error::Decode(what) => write!(f, "malformed wire payload: {what}"),
             Pm2Error::NodeFailed(n) => write!(f, "node {n} failed"),
             Pm2Error::Spill(e) => write!(f, "spill log error: {e}"),
+            Pm2Error::RetriesExhausted { op, attempts } => {
+                write!(f, "{op} got no reply in {attempts} attempts")
+            }
         }
     }
 }

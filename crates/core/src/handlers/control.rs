@@ -122,26 +122,36 @@ pub(crate) fn on_ckpt_req(ctx: &mut NodeCtx, m: Message) {
 /// `NODE_RECLAIM`: adopt a dead node's orphaned slot ranges (the host
 /// computed them from the audit).  Same framing and adoption path as a
 /// trade grant; mid-freeze the adoption is deferred exactly like one.
+/// The reclaim id makes the exchange idempotent: a retried request whose
+/// first ack was lost gets the recorded count re-acked, never a second
+/// adoption of ranges this node already owns.
 pub(crate) fn on_node_reclaim(ctx: &mut NodeCtx, m: Message) {
-    let Some(ranges) = proto::decode_ranges(&m.payload) else {
+    let Some((reclaim_id, ranges)) = proto::decode_node_reclaim(&m.payload) else {
         return;
     };
-    let total: u64 = ranges.iter().map(|r| r.count as u64).sum();
-    if ctx.frozen {
-        ctx.pending_adopts.extend(ranges.iter().copied());
-    } else if !ctx.mgr.adopt_batch(&ranges) {
-        ctx.out
-            .printf(ctx.node, "dropped invalid reclaim grant from the host");
+    if let Some(&slots) = ctx.done_reclaims.get(&reclaim_id) {
         let _ = ctx.ep.send(
             m.src,
             tag::RECLAIM_ACK,
-            proto::encode_reclaim_ack(&ctx.pool, 0),
+            proto::encode_reclaim_ack(&ctx.pool, reclaim_id, slots),
         );
         return;
     }
+    let total: u64 = ranges.iter().map(|r| r.count as u64).sum();
+    let adopted = if ctx.frozen {
+        ctx.pending_adopts.extend(ranges.iter().copied());
+        total as u32
+    } else if ctx.mgr.adopt_batch(&ranges) {
+        total as u32
+    } else {
+        ctx.out
+            .printf(ctx.node, "dropped invalid reclaim grant from the host");
+        0
+    };
+    ctx.done_reclaims.insert(reclaim_id, adopted);
     let _ = ctx.ep.send(
         m.src,
         tag::RECLAIM_ACK,
-        proto::encode_reclaim_ack(&ctx.pool, total as u32),
+        proto::encode_reclaim_ack(&ctx.pool, reclaim_id, adopted),
     );
 }

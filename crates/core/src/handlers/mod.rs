@@ -96,6 +96,48 @@ pub(crate) fn classify(t: u16) -> Class {
     }
 }
 
+/// Sliding 64-sequence receive dedup window for one (source, class)
+/// stream.  `top` is the newest sequence number admitted; bit `d` of
+/// `mask` says whether `top − d` was seen.  A chaos-duplicated message
+/// reuses the original's fabric sequence number, so the replay lands on
+/// an already-set bit.  Anything more than 64 behind `top` also reads as
+/// a duplicate — per-link FIFO plus the fabric's one-slot holdback bound
+/// genuine reordering to a distance of 1, so nothing real ever falls
+/// that far behind.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct DedupWindow {
+    top: u64,
+    mask: u64,
+}
+
+impl DedupWindow {
+    /// Record `seq`; `false` means it was already seen.
+    pub(crate) fn admit(&mut self, seq: u64) -> bool {
+        if self.mask == 0 {
+            self.top = seq;
+            self.mask = 1;
+            return true;
+        }
+        if seq > self.top {
+            let d = seq - self.top;
+            self.mask = if d >= 64 { 0 } else { self.mask << d };
+            self.mask |= 1;
+            self.top = seq;
+            return true;
+        }
+        let d = self.top - seq;
+        if d >= 64 {
+            return false;
+        }
+        let bit = 1u64 << d;
+        if self.mask & bit != 0 {
+            return false;
+        }
+        self.mask |= bit;
+        true
+    }
+}
+
 /// The dispatch table: route one message to its handler.
 pub(crate) fn dispatch(ctx: &mut NodeCtx, m: Message) {
     // Zombie guard: a message from a node known to be dead is late mail
@@ -106,6 +148,9 @@ pub(crate) fn dispatch(ctx: &mut NodeCtx, m: Message) {
     if m.tag != tag::NODE_DEAD && m.src < ctx.n_nodes && ctx.dead_nodes.contains(&m.src) {
         return;
     }
+    // (Chaos duplicates were already dropped at ingest — dedup must run
+    // once per fabric *arrival*, not per dispatch, because messages
+    // deferred during a freeze come back through here a second time.)
     match m.tag {
         tag::SPAWN_KEY => spawn::on_spawn_key(ctx, m),
         tag::RPC_SPAWN => spawn::on_rpc_spawn(ctx, m),
@@ -114,7 +159,7 @@ pub(crate) fn dispatch(ctx: &mut NodeCtx, m: Message) {
         tag::MIGRATION_NAK => migration::on_migration_nak(ctx, m),
         tag::MIGRATE_CMD => migration::on_migrate_cmd(ctx, m),
         tag::NEG_LOCK_REQ => negotiation::on_lock_req(ctx, m.src),
-        tag::NEG_LOCK_RELEASE => negotiation::on_lock_release(ctx),
+        tag::NEG_LOCK_RELEASE => negotiation::on_lock_release(ctx, m.src),
         tag::NEG_BITMAP_REQ => negotiation::on_bitmap_req(ctx, m.src),
         tag::NEG_BUY => negotiation::on_buy(ctx, m),
         tag::NEG_DONE => negotiation::on_neg_done(ctx),
@@ -177,5 +222,40 @@ mod tests {
         assert_eq!(classify(tag::RPC_RESP), Class::Data);
         assert!(Class::Control < Class::Migration);
         assert!(Class::Migration < Class::Data);
+    }
+
+    #[test]
+    fn dedup_window_catches_duplicates_and_tolerates_gaps() {
+        let mut w = DedupWindow::default();
+        assert!(w.admit(0), "first ever sequence admits");
+        assert!(w.admit(1));
+        assert!(!w.admit(1), "immediate duplicate caught");
+        assert!(w.admit(5), "drop-induced gap admits");
+        assert!(w.admit(3), "late (reordered) sequence inside the gap");
+        assert!(!w.admit(3), "its duplicate caught");
+        assert!(!w.admit(0), "old sequence still remembered");
+        assert!(w.admit(4), "unseen in-window sequence admits");
+    }
+
+    #[test]
+    fn dedup_window_handles_reorder_then_duplicate() {
+        // The fabric's holdback swaps adjacent sends: seq 1 arrives
+        // before seq 0, then chaos duplicates both.
+        let mut w = DedupWindow::default();
+        assert!(w.admit(1));
+        assert!(w.admit(0));
+        assert!(!w.admit(1));
+        assert!(!w.admit(0));
+        assert!(w.admit(2));
+    }
+
+    #[test]
+    fn dedup_window_far_jump_forgets_cleanly() {
+        let mut w = DedupWindow::default();
+        assert!(w.admit(10));
+        assert!(w.admit(500), "jump ≥ 64 ahead clears the window");
+        assert!(!w.admit(500));
+        assert!(!w.admit(10), "far-behind reads as duplicate, not panic");
+        assert!(w.admit(499), "in-window slot behind the new top admits");
     }
 }

@@ -1,8 +1,10 @@
 //! Server-side slot-economy handlers: the point-to-point slot trade
 //! (`SLOT_TRADE_REQ`/`SLOT_TRADE_RESP`) plus the surviving §4.4 global
-//! fallback — the FIFO lock service on node 0, the bitmap gather, slot
-//! sales, and the critical-section exit.  The *initiator* side of both
-//! paths runs on the requesting green thread in [`crate::negotiation`].
+//! fallback — the FIFO lock service on the elected coordinator (the
+//! lowest-id live node; see [`crate::node::NodeCtx::coordinator`]), the
+//! bitmap gather, slot sales, and the critical-section exit.  The
+//! *initiator* side of both paths runs on the requesting green thread in
+//! [`crate::negotiation`].
 //!
 //! ## The trade grant (lender side)
 //!
@@ -42,22 +44,30 @@ use crate::node::NodeCtx;
 use crate::proto::{self, tag};
 
 pub(crate) fn on_lock_req(ctx: &mut NodeCtx, from: usize) {
-    assert_eq!(ctx.node, 0, "lock service lives on node 0");
-    if ctx.lock_holder.is_none() {
-        ctx.lock_holder = Some(from);
-        let _ = ctx.ep.send(from, tag::NEG_LOCK_GRANT, Vec::new());
-    } else {
+    // The lock service is a *leased role*, not an address: it lives on
+    // the lowest-id live node.  A request reaching a non-coordinator is
+    // an election-window straggler (the requester resolved the role an
+    // instant before or after we did); drop it — the requester's wait
+    // fails typed when the old coordinator's death lands, and it
+    // re-resolves and re-sends.
+    if !ctx.is_coordinator() {
+        return;
+    }
+    if ctx.lock_holder != Some(from) && !ctx.lock_queue.contains(&from) {
         ctx.lock_queue.push_back(from);
     }
+    ctx.service_lock_queue();
 }
 
-pub(crate) fn on_lock_release(ctx: &mut NodeCtx) {
-    assert_eq!(ctx.node, 0, "lock service lives on node 0");
-    ctx.lock_holder = None;
-    if let Some(next) = ctx.lock_queue.pop_front() {
-        ctx.lock_holder = Some(next);
-        let _ = ctx.ep.send(next, tag::NEG_LOCK_GRANT, Vec::new());
+pub(crate) fn on_lock_release(ctx: &mut NodeCtx, from: usize) {
+    // Only the holder *we* granted can free the service.  A release from
+    // anyone else is stale — typically a holder granted by a dead
+    // predecessor coordinator, whose critical section we never recorded —
+    // and must not unlock a section belonging to someone we did grant.
+    if ctx.lock_holder == Some(from) {
+        ctx.lock_holder = None;
     }
+    ctx.service_lock_queue();
 }
 
 pub(crate) fn on_bitmap_req(ctx: &mut NodeCtx, from: usize) {
@@ -88,6 +98,10 @@ pub(crate) fn on_neg_done(ctx: &mut NodeCtx) {
     // its next step.
     ctx.frozen = false;
     ctx.frozen_by = None;
+    // If we are the coordinator, the freeze may have been the one thing
+    // deferring a grant (e.g. a holder inherited from a dead predecessor
+    // just finished its critical section).
+    ctx.service_lock_queue();
 }
 
 /// A peer below its low watermark asks this node for slots.  Decide and

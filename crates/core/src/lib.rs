@@ -321,4 +321,4 @@ mod tests;
 // Re-export the substrate types an embedder is likely to need.
 pub use isoaddr::{AreaConfig, Distribution, MapStrategy};
 pub use isomalloc::FitPolicy;
-pub use madeleine::{BufPool, BufPoolStats, NetProfile, Payload, Wire};
+pub use madeleine::{BufPool, BufPoolStats, FaultPlan, NetProfile, Payload, Wire};

@@ -136,6 +136,40 @@ pub struct Machine {
     stash: Vec<madeleine::Message>,
 }
 
+/// Tags a fault plan must never drop, duplicate or reorder: the
+/// exactly-once state-transfer messages (migration trains, spawn keys,
+/// exit records, kill/death certificates), application LRPC — whose
+/// handlers are arbitrary user code, so a blind sender retry could
+/// re-execute a non-idempotent call — and the §4.4 negotiation protocol,
+/// whose lock/bitmap/buy exchange assumes a reliable wire.  Everything
+/// else — trades, probes, checkpoints, reclaims, migrate commands,
+/// gossip, heartbeats — is at-least-once: retried by the sender (or
+/// superseded by the next periodic round) and deduplicated by the
+/// receiver's per-(source, class) window.
+const EXACTLY_ONCE_TAGS: &[u16] = &[
+    tag::SPAWN_KEY,
+    tag::RPC_SPAWN,
+    tag::RPC_CALL,
+    tag::RPC_RESP,
+    tag::MIGRATION,
+    tag::MIGRATION_NAK,
+    tag::THREAD_EXIT,
+    tag::NEG_LOCK_REQ,
+    tag::NEG_LOCK_GRANT,
+    tag::NEG_LOCK_RELEASE,
+    tag::NEG_BITMAP_REQ,
+    tag::NEG_BITMAP_RESP,
+    tag::NEG_BUY,
+    tag::NEG_BUY_ACK,
+    tag::NEG_DONE,
+    tag::SHUTDOWN,
+    tag::SHUTDOWN_ACK,
+    tag::AUDIT_REQ,
+    tag::AUDIT_RESP,
+    tag::KILL,
+    tag::NODE_DEAD,
+];
+
 impl Machine {
     /// Start configuring a machine with `nodes` nodes — the v1 facade's
     /// front door (see [`MachineBuilder`]).
@@ -152,9 +186,26 @@ impl Machine {
         // its own.  Deterministic mode: one shared doorbell, so the single
         // round-robin driver parks once for the whole fabric and any send
         // (including the host's) wakes it.
-        let mut eps = match cfg.mode {
-            MachineMode::Threaded => Fabric::new(cfg.nodes + 1, cfg.net),
-            MachineMode::Deterministic => Fabric::new_shared_doorbell(cfg.nodes + 1, cfg.net),
+        //
+        // A configured fault plan gets the exactly-once state-transfer
+        // tags stamped protected before it reaches the fabric: trains,
+        // spawns, exits and the §4.4 lock/bitmap/buy messages move state
+        // that is never retried, so losing or duplicating them would be a
+        // different (unrecoverable) fault model than the at-least-once
+        // request/reply traffic this PR hardens.
+        let plan = cfg
+            .fault_plan
+            .clone()
+            .map(|p| p.protect_tags(EXACTLY_ONCE_TAGS));
+        let mut eps = match (cfg.mode, plan) {
+            (MachineMode::Threaded, None) => Fabric::new(cfg.nodes + 1, cfg.net),
+            (MachineMode::Threaded, Some(p)) => Fabric::new_chaotic(cfg.nodes + 1, cfg.net, p),
+            (MachineMode::Deterministic, None) => {
+                Fabric::new_shared_doorbell(cfg.nodes + 1, cfg.net)
+            }
+            (MachineMode::Deterministic, Some(p)) => {
+                Fabric::new_shared_doorbell_chaotic(cfg.nodes + 1, cfg.net, p)
+            }
         };
         let host_ep = eps.pop().expect("host endpoint");
         let out = OutputSink::new(cfg.echo_output);
@@ -642,30 +693,44 @@ impl Machine {
         if self.host_ep.is_dead(node) {
             return Err(Pm2Error::NodeFailed(node));
         }
+        // A retried CKPT_ACK from an earlier, abandoned request would sit
+        // in the stash forever; clear stale ones before issuing a new id.
+        self.stash.retain(|m| m.tag != tag::CKPT_ACK);
         let req_id =
             ((self.cfg.nodes as u64) << 48) | self.next_tid.fetch_add(1, Ordering::Relaxed);
-        self.host_ep.send(
-            node,
-            tag::CKPT_REQ,
-            proto::encode_ckpt_req(self.host_ep.pool(), req_id),
-        )?;
-        let deadline = Instant::now() + self.cfg.reply_deadline;
-        loop {
-            let slice = deadline.min(Instant::now() + Duration::from_millis(20));
-            if let Some(m) = self.recv_control_matching(tag::CKPT_ACK, slice, |m| {
-                proto::peek_ckpt_id(&m.payload) == Some(req_id)
-            }) {
-                let (_, threads) = proto::decode_ckpt_ack(&m.payload)
-                    .ok_or_else(|| Pm2Error::Net("malformed checkpoint ack".into()))?;
-                return Ok(threads);
-            }
-            if self.host_ep.is_dead(node) {
-                return Err(Pm2Error::NodeFailed(node));
-            }
-            if Instant::now() >= deadline {
-                return Err(Pm2Error::Net("timed out waiting for checkpoint ack".into()));
+        // CKPT_REQ/ACK is at-least-once under a fault plan: re-send with
+        // the same id on loss.  A duplicate request just snapshots again
+        // (the newest epoch supersedes), so retrying is always safe.
+        let attempts = self.cfg.control_retries.max(1);
+        for attempt in 0..attempts {
+            self.host_ep.send(
+                node,
+                tag::CKPT_REQ,
+                proto::encode_ckpt_req(self.host_ep.pool(), req_id),
+            )?;
+            let deadline = Instant::now()
+                + crate::api::retry_slice(self.cfg.reply_deadline, attempts, attempt);
+            loop {
+                let slice = deadline.min(Instant::now() + Duration::from_millis(20));
+                if let Some(m) = self.recv_control_matching(tag::CKPT_ACK, slice, |m| {
+                    proto::peek_ckpt_id(&m.payload) == Some(req_id)
+                }) {
+                    let (_, threads) = proto::decode_ckpt_ack(&m.payload)
+                        .ok_or_else(|| Pm2Error::Net("malformed checkpoint ack".into()))?;
+                    return Ok(threads);
+                }
+                if self.host_ep.is_dead(node) {
+                    return Err(Pm2Error::NodeFailed(node));
+                }
+                if Instant::now() >= deadline {
+                    break;
+                }
             }
         }
+        Err(Pm2Error::RetriesExhausted {
+            op: "checkpoint",
+            attempts,
+        })
     }
 
     /// Checkpoint every live node; returns the total threads covered.
@@ -675,6 +740,31 @@ impl Machine {
             total += self.checkpoint_node(node)?;
         }
         Ok(total)
+    }
+
+    /// Chaos switch: cut the fabric between node sets `a` and `b` — every
+    /// message (any tag, both directions) between the two sets is silently
+    /// eaten until [`Machine::heal_partition`].  Nodes in neither set, and
+    /// the host, keep full connectivity; nodes never observe the cut as a
+    /// death unless it outlives `failure_timeout`.
+    pub fn partition_nodes(&self, a: &[usize], b: &[usize]) {
+        let mut groups = vec![madeleine::WILD_GROUP; self.cfg.nodes + 1];
+        for &n in a {
+            assert!(n < self.cfg.nodes, "no such node: {n}");
+            groups[n] = 0;
+        }
+        for &n in b {
+            assert!(n < self.cfg.nodes, "no such node: {n}");
+            assert!(groups[n] != 0, "node {n} is on both sides of the cut");
+            groups[n] = 1;
+        }
+        self.host_ep.set_partition(groups);
+    }
+
+    /// Heal a [`Machine::partition_nodes`] cut; in-flight messages already
+    /// enqueued before the cut still deliver, eaten ones stay eaten.
+    pub fn heal_partition(&self) {
+        self.host_ep.clear_partition();
     }
 
     /// Recover from `dead`'s death: replay its spill log, re-adopt every
@@ -812,16 +902,34 @@ impl Machine {
         let orphans = collect_ranges(report.n_slots, |s| !owned[s]);
         let mut slots_reclaimed = 0usize;
         if !orphans.is_empty() {
-            self.host_ep.send(
-                survivors[0],
-                tag::NODE_RECLAIM,
-                proto::encode_ranges(self.host_ep.pool(), &orphans),
-            )?;
-            let reclaim_deadline = Instant::now() + self.cfg.reply_deadline;
-            let m = self
-                .recv_control(tag::RECLAIM_ACK, reclaim_deadline)
-                .ok_or_else(|| Pm2Error::Net("timed out waiting for reclaim ack".into()))?;
-            slots_reclaimed = proto::decode_reclaim_ack(&m.payload).unwrap_or(0) as usize;
+            // At-least-once with a sticky heir: always the same survivor,
+            // always the same reclaim id, so a lost ack just provokes a
+            // re-ack of the recorded adoption instead of a double grant.
+            self.stash.retain(|m| m.tag != tag::RECLAIM_ACK);
+            let reclaim_id =
+                ((self.cfg.nodes as u64) << 48) | self.next_tid.fetch_add(1, Ordering::Relaxed);
+            let heir = survivors[0];
+            let attempts = self.cfg.control_retries.max(1);
+            let mut acked = None;
+            for attempt in 0..attempts {
+                self.host_ep.send(
+                    heir,
+                    tag::NODE_RECLAIM,
+                    proto::encode_node_reclaim(self.host_ep.pool(), reclaim_id, &orphans),
+                )?;
+                let deadline = Instant::now()
+                    + crate::api::retry_slice(self.cfg.reply_deadline, attempts, attempt);
+                if let Some(m) = self.recv_control_matching(tag::RECLAIM_ACK, deadline, |m| {
+                    proto::peek_reclaim_id(&m.payload) == Some(reclaim_id)
+                }) {
+                    acked = proto::decode_reclaim_ack(&m.payload).map(|(_, slots)| slots);
+                    break;
+                }
+            }
+            slots_reclaimed = acked.ok_or(Pm2Error::RetriesExhausted {
+                op: "reclaim",
+                attempts,
+            })? as usize;
         }
         let reclaim = t1.elapsed();
 

@@ -1,7 +1,8 @@
 //! Remote slot acquisition: **trade first, negotiate as a fallback**.
 //!
 //! The paper's §4.4 answer to a slot shortfall is a system-wide critical
-//! section: a FIFO lock on node 0, a gather of all `p − 1` bitmaps, a
+//! section: a FIFO lock on the coordinator (the lowest-id live node —
+//! node 0 until it dies), a gather of all `p − 1` bitmaps, a
 //! global OR, a first-fit, per-seller buys, and a freeze of every node's
 //! allocator for the duration — the measured "another 165 µs per extra
 //! node" affine cost.  That protocol survives below ([`run_global`]), but
@@ -64,12 +65,13 @@
 //! they re-check the bitmap first, because the previous holder's batch
 //! usually covers them.
 
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::Ordering;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use isoaddr::{SlotBitmap, SlotRange};
 
-use crate::api::{send_to, wait_reply, wait_reply_matching};
+use crate::api::{send_to, wait_reply};
 use crate::error::{Pm2Error, Result};
 use crate::node::with_ctx;
 use crate::proto::{self, encode_ranges, tag};
@@ -132,14 +134,50 @@ fn run_acquire(requested: usize) -> Result<()> {
         }
         with_ctx(|c| c.stats.trade_fallbacks.fetch_add(1, Ordering::Relaxed));
     }
-    run_global(requested)
+    // The global fallback fails typed when a participant dies mid-
+    // protocol (a seller mid-buy, or the coordinator mid-grant).  The
+    // cluster re-converges — the death is announced, the corpse skipped,
+    // a successor coordinator elected — so one more pass per lost peer is
+    // sound; cap it to the machine size.
+    let max_tries = with_ctx(|c| c.n_nodes.min(4));
+    let mut tries = 0;
+    loop {
+        match run_global(requested) {
+            Err(Pm2Error::NodeFailed(_)) if tries + 1 < max_tries => tries += 1,
+            other => return other,
+        }
+    }
 }
 
-/// One point-to-point trade with the richest known peer.  Returns whether
-/// the local bitmap now satisfies the request.  Any failure (no plausible
-/// peer, refusal, timeout, insufficient contiguity) reports `false` and
-/// the caller falls back to the global protocol.
+/// One trade exchange with the richest known peer, retried on loss:
+/// each attempt re-picks the richest peer (hints may have moved) under a
+/// fresh trade id and an exponentially growing slice of the reply
+/// deadline.  Returns whether the local bitmap now satisfies the
+/// request.  A *received* refusal or insufficiency reports `false`
+/// immediately — that is a negative answer, not loss — and the caller
+/// falls back to the global protocol.
 fn try_trade(requested: usize) -> bool {
+    let (attempts, total_deadline) = with_ctx(|c| (c.control_retries, c.reply_deadline));
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            with_ctx(|c| c.stats.ctrl_retries.fetch_add(1, Ordering::Relaxed));
+        }
+        match try_trade_once(requested, attempt, attempts, total_deadline) {
+            Some(satisfied) => return satisfied,
+            None => continue, // lost in transit (or peer died): retry
+        }
+    }
+    false
+}
+
+/// One attempt of [`try_trade`]: `Some(satisfied)` on a received answer,
+/// `None` when the exchange was lost and a retry is worthwhile.
+fn try_trade_once(
+    requested: usize,
+    attempt: u32,
+    attempts: u32,
+    total_deadline: std::time::Duration,
+) -> Option<bool> {
     let t0 = Instant::now();
     let setup = with_ctx(|c| {
         let peer = c.richest_peer(0)?;
@@ -151,14 +189,15 @@ fn try_trade(requested: usize) -> bool {
         Some((peer, id, want, wealth, c.pool.clone()))
     });
     let Some((peer, id, want, wealth, pool)) = setup else {
-        return false;
+        return Some(false); // nobody plausibly rich: straight to global
     };
     with_ctx(|c| c.stats.trades.fetch_add(1, Ordering::Relaxed));
     let req = proto::encode_slot_trade_req(&pool, id, want as u32, requested as u32, wealth);
     if send_to(peer, tag::SLOT_TRADE_REQ, req).is_err() {
-        return false;
+        return None; // peer died under us; a retry re-picks
     }
-    let Ok(m) = wait_reply_matching(tag::SLOT_TRADE_RESP, Some(peer), |m| {
+    let deadline = Instant::now() + crate::api::retry_slice(total_deadline, attempts, attempt);
+    let Ok(m) = crate::api::wait_reply_until(tag::SLOT_TRADE_RESP, Some(peer), deadline, |m| {
         proto::peek_trade_id(&m.payload) == Some(id)
     }) else {
         // Timed out: a grant may still be in flight, and its slots were
@@ -166,10 +205,10 @@ fn try_trade(requested: usize) -> bool {
         // prefetch machinery so a late reply is adopted by the pump
         // instead of stranding the slots (or the parked-reply queue).
         with_ctx(|c| c.prefetch_pending.insert(id));
-        return false;
+        return None;
     };
     let Some((_, peer_wealth, ranges)) = proto::decode_slot_trade_resp(&m.payload) else {
-        return false;
+        return Some(false);
     };
     let total: u64 = ranges.iter().map(|r| r.count as u64).sum();
     // Adopt once the bitmap is not frozen (a global negotiation may have
@@ -200,7 +239,7 @@ fn try_trade(requested: usize) -> bool {
             Some(c.mgr.bitmap().find_first_fit(requested, 0).is_some())
         });
         match done {
-            Some(satisfied) => return satisfied,
+            Some(satisfied) => return Some(satisfied),
             None => marcel::yield_now(),
         }
     }
@@ -208,8 +247,9 @@ fn try_trade(requested: usize) -> bool {
 
 /// The paper's global negotiation (§4.4), verbatim in protocol shape:
 ///
-/// (a) enter a system-wide critical section — a FIFO lock service on node
-///     0; every node freezes its bitmap when it answers the gather (and
+/// (a) enter a system-wide critical section — a FIFO lock service on the
+///     elected coordinator (the lowest-id live node); every node freezes
+///     its bitmap when it answers the gather (and
 ///     unfreezes on `NEG_DONE`), so "no other node is allowed to modify
 ///     its slot bitmap within this section" while code and block-level
 ///     allocation keep running;
@@ -240,12 +280,28 @@ fn run_global(requested: usize) -> Result<()> {
 fn run_global_protocol(requested: usize) -> Result<()> {
     let (me, p) = with_ctx(|c| (c.node, c.n_nodes));
 
-    // (a) system-wide critical section.  If node 0 (the lock service) is
-    // dead the send fails typed and the acquisition errors out — the
-    // global fallback needs the lock home alive (a known limitation; the
-    // chaos suites kill non-zero nodes).
-    send_to(0, tag::NEG_LOCK_REQ, Vec::new())?;
-    wait_reply(tag::NEG_LOCK_GRANT, Some(0))?;
+    // (a) system-wide critical section against the *current* coordinator
+    // — the lowest-id live node (`NodeCtx::coordinator`).  If the
+    // coordinator dies before granting, the wait fails typed with its id;
+    // re-resolve and re-issue.  The request queue died with the corpse,
+    // so re-sending is the recovery, not a duplicate.  Each failure means
+    // another node died, so p iterations bound the loop.
+    let mut grant_attempts = 0usize;
+    loop {
+        let coord = with_ctx(|c| c.coordinator());
+        match send_to(coord, tag::NEG_LOCK_REQ, Vec::new())
+            .and_then(|()| wait_reply(tag::NEG_LOCK_GRANT, Some(coord)))
+        {
+            Ok(_) => break,
+            Err(Pm2Error::NodeFailed(n)) => {
+                grant_attempts += 1;
+                if grant_attempts >= p {
+                    return Err(Pm2Error::NodeFailed(n));
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
     with_ctx(|c| c.frozen = true);
 
     // (b)–(d) under a cleanup guarantee: whatever fails mid-section (a
@@ -254,7 +310,10 @@ fn run_global_protocol(requested: usize) -> Result<()> {
     // other node frozen forever.
     let outcome = gather_and_buy(me, p, requested);
 
-    // (e)+(f): end the critical section everywhere and release the lock.
+    // (e)+(f): end the critical section everywhere and release the lock —
+    // addressed to whoever coordinates *now*.  If our granter died
+    // mid-section, its successor never recorded our holdership and
+    // ignores the stale release (but still services its queue).
     with_ctx(|c| {
         for peer in 0..p {
             if peer != c.node {
@@ -263,29 +322,57 @@ fn run_global_protocol(requested: usize) -> Result<()> {
         }
         c.frozen = false;
     });
-    let _ = send_to(0, tag::NEG_LOCK_RELEASE, Vec::new());
+    let _ = send_to(
+        with_ctx(|c| c.coordinator()),
+        tag::NEG_LOCK_RELEASE,
+        Vec::new(),
+    );
     outcome
 }
 
 /// Steps (b)–(d) of the global protocol: gather live peers' bitmaps,
-/// first-fit the union, buy the non-local sub-ranges.
+/// first-fit the union, buy the non-local sub-ranges.  Peers that die
+/// mid-gather or mid-buy are pruned instead of hung on: their reply is
+/// never coming, and their slots are recovery's business, not this
+/// negotiation's.
 fn gather_and_buy(me: usize, p: usize, requested: usize) -> Result<()> {
+    // A previous negotiation that erred out mid-gather may have left late
+    // bitmap/ack replies parked; matching them into *this* round would
+    // hand the first-fit a stale bitmap.  Only one negotiation runs at a
+    // time per node, so anything parked under these tags is stale.
+    with_ctx(|c| {
+        c.replies
+            .retain(|m| m.tag != tag::NEG_BITMAP_RESP && m.tag != tag::NEG_BUY_ACK)
+    });
     // (b) gather the bitmaps of every *live* peer.  A send refused with a
     // death certificate drops that peer from the gather: a corpse's slots
     // are reclaimed by recovery (`Machine::recover_node`), never bought.
-    let mut expected = 0usize;
+    let mut owing: HashSet<usize> = HashSet::new();
     for peer in 0..p {
         if peer != me && send_to(peer, tag::NEG_BITMAP_REQ, Vec::new()).is_ok() {
-            expected += 1;
+            owing.insert(peer);
         }
     }
     let mut bitmaps: Vec<Option<SlotBitmap>> = (0..p).map(|_| None).collect();
     bitmaps[me] = Some(with_ctx(|c| c.mgr.bitmap().clone()));
-    for _ in 0..expected {
-        let m = wait_reply(tag::NEG_BITMAP_RESP, None)?;
-        let bm = SlotBitmap::from_bytes(&m.payload)
-            .ok_or_else(|| Pm2Error::Net("malformed bitmap response".into()))?;
-        bitmaps[m.src] = Some(bm);
+    let overall = Instant::now() + with_ctx(|c| c.reply_deadline);
+    while !owing.is_empty() {
+        let slice = overall.min(Instant::now() + Duration::from_millis(20));
+        match crate::api::wait_reply_until(tag::NEG_BITMAP_RESP, None, slice, |_| true) {
+            Ok(m) => {
+                let bm = SlotBitmap::from_bytes(&m.payload)
+                    .ok_or_else(|| Pm2Error::Net("malformed bitmap response".into()))?;
+                owing.remove(&m.src);
+                bitmaps[m.src] = Some(bm);
+            }
+            Err(_) => {
+                // Slice expiry: prune peers that died since the scatter.
+                with_ctx(|c| owing.retain(|&peer| !c.dead_nodes.contains(&peer)));
+                if Instant::now() >= overall && !owing.is_empty() {
+                    return Err(Pm2Error::Net("bitmap gather timed out".into()));
+                }
+            }
+        }
     }
 
     // (c) global OR, plus the owner table: one pass over the gathered
@@ -341,26 +428,63 @@ fn gather_and_buy(me: usize, p: usize, requested: usize) -> Result<()> {
                     SlotRange::new(run_start, range.end() - run_start),
                 );
             }
-            let mut pending_acks = 0usize;
-            let mut bought: Vec<SlotRange> = Vec::new();
+            let mut pending: HashMap<usize, Vec<SlotRange>> = HashMap::new();
             let pool = crate::api::local_pool();
             for (owner, ranges) in &sellers {
                 if *owner == me {
                     continue;
                 }
                 send_to(*owner, tag::NEG_BUY, encode_ranges(&pool, ranges))?;
-                pending_acks += 1;
-                bought.extend_from_slice(ranges);
+                pending.insert(*owner, ranges.clone());
             }
-            for _ in 0..pending_acks {
-                wait_reply(tag::NEG_BUY_ACK, None)?;
+            // Grant per *acked* seller: an ack proves that seller cleared
+            // its bits, so its ranges transfer even if another seller
+            // dies.  A dead seller's ranges stay ungranted — whether the
+            // corpse cleared them is unknowable, so they fall to corpse
+            // reclamation — and the negotiation reports the death typed
+            // (the caller may retry; our NEG_DONE fan-out still runs).
+            let mut bought: Vec<SlotRange> = Vec::new();
+            let mut lost_seller: Option<usize> = None;
+            let overall = Instant::now() + with_ctx(|c| c.reply_deadline);
+            let mut timed_out = false;
+            while !pending.is_empty() {
+                let slice = overall.min(Instant::now() + Duration::from_millis(20));
+                match crate::api::wait_reply_until(tag::NEG_BUY_ACK, None, slice, |_| true) {
+                    Ok(m) => {
+                        if let Some(rs) = pending.remove(&m.src) {
+                            bought.extend(rs);
+                        }
+                    }
+                    Err(_) => {
+                        with_ctx(|c| {
+                            pending.retain(|&seller, _| {
+                                if c.dead_nodes.contains(&seller) {
+                                    lost_seller = Some(seller);
+                                    false
+                                } else {
+                                    true
+                                }
+                            })
+                        });
+                        if Instant::now() >= overall && !pending.is_empty() {
+                            timed_out = true;
+                            break;
+                        }
+                    }
+                }
             }
             with_ctx(|c| {
                 for r in &bought {
                     c.mgr.grant(*r);
                 }
             });
-            Ok(())
+            if timed_out {
+                return Err(Pm2Error::Net("buy acks timed out".into()));
+            }
+            match lost_seller {
+                Some(seller) => Err(Pm2Error::NodeFailed(seller)),
+                None => Ok(()),
+            }
         }
     }
 }

@@ -187,6 +187,12 @@ pub struct NodeStats {
     /// quiescent machine accumulates (almost) none of either beyond the
     /// initial park.
     pub driver_wakeups: AtomicU64,
+    /// Messages dropped by the per-(source, class) dedup window — chaos
+    /// duplicates (same fabric seq) caught before they reached a handler.
+    pub dup_dropped: AtomicU64,
+    /// Control-plane retries issued by this node (trade and probe
+    /// re-sends after a lost request or reply).
+    pub ctrl_retries: AtomicU64,
 }
 
 /// Plain snapshot of [`NodeStats`].
@@ -221,6 +227,10 @@ pub struct NodeStatsSnapshot {
     pub steps: u64,
     pub driver_parks: u64,
     pub driver_wakeups: u64,
+    /// Chaos duplicates dropped by the dedup window.
+    pub dup_dropped: u64,
+    /// Control-plane retries issued (trade/probe re-sends).
+    pub ctrl_retries: u64,
 }
 
 impl NodeStatsSnapshot {
@@ -267,6 +277,8 @@ impl NodeStats {
         self.steps.store(0, Ordering::Relaxed);
         self.driver_parks.store(0, Ordering::Relaxed);
         self.driver_wakeups.store(0, Ordering::Relaxed);
+        self.dup_dropped.store(0, Ordering::Relaxed);
+        self.ctrl_retries.store(0, Ordering::Relaxed);
     }
 
     /// Point-in-time copy.
@@ -298,6 +310,8 @@ impl NodeStats {
             steps: self.steps.load(Ordering::Relaxed),
             driver_parks: self.driver_parks.load(Ordering::Relaxed),
             driver_wakeups: self.driver_wakeups.load(Ordering::Relaxed),
+            dup_dropped: self.dup_dropped.load(Ordering::Relaxed),
+            ctrl_retries: self.ctrl_retries.load(Ordering::Relaxed),
         }
     }
 }
@@ -375,9 +389,25 @@ pub(crate) struct NodeCtx {
     /// Trade grants that arrived while the bitmap was frozen; adopted
     /// after NEG_DONE.
     pub pending_adopts: Vec<SlotRange>,
-    /// Lock service state (meaningful on node 0 only).
+    /// Lock service state (meaningful on the current coordinator — the
+    /// lowest-id live node; see [`NodeCtx::coordinator`]).
     pub lock_holder: Option<usize>,
     pub lock_queue: VecDeque<usize>,
+    /// Grant embargo after *inheriting* the coordinator role.  The dead
+    /// predecessor may have granted a holder whose NEG_BITMAP_REQ has not
+    /// frozen us yet; granting a second holder inside that window would
+    /// run two critical sections at once.  Until the instant passes (or
+    /// the in-flight holder's gather freezes us, which also defers
+    /// grants), the queue waits.
+    pub coord_settle_until: Option<Instant>,
+    /// Per-(source, class) receive dedup windows, indexed
+    /// `src * N_CLASSES + class`.  Chaos duplicates reuse the original's
+    /// fabric sequence number, so a replay lands on an already-set bit
+    /// and is dropped before any handler runs.
+    pub dedup: Vec<crate::handlers::DedupWindow>,
+    /// Reclaim ids already adopted (id → slots granted), so a retried
+    /// NODE_RECLAIM re-acks the recorded count instead of re-adopting.
+    pub done_reclaims: HashMap<u64, u32>,
     /// Threads that exited while the bitmap was frozen; released later.
     pub zombies: Vec<DescPtr>,
     pub shutdown: bool,
@@ -463,6 +493,12 @@ pub(crate) struct NodeCtx {
     /// Most slots asked for in one demand trade beyond the request itself
     /// (the batch that amortizes one round trip over many acquisitions).
     pub trade_batch: usize,
+    /// Total attempts for at-least-once control exchanges (the
+    /// `control_retries` knob, floored at 1).
+    pub control_retries: u32,
+    /// Compact the spill log once it holds more than this many records
+    /// (the `spill_compact_after` knob; 0 disables compaction).
+    pub spill_compact_after: usize,
     /// Fault-injection hook: tids whose packed record group is truncated
     /// on departure (tests only; see `Pm2Config::fault_corrupt_pack`).
     pub fault_corrupt_pack: HashSet<u64>,
@@ -561,6 +597,12 @@ impl NodeCtx {
             pending_adopts: Vec::new(),
             lock_holder: None,
             lock_queue: VecDeque::new(),
+            coord_settle_until: None,
+            dedup: vec![
+                crate::handlers::DedupWindow::default();
+                (cfg.nodes + 1) * crate::handlers::N_CLASSES
+            ],
+            done_reclaims: HashMap::new(),
             zombies: Vec::new(),
             shutdown: false,
             shutdown_acked: false,
@@ -596,6 +638,8 @@ impl NodeCtx {
             low_watermark: cfg.slot_low_watermark,
             high_watermark: cfg.slot_high_watermark.max(cfg.slot_low_watermark),
             trade_batch: cfg.trade_batch.max(1),
+            control_retries: cfg.control_retries.max(1),
+            spill_compact_after: cfg.spill_compact_after,
             fault_corrupt_pack: cfg.fault_corrupt_pack.iter().copied().collect(),
         }
     }
@@ -895,21 +939,84 @@ impl NodeCtx {
                 payload,
             });
         }
-        // Node-0 lock service: a corpse can neither hold nor want the
+        // Lock service: a corpse can neither hold nor want the
         // global-negotiation lock.
         self.lock_queue.retain(|&w| w != dead);
         if self.lock_holder == Some(dead) {
             self.lock_holder = None;
-            if let Some(next) = self.lock_queue.pop_front() {
-                self.lock_holder = Some(next);
-                let _ = self.ep.send(next, tag::NEG_LOCK_GRANT, Vec::new());
-            }
+        }
+        // Did this death hand us the coordinator role?  The predecessor
+        // may have granted a holder whose gather has not frozen us yet;
+        // embargo grants briefly so that holder's critical section can
+        // assert itself before we would start a second one.
+        if dead < self.node && self.is_coordinator() {
+            let settle = Duration::from_millis(50).min(self.reply_deadline / 4);
+            self.coord_settle_until = Some(Instant::now() + settle);
         }
         // If the dead node froze our bitmap as a negotiation initiator it
         // can never send NEG_DONE; unfreeze, or this node wedges forever.
         if self.frozen && self.frozen_by == Some(dead) {
             self.frozen = false;
             self.frozen_by = None;
+        }
+        self.service_lock_queue();
+    }
+
+    /// The §4.4 lock-service coordinator: the lowest-id node not known to
+    /// be dead.  Resolved from the fabric's death certificates (monotonic
+    /// and machine-wide consistent) merged with this node's own
+    /// `dead_nodes` set, so every survivor converges on the same answer
+    /// without a ballot — the rank is the node id, and the election *is*
+    /// the death announcement.
+    pub(crate) fn coordinator(&self) -> usize {
+        (0..self.n_nodes)
+            .find(|&n| !self.dead_nodes.contains(&n) && !self.ep.is_dead(n))
+            .unwrap_or(0)
+    }
+
+    /// Whether this node currently serves the §4.4 lock.
+    pub(crate) fn is_coordinator(&self) -> bool {
+        self.coordinator() == self.node
+    }
+
+    /// Grant the lock to the queue head if the service is free to do so:
+    /// we are the coordinator, no holder is out, no settle embargo is in
+    /// force, and no in-flight critical section has our bitmap frozen.
+    /// Called from every event that could unblock a grant (request,
+    /// release, NEG_DONE, a death, the step loop for embargo expiry).
+    pub(crate) fn service_lock_queue(&mut self) {
+        if self.lock_holder.is_some()
+            || self.lock_queue.is_empty()
+            || self.frozen
+            || !self.is_coordinator()
+        {
+            return;
+        }
+        if let Some(until) = self.coord_settle_until {
+            if Instant::now() < until {
+                return;
+            }
+            self.coord_settle_until = None;
+        }
+        if let Some(next) = self.lock_queue.pop_front() {
+            self.lock_holder = Some(next);
+            let _ = self.ep.send(next, tag::NEG_LOCK_GRANT, Vec::new());
+        }
+    }
+
+    /// Admit `seq` from `src` into the per-(source, class) dedup window;
+    /// `false` means an already-seen sequence number (a chaos duplicate)
+    /// that must not reach a handler.
+    pub(crate) fn dedup_admit(
+        &mut self,
+        src: usize,
+        class: crate::handlers::Class,
+        seq: u64,
+    ) -> bool {
+        let idx = src * crate::handlers::N_CLASSES + class as usize;
+        match self.dedup.get_mut(idx) {
+            Some(w) => w.admit(seq),
+            None => true,
         }
     }
 
@@ -957,10 +1064,17 @@ impl NodeCtx {
             migration::pack_threads_snapshot(&ds, &self.mgr, self.pack_full_slots, &self.pool)?
         };
         let epoch = self.ckpt_epoch;
-        self.spill
-            .as_mut()
-            .expect("spill checked above")
-            .append(epoch, &buf)?;
+        let log = self.spill.as_mut().expect("spill checked above");
+        log.append(epoch, &buf)?;
+        // Periodic checkpointing grows the log without bound (every epoch
+        // re-writes every live thread); compaction rewrites it down to the
+        // newest record per tid once it crosses the knob.
+        if self.spill_compact_after > 0 && log.records() > self.spill_compact_after {
+            if let Err(e) = log.compact() {
+                self.out
+                    .printf(self.node, &format!("spill compaction failed: {e}"));
+            }
+        }
         self.stats.checkpoints.fetch_add(1, Ordering::Relaxed);
         self.stats
             .checkpoint_threads
@@ -996,7 +1110,19 @@ impl NodeCtx {
                 // on total silence.
                 self.last_heard[m.src] = Instant::now();
             }
-            self.inbox[handlers::classify(m.tag) as usize].push_back(m);
+            let class = handlers::classify(m.tag);
+            // Dedup guard: drop chaos duplicates (same fabric seq as a
+            // message this window already admitted) before any handler
+            // can double-apply them — a replayed SLOT_TRADE_RESP must not
+            // adopt its slots twice.  It runs here, once per fabric
+            // arrival, because dispatch sees some messages twice (those
+            // deferred during a freeze are replayed after NEG_DONE).
+            // Self-sends skip the window: the fabric never faults them.
+            if m.src != self.node && !self.dedup_admit(m.src, class, m.seq) {
+                self.stats.dup_dropped.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            self.inbox[class as usize].push_back(m);
         }
     }
 
@@ -1053,6 +1179,11 @@ impl NodeCtx {
         }
         self.fault_tick();
         self.maybe_checkpoint();
+        if !self.lock_queue.is_empty() {
+            // Inherited-coordinator embargo expiry: no message may arrive
+            // to trigger the deferred grant, so the step loop must.
+            self.service_lock_queue();
+        }
         if !self.frozen && !self.zombies.is_empty() {
             self.reap_zombies();
         }

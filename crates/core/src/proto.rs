@@ -101,9 +101,10 @@ pub mod tag {
     /// Node → host: checkpoint done (echoed id + threads written).
     pub const CKPT_ACK: u16 = 43;
     /// Host → node: adopt these orphaned slot ranges (a dead node's
-    /// reclaimed estate; same range framing as `NEG_BUY`).
+    /// reclaimed estate).  Carries a reclaim id so a retried request is
+    /// idempotent: the heir re-acks a duplicate id without re-adopting.
     pub const NODE_RECLAIM: u16 = 44;
-    /// Node → host: reclamation done (adopted slot count).
+    /// Node → host: reclamation done (echoed id + adopted slot count).
     pub const RECLAIM_ACK: u16 = 45;
     /// Node → node: liveness probe for the failure detector.  Arrival (of
     /// *any* message) refreshes the sender's last-heard stamp; since the
@@ -447,16 +448,48 @@ pub fn peek_ckpt_id(buf: &[u8]) -> Option<u64> {
     madeleine::message::PayloadReader::new(buf).u64()
 }
 
-/// Encode a `RECLAIM_ACK` payload: slots adopted.
-pub fn encode_reclaim_ack(pool: &BufPool, slots: u32) -> Payload {
-    let mut w = PayloadWriter::pooled(pool, 4);
-    w.u32(slots);
+/// Encode a `NODE_RECLAIM` payload: (reclaim id, orphaned ranges).  The
+/// id makes the request idempotent under retries — an heir that already
+/// adopted under this id re-acks the recorded count without re-adopting.
+pub fn encode_node_reclaim(pool: &BufPool, reclaim_id: u64, ranges: &[SlotRange]) -> Payload {
+    let mut w = PayloadWriter::pooled(pool, 16 + ranges.len() * 16);
+    w.u64(reclaim_id).u32(ranges.len() as u32);
+    for r in ranges {
+        w.u64(r.first as u64).u64(r.count as u64);
+    }
     w.finish()
 }
 
-/// Decode a `RECLAIM_ACK` payload.
-pub fn decode_reclaim_ack(buf: &[u8]) -> Option<u32> {
-    madeleine::message::PayloadReader::new(buf).u32()
+/// Decode a `NODE_RECLAIM` payload into (reclaim id, ranges).
+pub fn decode_node_reclaim(buf: &[u8]) -> Option<(u64, Vec<SlotRange>)> {
+    let mut r = madeleine::message::PayloadReader::new(buf);
+    let reclaim_id = r.u64()?;
+    let count = r.u32()? as usize;
+    let mut ranges = Vec::with_capacity(count.min(4096));
+    for _ in 0..count {
+        let first = r.u64()? as usize;
+        let n = r.u64()? as usize;
+        ranges.push(SlotRange::new(first, n));
+    }
+    Some((reclaim_id, ranges))
+}
+
+/// Encode a `RECLAIM_ACK` payload: (echoed reclaim id, slots adopted).
+pub fn encode_reclaim_ack(pool: &BufPool, reclaim_id: u64, slots: u32) -> Payload {
+    let mut w = PayloadWriter::pooled(pool, 12);
+    w.u64(reclaim_id).u32(slots);
+    w.finish()
+}
+
+/// Decode a `RECLAIM_ACK` payload into (reclaim id, slots adopted).
+pub fn decode_reclaim_ack(buf: &[u8]) -> Option<(u64, u32)> {
+    let mut r = madeleine::message::PayloadReader::new(buf);
+    Some((r.u64()?, r.u32()?))
+}
+
+/// Read just the leading reclaim id off a `RECLAIM_ACK` (reply matching).
+pub fn peek_reclaim_id(buf: &[u8]) -> Option<u64> {
+    madeleine::message::PayloadReader::new(buf).u64()
 }
 
 /// Encode an `RPC_CALL` payload.  `reply_to` is the fabric id the response
@@ -701,8 +734,13 @@ mod tests {
         assert_eq!(decode_ckpt_ack(&ack), Some((0xC0FFEE, 12)));
         assert_eq!(peek_ckpt_id(&ack), Some(0xC0FFEE));
 
-        let rack = encode_reclaim_ack(&pool, 200);
-        assert_eq!(decode_reclaim_ack(&rack), Some(200));
+        let ranges = vec![SlotRange::new(10, 4), SlotRange::new(100, 1)];
+        let nr = encode_node_reclaim(&pool, 0xBEEF, &ranges);
+        assert_eq!(decode_node_reclaim(&nr), Some((0xBEEF, ranges)));
+
+        let rack = encode_reclaim_ack(&pool, 0xBEEF, 200);
+        assert_eq!(decode_reclaim_ack(&rack), Some((0xBEEF, 200)));
+        assert_eq!(peek_reclaim_id(&rack), Some(0xBEEF));
     }
 
     #[test]

@@ -29,7 +29,7 @@
 //! * a **checksum mismatch** on a complete frame skips that one record and
 //!   keeps replaying — bit rot costs the record, never the log.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
@@ -56,6 +56,10 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
 pub struct SpillLog {
     path: PathBuf,
     file: File,
+    /// Whole frames currently in the log (pre-existing ones counted on
+    /// open; compaction resets it).  Drives the `spill_compact_after`
+    /// trigger without re-scanning the file.
+    records: usize,
 }
 
 impl SpillLog {
@@ -74,12 +78,13 @@ impl SpillLog {
             .truncate(false)
             .open(path)
             .map_err(io)?;
-        let sound = sound_prefix_len(&mut file).map_err(io)?;
+        let (sound, records) = sound_prefix(&mut file).map_err(io)?;
         file.set_len(sound).map_err(io)?;
         file.seek(SeekFrom::End(0)).map_err(io)?;
         Ok(SpillLog {
             path: path.to_path_buf(),
             file,
+            records,
         })
     }
 
@@ -96,12 +101,57 @@ impl SpillLog {
         self.file.write_all(&hdr).map_err(io)?;
         self.file.write_all(train).map_err(io)?;
         self.file.flush().map_err(io)?;
+        self.records += 1;
         Ok(())
     }
 
     /// The file this log appends to.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// Whole frames currently in the log.
+    pub fn records(&self) -> usize {
+        self.records
+    }
+
+    /// Rewrite the log down to the newest record group per tid.  Every
+    /// epoch of checkpointing re-writes every live thread, so an
+    /// append-only log grows without bound; compaction reclaims the
+    /// superseded records while preserving exactly what replay would
+    /// recover: for each tid, the same `(epoch, group)` pair, regrouped
+    /// into one train per surviving epoch.  The rewrite goes to a temp
+    /// file first and lands via atomic rename, so a crash mid-compaction
+    /// costs nothing — the old log is intact until the rename commits.
+    pub fn compact(&mut self) -> Result<()> {
+        let io = |e: std::io::Error| Pm2Error::Spill(format!("{}: {e}", self.path.display()));
+        let before = replay(&self.path)?;
+        let newest = before.latest_by_tid();
+        // One train per surviving epoch (a record carries a single epoch
+        // stamp), tids sorted for deterministic output.
+        let mut by_epoch: BTreeMap<u64, Vec<(u64, &[u8])>> = BTreeMap::new();
+        for (tid, (epoch, group)) in &newest {
+            by_epoch.entry(*epoch).or_default().push((*tid, *group));
+        }
+        let tmp = self.path.with_extension("compact");
+        {
+            let mut out = SpillLog::open(&tmp)?;
+            // A leftover temp from a crashed compaction must not leak its
+            // stale records into this one.
+            out.file.set_len(0).map_err(io)?;
+            out.file.seek(SeekFrom::Start(0)).map_err(io)?;
+            out.records = 0;
+            for (epoch, mut groups) in by_epoch {
+                groups.sort_by_key(|&(tid, _)| tid);
+                let train = crate::migration::build_train(&groups);
+                out.append(epoch, &train)?;
+            }
+        }
+        std::fs::rename(&tmp, &self.path).map_err(io)?;
+        let reopened = SpillLog::open(&self.path)?;
+        self.file = reopened.file;
+        self.records = reopened.records;
+        Ok(())
     }
 }
 
@@ -200,21 +250,25 @@ fn parse_frame(bytes: &[u8]) -> Option<(u64, u64, &[u8])> {
 }
 
 /// Byte length of the longest prefix of `file` made of whole frames (the
-/// cut point for torn-tail truncation on re-open).  Frames with bad
-/// checksums still count — their *framing* is sound, and the replayer
-/// skips them by content.
-fn sound_prefix_len(file: &mut File) -> std::io::Result<u64> {
+/// cut point for torn-tail truncation on re-open), plus how many frames
+/// it holds.  Frames with bad checksums still count — their *framing* is
+/// sound, and the replayer skips them by content.
+fn sound_prefix(file: &mut File) -> std::io::Result<(u64, usize)> {
     let mut bytes = Vec::new();
     file.seek(SeekFrom::Start(0))?;
     file.read_to_end(&mut bytes)?;
     let mut off = 0;
+    let mut frames = 0;
     while off < bytes.len() {
         match parse_frame(&bytes[off..]) {
-            Some((_, _, body)) => off += HDR + body.len(),
+            Some((_, _, body)) => {
+                off += HDR + body.len();
+                frames += 1;
+            }
             None => break,
         }
     }
-    Ok(off as u64)
+    Ok((off as u64, frames))
 }
 
 #[cfg(test)]
@@ -328,6 +382,79 @@ mod tests {
         let mut log = SpillLog::open(&p).unwrap();
         log.append(1, &fake_train(7, 0x11)).unwrap();
         assert_eq!(replay(&p).unwrap().records.len(), 1);
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn compaction_preserves_replay_and_shrinks_the_log() {
+        let p = scratch("compact");
+        let mut log = SpillLog::open(&p).unwrap();
+        // Three epochs of two threads plus one thread that stops being
+        // checkpointed after epoch 1 (exited or migrated away — its
+        // newest record must survive compaction regardless).
+        log.append(
+            1,
+            &crate::migration::build_train(&[(7, &[0x17; 24]), (8, &[0x18; 24]), (9, &[0x19; 24])]),
+        )
+        .unwrap();
+        for epoch in 2..=3 {
+            let fill = epoch as u8;
+            log.append(
+                epoch,
+                &crate::migration::build_train(&[(7, &[fill; 24]), (8, &[fill ^ 0xFF; 24])]),
+            )
+            .unwrap();
+        }
+        assert_eq!(log.records(), 3);
+        let before: Vec<(u64, u64, Vec<u8>)> = {
+            let r = replay(&p).unwrap();
+            let mut v: Vec<_> = r
+                .latest_by_tid()
+                .into_iter()
+                .map(|(tid, (e, g))| (tid, e, g.to_vec()))
+                .collect();
+            v.sort();
+            v
+        };
+        let bytes_before = std::fs::metadata(&p).unwrap().len();
+
+        log.compact().unwrap();
+
+        let after: Vec<(u64, u64, Vec<u8>)> = {
+            let r = replay(&p).unwrap();
+            assert_eq!(r.corrupt_skipped, 0);
+            assert!(!r.torn_tail);
+            let mut v: Vec<_> = r
+                .latest_by_tid()
+                .into_iter()
+                .map(|(tid, (e, g))| (tid, e, g.to_vec()))
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(after, before, "replay is byte-identical per tid");
+        assert!(
+            std::fs::metadata(&p).unwrap().len() < bytes_before,
+            "superseded records were reclaimed"
+        );
+        // Two surviving epochs (1 for tid 9, 3 for tids 7/8) → two frames.
+        assert_eq!(log.records(), 2);
+        // The handle keeps appending cleanly after the rename.
+        log.append(4, &fake_train(7, 0x44)).unwrap();
+        assert_eq!(log.records(), 3);
+        assert_eq!(replay(&p).unwrap().latest_by_tid()[&7].0, 4);
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn open_counts_existing_records() {
+        let p = scratch("count");
+        let mut log = SpillLog::open(&p).unwrap();
+        log.append(1, &fake_train(7, 0x11)).unwrap();
+        log.append(2, &fake_train(8, 0x22)).unwrap();
+        drop(log);
+        let log = SpillLog::open(&p).unwrap();
+        assert_eq!(log.records(), 2);
         std::fs::remove_file(&p).unwrap();
     }
 

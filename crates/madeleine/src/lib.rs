@@ -54,8 +54,41 @@
 //! the park race-free, [`Endpoint::recv_until`] gives a deadline-bounded
 //! blocking receive, and [`Fabric::new_shared_doorbell`] aliases one bell
 //! across every endpoint for single-driver (deterministic) embedders.
+//!
+//! ## The fault model
+//!
+//! By default every link is a perfect wire: no loss, no duplication, no
+//! reordering beyond the documented per-pair FIFO guarantee.
+//! [`Fabric::new_chaotic`] replaces it with a seeded [`FaultPlan`] (see
+//! [`chaos`]) that may, per directed link and in a byte-identical
+//! schedule for a given seed:
+//!
+//! * **drop** a message (the sender still sees `Ok` — loss is silent,
+//!   like a real NIC);
+//! * **duplicate** a message — the copy reuses the original's sequence
+//!   number, so a receiver-side dedup window can recognize it;
+//! * **delay** a message by extra modelled wire time, charged at the
+//!   receiver exactly like the profile's own latency;
+//! * **hold** a message in a one-slot per-link holdback queue, releasing
+//!   it behind the next send on that link — a bounded same-link reorder;
+//! * **cut** traffic between two node sets (scheduled windows on the
+//!   plan, or [`Endpoint::set_partition`] /
+//!   [`Endpoint::clear_partition`] at runtime) — partitions eat every
+//!   tag bidirectionally until healed.
+//!
+//! What the fabric still guarantees under any plan: the modelled wire
+//! clock is never falsified (each *delivered* message pays its cost at
+//! the receiver exactly once), death certificates stay monotonic, and
+//! tags listed in [`FaultPlan::protect_tags`] are exempt from the RNG
+//! faults — embedders protect unacknowledged state-transfer messages
+//! (PM2 protects migration trains, spawns, and thread-exit records:
+//! those are *exactly-once* by construction, while its request/reply
+//! control traffic is *at-least-once* — retried above, deduplicated at
+//! the receiver).  Every injected fault is counted on the sender's
+//! [`EndpointStatsSnapshot`] (`chaos_*` fields).
 
 pub mod buf;
+pub mod chaos;
 pub mod doorbell;
 pub mod message;
 pub mod network;
@@ -64,9 +97,10 @@ pub mod stats;
 pub mod wire;
 
 pub use buf::{BufPool, BufPoolStats, Payload, PayloadBuf};
+pub use chaos::FaultPlan;
 pub use doorbell::Doorbell;
 pub use message::Message;
-pub use network::{DeathWatch, Endpoint, Fabric, NetError};
+pub use network::{DeathWatch, Endpoint, Fabric, NetError, WILD_GROUP};
 pub use profile::{spin_for, NetProfile};
 pub use stats::{EndpointStats, EndpointStatsSnapshot};
 pub use wire::Wire;

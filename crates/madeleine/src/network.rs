@@ -18,19 +18,24 @@
 //! [`Endpoint::broadcast`], and pooled buffers (see [`crate::buf`]) return
 //! to their origin endpoint's free list when the receiver drops them.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 use std::time::Instant;
 
 use crate::buf::{BufPool, Payload};
+use crate::chaos::{EndpointChaos, FaultPlan, Verdict};
 use crate::doorbell::Doorbell;
 use crate::message::Message;
 use crate::profile::{spin_for, NetProfile};
 use crate::stats::{EndpointStats, EndpointStatsSnapshot};
+
+/// Partition group id meaning "reachable from every group" — used for
+/// nodes outside either side of a cut (e.g. an embedder's host endpoint).
+pub const WILD_GROUP: u8 = u8::MAX;
 
 /// Errors from the fabric.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -69,6 +74,16 @@ struct Shared {
     /// a flagged node, turning "enqueue to nowhere" into a typed error the
     /// moment a failure is declared.
     dead: Vec<AtomicBool>,
+    /// Runtime partition override: one group id per node, messages
+    /// crossing groups are cut ([`WILD_GROUP`] reaches everything).  The
+    /// atomic gates the lock so the un-partitioned hot path costs one
+    /// relaxed load.
+    partition_on: AtomicBool,
+    partition: Mutex<Vec<u8>>,
+    /// The fault plan in force (`None` = perfect wire) and the fabric
+    /// birth instant its scheduled partition windows count from.
+    plan: Option<FaultPlan>,
+    t0: Instant,
 }
 
 /// Factory for a set of connected endpoints.
@@ -80,7 +95,7 @@ impl Fabric {
     /// factory and holds no state.)
     #[allow(clippy::new_ret_no_self)]
     pub fn new(n: usize, profile: NetProfile) -> Vec<Endpoint> {
-        Fabric::build(n, profile, (0..n).map(|_| Doorbell::new()).collect())
+        Fabric::build(n, profile, (0..n).map(|_| Doorbell::new()).collect(), None)
     }
 
     /// [`Fabric::new`], but every endpoint rings — and can park on — one
@@ -89,10 +104,38 @@ impl Fabric {
     /// send to any node wakes it.
     pub fn new_shared_doorbell(n: usize, profile: NetProfile) -> Vec<Endpoint> {
         let bell = Doorbell::new();
-        Fabric::build(n, profile, vec![bell; n])
+        Fabric::build(n, profile, vec![bell; n], None)
     }
 
-    fn build(n: usize, profile: NetProfile, doorbells: Vec<Doorbell>) -> Vec<Endpoint> {
+    /// [`Fabric::new`] under a seeded [`FaultPlan`]: the send path may
+    /// drop, duplicate, delay, or hold back eligible messages, and the
+    /// plan's scheduled partition windows cut traffic (see
+    /// [`crate::chaos`]).
+    pub fn new_chaotic(n: usize, profile: NetProfile, plan: FaultPlan) -> Vec<Endpoint> {
+        Fabric::build(
+            n,
+            profile,
+            (0..n).map(|_| Doorbell::new()).collect(),
+            Some(plan),
+        )
+    }
+
+    /// [`Fabric::new_shared_doorbell`] under a seeded [`FaultPlan`].
+    pub fn new_shared_doorbell_chaotic(
+        n: usize,
+        profile: NetProfile,
+        plan: FaultPlan,
+    ) -> Vec<Endpoint> {
+        let bell = Doorbell::new();
+        Fabric::build(n, profile, vec![bell; n], Some(plan))
+    }
+
+    fn build(
+        n: usize,
+        profile: NetProfile,
+        doorbells: Vec<Doorbell>,
+        plan: Option<FaultPlan>,
+    ) -> Vec<Endpoint> {
         assert!(n >= 1, "a fabric needs at least one node");
         let mut senders = Vec::with_capacity(n);
         let mut receivers = Vec::with_capacity(n);
@@ -109,6 +152,10 @@ impl Fabric {
             stats,
             doorbells,
             dead,
+            partition_on: AtomicBool::new(false),
+            partition: Mutex::new(vec![WILD_GROUP; n]),
+            plan,
+            t0: Instant::now(),
         });
         receivers
             .into_iter()
@@ -116,6 +163,10 @@ impl Fabric {
             .map(|(node, rx)| Endpoint {
                 node,
                 rx,
+                chaos: shared
+                    .plan
+                    .as_ref()
+                    .map(|p| RefCell::new(EndpointChaos::new(p, node, n))),
                 shared: Arc::clone(&shared),
                 pool: BufPool::new(),
                 seq: Cell::new(0),
@@ -152,9 +203,14 @@ pub struct Endpoint {
     /// out of it, and receivers' drops recycle into it.
     pool: BufPool,
     /// Per-endpoint sequence counter (uncontended, unlike the old
-    /// fabric-global atomic; seq numbers are diagnostics only and stay
-    /// monotonic per sender/receiver pair).
+    /// fabric-global atomic; seq numbers stay monotonic per
+    /// sender/receiver pair on a perfect wire — under a fault plan a
+    /// chaos *duplicate* reuses its original's seq, which is exactly how
+    /// receiver dedup windows recognize it).
     seq: Cell<u64>,
+    /// Fault-injection state, present only on chaotic fabrics: per-link
+    /// RNG streams and holdback slots, owned by this endpoint's driver.
+    chaos: Option<RefCell<EndpointChaos>>,
 }
 
 impl Endpoint {
@@ -215,11 +271,9 @@ impl Endpoint {
     }
 
     fn send_payload(&self, dst: usize, tag: u16, payload: Payload) -> Result<(), NetError> {
-        let sender = self
-            .shared
-            .senders
-            .get(dst)
-            .ok_or(NetError::NoSuchNode(dst))?;
+        if dst >= self.shared.senders.len() {
+            return Err(NetError::NoSuchNode(dst));
+        }
         // A dead destination is unreachable; a dead *source* is a zombie
         // whose late traffic must be dropped at the NIC, not delivered.
         if self.shared.dead[dst].load(Ordering::Acquire) {
@@ -228,14 +282,41 @@ impl Endpoint {
         if self.shared.dead[self.node].load(Ordering::Acquire) {
             return Err(NetError::NodeDead(self.node));
         }
+        if self.partition_blocks(dst) {
+            // A severed cable eats the frame silently: the sender sees
+            // success and the protocol layer sees a timeout, exactly like
+            // a real cut.  Counted, never errored.
+            self.shared.stats[self.node].on_chaos_cut();
+            return Ok(());
+        }
         let len = payload.len();
-        let wire_ns = if dst != self.node {
+        let mut wire_ns = if dst != self.node {
             self.shared.profile.delay_for(len).as_nanos() as u64
         } else {
             0
         };
         let seq = self.seq.get();
         self.seq.set(seq + 1);
+        // Self-sends have no NIC to misbehave, and protected tags are the
+        // embedder's unacknowledged state-transfer traffic — both bypass
+        // the fault dice (but still release any held message afterwards,
+        // so a holdback never starves a link).
+        let chaotic = self
+            .chaos
+            .as_ref()
+            .filter(|c| dst != self.node && !c.borrow().plan.is_protected(tag));
+        let verdict = match chaotic {
+            Some(c) => c.borrow_mut().verdict(dst),
+            None => Verdict::Deliver,
+        };
+        let stats = &self.shared.stats[self.node];
+        if let Verdict::Delay(extra) = verdict {
+            // Chaos delay is modelled wire time: charged at the receiver
+            // on dequeue, like the profile's own latency — the wire clock
+            // itself is never falsified.
+            wire_ns += extra;
+            stats.on_chaos_delay();
+        }
         let msg = Message {
             src: self.node,
             dst,
@@ -244,13 +325,107 @@ impl Endpoint {
             wire_ns,
             payload,
         };
-        sender.send(msg).map_err(|_| NetError::Disconnected(dst))?;
+        match verdict {
+            Verdict::Drop => {
+                stats.on_chaos_drop();
+            }
+            Verdict::Duplicate => {
+                stats.on_chaos_dup();
+                self.enqueue(msg.clone())?;
+                self.enqueue(msg)?;
+                self.flush_held(dst)?;
+            }
+            Verdict::Hold => {
+                stats.on_chaos_hold();
+                // One-slot bounded holdback per link: park the message;
+                // it is released strictly *behind* the next send on this
+                // link (the reorder).  A second hold releases both.
+                let prev = self.chaos.as_ref().unwrap().borrow_mut().links[dst]
+                    .held
+                    .replace(msg);
+                if let Some(h) = prev {
+                    let ours = self.chaos.as_ref().unwrap().borrow_mut().links[dst]
+                        .held
+                        .take()
+                        .expect("just parked");
+                    self.enqueue(ours)?;
+                    self.enqueue(h)?;
+                }
+            }
+            Verdict::Deliver | Verdict::Delay(_) => {
+                self.enqueue(msg)?;
+                if self.chaos.is_some() {
+                    self.flush_held(dst)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Enqueue one message on the destination's channel, ring its bell,
+    /// count the send.  The chaos layer funnels every actual delivery —
+    /// originals, duplicates, released holdbacks — through here.
+    fn enqueue(&self, msg: Message) -> Result<(), NetError> {
+        let (dst, len) = (msg.dst, msg.len());
+        self.shared.senders[dst]
+            .send(msg)
+            .map_err(|_| NetError::Disconnected(dst))?;
         // Ring strictly *after* the enqueue: a driver that snapshots the
         // ring counter, finds its inbox empty and parks is then guaranteed
         // to observe either the message or the ring (see `doorbell`).
         self.shared.doorbells[dst].ring();
         self.shared.stats[self.node].on_send(len);
         Ok(())
+    }
+
+    /// Release the holdback slot of link `dst`, if occupied — always
+    /// called after a delivery on that link, so a held message trails the
+    /// one that flushed it by exactly one position.
+    fn flush_held(&self, dst: usize) -> Result<(), NetError> {
+        let held = self
+            .chaos
+            .as_ref()
+            .and_then(|c| c.borrow_mut().links[dst].held.take());
+        match held {
+            Some(h) => self.enqueue(h),
+            None => Ok(()),
+        }
+    }
+
+    /// Is `self → dst` currently cut by a runtime partition
+    /// ([`Endpoint::set_partition`]) or a scheduled plan window?
+    fn partition_blocks(&self, dst: usize) -> bool {
+        if dst == self.node {
+            return false;
+        }
+        if self.shared.partition_on.load(Ordering::Acquire) {
+            let groups = self.shared.partition.lock().unwrap();
+            let (a, b) = (groups[self.node], groups[dst]);
+            if a != WILD_GROUP && b != WILD_GROUP && a != b {
+                return true;
+            }
+        }
+        match &self.shared.plan {
+            Some(p) if p.has_windows() => p.window_blocks(self.node, dst, self.shared.t0.elapsed()),
+            _ => false,
+        }
+    }
+
+    /// Impose a runtime partition: messages between nodes with different
+    /// group ids are cut (silently dropped, both directions, all tags);
+    /// [`WILD_GROUP`] entries reach everything.  `groups` must have one
+    /// entry per node.  Overwrites any previous runtime partition; heal
+    /// with [`Endpoint::clear_partition`].  Works on any fabric, fault
+    /// plan or not.
+    pub fn set_partition(&self, groups: Vec<u8>) {
+        assert_eq!(groups.len(), self.n_nodes(), "one group id per node");
+        *self.shared.partition.lock().unwrap() = groups;
+        self.shared.partition_on.store(true, Ordering::Release);
+    }
+
+    /// Heal a [`Endpoint::set_partition`] cut.
+    pub fn clear_partition(&self) {
+        self.shared.partition_on.store(false, Ordering::Release);
     }
 
     fn charge_and_count(&self, m: Message) -> Message {
@@ -580,6 +755,128 @@ mod tests {
         // mark_dead is idempotent.
         eps[2].mark_dead(1);
         assert!(eps[0].is_dead(1));
+    }
+
+    /// Drive the same send schedule through a chaotic fabric and return
+    /// what node 1 actually receives, as (tag, seq) pairs.
+    fn chaos_run(plan: FaultPlan, sends: usize) -> (Vec<(u16, u64)>, EndpointStatsSnapshot) {
+        let eps = Fabric::new_chaotic(2, NetProfile::instant(), plan);
+        for i in 0..sends {
+            eps[0].send(1, (i % 7) as u16, vec![i as u8]).unwrap();
+        }
+        let mut got = Vec::new();
+        while let Some(m) = eps[1].try_recv() {
+            got.push((m.tag, m.seq));
+        }
+        (got, eps[0].stats())
+    }
+
+    #[test]
+    fn identical_fault_plan_seeds_replay_byte_identically() {
+        let plan = FaultPlan::lossy(0x5EED, 0.10).with_delay(0.05, Duration::from_nanos(10));
+        let (a, sa) = chaos_run(plan.clone(), 2000);
+        let (b, sb) = chaos_run(plan, 2000);
+        assert_eq!(a, b, "same seed ⇒ identical delivered schedule");
+        assert_eq!(sa, sb, "…and identical fault counters");
+        assert!(sa.chaos_dropped > 0 && sa.chaos_duplicated > 0 && sa.chaos_held > 0);
+        let (c, _) = chaos_run(FaultPlan::lossy(0x0DD5_EED0, 0.10), 2000);
+        assert_ne!(a, c, "a different seed must reshuffle the schedule");
+    }
+
+    #[test]
+    fn duplicates_reuse_the_original_seq() {
+        // Duplicate everything: each send arrives exactly twice, the
+        // copy carrying the same sequence number as the original.
+        let plan = FaultPlan::new(1).with_duplicate(1.0);
+        let (got, stats) = chaos_run(plan, 50);
+        assert_eq!(got.len(), 100);
+        assert_eq!(stats.chaos_duplicated, 50);
+        for pair in got.chunks(2) {
+            assert_eq!(pair[0], pair[1], "copy must be indistinguishable");
+        }
+    }
+
+    #[test]
+    fn holdback_reorders_behind_the_next_send() {
+        // Hold everything: message k is parked and released behind
+        // message k+1, so seqs arrive 1,0,3,2,…; the final message stays
+        // parked (released only by later traffic on the link).
+        let plan = FaultPlan::new(2).with_hold(1.0);
+        let (got, stats) = chaos_run(plan, 6);
+        let seqs: Vec<u64> = got.iter().map(|&(_, s)| s).collect();
+        assert_eq!(seqs, vec![1, 0, 3, 2, 5, 4]);
+        assert_eq!(stats.chaos_held, 6);
+    }
+
+    #[test]
+    fn protected_tags_pass_untouched_and_flush_holdbacks() {
+        let plan = FaultPlan::new(3).with_drop(1.0).protect_tags(&[9]);
+        let eps = Fabric::new_chaotic(2, NetProfile::instant(), plan);
+        eps[0].send(1, 0, Vec::new()).unwrap(); // dropped
+        eps[0].send(1, 9, Vec::new()).unwrap(); // protected: delivered
+        assert_eq!(eps[1].try_recv().unwrap().tag, 9);
+        assert!(eps[1].try_recv().is_none());
+        assert_eq!(eps[0].stats().chaos_dropped, 1);
+    }
+
+    #[test]
+    fn self_sends_are_never_faulted() {
+        let plan = FaultPlan::new(4).with_drop(1.0);
+        let eps = Fabric::new_chaotic(2, NetProfile::instant(), plan);
+        for _ in 0..20 {
+            eps[0].send(0, 1, Vec::new()).unwrap();
+            assert!(eps[0].try_recv().is_some(), "self-sends bypass chaos");
+        }
+        assert_eq!(eps[0].stats().chaos_dropped, 0);
+    }
+
+    #[test]
+    fn chaos_delay_is_charged_at_the_receiver() {
+        let plan = FaultPlan::new(5).with_delay(1.0, Duration::from_micros(200));
+        let eps = Fabric::new_chaotic(2, NetProfile::instant(), plan);
+        for _ in 0..5 {
+            eps[0].send(1, 0, Vec::new()).unwrap();
+        }
+        let t0 = Instant::now();
+        for _ in 0..5 {
+            eps[1].try_recv().unwrap();
+        }
+        assert!(t0.elapsed() >= Duration::from_micros(1000));
+        assert_eq!(eps[0].stats().chaos_delayed, 5);
+        assert!(eps[1].stats().wire_ns >= 1_000_000);
+    }
+
+    #[test]
+    fn runtime_partition_cuts_then_heals() {
+        let eps = Fabric::new(4, NetProfile::instant());
+        // {0,1} vs {2}; node 3 is wild (an embedder's host endpoint).
+        eps[0].set_partition(vec![0, 0, 1, WILD_GROUP]);
+        eps[0].send(2, 7, Vec::new()).unwrap(); // eaten silently
+        eps[2].send(1, 7, Vec::new()).unwrap(); // eaten both directions
+        eps[0].send(1, 8, Vec::new()).unwrap(); // intra-set: flows
+        eps[3].send(2, 9, Vec::new()).unwrap(); // wild: flows
+        assert!(eps[2].try_recv().map(|m| m.tag) == Some(9));
+        assert!(eps[2].try_recv().is_none());
+        assert_eq!(eps[1].try_recv().unwrap().tag, 8);
+        assert!(eps[1].try_recv().is_none());
+        assert_eq!(eps[0].stats().chaos_cut, 1);
+        assert_eq!(eps[2].stats().chaos_cut, 1);
+        // Heal: the same link carries traffic again.
+        eps[1].clear_partition();
+        eps[0].send(2, 11, Vec::new()).unwrap();
+        assert_eq!(eps[2].try_recv().unwrap().tag, 11);
+    }
+
+    #[test]
+    fn scheduled_partition_window_expires() {
+        let plan = FaultPlan::partition(0, &[0], &[1], Duration::from_millis(60));
+        let eps = Fabric::new_chaotic(2, NetProfile::instant(), plan);
+        eps[0].send(1, 1, Vec::new()).unwrap();
+        assert!(eps[1].try_recv().is_none(), "window open: cut");
+        std::thread::sleep(Duration::from_millis(80));
+        eps[0].send(1, 2, Vec::new()).unwrap();
+        assert_eq!(eps[1].try_recv().unwrap().tag, 2, "window healed");
+        assert_eq!(eps[0].stats().chaos_cut, 1);
     }
 
     #[test]

@@ -23,6 +23,17 @@ pub struct EndpointStats {
     /// `batch_items_sent / batch_msgs_sent` is the mean train length
     /// (threads per message, for the migration path).
     pub batch_items_sent: AtomicU64,
+    /// Chaos: messages dropped by the fault plan on this sender.
+    pub chaos_dropped: AtomicU64,
+    /// Chaos: messages duplicated (the extra copy reuses the original's
+    /// seq, so receiver dedup windows see it).
+    pub chaos_duplicated: AtomicU64,
+    /// Chaos: messages given extra modelled wire delay.
+    pub chaos_delayed: AtomicU64,
+    /// Chaos: messages parked in a link's holdback slot (reordered).
+    pub chaos_held: AtomicU64,
+    /// Messages eaten by a partition cut (runtime or scheduled window).
+    pub chaos_cut: AtomicU64,
 }
 
 impl EndpointStats {
@@ -43,6 +54,26 @@ impl EndpointStats {
         self.wire_ns.fetch_add(wire_ns, Ordering::Relaxed);
     }
 
+    pub(crate) fn on_chaos_drop(&self) {
+        self.chaos_dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_chaos_dup(&self) {
+        self.chaos_duplicated.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_chaos_delay(&self) {
+        self.chaos_delayed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_chaos_hold(&self) {
+        self.chaos_held.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_chaos_cut(&self) {
+        self.chaos_cut.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Point-in-time copy.
     pub fn snapshot(&self) -> EndpointStatsSnapshot {
         EndpointStatsSnapshot {
@@ -53,6 +84,11 @@ impl EndpointStats {
             wire_ns: self.wire_ns.load(Ordering::Relaxed),
             batch_msgs_sent: self.batch_msgs_sent.load(Ordering::Relaxed),
             batch_items_sent: self.batch_items_sent.load(Ordering::Relaxed),
+            chaos_dropped: self.chaos_dropped.load(Ordering::Relaxed),
+            chaos_duplicated: self.chaos_duplicated.load(Ordering::Relaxed),
+            chaos_delayed: self.chaos_delayed.load(Ordering::Relaxed),
+            chaos_held: self.chaos_held.load(Ordering::Relaxed),
+            chaos_cut: self.chaos_cut.load(Ordering::Relaxed),
         }
     }
 }
@@ -70,9 +106,27 @@ pub struct EndpointStatsSnapshot {
     pub batch_msgs_sent: u64,
     /// Logical items carried by batched messages.
     pub batch_items_sent: u64,
+    /// Chaos: messages dropped by the fault plan on this sender.
+    pub chaos_dropped: u64,
+    /// Chaos: messages duplicated (same-seq extra copy).
+    pub chaos_duplicated: u64,
+    /// Chaos: messages given extra modelled wire delay.
+    pub chaos_delayed: u64,
+    /// Chaos: messages held back one slot (reordered).
+    pub chaos_held: u64,
+    /// Messages eaten by a partition cut.
+    pub chaos_cut: u64,
 }
 
 impl EndpointStatsSnapshot {
+    /// Total fault events this sender injected (cuts included).
+    pub fn chaos_events(&self) -> u64 {
+        self.chaos_dropped
+            + self.chaos_duplicated
+            + self.chaos_delayed
+            + self.chaos_held
+            + self.chaos_cut
+    }
     /// Mean logical items per batched message (1.0 when none were sent):
     /// for the migration path, the observed threads-per-message train
     /// length.

@@ -1,5 +1,6 @@
-//! The `kill_node` chaos scenario: a node dies under load, and the same
-//! SLO gates that judge capacity rounds judge the survivors.
+//! Chaos scenarios judged by the capacity harness's own SLO gates: a
+//! node dies under load ([`run_kill_node`]), or the fabric is cut in two
+//! for a window and must re-converge after healing ([`run_partition`]).
 //!
 //! The drill runs three acts on a machine the caller launched with a
 //! spill directory:
@@ -23,7 +24,7 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use pm2::api::pm2_yield;
 use pm2::{Machine, RecoveryReport};
@@ -98,9 +99,9 @@ impl ChaosReport {
 
 /// Run the `kill_node` drill.  The machine must have been launched with a
 /// spill directory (checkpoints have nowhere to go otherwise) and
-/// [`crate::register_services`] must have been called.  `victim` must not
-/// be node 0 (killing the global-negotiation arbiter is a documented
-/// limitation, not a chaos scenario).
+/// [`crate::register_services`] must have been called.  Any node may be
+/// the victim — the §4.4 coordinator is a leased role on the lowest-id
+/// live node, so killing the incumbent just elects its successor.
 pub fn run_kill_node(
     m: &mut Machine,
     victim: usize,
@@ -108,7 +109,6 @@ pub fn run_kill_node(
     rps: u64,
     injectors: usize,
 ) -> pm2::Result<ChaosReport> {
-    assert!(victim != 0, "node 0 arbitrates the global protocol");
     let spec = WorkloadSpec::chaos();
 
     // Plant the residents: state on the victim that must outlive it.
@@ -152,6 +152,170 @@ pub fn run_kill_node(
         checkpointed,
         recovery,
         disruption_ms,
+        aftermath,
+        residents_recovered,
+    })
+}
+
+/// Everything the `partition` drill measured.
+#[derive(Debug, Clone)]
+pub struct PartitionReport {
+    /// Spec name (`chaos_partition`).
+    pub workload: String,
+    /// Node count.
+    pub nodes: usize,
+    /// Fixed offered rate for both gated rounds.
+    pub rps: u64,
+    /// The healthy-machine round.
+    pub baseline: RoundReport,
+    /// How long the cut actually lasted, ms.
+    pub partition_ms: f64,
+    /// Messages the cut silently ate (fabric `chaos_cut` delta) — proof
+    /// the partition severed real traffic.
+    pub messages_cut: u64,
+    /// Nodes wrongly declared dead by the cut (must be 0: a partition
+    /// shorter than `failure_timeout` is not a death).
+    pub false_deaths: usize,
+    /// Did every node's gossiped wealth table re-converge (a fresh
+    /// nonzero hint for every peer) within the quiet timeout after heal?
+    pub wealth_converged: bool,
+    /// The post-heal round at the same offered rate.
+    pub aftermath: RoundReport,
+    /// Residents on the far side whose joiners got their values back.
+    pub residents_recovered: usize,
+}
+
+impl PartitionReport {
+    /// The CI gate: both rounds passed, the cut killed nobody, gossip
+    /// re-converged, and no joiner is stuck.
+    pub fn slo_ok(&self) -> bool {
+        self.baseline.verdict.passed()
+            && self.aftermath.verdict.passed()
+            && self.false_deaths == 0
+            && self.wealth_converged
+            && self.residents_recovered == CHAOS_RESIDENTS
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} on p={}: baseline {} @ {} rps (fail {:.2}, p99 {:.1} ms), \
+             cut {:.1} ms ({} msgs eaten, {} false deaths), wealth converged: {}, \
+             aftermath {} (fail {:.2}, p99 {:.1} ms), residents {}/{}",
+            self.workload,
+            self.nodes,
+            self.baseline.verdict.label(),
+            self.rps,
+            self.baseline.failure_rate,
+            self.baseline.p99_ms,
+            self.partition_ms,
+            self.messages_cut,
+            self.false_deaths,
+            self.wealth_converged,
+            self.aftermath.verdict.label(),
+            self.aftermath.failure_rate,
+            self.aftermath.p99_ms,
+            self.residents_recovered,
+            CHAOS_RESIDENTS,
+        )
+    }
+}
+
+/// Run the `partition` drill: a baseline SLO-gated round, then cut the
+/// fabric between node sets `a` and `b` for `window`, heal, and demand
+/// re-convergence — nobody falsely declared dead, gossiped wealth hints
+/// fresh again on every node, the same offered rate sustained post-heal,
+/// and the far-side residents joinable with their iso-values intact.
+///
+/// `window` must be shorter than the machine's `failure_timeout` (if a
+/// detector is armed): this drill is about *transient* cuts, where the
+/// right behaviour is to ride it out, not to declare deaths.
+pub fn run_partition(
+    m: &mut Machine,
+    a: &[usize],
+    b: &[usize],
+    window: Duration,
+    cfg: &RampConfig,
+    rps: u64,
+    injectors: usize,
+) -> pm2::Result<PartitionReport> {
+    assert!(!a.is_empty() && !b.is_empty(), "both sides need nodes");
+    let spec = WorkloadSpec {
+        name: "chaos_partition".into(),
+        ..WorkloadSpec::chaos()
+    };
+
+    // Plant residents on the far side: post-heal joiners must get their
+    // values back across the formerly-severed links.
+    let stop = Arc::new(AtomicBool::new(false));
+    let home = b[0];
+    let mut residents = Vec::with_capacity(CHAOS_RESIDENTS);
+    for i in 0..CHAOS_RESIDENTS as u64 {
+        let stop = Arc::clone(&stop);
+        residents.push(m.spawn_on_ret(home, move || {
+            let cell = pm2::IsoBox::new(0x9A97_0000 + i).expect("resident isomalloc");
+            while !stop.load(Ordering::SeqCst) {
+                pm2_yield();
+            }
+            *cell
+        })?);
+    }
+
+    let baseline = run_gated_round(m, &spec, cfg, rps, 0, injectors);
+
+    let cut_before: u64 = (0..m.nodes())
+        .filter_map(|n| m.net_stats(n))
+        .map(|s| s.chaos_cut)
+        .sum();
+    let t0 = Instant::now();
+    m.partition_nodes(a, b);
+    std::thread::sleep(window);
+    m.heal_partition();
+    let partition_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let messages_cut = (0..m.nodes())
+        .filter_map(|n| m.net_stats(n))
+        .map(|s| s.chaos_cut)
+        .sum::<u64>()
+        .saturating_sub(cut_before);
+    let false_deaths = (0..m.nodes()).filter(|&n| m.is_node_dead(n)).count();
+
+    // Re-convergence: gossip (one digest per heartbeat period per node)
+    // must refresh every node's wealth hint for every peer through the
+    // healed links.  Zero is the "never heard from them" sentinel; under
+    // the test workloads a node's free-slot count never genuinely sits
+    // at zero while idle.
+    let deadline = Instant::now() + cfg.quiet_timeout;
+    let mut wealth_converged = false;
+    let mut buf = Vec::new();
+    while Instant::now() < deadline && !wealth_converged {
+        wealth_converged = (0..m.nodes()).all(|n| {
+            m.peer_wealth_into(n, &mut buf);
+            buf.iter().all(|&w| w > 0)
+        });
+        if !wealth_converged {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    let aftermath = run_gated_round(m, &spec, cfg, rps, 1, injectors);
+
+    stop.store(true, Ordering::SeqCst);
+    let mut residents_recovered = 0;
+    for (i, h) in residents.into_iter().enumerate() {
+        if h.join().is_ok_and(|v| v == 0x9A97_0000 + i as u64) {
+            residents_recovered += 1;
+        }
+    }
+
+    Ok(PartitionReport {
+        workload: spec.name,
+        nodes: m.nodes(),
+        rps,
+        baseline,
+        partition_ms,
+        messages_cut,
+        false_deaths,
+        wealth_converged,
         aftermath,
         residents_recovered,
     })

@@ -50,7 +50,7 @@ mod hist;
 mod ramp;
 mod spec;
 
-pub use chaos::{run_kill_node, ChaosReport, CHAOS_RESIDENTS};
+pub use chaos::{run_kill_node, run_partition, ChaosReport, PartitionReport, CHAOS_RESIDENTS};
 pub use driver::{
     register_services, run_gated_round, run_ramp, CapacityReport, Echo, MachineCounters,
     RoundReport,

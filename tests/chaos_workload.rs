@@ -1,12 +1,15 @@
-//! The `kill_node` chaos scenario end to end: a node dies under a mixed
-//! workload, and the capacity harness's own SLO gates judge the
-//! survivors.
+//! The chaos scenarios end to end: a node dies under a mixed workload
+//! (`kill_node`), or the fabric is transiently cut in two and must
+//! re-converge (`partition`) — in both cases the capacity harness's own
+//! SLO gates deliver the verdict.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use pm2::{Machine, Pm2Config};
-use pm2_workload::{register_services, run_kill_node, RampConfig, Verdict, CHAOS_RESIDENTS};
+use pm2_workload::{
+    register_services, run_kill_node, run_partition, RampConfig, Verdict, CHAOS_RESIDENTS,
+};
 
 fn scratch_dir(name: &str) -> std::path::PathBuf {
     static N: AtomicU64 = AtomicU64::new(0);
@@ -64,4 +67,60 @@ fn kill_node_under_load_passes_the_slo_gates() {
     m.audit().unwrap().check_partition().unwrap();
     m.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn transient_partition_heals_and_reconverges_under_load() {
+    // Detector armed with a timeout well beyond the cut window: the
+    // drill must ride the partition out without declaring anyone dead.
+    let mut m = Machine::launch(
+        Pm2Config::test(4)
+            .with_reply_deadline(Duration::from_secs(5))
+            .with_failure_timeout(Duration::from_secs(30))
+            .with_heartbeat_every(Duration::from_millis(25)),
+    )
+    .unwrap();
+    register_services(&m);
+
+    let cfg = RampConfig {
+        round_duration: Duration::from_millis(300),
+        drain_grace: Duration::from_secs(2),
+        quiet_timeout: Duration::from_secs(10),
+        ..RampConfig::default()
+    };
+    let rep = run_partition(
+        &mut m,
+        &[0, 1],
+        &[2, 3],
+        Duration::from_millis(300),
+        &cfg,
+        50,
+        2,
+    )
+    .unwrap();
+
+    assert!(
+        rep.slo_ok(),
+        "partition drill broke an SLO: {}",
+        rep.summary()
+    );
+    assert_eq!(rep.baseline.verdict, Verdict::Pass, "{}", rep.summary());
+    assert_eq!(rep.aftermath.verdict, Verdict::Pass, "{}", rep.summary());
+    assert_eq!(rep.false_deaths, 0, "{}", rep.summary());
+    assert!(rep.wealth_converged, "{}", rep.summary());
+    assert!(
+        rep.messages_cut > 0,
+        "the cut must actually have severed traffic: {}",
+        rep.summary()
+    );
+    assert_eq!(
+        rep.residents_recovered,
+        CHAOS_RESIDENTS,
+        "{}",
+        rep.summary()
+    );
+
+    // The ownership partition (of slots, not links) is whole afterwards.
+    m.audit().unwrap().check_partition().unwrap();
+    m.shutdown();
 }

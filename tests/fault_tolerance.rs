@@ -8,7 +8,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use pm2::api::*;
-use pm2::{Machine, Pm2Config, Pm2Error, Service};
+use pm2::{Distribution, Machine, Pm2Config, Pm2Error, Service};
 
 /// Fresh scratch directory for a spill log.
 fn scratch_dir(name: &str) -> PathBuf {
@@ -309,6 +309,104 @@ fn recover_rejects_a_living_node() {
     assert!(m.recover_node(1).is_err(), "recovery is for dead nodes");
     assert!(matches!(m.recover_node(7), Err(Pm2Error::NoSuchNode(7))));
     m.shutdown();
+}
+
+#[test]
+fn coordinator_death_elects_successor_and_negotiations_complete() {
+    // The §4.4 lock service is a leased role on the lowest-id live node —
+    // initially node 0.  Kill it mid-storm: the waiters re-resolve the
+    // coordinator (node 1), re-issue NEG_LOCK_REQ, and every blocked
+    // negotiation completes under the successor.  Round-robin with
+    // trading off forces every multi-slot allocation through the global
+    // protocol.
+    let mut m = Machine::launch(
+        Pm2Config::test(4)
+            .with_distribution(Distribution::RoundRobin)
+            .with_slot_trade(false)
+            .with_reply_deadline(Duration::from_secs(2)),
+    )
+    .unwrap();
+    let slot = m.area().slot_size();
+    let storm = |iters: usize, slots: usize| {
+        move || {
+            for _ in 0..iters {
+                let p = pm2_isomalloc(slots * slot).unwrap();
+                pm2_yield();
+                pm2_isofree(p).unwrap();
+            }
+        }
+    };
+    let t2 = m.spawn_on(2, storm(20, 2)).unwrap();
+    let t3 = m.spawn_on(3, storm(20, 3)).unwrap();
+    std::thread::sleep(Duration::from_millis(30)); // storms in flight
+    let t0 = Instant::now();
+    m.kill_node(0).unwrap(); // the incumbent coordinator dies
+    assert!(
+        !m.join(t2).panicked,
+        "negotiations must complete under the successor"
+    );
+    assert!(!m.join(t3).panicked);
+    assert!(
+        t0.elapsed() < Duration::from_secs(30),
+        "no waiter may hang past its deadline"
+    );
+    // A fresh negotiation after the dust settles goes straight through
+    // the successor.
+    m.run_on(1, move || {
+        let p = pm2_isomalloc(2 * slot).unwrap();
+        pm2_isofree(p).unwrap();
+    })
+    .unwrap();
+    // Reclaim the corpse's slots so the ownership partition is whole
+    // again, then audit it.
+    let rep = m.recover_node(0).unwrap();
+    assert!(rep.slots_reclaimed > 0);
+    let audit = m.audit().unwrap();
+    audit.check_partition().unwrap();
+    m.shutdown();
+}
+
+#[test]
+fn checkpoint_of_a_node_killed_mid_request_resolves_typed() {
+    let dir = scratch_dir("ckpt-race");
+    let mut m = Machine::launch(
+        Pm2Config::test(2)
+            .with_reply_deadline(Duration::from_millis(500))
+            .with_spill_dir(&dir),
+    )
+    .unwrap();
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let _t = m.spawn_on(1, move || loop_until(&stop2)).unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+    // Stop the node without telling the host (raw KILL, no death
+    // certificate): the CKPT_REQ lands on a corpse and no ack can ever
+    // arrive.  The retry budget must expire within the reply deadline
+    // and surface typed — not hang on the missing ack.
+    m.inject_raw(1, pm2::proto::tag::KILL, Vec::new()).unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+    let t0 = Instant::now();
+    match m.checkpoint_node(1) {
+        Err(Pm2Error::RetriesExhausted { op, .. }) => assert_eq!(op, "checkpoint"),
+        other => panic!("expected RetriesExhausted, got {other:?}"),
+    }
+    assert!(
+        t0.elapsed() < Duration::from_secs(2),
+        "typed resolution must arrive within one reply deadline, took {:?}",
+        t0.elapsed()
+    );
+    // Once the death is announced, the answer is immediate and names the
+    // corpse.
+    m.kill_node(1).unwrap();
+    let t0 = Instant::now();
+    match m.checkpoint_node(1) {
+        Err(Pm2Error::NodeFailed(1)) => {}
+        other => panic!("expected NodeFailed(1), got {other:?}"),
+    }
+    assert!(t0.elapsed() < Duration::from_millis(100));
+    stop.store(true, Ordering::SeqCst);
+    m.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
