@@ -1,0 +1,10 @@
+//! Judge the balancer's affinity pass end to end (ring + hotspot, on vs
+//! off) and write `BENCH_affinity.json` at the repo root.
+//!
+//! ```sh
+//! cargo run --release -p pm2-bench --bin affinity
+//! ```
+
+fn main() {
+    pm2_bench::write_affinity_json();
+}

@@ -3,7 +3,8 @@
 //! `target/experiments/`.  Also refreshes the repo-root perf-trajectory
 //! files `BENCH_migration.json`, `BENCH_latency.json`,
 //! `BENCH_evacuation.json`, `BENCH_negotiation.json`,
-//! `BENCH_throughput.json` and `BENCH_recovery.json`.
+//! `BENCH_throughput.json`, `BENCH_recovery.json` and
+//! `BENCH_affinity.json`.
 //!
 //! ```sh
 //! cargo run --release -p pm2-bench --bin run_all
@@ -11,8 +12,9 @@
 
 use pm2::NetProfile;
 use pm2_bench::{
-    ctx_switch_ns, emit_json, migration_breakdown, smoke, spawn_us, write_evacuation_json,
-    write_latency_json, write_negotiation_json, write_recovery_json, write_throughput_json, Table,
+    ctx_switch_ns, emit_json, migration_breakdown, smoke, spawn_us, write_affinity_json,
+    write_evacuation_json, write_latency_json, write_negotiation_json, write_recovery_json,
+    write_throughput_json, Table,
 };
 
 /// Emit `BENCH_migration.json` at the repo root: the per-stage migration
@@ -100,6 +102,7 @@ fn main() {
     write_negotiation_json();
     write_throughput_json();
     write_recovery_json();
+    write_affinity_json();
     for bin in ["e5_migration", "e6_negotiation", "fig11", "ablations"] {
         println!("\n───────── {bin} ─────────");
         run(bin);

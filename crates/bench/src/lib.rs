@@ -3,6 +3,7 @@
 //! both call into this module, so the numbers in EXPERIMENTS.md and the
 //! statistically-validated benchmarks come from the same code paths.
 
+pub mod affinity;
 pub mod chaos;
 pub mod crit;
 pub mod evacuation;
@@ -14,6 +15,7 @@ pub mod report;
 pub mod scale;
 pub mod throughput;
 
+pub use affinity::*;
 pub use chaos::*;
 pub use evacuation::*;
 pub use harness::*;

@@ -212,11 +212,31 @@ where
     })
 }
 
+/// Record one RPC-shaped message the calling green thread exchanged with
+/// `peer`: bumps the thread's top-k affinity table (which migrates with
+/// it) and the node-level aggregate row behind `Machine::affinity`.
+pub(crate) fn note_rpc_traffic(peer: usize) {
+    let d = marcel::current_desc();
+    // SAFETY: own descriptor; the pump is not running.
+    unsafe { (*d).record_affinity(peer as u32) };
+    with_ctx(|c| c.note_traffic(peer));
+}
+
+/// Where thread `tid` currently lives, if the machine knows of it.  The
+/// registry tracks every spawn/migration/adoption, so this is exact at
+/// quiescence and at-most-one-hop stale while a migration is in flight —
+/// good enough to aim an RPC at a peer's node (callers must still handle
+/// the message reaching a node the peer just left).
+pub fn pm2_thread_location(tid: u64) -> Option<usize> {
+    with_ctx(|c| c.registry.location(tid))
+}
+
 /// Spawn a registered service on a (possibly remote) node — PM2's LRPC.
 pub fn pm2_rpc_spawn(node: usize, service: u32, args: &[u8]) -> Result<()> {
     if node >= with_ctx(|c| c.n_nodes) {
         return Err(Pm2Error::NoSuchNode(node));
     }
+    note_rpc_traffic(node);
     let pool = local_pool();
     send_to(
         node,
@@ -253,6 +273,11 @@ pub fn pm2_rpc_call<S: Service>(node: usize, req: S::Req) -> Result<S::Resp> {
         c.pending_calls.insert(id, node);
         (id, c.node)
     });
+    // One call = one request out + one reply back: both legs land on the
+    // same peer node, so account the pair up front in the caller's
+    // affinity table (the handler side separately accounts its reply).
+    note_rpc_traffic(node);
+    note_rpc_traffic(node);
     // Pin the caller for the duration of the exchange: the response is
     // addressed to `reply_to`, so a preemptive migration mid-wait would
     // strand it in the old node's reply queue.

@@ -2,6 +2,7 @@
 //! completions, and the parking of protocol replies for green threads
 //! blocked in a request/reply exchange.
 
+use isoaddr::SlotProvider;
 use madeleine::Message;
 use marcel::ThreadState;
 
@@ -40,23 +41,58 @@ pub(crate) fn on_audit_req(ctx: &mut NodeCtx, from: usize) {
     let _ = ctx.ep.send(from, tag::AUDIT_RESP, report);
 }
 
-pub(crate) fn on_load_req(ctx: &mut NodeCtx, from: usize) {
-    // Migratable, currently-ready threads.
-    let migratable: Vec<u64> = ctx
+/// Most affinity records one `LOAD_RESP` carries.  The planner only ever
+/// co-locates a handful of threads per round, so reporting the hottest
+/// talkers is enough; the cap bounds the reply size on thread-dense nodes.
+const MAX_AFF_REPORT: usize = 16;
+
+pub(crate) fn on_load_req(ctx: &mut NodeCtx, m: &Message) {
+    let from = m.src;
+    // Migratable, currently-ready threads — with their descriptor pointers
+    // so the affinity section below can read each one's top-k table.
+    let migratable: Vec<(u64, marcel::DescPtr)> = ctx
         .threads
         .iter()
         .filter(|(_, &d)| unsafe {
             (*d).thread_state() == ThreadState::Ready
                 && (*d).flags & marcel::thread::flags::MIGRATABLE != 0
         })
-        .map(|(&tid, _)| tid)
+        .map(|(&tid, &d)| (tid, d))
         .collect();
+    let tids: Vec<u64> = migratable.iter().map(|&(tid, _)| tid).collect();
+    // Affinity section: each migratable thread's (peer → msgs) edges plus
+    // what its train would cost to ship, hottest talkers first, capped.
+    let slot_size = ctx.mgr.slot_size();
+    let mut aff: Vec<proto::AffinityEdge> = migratable
+        .iter()
+        .filter_map(|&(tid, d)| unsafe {
+            let peers: Vec<(u32, u32)> = (*d).affinity_edges().collect();
+            if peers.is_empty() {
+                return None;
+            }
+            let pack_cost = crate::migration::pack_cost_hint(d, slot_size, ctx.pack_full_slots)
+                .unwrap_or(usize::MAX)
+                .min(u32::MAX as usize) as u32;
+            Some(proto::AffinityEdge {
+                tid,
+                pack_cost,
+                epochs_since_move: (*d).aff_epoch,
+                peers,
+            })
+        })
+        .collect();
+    aff.sort_by_key(|e| std::cmp::Reverse(e.peers.iter().map(|&(_, m)| m as u64).sum::<u64>()));
+    aff.truncate(MAX_AFF_REPORT);
     // The reply piggybacks this node's free-slot wealth: every balancer
     // probe doubles as a freshness source for the slot trader.
     let wealth = ctx.mgr.free_slots() as u32;
     ctx.set_peer_wealth(ctx.node, wealth as u64);
-    let resp = proto::encode_load_resp(&ctx.pool, ctx.sched.resident() as u32, wealth, &migratable);
+    let resp = proto::encode_load_resp(&ctx.pool, ctx.sched.resident() as u32, wealth, &tids, &aff);
     let _ = ctx.ep.send(from, tag::LOAD_RESP, resp);
+    // The probe marks a balancer epoch: decay every resident thread's
+    // affinity table *after* reporting, so this epoch's traffic was
+    // visible to the planner before it fades.
+    ctx.decay_thread_affinity(proto::decode_load_req(&m.payload));
 }
 
 pub(crate) fn on_thread_exit(ctx: &mut NodeCtx, m: Message) {

@@ -67,6 +67,11 @@ pub(crate) fn on_migration(ctx: &mut NodeCtx, m: Message) {
                 // Adoption moves the thread's location — recovery and
                 // dead-owner join checks depend on this being current.
                 ctx.registry.set_location((*d).tid, ctx.node);
+                // Arrival starts the hysteresis cooldown clock: the
+                // balancer won't re-plan this thread until `aff_cooldown`
+                // epochs elapse, so chatty-both-ways threads settle
+                // instead of ping-ponging.
+                (*d).aff_epoch = 0;
             }
         }
         ctx.stats

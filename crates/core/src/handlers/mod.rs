@@ -167,7 +167,7 @@ pub(crate) fn dispatch(ctx: &mut NodeCtx, m: Message) {
         tag::SLOT_TRADE_RESP => negotiation::on_slot_trade_resp(ctx, m),
         tag::SHUTDOWN => control::on_shutdown(ctx),
         tag::AUDIT_REQ => control::on_audit_req(ctx, m.src),
-        tag::LOAD_REQ => control::on_load_req(ctx, m.src),
+        tag::LOAD_REQ => control::on_load_req(ctx, &m),
         tag::THREAD_EXIT => control::on_thread_exit(ctx, m),
         // Replies that piggyback free-slot wealth refresh the trader's
         // hint table on the way to the reply queue — one freshness source

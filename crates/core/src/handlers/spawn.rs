@@ -104,6 +104,10 @@ pub(crate) fn on_rpc_call(ctx: &mut NodeCtx, m: Message) {
                 ),
                 Err(e) => (rpc_status::REMOTE_ERROR, e.into_bytes()),
             };
+            // The reply is RPC-shaped traffic too: account it on the
+            // serving side (from wherever the handler ended up) so both
+            // ends of a chatty pair accumulate affinity toward each other.
+            crate::api::note_rpc_traffic(reply_to);
             let pool = crate::api::local_pool();
             let _ = crate::api::send_to(
                 reply_to,

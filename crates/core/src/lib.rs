@@ -257,6 +257,51 @@
 //! machine running all drills on a pool of a few workers and per-node
 //! curves flat to within 2× of p = 16.
 //!
+//! ## Affinity-aware balancing: minimize the wire, not just the skew
+//!
+//! A load-count balancer treats a thread RPC-ing across the wire forty
+//! times a millisecond exactly like an idle one — placement is blind to
+//! *communication*, even though a co-located exchange is a wire-free
+//! self-send and a remote one pays the full modelled hop.  Since PR 10
+//! the balancer minimizes remote-message volume first and load skew
+//! second:
+//!
+//! * **accounting** — every RPC/spawn leg bumps a bounded top-k
+//!   `(peer node → msgs)` table embedded in the calling thread's
+//!   descriptor (space-saving counters: hot peers are exact, the tail
+//!   over-estimates, never under).  The table rides the descriptor
+//!   through migration verbatim, and each node tallies
+//!   `rpc_local`/`rpc_remote` (`NodeStatsSnapshot::remote_ratio`) with
+//!   a host-side aggregate per peer (`Machine::affinity`);
+//! * **planning** — `LOAD_RESP` piggybacks each migratable thread's
+//!   hottest edges plus its pack-cost hint, and the planner scores a
+//!   candidate move by `(remote_msgs_saved − local_msgs_broken)` per
+//!   byte of heap to ship, applying the best scores greedily: chatty
+//!   groups co-locate, cold-heap trains ship first, and the classic
+//!   most-loaded → least-loaded walk spends whatever move budget
+//!   remains.  A load guard keeps co-location from creating more skew
+//!   than the balancer's own threshold tolerates;
+//! * **hysteresis** — three brakes stop ping-ponging: a per-thread
+//!   cooldown (`aff_epoch` in the descriptor, reset on arrival, ticked
+//!   by the per-epoch decay), a minimum net score (symmetric chatter
+//!   nets ≈ 0 and stays put), and an anti-swap rule (one round never
+//!   drains a node it is packing into, so mutually-chatty threads
+//!   cannot trade homes forever).  Counters decay geometrically each
+//!   balancer epoch (`LOAD_REQ` carries the shift), so stale
+//!   friendships fade;
+//! * **probe saving** — when gossip (armed by the failure detector or
+//!   large p) has delivered a peer's load hint younger than one
+//!   heartbeat and the hint is unremarkable, the round trusts it and
+//!   skips that `LOAD_REQ` entirely (`BalancerHandle::probes_saved`).
+//!
+//! All knobs live on [`loadbal::BalancerConfig`] (`affinity` toggles
+//! the pass; `aff_decay_shift`, `aff_cooldown`, `aff_min_score` tune
+//! it), and `--bin affinity` judges the result end to end — scattered
+//! producer/consumer rings and an all-to-one hotspot, affinity on vs
+//! off (`BENCH_affinity.json`, a CI artifact): the rings run 1.8–2.1×
+//! the baseline ops/s at p = 4/8 by turning ~90 % remote traffic into
+//! ~70 % local, and the hotspot drill is gated to never regress.
+//!
 //! ## Crate layout
 //!
 //! * [`machine`] / [`node`] — the simulated cluster: one scheduler + slot

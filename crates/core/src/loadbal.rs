@@ -1,4 +1,6 @@
-//! Generic load balancing via transparent preemptive migration.
+//! Generic load balancing via transparent preemptive migration — now
+//! **communication-affinity aware**: rounds minimize remote-message
+//! volume first and thread-count skew second.
 //!
 //! The paper's motivation for preemptive migration (§2): "a generic module
 //! implemented outside the running application could balance the load by
@@ -7,9 +9,45 @@
 //!
 //! [`start_balancer`] spawns exactly such a module: a daemon thread (on
 //! node 0, excluded from migration itself) that periodically polls every
-//! node's load over the fabric and ships ready threads from overloaded
-//! nodes to underloaded ones.  Application threads contain no migration
-//! code whatsoever.
+//! node's load over the fabric and ships ready threads around.
+//! Application threads contain no migration code whatsoever.
+//!
+//! ## The affinity scoring model
+//!
+//! A thread-count-balanced placement can still be terrible: two threads
+//! that RPC each other every quantum pay the full modelled wire for every
+//! exchange when separated, and nothing when co-located (a self-send
+//! skips the wire entirely).  So every thread carries a bounded top-k
+//! `(peer node → msgs)` table in its descriptor (`marcel::AFF_TOP_K`
+//! entries, updated on every RPC call/reply, migrating with the thread),
+//! and each `LOAD_RESP` piggybacks the reporting node's hottest
+//! thread→node edges.  The planner scores moving thread *t* from *src*
+//! to *dest* as
+//!
+//! ```text
+//!                 net(t, dest)         net = msgs(t → dest)        (saved)
+//!   score(t) = ────────────────             − msgs(t → src)        (broken)
+//!              pack_cost(t) bytes
+//! ```
+//!
+//! — remote messages saved minus local messages broken, per byte of
+//! stack + heap the migration train would have to carry
+//! (`pack_cost` comes from the same occupancy hints that size real
+//! trains, so **cold-heap threads move first**).  Candidates are applied
+//! greedily best-score-first while a load guard keeps the move from
+//! *creating* skew beyond `threshold`; whatever move budget remains goes
+//! to the classic most-loaded → least-loaded walk, so pure idle-skew
+//! still equalizes and plain load balancing is the tie-breaker.
+//!
+//! Two hysteresis brakes stop chatty threads from ping-ponging between
+//! partners on both sides:
+//!
+//! * **decay** — each balancer probe of a node ages its threads' tables
+//!   (`msgs >>= aff_decay_shift`), so affinity reflects *recent* traffic;
+//! * **cooldown + floor** — a thread is not re-planned until
+//!   `aff_cooldown` epochs after its last migration, and never for a net
+//!   score below `aff_min_score` (a thread equally chatty toward two
+//!   nodes nets ≈ 0 and stays put).
 //!
 //! ## The plan/ack round protocol
 //!
@@ -17,12 +55,16 @@
 //! to the number of (source → destination) *pairs* that trade, never to
 //! the number of threads moved:
 //!
-//! 1. **Gather** — `LOAD_REQ` to every node; replies collected until all
-//!    answer or the round deadline passes (a frozen node sits the round
-//!    out; < 2 responders skips the round).
-//! 2. **Plan** — the same greedy most-loaded → least-loaded walk as ever,
-//!    but executed against the *snapshot*: it produces a move plan keyed
-//!    by (src, dest) pair, each entry carrying the full tid list.
+//! 1. **Gather** — `LOAD_REQ` (carrying this epoch's decay shift) to
+//!    every node; replies collected until all answer or the round
+//!    deadline passes (a frozen node sits the round out; < 2 responders
+//!    skips the round).  A peer whose *gossiped* load hint is younger
+//!    than one heartbeat interval and marks it a non-source is not
+//!    probed at all — its hint stands in as a destination-only entry
+//!    (counted in [`BalancerHandle::probes_saved`]).
+//! 2. **Plan** — affinity pass then load pass, executed against the
+//!    snapshot: a move plan keyed by (src, dest) pair, each entry
+//!    carrying the full tid list.
 //! 3. **Command** — exactly one `MIGRATE_CMD` per planned pair, all
 //!    issued back-to-back with a fresh cmd id each, no ack waits between
 //!    them.  The source flags every named thread and the departure side
@@ -32,25 +74,20 @@
 //!    deadline passes.  A straggler ack from an abandoned round has a
 //!    stale cmd id and is ignored, never credited to a later round.
 //!
-//! The old protocol shipped one tid per `MIGRATE_CMD` and blocked on each
-//! ack before sending the next, so evacuating 64 threads cost 64
-//! serialized RTTs; now it costs one RTT per destination pair plus one
-//! train per destination.
-//!
 //! ## Sampled probing at scale
 //!
 //! Probing all p nodes per round is the balancer's own O(p) tax, and at
-//! p = 256 it dominates the round.  Above [`crate::node::FULL_PROBE_MAX`]
-//! nodes the gather switches to a **gossip-informed sample**: draw a
-//! seeded handful of candidate peers, rank them by the epidemic load
-//! hints every node already maintains, and probe only the most- and
+//! p = 256 it dominates the round.  Above [`FULL_PROBE_MAX`] nodes the
+//! gather switches to a **gossip-informed sample**: draw a seeded
+//! handful of candidate peers, rank them by the epidemic load hints
+//! every node already maintains, and probe only the most- and
 //! least-loaded halves — the power-of-two-choices insight that comparing
 //! a few sampled extremes balances almost as well as comparing everyone.
 //! Rounds are O(k) on the wire regardless of p; successive rounds draw
 //! fresh samples, so every imbalance is eventually visible.  Machines at
 //! or below `FULL_PROBE_MAX` keep the exact full-probe behaviour.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -58,7 +95,11 @@ use std::time::{Duration, Instant};
 use crate::api::{self, send_to, wait_reply_until};
 use crate::error::Result;
 use crate::machine::Machine;
-use crate::proto::{self, encode_migrate_cmd, tag};
+use crate::proto::{self, encode_migrate_cmd, tag, AffinityEdge};
+
+/// Re-export of the "0 = auto" full-probe threshold so callers tuning
+/// [`BalancerConfig::sample`] can name it instead of hard-coding 16.
+pub use crate::node::FULL_PROBE_MAX;
 
 /// Balancer tuning.
 #[derive(Debug, Clone)]
@@ -66,9 +107,10 @@ pub struct BalancerConfig {
     /// Poll period.
     pub period: Duration,
     /// A node is overloaded when its load exceeds the mean by more than
-    /// this many threads.
+    /// this many threads; the affinity pass reuses it as the skew a
+    /// co-location move is allowed to create.
     pub threshold: usize,
-    /// Maximum migrations ordered per round.
+    /// Maximum migrations ordered per round (affinity + load combined).
     pub max_moves_per_round: usize,
     /// Hard time budget for one round (load gather + migrate commands).
     /// A node that stops answering — frozen in a long negotiation,
@@ -77,13 +119,29 @@ pub struct BalancerConfig {
     /// deadline.
     pub round_deadline: Duration,
     /// Peers probed per round.  `0` = auto: every node on machines up to
-    /// [`crate::node::FULL_PROBE_MAX`] nodes, a gossip-informed sample of
+    /// [`FULL_PROBE_MAX`] nodes, a gossip-informed sample of
     /// [`AUTO_SAMPLE`] beyond that.  An explicit value forces that sample
     /// size (clamped to p); see the module notes on sampled probing.
     pub sample: usize,
+    /// Run the affinity pass (false = the pre-affinity pure-load
+    /// balancer, the ablation baseline of `--bin affinity`).
+    pub affinity: bool,
+    /// Per-epoch decay shift applied to every thread's affinity counts
+    /// (`msgs >>= shift`) by each probed node; 0 disables decay.
+    pub aff_decay_shift: u32,
+    /// Epochs a freshly migrated thread sits out before the affinity
+    /// pass may plan it again (hysteresis; never-migrated threads are
+    /// exempt).
+    pub aff_cooldown: u32,
+    /// Minimum `remote_msgs_saved − local_msgs_broken` for an affinity
+    /// move — the other hysteresis brake.  A thread equally chatty toward
+    /// both sides nets ≈ 0, but strict alternation still leaves a ±2
+    /// transient in any snapshot (two legs per in-flight call), so the
+    /// default sits above that jitter band.
+    pub aff_min_score: i64,
 }
 
-/// Default probe-sample size above [`crate::node::FULL_PROBE_MAX`] nodes.
+/// Default probe-sample size above [`FULL_PROBE_MAX`] nodes.
 pub const AUTO_SAMPLE: usize = 8;
 
 impl Default for BalancerConfig {
@@ -94,7 +152,67 @@ impl Default for BalancerConfig {
             max_moves_per_round: 8,
             round_deadline: Duration::from_millis(250),
             sample: 0,
+            affinity: true,
+            aff_decay_shift: 1,
+            aff_cooldown: 2,
+            aff_min_score: 4,
         }
+    }
+}
+
+impl BalancerConfig {
+    /// Set the poll period.
+    pub fn with_period(mut self, period: Duration) -> Self {
+        self.period = period;
+        self
+    }
+
+    /// Set the overload threshold.
+    pub fn with_threshold(mut self, threshold: usize) -> Self {
+        self.threshold = threshold;
+        self
+    }
+
+    /// Set the per-round move budget.
+    pub fn with_max_moves(mut self, max_moves_per_round: usize) -> Self {
+        self.max_moves_per_round = max_moves_per_round;
+        self
+    }
+
+    /// Set the per-round time budget.
+    pub fn with_round_deadline(mut self, round_deadline: Duration) -> Self {
+        self.round_deadline = round_deadline;
+        self
+    }
+
+    /// Set the probe-sample size (0 = auto, see [`BalancerConfig::sample`]).
+    pub fn with_sample(mut self, sample: usize) -> Self {
+        self.sample = sample;
+        self
+    }
+
+    /// Enable or disable the affinity pass.
+    pub fn with_affinity(mut self, affinity: bool) -> Self {
+        self.affinity = affinity;
+        self
+    }
+
+    /// Set the per-epoch affinity decay shift.
+    pub fn with_aff_decay_shift(mut self, shift: u32) -> Self {
+        self.aff_decay_shift = shift;
+        self
+    }
+
+    /// Set the post-migration cooldown, in epochs.
+    pub fn with_aff_cooldown(mut self, epochs: u32) -> Self {
+        self.aff_cooldown = epochs;
+        self
+    }
+
+    /// Set the minimum net score for an affinity move.
+    pub fn with_aff_min_score(mut self, score: i64) -> Self {
+        self.aff_min_score = score;
+        self
     }
 }
 
@@ -105,12 +223,16 @@ pub struct BalancerHandle {
     thread: crate::machine::Pm2Thread,
 }
 
-/// Daemon observability: proof that rounds batch instead of serializing.
+/// Daemon observability: proof that rounds batch instead of serializing,
+/// that the affinity pass actually plans, and that gossip hints save
+/// probe round trips.
 #[derive(Debug, Default)]
 struct Counters {
     moves: AtomicU64,
     rounds: AtomicU64,
     cmds: AtomicU64,
+    aff_moves: AtomicU64,
+    probes_saved: AtomicU64,
 }
 
 impl BalancerHandle {
@@ -134,6 +256,18 @@ impl BalancerHandle {
     /// round, so under imbalance `cmds() < moves()` proves batching.
     pub fn cmds(&self) -> u64 {
         self.counters.cmds.load(Ordering::SeqCst)
+    }
+
+    /// Migrations planned by the *affinity* pass (subset of the commands
+    /// sent; the pure-load walk accounts for the rest).
+    pub fn affinity_moves(&self) -> u64 {
+        self.counters.aff_moves.load(Ordering::SeqCst)
+    }
+
+    /// `LOAD_REQ` round trips skipped because a gossiped load hint
+    /// younger than one heartbeat interval stood in for the probe.
+    pub fn probes_saved(&self) -> u64 {
+        self.counters.probes_saved.load(Ordering::SeqCst)
     }
 }
 
@@ -185,6 +319,11 @@ struct Load {
     node: usize,
     resident: usize,
     migratable: Vec<u64>,
+    /// Hottest thread→node affinity edges the node reported.
+    edges: Vec<AffinityEdge>,
+    /// True when this entry came from a gossip hint instead of a probe:
+    /// usable as a destination, never as a source (no tids, no edges).
+    hinted: bool,
 }
 
 /// Choose this round's probe targets from a seeded candidate draw ranked
@@ -225,6 +364,151 @@ fn pick_sample(
     targets
 }
 
+/// Fixed-point scale for the msgs-per-byte score (score arithmetic stays
+/// integral and deterministic; 2^16 per byte resolves ties well below one
+/// message per 64 KiB slot).
+const SCORE_SCALE: i64 = 1 << 16;
+
+/// One applicable affinity move, scored.
+struct AffCandidate {
+    src_i: usize,
+    dest_i: usize,
+    tid: u64,
+    /// `net * SCORE_SCALE / pack_cost` — msgs saved per byte shipped.
+    score: i64,
+}
+
+/// Plan one round's moves against the gathered snapshot (pure; no wire
+/// traffic).  Returns the (src, dest) → tids plan plus how many of those
+/// tids the affinity pass planned.
+fn plan_moves(
+    loads: &mut [Load],
+    cfg: &BalancerConfig,
+) -> (HashMap<(usize, usize), Vec<u64>>, usize) {
+    let mut budget = cfg.max_moves_per_round;
+    let mut plan: HashMap<(usize, usize), Vec<u64>> = HashMap::new();
+    let mut aff_moves = 0usize;
+
+    // -- Affinity pass: co-locate chatty threads, cheapest trains first.
+    if cfg.affinity {
+        let mut cands: Vec<AffCandidate> = Vec::new();
+        for src_i in 0..loads.len() {
+            for e in &loads[src_i].edges {
+                // Hysteresis: freshly moved threads sit out the cooldown.
+                if e.epochs_since_move != u32::MAX && e.epochs_since_move < cfg.aff_cooldown {
+                    continue;
+                }
+                if !loads[src_i].migratable.contains(&e.tid) {
+                    continue;
+                }
+                let local: i64 = e
+                    .peers
+                    .iter()
+                    .filter(|&&(n, _)| n as usize == loads[src_i].node)
+                    .map(|&(_, m)| m as i64)
+                    .sum();
+                // Best destination among the nodes visible this round.
+                let best = loads
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != src_i)
+                    .filter_map(|(i, l)| {
+                        let msgs: i64 = e
+                            .peers
+                            .iter()
+                            .filter(|&&(n, _)| n as usize == l.node)
+                            .map(|&(_, m)| m as i64)
+                            .sum();
+                        (msgs > 0).then_some((i, msgs))
+                    })
+                    .max_by_key(|&(_, msgs)| msgs);
+                let Some((dest_i, remote)) = best else {
+                    continue;
+                };
+                let net = remote - local;
+                // Hysteresis floor: an ≈ 0 net (equally chatty toward
+                // both sides) never justifies a train.
+                if net < cfg.aff_min_score {
+                    continue;
+                }
+                let cost = (e.pack_cost as i64).max(1);
+                cands.push(AffCandidate {
+                    src_i,
+                    dest_i,
+                    tid: e.tid,
+                    score: net * SCORE_SCALE / cost,
+                });
+            }
+        }
+        // Best msgs-saved-per-byte first; tid tie-break keeps the plan
+        // deterministic for a given snapshot.
+        cands.sort_by_key(|c| (std::cmp::Reverse(c.score), c.tid));
+        // Anti-swap rule: within one round, never drain a node others are
+        // being packed into, and never pack into a node that is draining.
+        // Without it two mutually-chatty threads swap homes in the same
+        // round and stay remote forever; with it the higher-scoring move
+        // wins and the loser re-plans next round against the new layout.
+        let mut packing_into: HashSet<usize> = HashSet::new();
+        let mut draining: HashSet<usize> = HashSet::new();
+        for c in cands {
+            if budget == 0 {
+                break;
+            }
+            // The snapshot moved under earlier candidates: re-check.
+            if !loads[c.src_i].migratable.contains(&c.tid) {
+                continue;
+            }
+            let (src, dest) = (loads[c.src_i].node, loads[c.dest_i].node);
+            if packing_into.contains(&src) || draining.contains(&dest) {
+                continue;
+            }
+            // Load guard: co-location may *tolerate* skew up to the
+            // threshold but must not create more — that is the load
+            // pass's undo condition, and planning both directions in one
+            // round would thrash.
+            if loads[c.dest_i].resident + 1 > loads[c.src_i].resident + cfg.threshold {
+                continue;
+            }
+            loads[c.src_i].migratable.retain(|&t| t != c.tid);
+            plan.entry((src, dest)).or_default().push(c.tid);
+            loads[c.src_i].resident -= 1;
+            loads[c.dest_i].resident += 1;
+            packing_into.insert(dest);
+            draining.insert(src);
+            budget -= 1;
+            aff_moves += 1;
+        }
+    }
+
+    // -- Load pass: the classic greedy most-loaded → least-loaded walk
+    // on whatever budget remains, so pure idle-skew still equalizes.
+    let total: usize = loads.iter().map(|l| l.resident).sum();
+    let mean = total / loads.len();
+    let mut order: Vec<usize> = (0..loads.len()).collect();
+    loop {
+        if budget == 0 {
+            break;
+        }
+        order.sort_by_key(|&i| loads[i].resident);
+        let (min_i, max_i) = (order[0], order[order.len() - 1]);
+        let gap_over = loads[max_i].resident.saturating_sub(mean);
+        let gap = loads[max_i].resident.saturating_sub(loads[min_i].resident);
+        if gap_over <= cfg.threshold || gap < 2 {
+            break;
+        }
+        let dest = loads[min_i].node;
+        let Some(tid) = loads[max_i].migratable.pop() else {
+            break;
+        };
+        let src_node = loads[max_i].node;
+        plan.entry((src_node, dest)).or_default().push(tid);
+        loads[max_i].resident -= 1;
+        loads[min_i].resident += 1;
+        budget -= 1;
+    }
+    (plan, aff_moves)
+}
+
 fn balance_round(p: usize, cfg: &BalancerConfig, counters: &Counters) -> Result<()> {
     let pool = api::local_pool();
     let deadline = Instant::now() + cfg.round_deadline;
@@ -234,7 +518,7 @@ fn balance_round(p: usize, cfg: &BalancerConfig, counters: &Counters) -> Result<
     // Above FULL_PROBE_MAX nodes (or with an explicit `sample` knob) the
     // gather probes a gossip-informed sample instead of all p.
     let k = match cfg.sample {
-        0 if p <= crate::node::FULL_PROBE_MAX => p,
+        0 if p <= FULL_PROBE_MAX => p,
         0 => AUTO_SAMPLE,
         k => k,
     };
@@ -243,9 +527,45 @@ fn balance_round(p: usize, cfg: &BalancerConfig, counters: &Counters) -> Result<
     } else {
         crate::node::with_ctx(|c| pick_sample(p, k, c.node, &c.peer_load, &c.dead_nodes, &c.rng))
     };
+    // Probe-saving: a peer whose gossiped load entry is younger than one
+    // heartbeat interval and marks it a non-source (at or below the mean
+    // of the fresh hints plus the threshold) contributes its hint as a
+    // destination-only snapshot entry instead of paying a round trip.
+    // Self is always probed — the reply is a local self-send anyway.
+    let me = crate::node::with_ctx(|c| c.node);
+    let fresh: Vec<(usize, Option<u32>)> = crate::node::with_ctx(|c| {
+        targets
+            .iter()
+            .map(|&peer| {
+                let h = (peer != me).then(|| c.fresh_load_hint(peer)).flatten();
+                (peer, h)
+            })
+            .collect()
+    });
+    let known: Vec<u32> = fresh.iter().filter_map(|&(_, h)| h).collect();
+    let hint_mean = if known.is_empty() {
+        0
+    } else {
+        known.iter().map(|&h| h as usize).sum::<usize>() / known.len()
+    };
+    let mut loads: Vec<Load> = Vec::with_capacity(targets.len());
     let mut probed = 0usize;
-    for &peer in &targets {
-        if send_to(peer, tag::LOAD_REQ, Vec::new()).is_ok() {
+    let decay = proto::encode_load_req(&pool, if cfg.affinity { cfg.aff_decay_shift } else { 0 });
+    for &(peer, hint) in &fresh {
+        if let Some(h) = hint {
+            if (h as usize) <= hint_mean + cfg.threshold {
+                loads.push(Load {
+                    node: peer,
+                    resident: h as usize,
+                    migratable: Vec::new(),
+                    edges: Vec::new(),
+                    hinted: true,
+                });
+                counters.probes_saved.fetch_add(1, Ordering::SeqCst);
+                continue;
+            }
+        }
+        if send_to(peer, tag::LOAD_REQ, decay.clone()).is_ok() {
             probed += 1;
         }
     }
@@ -253,8 +573,8 @@ fn balance_round(p: usize, cfg: &BalancerConfig, counters: &Counters) -> Result<
     // passes; a node that answers late (or never) simply sits this round
     // out.  Responses are keyed by node so a straggler reply from a
     // *previous* degraded round only refreshes that node's entry.
-    let mut loads: Vec<Load> = Vec::with_capacity(probed);
-    while loads.len() < probed {
+    let mut answered = 0usize;
+    while answered < probed {
         let Ok(m) = wait_reply_until(tag::LOAD_RESP, None, deadline, |_| true) else {
             break; // Deadline: balance whoever answered.
         };
@@ -262,58 +582,40 @@ fn balance_round(p: usize, cfg: &BalancerConfig, counters: &Counters) -> Result<
         // the dispatch layer absorbed into the trader's hint table before
         // parking it — the balancer's probes double as the slot economy's
         // freshness source.)
-        let Some((resident, _, migratable)) = proto::decode_load_resp(&m.payload) else {
+        let Some((resident, _, migratable, edges)) = proto::decode_load_resp_aff(&m.payload) else {
             continue;
         };
+        answered += 1;
         let resident = resident as usize;
         if let Some(l) = loads.iter_mut().find(|l| l.node == m.src) {
             l.resident = resident;
             l.migratable = migratable;
+            l.edges = edges;
+            l.hinted = false;
         } else {
             loads.push(Load {
                 node: m.src,
                 resident,
                 migratable,
+                edges,
+                hinted: false,
             });
         }
     }
     if loads.len() < 2 {
         return Ok(()); // Nobody to trade with this round.
     }
-    let total: usize = loads.iter().map(|l| l.resident).sum();
-    let mean = total / loads.len();
 
-    // Plan: the greedy most-loaded → least-loaded walk, against the
-    // snapshot only — no wire traffic yet.  The plan is keyed by
-    // (src, dest) pair; moving k threads between a pair costs one entry.
-    let mut budget = cfg.max_moves_per_round;
-    let mut plan: HashMap<(usize, usize), Vec<u64>> = HashMap::new();
-    loop {
-        if budget == 0 {
-            break;
-        }
-        loads.sort_by_key(|l| l.resident);
-        let (min_idx, max_idx) = (0, loads.len() - 1);
-        let gap_over = loads[max_idx].resident.saturating_sub(mean);
-        let gap = loads[max_idx]
-            .resident
-            .saturating_sub(loads[min_idx].resident);
-        if gap_over <= cfg.threshold || gap < 2 {
-            break;
-        }
-        let dest = loads[min_idx].node;
-        let Some(tid) = loads[max_idx].migratable.pop() else {
-            break;
-        };
-        let src_node = loads[max_idx].node;
-        plan.entry((src_node, dest)).or_default().push(tid);
-        loads[max_idx].resident -= 1;
-        loads[min_idx].resident += 1;
-        budget -= 1;
-    }
+    // Plan against the snapshot only — no wire traffic yet.  The plan is
+    // keyed by (src, dest) pair; moving k threads between a pair costs
+    // one entry.
+    let (plan, aff_moves) = plan_moves(&mut loads, cfg);
     if plan.is_empty() {
         return Ok(());
     }
+    counters
+        .aff_moves
+        .fetch_add(aff_moves as u64, Ordering::SeqCst);
 
     // Command: every source concurrently, one MIGRATE_CMD per pair with
     // the full tid list — no per-thread (or even per-pair) RTT gaps.
@@ -357,7 +659,7 @@ fn balance_round(p: usize, cfg: &BalancerConfig, counters: &Counters) -> Result<
 
 #[cfg(test)]
 mod tests {
-    use super::pick_sample;
+    use super::*;
     use std::collections::HashSet;
 
     #[test]
@@ -393,5 +695,174 @@ mod tests {
         }
         assert!(hit_hi, "the most-loaded peer is sampled as a source");
         assert!(hit_lo, "the least-loaded peer is sampled as a destination");
+    }
+
+    // -- white-box planner tests ----------------------------------------
+
+    fn load(node: usize, resident: usize, migratable: Vec<u64>, edges: Vec<AffinityEdge>) -> Load {
+        Load {
+            node,
+            resident,
+            migratable,
+            edges,
+            hinted: false,
+        }
+    }
+
+    fn edge(tid: u64, pack_cost: u32, epochs: u32, peers: Vec<(u32, u32)>) -> AffinityEdge {
+        AffinityEdge {
+            tid,
+            pack_cost,
+            epochs_since_move: epochs,
+            peers,
+        }
+    }
+
+    #[test]
+    fn planner_colocates_a_chatty_thread() {
+        // Thread 7 on node 0 talks to node 1 (40 msgs) and barely locally
+        // (2): the affinity pass ships it even though loads are equal.
+        let mut loads = vec![
+            load(
+                0,
+                3,
+                vec![7],
+                vec![edge(7, 4096, u32::MAX, vec![(1, 40), (0, 2)])],
+            ),
+            load(1, 3, vec![], vec![]),
+        ];
+        let (plan, aff) = plan_moves(&mut loads, &BalancerConfig::default());
+        assert_eq!(plan.get(&(0, 1)), Some(&vec![7]));
+        assert_eq!(aff, 1);
+    }
+
+    #[test]
+    fn planner_cold_heap_beats_hot_heap_when_equally_chatty() {
+        // Two equally chatty threads, one with a 100× cheaper train; a
+        // budget of 1 must pick the cold-heap one.
+        let cfg = BalancerConfig::default().with_max_moves(1);
+        let mut loads = vec![
+            load(
+                0,
+                4,
+                vec![7, 8],
+                vec![
+                    edge(7, 200_000, u32::MAX, vec![(1, 40)]), // hot heap
+                    edge(8, 2_000, u32::MAX, vec![(1, 40)]),   // cold heap
+                ],
+            ),
+            load(1, 4, vec![], vec![]),
+        ];
+        let (plan, aff) = plan_moves(&mut loads, &cfg);
+        assert_eq!(plan.get(&(0, 1)), Some(&vec![8]), "cold heap ships first");
+        assert_eq!(aff, 1);
+    }
+
+    #[test]
+    fn planner_cooldown_blocks_fresh_movers() {
+        // Thread 7 migrated last epoch: under the default 2-epoch
+        // cooldown it must sit this round out, however chatty.
+        let mut loads = vec![
+            load(0, 3, vec![7], vec![edge(7, 4096, 1, vec![(1, 40)])]),
+            load(1, 3, vec![], vec![]),
+        ];
+        let (plan, aff) = plan_moves(&mut loads, &BalancerConfig::default());
+        assert!(plan.is_empty(), "{plan:?}");
+        assert_eq!(aff, 0);
+        // Once the cooldown has elapsed the same edge plans.
+        let mut loads = vec![
+            load(0, 3, vec![7], vec![edge(7, 4096, 2, vec![(1, 40)])]),
+            load(1, 3, vec![], vec![]),
+        ];
+        let (plan, aff) = plan_moves(&mut loads, &BalancerConfig::default());
+        assert_eq!(plan.get(&(0, 1)), Some(&vec![7]));
+        assert_eq!(aff, 1);
+    }
+
+    #[test]
+    fn planner_min_score_keeps_symmetric_threads_put() {
+        // Equally chatty toward home and the remote side: net = 0 < the
+        // min score, so no move — the anti-ping-pong floor.
+        let mut loads = vec![
+            load(
+                0,
+                3,
+                vec![7],
+                vec![edge(7, 4096, u32::MAX, vec![(1, 25), (0, 25)])],
+            ),
+            load(1, 3, vec![], vec![]),
+        ];
+        let (plan, aff) = plan_moves(&mut loads, &BalancerConfig::default());
+        assert!(plan.is_empty(), "{plan:?}");
+        assert_eq!(aff, 0);
+        // The floor also absorbs the ±2 snapshot jitter a strictly
+        // alternating caller leaves (two legs per in-flight call).
+        let mut loads = vec![
+            load(
+                0,
+                3,
+                vec![7],
+                vec![edge(7, 4096, u32::MAX, vec![(1, 27), (0, 25)])],
+            ),
+            load(1, 3, vec![], vec![]),
+        ];
+        let (plan, aff) = plan_moves(&mut loads, &BalancerConfig::default());
+        assert!(plan.is_empty(), "{plan:?}");
+        assert_eq!(aff, 0);
+    }
+
+    #[test]
+    fn planner_anti_swap_defers_the_weaker_of_a_mutual_pair() {
+        // Thread 7 on node 0 and thread 9 on node 1, each chatty toward
+        // the other's home: applying both would swap them past each other
+        // and leave every hop remote.  One round moves only the stronger
+        // candidate; the loser re-plans next round against the new layout.
+        let mut loads = vec![
+            load(0, 3, vec![7], vec![edge(7, 4096, u32::MAX, vec![(1, 40)])]),
+            load(1, 3, vec![9], vec![edge(9, 4096, u32::MAX, vec![(0, 30)])]),
+        ];
+        let (plan, aff) = plan_moves(&mut loads, &BalancerConfig::default());
+        assert_eq!(aff, 1, "only one side of the pair may move: {plan:?}");
+        assert_eq!(plan.get(&(0, 1)), Some(&vec![7]), "the stronger edge wins");
+        assert_eq!(plan.get(&(1, 0)), None);
+    }
+
+    #[test]
+    fn planner_load_guard_caps_colocation_skew() {
+        // Destination already over the source by the threshold: the
+        // affinity move must yield to the load balance.
+        let mut loads = vec![
+            load(0, 2, vec![7], vec![edge(7, 4096, u32::MAX, vec![(1, 40)])]),
+            load(1, 3, vec![], vec![]),
+        ];
+        let (plan, aff) = plan_moves(&mut loads, &BalancerConfig::default());
+        assert!(plan.is_empty(), "{plan:?}");
+        assert_eq!(aff, 0);
+    }
+
+    #[test]
+    fn planner_pure_load_walk_still_equalizes() {
+        // No edges at all (idle-skew workload): the classic walk moves
+        // threads from the loaded node to the idle one.
+        let mut loads = vec![
+            load(0, 8, vec![1, 2, 3, 4, 5, 6], vec![]),
+            load(1, 0, vec![], vec![]),
+        ];
+        let (plan, aff) = plan_moves(&mut loads, &BalancerConfig::default());
+        assert_eq!(aff, 0);
+        let moved = plan.get(&(0, 1)).map(|v| v.len()).unwrap_or(0);
+        assert!(moved >= 3, "load walk equalizes: {plan:?}");
+    }
+
+    #[test]
+    fn planner_affinity_off_is_the_pure_load_baseline() {
+        let cfg = BalancerConfig::default().with_affinity(false);
+        let mut loads = vec![
+            load(0, 3, vec![7], vec![edge(7, 4096, u32::MAX, vec![(1, 40)])]),
+            load(1, 3, vec![], vec![]),
+        ];
+        let (plan, aff) = plan_moves(&mut loads, &cfg);
+        assert!(plan.is_empty(), "no affinity pass, no skew: {plan:?}");
+        assert_eq!(aff, 0);
     }
 }

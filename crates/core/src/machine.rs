@@ -124,6 +124,9 @@ pub struct Machine {
     node_stats: Vec<Arc<NodeStats>>,
     /// Per-node wealth hint tables (last-known free-slot count per peer).
     wealth: Vec<Arc<Vec<AtomicU64>>>,
+    /// Per-node communication-affinity rows (cumulative RPC-shaped
+    /// messages exchanged with each peer, self included).
+    affinity: Vec<Arc<Vec<AtomicU64>>>,
     /// Cheap-clone handles on each node's payload pool (observability).
     pools: Vec<madeleine::BufPool>,
     drivers: Vec<std::thread::JoinHandle<()>>,
@@ -233,6 +236,7 @@ impl Machine {
         let slot_stats = ctxs.iter().map(|c| c.mgr.stats()).collect();
         let node_stats = ctxs.iter().map(|c| Arc::clone(&c.stats)).collect();
         let wealth = ctxs.iter().map(|c| Arc::clone(&c.peer_wealth)).collect();
+        let affinity = ctxs.iter().map(|c| Arc::clone(&c.affinity)).collect();
         let pools = ctxs.iter().map(|c| c.pool.clone()).collect();
 
         let (drivers, n_workers) = match cfg.mode {
@@ -262,6 +266,7 @@ impl Machine {
             slot_stats,
             node_stats,
             wealth,
+            affinity,
             pools,
             drivers,
             n_workers,
@@ -515,6 +520,23 @@ impl Machine {
         for s in &self.node_stats {
             s.reset();
         }
+        for row in &self.affinity {
+            for a in row.iter() {
+                a.store(0, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// `node`'s communication-affinity row: cumulative RPC-shaped
+    /// messages its threads exchanged with every node (index `node`
+    /// itself counts co-located, wire-free traffic).  This is the raw
+    /// material the affinity balancer works from, aggregated per node;
+    /// [`Machine::stats_reset`] zeroes it with the other counters.
+    pub fn affinity(&self, node: usize) -> Vec<u64> {
+        self.affinity[node]
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .collect()
     }
 
     /// `node`'s wealth hint table: its last-known free-slot count for

@@ -88,6 +88,22 @@ unsafe fn thread_pack_hint(d: DescPtr, slot_size: usize, pack_full_slots: bool) 
     }
 }
 
+/// Price the migration train a thread would need right now, in bytes —
+/// the balancer's cold-heap-first signal (a thread with a slim stack and
+/// an empty heap ships orders of magnitude cheaper than a heap hoarder).
+///
+/// # Safety
+/// `d` must be a resident, non-running thread (Ready/Blocked) on the
+/// calling node — the driver's pump never overlaps its green threads, so
+/// descriptor and heap hints are stable.
+pub(crate) unsafe fn pack_cost_hint(
+    d: DescPtr,
+    slot_size: usize,
+    pack_full_slots: bool,
+) -> Result<usize> {
+    thread_pack_hint(d, slot_size, pack_full_slots)
+}
+
 /// Append one thread's slot records to `buf` and unmap its slots on the
 /// source node.  Ownership stays with the thread (no bitmap change).
 ///

@@ -107,7 +107,9 @@ thread_local! {
 /// nodes `richest_peer` scans the whole table and the balancer probes
 /// every peer (preserving the small-machine ablation numbers); above it
 /// both sample, and gossip dissemination turns on even without a detector.
-pub(crate) const FULL_PROBE_MAX: usize = 16;
+/// This is the "0 = auto" threshold behind [`crate::loadbal::BalancerConfig`]'s
+/// `sample` field (re-exported there as `loadbal::FULL_PROBE_MAX`).
+pub const FULL_PROBE_MAX: usize = 16;
 /// Peers a gossip round pushes the digest to.
 const GOSSIP_FANOUT: usize = 2;
 /// Minimum relayed table entries riding along with the self-entry in a
@@ -193,6 +195,17 @@ pub struct NodeStats {
     /// Control-plane retries issued by this node (trade and probe
     /// re-sends after a lost request or reply).
     pub ctrl_retries: AtomicU64,
+    /// RPC-shaped messages (calls, spawn requests, replies) this node's
+    /// threads exchanged with co-located peers — self-sends that never
+    /// touch the modelled wire.
+    pub rpc_local: AtomicU64,
+    /// RPC-shaped messages exchanged with remote nodes — each one pays
+    /// the full modelled hop.  `rpc_remote / (rpc_local + rpc_remote)` is
+    /// the remote-message ratio the affinity balancer minimizes.
+    pub rpc_remote: AtomicU64,
+    /// Affinity decay sweeps applied (one per LOAD_REQ-carried balancer
+    /// epoch observed by this node).
+    pub aff_decays: AtomicU64,
 }
 
 /// Plain snapshot of [`NodeStats`].
@@ -231,6 +244,12 @@ pub struct NodeStatsSnapshot {
     pub dup_dropped: u64,
     /// Control-plane retries issued (trade/probe re-sends).
     pub ctrl_retries: u64,
+    /// RPC-shaped messages exchanged with co-located threads (free).
+    pub rpc_local: u64,
+    /// RPC-shaped messages exchanged with remote nodes (pay the wire).
+    pub rpc_remote: u64,
+    /// Affinity decay sweeps applied.
+    pub aff_decays: u64,
 }
 
 impl NodeStatsSnapshot {
@@ -241,6 +260,16 @@ impl NodeStatsSnapshot {
             return 1.0;
         }
         self.migrations_out as f64 / self.trains_out as f64
+    }
+
+    /// Fraction of RPC-shaped traffic that paid the wire (0.0 when the
+    /// node exchanged no RPC messages at all).
+    pub fn remote_ratio(&self) -> f64 {
+        let total = self.rpc_local + self.rpc_remote;
+        if total == 0 {
+            return 0.0;
+        }
+        self.rpc_remote as f64 / total as f64
     }
 }
 
@@ -279,6 +308,9 @@ impl NodeStats {
         self.driver_wakeups.store(0, Ordering::Relaxed);
         self.dup_dropped.store(0, Ordering::Relaxed);
         self.ctrl_retries.store(0, Ordering::Relaxed);
+        self.rpc_local.store(0, Ordering::Relaxed);
+        self.rpc_remote.store(0, Ordering::Relaxed);
+        self.aff_decays.store(0, Ordering::Relaxed);
     }
 
     /// Point-in-time copy.
@@ -312,6 +344,9 @@ impl NodeStats {
             driver_wakeups: self.driver_wakeups.load(Ordering::Relaxed),
             dup_dropped: self.dup_dropped.load(Ordering::Relaxed),
             ctrl_retries: self.ctrl_retries.load(Ordering::Relaxed),
+            rpc_local: self.rpc_local.load(Ordering::Relaxed),
+            rpc_remote: self.rpc_remote.load(Ordering::Relaxed),
+            aff_decays: self.aff_decays.load(Ordering::Relaxed),
         }
     }
 }
@@ -374,6 +409,15 @@ pub(crate) struct NodeCtx {
     /// Last-known free-slot counts per node, refreshed by every
     /// piggybacked wealth hint (shared with the host for observability).
     pub peer_wealth: Arc<Vec<AtomicU64>>,
+    /// Cumulative RPC-shaped messages this node's threads exchanged with
+    /// each peer node (self included at `[node]`) — the node-level
+    /// communication-affinity row, shared with the host for
+    /// [`crate::machine::Machine::affinity`].
+    pub affinity: Arc<Vec<AtomicU64>>,
+    /// When each peer's gossiped load/wealth entry was last refreshed
+    /// (None = never heard).  A balancer probe younger than one heartbeat
+    /// interval reuses this instead of a LOAD_REQ round trip.
+    pub hint_at: Vec<Option<Instant>>,
     /// Trade ids whose responses the pump consumes directly instead of
     /// parking for a green thread: the in-flight watermark prefetch plus
     /// any timed-out demand trades (their late grants must still be
@@ -591,6 +635,8 @@ impl NodeCtx {
             negotiating: false,
             neg_waiters: VecDeque::new(),
             peer_wealth,
+            affinity: Arc::new((0..cfg.nodes).map(|_| AtomicU64::new(0)).collect()),
+            hint_at: vec![None; cfg.nodes],
             prefetch_pending: HashSet::new(),
             prefetch_inflight: None,
             prefetch_target: None,
@@ -649,6 +695,45 @@ impl NodeCtx {
         if let Some(w) = self.peer_wealth.get(node) {
             w.store(wealth, Ordering::Relaxed);
             self.stats.wealth_updates.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Account one RPC-shaped message exchanged with `peer` in the
+    /// node-level affinity row and the local/remote stats counters.
+    pub(crate) fn note_traffic(&mut self, peer: usize) {
+        if let Some(a) = self.affinity.get(peer) {
+            a.fetch_add(1, Ordering::Relaxed);
+        }
+        if peer == self.node {
+            self.stats.rpc_local.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.stats.rpc_remote.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Decay every resident thread's affinity table by `shift` (one
+    /// balancer epoch has passed).  `shift == 0` is a no-op.
+    pub(crate) fn decay_thread_affinity(&mut self, shift: u32) {
+        if shift == 0 {
+            return;
+        }
+        for &d in self.threads.values() {
+            // SAFETY: resident descriptors are owned by this node's driver;
+            // the pump never runs concurrently with its green threads.
+            unsafe { (*d).decay_affinity(shift) };
+        }
+        self.stats.aff_decays.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A gossiped load hint for `peer` younger than one heartbeat
+    /// interval, if we hold one — fresh enough for a balancer round to
+    /// reuse instead of paying a LOAD_REQ round trip.
+    pub(crate) fn fresh_load_hint(&self, peer: usize) -> Option<u32> {
+        let at = (*self.hint_at.get(peer)?)?;
+        if at.elapsed() <= self.heartbeat_every {
+            Some(self.peer_load[peer])
+        } else {
+            None
         }
     }
 
@@ -832,6 +917,7 @@ impl NodeCtx {
         if e.seq > self.peer_seq[n] {
             self.peer_seq[n] = e.seq;
             self.peer_load[n] = e.load;
+            self.hint_at[n] = Some(Instant::now());
             self.set_peer_wealth(n, e.wealth as u64);
             if self.failure_timeout.is_some() {
                 self.last_heard[n] = Instant::now();

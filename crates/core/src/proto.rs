@@ -217,19 +217,74 @@ pub fn peek_trade_id(buf: &[u8]) -> Option<u64> {
     madeleine::message::PayloadReader::new(buf).u64()
 }
 
+/// One thread's communication-affinity record, piggybacked on `LOAD_RESP`
+/// so the balancer's planner sees who talks to whom and what a move costs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AffinityEdge {
+    /// The migratable thread this record describes.
+    pub tid: u64,
+    /// Estimated bytes a migration train would carry for this thread
+    /// (stack + heap pack hint) — the denominator of the planner's
+    /// msgs-saved-per-byte score.
+    pub pack_cost: u32,
+    /// Balancer epochs since the thread last migrated (`u32::MAX` =
+    /// never); the planner's hysteresis cooldown input.
+    pub epochs_since_move: u32,
+    /// `(peer_node, msgs)` entries from the thread's top-k table.
+    pub peers: Vec<(u32, u32)>,
+}
+
+/// Encode a `LOAD_REQ` payload: the balancer's affinity decay shift for
+/// this epoch.  An *empty* payload stays valid (legacy `pm2_probe_load`
+/// sends one) and means "no decay".
+pub fn encode_load_req(pool: &BufPool, decay_shift: u32) -> Payload {
+    let mut w = PayloadWriter::pooled(pool, 4);
+    w.u32(decay_shift);
+    w.finish()
+}
+
+/// Decode a `LOAD_REQ` payload's decay shift (empty payload = 0).
+pub fn decode_load_req(buf: &[u8]) -> u32 {
+    madeleine::message::PayloadReader::new(buf)
+        .u32()
+        .unwrap_or(0)
+}
+
 /// Encode a `LOAD_RESP` payload: (resident thread count, free-slot wealth,
-/// migratable tids).  The wealth field is the piggyback that lets the load
-/// balancer's probes and the slot trader share one freshness source.
-pub fn encode_load_resp(pool: &BufPool, resident: u32, wealth: u32, tids: &[u64]) -> Payload {
-    let mut w = PayloadWriter::pooled(pool, 16 + tids.len() * 8);
+/// migratable tids, hottest affinity edges).  The wealth field is the
+/// piggyback that lets the load balancer's probes and the slot trader share
+/// one freshness source; the affinity section is appended *after* the tid
+/// vector so pre-affinity decoders (and `peek_load_hints`) still parse the
+/// prefix unchanged.
+pub fn encode_load_resp(
+    pool: &BufPool,
+    resident: u32,
+    wealth: u32,
+    tids: &[u64],
+    aff: &[AffinityEdge],
+) -> Payload {
+    let aff_bytes: usize = aff.iter().map(|e| 20 + e.peers.len() * 8).sum();
+    let mut w = PayloadWriter::pooled(pool, 20 + tids.len() * 8 + aff_bytes);
     w.u32(resident).u32(wealth).u32(tids.len() as u32);
     for t in tids {
         w.u64(*t);
+    }
+    w.u32(aff.len() as u32);
+    for e in aff {
+        w.u64(e.tid)
+            .u32(e.pack_cost)
+            .u32(e.epochs_since_move)
+            .u32(e.peers.len() as u32);
+        for &(node, msgs) in &e.peers {
+            w.u32(node).u32(msgs);
+        }
     }
     w.finish()
 }
 
 /// Decode a `LOAD_RESP` payload into (resident, wealth, migratable tids).
+/// Ignores the trailing affinity section — the hot dispatch path and the
+/// legacy `pm2_probe_load` only need the prefix.
 pub fn decode_load_resp(buf: &[u8]) -> Option<(u32, u32, Vec<u64>)> {
     let mut r = madeleine::message::PayloadReader::new(buf);
     let resident = r.u32()?;
@@ -240,6 +295,40 @@ pub fn decode_load_resp(buf: &[u8]) -> Option<(u32, u32, Vec<u64>)> {
         tids.push(r.u64()?);
     }
     Some((resident, wealth, tids))
+}
+
+/// Full `LOAD_RESP` decode: (resident, wealth, migratable tids, affinity
+/// edges).  A payload without the affinity section (pre-affinity encoder)
+/// yields an empty edge vector rather than an error.
+pub fn decode_load_resp_aff(buf: &[u8]) -> Option<(u32, u32, Vec<u64>, Vec<AffinityEdge>)> {
+    let mut r = madeleine::message::PayloadReader::new(buf);
+    let resident = r.u32()?;
+    let wealth = r.u32()?;
+    let n = r.u32()? as usize;
+    let mut tids = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        tids.push(r.u64()?);
+    }
+    let mut aff = Vec::new();
+    if let Some(n_aff) = r.u32() {
+        for _ in 0..n_aff {
+            let tid = r.u64()?;
+            let pack_cost = r.u32()?;
+            let epochs_since_move = r.u32()?;
+            let k = r.u32()? as usize;
+            let mut peers = Vec::with_capacity(k.min(64));
+            for _ in 0..k {
+                peers.push((r.u32()?, r.u32()?));
+            }
+            aff.push(AffinityEdge {
+                tid,
+                pack_cost,
+                epochs_since_move,
+                peers,
+            });
+        }
+    }
+    Some((resident, wealth, tids, aff))
 }
 
 /// Read just the (resident, wealth) header off a `LOAD_RESP` payload
@@ -665,11 +754,49 @@ mod tests {
     #[test]
     fn load_resp_roundtrip() {
         let pool = BufPool::new();
-        let buf = encode_load_resp(&pool, 5, 33, &[9, 10]);
+        let buf = encode_load_resp(&pool, 5, 33, &[9, 10], &[]);
         assert_eq!(decode_load_resp(&buf), Some((5, 33, vec![9, 10])));
         assert_eq!(peek_load_hints(&buf), Some((5, 33)));
-        let empty = encode_load_resp(&pool, 0, 0, &[]);
+        let empty = encode_load_resp(&pool, 0, 0, &[], &[]);
         assert_eq!(decode_load_resp(&empty), Some((0, 0, vec![])));
+    }
+
+    #[test]
+    fn load_resp_affinity_roundtrip() {
+        let pool = BufPool::new();
+        let edges = vec![
+            AffinityEdge {
+                tid: 9,
+                pack_cost: 4096,
+                epochs_since_move: u32::MAX,
+                peers: vec![(1, 40), (2, 3)],
+            },
+            AffinityEdge {
+                tid: 10,
+                pack_cost: 128,
+                epochs_since_move: 0,
+                peers: vec![],
+            },
+        ];
+        let buf = encode_load_resp(&pool, 5, 33, &[9, 10], &edges);
+        // Prefix decoders ignore the affinity tail.
+        assert_eq!(decode_load_resp(&buf), Some((5, 33, vec![9, 10])));
+        assert_eq!(peek_load_hints(&buf), Some((5, 33)));
+        let (resident, wealth, tids, aff) = decode_load_resp_aff(&buf).unwrap();
+        assert_eq!((resident, wealth, tids), (5, 33, vec![9, 10]));
+        assert_eq!(aff, edges);
+        // A pre-affinity payload decodes with an empty edge vector.
+        let legacy = encode_load_resp(&pool, 2, 7, &[1], &[]);
+        let (_, _, _, aff) = decode_load_resp_aff(&legacy[..20.min(legacy.len())]).unwrap();
+        assert!(aff.is_empty());
+    }
+
+    #[test]
+    fn load_req_roundtrip() {
+        let pool = BufPool::new();
+        let buf = encode_load_req(&pool, 3);
+        assert_eq!(decode_load_req(&buf), 3);
+        assert_eq!(decode_load_req(&[]), 0, "legacy empty probe = no decay");
     }
 
     #[test]

@@ -30,7 +30,8 @@ pub use sched::{
     release_thread_resources, yield_now, DescPtr, RunOutcome, Scheduler,
 };
 pub use thread::{
-    desc_addr, stack_layout, ThreadDescriptor, ThreadState, DESC_MAGIC, STACK_CANARY,
+    desc_addr, stack_layout, ThreadDescriptor, ThreadState, AFF_EMPTY, AFF_TOP_K, DESC_MAGIC,
+    STACK_CANARY,
 };
 
 #[cfg(test)]

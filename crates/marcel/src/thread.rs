@@ -39,6 +39,18 @@ pub const STACK_CANARY: u64 = 0xCAFE_F00D_DEAD_C0DE;
 /// Maximum registered user pointers (legacy early-PM2 migration scheme).
 pub const MAX_REGISTERED: usize = 16;
 
+/// Peer-node entries tracked in the per-thread communication-affinity table.
+///
+/// Each thread counts messages it exchanges per remote node in a bounded
+/// top-k table embedded in its descriptor (so the history migrates with the
+/// thread).  Four entries cover every realistic RPC fan-out we model; a
+/// thread chatting with more peers keeps its hottest four via the
+/// space-saving replacement rule in [`ThreadDescriptor::record_affinity`].
+pub const AFF_TOP_K: usize = 4;
+
+/// Sentinel for an empty affinity-table slot.
+pub const AFF_EMPTY: u32 = u32::MAX;
+
 /// Thread life-cycle states.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u32)]
@@ -137,6 +149,16 @@ pub struct ThreadDescriptor {
     /// Addresses *of pointer variables* registered via the legacy
     /// `pm2_register_pointer` API (early-PM2 baseline, paper Fig. 3).
     pub registered: [VAddr; MAX_REGISTERED],
+    /// Communication-affinity table keys: peer node ids this thread
+    /// exchanges messages with ([`AFF_EMPTY`] = unused slot).
+    pub aff_nodes: [u32; AFF_TOP_K],
+    /// Message counts for the matching `aff_nodes` entry.  Decayed each
+    /// balancer epoch so stale affinity fades.
+    pub aff_msgs: [u32; AFF_TOP_K],
+    /// Balancer epochs since this thread last migrated (`u32::MAX` = never
+    /// migrated, so fresh threads are not cooldown-blocked).  Reset to 0 on
+    /// migration arrival; saturating-incremented on each decay.
+    pub aff_epoch: u32,
     /// Set to 1 if the thread body panicked.
     pub panicked: u32,
     /// Reserved.
@@ -220,6 +242,57 @@ impl ThreadDescriptor {
         self.registered[n] = ptr_addr;
         self.n_registered += 1;
         Some(n as u32)
+    }
+
+    /// Record one message exchanged with `node` in the affinity table.
+    ///
+    /// Bounded top-k with the *space-saving* replacement rule: an existing
+    /// entry is incremented, an empty slot is claimed, and when the table is
+    /// full the minimum-count entry is evicted and the newcomer inherits
+    /// `min + 1` — an over-estimate, never an under-estimate, so genuinely
+    /// chatty peers cannot be starved out of the table by churn.
+    pub fn record_affinity(&mut self, node: u32) {
+        let mut min_i = 0;
+        let mut min_v = u32::MAX;
+        for i in 0..AFF_TOP_K {
+            if self.aff_nodes[i] == node {
+                self.aff_msgs[i] = self.aff_msgs[i].saturating_add(1);
+                return;
+            }
+            if self.aff_nodes[i] == AFF_EMPTY {
+                self.aff_nodes[i] = node;
+                self.aff_msgs[i] = 1;
+                return;
+            }
+            if self.aff_msgs[i] < min_v {
+                min_v = self.aff_msgs[i];
+                min_i = i;
+            }
+        }
+        self.aff_nodes[min_i] = node;
+        self.aff_msgs[min_i] = min_v.saturating_add(1);
+    }
+
+    /// Decay the affinity counts by `shift` (counts >>= shift), clearing
+    /// entries that reach zero, and advance the epochs-since-move clock.
+    pub fn decay_affinity(&mut self, shift: u32) {
+        for i in 0..AFF_TOP_K {
+            if self.aff_nodes[i] == AFF_EMPTY {
+                continue;
+            }
+            self.aff_msgs[i] >>= shift.min(31);
+            if self.aff_msgs[i] == 0 {
+                self.aff_nodes[i] = AFF_EMPTY;
+            }
+        }
+        self.aff_epoch = self.aff_epoch.saturating_add(1);
+    }
+
+    /// Live `(peer_node, msgs)` affinity entries, unordered.
+    pub fn affinity_edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        (0..AFF_TOP_K)
+            .filter(|&i| self.aff_nodes[i] != AFF_EMPTY && self.aff_msgs[i] > 0)
+            .map(|i| (self.aff_nodes[i], self.aff_msgs[i]))
     }
 
     /// Unregister a previously registered pointer by key.
@@ -329,6 +402,9 @@ pub unsafe fn init_stack_slot(
         flags: flags::MIGRATABLE,
         n_registered: 0,
         registered: [0; MAX_REGISTERED],
+        aff_nodes: [AFF_EMPTY; AFF_TOP_K],
+        aff_msgs: [0; AFF_TOP_K],
+        aff_epoch: u32::MAX,
         panicked: 0,
         _pad: 0,
     });
@@ -378,6 +454,56 @@ mod tests {
         }
         assert_eq!(d.n_registered as usize, MAX_REGISTERED);
         assert!(d.register_pointer(0x9999).is_none(), "table full");
+    }
+
+    fn blank_affinity() -> ThreadDescriptor {
+        let mut d: ThreadDescriptor = unsafe { std::mem::zeroed() };
+        d.aff_nodes = [AFF_EMPTY; AFF_TOP_K];
+        d.aff_epoch = u32::MAX;
+        d
+    }
+
+    #[test]
+    fn affinity_counts_and_evicts_minimum() {
+        let mut d = blank_affinity();
+        for _ in 0..5 {
+            d.record_affinity(1);
+        }
+        d.record_affinity(2);
+        d.record_affinity(3);
+        d.record_affinity(4);
+        let mut edges: Vec<_> = d.affinity_edges().collect();
+        edges.sort_unstable();
+        assert_eq!(edges, vec![(1, 5), (2, 1), (3, 1), (4, 1)]);
+        // Table full: a newcomer evicts a min-count entry and inherits
+        // min + 1 (space-saving over-estimate).
+        d.record_affinity(9);
+        let edges: Vec<_> = d.affinity_edges().collect();
+        assert_eq!(edges.len(), AFF_TOP_K);
+        assert!(edges.contains(&(9, 2)), "{edges:?}");
+        assert!(edges.contains(&(1, 5)), "hot peer must survive: {edges:?}");
+    }
+
+    #[test]
+    fn affinity_decay_fades_and_clears() {
+        let mut d = blank_affinity();
+        for _ in 0..8 {
+            d.record_affinity(1);
+        }
+        d.record_affinity(2);
+        d.decay_affinity(1);
+        let mut edges: Vec<_> = d.affinity_edges().collect();
+        edges.sort_unstable();
+        assert_eq!(edges, vec![(1, 4)], "count-1 entry decays to empty");
+        // Epoch clock: never-migrated sentinel saturates, arrival reset ticks.
+        assert_eq!(d.aff_epoch, u32::MAX);
+        d.aff_epoch = 0;
+        d.decay_affinity(1);
+        d.decay_affinity(1);
+        assert_eq!(d.aff_epoch, 2);
+        assert_eq!(d.affinity_edges().count(), 1);
+        d.decay_affinity(31);
+        assert_eq!(d.affinity_edges().count(), 0, "deep decay clears all");
     }
 
     #[test]

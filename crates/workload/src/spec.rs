@@ -94,6 +94,18 @@ pub enum Targeting {
         /// The hot node.
         node: usize,
     },
+    /// Producer/consumer ring: ops issue uniformly but always aim at the
+    /// next node around the ring (`peer = issue + 1 mod nodes`) — the
+    /// communication-affinity shape where co-locating neighbours turns
+    /// every hop into a wire-free self-send.
+    Ring,
+    /// All ops aim at one popular `node` hosting a service, issued from
+    /// everywhere else — the hot-spot *shuffle* shape (the inverse of
+    /// [`Targeting::Hotspot`], which pins the issuing side).
+    Service {
+        /// The popular node.
+        node: usize,
+    },
 }
 
 /// A declarative workload: what to run, not how fast (the ramp decides
@@ -173,6 +185,34 @@ impl WorkloadSpec {
         }
     }
 
+    /// Producer/consumer ring: 100% small echo RPCs around the ring.
+    /// Every op on node *i* calls node *i+1*, so the steady-state traffic
+    /// matrix is the ring adjacency — the scenario the affinity balancer
+    /// wins by co-locating neighbours (seeded, replayable like the other
+    /// presets).
+    pub fn ring() -> Self {
+        WorkloadSpec {
+            name: "ring".into(),
+            mix: vec![(OpKind::Rpc, 1)],
+            payload: SizeDist::Fixed(64),
+            targeting: Targeting::Ring,
+            seed: 0x21B5,
+        }
+    }
+
+    /// Hot-spot shuffle: RPC-heavy traffic from everywhere aimed at one
+    /// popular node (node 0) hosting a service, with a little spawn/alloc
+    /// seasoning so the hot node also does ordinary work.
+    pub fn hotspot() -> Self {
+        WorkloadSpec {
+            name: "hotspot".into(),
+            mix: vec![(OpKind::Rpc, 8), (OpKind::Spawn, 1), (OpKind::Alloc, 1)],
+            payload: SizeDist::Fixed(64),
+            targeting: Targeting::Service { node: 0 },
+            seed: 0x40D5,
+        }
+    }
+
     /// Builder: replace the seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -190,20 +230,37 @@ impl WorkloadSpec {
         let weights: Vec<u64> = self.mix.iter().map(|(_, w)| *w).collect();
         let kind = self.mix[rng.pick_weighted(&weights)].0;
         let issue_on = match self.targeting {
-            Targeting::Uniform => rng.random_range(0..nodes),
+            Targeting::Uniform | Targeting::Ring => rng.random_range(0..nodes),
             Targeting::Hotspot { node } => node.min(nodes - 1),
+            // The popular node serves; everyone *else* issues.
+            Targeting::Service { node } => {
+                let hot = node.min(nodes - 1);
+                if nodes > 1 {
+                    let p = rng.random_range(0..nodes - 1);
+                    if p >= hot {
+                        p + 1
+                    } else {
+                        p
+                    }
+                } else {
+                    hot
+                }
+            }
         };
         // A distinct peer for ops that cross the wire (any node on a
         // 1-node machine — the ops degrade to local forms).
-        let peer = if nodes > 1 {
-            let p = rng.random_range(0..nodes - 1);
-            if p >= issue_on {
-                p + 1
-            } else {
-                p
+        let peer = match self.targeting {
+            Targeting::Ring => (issue_on + 1) % nodes,
+            Targeting::Service { node } => node.min(nodes - 1),
+            _ if nodes > 1 => {
+                let p = rng.random_range(0..nodes - 1);
+                if p >= issue_on {
+                    p + 1
+                } else {
+                    p
+                }
             }
-        } else {
-            issue_on
+            _ => issue_on,
         };
         let bytes = self.payload.sample(rng);
         SampledOp {
@@ -261,6 +318,37 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         for _ in 0..200 {
             assert_eq!(spec.sample(&mut rng, 4).issue_on, 2);
+        }
+    }
+
+    #[test]
+    fn ring_aims_at_the_next_node() {
+        let spec = WorkloadSpec::ring();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut issued = [0usize; 4];
+        for _ in 0..400 {
+            let op = spec.sample(&mut rng, 4);
+            assert_eq!(op.peer, (op.issue_on + 1) % 4);
+            assert!(matches!(op.kind, OpKind::Rpc));
+            issued[op.issue_on] += 1;
+        }
+        assert!(issued.iter().all(|&n| n > 0), "all ring stations issue");
+        // Replayable like every preset: same seed, same sequence.
+        let mut a = StdRng::seed_from_u64(spec.seed);
+        let mut b = StdRng::seed_from_u64(spec.seed);
+        for _ in 0..100 {
+            assert_eq!(spec.sample(&mut a, 8), spec.sample(&mut b, 8));
+        }
+    }
+
+    #[test]
+    fn hotspot_preset_aims_everyone_at_the_service_node() {
+        let spec = WorkloadSpec::hotspot();
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..400 {
+            let op = spec.sample(&mut rng, 4);
+            assert_eq!(op.peer, 0, "all traffic aims at the popular node");
+            assert_ne!(op.issue_on, 0, "the popular node serves, not issues");
         }
     }
 

@@ -299,3 +299,87 @@ fn non_migratable_threads_stay_put() {
     bal.stop(&m);
     m.shutdown();
 }
+
+/// Hysteresis, end to end (PR 10): a thread equally chatty toward both
+/// sides of a 2-node machine nets ≈ 0 remote-messages-saved, so the
+/// affinity pass must leave it put — no ping-pong — across hundreds of
+/// balancer epochs.  The min-score floor absorbs the ±2 snapshot jitter
+/// of strict alternation; the cooldown would brake any stray move.
+#[test]
+fn symmetric_chatter_settles_under_hysteresis() {
+    let mut m = Machine::launch(Pm2Config::test(2).with_mode(MachineMode::Threaded)).unwrap();
+    pm2_workload::register_services(&m);
+    let bal = start_balancer(
+        &m,
+        BalancerConfig {
+            period: Duration::from_millis(1),
+            ..BalancerConfig::default()
+        },
+    )
+    .unwrap();
+    let run = Arc::new(std::sync::atomic::AtomicBool::new(true));
+    let run2 = Arc::clone(&run);
+    let chatter = m
+        .spawn_on(0, move || {
+            let payload = vec![0u8; 32];
+            while run2.load(Ordering::SeqCst) {
+                // One call to each side per lap: perfectly symmetric
+                // traffic, with yield windows in which the thread is
+                // visibly Ready + migratable to every probe.
+                let _ = pm2_rpc_call::<pm2_workload::Echo>(0, payload.clone());
+                let _ = pm2_rpc_call::<pm2_workload::Echo>(1, payload.clone());
+                for _ in 0..8 {
+                    pm2_yield();
+                }
+            }
+        })
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(300));
+    run.store(false, Ordering::SeqCst);
+    assert!(!m.join(chatter).panicked);
+    let (rounds, moves) = (bal.rounds(), bal.moves());
+    bal.stop(&m);
+    assert!(rounds >= 20, "the balancer must have run many epochs");
+    assert!(
+        moves <= 1,
+        "symmetric chatter must settle: {moves} moves over {rounds} epochs"
+    );
+    m.shutdown();
+}
+
+/// Probe saving (PR 10): with gossip armed, a balancer round skips the
+/// LOAD_REQ for peers whose gossiped load hint is younger than one
+/// heartbeat and unremarkable, and counts the probe saved.  On an idle
+/// machine every hint is both fresh and boring, so savings accrue fast.
+#[test]
+fn fresh_gossip_hints_save_balancer_probes() {
+    let mut m = Machine::launch(
+        Pm2Config::test(4)
+            .with_mode(MachineMode::Threaded)
+            // Gossip only runs with the failure detector armed on a
+            // small machine; fast heartbeats keep the hints fresh.
+            .with_failure_timeout(Duration::from_millis(900))
+            .with_heartbeat_every(Duration::from_millis(2)),
+    )
+    .unwrap();
+    let bal = start_balancer(
+        &m,
+        BalancerConfig {
+            period: Duration::from_millis(5),
+            ..BalancerConfig::default()
+        },
+    )
+    .unwrap();
+    let t0 = std::time::Instant::now();
+    while bal.probes_saved() == 0 && t0.elapsed() < Duration::from_secs(10) {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let (rounds, saved, moves) = (bal.rounds(), bal.probes_saved(), bal.moves());
+    bal.stop(&m);
+    assert!(
+        saved > 0,
+        "fresh hints must replace probes: {saved} saved over {rounds} rounds"
+    );
+    assert_eq!(moves, 0, "an idle machine still migrates nothing");
+    m.shutdown();
+}
